@@ -1,0 +1,102 @@
+// Ablation: load-adaptive redundancy (§5.1's proposed future work) vs fixed
+// N, across a load sweep. The adaptive reporter estimates the load factor by
+// sampling slot occupancy and picks N* = argmax of the §4 survival formula.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/adaptive.hpp"
+#include "core/oracle.hpp"
+#include "core/query.hpp"
+
+namespace {
+
+using namespace dart;
+using namespace dart::core;
+
+struct Outcome {
+  double success = 0;
+  double copies_per_key = 0;
+};
+
+Outcome run_fixed(std::uint32_t n, std::uint64_t slots, std::uint64_t keys) {
+  DartConfig cfg;
+  cfg.n_slots = slots;
+  cfg.n_addresses = n;
+  cfg.value_bytes = 8;
+  cfg.master_seed = 0xF1D;
+  DartStore store(cfg);
+  Oracle oracle;
+  std::vector<std::byte> value(8);
+  for (std::uint64_t i = 0; i < keys; ++i) {
+    std::memcpy(value.data(), &i, 8);
+    store.write(sim_key(i), value);
+    oracle.record(i, value);
+  }
+  const QueryEngine q(store);
+  for (std::uint64_t i = 0; i < keys; ++i) {
+    (void)oracle.classify(i, q.resolve(sim_key(i)));
+  }
+  return {oracle.counts().success_rate(), static_cast<double>(n)};
+}
+
+Outcome run_adaptive(std::uint32_t n_max, std::uint64_t slots,
+                     std::uint64_t keys) {
+  DartConfig cfg;
+  cfg.n_slots = slots;
+  cfg.n_addresses = n_max;
+  cfg.value_bytes = 8;
+  cfg.master_seed = 0xF1D;
+  DartStore store(cfg);
+  AdaptiveReporter reporter(store, 0xE57, /*reestimate_every=*/512);
+  Oracle oracle;
+  std::vector<std::byte> value(8);
+  for (std::uint64_t i = 0; i < keys; ++i) {
+    std::memcpy(value.data(), &i, 8);
+    reporter.report(sim_key(i), value);
+    oracle.record(i, value);
+  }
+  const QueryEngine q(store);
+  for (std::uint64_t i = 0; i < keys; ++i) {
+    (void)oracle.classify(i, q.resolve(sim_key(i)));
+  }
+  return {oracle.counts().success_rate(),
+          static_cast<double>(reporter.stats().copies_written) /
+              static_cast<double>(reporter.stats().keys_written)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner(
+      "Ablation — §5.1 future work: dynamically adjusting N with load",
+      "\"dynamically adjusting N as the load fluctuates could improve "
+      "queryability and efficiency\"");
+
+  const auto slots = bench::flag_u64(argc, argv, "slots", 1 << 16);
+
+  Table t({"load α", "N=1", "N=2", "N=8", "adaptive(≤8)",
+           "adaptive copies/key"});
+  for (const double alpha : {0.05, 0.125, 0.25, 0.5, 1.0, 2.0, 4.0}) {
+    const auto keys = static_cast<std::uint64_t>(alpha * slots);
+    const auto f1 = run_fixed(1, slots, keys);
+    const auto f2 = run_fixed(2, slots, keys);
+    const auto f8 = run_fixed(8, slots, keys);
+    const auto ad = run_adaptive(8, slots, keys);
+    t.row({fmt_double(alpha, 3), fmt_percent(f1.success, 2),
+           fmt_percent(f2.success, 2), fmt_percent(f8.success, 2),
+           fmt_percent(ad.success, 2), fmt_double(ad.copies_per_key, 2)});
+  }
+  t.print(std::cout);
+
+  std::printf(
+      "\nTakeaway: fixed N=8 wins at low load but collapses past α≈0.3;\n"
+      "fixed N=1 is the reverse. The adaptive reporter tracks the winning\n"
+      "envelope by shedding copies as the table fills — and its copies/key\n"
+      "column shows the write-bandwidth efficiency gained at high load.\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Ablation: the telemetry *pipeline* rates of §2 — per-packet INT versus
+// switch-side event-triggered reporting, and what each costs downstream.
+//
+//   "event detection is typically implemented at switches in an effort to
+//    send reports to a collector only when things change [25]. This helps in
+//    reducing the rate of switch-to-collector communication down to a few
+//    million telemetry reports per second per switch [56]."
+//
+// A synthetic per-packet measurement stream (Zipf flows, occasional value
+// changes) runs through a ChangeDetector; surviving events become DART
+// reports. The table shows the packet→report reduction across detector
+// configurations and the resulting collector-side load, connecting Fig. 1's
+// per-switch report-rate assumption to its source.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/random.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "rdma/multiwrite.hpp"
+#include "switchsim/topology.hpp"
+#include "telemetry/event_detect.hpp"
+#include "telemetry/workload.hpp"
+
+namespace {
+
+using namespace dart;
+using namespace dart::telemetry;
+
+struct PipelineResult {
+  std::uint64_t packets = 0;
+  std::uint64_t reports = 0;
+  std::uint64_t evictions = 0;
+  double report_bytes_per_sec_at_line_rate = 0;
+};
+
+PipelineResult run(const ChangeDetectorConfig& det_cfg, double change_rate,
+                   std::uint64_t packets) {
+  const switchsim::FatTree topo(8);
+  FlowSampler sampler(topo, 50'000, 1.05, 11);
+  ChangeDetector detector(det_cfg);
+  Xoshiro256 rng(21);
+
+  std::vector<std::uint32_t> flow_value(50'000, 1000);
+  PipelineResult r;
+  r.packets = packets;
+  for (std::uint64_t p = 0; p < packets; ++p) {
+    const auto idx = rng.below(50'000);
+    if (rng.chance(change_rate)) {
+      flow_value[idx] += 40 + static_cast<std::uint32_t>(rng.below(100));
+    }
+    const auto key = sampler.flow(idx).tuple.key_bytes();
+    if (detector.observe(key, flow_value[idx], p * 100)) {
+      ++r.reports;
+    }
+  }
+  r.evictions = detector.stats().evictions;
+  // At 6.5 Tbps ≈ 1B small packets/s, scale the measured report fraction to
+  // per-second report bandwidth (N=2 RoCEv2 frames of ~98 B per report).
+  const double reports_per_sec =
+      1e9 * static_cast<double>(r.reports) / static_cast<double>(packets);
+  r.report_bytes_per_sec_at_line_rate =
+      reports_per_sec * 2.0 *
+      static_cast<double>(rdma::roce_write_frame_bytes(24));
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner(
+      "Ablation — §2 event-triggered reporting: packets in, reports out",
+      "per-packet INT is unshippable; change detection reduces the stream to "
+      "a few million reports/s per switch [25, 56]");
+
+  const auto packets = bench::flag_u64(argc, argv, "packets", 2'000'000);
+
+  Table t({"detector", "change rate", "reports/packets", "reduction",
+           "est. reports/s @1Gpps", "DART report BW"});
+  struct Case {
+    const char* name;
+    ChangeDetectorConfig cfg;
+    double change_rate;
+  };
+  const std::vector<Case> cases{
+      {"none (per-packet INT)", {.table_size = 1, .threshold = 0}, 0.01},
+      {"change-only", {.table_size = 1 << 18, .threshold = 0}, 0.01},
+      {"threshold=16", {.table_size = 1 << 18, .threshold = 16}, 0.01},
+      {"threshold=16 + 1ms rate cap",
+       {.table_size = 1 << 18, .threshold = 16, .min_interval_ns = 1'000'000},
+       0.01},
+      {"threshold=16, calmer traffic",
+       {.table_size = 1 << 18, .threshold = 16},
+       0.001},
+  };
+  for (const auto& c : cases) {
+    PipelineResult r;
+    if (std::string(c.name) == "none (per-packet INT)") {
+      r.packets = packets;
+      r.reports = packets;  // every packet reports
+      r.report_bytes_per_sec_at_line_rate =
+          1e9 * 2.0 * static_cast<double>(rdma::roce_write_frame_bytes(24));
+    } else {
+      r = run(c.cfg, c.change_rate, packets);
+    }
+    const double frac =
+        static_cast<double>(r.reports) / static_cast<double>(r.packets);
+    t.row({c.name, fmt_percent(c.change_rate, 1), fmt_percent(frac, 2),
+           fmt_double(1.0 / frac, 0) + "x",
+           format_count(frac * 1e9) + "/s",
+           format_bytes(r.report_bytes_per_sec_at_line_rate) + "/s"});
+  }
+  t.print(std::cout);
+
+  std::printf(
+      "\nShape check vs paper: event triggering turns ~1e9 packet\n"
+      "observations/s into a few 1e6-1e7 reports/s (the rate §2 cites from\n"
+      "[56]) — still enough, across 10K+ switches, to saturate CPU-based\n"
+      "collectors (Fig. 1) and motivate DART's zero-CPU ingest.\n");
+  return 0;
+}

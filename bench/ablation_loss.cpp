@@ -1,0 +1,74 @@
+// Ablation: report loss robustness (§3.1's motivation for N-way redundancy
+// without switch-side retransmission state). Runs the full INT fabric —
+// switch pipelines, RoCEv2 frames, Bernoulli report loss, simulated RNICs —
+// across loss rates and redundancy levels.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "telemetry/int_fabric.hpp"
+
+namespace {
+
+using namespace dart;
+using namespace dart::telemetry;
+
+double run(double loss, std::uint32_t n, std::uint64_t flows) {
+  IntFabricConfig cfg;
+  cfg.fat_tree_k = 8;
+  cfg.dart.n_slots = 1 << 17;
+  cfg.dart.n_addresses = n;
+  cfg.dart.value_bytes = 20;
+  cfg.dart.master_seed = 0x1055A;
+  cfg.n_collectors = 2;
+  cfg.switch_write_mode = core::WriteMode::kAllSlots;
+  cfg.report_loss_rate = loss;
+  cfg.seed = 23;
+  IntFabric fabric(cfg);
+  FlowGenerator gen(fabric.topology(), 31);
+
+  std::vector<FlowEndpoints> flows_traced;
+  flows_traced.reserve(flows);
+  for (std::uint64_t i = 0; i < flows; ++i) {
+    flows_traced.push_back(gen.next_flow());
+    (void)fabric.trace_flow(flows_traced.back());
+  }
+  std::uint64_t found = 0;
+  for (const auto& f : flows_traced) {
+    if (fabric.query_path(f.tuple).has_value()) ++found;
+  }
+  return static_cast<double>(found) / static_cast<double>(flows);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner(
+      "Ablation — queryability under switch→collector report loss",
+      "switches keep no retransmission state; N redundant reports make a key "
+      "survive unless ALL its reports are lost (§3.1)");
+
+  const auto flows = bench::flag_u64(argc, argv, "flows", 4'000);
+
+  Table t({"loss rate", "N=1", "N=2", "N=4", "1-p (theory N=1)",
+           "1-p² (theory N=2)", "1-p⁴ (theory N=4)"});
+  for (const double loss : {0.0, 0.01, 0.05, 0.1, 0.2, 0.3, 0.5}) {
+    t.row({fmt_percent(loss, 0), fmt_percent(run(loss, 1, flows), 1),
+           fmt_percent(run(loss, 2, flows), 1),
+           fmt_percent(run(loss, 4, flows), 1),
+           fmt_percent(1.0 - loss, 1),
+           fmt_percent(1.0 - loss * loss, 1),
+           fmt_percent(1.0 - loss * loss * loss * loss, 1)});
+  }
+  t.print(std::cout);
+
+  std::printf(
+      "\nTakeaway: measured queryability tracks 1-p^N (loss dominates; slot\n"
+      "collisions are negligible at this load). Redundancy bought for\n"
+      "collision robustness doubles as loss robustness, with zero switch\n"
+      "state — no retransmission, no acks.\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Ablation: §7's DTA multiwrite primitive vs standard RDMA reporting.
+//
+// "The RDMA standard requires multiple packets with a single write
+//  instruction each, with SmartNICs showing promise to circumvent this
+//  limitation (§7) by batching them together."
+//
+// Measures, through the real switch-pipeline → RNIC path:
+//   - packets and wire bytes per reported key,
+//   - collector-memory outcome equivalence (same slots, same queryability),
+// for (a) RDMA stochastic single-report, (b) RDMA all-slots (N frames),
+// (c) one DTA multiwrite frame, across N ∈ {2, 4, 8}.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/collector.hpp"
+#include "core/oracle.hpp"
+#include "rdma/multiwrite.hpp"
+#include "switchsim/dart_switch.hpp"
+
+namespace {
+
+using namespace dart;
+using namespace dart::core;
+
+struct ModeResult {
+  std::uint64_t frames = 0;
+  std::uint64_t wire_bytes = 0;
+  double success = 0;
+};
+
+DartConfig config(std::uint32_t n) {
+  DartConfig cfg;
+  cfg.n_slots = 1 << 16;
+  cfg.n_addresses = n;
+  cfg.value_bytes = 20;
+  cfg.master_seed = 0xD7A0 + n;
+  return cfg;
+}
+
+ModeResult run(std::uint32_t n, WriteMode mode, bool dta,
+               std::uint64_t keys) {
+  const auto cfg = config(n);
+  const CollectorEndpoint ep{{2, 0, 0, 0, 0, 1},
+                             net::Ipv4Addr::from_octets(10, 0, 100, 1)};
+  Collector collector(cfg, 0, ep);
+  collector.rnic().set_dta_multiwrite(dta);
+
+  switchsim::DartSwitchPipeline::Config sc;
+  sc.dart = cfg;
+  sc.write_mode = mode;
+  sc.use_dta_multiwrite = dta;
+  sc.rng_seed = 99;
+  switchsim::DartSwitchPipeline sw(sc);
+  sw.load_collector(collector.remote_info());
+
+  ModeResult r;
+  Oracle oracle;
+  std::vector<std::byte> value(20);
+  for (std::uint64_t i = 0; i < keys; ++i) {
+    const auto key = sim_key(i);
+    std::memcpy(value.data(), &i, 8);
+    for (const auto& frame : sw.on_telemetry(key, value)) {
+      ++r.frames;
+      r.wire_bytes += frame.size();
+      (void)collector.rnic().process_frame(frame);
+    }
+    oracle.record(i, value);
+  }
+  for (std::uint64_t i = 0; i < keys; ++i) {
+    (void)oracle.classify(i, collector.query(sim_key(i)));
+  }
+  r.success = oracle.counts().success_rate();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner(
+      "Ablation — §7 DTA multiwrite vs standard RDMA reporting",
+      "one SmartNIC frame fills all N slots, cutting per-key network "
+      "overhead that RDMA's one-write-per-packet rule imposes");
+
+  const auto keys = bench::flag_u64(argc, argv, "keys", 20'000);
+
+  Table t({"N", "mode", "frames/key", "wire B/key", "vs RDMA N-frames",
+           "query success"});
+  for (const std::uint32_t n : {2u, 4u, 8u}) {
+    const auto stochastic = run(n, WriteMode::kStochastic, false, keys);
+    const auto all = run(n, WriteMode::kAllSlots, false, keys);
+    const auto dta = run(n, WriteMode::kAllSlots, true, keys);
+
+    const double all_bytes =
+        static_cast<double>(all.wire_bytes) / static_cast<double>(keys);
+    auto row = [&](const char* name, const ModeResult& r) {
+      const double bytes_per_key =
+          static_cast<double>(r.wire_bytes) / static_cast<double>(keys);
+      t.row({std::to_string(n), name,
+             fmt_double(static_cast<double>(r.frames) / static_cast<double>(keys), 2),
+             fmt_double(bytes_per_key, 1),
+             fmt_percent(bytes_per_key / all_bytes, 0),
+             fmt_percent(r.success, 2)});
+    };
+    row("RDMA stochastic (1 report)", stochastic);
+    row("RDMA all-slots (N frames)", all);
+    row("DTA multiwrite (1 frame)", dta);
+  }
+  t.print(std::cout);
+
+  std::printf(
+      "\nShape check vs paper (§7): the multiwrite reaches all-slots\n"
+      "queryability at a fraction of the wire cost — each extra slot costs\n"
+      "8 B of addressing instead of a whole %zu B report frame — while the\n"
+      "stochastic single-report mode saves bandwidth but fills one slot.\n",
+      rdma::roce_write_frame_bytes(24));
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Ablation: return policies (§4). The paper suggests "a 32-bit checksum and
+// a plurality vote" as the default, and notes stricter per-query policies
+// trade empty returns for fewer return errors. This bench quantifies the
+// trade across load factors and checksum widths, with ground truth.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/oracle.hpp"
+#include "core/reporter.hpp"
+#include "core/query.hpp"
+#include "core/store.hpp"
+
+namespace {
+
+using namespace dart;
+using namespace dart::core;
+
+VerdictCounts run(std::uint64_t n_slots, double alpha, std::uint32_t bits,
+                  std::uint32_t n, ReturnPolicy policy,
+                  std::uint32_t reports_per_key, WriteMode mode) {
+  DartConfig cfg;
+  cfg.n_slots = n_slots;
+  cfg.n_addresses = n;
+  cfg.checksum_bits = bits;
+  cfg.value_bytes = 8;
+  cfg.master_seed = 0xAB1A;
+  cfg.write_mode = mode;
+  DartStore store(cfg);
+  DartReporter reporter(store, 0x9);
+  Oracle oracle;
+
+  const auto keys = static_cast<std::uint64_t>(alpha * n_slots);
+  std::array<std::byte, 8> value{};
+  for (std::uint64_t i = 0; i < keys; ++i) {
+    std::memcpy(value.data(), &i, 8);
+    reporter.report(sim_key(i), value, reports_per_key);
+    oracle.record(i, value);
+  }
+  const QueryEngine q(store);
+  for (std::uint64_t i = 0; i < keys; ++i) {
+    (void)oracle.classify(i, q.resolve(sim_key(i), policy));
+  }
+  return oracle.counts();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner(
+      "Ablation — return policies: success vs empty vs wrong answers",
+      "§4: plurality as default; consensus-of-two choosable per query to "
+      "trade empty returns against return errors");
+
+  const auto n_slots = bench::flag_u64(argc, argv, "slots", 1 << 16);
+  const std::vector<ReturnPolicy> policies{
+      ReturnPolicy::kFirstMatch, ReturnPolicy::kSingleDistinct,
+      ReturnPolicy::kPlurality, ReturnPolicy::kConsensusTwo};
+
+  for (const std::uint32_t bits : {8u, 32u}) {
+    std::printf("\nChecksum b = %u bits, N = 4, all slots written:\n", bits);
+    Table t({"load α", "policy", "success", "empty", "error"});
+    for (const double alpha : {0.25, 1.0, 2.0}) {
+      for (const auto policy : policies) {
+        const auto c = run(n_slots, alpha, bits, 4, policy, 1,
+                           WriteMode::kAllSlots);
+        t.row({fmt_double(alpha, 2), to_string(policy),
+               fmt_percent(c.success_rate(), 2), fmt_percent(c.empty_rate(), 2),
+               fmt_sci(c.error_rate(), 2)});
+      }
+    }
+    t.print(std::cout);
+  }
+
+  // Stochastic single-write reports (the RDMA-standard switch behaviour):
+  // consensus-2 suffers when only one slot per key is populated.
+  std::printf(
+      "\nStochastic reporting (1 report/key over N=2 slots), b = 32:\n");
+  Table s({"load α", "policy", "success", "empty"});
+  for (const double alpha : {0.25, 1.0}) {
+    for (const auto policy :
+         {ReturnPolicy::kPlurality, ReturnPolicy::kConsensusTwo}) {
+      const auto c = run(n_slots, alpha, 32, 2, policy, 1,
+                         WriteMode::kStochastic);
+      s.row({fmt_double(alpha, 2), to_string(policy),
+             fmt_percent(c.success_rate(), 2), fmt_percent(c.empty_rate(), 2)});
+    }
+  }
+  s.print(std::cout);
+
+  std::printf(
+      "\nTakeaway: plurality ≈ first-match on success but cuts errors at\n"
+      "small b; consensus-2 nearly eliminates errors at the cost of empty\n"
+      "returns — and is only usable when re-reports fill multiple slots.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Ablation: §3.1's placement trade-off — all copies on one collector (the
+// paper's design) vs copies spread across collectors.
+//
+// "Distributing the N copies of per-key telemetry data across N physical
+//  collectors could improve the system resiliency, at the cost of
+//  potentially reduced querying speed."
+//
+// Measures queryability with 0 or 1 failed collector (of C), and the
+// per-query collector fan-out (the "querying speed" cost), for both modes.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/oracle.hpp"
+#include "core/spread.hpp"
+
+namespace {
+
+using namespace dart;
+using namespace dart::core;
+
+struct SpreadResult {
+  double success_healthy = 0;
+  double success_one_failed = 0;
+  double reads_per_query = 0;
+};
+
+SpreadResult run(PlacementMode mode, std::uint32_t collectors,
+                 std::uint64_t keys) {
+  DartConfig cfg;
+  cfg.n_slots = 1 << 14;
+  cfg.n_addresses = 2;
+  cfg.value_bytes = 8;
+  cfg.master_seed = 0x5B2;
+
+  SpreadCluster cluster(cfg, collectors, mode);
+  std::vector<std::byte> value(8);
+  for (std::uint64_t i = 0; i < keys; ++i) {
+    std::memcpy(value.data(), &i, 8);
+    cluster.write(sim_key(i), value);
+  }
+
+  auto measure = [&]() {
+    Oracle oracle;
+    for (std::uint64_t i = 0; i < keys; ++i) {
+      std::memcpy(value.data(), &i, 8);
+      oracle.record(i, value);
+      (void)oracle.classify(i, cluster.query(sim_key(i)));
+    }
+    return oracle.counts().success_rate();
+  };
+
+  SpreadResult r;
+  r.success_healthy = measure();
+  // Fan-out cost measured on the healthy cluster only.
+  r.reads_per_query = static_cast<double>(cluster.query_stats().collector_reads) /
+                      static_cast<double>(cluster.query_stats().queries);
+  cluster.fail_collector(0);
+  r.success_one_failed = measure();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner(
+      "Ablation — §3.1 placement: single-collector vs spread copies",
+      "spreading copies buys resiliency to collector failure at the cost of "
+      "N-way query fan-out; DART's default keeps queries local");
+
+  const auto keys = bench::flag_u64(argc, argv, "keys", 8'000);
+
+  Table t({"collectors", "placement", "healthy success", "1 failed success",
+           "collector reads/query"});
+  for (const std::uint32_t c : {2u, 4u, 8u}) {
+    for (const auto mode :
+         {PlacementMode::kSingleCollector, PlacementMode::kSpreadCopies}) {
+      const auto r = run(mode, c, keys);
+      t.row({std::to_string(c),
+             mode == PlacementMode::kSingleCollector ? "single (paper)"
+                                                     : "spread",
+             fmt_percent(r.success_healthy, 2),
+             fmt_percent(r.success_one_failed, 2),
+             fmt_double(r.reads_per_query, 2)});
+    }
+  }
+  t.print(std::cout);
+
+  std::printf(
+      "\nTakeaway: with one of C collectors down, the single-collector\n"
+      "design loses ~1/C of keys outright; spread placement keeps nearly\n"
+      "everything queryable via the surviving copy — but every query now\n"
+      "contacts N collectors instead of one, which is precisely the\n"
+      "trade-off §3.1 calls out (and why the paper chooses locality).\n");
+  return 0;
+}

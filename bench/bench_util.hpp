@@ -1,0 +1,39 @@
+// Shared helpers for the bench binaries: minimal flag parsing and common
+// headers/footers so all figures print uniformly.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace dart::bench {
+
+// Parses "--name=value" style flags; returns fallback when absent.
+inline double flag_double(int argc, char** argv, const char* name,
+                          double fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atof(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+inline std::uint64_t flag_u64(int argc, char** argv, const char* name,
+                              std::uint64_t fallback) {
+  const double v = flag_double(argc, argv, name,
+                               static_cast<double>(fallback));
+  return static_cast<std::uint64_t>(v);
+}
+
+inline void banner(const char* experiment, const char* paper_claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("Paper: %s\n", paper_claim);
+  std::printf("================================================================\n");
+}
+
+}  // namespace dart::bench

@@ -1,0 +1,151 @@
+// Figure 1(b): CPU-cycle breakdown of telemetry collection — packet I/O vs
+// insertion into queryable storage — for the two stacks the paper measures:
+//
+//   sockets + Kafka      (socket-based packet I/O feeding a commit log)
+//   DPDK    + Confluo    (PMD burst I/O feeding an atomic multilog)
+//
+// We run our baseline implementations on a scaled report count (default 2M)
+// and extrapolate to the paper's 100M reports. Absolute cycles differ from
+// the authors' hardware/software; the claims we reproduce are the *shape*:
+//   - socket I/O  ≫  DPDK I/O            (paper: DPDK = 2.7% of sockets)
+//   - storage     ≫  packet I/O          (paper: Kafka = 11.5x socket I/O,
+//                                         Confluo = 114x DPDK I/O)
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "baseline/confluo_like.hpp"
+#include "baseline/dpdk_stack.hpp"
+#include "baseline/kafka_like.hpp"
+#include "baseline/report_gen.hpp"
+#include "baseline/socket_stack.hpp"
+#include "bench_util.hpp"
+#include "common/cycles.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+struct StackCycles {
+  double io_per_report = 0;
+  double storage_per_report = 0;
+};
+
+using namespace dart;
+using namespace dart::baseline;
+
+StackCycles run_socket_kafka(std::size_t packet_bytes, std::uint64_t reports) {
+  SocketStack sock(2048, 1 << 16);
+  KafkaLike kafka(KafkaLike::Config{});
+  ReportGenerator gen(ReportSpec{.packet_bytes = packet_bytes});
+
+  std::vector<std::byte> wire(packet_bytes);
+  std::vector<std::byte> user(2048);
+  std::uint64_t io_cycles = 0;
+  std::uint64_t storage_cycles = 0;
+
+  for (std::uint64_t i = 0; i < reports; ++i) {
+    gen.next(wire);
+    std::size_t n;
+    {
+      CycleTimer t(io_cycles);
+      (void)sock.kernel_receive(wire);
+      n = sock.user_receive(user);
+    }
+    {
+      CycleTimer t(storage_cycles);
+      const auto view = ReportGenerator::parse(std::span{user.data(), n});
+      std::array<std::byte, 8> key;
+      std::memcpy(key.data(), &view.flow_id, 8);
+      (void)kafka.produce(key, std::span{user.data(), n}, view.timestamp_ns);
+    }
+  }
+  return {static_cast<double>(io_cycles) / reports,
+          static_cast<double>(storage_cycles) / reports};
+}
+
+StackCycles run_dpdk_confluo(std::size_t packet_bytes, std::uint64_t reports) {
+  DpdkStack dpdk(4096);
+  ConfluoLike confluo(ConfluoLike::Config{});
+  ReportGenerator gen(ReportSpec{.packet_bytes = packet_bytes});
+
+  std::vector<std::byte> wire(packet_bytes);
+  std::array<Mbuf, 32> burst;
+  std::uint64_t io_cycles = 0;
+  std::uint64_t storage_cycles = 0;
+  std::uint64_t done = 0;
+  std::uint64_t fed = 0;
+
+  while (done < reports) {
+    while (fed - done < 2048 && fed < reports) {
+      gen.next(wire);
+      (void)dpdk.nic_enqueue(wire);
+      ++fed;
+    }
+    std::size_t n;
+    {
+      CycleTimer t(io_cycles);
+      n = dpdk.rx_burst(burst);
+    }
+    {
+      CycleTimer t(storage_cycles);
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::span<const std::byte> pkt{burst[i].data, burst[i].len};
+        const auto view = ReportGenerator::parse(pkt);
+        (void)confluo.append(pkt.subspan(kReportHeaderBytes), view.flow_id,
+                             view.switch_id, view.timestamp_ns);
+      }
+    }
+    done += n;
+  }
+  return {static_cast<double>(io_cycles) / reports,
+          static_cast<double>(storage_cycles) / reports};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner(
+      "Figure 1(b) — CPU cycles: packet I/O vs telemetry storage insert",
+      "sockets: 504G cycles/100M reports; Kafka adds 11.5x; DPDK I/O = 2.7% "
+      "of sockets; Confluo insert = 114x DPDK I/O");
+
+  const auto reports = bench::flag_u64(argc, argv, "reports", 2'000'000);
+  std::printf("Measuring %llu reports per stack (extrapolating to 100M)...\n",
+              static_cast<unsigned long long>(reports));
+
+  Table t({"stack", "pkt size", "I/O cyc/report", "storage cyc/report",
+           "storage/I/O ratio", "total cycles @100M"});
+  double socket_io_64 = 0, dpdk_io_64 = 0;
+  for (const std::size_t bytes : {std::size_t{64}, std::size_t{128}}) {
+    const auto sk = run_socket_kafka(bytes, reports);
+    if (bytes == 64) socket_io_64 = sk.io_per_report;
+    t.row({"sockets+Kafka", std::to_string(bytes) + "B",
+           fmt_double(sk.io_per_report, 0),
+           fmt_double(sk.storage_per_report, 0),
+           fmt_double(sk.storage_per_report / sk.io_per_report, 1) + "x",
+           fmt_sci((sk.io_per_report + sk.storage_per_report) * 100e6, 2)});
+
+    const auto dc = run_dpdk_confluo(bytes, reports);
+    if (bytes == 64) dpdk_io_64 = dc.io_per_report;
+    t.row({"DPDK+Confluo", std::to_string(bytes) + "B",
+           fmt_double(dc.io_per_report, 0),
+           fmt_double(dc.storage_per_report, 0),
+           fmt_double(dc.storage_per_report / dc.io_per_report, 1) + "x",
+           fmt_sci((dc.io_per_report + dc.storage_per_report) * 100e6, 2)});
+  }
+  t.print(std::cout);
+
+  std::printf(
+      "\nShape check vs paper: DPDK I/O is %.1f%% of socket I/O per report\n"
+      "(paper: 2.7%%), and in both stacks queryable-storage insertion costs a\n"
+      "large multiple of packet I/O — the collector bottleneck DART removes.\n",
+      100.0 * dpdk_io_64 / socket_io_64);
+  std::printf(
+      "DART's collector-side cost for the same reports: 0 CPU cycles (RNIC\n"
+      "writes directly to memory; see micro_datapath for RNIC-model rates).\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Figure 3: average query success rate vs collector load factor, for
+// redundancy N ∈ {1, 2, 4, 8}, with the optimal N marked per load interval
+// (the figure's background shading).
+//
+// Protocol (matches §5.1): write K = α·M distinct keys once each into an
+// M-slot store, query every key, count ground-truth-correct answers. Theory
+// overlay: the §4 average over ages. Crossover loads between N values are
+// printed exactly (by bisection on the closed form).
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/analysis.hpp"
+#include "core/oracle.hpp"
+#include "core/query.hpp"
+#include "core/store.hpp"
+
+namespace {
+
+using namespace dart;
+using namespace dart::core;
+
+double simulate_success(double alpha, std::uint32_t n, std::uint64_t n_slots,
+                        std::uint64_t seed) {
+  DartConfig cfg;
+  cfg.n_slots = n_slots;
+  cfg.n_addresses = n;
+  cfg.checksum_bits = 32;
+  cfg.value_bytes = 8;
+  cfg.master_seed = seed;
+  DartStore store(cfg);
+  Oracle oracle;
+
+  const auto keys = static_cast<std::uint64_t>(alpha * n_slots);
+  std::array<std::byte, 8> value{};
+  for (std::uint64_t i = 0; i < keys; ++i) {
+    std::memcpy(value.data(), &i, 8);
+    store.write(sim_key(i), value);
+    oracle.record(i, value);
+  }
+  const QueryEngine q(store);
+  for (std::uint64_t i = 0; i < keys; ++i) {
+    (void)oracle.classify(i, q.resolve(sim_key(i)));
+  }
+  return oracle.counts().success_rate();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner(
+      "Figure 3 — query success rate vs load factor and redundancy N",
+      "N>1 wins at low load; N=2 is a good general compromise; optimal N "
+      "shrinks as load grows");
+
+  const auto n_slots = bench::flag_u64(argc, argv, "slots", 1 << 18);
+  const std::vector<std::uint32_t> ns{1, 2, 4, 8};
+  const std::vector<double> alphas{0.0078125, 0.015625, 0.03125, 0.0625,
+                                   0.125,     0.25,     0.5,     1.0,
+                                   2.0,       4.0,      8.0};
+
+  Table t({"load α", "N=1 sim", "N=1 thr", "N=2 sim", "N=2 thr", "N=4 sim",
+           "N=4 thr", "N=8 sim", "N=8 thr", "best N"});
+  for (const double alpha : alphas) {
+    // Cap the work at high α by shrinking the table, keeping α exact.
+    const std::uint64_t slots =
+        alpha >= 2.0 ? std::max<std::uint64_t>(n_slots / 4, 1 << 14) : n_slots;
+    std::vector<std::string> row{fmt_double(alpha, 4)};
+    for (const auto n : ns) {
+      const double sim = simulate_success(alpha, n, slots, 0x516 + n);
+      const double thr = average_success_over_ages(
+          alpha * static_cast<double>(slots), static_cast<double>(slots), n);
+      row.push_back(fmt_percent(sim, 2));
+      row.push_back(fmt_percent(thr, 2));
+    }
+    row.push_back(std::to_string(optimal_n(alpha, 8)));
+    t.row(std::move(row));
+  }
+  t.print(std::cout);
+
+  std::printf("\nOptimal-N crossover loads (bisection on §4 closed forms):\n");
+  std::printf("  N=8 -> N=4 at α = %.4f\n", crossover_alpha(4, 8, 0.01, 1.0));
+  std::printf("  N=4 -> N=2 at α = %.4f\n", crossover_alpha(2, 4, 0.05, 1.0));
+  std::printf("  N=2 -> N=1 at α = %.4f\n", crossover_alpha(1, 2, 0.2, 1.0));
+  std::printf(
+      "\nShape check vs paper: higher N dominates at low load, N=1 wins past\n"
+      "α≈0.5, and N=2 tracks within a few points of best almost everywhere —\n"
+      "the paper's rationale for N=2 as the practical default (§5.1).\n");
+  return 0;
+}

@@ -1,0 +1,170 @@
+// Figure 4: telemetry data aging — INT 5-hop path-tracing queryability vs
+// report age at various storage sizes.
+//
+// Paper setting: 100M flows, 160-bit values + 32-bit checksums (24 B slots),
+// redundancy N=2, storage 3 GB…30 GB (i.e. 30…300 bytes per flow). We run
+// the identical experiment at a scaled flow count (default 2M — the math
+// depends only on bytes-per-flow, i.e. the load factor α = 24·flows/storage)
+// and report queryability per age decile, for the oldest reports, and on
+// average, against the §4 theory. `--flows=100000000` reproduces full scale
+// given ~128 GB of RAM.
+//
+// Values are real INT path encodings: each key's value is the 5-hop fat-tree
+// path of a generated flow, and a "correct" query must decode back the exact
+// switch sequence.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/hash.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/analysis.hpp"
+#include "core/query.hpp"
+#include "core/store.hpp"
+#include "switchsim/topology.hpp"
+#include "telemetry/int_path.hpp"
+#include "telemetry/workload.hpp"
+
+namespace {
+
+using namespace dart;
+using namespace dart::core;
+using namespace dart::telemetry;
+
+struct AgingResult {
+  std::vector<double> decile_success;  // index 0 = oldest 10%
+  double oldest_2pct = 0;
+  double average = 0;
+};
+
+// The flow's INT value: its 5-hop (or shorter) path, encoded as the sink
+// switch would encode it.
+std::vector<std::byte> path_value(const switchsim::FatTree& topo,
+                                  const FlowEndpoints& flow,
+                                  std::uint32_t value_bytes) {
+  const auto key = flow.tuple.key_bytes();
+  const auto path =
+      topo.path(flow.src_host, flow.dst_host, xxhash64(key, 0xECB9));
+  IntStack stack;
+  for (const auto sw : path) stack.push_hop({.switch_id = sw + 1});
+  auto v = stack.encode_value(value_bytes);
+  return v ? *v : std::vector<std::byte>(value_bytes, std::byte{0});
+}
+
+AgingResult run(std::uint64_t flows, double bytes_per_flow,
+                std::uint32_t n_addresses) {
+  DartConfig cfg;
+  cfg.value_bytes = 20;  // 160-bit INT value
+  cfg.checksum_bits = 32;
+  cfg.n_addresses = n_addresses;
+  cfg.n_slots = static_cast<std::uint64_t>(
+      static_cast<double>(flows) * bytes_per_flow / cfg.slot_bytes());
+  cfg.master_seed = 0xF16'4;
+
+  DartStore store(cfg);
+  const switchsim::FatTree topo(16);
+  const FlowGenerator gen(topo, 0);
+
+  // Write every flow's path once, in age order (flow i is the i-th oldest).
+  for (std::uint64_t i = 0; i < flows; ++i) {
+    const auto flow = gen.flow_at(i);
+    const auto key = flow.tuple.key_bytes();
+    store.write(key, path_value(topo, flow, cfg.value_bytes));
+  }
+
+  // Query a sample per decile (sampling keeps full-scale runs tractable).
+  const QueryEngine q(store);
+  const std::uint64_t sample_per_decile = std::min<std::uint64_t>(
+      flows / 10, 200'000);
+  AgingResult result;
+  TrialCounter overall;
+  for (int decile = 0; decile < 10; ++decile) {
+    TrialCounter counter;
+    const std::uint64_t base = flows / 10 * decile;
+    const std::uint64_t step = std::max<std::uint64_t>(
+        1, (flows / 10) / sample_per_decile);
+    for (std::uint64_t i = base; i < base + flows / 10; i += step) {
+      const auto flow = gen.flow_at(i);
+      const auto key = flow.tuple.key_bytes();
+      const auto want = path_value(topo, flow, cfg.value_bytes);
+      const auto r = q.resolve(key);
+      const bool ok =
+          r.outcome == QueryOutcome::kFound && r.value == want;
+      counter.record(ok);
+      overall.record(ok);
+    }
+    result.decile_success.push_back(counter.rate());
+  }
+  // Oldest 2%.
+  {
+    TrialCounter counter;
+    const std::uint64_t step =
+        std::max<std::uint64_t>(1, (flows / 50) / sample_per_decile);
+    for (std::uint64_t i = 0; i < flows / 50; i += step) {
+      const auto flow = gen.flow_at(i);
+      const auto r = q.resolve(flow.tuple.key_bytes());
+      counter.record(r.outcome == QueryOutcome::kFound &&
+                     r.value == path_value(topo, flow, 20));
+    }
+    result.oldest_2pct = counter.rate();
+  }
+  result.average = overall.rate();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner(
+      "Figure 4 — data aging: INT path queryability vs report age & storage",
+      "100M flows, 24B slots, N=2: 30B/flow → 71.4% avg / 39.0% oldest "
+      "(theory 38.7%); 300B/flow → 99.3% avg; N=4 → 99.9%");
+
+  const auto flows = bench::flag_u64(argc, argv, "flows", 1'000'000);
+  std::printf("Scaled run: %s flows (paper: 100M; load factors identical — "
+              "pass --flows=100000000 for full scale).\n",
+              format_count(static_cast<double>(flows)).c_str());
+
+  const std::vector<double> bytes_per_flow{30, 60, 120, 300};
+
+  Table t({"storage (100M-flow equiv)", "B/flow", "N", "oldest 2%",
+           "oldest 2% theory", "average", "avg theory"});
+  for (const double bpf : bytes_per_flow) {
+    for (const std::uint32_t n : {2u, 4u}) {
+      const auto r = run(flows, bpf, n);
+      const double slots = static_cast<double>(flows) * bpf / 24.0;
+      t.row({format_bytes(bpf * 100e6), fmt_double(bpf, 0),
+             std::to_string(n), fmt_percent(r.oldest_2pct, 1),
+             fmt_percent(oldest_success(static_cast<double>(flows), slots, n), 1),
+             fmt_percent(r.average, 1),
+             fmt_percent(average_success_over_ages(static_cast<double>(flows),
+                                                   slots, n),
+                         1)});
+    }
+  }
+  t.print(std::cout);
+
+  // Age-decile series for the paper's two highlighted sizes at N=2.
+  std::printf("\nQueryability by report age (decile 1 = oldest), N=2:\n");
+  Table ages({"B/flow", "d1", "d2", "d3", "d4", "d5", "d6", "d7", "d8", "d9",
+              "d10"});
+  for (const double bpf : {30.0, 300.0}) {
+    const auto r = run(flows, bpf, 2);
+    std::vector<std::string> row{fmt_double(bpf, 0)};
+    for (const double d : r.decile_success) row.push_back(fmt_percent(d, 1));
+    ages.row(std::move(row));
+  }
+  ages.print(std::cout);
+
+  std::printf(
+      "\nShape check vs paper: 30B/flow shows steep aging toward ~39%% for\n"
+      "the oldest reports and ~71%% on average; 300B/flow holds ~99%%; N=4 at\n"
+      "300B/flow reaches ~99.9%% — and tracked flows scale linearly with\n"
+      "storage (each row's α, and thus its success curve, is storage/flows).\n");
+  return 0;
+}

@@ -1,0 +1,221 @@
+// Microbenchmarks (google-benchmark) of every stage of the DART data path:
+//
+//   switch side:    hash/address computation, full RoCEv2 report crafting
+//   collector side: RNIC frame validation + DMA (with/without iCRC),
+//                   raw store writes, queries under each return policy
+//   baselines:      socket-path and PMD-path per-report I/O for comparison
+//
+// These rates back §2's argument: the RNIC-model ingest path (parse +
+// validate + memcpy) runs at tens of millions of ops/s per core, while a
+// CPU collector must *additionally* pay the storage-insert cost Fig. 1b
+// measures.
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+#include "baseline/dpdk_stack.hpp"
+#include "baseline/report_gen.hpp"
+#include "baseline/socket_stack.hpp"
+#include "core/collector.hpp"
+#include "core/oracle.hpp"
+#include "core/query.hpp"
+#include "core/report_crafter.hpp"
+#include "core/coding.hpp"
+#include "core/store.hpp"
+#include "switchsim/dart_switch.hpp"
+#include "telemetry/event_detect.hpp"
+
+namespace {
+
+using namespace dart;
+using namespace dart::core;
+
+DartConfig config() {
+  DartConfig cfg;
+  cfg.n_slots = 1 << 20;
+  cfg.n_addresses = 2;
+  cfg.checksum_bits = 32;
+  cfg.value_bytes = 20;
+  cfg.master_seed = 0xB12C;
+  return cfg;
+}
+
+CollectorEndpoint endpoint() {
+  return {{2, 0, 0, 0, 0, 1}, net::Ipv4Addr::from_octets(10, 0, 100, 1)};
+}
+
+void BM_HashAddressing(benchmark::State& state) {
+  const HashFamily family(2, 0xB12C);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const auto key = sim_key(i++);
+    benchmark::DoNotOptimize(family.address_of(key, 0, 1 << 20));
+    benchmark::DoNotOptimize(family.address_of(key, 1, 1 << 20));
+    benchmark::DoNotOptimize(family.checksum_of(key, 32));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashAddressing);
+
+void BM_StoreWrite(benchmark::State& state) {
+  DartStore store(config());
+  std::array<std::byte, 20> value{};
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    store.write(sim_key(i++), value);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StoreWrite);
+
+void BM_SwitchCraftReport(benchmark::State& state) {
+  Collector collector(config(), 0, endpoint());
+  switchsim::DartSwitchPipeline::Config sc;
+  sc.dart = config();
+  sc.write_mode = WriteMode::kStochastic;
+  switchsim::DartSwitchPipeline sw(sc);
+  sw.load_collector(collector.remote_info());
+
+  std::array<std::byte, 20> value{};
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const auto key = sim_key(i++);
+    benchmark::DoNotOptimize(sw.on_telemetry(key, value));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SwitchCraftReport);
+
+// RNIC ingest: the zero-CPU path's per-report cost (which in deployment is
+// paid by NIC silicon, not the host CPU).
+void BM_RnicIngest(benchmark::State& state) {
+  const bool validate_icrc = state.range(0) != 0;
+  Collector collector(config(), 0, endpoint());
+  collector.rnic().set_validate_icrc(validate_icrc);
+
+  // Pre-craft a pool of distinct report frames.
+  const ReportCrafter crafter(config());
+  ReporterEndpoint src;
+  src.ip = net::Ipv4Addr::from_octets(10, 255, 0, 1);
+  std::vector<std::vector<std::byte>> frames;
+  std::array<std::byte, 20> value{};
+  for (std::uint64_t i = 0; i < 4096; ++i) {
+    frames.push_back(crafter.craft_write(collector.remote_info(), src,
+                                         sim_key(i), value,
+                                         static_cast<std::uint32_t>(i % 2),
+                                         static_cast<std::uint32_t>(i)));
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        collector.rnic().process_frame(frames[i++ & 4095]));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(validate_icrc ? "icrc=on" : "icrc=off");
+}
+BENCHMARK(BM_RnicIngest)->Arg(1)->Arg(0);
+
+void BM_Query(benchmark::State& state) {
+  const auto policy = static_cast<ReturnPolicy>(state.range(0));
+  DartStore store(config());
+  std::array<std::byte, 20> value{};
+  constexpr std::uint64_t kKeys = 1 << 18;
+  for (std::uint64_t i = 0; i < kKeys; ++i) store.write(sim_key(i), value);
+  const QueryEngine q(store, policy);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.resolve(sim_key(i++ & (kKeys - 1))));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(to_string(policy));
+}
+BENCHMARK(BM_Query)
+    ->Arg(static_cast<int>(ReturnPolicy::kFirstMatch))
+    ->Arg(static_cast<int>(ReturnPolicy::kPlurality))
+    ->Arg(static_cast<int>(ReturnPolicy::kConsensusTwo));
+
+// Baseline I/O paths for the §2 comparison.
+void BM_SocketPathPerReport(benchmark::State& state) {
+  baseline::SocketStack sock(2048, 1 << 16);
+  baseline::ReportGenerator gen(baseline::ReportSpec{.packet_bytes = 64});
+  std::vector<std::byte> wire(64);
+  std::vector<std::byte> user(2048);
+  gen.next(wire);
+  for (auto _ : state) {
+    (void)sock.kernel_receive(wire);
+    benchmark::DoNotOptimize(sock.user_receive(user));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SocketPathPerReport);
+
+void BM_DpdkPathPerReport(benchmark::State& state) {
+  baseline::DpdkStack dpdk(1024);
+  baseline::ReportGenerator gen(baseline::ReportSpec{.packet_bytes = 64});
+  std::vector<std::byte> wire(64);
+  gen.next(wire);
+  std::array<baseline::Mbuf, 32> burst;
+  for (auto _ : state) {
+    (void)dpdk.nic_enqueue(wire);
+    if (dpdk.pending() >= 32) {
+      benchmark::DoNotOptimize(dpdk.rx_burst(burst));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DpdkPathPerReport);
+
+// §7 DTA multiwrite: one frame, N DMAs.
+void BM_RnicMultiwriteIngest(benchmark::State& state) {
+  Collector collector(config(), 0, endpoint());
+  collector.rnic().set_dta_multiwrite(true);
+  const ReportCrafter crafter(config());
+  ReporterEndpoint src;
+  std::vector<std::vector<std::byte>> frames;
+  std::array<std::byte, 20> value{};
+  for (std::uint64_t i = 0; i < 4096; ++i) {
+    frames.push_back(crafter.craft_multiwrite(
+        collector.remote_info(), src, sim_key(i), value,
+        static_cast<std::uint32_t>(i)));
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        collector.rnic().process_frame(frames[i++ & 4095]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RnicMultiwriteIngest);
+
+// §4 coding-theory slot hardening: write+query with mask + per-location csum.
+void BM_CodedStoreQuery(benchmark::State& state) {
+  CodedStore store(config(), {});
+  std::array<std::byte, 20> value{};
+  constexpr std::uint64_t kKeys = 1 << 16;
+  for (std::uint64_t i = 0; i < kKeys; ++i) store.write(sim_key(i), value);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.query(sim_key(i++ & (kKeys - 1))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CodedStoreQuery);
+
+// §2 event detector: per-packet filtering cost at the switch.
+void BM_ChangeDetectorObserve(benchmark::State& state) {
+  telemetry::ChangeDetector detector(
+      {.table_size = 1 << 16, .threshold = 8});
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const auto key = sim_key(i & 0xFFF);  // 4K-flow working set
+    benchmark::DoNotOptimize(
+        detector.observe(key, static_cast<std::uint32_t>(i >> 6), i));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChangeDetectorObserve);
+
+}  // namespace

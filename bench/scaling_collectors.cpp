@@ -1,0 +1,120 @@
+// Scale-out: aggregate ingest throughput vs collector count.
+//
+// DART's scalability story (§1, §3): collection capacity grows by adding
+// collectors, because switches shard keys across them statelessly and no
+// collector ever coordinates with another. Here C collectors ingest
+// pre-crafted RoCEv2 report frames on C independent threads (each RNIC and
+// its memory are private — exactly the shared-nothing property the design
+// guarantees), and we report aggregate frames/s versus C.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/cluster.hpp"
+#include "core/oracle.hpp"
+#include "core/report_crafter.hpp"
+
+namespace {
+
+using namespace dart;
+using namespace dart::core;
+
+DartConfig config() {
+  DartConfig cfg;
+  cfg.n_slots = 1 << 16;
+  cfg.n_addresses = 2;
+  cfg.value_bytes = 20;
+  cfg.master_seed = 0x5CA1E;
+  return cfg;
+}
+
+double run(std::uint32_t n_collectors, std::uint64_t frames_per_collector) {
+  CollectorCluster cluster(config(), n_collectors);
+  const ReportCrafter crafter(config());
+  ReporterEndpoint src;
+  src.ip = net::Ipv4Addr::from_octets(10, 255, 0, 1);
+
+  // Pre-craft per-collector frame pools (keys owned by that collector).
+  std::vector<std::vector<std::vector<std::byte>>> pools(n_collectors);
+  std::uint64_t key_id = 0;
+  std::array<std::byte, 20> value{};
+  for (std::uint32_t c = 0; c < n_collectors; ++c) {
+    auto& pool = pools[c];
+    while (pool.size() < 2048) {
+      const auto key = sim_key(key_id++);
+      if (crafter.collector_of(key, n_collectors) != c) continue;
+      pool.push_back(crafter.craft_write(cluster.directory()[c], src, key,
+                                         value, 0,
+                                         static_cast<std::uint32_t>(pool.size())));
+    }
+  }
+
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(n_collectors);
+  for (std::uint32_t c = 0; c < n_collectors; ++c) {
+    threads.emplace_back([&, c] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      auto& rnic = cluster.collector(c).rnic();
+      const auto& pool = pools[c];
+      for (std::uint64_t i = 0; i < frames_per_collector; ++i) {
+        (void)rnic.process_frame(pool[i & 2047]);
+      }
+    });
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return static_cast<double>(frames_per_collector) * n_collectors / seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner(
+      "Scale-out — aggregate report ingest vs collector count",
+      "stateless sharding + shared-nothing collectors: capacity grows with "
+      "the pool, no coordination (§1, §3)");
+
+  const auto frames = bench::flag_u64(argc, argv, "frames", 400'000);
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("hardware threads available: %u\n", hw);
+
+  Table t({"collectors", "aggregate frames/s", "speedup vs 1"});
+  double base = 0;
+  for (const std::uint32_t c : {1u, 2u, 4u, 8u}) {
+    const double rate = run(c, frames);
+    if (c == 1) base = rate;
+    t.row({std::to_string(c), format_count(rate) + "/s",
+           fmt_double(rate / base, 2) + "x"});
+  }
+  t.print(std::cout);
+
+  if (hw <= 1) {
+    std::printf(
+        "\nNOTE: this host exposes a single hardware thread, so the aggregate\n"
+        "rate is flat by construction (C threads share one core). The bench\n"
+        "still demonstrates the architectural property: C collectors ingest\n"
+        "with zero cross-collector coordination or shared state, so on C\n"
+        "machines the aggregate is C times a single collector's rate.\n");
+  } else {
+    std::printf(
+        "\nTakeaway: ingest scales with the collector pool until the host\n"
+        "runs out of cores (this box has %u) — in deployment each collector\n"
+        "is its own machine and the NIC, not a core, does this work.\n",
+        hw);
+  }
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Flow-anomaly monitoring (Table 1, row 5 — the FET/"flow event telemetry"
+// use case [56]). Switches detect per-flow anomalies (retransmission bursts,
+// RTT spikes, drop runs) with event-triggered reporting, and push each event
+// into DART keyed by (5-tuple, anomaly id). The NOC then asks: "what
+// happened to this flow recently?" — one query per anomaly kind, no log
+// scanning, no collector CPU on the ingest path.
+//
+// Build & run:  ./build/examples/flow_anomaly_monitor
+#include <cstdio>
+#include <vector>
+
+#include "common/random.hpp"
+#include "core/cluster.hpp"
+#include "switchsim/dart_switch.hpp"
+#include "switchsim/topology.hpp"
+#include "telemetry/backends.hpp"
+#include "telemetry/workload.hpp"
+
+int main() {
+  using namespace dart;
+  using namespace dart::telemetry;
+
+  core::DartConfig config;
+  config.n_slots = 1 << 16;
+  config.n_addresses = 2;
+  config.value_bytes = 16;  // timestamp(8) + magnitude(4) + pad
+  config.master_seed = 0xA110;
+
+  core::CollectorCluster cluster(config, 2);
+
+  switchsim::DartSwitchPipeline::Config sc;
+  sc.dart = config;
+  sc.write_mode = core::WriteMode::kAllSlots;
+  switchsim::DartSwitchPipeline edge_switch(sc);
+  for (const auto& row : cluster.directory()) edge_switch.load_collector(row);
+
+  // A population of monitored flows with Zipf popularity (heavy hitters
+  // anomalize more often, as in production traces).
+  const switchsim::FatTree topo(8);
+  FlowSampler sampler(topo, /*population=*/5'000, /*zipf=*/1.1, 42);
+  Xoshiro256 rng(7);
+
+  constexpr AnomalyKind kKinds[] = {
+      AnomalyKind::kRetransmissionBurst, AnomalyKind::kRttSpike,
+      AnomalyKind::kPacketDropRun, AnomalyKind::kPathChange};
+
+  // Simulate an hour of event-triggered detections (latest event wins per
+  // (flow, kind) — exactly the KV overwrite semantics DART provides).
+  std::uint64_t now_ns = 0;
+  int events = 0;
+  for (int tick = 0; tick < 50'000; ++tick) {
+    now_ns += 1 + rng.below(100'000);
+    const auto& flow = sampler.sample();
+    FlowAnomalyEvent event;
+    event.flow = flow.tuple;
+    event.kind = kKinds[rng.below(4)];
+    event.timestamp_ns = now_ns;
+    event.magnitude = 1 + static_cast<std::uint32_t>(rng.below(500));
+    const auto record = make_anomaly_record(event, config.value_bytes);
+    for (const auto& frame :
+         edge_switch.on_telemetry(record.key, record.value)) {
+      (void)cluster
+          .collector(cluster.owner_of(record.key))
+          .rnic()
+          .process_frame(frame);
+    }
+    ++events;
+  }
+  std::printf("Ingested %d anomaly events for %zu flows across %u collectors "
+              "(collector CPU writes: 0).\n",
+              events, sampler.population(), cluster.size());
+
+  // NOC investigation: check a heavy flow for each anomaly kind.
+  const auto& suspect = sampler.flow(0);  // rank-1 flow
+  std::printf("\nAnomaly record for heavy flow %s:\n",
+              suspect.tuple.str().c_str());
+  for (const auto kind : kKinds) {
+    const auto key = anomaly_key(suspect.tuple, kind);
+    const auto result = cluster.query(key);
+    const char* names[] = {"", "retransmission-burst", "rtt-spike",
+                           "packet-drop-run", "path-change"};
+    if (result.outcome == core::QueryOutcome::kFound) {
+      const auto data = decode_anomaly_value(result.value);
+      std::printf("  %-21s last seen t=%.3f s, magnitude %u\n",
+                  names[static_cast<int>(kind)],
+                  static_cast<double>(data.timestamp_ns) / 1e9,
+                  data.magnitude);
+    } else {
+      std::printf("  %-21s no recent event (empty return)\n",
+                  names[static_cast<int>(kind)]);
+    }
+  }
+
+  // Cold flows mostly have no events — empty returns are the expected
+  // answer, not a failure.
+  int cold_hits = 0;
+  for (std::size_t r = sampler.population() - 500; r < sampler.population();
+       ++r) {
+    const auto key =
+        anomaly_key(sampler.flow(r).tuple, AnomalyKind::kRttSpike);
+    if (cluster.query(key).outcome == core::QueryOutcome::kFound) ++cold_hits;
+  }
+  std::printf("\nColdest 500 flows with an rtt-spike record: %d "
+              "(heavy tail confirmed).\n",
+              cold_hits);
+  return 0;
+}

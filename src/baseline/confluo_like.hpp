@@ -1,0 +1,71 @@
+// ConfluoLike — an atomic-multilog telemetry store in the style of Confluo
+// (NSDI'19), the storage half of Fig. 1b's DPDK-based baseline.
+//
+// Confluo ingests a telemetry record by (1) appending its raw bytes to an
+// append-only data log and (2) inserting the record's offset into one index
+// per indexed attribute, so that the data is immediately *queryable* — the
+// property the paper contrasts with pure packet I/O ("the actual insertion
+// of the telemetry data into queryable storage … requires an astounding
+// 114x as many CPU cycles as the costly packet I/O"). This model indexes
+// three attributes of each report (flow id, switch id, timestamp bucket)
+// with hash indexes of offset posting lists; queries read the postings and
+// materialize records from the log.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace dart::baseline {
+
+struct ConfluoStats {
+  std::uint64_t records = 0;
+  std::uint64_t log_bytes = 0;
+  std::uint64_t index_inserts = 0;
+};
+
+class ConfluoLike {
+ public:
+  struct Config {
+    std::size_t log_capacity_bytes = 256 << 20;
+    std::uint64_t time_bucket_ns = 1'000'000;  // 1 ms index granularity
+  };
+
+  explicit ConfluoLike(const Config& config);
+
+  // Appends one report (its full data section) and indexes it. Returns the
+  // record's log offset.
+  std::uint64_t append(std::span<const std::byte> record,
+                       std::uint64_t flow_id, std::uint32_t switch_id,
+                       std::uint64_t timestamp_ns);
+
+  // Point lookups over the attribute indexes (offset posting lists).
+  [[nodiscard]] std::span<const std::uint64_t> offsets_for_flow(
+      std::uint64_t flow_id) const;
+  [[nodiscard]] std::span<const std::uint64_t> offsets_for_switch(
+      std::uint32_t switch_id) const;
+  [[nodiscard]] std::span<const std::uint64_t> offsets_for_time_bucket(
+      std::uint64_t timestamp_ns) const;
+
+  // Materializes the record at `offset` (view into the log).
+  [[nodiscard]] std::span<const std::byte> read(std::uint64_t offset,
+                                                std::size_t len) const;
+
+  [[nodiscard]] const ConfluoStats& stats() const noexcept { return stats_; }
+
+ private:
+  using PostingIndex = std::unordered_map<std::uint64_t, std::vector<std::uint64_t>>;
+
+  [[nodiscard]] static std::span<const std::uint64_t> postings(
+      const PostingIndex& index, std::uint64_t key);
+
+  Config config_;
+  std::vector<std::byte> log_;
+  PostingIndex flow_index_;
+  PostingIndex switch_index_;
+  PostingIndex time_index_;
+  ConfluoStats stats_;
+};
+
+}  // namespace dart::baseline

@@ -1,0 +1,19 @@
+#include "baseline/cost_model.hpp"
+
+#include <cmath>
+
+namespace dart::baseline {
+
+double CollectionCostModel::io_cores(double n_switches,
+                                     std::size_t packet_bytes) const noexcept {
+  const double pps = n_switches * reports_per_switch_per_sec * sampling;
+  return std::ceil(pps / per_core.pps_for(packet_bytes));
+}
+
+double CollectionCostModel::total_cores(double n_switches,
+                                        std::size_t packet_bytes,
+                                        double storage_io_ratio) const noexcept {
+  return io_cores(n_switches, packet_bytes) * (1.0 + storage_io_ratio);
+}
+
+}  // namespace dart::baseline

@@ -1,0 +1,45 @@
+#include "baseline/dpdk_stack.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace dart::baseline {
+
+DpdkStack::DpdkStack(std::size_t ring_slots, std::size_t mbuf_size)
+    : ring_slots_(ring_slots),
+      mbuf_size_(mbuf_size),
+      mbuf_pool_(ring_slots * mbuf_size),
+      lengths_(ring_slots, 0) {
+  assert((ring_slots & (ring_slots - 1)) == 0 && "ring size must be 2^k");
+}
+
+bool DpdkStack::nic_enqueue(std::span<const std::byte> wire_packet) {
+  assert(wire_packet.size() <= mbuf_size_);
+  if (head_ - tail_ >= ring_slots_) {
+    ++stats_.ring_full_drops;
+    return false;
+  }
+  const std::size_t slot = head_ & (ring_slots_ - 1);
+  std::memcpy(mbuf_pool_.data() + slot * mbuf_size_, wire_packet.data(),
+              wire_packet.size());
+  lengths_[slot] = static_cast<std::uint32_t>(wire_packet.size());
+  ++head_;
+  ++stats_.enqueued;
+  return true;
+}
+
+std::size_t DpdkStack::rx_burst(std::span<Mbuf> out) {
+  ++stats_.polled_bursts;
+  std::size_t n = 0;
+  while (n < out.size() && tail_ < head_) {
+    const std::size_t slot = tail_ & (ring_slots_ - 1);
+    out[n].data = mbuf_pool_.data() + slot * mbuf_size_;
+    out[n].len = lengths_[slot];
+    ++tail_;
+    ++n;
+  }
+  stats_.received += n;
+  return n;
+}
+
+}  // namespace dart::baseline

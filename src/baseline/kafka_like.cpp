@@ -1,0 +1,66 @@
+#include "baseline/kafka_like.hpp"
+
+#include <cstring>
+
+#include "common/hash.hpp"
+
+namespace dart::baseline {
+
+KafkaLike::KafkaLike(const Config& config)
+    : config_(config), partitions_(config.n_partitions) {
+  for (auto& p : partitions_) {
+    p.segment.reserve(config_.segment_bytes);
+    if (config_.replicas > 0) p.replica_segment.reserve(config_.segment_bytes);
+  }
+}
+
+std::uint64_t KafkaLike::produce(std::span<const std::byte> key,
+                                 std::span<const std::byte> payload,
+                                 std::uint64_t timestamp_ns) {
+  // Partition by key hash (Kafka's default partitioner).
+  const auto part = static_cast<std::uint32_t>(
+      xxhash64(key, 0x6B61'666Bull) % partitions_.size());
+  Partition& p = partitions_[part];
+
+  // Segment roll.
+  if (p.segment.size() + 16 + payload.size() > config_.segment_bytes) {
+    p.segment.clear();           // "closed" segment handed to retention
+    p.replica_segment.clear();
+    p.index.clear();
+    ++stats_.segments_rolled;
+  }
+
+  // Record framing: [len:4][crc:4][timestamp:8][payload]. CRC over the
+  // payload, as Kafka's record batches carry.
+  const std::uint64_t record_pos = p.segment.size();
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t crc = crc32(payload);
+
+  auto append_frame = [&](std::vector<std::byte>& seg) {
+    const std::size_t base = seg.size();
+    seg.resize(base + 16 + payload.size());
+    std::memcpy(seg.data() + base, &len, 4);
+    std::memcpy(seg.data() + base + 4, &crc, 4);
+    std::memcpy(seg.data() + base + 8, &timestamp_ns, 8);
+    std::memcpy(seg.data() + base + 16, payload.data(), payload.size());
+    stats_.bytes_appended += 16 + payload.size();
+  };
+
+  append_frame(p.segment);
+  for (std::uint32_t r = 0; r < config_.replicas; ++r) {
+    append_frame(p.replica_segment);
+  }
+
+  // Sparse offset index.
+  const std::uint64_t offset = p.next_offset++;
+  if (++p.records_since_index >= config_.index_interval) {
+    p.index.emplace_back(offset, record_pos);
+    p.records_since_index = 0;
+    ++stats_.index_entries;
+  }
+
+  ++stats_.records;
+  return offset;
+}
+
+}  // namespace dart::baseline

@@ -1,0 +1,67 @@
+#include "baseline/report_gen.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace dart::baseline {
+
+namespace {
+
+// Data-section layout (after the 28 header bytes):
+//   [0..8)   flow id        (little-endian)
+//   [8..12)  switch id
+//   [12..20) timestamp ns
+//   [20..)   opaque measurement bytes
+constexpr std::size_t kFlowOff = 0;
+constexpr std::size_t kSwitchOff = 8;
+constexpr std::size_t kTimeOff = 12;
+constexpr std::size_t kMeasureOff = 20;
+
+template <typename T>
+void put(std::span<std::byte> out, std::size_t off, T v) {
+  std::memcpy(out.data() + off, &v, sizeof(T));
+}
+
+template <typename T>
+[[nodiscard]] T get(std::span<const std::byte> in, std::size_t off) {
+  T v;
+  std::memcpy(&v, in.data() + off, sizeof(T));
+  return v;
+}
+
+}  // namespace
+
+ReportGenerator::ReportGenerator(const ReportSpec& spec)
+    : spec_(spec), rng_(spec.seed) {
+  assert(spec.packet_bytes >= kReportHeaderBytes + kMeasureOff);
+}
+
+void ReportGenerator::next(std::span<std::byte> out) {
+  assert(out.size() == spec_.packet_bytes);
+  // Header bytes: plausible but constant (the baselines only look at the
+  // data section; parsing cost is modeled by the I/O stacks themselves).
+  std::memset(out.data(), 0x45, kReportHeaderBytes);
+
+  auto data = out.subspan(kReportHeaderBytes);
+  t_ns_ += 1 + rng_.below(1000);
+  put(data, kFlowOff, rng_.below(spec_.n_flows));
+  put(data, kSwitchOff, static_cast<std::uint32_t>(rng_.below(spec_.n_switches)));
+  put(data, kTimeOff, t_ns_);
+  // Opaque measurements: fill with generator noise.
+  for (std::size_t i = kMeasureOff; i < data.size(); i += 8) {
+    const std::uint64_t v = rng_();
+    std::memcpy(data.data() + i, &v, std::min<std::size_t>(8, data.size() - i));
+  }
+}
+
+ReportView ReportGenerator::parse(std::span<const std::byte> packet) {
+  ReportView view;
+  const auto data = packet.subspan(kReportHeaderBytes);
+  view.flow_id = get<std::uint64_t>(data, kFlowOff);
+  view.switch_id = get<std::uint32_t>(data, kSwitchOff);
+  view.timestamp_ns = get<std::uint64_t>(data, kTimeOff);
+  view.measurements = data.subspan(kMeasureOff);
+  return view;
+}
+
+}  // namespace dart::baseline

@@ -1,0 +1,59 @@
+// Telemetry report generator for the Fig. 1b baseline measurements.
+//
+// The paper: "We uniformly generate two different report types that are 64
+// and 128 bytes. A 64 or 128 bytes report would consist of 36 bytes and 100
+// bytes of report data (without 28 bytes of header)." We reproduce exactly
+// that framing: 28 header bytes (IPv4 20 + UDP 8) + report data, with the
+// data carrying a telemetry key (flow id, switch id) and opaque measurements
+// so the storage baselines have realistic fields to index.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/random.hpp"
+
+namespace dart::baseline {
+
+inline constexpr std::size_t kReportHeaderBytes = 28;  // IPv4 + UDP
+
+struct ReportSpec {
+  std::size_t packet_bytes = 64;  // 64 → 36B data, 128 → 100B data
+  std::uint64_t n_flows = 1 << 20;
+  std::uint64_t n_switches = 10000;
+  std::uint64_t seed = 42;
+};
+
+// Parsed view of a report's data section.
+struct ReportView {
+  std::uint64_t flow_id = 0;
+  std::uint32_t switch_id = 0;
+  std::uint64_t timestamp_ns = 0;
+  std::span<const std::byte> measurements;  // remainder of the data section
+};
+
+class ReportGenerator {
+ public:
+  explicit ReportGenerator(const ReportSpec& spec);
+
+  [[nodiscard]] std::size_t packet_bytes() const noexcept {
+    return spec_.packet_bytes;
+  }
+  [[nodiscard]] std::size_t data_bytes() const noexcept {
+    return spec_.packet_bytes - kReportHeaderBytes;
+  }
+
+  // Writes the next report packet into `out` (exactly packet_bytes long).
+  void next(std::span<std::byte> out);
+
+  // Parses the data section of a generated packet.
+  [[nodiscard]] static ReportView parse(std::span<const std::byte> packet);
+
+ private:
+  ReportSpec spec_;
+  Xoshiro256 rng_;
+  std::uint64_t t_ns_ = 0;
+};
+
+}  // namespace dart::baseline

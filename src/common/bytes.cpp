@@ -1,0 +1,20 @@
+#include "common/bytes.hpp"
+
+namespace dart {
+
+std::string hex_dump(std::span<const std::byte> data, std::size_t max_bytes) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  const std::size_t n = std::min(data.size(), max_bytes);
+  out.reserve(n * 3);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto b = static_cast<std::uint8_t>(data[i]);
+    if (i != 0) out.push_back(' ');
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xF]);
+  }
+  if (data.size() > max_bytes) out += " ...";
+  return out;
+}
+
+}  // namespace dart

@@ -1,0 +1,49 @@
+#include "common/cycles.hpp"
+
+#include <chrono>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#endif
+
+namespace dart {
+
+std::uint64_t rdtsc() noexcept {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __rdtsc();
+#elif defined(__aarch64__)
+  std::uint64_t v;
+  asm volatile("mrs %0, cntvct_el0" : "=r"(v));
+  return v;
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+namespace {
+
+double measure_tsc_ghz() {
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  const std::uint64_t c0 = rdtsc();
+  // Spin ~20ms — enough for a stable estimate, cheap enough for process init.
+  while (std::chrono::duration_cast<std::chrono::microseconds>(clock::now() -
+                                                               t0)
+             .count() < 20000) {
+  }
+  const std::uint64_t c1 = rdtsc();
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      clock::now() - t0)
+                      .count();
+  return ns > 0 ? static_cast<double>(c1 - c0) / static_cast<double>(ns) : 1.0;
+}
+
+}  // namespace
+
+double tsc_ghz() noexcept {
+  static const double ghz = measure_tsc_ghz();
+  return ghz;
+}
+
+}  // namespace dart

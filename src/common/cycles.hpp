@@ -1,0 +1,35 @@
+// CPU cycle accounting for the Fig. 1b baseline measurements.
+//
+// Fig. 1b of the paper reports *CPU cycles* spent on packet I/O vs telemetry
+// storage insertion for 100M reports. We reproduce that accounting with the
+// TSC where available (x86_64 RDTSC / aarch64 CNTVCT) and fall back to
+// steady_clock scaled by a calibrated cycles-per-nanosecond factor.
+#pragma once
+
+#include <cstdint>
+
+namespace dart {
+
+// Raw timestamp counter read (serializing enough for coarse accounting).
+[[nodiscard]] std::uint64_t rdtsc() noexcept;
+
+// Estimated TSC frequency in GHz (cycles per nanosecond), measured once per
+// process against steady_clock. Used to convert cycle counts to wall time
+// and vice versa.
+[[nodiscard]] double tsc_ghz() noexcept;
+
+// Scoped cycle counter: accumulates elapsed cycles into a sink on destruction.
+class CycleTimer {
+ public:
+  explicit CycleTimer(std::uint64_t& sink) noexcept
+      : sink_(sink), start_(rdtsc()) {}
+  CycleTimer(const CycleTimer&) = delete;
+  CycleTimer& operator=(const CycleTimer&) = delete;
+  ~CycleTimer() { sink_ += rdtsc() - start_; }
+
+ private:
+  std::uint64_t& sink_;
+  std::uint64_t start_;
+};
+
+}  // namespace dart

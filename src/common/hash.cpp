@@ -1,0 +1,203 @@
+#include "common/hash.hpp"
+
+#include <cstring>
+
+namespace dart {
+
+// ---------------------------------------------------------------------------
+// XXH64 — reference implementation of the canonical 64-bit xxHash.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint64_t kPrime1 = 0x9E3779B185EBCA87ull;
+constexpr std::uint64_t kPrime2 = 0xC2B2AE3D27D4EB4Full;
+constexpr std::uint64_t kPrime3 = 0x165667B19E3779F9ull;
+constexpr std::uint64_t kPrime4 = 0x85EBCA77C2B2AE63ull;
+constexpr std::uint64_t kPrime5 = 0x27D4EB2F165667C5ull;
+
+[[nodiscard]] constexpr std::uint64_t rotl64(std::uint64_t v, int r) noexcept {
+  return (v << r) | (v >> (64 - r));
+}
+
+[[nodiscard]] std::uint64_t read64(const std::byte* p) noexcept {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;  // xxHash is defined over little-endian reads; x86 hosts match.
+}
+
+[[nodiscard]] std::uint32_t read32(const std::byte* p) noexcept {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+[[nodiscard]] constexpr std::uint64_t round(std::uint64_t acc,
+                                            std::uint64_t input) noexcept {
+  acc += input * kPrime2;
+  acc = rotl64(acc, 31);
+  acc *= kPrime1;
+  return acc;
+}
+
+[[nodiscard]] constexpr std::uint64_t merge_round(std::uint64_t acc,
+                                                  std::uint64_t val) noexcept {
+  val = round(0, val);
+  acc ^= val;
+  acc = acc * kPrime1 + kPrime4;
+  return acc;
+}
+
+}  // namespace
+
+std::uint64_t xxhash64(std::span<const std::byte> data,
+                       std::uint64_t seed) noexcept {
+  const std::byte* p = data.data();
+  const std::byte* const end = p + data.size();
+  std::uint64_t h;
+
+  if (data.size() >= 32) {
+    std::uint64_t v1 = seed + kPrime1 + kPrime2;
+    std::uint64_t v2 = seed + kPrime2;
+    std::uint64_t v3 = seed + 0;
+    std::uint64_t v4 = seed - kPrime1;
+    do {
+      v1 = round(v1, read64(p));
+      v2 = round(v2, read64(p + 8));
+      v3 = round(v3, read64(p + 16));
+      v4 = round(v4, read64(p + 24));
+      p += 32;
+    } while (p <= end - 32);
+    h = rotl64(v1, 1) + rotl64(v2, 7) + rotl64(v3, 12) + rotl64(v4, 18);
+    h = merge_round(h, v1);
+    h = merge_round(h, v2);
+    h = merge_round(h, v3);
+    h = merge_round(h, v4);
+  } else {
+    h = seed + kPrime5;
+  }
+
+  h += static_cast<std::uint64_t>(data.size());
+
+  while (p + 8 <= end) {
+    h ^= round(0, read64(p));
+    h = rotl64(h, 27) * kPrime1 + kPrime4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h ^= static_cast<std::uint64_t>(read32(p)) * kPrime1;
+    h = rotl64(h, 23) * kPrime2 + kPrime3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint8_t>(*p)) * kPrime5;
+    h = rotl64(h, 11) * kPrime1;
+    ++p;
+  }
+
+  h ^= h >> 33;
+  h *= kPrime2;
+  h ^= h >> 29;
+  h *= kPrime3;
+  h ^= h >> 32;
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE, reflected) with a compile-time table.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0xEDB8'8320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kCrc32Table = make_crc32_table();
+
+}  // namespace
+
+void Crc32::update(std::span<const std::byte> data) noexcept {
+  for (const std::byte b : data) {
+    update_byte(static_cast<std::uint8_t>(b));
+  }
+}
+
+void Crc32::update_byte(std::uint8_t b) noexcept {
+  state_ = kCrc32Table[(state_ ^ b) & 0xFFu] ^ (state_ >> 8);
+}
+
+std::uint32_t crc32(std::span<const std::byte> data) noexcept {
+  Crc32 c;
+  c.update(data);
+  return c.value();
+}
+
+// ---------------------------------------------------------------------------
+// CRC-16/CCITT-FALSE
+// ---------------------------------------------------------------------------
+
+std::uint16_t crc16_ccitt(std::span<const std::byte> data) noexcept {
+  std::uint16_t crc = 0xFFFF;
+  for (const std::byte byte : data) {
+    crc ^= static_cast<std::uint16_t>(static_cast<std::uint8_t>(byte)) << 8;
+    for (int i = 0; i < 8; ++i) {
+      crc = (crc & 0x8000u) ? static_cast<std::uint16_t>((crc << 1) ^ 0x1021u)
+                            : static_cast<std::uint16_t>(crc << 1);
+    }
+  }
+  return crc;
+}
+
+// ---------------------------------------------------------------------------
+// HashFamily
+// ---------------------------------------------------------------------------
+
+HashFamily::HashFamily(std::uint32_t n_addresses, std::uint64_t master_seed)
+    : master_seed_(master_seed) {
+  if (n_addresses == 0) n_addresses = 1;
+  // Derive independent seeds with SplitMix64-style mixing so that the family
+  // is reproducible from a single deployment seed.
+  auto mix = [](std::uint64_t z) {
+    z += 0x9E37'79B9'7F4A'7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58'476D'1CE4'E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D0'49BB'1331'11EBull;
+    return z ^ (z >> 31);
+  };
+  collector_seed_ = mix(master_seed ^ 0xC011'EC70'5EEDull);
+  seeds_.reserve(n_addresses);
+  std::uint64_t s = master_seed;
+  for (std::uint32_t i = 0; i < n_addresses; ++i) {
+    s = mix(s + i);
+    seeds_.push_back(s);
+  }
+}
+
+std::uint32_t HashFamily::collector_of(std::span<const std::byte> key,
+                                       std::uint32_t n_collectors) const noexcept {
+  if (n_collectors <= 1) return 0;
+  return static_cast<std::uint32_t>(xxhash64(key, collector_seed_) %
+                                    n_collectors);
+}
+
+std::uint64_t HashFamily::address_of(std::span<const std::byte> key,
+                                     std::uint32_t n,
+                                     std::uint64_t n_slots) const noexcept {
+  const std::uint64_t seed = seeds_[n % seeds_.size()];
+  return xxhash64(key, seed) % n_slots;
+}
+
+std::uint32_t HashFamily::checksum_of(std::span<const std::byte> key,
+                                      std::uint32_t bits) const noexcept {
+  return crc32(key) & checksum_mask(bits);
+}
+
+}  // namespace dart

@@ -1,0 +1,111 @@
+// Hash functions used across DART.
+//
+// - xxhash64: fast 64-bit keyed hash. DART's address selection uses a family
+//   of N independent functions h_n(key) = xxhash64(key, seed_n) % M (§3.1).
+// - CRC-32 / CRC-16: the checksums a Tofino-class switch computes with its
+//   CRC extern (§6). The key checksum stored in each DART slot is
+//   CRC-32(key) masked to b bits; the RoCEv2 iCRC is CRC-32 over a masked
+//   pseudo-header.
+// - HashFamily: the deployment-wide family of N address hashes plus the
+//   collector-selection hash; switches and the query path construct it from
+//   the same seeds, which is what makes the mapping stateless (§3.1).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace dart {
+
+// 64-bit xxHash (XXH64) over an arbitrary byte range with a seed.
+// Reference algorithm; byte-for-byte compatible with the canonical XXH64.
+[[nodiscard]] std::uint64_t xxhash64(std::span<const std::byte> data,
+                                     std::uint64_t seed = 0) noexcept;
+
+[[nodiscard]] inline std::uint64_t xxhash64(std::string_view s,
+                                            std::uint64_t seed = 0) noexcept {
+  return xxhash64(std::as_bytes(std::span{s.data(), s.size()}), seed);
+}
+
+// Hash a trivially copyable value (e.g. a packed key struct).
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+[[nodiscard]] std::uint64_t xxhash64_of(const T& v,
+                                        std::uint64_t seed = 0) noexcept {
+  return xxhash64(std::as_bytes(std::span{&v, 1}), seed);
+}
+
+// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320), as used by Ethernet FCS
+// and the RoCEv2 invariant CRC. `init` allows incremental computation:
+// pass the previous return value XOR 0xFFFFFFFF... use the Crc32 class below
+// for streaming instead.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::byte> data) noexcept;
+
+// Streaming CRC-32 (IEEE, reflected). update() may be called repeatedly.
+class Crc32 {
+ public:
+  void update(std::span<const std::byte> data) noexcept;
+  void update_byte(std::uint8_t b) noexcept;
+  [[nodiscard]] std::uint32_t value() const noexcept { return ~state_; }
+  void reset() noexcept { state_ = 0xFFFF'FFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFF'FFFFu;
+};
+
+// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF, non-reflected) — one of the
+// CRC externs available on Tofino; used for short key checksums when b <= 16.
+[[nodiscard]] std::uint16_t crc16_ccitt(std::span<const std::byte> data) noexcept;
+
+// ---------------------------------------------------------------------------
+// HashFamily — the deployment-wide stateless key→address mapping (§3.1).
+// ---------------------------------------------------------------------------
+//
+// Every switch and every query client is configured with the same `seeds`,
+// so any party can compute, for a telemetry key:
+//   - which collector holds the key's N slots        (collector_of)
+//   - the N slot addresses within that collector      (address_of)
+//   - the b-bit key checksum stored alongside values  (checksum_of)
+//
+// Per §3.1, all N copies of one key live on a single collector so queries
+// never need inter-collector communication.
+class HashFamily {
+ public:
+  // `n_addresses`  — N, the per-key redundancy (≥ 1).
+  // `master_seed`  — deployment seed; derives per-index seeds deterministically.
+  HashFamily(std::uint32_t n_addresses, std::uint64_t master_seed);
+
+  [[nodiscard]] std::uint32_t n_addresses() const noexcept {
+    return static_cast<std::uint32_t>(seeds_.size());
+  }
+
+  // Index of the collector (0..n_collectors-1) that owns this key.
+  [[nodiscard]] std::uint32_t collector_of(std::span<const std::byte> key,
+                                           std::uint32_t n_collectors) const noexcept;
+
+  // Slot address for copy `n` (0..N-1) of this key in a store of `n_slots`.
+  [[nodiscard]] std::uint64_t address_of(std::span<const std::byte> key,
+                                         std::uint32_t n,
+                                         std::uint64_t n_slots) const noexcept;
+
+  // b-bit key checksum (CRC-32 masked). b in [1, 32].
+  [[nodiscard]] std::uint32_t checksum_of(std::span<const std::byte> key,
+                                          std::uint32_t bits) const noexcept;
+
+  [[nodiscard]] std::uint64_t master_seed() const noexcept { return master_seed_; }
+
+ private:
+  std::uint64_t master_seed_;
+  std::uint64_t collector_seed_;
+  std::vector<std::uint64_t> seeds_;  // one per address copy
+};
+
+// Mask for the low `bits` bits (bits in [0, 32]).
+[[nodiscard]] constexpr std::uint32_t checksum_mask(std::uint32_t bits) noexcept {
+  return bits >= 32 ? 0xFFFF'FFFFu : ((1u << bits) - 1u);
+}
+
+}  // namespace dart

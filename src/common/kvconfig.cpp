@@ -1,0 +1,128 @@
+#include "common/kvconfig.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace dart {
+
+namespace {
+
+[[nodiscard]] std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+Result<KvConfig> KvConfig::parse(std::string_view text) {
+  KvConfig cfg;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const auto nl = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, nl == std::string_view::npos ? text.size() - pos : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+
+    // Strip comments (not inside values — values don't contain '#').
+    if (const auto hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+
+    const auto eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return Error{"kv_syntax",
+                   "line " + std::to_string(line_no) + ": expected key = value"};
+    }
+    const auto key = trim(line.substr(0, eq));
+    const auto value = trim(line.substr(eq + 1));
+    if (key.empty()) {
+      return Error{"kv_syntax",
+                   "line " + std::to_string(line_no) + ": empty key"};
+    }
+    cfg.set(std::string(key), std::string(value));
+  }
+  return cfg;
+}
+
+Result<KvConfig> KvConfig::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Error{"kv_open", "cannot open config file: " + path};
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse(ss.str());
+}
+
+void KvConfig::set(std::string key, std::string value) {
+  const auto it = std::find_if(
+      entries_.begin(), entries_.end(),
+      [&](const auto& e) { return e.first == key; });
+  if (it != entries_.end()) {
+    it->second = std::move(value);
+  } else {
+    entries_.emplace_back(std::move(key), std::move(value));
+  }
+}
+
+std::optional<std::string> KvConfig::get(std::string_view key) const {
+  for (const auto& [k, v] : entries_) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> KvConfig::get_u64(std::string_view key) const {
+  const auto v = get(key);
+  if (!v) return std::nullopt;
+  char* end = nullptr;
+  const std::uint64_t parsed = std::strtoull(v->c_str(), &end, 0);
+  if (end == v->c_str() || *end != '\0') return std::nullopt;
+  return parsed;
+}
+
+std::optional<double> KvConfig::get_double(std::string_view key) const {
+  const auto v = get(key);
+  if (!v) return std::nullopt;
+  char* end = nullptr;
+  const double parsed = std::strtod(v->c_str(), &end);
+  if (end == v->c_str() || *end != '\0') return std::nullopt;
+  return parsed;
+}
+
+std::string KvConfig::str() const {
+  std::string out;
+  for (const auto& [k, v] : entries_) {
+    out += k;
+    out += " = ";
+    out += v;
+    out += '\n';
+  }
+  return out;
+}
+
+Status KvConfig::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Error{"kv_open", "cannot open config file for writing: " + path};
+  }
+  out << str();
+  if (!out) {
+    return Error{"kv_write", "short write to config file: " + path};
+  }
+  return {};
+}
+
+}  // namespace dart

@@ -1,0 +1,57 @@
+// Minimal key=value configuration file support.
+//
+// The deployment config (DartConfig + collector endpoints) must be
+// distributed verbatim to every switch, collector and query client — a file
+// format keeps that auditable. Syntax:
+//
+//   # comment
+//   n_slots = 1048576
+//   master_seed = 0xDA27000000001
+//   name = spine-deployment        # trailing comments allowed
+//
+// Values are strings; typed getters parse integers (decimal or 0x-hex) and
+// doubles. Unknown keys are preserved (forward compatibility).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace dart {
+
+class KvConfig {
+ public:
+  KvConfig() = default;
+
+  // Parses from text; fails with line diagnostics on malformed input.
+  [[nodiscard]] static Result<KvConfig> parse(std::string_view text);
+
+  // Loads a file from disk.
+  [[nodiscard]] static Result<KvConfig> load(const std::string& path);
+
+  void set(std::string key, std::string value);
+
+  [[nodiscard]] std::optional<std::string> get(std::string_view key) const;
+  [[nodiscard]] std::optional<std::uint64_t> get_u64(std::string_view key) const;
+  [[nodiscard]] std::optional<double> get_double(std::string_view key) const;
+
+  [[nodiscard]] bool has(std::string_view key) const {
+    return get(key).has_value();
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  // Serializes back to text (stable order = insertion order).
+  [[nodiscard]] std::string str() const;
+
+  // Writes to a file.
+  [[nodiscard]] Status save(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+}  // namespace dart

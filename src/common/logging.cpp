@@ -1,0 +1,42 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+
+namespace dart {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+constexpr const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void log_message(LogLevel level, std::string_view component,
+                 const std::string& message) {
+  std::fprintf(stderr, "[%s] %.*s: %s\n", level_name(level),
+               static_cast<int>(component.size()), component.data(),
+               message.c_str());
+}
+
+}  // namespace dart

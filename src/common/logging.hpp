@@ -1,0 +1,39 @@
+// Minimal leveled logger. Simulation components log through this instead of
+// writing to stderr directly so tests can silence or capture output.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace dart {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Process-wide minimum level; default Warn so tests/benches stay quiet.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+// printf-style logging. Kept out-of-line to avoid stdio includes spreading.
+void log_message(LogLevel level, std::string_view component,
+                 const std::string& message);
+
+#define DART_LOG(level, component, ...)                             \
+  do {                                                               \
+    if (static_cast<int>(level) >= static_cast<int>(::dart::log_level())) { \
+      char dart_log_buf_[512];                                       \
+      std::snprintf(dart_log_buf_, sizeof(dart_log_buf_), __VA_ARGS__); \
+      ::dart::log_message(level, component, dart_log_buf_);          \
+    }                                                                \
+  } while (0)
+
+#define DART_LOG_DEBUG(component, ...) \
+  DART_LOG(::dart::LogLevel::kDebug, component, __VA_ARGS__)
+#define DART_LOG_INFO(component, ...) \
+  DART_LOG(::dart::LogLevel::kInfo, component, __VA_ARGS__)
+#define DART_LOG_WARN(component, ...) \
+  DART_LOG(::dart::LogLevel::kWarn, component, __VA_ARGS__)
+#define DART_LOG_ERROR(component, ...) \
+  DART_LOG(::dart::LogLevel::kError, component, __VA_ARGS__)
+
+}  // namespace dart

@@ -1,0 +1,98 @@
+// Deterministic pseudo-random generators and samplers for simulations.
+//
+// - SplitMix64: seeding / cheap stateless mixing.
+// - Xoshiro256**: the workhorse generator (fast, high quality, 2^256 period),
+//   satisfying std::uniform_random_bit_generator so it composes with <random>.
+// - ZipfSampler: skewed flow popularity (datacenter traffic is heavy-tailed;
+//   used by workload generators).
+//
+// All generators are explicitly seeded — simulations and tests are
+// reproducible by construction (no global RNG state anywhere in DART).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace dart {
+
+// SplitMix64 — tiny generator mostly used to seed Xoshiro and derive
+// independent sub-seeds from one master seed.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E37'79B9'7F4A'7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58'476D'1CE4'E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D0'49BB'1331'11EBull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// Xoshiro256** by Blackman & Vigna — the simulation RNG.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  // Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli trial with probability p.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+// Zipf(s) sampler over {0, .., n-1} using inverse-CDF on a precomputed table.
+// s = 0 degenerates to uniform. Heavy flows get low ranks.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double skew);
+
+  [[nodiscard]] std::size_t sample(Xoshiro256& rng) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+  [[nodiscard]] double skew() const noexcept { return skew_; }
+
+ private:
+  std::vector<double> cdf_;
+  double skew_;
+};
+
+}  // namespace dart

@@ -1,0 +1,70 @@
+// Small expected-like result type (std::expected is C++23; this project is
+// C++20). Used on fallible paths where exceptions would be wrong for a
+// packet-rate code path: RoCEv2 parsing, RNIC execution, query resolution.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace dart {
+
+// Error with a stable code (for programmatic matching) and human message.
+struct Error {
+  std::string code;
+  std::string message;
+};
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : inner_(std::move(value)) {}          // NOLINT(implicit)
+  Result(Error error) : inner_(std::move(error)) {}      // NOLINT(implicit)
+
+  [[nodiscard]] bool ok() const noexcept {
+    return std::holds_alternative<T>(inner_);
+  }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(inner_);
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(inner_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(inner_));
+  }
+
+  [[nodiscard]] const Error& error() const& {
+    assert(!ok());
+    return std::get<Error>(inner_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<T>(inner_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> inner_;
+};
+
+// Result<void> analogue.
+class Status {
+ public:
+  Status() = default;                                    // ok
+  Status(Error error) : error_(std::move(error)) {}      // NOLINT(implicit)
+
+  [[nodiscard]] bool ok() const noexcept { return error_.code.empty(); }
+  explicit operator bool() const noexcept { return ok(); }
+  [[nodiscard]] const Error& error() const noexcept { return error_; }
+
+ private:
+  Error error_;  // empty code == ok
+};
+
+}  // namespace dart

@@ -1,0 +1,123 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace dart {
+
+void Summary::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Summary::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double Summary::stddev() const noexcept { return std::sqrt(variance()); }
+
+void Summary::merge(const Summary& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(n_);
+  const auto n2 = static_cast<double>(other.n_);
+  const double nt = n1 + n2;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / nt;
+  mean_ = (n1 * mean_ + n2 * other.mean_) / nt;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo),
+      width_((hi - lo) / static_cast<double>(buckets == 0 ? 1 : buckets)),
+      counts_(buckets == 0 ? 1 : buckets, 0) {}
+
+void Histogram::add(double x, std::uint64_t weight) noexcept {
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width_);
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
+}
+
+double Histogram::bucket_lo(std::size_t bucket) const noexcept {
+  return lo_ + width_ * static_cast<double>(bucket);
+}
+
+double Histogram::bucket_hi(std::size_t bucket) const noexcept {
+  return bucket_lo(bucket) + width_;
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto c = static_cast<double>(counts_[i]);
+    if (cum + c >= target) {
+      const double frac = c > 0 ? (target - cum) / c : 0.0;
+      return bucket_lo(i) + frac * width_;
+    }
+    cum += c;
+  }
+  return bucket_hi(counts_.size() - 1);
+}
+
+double TrialCounter::margin95() const noexcept {
+  if (trials_ == 0) return 0.0;
+  const double p = rate();
+  const auto n = static_cast<double>(trials_);
+  return 1.96 * std::sqrt(p * (1.0 - p) / n);
+}
+
+std::string format_bytes(double bytes) {
+  static constexpr const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  int unit = 0;
+  while (bytes >= 1000.0 && unit < 4) {
+    bytes /= 1000.0;
+    ++unit;
+  }
+  char buf[32];
+  if (bytes >= 100.0 || bytes == static_cast<double>(static_cast<long long>(bytes))) {
+    std::snprintf(buf, sizeof(buf), "%.0f %s", bytes, kUnits[unit]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", bytes, kUnits[unit]);
+  }
+  return buf;
+}
+
+std::string format_count(double count) {
+  static constexpr const char* kUnits[] = {"", "K", "M", "B"};
+  int unit = 0;
+  while (count >= 1000.0 && unit < 3) {
+    count /= 1000.0;
+    ++unit;
+  }
+  char buf[32];
+  if (count == static_cast<double>(static_cast<long long>(count))) {
+    std::snprintf(buf, sizeof(buf), "%.0f%s", count, kUnits[unit]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f%s", count, kUnits[unit]);
+  }
+  return buf;
+}
+
+}  // namespace dart

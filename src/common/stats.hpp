@@ -1,0 +1,92 @@
+// Lightweight statistics for simulations and benches: streaming summaries
+// (mean/variance via Welford), fixed-bucket histograms, and a binomial
+// confidence helper used when reporting measured probabilities
+// (query success rate, return-error rate) alongside §4 theory values.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dart {
+
+// Streaming mean/variance/min/max over double observations (Welford).
+class Summary {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;  // sample variance
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  void merge(const Summary& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Fixed-width linear histogram over [lo, hi); out-of-range goes to edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x, std::uint64_t weight = 1) noexcept;
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t buckets() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count_at(std::size_t bucket) const noexcept {
+    return counts_[bucket];
+  }
+  [[nodiscard]] double bucket_lo(std::size_t bucket) const noexcept;
+  [[nodiscard]] double bucket_hi(std::size_t bucket) const noexcept;
+
+  // Value below which `q` (0..1) of the mass falls (linear within bucket).
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+// Counter of Bernoulli trials with a normal-approximation confidence margin,
+// used to report measured probabilities as p ± margin.
+class TrialCounter {
+ public:
+  void record(bool success) noexcept {
+    ++trials_;
+    if (success) ++successes_;
+  }
+
+  [[nodiscard]] std::uint64_t trials() const noexcept { return trials_; }
+  [[nodiscard]] std::uint64_t successes() const noexcept { return successes_; }
+  [[nodiscard]] double rate() const noexcept {
+    return trials_ ? static_cast<double>(successes_) / static_cast<double>(trials_)
+                   : 0.0;
+  }
+  // Half-width of the ~95% normal-approximation confidence interval.
+  [[nodiscard]] double margin95() const noexcept;
+
+ private:
+  std::uint64_t trials_ = 0;
+  std::uint64_t successes_ = 0;
+};
+
+// Human-readable byte counts: "3.0 GB", "300 B", ...
+[[nodiscard]] std::string format_bytes(double bytes);
+
+// Human-readable large counts: "100M", "1.5K", ...
+[[nodiscard]] std::string format_count(double count);
+
+}  // namespace dart

@@ -1,0 +1,35 @@
+// Console table printer used by the bench harness to emit the rows/series of
+// each paper figure and table in a uniform, diff-friendly format.
+//
+//   Table t({"load factor", "N=1", "N=2", "N=4"});
+//   t.row({"0.25", "0.917", "0.988", "0.999"});
+//   t.print(std::cout);
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dart {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Numeric formatting helpers shared by benches.
+[[nodiscard]] std::string fmt_double(double v, int precision = 4);
+[[nodiscard]] std::string fmt_percent(double fraction, int precision = 2);
+[[nodiscard]] std::string fmt_sci(double v, int precision = 3);
+
+}  // namespace dart

@@ -1,0 +1,58 @@
+#include "core/adaptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dart::core {
+
+double OccupancyEstimator::sample_occupancy(std::uint32_t samples) {
+  if (samples == 0) samples = 1;
+  const auto& cfg = store_->config();
+  std::uint32_t occupied = 0;
+  for (std::uint32_t i = 0; i < samples; ++i) {
+    const std::uint64_t idx = rng_.below(cfg.n_slots);
+    const auto base = store_->slot_offset(idx);
+    const auto slot = store_->memory().subspan(base, cfg.slot_bytes());
+    bool empty = true;
+    for (const auto b : slot) {
+      if (b != std::byte{0}) {
+        empty = false;
+        break;
+      }
+    }
+    if (!empty) ++occupied;
+  }
+  return static_cast<double>(occupied) / static_cast<double>(samples);
+}
+
+double OccupancyEstimator::estimate_alpha(std::uint32_t effective_n,
+                                          std::uint32_t samples) {
+  const double occ = sample_occupancy(samples);
+  if (effective_n == 0) effective_n = 1;
+  if (occ >= 1.0) return 16.0;  // saturated table: report a very high load
+  return -std::log(1.0 - occ) / static_cast<double>(effective_n);
+}
+
+void AdaptiveReporter::maybe_reestimate() {
+  if (since_estimate_++ < reestimate_every_ && stats_.re_estimates > 0) return;
+  since_estimate_ = 0;
+  ++stats_.re_estimates;
+  const std::uint32_t n_max = store_->config().n_addresses;
+  // The table was filled with the current N; use it to invert occupancy.
+  stats_.last_alpha = estimator_.estimate_alpha(
+      std::max<std::uint32_t>(stats_.current_n, 1));
+  stats_.current_n =
+      std::min<std::uint32_t>(optimal_n(stats_.last_alpha, n_max), n_max);
+}
+
+void AdaptiveReporter::report(std::span<const std::byte> key,
+                              std::span<const std::byte> value) {
+  maybe_reestimate();
+  for (std::uint32_t n = 0; n < stats_.current_n; ++n) {
+    store_->write_one(key, value, n);
+  }
+  ++stats_.keys_written;
+  stats_.copies_written += stats_.current_n;
+}
+
+}  // namespace dart::core

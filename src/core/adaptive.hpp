@@ -1,0 +1,82 @@
+// Load-adaptive redundancy — §5.1's proposed future work, implemented:
+//
+//   "We conclude that dynamically adjusting N as the load fluctuates could
+//    improve queryability and efficiency, and leave finding a good mechanism
+//    as future work."
+//
+// Mechanism:
+//  - OccupancyEstimator samples `samples` random slots and measures the
+//    fraction that are non-empty. Under the §4 Poisson model, occupancy
+//    after K distinct keys with redundancy N is 1 − e^{−KN/M}, so the
+//    per-copy load α = K/M is recovered as −ln(1−occupancy)/N.
+//  - AdaptiveReporter re-estimates periodically and writes each key with
+//    N* = optimal_n(α̂) copies, clamped to the deployment's configured max.
+//
+// Queries need no coordination: they always read all N_max addresses and
+// the checksum filter discards slots that were never written for the key —
+// so the reporter can change N* at any time without telling anyone, keeping
+// DART's statelessness intact.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/random.hpp"
+#include "core/analysis.hpp"
+#include "core/store.hpp"
+
+namespace dart::core {
+
+class OccupancyEstimator {
+ public:
+  OccupancyEstimator(const DartStore& store, std::uint64_t seed)
+      : store_(&store), rng_(seed) {}
+
+  // Fraction of sampled slots that are non-empty (all-zero = empty; the
+  // false-empty probability of a real all-zero record is 2^-8·slot_bytes).
+  [[nodiscard]] double sample_occupancy(std::uint32_t samples = 512);
+
+  // Estimated per-copy load α̂ = −ln(1−occ)/N given the redundancy that
+  // produced the current table state.
+  [[nodiscard]] double estimate_alpha(std::uint32_t effective_n,
+                                      std::uint32_t samples = 512);
+
+ private:
+  const DartStore* store_;
+  Xoshiro256 rng_;
+};
+
+struct AdaptiveStats {
+  std::uint64_t keys_written = 0;
+  std::uint64_t copies_written = 0;
+  std::uint64_t re_estimates = 0;
+  std::uint32_t current_n = 0;
+  double last_alpha = 0.0;
+};
+
+class AdaptiveReporter {
+ public:
+  // `store` must be configured with the MAXIMUM redundancy (its N is the
+  // address-family size); the reporter writes the first N* ≤ N addresses.
+  AdaptiveReporter(DartStore& store, std::uint64_t seed,
+                   std::uint32_t reestimate_every = 1024)
+      : store_(&store), estimator_(store, seed ^ 0xADAF),
+        reestimate_every_(reestimate_every) {
+    stats_.current_n = store.config().n_addresses;
+  }
+
+  void report(std::span<const std::byte> key, std::span<const std::byte> value);
+
+  [[nodiscard]] const AdaptiveStats& stats() const noexcept { return stats_; }
+
+ private:
+  void maybe_reestimate();
+
+  DartStore* store_;
+  OccupancyEstimator estimator_;
+  std::uint32_t reestimate_every_;
+  std::uint32_t since_estimate_ = 0;
+  AdaptiveStats stats_;
+};
+
+}  // namespace dart::core

@@ -1,0 +1,160 @@
+#include "core/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dart::core {
+
+namespace {
+
+[[nodiscard]] double pow_u(double base, unsigned e) noexcept {
+  double r = 1.0;
+  while (e != 0) {
+    if (e & 1u) r *= base;
+    base *= base;
+    e >>= 1;
+  }
+  return r;
+}
+
+[[nodiscard]] double binom(unsigned n, unsigned k) noexcept {
+  if (k > n) return 0.0;
+  k = std::min(k, n - k);
+  double r = 1.0;
+  for (unsigned i = 1; i <= k; ++i) {
+    r = r * static_cast<double>(n - k + i) / static_cast<double>(i);
+  }
+  return r;
+}
+
+// 2^{-b} as a double; exact for b ≤ 32.
+[[nodiscard]] double q_of(unsigned checksum_bits) noexcept {
+  return std::ldexp(1.0, -static_cast<int>(checksum_bits));
+}
+
+}  // namespace
+
+double p_slot_overwritten(double alpha, unsigned n) noexcept {
+  return 1.0 - std::exp(-alpha * static_cast<double>(n));
+}
+
+double p_all_overwritten(double alpha, unsigned n) noexcept {
+  return pow_u(p_slot_overwritten(alpha, n), n);
+}
+
+double p_survives(double alpha, unsigned n) noexcept {
+  return 1.0 - p_all_overwritten(alpha, n);
+}
+
+double p_empty_no_match(double alpha, unsigned n,
+                        unsigned checksum_bits) noexcept {
+  const double q = q_of(checksum_bits);
+  return p_all_overwritten(alpha, n) * pow_u(1.0 - q, n);
+}
+
+namespace {
+
+// The shared summation of §4's ambiguity bounds:
+//   Σ_{j=1}^{N-1} C(N,j) p^j (1-p)^{N-j} (1 − (1−2^{-b})^j)
+// where p = 1 − e^{−αN} and (1-p) = e^{−αN}. Each term: exactly j of the
+// original slots overwritten, at least one of them matching the checksum.
+[[nodiscard]] double ambiguity_sum(double alpha, unsigned n,
+                                   unsigned checksum_bits) noexcept {
+  const double p = p_slot_overwritten(alpha, n);
+  const double e = std::exp(-alpha * static_cast<double>(n));  // 1 - p
+  const double q = q_of(checksum_bits);
+  double sum = 0.0;
+  for (unsigned j = 1; j + 1 <= n; ++j) {  // j = 1 .. N-1
+    sum += binom(n, j) * pow_u(p, j) * pow_u(e, n - j) *
+           (1.0 - pow_u(1.0 - q, j));
+  }
+  return sum;
+}
+
+}  // namespace
+
+double p_ambiguous_lower(double alpha, unsigned n,
+                         unsigned checksum_bits) noexcept {
+  return ambiguity_sum(alpha, n, checksum_bits);
+}
+
+double p_ambiguous_upper(double alpha, unsigned n,
+                         unsigned checksum_bits) noexcept {
+  const double q = q_of(checksum_bits);
+  // Extra term: all originals overwritten and ≥2 overwriters share the
+  // checksum: (1−e^{−αN})^N (1 − (1−q)^N − N q (1−q)^{N−1}).
+  const double all = p_all_overwritten(alpha, n);
+  const double two_plus = 1.0 - pow_u(1.0 - q, n) -
+                          static_cast<double>(n) * q * pow_u(1.0 - q, n - 1);
+  return ambiguity_sum(alpha, n, checksum_bits) + all * std::max(0.0, two_plus);
+}
+
+double p_return_error_lower(double alpha, unsigned n,
+                            unsigned checksum_bits) noexcept {
+  const double q = q_of(checksum_bits);
+  return p_all_overwritten(alpha, n) * static_cast<double>(n) * q *
+         pow_u(1.0 - q, n - 1);
+}
+
+double p_return_error_upper(double alpha, unsigned n,
+                            unsigned checksum_bits) noexcept {
+  const double q = q_of(checksum_bits);
+  return p_all_overwritten(alpha, n) * (1.0 - pow_u(1.0 - q, n));
+}
+
+unsigned optimal_n(double alpha, unsigned max_n) noexcept {
+  // Ties (e.g. every N survives w.p. 1 at α = 0) break toward the larger N:
+  // equal queryability with more copies also buys report-loss robustness.
+  unsigned best = 1;
+  double best_p = p_survives(alpha, 1);
+  for (unsigned n = 2; n <= max_n; ++n) {
+    const double p = p_survives(alpha, n);
+    if (p >= best_p) {
+      best_p = p;
+      best = n;
+    }
+  }
+  return best;
+}
+
+double crossover_alpha(unsigned n_a, unsigned n_b, double lo,
+                       double hi) noexcept {
+  auto diff = [&](double a) { return p_survives(a, n_a) - p_survives(a, n_b); };
+  double flo = diff(lo);
+  double fhi = diff(hi);
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  if ((flo > 0.0) == (fhi > 0.0)) return -1.0;  // not bracketed
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double fm = diff(mid);
+    if (fm == 0.0) return mid;
+    if ((fm > 0.0) == (flo > 0.0)) {
+      lo = mid;
+      flo = fm;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double average_success_over_ages(double total_keys, double n_slots,
+                                 unsigned n) noexcept {
+  if (total_keys <= 0.0) return 1.0;
+  // Simpson integration of p_survives(age/M, N) for age in [0, K].
+  constexpr int kSteps = 2000;  // even
+  const double h = total_keys / kSteps;
+  double sum = p_survives(0.0, n) + p_survives(total_keys / n_slots, n);
+  for (int i = 1; i < kSteps; ++i) {
+    const double age = h * i;
+    sum += p_survives(age / n_slots, n) * ((i & 1) ? 4.0 : 2.0);
+  }
+  return sum * h / 3.0 / total_keys;
+}
+
+double oldest_success(double total_keys, double n_slots, unsigned n) noexcept {
+  return p_survives(total_keys / n_slots, n);
+}
+
+}  // namespace dart::core

@@ -1,0 +1,81 @@
+// Closed-form analysis from §4 of the paper.
+//
+// Model: the store has M slots; after key q was last written, K = αM
+// *distinct* other keys were written, each stamping its own N slots at
+// uniformly random addresses. Using the standard Poisson approximation, the
+// probability that one particular slot of q was overwritten is
+//     p = 1 − e^{−KN/M} = 1 − e^{−αN}.
+//
+// From that the paper derives (all reproduced here, with the same bounds):
+//   - empty-return probability (no surviving checksum match),
+//   - ambiguous-return probability bounds (≥2 distinct matching values),
+//   - return-error probability bounds (a wrong value matches the checksum
+//     after all originals were overwritten),
+//   - and, as used in §5, the query success rate and the best N per load.
+//
+// These functions drive Figures 3–5's theory overlays and the §5.2 check
+// (predicted 38.7% oldest-report queryability at 3GB/100M flows).
+#pragma once
+
+#include <cstdint>
+
+namespace dart::core {
+
+// Fraction of a key's slots expected to be overwritten after αM distinct
+// later keys: 1 − e^{−αN}.
+[[nodiscard]] double p_slot_overwritten(double alpha, unsigned n) noexcept;
+
+// All N slots overwritten: (1 − e^{−αN})^N.
+[[nodiscard]] double p_all_overwritten(double alpha, unsigned n) noexcept;
+
+// At least one original slot survives: 1 − (1 − e^{−αN})^N.
+// With a large checksum this is the query success probability — the quantity
+// Fig. 3 and Fig. 4 plot.
+[[nodiscard]] double p_survives(double alpha, unsigned n) noexcept;
+
+// Empty return, case 1 (§4): all N slots overwritten AND no overwriting key
+// got the same b-bit checksum:  (1−e^{−αN})^N (1−2^{−b})^N.
+[[nodiscard]] double p_empty_no_match(double alpha, unsigned n,
+                                      unsigned checksum_bits) noexcept;
+
+// Empty return, case 2 (§4): ≥2 distinct values carry the correct checksum.
+// The paper gives a lower and an upper bound (values in overwritten slots
+// may coincide); both are reproduced exactly.
+[[nodiscard]] double p_ambiguous_lower(double alpha, unsigned n,
+                                       unsigned checksum_bits) noexcept;
+[[nodiscard]] double p_ambiguous_upper(double alpha, unsigned n,
+                                       unsigned checksum_bits) noexcept;
+
+// Return error (§4): all originals overwritten and an overwriting key with
+// the same checksum is returned.
+//   lower: (1−e^{−αN})^N · N·2^{−b}·(1−2^{−b})^{N−1}
+//   upper: (1−e^{−αN})^N · (1−(1−2^{−b})^N)
+[[nodiscard]] double p_return_error_lower(double alpha, unsigned n,
+                                          unsigned checksum_bits) noexcept;
+[[nodiscard]] double p_return_error_upper(double alpha, unsigned n,
+                                          unsigned checksum_bits) noexcept;
+
+// Redundancy N ∈ [1, max_n] maximizing p_survives at load α (Fig. 3's
+// background shading).
+[[nodiscard]] unsigned optimal_n(double alpha, unsigned max_n = 8) noexcept;
+
+// The load factor at which p_survives(α, a) == p_survives(α, b) — the
+// crossover points between Fig. 3's shaded regions. Returns the α found by
+// bisection in (lo, hi), or a negative value if no crossover is bracketed.
+[[nodiscard]] double crossover_alpha(unsigned n_a, unsigned n_b, double lo,
+                                     double hi) noexcept;
+
+// Fig. 4 helpers. Keys are written once each in sequence; for the key with
+// `age` keys written after it (age ∈ [0, K]), the success probability is
+// p_survives(age/M, N). The *average* queryability over all K keys is
+//   (1/K) Σ_{age=0}^{K-1} p_survives(age/M, N)
+// ≈ (M/(K·N)) · Γ-style integral; we integrate numerically.
+[[nodiscard]] double average_success_over_ages(double total_keys,
+                                               double n_slots,
+                                               unsigned n) noexcept;
+
+// Success probability of the oldest key after `total_keys` writes.
+[[nodiscard]] double oldest_success(double total_keys, double n_slots,
+                                    unsigned n) noexcept;
+
+}  // namespace dart::core

@@ -1,0 +1,110 @@
+#include "core/atomics_store.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/random.hpp"
+
+namespace dart::core {
+
+// ---------------------------------------------------------------------------
+// CasInsertStore
+// ---------------------------------------------------------------------------
+
+CasInsertStore::CasInsertStore(DartStore& store) : store_(&store) {
+  assert(store.config().n_addresses == 2);
+  assert(store.config().slot_bytes() >= 8);
+}
+
+bool CasInsertStore::slot_empty(std::uint64_t slot_index) const noexcept {
+  std::uint64_t word;
+  std::memcpy(&word,
+              store_->memory().data() + store_->slot_offset(slot_index), 8);
+  return word == 0;
+}
+
+void CasInsertStore::write(std::span<const std::byte> key,
+                           std::span<const std::byte> value) {
+  store_->write_one(key, value, 0);  // plain RDMA WRITE
+
+  ++cas_attempts_;
+  const std::uint64_t idx = store_->slot_index(key, 1);
+  if (slot_empty(idx)) {
+    store_->write_one(key, value, 1);  // CAS succeeded → second write lands
+    ++cas_successes_;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FlowCounterArray
+// ---------------------------------------------------------------------------
+
+FlowCounterArray::FlowCounterArray(std::uint64_t n_counters, std::uint64_t seed)
+    : cells_(n_counters == 0 ? 1 : n_counters, 0), seed_(seed) {}
+
+std::uint64_t FlowCounterArray::index_of(
+    std::span<const std::byte> key) const noexcept {
+  return xxhash64(key, seed_) % cells_.size();
+}
+
+std::uint64_t FlowCounterArray::fetch_add(std::span<const std::byte> key,
+                                          std::uint64_t delta) {
+  auto& cell = cells_[index_of(key)];
+  const std::uint64_t prior = cell;
+  cell += delta;
+  return prior;
+}
+
+std::uint64_t FlowCounterArray::read(
+    std::span<const std::byte> key) const noexcept {
+  return cells_[index_of(key)];
+}
+
+// ---------------------------------------------------------------------------
+// CountMinSketch
+// ---------------------------------------------------------------------------
+
+CountMinSketch::CountMinSketch(std::uint32_t rows, std::uint64_t cols,
+                               std::uint64_t seed)
+    : rows_(rows == 0 ? 1 : rows),
+      cols_(cols == 0 ? 1 : cols),
+      cells_(static_cast<std::size_t>(rows_) * cols_, 0) {
+  SplitMix64 sm(seed);
+  row_seeds_.reserve(rows_);
+  for (std::uint32_t r = 0; r < rows_; ++r) row_seeds_.push_back(sm.next());
+}
+
+void CountMinSketch::add(std::span<const std::byte> key, std::uint64_t delta) {
+  for (std::uint32_t r = 0; r < rows_; ++r) {
+    const std::uint64_t col = xxhash64(key, row_seeds_[r]) % cols_;
+    cells_[static_cast<std::size_t>(r) * cols_ + col] += delta;
+  }
+}
+
+std::uint64_t CountMinSketch::estimate(
+    std::span<const std::byte> key) const noexcept {
+  std::uint64_t best = UINT64_MAX;
+  for (std::uint32_t r = 0; r < rows_; ++r) {
+    const std::uint64_t col = xxhash64(key, row_seeds_[r]) % cols_;
+    best = std::min(best, cells_[static_cast<std::size_t>(r) * cols_ + col]);
+  }
+  return best == UINT64_MAX ? 0 : best;
+}
+
+std::vector<std::uint64_t> CountMinSketch::cell_indices(
+    std::span<const std::byte> key) const {
+  std::vector<std::uint64_t> out;
+  out.reserve(rows_);
+  for (std::uint32_t r = 0; r < rows_; ++r) {
+    const std::uint64_t col = xxhash64(key, row_seeds_[r]) % cols_;
+    out.push_back(static_cast<std::uint64_t>(r) * cols_ + col);
+  }
+  return out;
+}
+
+void CountMinSketch::merge(const CountMinSketch& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < cells_.size(); ++i) cells_[i] += other.cells_[i];
+}
+
+}  // namespace dart::core

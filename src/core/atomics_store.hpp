@@ -1,0 +1,104 @@
+// §7 extensions built on RDMA atomics.
+//
+// 1. CasInsertStore — "for N = 2 hashes and an initially empty table, we can
+//    use an RDMA write with one hash and Compare & Swap with another
+//    (writing to a second slot only if it is empty)". Copy 0 is a plain
+//    overwrite; copy 1 is written only when currently empty, so a hot
+//    second slot stops being churned by later keys. The CAS is modeled on
+//    the first 8 bytes of the slot (an RDMA CAS operates on one aligned
+//    64-bit word): a slot is "empty" iff that word is zero. The
+//    ablation_cas bench quantifies the queryability gain.
+//
+// 2. FlowCounterArray — per-flow packet/byte counters maintained *in
+//    collector memory* with FETCH_ADD, saving switch SRAM.
+//
+// 3. CountMinSketch — network-wide sketch aggregation: every switch
+//    FETCH_ADDs the same d cells, so the collector-side sketch is the sum of
+//    all switch contributions without any merge step.
+//
+// All three expose (a) a local apply path used by simulations, and (b) the
+// remote cell addresses a switch needs to craft the equivalent RDMA ops;
+// integration tests drive (b) through the simulated RNIC and assert it
+// matches (a).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "core/store.hpp"
+
+namespace dart::core {
+
+class CasInsertStore {
+ public:
+  // `store` must have n_addresses == 2 and slot_bytes >= 8.
+  explicit CasInsertStore(DartStore& store);
+
+  // Copy 0: WRITE (overwrite). Copy 1: CAS-if-empty.
+  void write(std::span<const std::byte> key, std::span<const std::byte> value);
+
+  [[nodiscard]] std::uint64_t cas_attempts() const noexcept { return cas_attempts_; }
+  [[nodiscard]] std::uint64_t cas_successes() const noexcept { return cas_successes_; }
+
+  // True iff the CAS word (first 8 bytes) of `slot_index` is zero.
+  [[nodiscard]] bool slot_empty(std::uint64_t slot_index) const noexcept;
+
+ private:
+  DartStore* store_;
+  std::uint64_t cas_attempts_ = 0;
+  std::uint64_t cas_successes_ = 0;
+};
+
+// Flat array of 64-bit counters addressed by key hash.
+class FlowCounterArray {
+ public:
+  FlowCounterArray(std::uint64_t n_counters, std::uint64_t seed);
+
+  // Index of the counter owning `key`.
+  [[nodiscard]] std::uint64_t index_of(std::span<const std::byte> key) const noexcept;
+
+  // Local FETCH_ADD; returns the value *before* the add (RDMA semantics).
+  std::uint64_t fetch_add(std::span<const std::byte> key, std::uint64_t delta);
+
+  [[nodiscard]] std::uint64_t read(std::span<const std::byte> key) const noexcept;
+
+  // Raw cells, e.g. for registering as an RDMA MR.
+  [[nodiscard]] std::span<std::uint64_t> cells() noexcept { return cells_; }
+  [[nodiscard]] std::uint64_t size() const noexcept { return cells_.size(); }
+
+ private:
+  std::vector<std::uint64_t> cells_;
+  std::uint64_t seed_;
+};
+
+// Count-Min sketch over 64-bit cells; `add` touches one cell per row.
+class CountMinSketch {
+ public:
+  CountMinSketch(std::uint32_t rows, std::uint64_t cols, std::uint64_t seed);
+
+  void add(std::span<const std::byte> key, std::uint64_t delta);
+  [[nodiscard]] std::uint64_t estimate(std::span<const std::byte> key) const noexcept;
+
+  // Cell indices (row-major, row*cols + col) that `add` would touch — the
+  // remote FETCH_ADD targets for a switch.
+  [[nodiscard]] std::vector<std::uint64_t> cell_indices(
+      std::span<const std::byte> key) const;
+
+  // Merges another sketch (same geometry) — what FETCH_ADD achieves
+  // implicitly when many switches write into one collector-side sketch.
+  void merge(const CountMinSketch& other);
+
+  [[nodiscard]] std::uint32_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::uint64_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::span<std::uint64_t> cells() noexcept { return cells_; }
+
+ private:
+  std::uint32_t rows_;
+  std::uint64_t cols_;
+  std::vector<std::uint64_t> cells_;
+  std::vector<std::uint64_t> row_seeds_;
+};
+
+}  // namespace dart::core

@@ -1,0 +1,41 @@
+#include "core/cluster.hpp"
+
+namespace dart::core {
+
+namespace {
+
+CollectorEndpoint endpoint_for(std::uint32_t id) {
+  CollectorEndpoint ep;
+  ep.mac = {0x02, 0x00, 0xC0, 0x11, static_cast<std::uint8_t>(id >> 8),
+            static_cast<std::uint8_t>(id & 0xFF)};
+  ep.ip = net::Ipv4Addr::from_octets(10, 0, 100,
+                                     static_cast<std::uint8_t>(id & 0xFF));
+  return ep;
+}
+
+}  // namespace
+
+CollectorCluster::CollectorCluster(const DartConfig& config,
+                                   std::uint32_t n_collectors)
+    : crafter_(config) {
+  if (n_collectors == 0) n_collectors = 1;
+  collectors_.reserve(n_collectors);
+  directory_.reserve(n_collectors);
+  for (std::uint32_t id = 0; id < n_collectors; ++id) {
+    collectors_.push_back(
+        std::make_unique<Collector>(config, id, endpoint_for(id)));
+    directory_.push_back(collectors_.back()->remote_info());
+  }
+}
+
+void CollectorCluster::write(std::span<const std::byte> key,
+                             std::span<const std::byte> value) {
+  collectors_[owner_of(key)]->store().write(key, value);
+}
+
+QueryResult CollectorCluster::query(std::span<const std::byte> key,
+                                    ReturnPolicy policy) const {
+  return collectors_[owner_of(key)]->query(key, policy);
+}
+
+}  // namespace dart::core

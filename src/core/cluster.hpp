@@ -1,0 +1,65 @@
+// CollectorCluster — the logically centralized, physically distributed
+// telemetry storage (§3).
+//
+// The cluster owns n collectors. Key ownership is stateless: every switch
+// and every query client hashes the key to a collector id with the shared
+// HashFamily, then resolves the id to RDMA essentials via the directory —
+// the same two steps the paper's query flow (Fig. 2, §3.2) describes.
+// All N copies of a key live on its one owning collector, so a query is a
+// purely local N-slot read there.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/collector.hpp"
+#include "core/config.hpp"
+#include "core/report_crafter.hpp"
+
+namespace dart::core {
+
+class CollectorCluster {
+ public:
+  // Builds `n_collectors` collectors, each with its own `config`-sized store.
+  // Collector i gets ip 10.0.100.i and a derived MAC.
+  CollectorCluster(const DartConfig& config, std::uint32_t n_collectors);
+
+  [[nodiscard]] std::uint32_t size() const noexcept {
+    return static_cast<std::uint32_t>(collectors_.size());
+  }
+  [[nodiscard]] Collector& collector(std::uint32_t id) noexcept {
+    return *collectors_[id];
+  }
+  [[nodiscard]] const Collector& collector(std::uint32_t id) const noexcept {
+    return *collectors_[id];
+  }
+
+  // The switch-side lookup table (§3.1): one RemoteStoreInfo per collector.
+  [[nodiscard]] const std::vector<RemoteStoreInfo>& directory() const noexcept {
+    return directory_;
+  }
+
+  // Stateless key→collector mapping shared by writers and queriers.
+  [[nodiscard]] std::uint32_t owner_of(std::span<const std::byte> key) const noexcept {
+    return crafter_.collector_of(key, size());
+  }
+
+  // Simulation write path: writes all N slots at the owning collector.
+  void write(std::span<const std::byte> key, std::span<const std::byte> value);
+
+  // Operator query (§3.2): hash → collector → N slots → checksum filter →
+  // return policy.
+  [[nodiscard]] QueryResult query(std::span<const std::byte> key,
+                                  ReturnPolicy policy = ReturnPolicy::kPlurality) const;
+
+  [[nodiscard]] const ReportCrafter& crafter() const noexcept { return crafter_; }
+
+ private:
+  std::vector<std::unique_ptr<Collector>> collectors_;
+  std::vector<RemoteStoreInfo> directory_;
+  ReportCrafter crafter_;
+};
+
+}  // namespace dart::core

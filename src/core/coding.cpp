@@ -1,0 +1,120 @@
+#include "core/coding.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "common/hash.hpp"
+#include "common/random.hpp"
+
+namespace dart::core {
+
+std::uint32_t SlotCodec::stored_checksum(std::uint32_t base_checksum,
+                                         std::uint32_t n) const noexcept {
+  if (!codec_.per_location_checksums) {
+    return base_checksum & checksum_mask(dart_.checksum_bits);
+  }
+  SplitMix64 sm(codec_.codec_seed + n);
+  const auto mix = static_cast<std::uint32_t>(sm.next());
+  return (base_checksum ^ mix) & checksum_mask(dart_.checksum_bits);
+}
+
+void SlotCodec::transform_value(std::span<const std::byte> key,
+                                std::uint32_t n,
+                                std::span<std::byte> value) const noexcept {
+  if (!codec_.mask_values) return;
+  // Keystream: SplitMix64 seeded by (key hash, location, codec seed).
+  SplitMix64 sm(xxhash64(key, codec_.codec_seed) + 0x9E37u * n);
+  std::size_t i = 0;
+  while (i < value.size()) {
+    const std::uint64_t word = sm.next();
+    for (int b = 0; b < 8 && i < value.size(); ++b, ++i) {
+      value[i] ^= static_cast<std::byte>((word >> (8 * b)) & 0xFF);
+    }
+  }
+}
+
+void CodedStore::write(std::span<const std::byte> key,
+                       std::span<const std::byte> value) {
+  for (std::uint32_t n = 0; n < store_.config().n_addresses; ++n) {
+    write_one(key, value, n);
+  }
+}
+
+void CodedStore::write_one(std::span<const std::byte> key,
+                           std::span<const std::byte> value, std::uint32_t n) {
+  assert(value.size() == store_.config().value_bytes);
+  // Encode: mask the value, derive the per-location checksum, write raw.
+  std::vector<std::byte> coded(value.begin(), value.end());
+  codec_.transform_value(key, n, coded);
+  const std::uint32_t base = store_.key_checksum(key);
+  const std::uint32_t stored = codec_.stored_checksum(base, n);
+
+  const auto idx = store_.slot_index(key, n);
+  std::byte* slot = store_.memory().data() + store_.slot_offset(idx);
+  const auto csum_bytes = store_.config().checksum_bytes();
+  for (std::uint32_t i = 0; i < csum_bytes; ++i) {
+    slot[i] = static_cast<std::byte>((stored >> (8 * i)) & 0xFF);
+  }
+  std::memcpy(slot + csum_bytes, coded.data(), coded.size());
+}
+
+QueryResult CodedStore::query(std::span<const std::byte> key,
+                              ReturnPolicy policy) const {
+  const std::uint32_t base = store_.key_checksum(key);
+
+  struct Candidate {
+    std::vector<std::byte> value;  // decoded plaintext
+    std::uint32_t count = 0;
+  };
+  std::vector<Candidate> candidates;
+
+  QueryResult result;
+  for (std::uint32_t n = 0; n < store_.config().n_addresses; ++n) {
+    const SlotView slot = store_.read_slot(store_.slot_index(key, n));
+    if (slot.checksum != codec_.stored_checksum(base, n)) continue;
+    ++result.checksum_matches;
+    std::vector<std::byte> plain(slot.value.begin(), slot.value.end());
+    codec_.transform_value(key, n, plain);  // unmask with OUR pad
+    bool merged = false;
+    for (auto& c : candidates) {
+      if (c.value == plain) {
+        ++c.count;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) candidates.push_back(Candidate{std::move(plain), 1});
+  }
+  result.distinct_values = static_cast<std::uint32_t>(candidates.size());
+  if (candidates.empty()) return result;
+
+  const auto commit = [&](const std::vector<std::byte>& value) {
+    result.outcome = QueryOutcome::kFound;
+    result.value = value;
+  };
+  const auto best = std::max_element(
+      candidates.begin(), candidates.end(),
+      [](const Candidate& a, const Candidate& b) { return a.count < b.count; });
+  const auto ties = std::count_if(
+      candidates.begin(), candidates.end(),
+      [&](const Candidate& c) { return c.count == best->count; });
+
+  switch (policy) {
+    case ReturnPolicy::kFirstMatch:
+      commit(candidates.front().value);
+      break;
+    case ReturnPolicy::kSingleDistinct:
+      if (candidates.size() == 1) commit(candidates.front().value);
+      break;
+    case ReturnPolicy::kPlurality:
+      if (ties == 1) commit(best->value);
+      break;
+    case ReturnPolicy::kConsensusTwo:
+      if (best->count >= 2 && ties == 1) commit(best->value);
+      break;
+  }
+  return result;
+}
+
+}  // namespace dart::core

@@ -1,0 +1,84 @@
+// Coding-theory hardening of the DART slot format (§4):
+//
+//   "Additional ideas from coding theory, including using different
+//    checksums for each location or XORing each value with a pseudorandom
+//    value, could also be applied."
+//
+// 1. Per-location checksums (PerLocationCodec). With one shared b-bit
+//    checksum, a key pair that collides in checksum collides at EVERY
+//    location — wrong answers arrive with multiplicity and can even win a
+//    plurality vote. Deriving the stored checksum as
+//        c_n(key) = (CRC32(key) ⊕ mix(n, seed)) & mask
+//    makes collisions independent per location: the probability that a
+//    colliding key matches at j locations drops from 2^-b to 2^-jb.
+//
+// 2. Value masking (XOR with a pseudorandom value keyed by the key and
+//    location). A foreign value that sneaks past the checksum filter is
+//    unmasked with the *queried* key's pad, decorrelating it from the
+//    foreign writer's plaintext: two foreign slots that held the same wrong
+//    plaintext no longer agree after unmasking, so they cannot form a
+//    plurality or consensus — only independent 2^-b flukes can.
+//
+// SlotCodec bundles both; CodedStore wraps a DartStore applying the codec on
+// the write and read paths. The query path is policy-compatible with the
+// plain engine (CodedQueryEngine mirrors QueryEngine over decoded slots).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/query.hpp"
+#include "core/store.hpp"
+
+namespace dart::core {
+
+struct CodecConfig {
+  bool per_location_checksums = true;
+  bool mask_values = true;
+  std::uint64_t codec_seed = 0xC0DE'C0DE;
+};
+
+class SlotCodec {
+ public:
+  SlotCodec(const DartConfig& dart, const CodecConfig& codec)
+      : dart_(dart), codec_(codec) {}
+
+  // The b-bit checksum stored at copy n for `key`.
+  [[nodiscard]] std::uint32_t stored_checksum(std::uint32_t base_checksum,
+                                              std::uint32_t n) const noexcept;
+
+  // Masks/unmasks (XOR is an involution) `value` in place for (key, n).
+  void transform_value(std::span<const std::byte> key, std::uint32_t n,
+                       std::span<std::byte> value) const noexcept;
+
+  [[nodiscard]] const CodecConfig& config() const noexcept { return codec_; }
+
+ private:
+  DartConfig dart_;
+  CodecConfig codec_;
+};
+
+// A DartStore with codec-applied writes and reads.
+class CodedStore {
+ public:
+  CodedStore(const DartConfig& config, const CodecConfig& codec)
+      : store_(config), codec_(config, codec) {}
+
+  void write(std::span<const std::byte> key, std::span<const std::byte> value);
+  void write_one(std::span<const std::byte> key,
+                 std::span<const std::byte> value, std::uint32_t n);
+
+  // Queries with the same outcome semantics as QueryEngine::resolve.
+  [[nodiscard]] QueryResult query(std::span<const std::byte> key,
+                                  ReturnPolicy policy = ReturnPolicy::kPlurality) const;
+
+  [[nodiscard]] DartStore& store() noexcept { return store_; }
+  [[nodiscard]] const SlotCodec& codec() const noexcept { return codec_; }
+
+ private:
+  DartStore store_;
+  SlotCodec codec_;
+};
+
+}  // namespace dart::core

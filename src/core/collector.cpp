@@ -1,0 +1,44 @@
+#include "core/collector.hpp"
+
+#include <cassert>
+
+namespace dart::core {
+
+Collector::Collector(const DartConfig& config, std::uint32_t collector_id,
+                     const CollectorEndpoint& endpoint)
+    : memory_(config.memory_bytes(), std::byte{0}),
+      rnic_(std::make_unique<rdma::SimulatedRnic>(
+          /*rkey_seed=*/0x5EED'0000ull + collector_id)) {
+  assert(config.valid());
+
+  const auto pd = rnic_->alloc_pd();
+  auto mr = rnic_->register_mr(pd, memory_, kDefaultBaseVaddr,
+                               rdma::Access::kRemoteWrite |
+                                   rdma::Access::kRemoteAtomic);
+  assert(mr.ok());
+
+  // The report QP is shared by every switch in the deployment, and switches
+  // keep *independent* per-collector PSN counters (§6) — they cannot
+  // coordinate a single sequence. PSN-based admission would therefore drop
+  // every switch's reports but the furthest-ahead one, so the report QP
+  // ignores PSN ordering (reports are idempotent slot writes; loss needs no
+  // recovery). PSNs still flow on the wire for per-switch loss accounting.
+  const std::uint32_t qpn = qpn_for(collector_id);
+  const auto qp_status = rnic_->create_qp(qpn, rdma::QpType::kRc, pd,
+                                          rdma::PsnPolicy::kIgnore);
+  assert(qp_status.ok());
+  (void)qp_status;
+
+  store_ = std::make_unique<DartStore>(config, std::span<std::byte>(memory_));
+
+  info_.collector_id = collector_id;
+  info_.mac = endpoint.mac;
+  info_.ip = endpoint.ip;
+  info_.qpn = qpn;
+  info_.rkey = mr.value().rkey;
+  info_.base_vaddr = kDefaultBaseVaddr;
+  info_.n_slots = config.n_slots;
+  info_.slot_bytes = config.slot_bytes();
+}
+
+}  // namespace dart::core

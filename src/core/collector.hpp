@@ -1,0 +1,92 @@
+// Collector — a telemetry collection server (§3).
+//
+// A collector is: a block of DRAM laid out as a DartStore, registered with
+// its RNIC as an RDMA memory region so that switches can write reports into
+// it, and a query service that resolves operator queries from that same
+// memory. The collector's CPU appears *only* on the query path — ingest is
+// entirely RNIC → memory, which is the paper's headline property.
+//
+// RemoteStoreInfo is the row a switch's collector lookup table stores per
+// collector (§6: ~20 bytes of SRAM per collector): L2/L3 reachability plus
+// the RDMA essentials (QPN, rkey, base vaddr) and the store geometry needed
+// to turn a slot index into a remote address.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/query.hpp"
+#include "core/store.hpp"
+#include "net/headers.hpp"
+#include "rdma/rnic.hpp"
+
+namespace dart::core {
+
+struct RemoteStoreInfo {
+  std::uint32_t collector_id = 0;
+  net::MacAddr mac{};
+  net::Ipv4Addr ip{};
+  std::uint32_t qpn = 0;
+  std::uint32_t rkey = 0;
+  std::uint64_t base_vaddr = 0;
+  std::uint64_t n_slots = 0;
+  std::uint32_t slot_bytes = 0;
+
+  [[nodiscard]] std::uint64_t slot_vaddr(std::uint64_t index) const noexcept {
+    return base_vaddr + index * slot_bytes;
+  }
+};
+
+struct CollectorEndpoint {
+  net::MacAddr mac{};
+  net::Ipv4Addr ip{};
+};
+
+class Collector {
+ public:
+  // Brings up the collector: allocates store memory, registers it with the
+  // RNIC (remote-write + remote-atomic), and opens the report QP.
+  Collector(const DartConfig& config, std::uint32_t collector_id,
+            const CollectorEndpoint& endpoint);
+
+  Collector(const Collector&) = delete;
+  Collector& operator=(const Collector&) = delete;
+
+  // --- reporting side ------------------------------------------------------
+  [[nodiscard]] rdma::SimulatedRnic& rnic() noexcept { return *rnic_; }
+  [[nodiscard]] const rdma::RnicCounters& ingest_counters() const noexcept {
+    return rnic_->counters();
+  }
+  [[nodiscard]] RemoteStoreInfo remote_info() const noexcept { return info_; }
+
+  // --- query side (the only CPU involvement) -------------------------------
+  [[nodiscard]] QueryResult query(std::span<const std::byte> key,
+                                  ReturnPolicy policy = ReturnPolicy::kPlurality) const {
+    return QueryEngine(*store_).resolve(key, policy);
+  }
+
+  // --- direct store access (simulation & tests) ----------------------------
+  [[nodiscard]] DartStore& store() noexcept { return *store_; }
+  [[nodiscard]] const DartStore& store() const noexcept { return *store_; }
+  [[nodiscard]] const DartConfig& config() const noexcept {
+    return store_->config();
+  }
+  [[nodiscard]] std::uint32_t id() const noexcept { return info_.collector_id; }
+
+  // Default QPN scheme: report QPs live at a fixed base + collector id.
+  [[nodiscard]] static constexpr std::uint32_t qpn_for(std::uint32_t collector_id) noexcept {
+    return 0x100u + collector_id;
+  }
+  static constexpr std::uint64_t kDefaultBaseVaddr = 0x0000'1000'0000'0000ull;
+
+ private:
+  std::vector<std::byte> memory_;
+  std::unique_ptr<rdma::SimulatedRnic> rnic_;
+  std::unique_ptr<DartStore> store_;
+  RemoteStoreInfo info_;
+};
+
+}  // namespace dart::core

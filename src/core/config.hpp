@@ -1,0 +1,54 @@
+// DART deployment configuration — the parameters §4 analyzes.
+//
+// One DartConfig is shared verbatim by every switch, every collector, and
+// every query client in a deployment; that shared knowledge (sizes + hash
+// seeds) is what makes the key→address mapping stateless (§3.1).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dart::core {
+
+// How a writer fills the N slots of a key.
+enum class WriteMode : std::uint8_t {
+  // One operation fills all N addresses — what a SmartNIC multi-DMA
+  // primitive would provide (§7), and what pure simulations use.
+  kAllSlots,
+  // Each report packet writes ONE uniformly random slot n ∈ [0,N) — the
+  // RDMA-standard behaviour of the Tofino prototype (§3.1/§6), which relies
+  // on multiple reports per key to eventually populate all N slots.
+  kStochastic,
+};
+
+struct DartConfig {
+  // M — number of slots in the collector's slot array.
+  std::uint64_t n_slots = 1 << 20;
+  // N — per-key redundancy (addresses per key), §3.1. Paper default: 2.
+  std::uint32_t n_addresses = 2;
+  // b — key-checksum width in bits (1..32). Paper suggests 32 (§4).
+  std::uint32_t checksum_bits = 32;
+  // Value payload width in bytes. Fig. 4 uses 20 B (160-bit INT path data).
+  std::uint32_t value_bytes = 20;
+  // Deployment-wide hash seed, distributed with the config.
+  std::uint64_t master_seed = 0xDA27'0000'0001ull;
+  WriteMode write_mode = WriteMode::kAllSlots;
+
+  // Bytes per slot: b-bit checksum stored in ceil(b/8) bytes + value.
+  [[nodiscard]] constexpr std::uint32_t checksum_bytes() const noexcept {
+    return (checksum_bits + 7) / 8;
+  }
+  [[nodiscard]] constexpr std::uint32_t slot_bytes() const noexcept {
+    return checksum_bytes() + value_bytes;
+  }
+  [[nodiscard]] constexpr std::uint64_t memory_bytes() const noexcept {
+    return n_slots * static_cast<std::uint64_t>(slot_bytes());
+  }
+
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return n_slots > 0 && n_addresses >= 1 && checksum_bits >= 1 &&
+           checksum_bits <= 32 && value_bytes >= 1;
+  }
+};
+
+}  // namespace dart::core

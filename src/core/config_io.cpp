@@ -1,0 +1,80 @@
+#include "core/config_io.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace dart::core {
+
+namespace {
+
+[[nodiscard]] std::string hex_u64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%" PRIx64, v);
+  return buf;
+}
+
+}  // namespace
+
+KvConfig to_kv(const DartConfig& config) {
+  KvConfig kv;
+  kv.set("n_slots", std::to_string(config.n_slots));
+  kv.set("n_addresses", std::to_string(config.n_addresses));
+  kv.set("checksum_bits", std::to_string(config.checksum_bits));
+  kv.set("value_bytes", std::to_string(config.value_bytes));
+  kv.set("master_seed", hex_u64(config.master_seed));
+  kv.set("write_mode",
+         config.write_mode == WriteMode::kAllSlots ? "all_slots" : "stochastic");
+  return kv;
+}
+
+Result<DartConfig> dart_config_from_kv(const KvConfig& kv) {
+  DartConfig config;
+  auto take_u64 = [&](const char* key, auto& field) -> Status {
+    if (!kv.has(key)) return {};
+    const auto v = kv.get_u64(key);
+    if (!v) {
+      return Error{"config_value", std::string("unparsable integer for ") + key};
+    }
+    field = static_cast<std::decay_t<decltype(field)>>(*v);
+    return {};
+  };
+  if (auto s = take_u64("n_slots", config.n_slots); !s.ok()) return s.error();
+  if (auto s = take_u64("n_addresses", config.n_addresses); !s.ok()) {
+    return s.error();
+  }
+  if (auto s = take_u64("checksum_bits", config.checksum_bits); !s.ok()) {
+    return s.error();
+  }
+  if (auto s = take_u64("value_bytes", config.value_bytes); !s.ok()) {
+    return s.error();
+  }
+  if (auto s = take_u64("master_seed", config.master_seed); !s.ok()) {
+    return s.error();
+  }
+  if (const auto mode = kv.get("write_mode")) {
+    if (*mode == "all_slots") {
+      config.write_mode = WriteMode::kAllSlots;
+    } else if (*mode == "stochastic") {
+      config.write_mode = WriteMode::kStochastic;
+    } else {
+      return Error{"config_value", "write_mode must be all_slots|stochastic"};
+    }
+  }
+  if (!config.valid()) {
+    return Error{"config_invalid",
+                 "configuration fails DartConfig::valid() constraints"};
+  }
+  return config;
+}
+
+Status save_dart_config(const DartConfig& config, const std::string& path) {
+  return to_kv(config).save(path);
+}
+
+Result<DartConfig> load_dart_config(const std::string& path) {
+  auto kv = KvConfig::load(path);
+  if (!kv.ok()) return kv.error();
+  return dart_config_from_kv(kv.value());
+}
+
+}  // namespace dart::core

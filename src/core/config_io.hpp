@@ -1,0 +1,25 @@
+// DartConfig ⇄ key=value file conversion — how a deployment distributes the
+// shared configuration whose byte-for-byte agreement the stateless mapping
+// depends on (checked by control-plane fingerprints, core/control.hpp).
+#pragma once
+
+#include <string>
+
+#include "common/kvconfig.hpp"
+#include "core/config.hpp"
+
+namespace dart::core {
+
+// Serializes every mapping-relevant field.
+[[nodiscard]] KvConfig to_kv(const DartConfig& config);
+
+// Parses a config; missing keys fall back to DartConfig defaults, malformed
+// values or invalid combinations fail.
+[[nodiscard]] Result<DartConfig> dart_config_from_kv(const KvConfig& kv);
+
+// Convenience file round trips.
+[[nodiscard]] Status save_dart_config(const DartConfig& config,
+                                      const std::string& path);
+[[nodiscard]] Result<DartConfig> load_dart_config(const std::string& path);
+
+}  // namespace dart::core

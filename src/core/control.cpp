@@ -1,0 +1,98 @@
+#include "core/control.hpp"
+
+#include <algorithm>
+
+#include "common/hash.hpp"
+#include "core/oracle.hpp"
+
+namespace dart::core {
+
+std::uint64_t config_fingerprint(const DartConfig& config) noexcept {
+  // Every field that participates in the stateless mapping. Serialized into
+  // a fixed layout so padding never leaks in.
+  struct Canonical {
+    std::uint64_t n_slots;
+    std::uint32_t n_addresses;
+    std::uint32_t checksum_bits;
+    std::uint32_t value_bytes;
+    std::uint32_t write_mode;
+    std::uint64_t master_seed;
+  } c{config.n_slots,       config.n_addresses, config.checksum_bits,
+      config.value_bytes,   static_cast<std::uint32_t>(config.write_mode),
+      config.master_seed};
+  return xxhash64_of(c, 0xF1D6E2);
+}
+
+void DeploymentController::register_collector(const RemoteStoreInfo& info) {
+  const auto it = std::find_if(
+      directory_.begin(), directory_.end(),
+      [&](const RemoteStoreInfo& r) { return r.collector_id == info.collector_id; });
+  if (it != directory_.end()) {
+    *it = info;  // re-registration updates the row (e.g. new rkey)
+  } else {
+    directory_.push_back(info);
+  }
+  ++stats_.directory_version;
+}
+
+Status DeploymentController::decommission_collector(std::uint32_t collector_id) {
+  const auto it = std::find_if(
+      directory_.begin(), directory_.end(),
+      [&](const RemoteStoreInfo& r) { return r.collector_id == collector_id; });
+  if (it == directory_.end()) {
+    return Error{"unknown_collector", "collector not in the directory"};
+  }
+  directory_.erase(it);
+  ++stats_.directory_version;
+  return {};
+}
+
+Status DeploymentController::attach_switch(
+    switchsim::DartSwitchPipeline& pipeline) {
+  if (config_fingerprint(pipeline.config().dart) != config_fingerprint(config_)) {
+    ++stats_.config_rejections;
+    return Error{"config_mismatch",
+                 "switch DartConfig fingerprint differs from the deployment "
+                 "config — the stateless mapping would break"};
+  }
+  push_directory(pipeline);
+  switches_.push_back({&pipeline, stats_.directory_version});
+  ++stats_.switches_attached;
+  return {};
+}
+
+void DeploymentController::push_directory(
+    switchsim::DartSwitchPipeline& pipeline) {
+  pipeline.clear_collectors();
+  for (const auto& info : directory_) {
+    pipeline.load_collector(info);
+    ++stats_.table_entries_pushed;
+  }
+}
+
+std::uint32_t DeploymentController::push_updates() {
+  std::uint32_t updated = 0;
+  for (auto& attached : switches_) {
+    if (attached.table_version == stats_.directory_version) continue;
+    push_directory(*attached.pipeline);
+    attached.table_version = stats_.directory_version;
+    ++updated;
+  }
+  return updated;
+}
+
+double DeploymentController::estimate_remap_fraction(
+    std::uint32_t before, std::uint32_t after, std::uint32_t samples) const {
+  if (before == 0 || after == 0 || samples == 0) return 0.0;
+  const HashFamily family(config_.n_addresses, config_.master_seed);
+  std::uint32_t moved = 0;
+  for (std::uint32_t i = 0; i < samples; ++i) {
+    const auto key = sim_key(0xCAFE'0000ull + i);
+    if (family.collector_of(key, before) != family.collector_of(key, after)) {
+      ++moved;
+    }
+  }
+  return static_cast<double>(moved) / static_cast<double>(samples);
+}
+
+}  // namespace dart::core

@@ -1,0 +1,91 @@
+// Deployment control plane — the generalized counterpart of the prototype's
+// "150 lines of Python to handle the switch control plane" (§6).
+//
+// Responsibilities:
+//  - own the deployment's DartConfig and enforce that every switch attaches
+//    with the *identical* config (a mismatched master seed or slot count
+//    silently breaks the stateless key→address mapping — the deadliest
+//    misconfiguration this system can have, so it is checked by fingerprint);
+//  - maintain the versioned collector directory and push table updates to
+//    attached switches (collector registration / decommissioning);
+//  - quantify the cost of resizing: with stateless modulo placement, adding
+//    a collector remaps most keys (old data becomes unqueryable until it
+//    ages out), which estimate_remap_fraction() measures — the operational
+//    reason collector pools are sized up-front.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "core/collector.hpp"
+#include "switchsim/dart_switch.hpp"
+
+namespace dart::core {
+
+// Stable fingerprint of every mapping-relevant DartConfig field.
+[[nodiscard]] std::uint64_t config_fingerprint(const DartConfig& config) noexcept;
+
+struct ControllerStats {
+  std::uint32_t directory_version = 0;
+  std::uint64_t table_entries_pushed = 0;
+  std::uint32_t switches_attached = 0;
+  std::uint32_t config_rejections = 0;
+};
+
+class DeploymentController {
+ public:
+  explicit DeploymentController(const DartConfig& config) : config_(config) {}
+
+  [[nodiscard]] const DartConfig& config() const noexcept { return config_; }
+
+  // --- collectors ----------------------------------------------------------
+
+  // Adds a collector's directory row; bumps the directory version.
+  void register_collector(const RemoteStoreInfo& info);
+
+  // Removes a collector; bumps the version. Keys owned by it become
+  // unqueryable (and re-hash onto the remaining pool for new writes).
+  Status decommission_collector(std::uint32_t collector_id);
+
+  [[nodiscard]] const std::vector<RemoteStoreInfo>& directory() const noexcept {
+    return directory_;
+  }
+
+  // --- switches -------------------------------------------------------------
+
+  // Attaches a switch: rejects config mismatches, then pushes the current
+  // directory into its lookup table.
+  Status attach_switch(switchsim::DartSwitchPipeline& pipeline);
+
+  // Re-pushes the directory to every attached switch whose table version is
+  // stale. Returns the number of switches updated.
+  std::uint32_t push_updates();
+
+  [[nodiscard]] const ControllerStats& stats() const noexcept { return stats_; }
+
+  // --- resize analysis -------------------------------------------------------
+
+  // Fraction of sampled keys whose owning collector changes when the pool
+  // grows/shrinks from `before` to `after` collectors (stateless modulo
+  // placement; §3's design keeps no placement state to migrate).
+  [[nodiscard]] double estimate_remap_fraction(std::uint32_t before,
+                                               std::uint32_t after,
+                                               std::uint32_t samples = 4096) const;
+
+ private:
+  struct AttachedSwitch {
+    switchsim::DartSwitchPipeline* pipeline;
+    std::uint32_t table_version;
+  };
+
+  void push_directory(switchsim::DartSwitchPipeline& pipeline);
+
+  DartConfig config_;
+  std::vector<RemoteStoreInfo> directory_;
+  std::vector<AttachedSwitch> switches_;
+  ControllerStats stats_;
+};
+
+}  // namespace dart::core

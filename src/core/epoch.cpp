@@ -1,0 +1,159 @@
+#include "core/epoch.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/hash.hpp"
+
+namespace dart::core {
+
+namespace {
+
+constexpr char kMagic[8] = {'D', 'A', 'R', 'T', 'A', 'R', 'C', 'H'};
+
+template <typename T>
+void put(std::ofstream& out, T v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+[[nodiscard]] bool get(std::ifstream& in, T& v) {
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+[[nodiscard]] bool slot_occupied(std::span<const std::byte> slot) {
+  for (const auto b : slot) {
+    if (b != std::byte{0}) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<std::uint64_t> write_epoch_archive(const std::string& path,
+                                          std::uint64_t epoch,
+                                          const DartStore& store) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Error{"archive_open", "cannot open archive file for writing: " + path};
+  }
+  const auto& cfg = store.config();
+
+  out.write(kMagic, sizeof(kMagic));
+  put(out, kArchiveVersion);
+  put(out, epoch);
+  put(out, cfg.checksum_bits);
+  put(out, cfg.value_bytes);
+  const auto count_pos = out.tellp();
+  put(out, std::uint64_t{0});  // patched below
+
+  Crc32 crc;
+  std::uint64_t entries = 0;
+  for (std::uint64_t idx = 0; idx < cfg.n_slots; ++idx) {
+    const auto raw =
+        store.memory().subspan(store.slot_offset(idx), cfg.slot_bytes());
+    if (!slot_occupied(raw)) continue;
+    const SlotView slot = store.read_slot(idx);
+
+    std::vector<std::byte> entry(8 + 4 + slot.value.size());
+    std::memcpy(entry.data(), &idx, 8);
+    std::memcpy(entry.data() + 8, &slot.checksum, 4);
+    std::memcpy(entry.data() + 12, slot.value.data(), slot.value.size());
+    out.write(reinterpret_cast<const char*>(entry.data()),
+              static_cast<std::streamsize>(entry.size()));
+    crc.update(entry);
+    ++entries;
+  }
+  put(out, crc.value());
+
+  out.seekp(count_pos);
+  put(out, entries);
+  out.flush();
+  if (!out) {
+    return Error{"archive_write", "short write to archive file: " + path};
+  }
+  return entries;
+}
+
+Result<EpochArchiveReader> EpochArchiveReader::open(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Error{"archive_open", "cannot open archive file: " + path};
+  }
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(magic)) != 0) {
+    return Error{"archive_magic", "not a DART archive: " + path};
+  }
+  std::uint32_t version;
+  EpochArchiveReader reader;
+  std::uint64_t entries;
+  if (!get(in, version) || version != kArchiveVersion) {
+    return Error{"archive_version", "unsupported archive version"};
+  }
+  if (!get(in, reader.epoch_) || !get(in, reader.checksum_bits_) ||
+      !get(in, reader.value_bytes_) || !get(in, entries)) {
+    return Error{"archive_header", "truncated archive header"};
+  }
+  if (reader.value_bytes_ == 0 || reader.value_bytes_ > 4096) {
+    return Error{"archive_header", "implausible value width"};
+  }
+
+  Crc32 crc;
+  const std::size_t entry_size = 8 + 4 + reader.value_bytes_;
+  std::vector<std::byte> buf(entry_size);
+  reader.entries_vec_.reserve(entries);
+  for (std::uint64_t i = 0; i < entries; ++i) {
+    in.read(reinterpret_cast<char*>(buf.data()),
+            static_cast<std::streamsize>(entry_size));
+    if (!in) {
+      return Error{"archive_truncated", "archive ends mid-entry"};
+    }
+    crc.update(buf);
+    ArchiveEntry entry;
+    std::memcpy(&entry.slot_index, buf.data(), 8);
+    std::memcpy(&entry.checksum, buf.data() + 8, 4);
+    entry.value.assign(buf.begin() + 12, buf.end());
+    reader.index_[entry.checksum].push_back(reader.entries_vec_.size());
+    reader.entries_vec_.push_back(std::move(entry));
+  }
+  std::uint32_t carried;
+  if (!get(in, carried) || carried != crc.value()) {
+    return Error{"archive_crc", "archive checksum mismatch"};
+  }
+  reader.entries_ = entries;
+  return reader;
+}
+
+std::vector<std::vector<std::byte>> EpochArchiveReader::lookup_key(
+    std::span<const std::byte> key) const {
+  const std::uint32_t want = crc32(key) & checksum_mask(checksum_bits_);
+  const auto it = index_.find(want);
+  if (it == index_.end()) return {};
+  std::vector<std::vector<std::byte>> out;
+  out.reserve(it->second.size());
+  for (const auto idx : it->second) out.push_back(entries_vec_[idx].value);
+  return out;
+}
+
+std::optional<std::vector<std::byte>> EpochArchiveReader::query(
+    std::span<const std::byte> key) const {
+  const auto hits = lookup_key(key);
+  if (hits.empty()) return std::nullopt;
+  // Conservative: commit only when every surviving copy agrees.
+  for (std::size_t i = 1; i < hits.size(); ++i) {
+    if (hits[i] != hits[0]) return std::nullopt;
+  }
+  return hits[0];
+}
+
+Result<std::uint64_t> EpochedStore::seal_to_file(const std::string& path) {
+  auto written = write_epoch_archive(path, epoch_, live_);
+  if (!written.ok()) return written;
+  live_.clear();
+  ++epoch_;
+  return written;
+}
+
+}  // namespace dart::core

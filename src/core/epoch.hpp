@@ -1,0 +1,103 @@
+// Epoch-based historical storage (§5.2.1), productized:
+//
+//   "A solution can be to utilize DRAM for temporary epoch-based storage of
+//    telemetry data, combined with periodical transfer of data into a larger
+//    (and much slower) persistent storage where historical queries can be
+//    answered."
+//
+// EpochedStore double-buffers a live DartStore per epoch. seal_to_file()
+// scans the sealed snapshot once (the "periodical transfer"), appends every
+// occupied slot to a persistent archive file, and clears the live store for
+// the next epoch. EpochArchiveReader memory-maps... loads an archive and
+// answers historical point queries by key checksum, applying the same
+// disambiguation rules as live queries.
+//
+// Archive file format (little-endian):
+//   [magic "DARTARCH"][version u32][epoch u64]
+//   [checksum_bits u32][value_bytes u32][n_entries u64]
+//   n_entries × [slot_index u64][checksum u32][value value_bytes]
+//   [crc32 of all entry bytes u32]
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.hpp"
+#include "core/store.hpp"
+
+namespace dart::core {
+
+inline constexpr std::uint32_t kArchiveVersion = 1;
+
+struct ArchiveEntry {
+  std::uint64_t slot_index = 0;
+  std::uint32_t checksum = 0;
+  std::vector<std::byte> value;
+};
+
+// Writes one epoch's occupied slots to `path`. Returns entries written.
+[[nodiscard]] Result<std::uint64_t> write_epoch_archive(
+    const std::string& path, std::uint64_t epoch, const DartStore& store);
+
+class EpochArchiveReader {
+ public:
+  // Loads and validates an archive file.
+  [[nodiscard]] static Result<EpochArchiveReader> open(const std::string& path);
+
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+  [[nodiscard]] std::uint32_t checksum_bits() const noexcept {
+    return checksum_bits_;
+  }
+  [[nodiscard]] std::uint32_t value_bytes() const noexcept {
+    return value_bytes_;
+  }
+  [[nodiscard]] std::size_t entry_count() const noexcept { return entries_; }
+
+  // All archived values whose stored checksum matches `key`'s checksum.
+  [[nodiscard]] std::vector<std::vector<std::byte>> lookup_key(
+      std::span<const std::byte> key) const;
+
+  // Historical query with live-path semantics: one distinct candidate →
+  // found; ambiguity → empty (the conservative §4 rule for history, where
+  // re-reporting cannot disambiguate).
+  [[nodiscard]] std::optional<std::vector<std::byte>> query(
+      std::span<const std::byte> key) const;
+
+  // All archived entries in file order (for inspection tools).
+  [[nodiscard]] const std::vector<ArchiveEntry>& entries() const noexcept {
+    return entries_vec_;
+  }
+
+ private:
+  EpochArchiveReader() = default;
+
+  std::uint64_t epoch_ = 0;
+  std::uint32_t checksum_bits_ = 32;
+  std::uint32_t value_bytes_ = 0;
+  std::size_t entries_ = 0;
+  std::vector<ArchiveEntry> entries_vec_;
+  // checksum → indices into entries_vec_.
+  std::unordered_map<std::uint32_t, std::vector<std::size_t>> index_;
+};
+
+// Live store + epoch lifecycle.
+class EpochedStore {
+ public:
+  explicit EpochedStore(const DartConfig& config) : live_(config) {}
+
+  [[nodiscard]] DartStore& live() noexcept { return live_; }
+  [[nodiscard]] std::uint64_t current_epoch() const noexcept { return epoch_; }
+
+  // Seals the current epoch to `path` and starts a fresh one.
+  [[nodiscard]] Result<std::uint64_t> seal_to_file(const std::string& path);
+
+ private:
+  DartStore live_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace dart::core

@@ -1,0 +1,80 @@
+#include "core/epoch_rotation.hpp"
+
+#include <cassert>
+
+namespace dart::core {
+
+RotatingCollector::RotatingCollector(const DartConfig& config,
+                                     std::uint32_t collector_id,
+                                     const CollectorEndpoint& endpoint)
+    : config_(config), collector_id_(collector_id), endpoint_(endpoint),
+      rnic_(0x207A7E00ull + collector_id) {
+  assert(config.valid());
+  const auto pd = rnic_.alloc_pd();
+  const auto qp = rnic_.create_qp(Collector::qpn_for(collector_id),
+                                  rdma::QpType::kRc, pd,
+                                  rdma::PsnPolicy::kIgnore);
+  assert(qp.ok());
+  (void)qp;
+
+  for (std::uint32_t r = 0; r < 2; ++r) {
+    Region& region = regions_[r];
+    region.memory.assign(config.memory_bytes(), std::byte{0});
+    // Disjoint vaddr ranges so both MRs coexist on the RNIC.
+    region.base_vaddr =
+        Collector::kDefaultBaseVaddr + r * (config.memory_bytes() + (1u << 20));
+    auto mr = rnic_.register_mr(pd, region.memory, region.base_vaddr,
+                                rdma::Access::kRemoteWrite |
+                                    rdma::Access::kRemoteAtomic);
+    assert(mr.ok());
+    region.rkey = mr.value().rkey;
+    region.store = std::make_unique<DartStore>(
+        config, std::span<std::byte>(region.memory));
+  }
+}
+
+RemoteStoreInfo RotatingCollector::info_for(const Region& region) const noexcept {
+  RemoteStoreInfo info;
+  info.collector_id = collector_id_;
+  info.mac = endpoint_.mac;
+  info.ip = endpoint_.ip;
+  info.qpn = Collector::qpn_for(collector_id_);
+  info.rkey = region.rkey;
+  info.base_vaddr = region.base_vaddr;
+  info.n_slots = config_.n_slots;
+  info.slot_bytes = config_.slot_bytes();
+  return info;
+}
+
+RemoteStoreInfo RotatingCollector::active_info() const noexcept {
+  return info_for(regions_[active_]);
+}
+
+RemoteStoreInfo RotatingCollector::standby_info() const noexcept {
+  return info_for(regions_[1 - active_]);
+}
+
+QueryResult RotatingCollector::query(std::span<const std::byte> key,
+                                     ReturnPolicy policy) const {
+  return QueryEngine(*regions_[active_].store).resolve(key, policy);
+}
+
+QueryResult RotatingCollector::query_standby(std::span<const std::byte> key,
+                                             ReturnPolicy policy) const {
+  return QueryEngine(*regions_[1 - active_].store).resolve(key, policy);
+}
+
+void RotatingCollector::flip() {
+  active_ = 1 - active_;
+  ++epoch_;
+}
+
+Result<std::uint64_t> RotatingCollector::seal_previous(const std::string& path) {
+  Region& previous = regions_[1 - active_];
+  auto written = write_epoch_archive(path, epoch_ - 1, *previous.store);
+  if (!written.ok()) return written;
+  previous.store->clear();
+  return written;
+}
+
+}  // namespace dart::core

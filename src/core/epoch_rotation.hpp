@@ -1,0 +1,89 @@
+// Live epoch rotation — the §5.2.1 mechanism end to end.
+//
+// The epoch archive (core/epoch.hpp) answers historical queries, but sealing
+// must not pause reporters. RotatingCollector therefore double-buffers at the
+// RDMA layer: TWO memory regions (each its own DartStore, vaddr range and
+// rkey) are registered on one RNIC. Switches write to whichever region the
+// directory currently advertises; an epoch flip is
+//
+//   1. controller publishes the standby region's directory row (new rkey),
+//   2. switches drain onto the new region — reports in flight to the OLD
+//      rkey still land, because the old MR stays registered (grace period),
+//   3. the old region is sealed to the archive file and cleared, becoming
+//      the next standby.
+//
+// No reporter ever blocks; the only data at risk is what §4 already prices
+// in (a report racing the seal lands in the next epoch's file instead).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "core/collector.hpp"
+#include "core/epoch.hpp"
+#include "core/query.hpp"
+#include "core/store.hpp"
+#include "rdma/rnic.hpp"
+
+namespace dart::core {
+
+class RotatingCollector {
+ public:
+  // Two equally-sized stores; region 0 starts active.
+  RotatingCollector(const DartConfig& config, std::uint32_t collector_id,
+                    const CollectorEndpoint& endpoint);
+
+  RotatingCollector(const RotatingCollector&) = delete;
+  RotatingCollector& operator=(const RotatingCollector&) = delete;
+
+  [[nodiscard]] rdma::SimulatedRnic& rnic() noexcept { return rnic_; }
+
+  // Directory row for the ACTIVE region — what the controller distributes.
+  [[nodiscard]] RemoteStoreInfo active_info() const noexcept;
+  // Row for the standby region (what the next flip will publish).
+  [[nodiscard]] RemoteStoreInfo standby_info() const noexcept;
+
+  [[nodiscard]] std::uint64_t current_epoch() const noexcept { return epoch_; }
+  [[nodiscard]] std::uint32_t active_region() const noexcept { return active_; }
+
+  // Live query against the active region.
+  [[nodiscard]] QueryResult query(std::span<const std::byte> key,
+                                  ReturnPolicy policy = ReturnPolicy::kPlurality) const;
+
+  // Query against the standby region (reports still draining there during
+  // the grace period after a flip).
+  [[nodiscard]] QueryResult query_standby(std::span<const std::byte> key,
+                                          ReturnPolicy policy = ReturnPolicy::kPlurality) const;
+
+  // Epoch flip, step 1+2: activate the standby region. The previous region
+  // keeps accepting in-flight writes until seal_previous().
+  void flip();
+
+  // Epoch flip, step 3: seal the now-standby (previous) region to `path`
+  // and clear it. Returns archived entry count.
+  [[nodiscard]] Result<std::uint64_t> seal_previous(const std::string& path);
+
+  [[nodiscard]] const DartConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Region {
+    std::vector<std::byte> memory;
+    std::unique_ptr<DartStore> store;
+    std::uint32_t rkey = 0;
+    std::uint64_t base_vaddr = 0;
+  };
+
+  [[nodiscard]] RemoteStoreInfo info_for(const Region& region) const noexcept;
+
+  DartConfig config_;
+  std::uint32_t collector_id_;
+  CollectorEndpoint endpoint_;
+  rdma::SimulatedRnic rnic_;
+  Region regions_[2];
+  std::uint32_t active_ = 0;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace dart::core

@@ -1,0 +1,34 @@
+#include "core/oracle.hpp"
+
+#include <cstring>
+
+namespace dart::core {
+
+void Oracle::record(std::uint64_t key_id, std::span<const std::byte> value) {
+  auto& v = truth_[key_id];
+  v.assign(value.begin(), value.end());
+}
+
+Verdict Oracle::classify(std::uint64_t key_id, const QueryResult& result) {
+  const auto it = truth_.find(key_id);
+  if (it == truth_.end()) {
+    ++counts_.never_written;
+    return Verdict::kNeverWritten;
+  }
+  if (result.outcome == QueryOutcome::kEmpty) {
+    ++counts_.empty;
+    return Verdict::kEmptyReturn;
+  }
+  const auto& want = it->second;
+  const bool match = want.size() == result.value.size() &&
+                     std::memcmp(want.data(), result.value.data(),
+                                 want.size()) == 0;
+  if (match) {
+    ++counts_.correct;
+    return Verdict::kCorrect;
+  }
+  ++counts_.error;
+  return Verdict::kReturnError;
+}
+
+}  // namespace dart::core

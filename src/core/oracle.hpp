@@ -1,0 +1,82 @@
+// Ground-truth oracle for simulations.
+//
+// §4 defines query outcomes relative to the *true* latest value of a key:
+//   correct      — query returned the value last written for the key,
+//   empty return — query returned nothing,
+//   return error — query returned a value ≠ the latest written value.
+// The store cannot distinguish the last two cases from a lucky hit; only the
+// simulation, which remembers every write, can. The oracle is that memory,
+// plus tallies that the Fig. 3/4/5 benches read out.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/query.hpp"
+
+namespace dart::core {
+
+// Simulation keys are 64-bit ids serialized little-endian; this helper is the
+// single definition of that encoding.
+[[nodiscard]] inline std::array<std::byte, 8> sim_key(std::uint64_t id) noexcept {
+  std::array<std::byte, 8> k;
+  for (int i = 0; i < 8; ++i) {
+    k[static_cast<std::size_t>(i)] =
+        static_cast<std::byte>((id >> (8 * i)) & 0xFF);
+  }
+  return k;
+}
+
+enum class Verdict : std::uint8_t {
+  kCorrect,
+  kEmptyReturn,
+  kReturnError,
+  kNeverWritten,  // query for a key the oracle has no record of
+};
+
+struct VerdictCounts {
+  std::uint64_t correct = 0;
+  std::uint64_t empty = 0;
+  std::uint64_t error = 0;
+  std::uint64_t never_written = 0;
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return correct + empty + error + never_written;
+  }
+  [[nodiscard]] double success_rate() const noexcept {
+    const auto t = total();
+    return t ? static_cast<double>(correct) / static_cast<double>(t) : 0.0;
+  }
+  [[nodiscard]] double error_rate() const noexcept {
+    const auto t = total();
+    return t ? static_cast<double>(error) / static_cast<double>(t) : 0.0;
+  }
+  [[nodiscard]] double empty_rate() const noexcept {
+    const auto t = total();
+    return t ? static_cast<double>(empty) / static_cast<double>(t) : 0.0;
+  }
+};
+
+class Oracle {
+ public:
+  // Records that `value` is now the latest value for `key`.
+  void record(std::uint64_t key_id, std::span<const std::byte> value);
+
+  // Classifies a query result against the recorded truth and tallies it.
+  Verdict classify(std::uint64_t key_id, const QueryResult& result);
+
+  [[nodiscard]] const VerdictCounts& counts() const noexcept { return counts_; }
+  void reset_counts() noexcept { counts_ = {}; }
+  [[nodiscard]] std::size_t keys_tracked() const noexcept {
+    return truth_.size();
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, std::vector<std::byte>> truth_;
+  VerdictCounts counts_;
+};
+
+}  // namespace dart::core

@@ -1,0 +1,104 @@
+#include "core/query.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace dart::core {
+
+const char* to_string(ReturnPolicy policy) noexcept {
+  switch (policy) {
+    case ReturnPolicy::kFirstMatch:
+      return "first-match";
+    case ReturnPolicy::kSingleDistinct:
+      return "single-distinct";
+    case ReturnPolicy::kPlurality:
+      return "plurality";
+    case ReturnPolicy::kConsensusTwo:
+      return "consensus-2";
+  }
+  return "?";
+}
+
+namespace {
+
+[[nodiscard]] bool values_equal(std::span<const std::byte> a,
+                                std::span<const std::byte> b) noexcept {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size()) == 0;
+}
+
+}  // namespace
+
+QueryResult QueryEngine::resolve(std::span<const std::byte> key,
+                                 ReturnPolicy policy) const {
+  const std::uint32_t want = store_->key_checksum(key);
+
+  // Collect surviving values with multiplicities. N is small (≤ ~8), so a
+  // flat vector beats any map.
+  struct Candidate {
+    std::span<const std::byte> value;
+    std::uint32_t count = 0;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(store_->config().n_addresses);
+
+  QueryResult result;
+  for (std::uint32_t n = 0; n < store_->config().n_addresses; ++n) {
+    const SlotView slot = store_->read_slot(store_->slot_index(key, n));
+    if (slot.checksum != want) continue;
+    ++result.checksum_matches;
+    bool merged = false;
+    for (auto& c : candidates) {
+      if (values_equal(c.value, slot.value)) {
+        ++c.count;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) candidates.push_back(Candidate{slot.value, 1});
+  }
+  result.distinct_values = static_cast<std::uint32_t>(candidates.size());
+  if (candidates.empty()) return result;  // kEmpty: nothing survived
+
+  const auto commit = [&](std::span<const std::byte> value) {
+    result.outcome = QueryOutcome::kFound;
+    result.value.assign(value.begin(), value.end());
+  };
+
+  switch (policy) {
+    case ReturnPolicy::kFirstMatch:
+      commit(candidates.front().value);
+      break;
+
+    case ReturnPolicy::kSingleDistinct:
+      if (candidates.size() == 1) commit(candidates.front().value);
+      break;
+
+    case ReturnPolicy::kPlurality: {
+      const auto best = std::max_element(
+          candidates.begin(), candidates.end(),
+          [](const Candidate& a, const Candidate& b) { return a.count < b.count; });
+      const auto ties = std::count_if(
+          candidates.begin(), candidates.end(),
+          [&](const Candidate& c) { return c.count == best->count; });
+      if (ties == 1) commit(best->value);
+      break;
+    }
+
+    case ReturnPolicy::kConsensusTwo: {
+      // Highest-count value having count >= 2; ties at the top → empty.
+      const auto best = std::max_element(
+          candidates.begin(), candidates.end(),
+          [](const Candidate& a, const Candidate& b) { return a.count < b.count; });
+      if (best->count < 2) break;
+      const auto ties = std::count_if(
+          candidates.begin(), candidates.end(),
+          [&](const Candidate& c) { return c.count == best->count; });
+      if (ties == 1) commit(best->value);
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace dart::core

@@ -1,0 +1,68 @@
+// QueryEngine — key-based queries over a DartStore (§3.2, §4).
+//
+// A query reads the key's N slots, keeps the ones whose stored checksum
+// equals the key's checksum, and applies a *return policy* to the surviving
+// values. §4 discusses the policy space; the paper's default suggestion is a
+// 32-bit checksum with "plurality vote", and it notes that stricter policies
+// (e.g. requiring a value to appear at least twice) can be chosen *per
+// query* to trade empty returns against return errors — which is why the
+// policy is a parameter of resolve(), not of the store.
+//
+// Outcomes:
+//   kFound — the policy selected a value (it may still be wrong if every
+//            surviving slot was overwritten by a checksum-colliding key —
+//            the "return error" of §4; only the simulation oracle can tell).
+//   kEmpty — no surviving slot, or the policy could not commit to a value
+//            (the "empty return" of §4).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/store.hpp"
+
+namespace dart::core {
+
+enum class ReturnPolicy : std::uint8_t {
+  kFirstMatch,     // first checksum-matching slot wins
+  kSingleDistinct, // commit only if exactly one distinct matching value (§4's
+                   // introductory example)
+  kPlurality,      // most frequent matching value; ties → empty (§4 default)
+  kConsensusTwo,   // value must appear in ≥2 slots (§4's per-query option)
+};
+
+[[nodiscard]] const char* to_string(ReturnPolicy policy) noexcept;
+
+enum class QueryOutcome : std::uint8_t { kFound, kEmpty };
+
+struct QueryResult {
+  QueryOutcome outcome = QueryOutcome::kEmpty;
+  std::vector<std::byte> value;     // set iff outcome == kFound
+  std::uint32_t checksum_matches = 0;  // slots surviving the checksum filter
+  std::uint32_t distinct_values = 0;   // distinct values among survivors
+};
+
+class QueryEngine {
+ public:
+  explicit QueryEngine(const DartStore& store,
+                       ReturnPolicy default_policy = ReturnPolicy::kPlurality)
+      : store_(&store), default_policy_(default_policy) {}
+
+  [[nodiscard]] QueryResult resolve(std::span<const std::byte> key) const {
+    return resolve(key, default_policy_);
+  }
+
+  [[nodiscard]] QueryResult resolve(std::span<const std::byte> key,
+                                    ReturnPolicy policy) const;
+
+  [[nodiscard]] ReturnPolicy default_policy() const noexcept {
+    return default_policy_;
+  }
+
+ private:
+  const DartStore* store_;
+  ReturnPolicy default_policy_;
+};
+
+}  // namespace dart::core

@@ -1,0 +1,94 @@
+#include "core/query_protocol.hpp"
+
+#include <algorithm>
+
+#include "common/bytes.hpp"
+
+namespace dart::core {
+
+namespace {
+constexpr std::uint16_t kMagicRequest = 0x4451;   // "DQ"
+constexpr std::uint16_t kMagicResponse = 0x4452;  // "DR"
+}  // namespace
+
+std::vector<std::byte> encode_query_request(const QueryRequest& req) {
+  std::vector<std::byte> out;
+  out.reserve(14 + req.key.size());
+  BufWriter w(out);
+  w.be16(kMagicRequest);
+  w.u8(kQueryProtocolVersion);
+  w.u8(static_cast<std::uint8_t>(req.policy));
+  w.be64(req.request_id);
+  w.be16(static_cast<std::uint16_t>(req.key.size()));
+  w.bytes(req.key);
+  return out;
+}
+
+std::optional<QueryRequest> parse_query_request(
+    std::span<const std::byte> payload) {
+  BufReader r(payload);
+  if (r.be16() != kMagicRequest) return std::nullopt;
+  if (r.u8() != kQueryProtocolVersion) return std::nullopt;
+  QueryRequest req;
+  const std::uint8_t policy = r.u8();
+  if (policy > static_cast<std::uint8_t>(ReturnPolicy::kConsensusTwo)) {
+    return std::nullopt;
+  }
+  req.policy = static_cast<ReturnPolicy>(policy);
+  req.request_id = r.be64();
+  const std::uint16_t key_len = r.be16();
+  const auto key = r.view(key_len);
+  if (!r.ok() || key.size() != key_len || key_len == 0) return std::nullopt;
+  req.key.assign(key.begin(), key.end());
+  return req;
+}
+
+std::vector<std::byte> encode_query_response(const QueryResponse& resp) {
+  std::vector<std::byte> out;
+  out.reserve(16 + resp.value.size());
+  BufWriter w(out);
+  w.be16(kMagicResponse);
+  w.u8(kQueryProtocolVersion);
+  w.u8(resp.outcome == QueryOutcome::kFound ? 1 : 0);
+  w.be64(resp.request_id);
+  w.u8(resp.checksum_matches);
+  w.u8(resp.distinct_values);
+  w.be16(static_cast<std::uint16_t>(resp.value.size()));
+  w.bytes(resp.value);
+  return out;
+}
+
+std::optional<QueryResponse> parse_query_response(
+    std::span<const std::byte> payload) {
+  BufReader r(payload);
+  if (r.be16() != kMagicResponse) return std::nullopt;
+  if (r.u8() != kQueryProtocolVersion) return std::nullopt;
+  QueryResponse resp;
+  resp.outcome = r.u8() != 0 ? QueryOutcome::kFound : QueryOutcome::kEmpty;
+  resp.request_id = r.be64();
+  resp.checksum_matches = r.u8();
+  resp.distinct_values = r.u8();
+  const std::uint16_t value_len = r.be16();
+  const auto value = r.view(value_len);
+  if (!r.ok() || value.size() != value_len) return std::nullopt;
+  if (resp.outcome == QueryOutcome::kFound && value_len == 0) {
+    return std::nullopt;
+  }
+  resp.value.assign(value.begin(), value.end());
+  return resp;
+}
+
+QueryResponse make_response(std::uint64_t request_id,
+                            const QueryResult& result) {
+  QueryResponse resp;
+  resp.request_id = request_id;
+  resp.outcome = result.outcome;
+  resp.checksum_matches = static_cast<std::uint8_t>(
+      std::min<std::uint32_t>(result.checksum_matches, 0xFF));
+  resp.distinct_values = static_cast<std::uint8_t>(
+      std::min<std::uint32_t>(result.distinct_values, 0xFF));
+  resp.value = result.value;
+  return resp;
+}
+
+}  // namespace dart::core

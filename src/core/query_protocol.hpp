@@ -1,0 +1,57 @@
+// The operator query protocol (§3.2, left side of Fig. 2).
+//
+// Queries are the one place DART uses the collector CPU, and they are
+// network operations: the operator hashes the key to a collector id, looks
+// the collector up in the directory, and sends a query request; the
+// collector reads the key's N slots locally and replies. This module
+// defines the wire format; query_service.hpp provides the collector-side
+// service node and the operator client for the fabric simulator.
+//
+// Request  (UDP, port 4800):
+//   [magic 0x4451 "DQ"][ver u8][policy u8][request id u64]
+//   [key len u16][key bytes]
+// Response (UDP, port 4800):
+//   [magic 0x4452 "DR"][ver u8][outcome u8][request id u64]
+//   [checksum matches u8][distinct values u8][value len u16][value bytes]
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/query.hpp"
+
+namespace dart::core {
+
+inline constexpr std::uint16_t kDartQueryUdpPort = 4800;
+inline constexpr std::uint8_t kQueryProtocolVersion = 1;
+
+struct QueryRequest {
+  std::uint64_t request_id = 0;
+  ReturnPolicy policy = ReturnPolicy::kPlurality;
+  std::vector<std::byte> key;
+};
+
+struct QueryResponse {
+  std::uint64_t request_id = 0;
+  QueryOutcome outcome = QueryOutcome::kEmpty;
+  std::uint8_t checksum_matches = 0;
+  std::uint8_t distinct_values = 0;
+  std::vector<std::byte> value;  // present iff outcome == kFound
+};
+
+[[nodiscard]] std::vector<std::byte> encode_query_request(const QueryRequest& req);
+[[nodiscard]] std::optional<QueryRequest> parse_query_request(
+    std::span<const std::byte> payload);
+
+[[nodiscard]] std::vector<std::byte> encode_query_response(
+    const QueryResponse& resp);
+[[nodiscard]] std::optional<QueryResponse> parse_query_response(
+    std::span<const std::byte> payload);
+
+// Builds a response from a QueryEngine result.
+[[nodiscard]] QueryResponse make_response(std::uint64_t request_id,
+                                          const QueryResult& result);
+
+}  // namespace dart::core

@@ -1,0 +1,85 @@
+#include "core/query_service.hpp"
+
+namespace dart::core {
+
+namespace {
+
+net::UdpFrameSpec reply_spec(net::Ipv4Addr from, net::Ipv4Addr to) {
+  net::UdpFrameSpec spec;
+  spec.src_ip = from;
+  spec.dst_ip = to;
+  spec.src_port = kDartQueryUdpPort;
+  spec.dst_port = kDartQueryUdpPort;
+  return spec;
+}
+
+}  // namespace
+
+void QueryServiceNode::receive(net::Packet packet, std::uint64_t /*now_ns*/) {
+  const auto frame = net::parse_udp_frame(packet.bytes());
+  if (!frame || frame->udp.dst_port != kDartQueryUdpPort ||
+      frame->ip.dst != ip_) {
+    ++malformed_;
+    return;
+  }
+  const auto request = parse_query_request(frame->payload);
+  if (!request) {
+    ++malformed_;
+    return;
+  }
+
+  // The collector CPU's actual work: N slot reads + checksum filter + vote.
+  const auto result = collector_->query(request->key, request->policy);
+  ++served_;
+
+  const auto response_payload =
+      encode_query_response(make_response(request->request_id, result));
+  const auto dest = resolver_(frame->ip.src);
+  if (!dest) return;  // requester unreachable — drop, like real UDP
+  auto reply =
+      net::build_udp_frame(reply_spec(ip_, frame->ip.src), response_payload);
+  sim_->send(self_, *dest, net::Packet(std::move(reply)));
+}
+
+std::uint64_t OperatorClient::query(std::span<const std::byte> key,
+                                    ReturnPolicy policy) {
+  // Fig. 2, steps 1-2: hash the key to its collector, look up the address.
+  const std::uint32_t collector = crafter_->collector_of(
+      key, static_cast<std::uint32_t>(service_ips_.size()));
+  const net::Ipv4Addr service_ip = service_ips_[collector];
+
+  QueryRequest request;
+  request.request_id = next_id_++;
+  request.policy = policy;
+  request.key.assign(key.begin(), key.end());
+
+  const auto dest = resolver_(service_ip);
+  if (dest) {
+    auto frame = net::build_udp_frame(reply_spec(ip_, service_ip),
+                                      encode_query_request(request));
+    sim_->send(self_, *dest, net::Packet(std::move(frame)));
+    ++pending_;
+  }
+  return request.request_id;
+}
+
+void OperatorClient::receive(net::Packet packet, std::uint64_t /*now_ns*/) {
+  const auto frame = net::parse_udp_frame(packet.bytes());
+  if (!frame || frame->udp.dst_port != kDartQueryUdpPort) return;
+  const auto response = parse_query_response(frame->payload);
+  if (!response) return;
+  ++received_;
+  if (pending_ > 0) --pending_;
+  responses_[response->request_id] = *response;
+}
+
+std::optional<QueryResponse> OperatorClient::take_response(
+    std::uint64_t request_id) {
+  const auto it = responses_.find(request_id);
+  if (it == responses_.end()) return std::nullopt;
+  QueryResponse resp = std::move(it->second);
+  responses_.erase(it);
+  return resp;
+}
+
+}  // namespace dart::core

@@ -1,0 +1,90 @@
+// Collector-side query service and operator-side client (§3.2) as fabric
+// simulator nodes.
+//
+// QueryServiceNode fronts one Collector: it terminates UDP/4800, resolves
+// each request against the collector's DartStore with the requested return
+// policy, and replies to the requester's IP. This — not report ingest — is
+// where the collector CPU does its work.
+//
+// OperatorClient implements the four steps of Fig. 2's query flow: hash key
+// → collector id → directory lookup → request/response. It tracks pending
+// request ids and exposes completed answers; queries to distinct collectors
+// can be in flight simultaneously.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/collector.hpp"
+#include "core/query_protocol.hpp"
+#include "core/report_crafter.hpp"
+#include "net/netsim.hpp"
+
+namespace dart::core {
+
+// Resolves an IPv4 address to the simulator node that owns it (the fabric's
+// ARP/routing stand-in for the management network).
+using IpResolver = std::function<std::optional<net::NodeId>(net::Ipv4Addr)>;
+
+class QueryServiceNode final : public net::Node {
+ public:
+  QueryServiceNode(Collector& collector, net::Ipv4Addr service_ip,
+                   IpResolver resolver)
+      : collector_(&collector), ip_(service_ip), resolver_(std::move(resolver)) {}
+
+  void receive(net::Packet packet, std::uint64_t now_ns) override;
+
+  [[nodiscard]] net::Ipv4Addr ip() const noexcept { return ip_; }
+  [[nodiscard]] std::uint64_t requests_served() const noexcept {
+    return served_;
+  }
+  [[nodiscard]] std::uint64_t malformed_requests() const noexcept {
+    return malformed_;
+  }
+
+ private:
+  Collector* collector_;
+  net::Ipv4Addr ip_;
+  IpResolver resolver_;
+  std::uint64_t served_ = 0;
+  std::uint64_t malformed_ = 0;
+};
+
+class OperatorClient final : public net::Node {
+ public:
+  // `crafter` supplies the deployment hash family for collector selection;
+  // `service_ips[i]` is the query-service address of collector i.
+  OperatorClient(const ReportCrafter& crafter, net::Ipv4Addr my_ip,
+                 std::vector<net::Ipv4Addr> service_ips, IpResolver resolver)
+      : crafter_(&crafter), ip_(my_ip), service_ips_(std::move(service_ips)),
+        resolver_(std::move(resolver)) {}
+
+  void receive(net::Packet packet, std::uint64_t now_ns) override;
+
+  // Sends a query; returns the request id to correlate with take_response().
+  std::uint64_t query(std::span<const std::byte> key,
+                      ReturnPolicy policy = ReturnPolicy::kPlurality);
+
+  // Response for a completed request, if it has arrived (removes it).
+  [[nodiscard]] std::optional<QueryResponse> take_response(std::uint64_t request_id);
+
+  [[nodiscard]] std::size_t pending() const noexcept { return pending_; }
+  [[nodiscard]] std::uint64_t responses_received() const noexcept {
+    return received_;
+  }
+
+ private:
+  const ReportCrafter* crafter_;
+  net::Ipv4Addr ip_;
+  std::vector<net::Ipv4Addr> service_ips_;
+  IpResolver resolver_;
+  std::unordered_map<std::uint64_t, QueryResponse> responses_;
+  std::uint64_t next_id_ = 1;
+  std::size_t pending_ = 0;
+  std::uint64_t received_ = 0;
+};
+
+}  // namespace dart::core

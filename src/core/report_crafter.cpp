@@ -1,0 +1,130 @@
+#include "core/report_crafter.hpp"
+
+#include <cassert>
+
+#include "rdma/multiwrite.hpp"
+#include "rdma/roce.hpp"
+
+namespace dart::core {
+
+std::vector<std::byte> ReportCrafter::craft_write(
+    const RemoteStoreInfo& dst, const ReporterEndpoint& src,
+    std::span<const std::byte> key, std::span<const std::byte> value,
+    std::uint32_t n, std::uint32_t psn) const {
+  assert(value.size() == config_.value_bytes);
+
+  // Slot payload: checksum ‖ value — must match DartStore::write_raw.
+  std::vector<std::byte> payload;
+  payload.reserve(config_.slot_bytes());
+  const std::uint32_t csum = hashes_.checksum_of(key, config_.checksum_bits);
+  for (std::uint32_t i = 0; i < config_.checksum_bytes(); ++i) {
+    payload.push_back(static_cast<std::byte>((csum >> (8 * i)) & 0xFF));
+  }
+  payload.insert(payload.end(), value.begin(), value.end());
+
+  rdma::Bth bth;
+  bth.opcode = rdma::Opcode::kRcRdmaWriteOnly;
+  bth.dest_qp = dst.qpn;
+  bth.psn = psn;
+
+  rdma::Reth reth;
+  reth.vaddr = slot_vaddr(dst, key, n);
+  reth.rkey = dst.rkey;
+  reth.dma_length = static_cast<std::uint32_t>(payload.size());
+
+  std::vector<std::byte> roce;
+  BufWriter w(roce);
+  rdma::serialize_write(w, bth, reth, payload);
+  return wrap_frame(dst, src, roce);
+}
+
+std::vector<std::byte> ReportCrafter::craft_fetch_add(
+    const RemoteStoreInfo& dst, const ReporterEndpoint& src,
+    std::uint64_t vaddr, std::uint64_t addend, std::uint32_t psn) const {
+  rdma::Bth bth;
+  bth.opcode = rdma::Opcode::kRcFetchAdd;
+  bth.dest_qp = dst.qpn;
+  bth.psn = psn;
+
+  rdma::AtomicEth aeth;
+  aeth.vaddr = vaddr;
+  aeth.rkey = dst.rkey;
+  aeth.swap_add = addend;
+
+  std::vector<std::byte> roce;
+  BufWriter w(roce);
+  rdma::serialize_atomic(w, bth, aeth);
+  return wrap_frame(dst, src, roce);
+}
+
+std::vector<std::byte> ReportCrafter::craft_compare_swap(
+    const RemoteStoreInfo& dst, const ReporterEndpoint& src,
+    std::uint64_t vaddr, std::uint64_t compare, std::uint64_t swap,
+    std::uint32_t psn) const {
+  rdma::Bth bth;
+  bth.opcode = rdma::Opcode::kRcCompareSwap;
+  bth.dest_qp = dst.qpn;
+  bth.psn = psn;
+
+  rdma::AtomicEth aeth;
+  aeth.vaddr = vaddr;
+  aeth.rkey = dst.rkey;
+  aeth.swap_add = swap;
+  aeth.compare = compare;
+
+  std::vector<std::byte> roce;
+  BufWriter w(roce);
+  rdma::serialize_atomic(w, bth, aeth);
+  return wrap_frame(dst, src, roce);
+}
+
+std::vector<std::byte> ReportCrafter::craft_multiwrite(
+    const RemoteStoreInfo& dst, const ReporterEndpoint& src,
+    std::span<const std::byte> key, std::span<const std::byte> value,
+    std::uint32_t psn) const {
+  assert(value.size() == config_.value_bytes);
+
+  std::vector<std::byte> payload;
+  payload.reserve(config_.slot_bytes());
+  const std::uint32_t csum = hashes_.checksum_of(key, config_.checksum_bits);
+  for (std::uint32_t i = 0; i < config_.checksum_bytes(); ++i) {
+    payload.push_back(static_cast<std::byte>((csum >> (8 * i)) & 0xFF));
+  }
+  payload.insert(payload.end(), value.begin(), value.end());
+
+  std::vector<std::uint64_t> vaddrs;
+  vaddrs.reserve(config_.n_addresses);
+  for (std::uint32_t n = 0; n < config_.n_addresses; ++n) {
+    vaddrs.push_back(slot_vaddr(dst, key, n));
+  }
+  const auto dta = rdma::encode_multiwrite(dst.rkey, psn, vaddrs, payload);
+
+  net::UdpFrameSpec spec;
+  spec.src_mac = src.mac;
+  spec.dst_mac = dst.mac;
+  spec.src_ip = src.ip;
+  spec.dst_ip = dst.ip;
+  spec.src_port = src.udp_src_port;
+  spec.dst_port = rdma::kDtaUdpPort;
+  return net::build_udp_frame(spec, dta);
+}
+
+std::vector<std::byte> ReportCrafter::wrap_frame(
+    const RemoteStoreInfo& dst, const ReporterEndpoint& src,
+    std::span<const std::byte> roce_payload) const {
+  net::UdpFrameSpec spec;
+  spec.src_mac = src.mac;
+  spec.dst_mac = dst.mac;
+  spec.src_ip = src.ip;
+  spec.dst_ip = dst.ip;
+  spec.src_port = src.udp_src_port;
+  spec.dst_port = net::kRoceV2UdpPort;
+
+  auto frame = net::build_udp_frame(spec, roce_payload);
+  const bool ok = rdma::finalize_frame_icrc(frame);
+  assert(ok);
+  (void)ok;
+  return frame;
+}
+
+}  // namespace dart::core

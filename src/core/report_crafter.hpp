@@ -1,0 +1,87 @@
+// ReportCrafter — turns (key, value, slot copy n) into a complete RoCEv2
+// report frame, byte-identical to what the DART switch pipeline emits.
+//
+// This is the host-side reference for the P4 deparser logic of §6: compute
+// the slot address with the global hash family, build UDP/4791 + BTH(WRITE
+// ONLY) + RETH + [checksum ‖ value] + iCRC. switchsim::DartSwitch reproduces
+// the same computation with P4-style externs; tests assert the two paths
+// produce frames the RNIC resolves to identical memory effects.
+//
+// Also crafts the §7 extension operations: FETCH_ADD (collector-side flow
+// counters / sketch aggregation) and COMPARE_SWAP (insert-if-empty).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "core/collector.hpp"
+#include "core/config.hpp"
+#include "net/headers.hpp"
+
+namespace dart::core {
+
+// Identity of the report sender (a switch or an end-host agent).
+struct ReporterEndpoint {
+  net::MacAddr mac{};
+  net::Ipv4Addr ip{};
+  std::uint16_t udp_src_port = 0xC000;  // RoCEv2 source ports use the dynamic range
+};
+
+class ReportCrafter {
+ public:
+  explicit ReportCrafter(const DartConfig& config)
+      : config_(config), hashes_(config.n_addresses, config.master_seed) {}
+
+  [[nodiscard]] const DartConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const HashFamily& hashes() const noexcept { return hashes_; }
+
+  // Collector that owns `key`, among `n_collectors` (§3.2 step 1).
+  [[nodiscard]] std::uint32_t collector_of(std::span<const std::byte> key,
+                                           std::uint32_t n_collectors) const noexcept {
+    return hashes_.collector_of(key, n_collectors);
+  }
+
+  // Remote vaddr of copy `n` of `key` at collector `dst`.
+  [[nodiscard]] std::uint64_t slot_vaddr(const RemoteStoreInfo& dst,
+                                         std::span<const std::byte> key,
+                                         std::uint32_t n) const noexcept {
+    return dst.slot_vaddr(hashes_.address_of(key, n, dst.n_slots));
+  }
+
+  // Crafts one RDMA WRITE report for copy `n` of (key, value). `psn` is the
+  // sender's per-collector sequence number (the register array of §6).
+  [[nodiscard]] std::vector<std::byte> craft_write(
+      const RemoteStoreInfo& dst, const ReporterEndpoint& src,
+      std::span<const std::byte> key, std::span<const std::byte> value,
+      std::uint32_t n, std::uint32_t psn) const;
+
+  // Crafts a FETCH_ADD on the 64-bit word at remote `vaddr`.
+  [[nodiscard]] std::vector<std::byte> craft_fetch_add(
+      const RemoteStoreInfo& dst, const ReporterEndpoint& src,
+      std::uint64_t vaddr, std::uint64_t addend, std::uint32_t psn) const;
+
+  // Crafts a COMPARE_SWAP on the 64-bit word at remote `vaddr`.
+  [[nodiscard]] std::vector<std::byte> craft_compare_swap(
+      const RemoteStoreInfo& dst, const ReporterEndpoint& src,
+      std::uint64_t vaddr, std::uint64_t compare, std::uint64_t swap,
+      std::uint32_t psn) const;
+
+  // §7 SmartNIC extension: ONE frame that fills all N slots of (key, value).
+  // Requires the collector RNIC to have DTA multiwrite enabled.
+  [[nodiscard]] std::vector<std::byte> craft_multiwrite(
+      const RemoteStoreInfo& dst, const ReporterEndpoint& src,
+      std::span<const std::byte> key, std::span<const std::byte> value,
+      std::uint32_t psn) const;
+
+ private:
+  [[nodiscard]] std::vector<std::byte> wrap_frame(
+      const RemoteStoreInfo& dst, const ReporterEndpoint& src,
+      std::span<const std::byte> roce_payload) const;
+
+  DartConfig config_;
+  HashFamily hashes_;
+};
+
+}  // namespace dart::core

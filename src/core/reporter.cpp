@@ -1,0 +1,22 @@
+#include "core/reporter.hpp"
+
+namespace dart::core {
+
+void DartReporter::report(std::span<const std::byte> key,
+                          std::span<const std::byte> value,
+                          std::uint32_t reports) {
+  ++stats_.keys_reported;
+  if (store_->config().write_mode == WriteMode::kAllSlots) {
+    store_->write(key, value);
+    stats_.reports_sent += store_->config().n_addresses;
+    return;
+  }
+  const std::uint32_t n_addr = store_->config().n_addresses;
+  for (std::uint32_t i = 0; i < reports; ++i) {
+    const auto n = static_cast<std::uint32_t>(rng_.below(n_addr));
+    store_->write_one(key, value, n);
+    ++stats_.reports_sent;
+  }
+}
+
+}  // namespace dart::core

@@ -1,0 +1,48 @@
+// DartReporter — the writer-side reference implementation (§3.1).
+//
+// Encapsulates *when and where* a key's slots get written:
+//  - WriteMode::kAllSlots: every report fills all N addresses (the SmartNIC
+//    multi-write primitive of §7, and the natural mode for simulations);
+//  - WriteMode::kStochastic: each report writes one uniformly random slot
+//    n ∈ [0,N), exactly like the Tofino prototype, which picks n with the
+//    native RNG and relies on event re-reports to populate the other slots
+//    (§6). `reports_per_key` controls how many reports each key emits.
+//
+// The reporter writes through a local DartStore; the packetized equivalent
+// (crafting actual RoCEv2 frames) lives in switchsim::DartSwitch and
+// core::ReportCrafter and produces byte-identical slot contents.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/random.hpp"
+#include "core/store.hpp"
+
+namespace dart::core {
+
+struct ReporterStats {
+  std::uint64_t keys_reported = 0;
+  std::uint64_t reports_sent = 0;   // one per written slot in either mode
+};
+
+class DartReporter {
+ public:
+  DartReporter(DartStore& store, std::uint64_t rng_seed)
+      : store_(&store), rng_(rng_seed) {}
+
+  // Reports (key, value) once according to the store's WriteMode.
+  // In stochastic mode, `reports` packets are emitted, each hitting one
+  // random slot (duplicates possible, as on the wire).
+  void report(std::span<const std::byte> key, std::span<const std::byte> value,
+              std::uint32_t reports = 1);
+
+  [[nodiscard]] const ReporterStats& stats() const noexcept { return stats_; }
+
+ private:
+  DartStore* store_;
+  Xoshiro256 rng_;
+  ReporterStats stats_;
+};
+
+}  // namespace dart::core

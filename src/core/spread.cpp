@@ -1,0 +1,110 @@
+#include "core/spread.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace dart::core {
+
+SpreadCluster::SpreadCluster(const DartConfig& config,
+                             std::uint32_t n_collectors, PlacementMode mode)
+    : config_(config), mode_(mode), crafter_(config) {
+  if (n_collectors == 0) n_collectors = 1;
+  collectors_.reserve(n_collectors);
+  for (std::uint32_t id = 0; id < n_collectors; ++id) {
+    CollectorEndpoint ep;
+    ep.mac = {0x02, 0x00, 0xC0, 0x22, 0, static_cast<std::uint8_t>(id)};
+    ep.ip = net::Ipv4Addr::from_octets(10, 0, 101, static_cast<std::uint8_t>(id));
+    collectors_.push_back(std::make_unique<Collector>(config, id, ep));
+  }
+  failed_.assign(n_collectors, false);
+}
+
+std::uint32_t SpreadCluster::collector_for_copy(std::span<const std::byte> key,
+                                                std::uint32_t n) const noexcept {
+  const std::uint32_t owner = crafter_.collector_of(key, size());
+  if (mode_ == PlacementMode::kSingleCollector) return owner;
+  return (owner + n) % size();
+}
+
+void SpreadCluster::write(std::span<const std::byte> key,
+                          std::span<const std::byte> value) {
+  for (std::uint32_t n = 0; n < config_.n_addresses; ++n) {
+    const std::uint32_t c = collector_for_copy(key, n);
+    if (failed_[c]) continue;  // reports to a dead collector are lost
+    collectors_[c]->store().write_one(key, value, n);
+  }
+}
+
+QueryResult SpreadCluster::query(std::span<const std::byte> key,
+                                 ReturnPolicy policy) {
+  ++stats_.queries;
+
+  // Gather the N candidate slots from live collectors.
+  struct Candidate {
+    std::vector<std::byte> value;
+    std::uint32_t count = 0;
+  };
+  std::vector<Candidate> candidates;
+  std::vector<std::uint32_t> contacted;
+
+  QueryResult result;
+  const std::uint32_t want =
+      crafter_.hashes().checksum_of(key, config_.checksum_bits);
+  for (std::uint32_t n = 0; n < config_.n_addresses; ++n) {
+    const std::uint32_t c = collector_for_copy(key, n);
+    if (failed_[c]) continue;
+    if (std::find(contacted.begin(), contacted.end(), c) == contacted.end()) {
+      contacted.push_back(c);
+    }
+    const auto& store = collectors_[c]->store();
+    const SlotView slot = store.read_slot(store.slot_index(key, n));
+    if (slot.checksum != want) continue;
+    ++result.checksum_matches;
+    bool merged = false;
+    for (auto& cand : candidates) {
+      if (cand.value.size() == slot.value.size() &&
+          std::memcmp(cand.value.data(), slot.value.data(),
+                      slot.value.size()) == 0) {
+        ++cand.count;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) {
+      candidates.push_back(
+          Candidate{{slot.value.begin(), slot.value.end()}, 1});
+    }
+  }
+  stats_.collector_reads += contacted.size();
+  result.distinct_values = static_cast<std::uint32_t>(candidates.size());
+  if (candidates.empty()) return result;
+
+  const auto commit = [&](const std::vector<std::byte>& value) {
+    result.outcome = QueryOutcome::kFound;
+    result.value = value;
+  };
+  const auto best = std::max_element(
+      candidates.begin(), candidates.end(),
+      [](const Candidate& a, const Candidate& b) { return a.count < b.count; });
+  const auto top_ties = std::count_if(
+      candidates.begin(), candidates.end(),
+      [&](const Candidate& c) { return c.count == best->count; });
+
+  switch (policy) {
+    case ReturnPolicy::kFirstMatch:
+      commit(candidates.front().value);
+      break;
+    case ReturnPolicy::kSingleDistinct:
+      if (candidates.size() == 1) commit(candidates.front().value);
+      break;
+    case ReturnPolicy::kPlurality:
+      if (top_ties == 1) commit(best->value);
+      break;
+    case ReturnPolicy::kConsensusTwo:
+      if (best->count >= 2 && top_ties == 1) commit(best->value);
+      break;
+  }
+  return result;
+}
+
+}  // namespace dart::core

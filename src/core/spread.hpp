@@ -1,0 +1,86 @@
+// SpreadCluster — the §3.1 placement alternative DART's default rejects,
+// implemented so the trade-off can be measured:
+//
+//   "Distributing the N copies of per-key telemetry data across N physical
+//    collectors could improve the system resiliency, at the cost of
+//    potentially reduced querying speed. In DART's current design we ensure
+//    that data duplicates for any one key are held at a single collector,
+//    thereby enabling operator queries to be executed locally."
+//
+// Placement:
+//   kSingleCollector — all N copies on hash-owner(key)      (DART default)
+//   kSpreadCopies    — copy n on collector (owner(key)+n)%C (resilient)
+//
+// The cluster models collector failure (fail/restore) and counts the remote
+// reads a query needs, so the ablation bench can quantify both sides of the
+// trade: queryability when a collector dies vs per-query fan-out.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/collector.hpp"
+#include "core/config.hpp"
+#include "core/report_crafter.hpp"
+
+namespace dart::core {
+
+enum class PlacementMode : std::uint8_t {
+  kSingleCollector,  // the paper's design
+  kSpreadCopies,     // resiliency alternative
+};
+
+struct SpreadQueryStats {
+  std::uint64_t queries = 0;
+  std::uint64_t collector_reads = 0;  // distinct collectors contacted
+};
+
+class SpreadCluster {
+ public:
+  SpreadCluster(const DartConfig& config, std::uint32_t n_collectors,
+                PlacementMode mode);
+
+  [[nodiscard]] std::uint32_t size() const noexcept {
+    return static_cast<std::uint32_t>(collectors_.size());
+  }
+  [[nodiscard]] PlacementMode mode() const noexcept { return mode_; }
+
+  // Collector holding copy n of `key`.
+  [[nodiscard]] std::uint32_t collector_for_copy(std::span<const std::byte> key,
+                                                 std::uint32_t n) const noexcept;
+
+  // Writes all N copies (skipping failed collectors, like lost reports).
+  void write(std::span<const std::byte> key, std::span<const std::byte> value);
+
+  // Queries by gathering the key's N slots from their collectors (skipping
+  // failed ones) and applying the return policy over the union.
+  [[nodiscard]] QueryResult query(std::span<const std::byte> key,
+                                  ReturnPolicy policy = ReturnPolicy::kPlurality);
+
+  // Failure injection.
+  void fail_collector(std::uint32_t id) { failed_[id] = true; }
+  void restore_collector(std::uint32_t id) { failed_[id] = false; }
+  [[nodiscard]] bool is_failed(std::uint32_t id) const noexcept {
+    return failed_[id];
+  }
+
+  [[nodiscard]] const SpreadQueryStats& query_stats() const noexcept {
+    return stats_;
+  }
+  void reset_query_stats() noexcept { stats_ = {}; }
+  [[nodiscard]] Collector& collector(std::uint32_t id) noexcept {
+    return *collectors_[id];
+  }
+
+ private:
+  DartConfig config_;
+  PlacementMode mode_;
+  ReportCrafter crafter_;  // provides the shared hash family
+  std::vector<std::unique_ptr<Collector>> collectors_;
+  std::vector<bool> failed_;
+  SpreadQueryStats stats_;
+};
+
+}  // namespace dart::core

@@ -1,0 +1,89 @@
+#include "core/store.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace dart::core {
+
+DartStore::DartStore(const DartConfig& config)
+    : config_(config),
+      hashes_(config.n_addresses, config.master_seed),
+      owned_(config.memory_bytes(), std::byte{0}),
+      memory_(owned_) {
+  assert(config_.valid());
+}
+
+DartStore::DartStore(const DartConfig& config, std::span<std::byte> memory)
+    : config_(config),
+      hashes_(config.n_addresses, config.master_seed),
+      memory_(memory) {
+  assert(config_.valid());
+  assert(memory.size() == config.memory_bytes());
+}
+
+void DartStore::encode_slot_payload(std::span<const std::byte> key,
+                                    std::span<const std::byte> value,
+                                    std::vector<std::byte>& out) const {
+  assert(value.size() == config_.value_bytes);
+  const std::uint32_t csum = key_checksum(key);
+  for (std::uint32_t i = 0; i < config_.checksum_bytes(); ++i) {
+    out.push_back(static_cast<std::byte>((csum >> (8 * i)) & 0xFF));
+  }
+  out.insert(out.end(), value.begin(), value.end());
+}
+
+void DartStore::write(std::span<const std::byte> key,
+                      std::span<const std::byte> value) {
+  const std::uint32_t csum = key_checksum(key);
+  for (std::uint32_t n = 0; n < config_.n_addresses; ++n) {
+    write_raw(slot_index(key, n), csum, value);
+  }
+}
+
+void DartStore::write_one(std::span<const std::byte> key,
+                          std::span<const std::byte> value, std::uint32_t n) {
+  write_raw(slot_index(key, n), key_checksum(key), value);
+}
+
+void DartStore::write_raw(std::uint64_t index, std::uint32_t checksum,
+                          std::span<const std::byte> value) {
+  assert(value.size() == config_.value_bytes);
+  std::byte* slot = memory_.data() + slot_offset(index);
+  for (std::uint32_t i = 0; i < config_.checksum_bytes(); ++i) {
+    slot[i] = static_cast<std::byte>((checksum >> (8 * i)) & 0xFF);
+  }
+  std::memcpy(slot + config_.checksum_bytes(), value.data(), value.size());
+  ++writes_;
+}
+
+std::vector<SlotView> DartStore::read_slots(
+    std::span<const std::byte> key) const {
+  std::vector<SlotView> out;
+  out.reserve(config_.n_addresses);
+  for (std::uint32_t n = 0; n < config_.n_addresses; ++n) {
+    out.push_back(read_slot(slot_index(key, n)));
+  }
+  return out;
+}
+
+SlotView DartStore::read_slot(std::uint64_t index) const {
+  assert(index < config_.n_slots);
+  const std::byte* slot = memory_.data() + slot_offset(index);
+  SlotView v;
+  v.checksum = 0;
+  for (std::uint32_t i = 0; i < config_.checksum_bytes(); ++i) {
+    v.checksum |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(slot[i]))
+                  << (8 * i);
+  }
+  v.checksum &= checksum_mask(config_.checksum_bits);
+  v.value = std::span<const std::byte>(slot + config_.checksum_bytes(),
+                                       config_.value_bytes);
+  return v;
+}
+
+void DartStore::clear() {
+  std::memset(memory_.data(), 0, memory_.size());
+  writes_ = 0;
+}
+
+}  // namespace dart::core

@@ -1,0 +1,120 @@
+// DartStore — the collector-memory key-value structure (§3.1).
+//
+// The store is a flat array of M fixed-size slots:
+//
+//     slot = [ checksum : ceil(b/8) bytes | value : V bytes ]
+//
+// A key's N slots are at addresses h_0(key)..h_{N-1}(key); a write stamps
+// the key's b-bit checksum and the value, unconditionally overwriting
+// whatever was there (collisions are the probabilistic cost §4 analyzes).
+//
+// The same byte layout serves two producers:
+//   - the in-process simulation path (write()/write_one()), used by the
+//     Monte-Carlo benches, and
+//   - the RDMA path: the store can be constructed over *external* memory (a
+//     registered MR) into which the simulated RNIC DMAs switch-crafted
+//     report payloads. slot_vaddr() gives switches the remote address of a
+//     slot, and encode_slot_payload() is the exact wire payload of a report.
+//
+// The store itself never trusts a checksum match as proof of identity —
+// that interpretation (and its failure modes: empty returns and return
+// errors) lives in QueryEngine.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "core/config.hpp"
+
+namespace dart::core {
+
+// One decoded slot.
+struct SlotView {
+  std::uint32_t checksum = 0;
+  std::span<const std::byte> value;
+};
+
+class DartStore {
+ public:
+  // Self-owning store (simulation use): allocates M * slot_bytes zeroed.
+  explicit DartStore(const DartConfig& config);
+
+  // External-memory store (RDMA use): `memory` must be exactly
+  // config.memory_bytes() long and outlive the store.
+  DartStore(const DartConfig& config, std::span<std::byte> memory);
+
+  [[nodiscard]] const DartConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const HashFamily& hashes() const noexcept { return hashes_; }
+
+  // ---- address & payload computation (shared with switches) -------------
+
+  // Slot index for copy n of `key`.
+  [[nodiscard]] std::uint64_t slot_index(std::span<const std::byte> key,
+                                         std::uint32_t n) const noexcept {
+    return hashes_.address_of(key, n, config_.n_slots);
+  }
+
+  // Byte offset of a slot within the memory block.
+  [[nodiscard]] std::uint64_t slot_offset(std::uint64_t index) const noexcept {
+    return index * config_.slot_bytes();
+  }
+
+  // b-bit key checksum as stored in slots.
+  [[nodiscard]] std::uint32_t key_checksum(
+      std::span<const std::byte> key) const noexcept {
+    return hashes_.checksum_of(key, config_.checksum_bits);
+  }
+
+  // The exact bytes a report carries for this key+value: checksum ‖ value,
+  // checksum little-endian in ceil(b/8) bytes. Appends to `out`.
+  void encode_slot_payload(std::span<const std::byte> key,
+                           std::span<const std::byte> value,
+                           std::vector<std::byte>& out) const;
+
+  // ---- local write path (simulation) -------------------------------------
+
+  // Writes all N copies (WriteMode::kAllSlots semantics).
+  void write(std::span<const std::byte> key, std::span<const std::byte> value);
+
+  // Writes only copy `n` (WriteMode::kStochastic semantics: the caller picks
+  // n, typically uniformly at random, as the switch RNG does).
+  void write_one(std::span<const std::byte> key,
+                 std::span<const std::byte> value, std::uint32_t n);
+
+  // ---- read path ----------------------------------------------------------
+
+  // Decodes the N candidate slots for a key, in copy order.
+  // The returned views alias store memory; they are invalidated by writes.
+  [[nodiscard]] std::vector<SlotView> read_slots(
+      std::span<const std::byte> key) const;
+
+  // Decodes one slot by index.
+  [[nodiscard]] SlotView read_slot(std::uint64_t index) const;
+
+  // ---- raw memory ---------------------------------------------------------
+
+  [[nodiscard]] std::span<std::byte> memory() noexcept { return memory_; }
+  [[nodiscard]] std::span<const std::byte> memory() const noexcept {
+    return memory_;
+  }
+
+  [[nodiscard]] std::uint64_t writes_performed() const noexcept {
+    return writes_;
+  }
+
+  void clear();
+
+ private:
+  void write_raw(std::uint64_t index, std::uint32_t checksum,
+                 std::span<const std::byte> value);
+
+  DartConfig config_;
+  HashFamily hashes_;
+  std::vector<std::byte> owned_;     // empty when external memory is used
+  std::span<std::byte> memory_;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace dart::core

@@ -1,0 +1,33 @@
+#include "net/checksum.hpp"
+
+namespace dart::net {
+
+void InternetChecksum::add(std::span<const std::byte> data) noexcept {
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    const auto hi = static_cast<std::uint16_t>(static_cast<std::uint8_t>(data[i]));
+    const auto lo =
+        static_cast<std::uint16_t>(static_cast<std::uint8_t>(data[i + 1]));
+    sum_ += static_cast<std::uint16_t>((hi << 8) | lo);
+  }
+  if (i < data.size()) {
+    const auto hi = static_cast<std::uint16_t>(static_cast<std::uint8_t>(data[i]));
+    sum_ += static_cast<std::uint16_t>(hi << 8);
+  }
+}
+
+std::uint16_t InternetChecksum::finish() const noexcept {
+  std::uint64_t s = sum_;
+  while (s >> 16) {
+    s = (s & 0xFFFF) + (s >> 16);
+  }
+  return static_cast<std::uint16_t>(~s & 0xFFFF);
+}
+
+std::uint16_t internet_checksum(std::span<const std::byte> data) noexcept {
+  InternetChecksum c;
+  c.add(data);
+  return c.finish();
+}
+
+}  // namespace dart::net

@@ -1,0 +1,34 @@
+// RFC 1071 internet checksum (IPv4 header checksum, UDP checksum).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace dart::net {
+
+// One's-complement sum accumulator for the internet checksum family.
+class InternetChecksum {
+ public:
+  // Adds a byte range. Ranges may be added in any 16-bit-aligned chunks; an
+  // odd-length range is padded with a zero byte as RFC 1071 prescribes,
+  // so only the final chunk may have odd length.
+  void add(std::span<const std::byte> data) noexcept;
+  void add_u16(std::uint16_t v) noexcept { sum_ += v; }
+  void add_u32(std::uint32_t v) noexcept {
+    add_u16(static_cast<std::uint16_t>(v >> 16));
+    add_u16(static_cast<std::uint16_t>(v & 0xFFFF));
+  }
+
+  // Final folded, complemented checksum in host order.
+  [[nodiscard]] std::uint16_t finish() const noexcept;
+
+ private:
+  std::uint64_t sum_ = 0;
+};
+
+// Checksum of a single range (the IPv4 header case).
+[[nodiscard]] std::uint16_t internet_checksum(
+    std::span<const std::byte> data) noexcept;
+
+}  // namespace dart::net

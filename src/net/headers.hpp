@@ -1,0 +1,129 @@
+// Wire headers for the simulated fabric: Ethernet II, IPv4, UDP.
+//
+// RoCEv2 reports crafted by DART switches are UDP datagrams (dst port 4791)
+// carried over IPv4/Ethernet (§6). Header structs here are *parsed forms*;
+// serialization goes through BufWriter so there is no packed-struct aliasing
+// and the code is endian-correct by construction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace dart::net {
+
+using MacAddr = std::array<std::uint8_t, 6>;
+
+[[nodiscard]] std::string to_string(const MacAddr& mac);
+
+// IPv4 address as host-order integer with dotted-quad helpers.
+struct Ipv4Addr {
+  std::uint32_t value = 0;  // host order
+
+  [[nodiscard]] static Ipv4Addr from_octets(std::uint8_t a, std::uint8_t b,
+                                            std::uint8_t c, std::uint8_t d) noexcept {
+    return Ipv4Addr{(std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                    (std::uint32_t{c} << 8) | std::uint32_t{d}};
+  }
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const Ipv4Addr&, const Ipv4Addr&) = default;
+};
+
+// ---------------------------------------------------------------------------
+// Ethernet II
+// ---------------------------------------------------------------------------
+
+inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+inline constexpr std::size_t kEthernetHeaderLen = 14;
+
+struct EthernetHeader {
+  MacAddr dst{};
+  MacAddr src{};
+  std::uint16_t ether_type = kEtherTypeIpv4;
+
+  void serialize(BufWriter& w) const;
+  [[nodiscard]] static std::optional<EthernetHeader> parse(BufReader& r);
+};
+
+// ---------------------------------------------------------------------------
+// IPv4 (no options)
+// ---------------------------------------------------------------------------
+
+inline constexpr std::uint8_t kIpProtoUdp = 17;
+inline constexpr std::size_t kIpv4HeaderLen = 20;
+
+struct Ipv4Header {
+  std::uint8_t dscp = 0;
+  std::uint16_t total_length = 0;  // header + payload
+  std::uint16_t identification = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = kIpProtoUdp;
+  std::uint16_t checksum = 0;  // filled by serialize()
+  Ipv4Addr src{};
+  Ipv4Addr dst{};
+
+  // Serializes with a correct header checksum.
+  void serialize(BufWriter& w) const;
+  // Parses and verifies the checksum; nullopt on malformed/bad-checksum.
+  [[nodiscard]] static std::optional<Ipv4Header> parse(BufReader& r);
+};
+
+// ---------------------------------------------------------------------------
+// UDP
+// ---------------------------------------------------------------------------
+
+inline constexpr std::size_t kUdpHeaderLen = 8;
+inline constexpr std::uint16_t kRoceV2UdpPort = 4791;  // IANA RoCEv2
+
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;    // header + payload
+  std::uint16_t checksum = 0;  // 0 = not computed (legal for UDP/IPv4; RoCEv2
+                               // relies on the iCRC instead)
+
+  void serialize(BufWriter& w) const;
+  [[nodiscard]] static std::optional<UdpHeader> parse(BufReader& r);
+};
+
+// ---------------------------------------------------------------------------
+// Convenience: build / crack a full Ethernet+IPv4+UDP frame around a payload.
+// ---------------------------------------------------------------------------
+
+struct UdpFrameSpec {
+  MacAddr src_mac{};
+  MacAddr dst_mac{};
+  Ipv4Addr src_ip{};
+  Ipv4Addr dst_ip{};
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t dscp = 0;
+  // Simplification: the simulator frames TCP segments (protocol 6) with the
+  // same 8-byte L4 header as UDP (ports, length, checksum) — byte-stream
+  // semantics are out of scope; telemetry only needs the 5-tuple.
+  std::uint8_t protocol = kIpProtoUdp;
+};
+
+// Serializes headers + payload into wire bytes.
+[[nodiscard]] std::vector<std::byte> build_udp_frame(
+    const UdpFrameSpec& spec, std::span<const std::byte> payload);
+
+struct ParsedUdpFrame {
+  EthernetHeader eth;
+  Ipv4Header ip;
+  UdpHeader udp;
+  std::span<const std::byte> payload;  // view into the input buffer
+};
+
+// Parses an Ethernet+IPv4+UDP frame; nullopt on any malformed layer.
+[[nodiscard]] std::optional<ParsedUdpFrame> parse_udp_frame(
+    std::span<const std::byte> frame);
+
+}  // namespace dart::net

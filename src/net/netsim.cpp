@@ -1,0 +1,130 @@
+#include "net/netsim.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace dart::net {
+
+bool GilbertElliottLoss::drop(Xoshiro256& rng) {
+  // State transition first, then the state's loss rate.
+  if (bad_) {
+    if (rng.chance(p_bg_)) bad_ = false;
+  } else {
+    if (rng.chance(p_gb_)) bad_ = true;
+  }
+  return rng.chance(bad_ ? loss_bad_ : loss_good_);
+}
+
+NodeId Simulator::add_node(Node& node) {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(&node);
+  node.attach(*this, id);
+  return id;
+}
+
+LinkId Simulator::add_link(NodeId from, NodeId to, std::uint64_t latency_ns,
+                           std::unique_ptr<LossModel> loss, LinkShape shape) {
+  assert(from < nodes_.size() && to < nodes_.size());
+  Link link;
+  link.from = from;
+  link.to = to;
+  link.latency_ns = latency_ns;
+  link.loss = loss ? std::move(loss) : std::make_unique<NoLoss>();
+  link.shape = shape;
+  links_.push_back(std::move(link));
+  return static_cast<LinkId>(links_.size() - 1);
+}
+
+void Simulator::connect(NodeId a, NodeId b, std::uint64_t latency_ns,
+                        double loss_rate) {
+  auto make_loss = [&]() -> std::unique_ptr<LossModel> {
+    if (loss_rate <= 0.0) return std::make_unique<NoLoss>();
+    return std::make_unique<BernoulliLoss>(loss_rate);
+  };
+  add_link(a, b, latency_ns, make_loss());
+  add_link(b, a, latency_ns, make_loss());
+}
+
+Link* Simulator::find_link(NodeId from, NodeId to) noexcept {
+  for (auto& l : links_) {
+    if (l.from == from && l.to == to) return &l;
+  }
+  return nullptr;
+}
+
+void Simulator::send(NodeId from, NodeId to, Packet packet) {
+  Link* link = find_link(from, to);
+  assert(link != nullptr && "send over a link that does not exist");
+  if (link->loss->drop(rng_)) {
+    ++link->stats.dropped;
+    return;
+  }
+
+  std::uint64_t deliver_at;
+  if (link->shape.bandwidth_bps == 0) {
+    // Ideal link: pure propagation delay.
+    deliver_at = now_ns_ + link->latency_ns;
+  } else {
+    // Shaped link: serialize behind earlier packets; tail-drop a full queue.
+    if (link->shape.queue_cap != 0 && link->queued >= link->shape.queue_cap) {
+      ++link->stats.queue_drops;
+      return;
+    }
+    const std::uint64_t serialization_ns =
+        packet.size() * 8ull * 1'000'000'000ull / link->shape.bandwidth_bps;
+    const std::uint64_t start = std::max(now_ns_, link->busy_until_ns);
+    link->busy_until_ns = start + serialization_ns;
+    deliver_at = link->busy_until_ns + link->latency_ns;
+
+    ++link->queued;
+    link->stats.max_queue = std::max(link->stats.max_queue, link->queued);
+    // The packet leaves the egress queue when fully serialized. Capture the
+    // link by index: links_ may reallocate if topology grows later.
+    const std::uint64_t serialized_at = link->busy_until_ns;
+    const auto link_idx = static_cast<std::size_t>(link - links_.data());
+    schedule(serialized_at, [this, link_idx] { --links_[link_idx].queued; });
+  }
+
+  ++link->stats.delivered;
+  Node* dst = nodes_[to];
+  schedule(deliver_at, [dst, deliver_at, p = std::move(packet)]() mutable {
+    dst->receive(std::move(p), deliver_at);
+  });
+}
+
+std::uint32_t Simulator::link_queue_depth(NodeId from, NodeId to) const noexcept {
+  for (const auto& l : links_) {
+    if (l.from == from && l.to == to) return l.queued;
+  }
+  return 0;
+}
+
+void Simulator::schedule(std::uint64_t at_ns, std::function<void()> fn) {
+  queue_.push(Event{at_ns < now_ns_ ? now_ns_ : at_ns, seq_++, std::move(fn)});
+}
+
+void Simulator::run(std::uint64_t until_ns) {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; the event is copied out cheaply since the
+    // payload is a shared-state std::function.
+    Event ev = queue_.top();
+    if (ev.at_ns > until_ns) break;
+    queue_.pop();
+    now_ns_ = ev.at_ns;
+    ev.fn();
+  }
+}
+
+std::uint64_t Simulator::total_delivered() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& l : links_) n += l.stats.delivered;
+  return n;
+}
+
+std::uint64_t Simulator::total_dropped() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& l : links_) n += l.stats.dropped;
+  return n;
+}
+
+}  // namespace dart::net

@@ -1,0 +1,192 @@
+// Event-driven network simulator.
+//
+// The fabric model is intentionally lean: nodes connected by point-to-point
+// links with propagation latency and a configurable loss process. It exists
+// to answer the questions the paper's evaluation poses — do DART reports
+// survive report loss thanks to N-way redundancy (§3.1), and what does the
+// switch→collector data path look like end to end (§6) — not to model
+// congestion control.
+//
+// Loss models:
+//  - Bernoulli(p): independent per-packet loss.
+//  - Gilbert-Elliott: bursty loss (good/bad states with distinct drop rates),
+//    the standard model for correlated report loss during incidents, which is
+//    exactly when telemetry matters most.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/random.hpp"
+#include "net/packet.hpp"
+
+namespace dart::net {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = 0xFFFF'FFFFu;
+
+// A node receives packets from the simulator and may send more via the
+// Simulator reference passed at attach time.
+class Simulator;
+
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  // Called once when added to the simulator.
+  virtual void attach(Simulator& sim, NodeId self) {
+    sim_ = &sim;
+    self_ = self;
+  }
+
+  // Deliver a packet at simulated time `now_ns`, arriving on `link_port`.
+  virtual void receive(Packet packet, std::uint64_t now_ns) = 0;
+
+  [[nodiscard]] NodeId id() const noexcept { return self_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+ protected:
+  Simulator* sim_ = nullptr;
+  NodeId self_ = kInvalidNode;
+
+ private:
+  std::string name_;
+};
+
+// Loss process attached to a link.
+class LossModel {
+ public:
+  virtual ~LossModel() = default;
+  [[nodiscard]] virtual bool drop(Xoshiro256& rng) = 0;
+};
+
+class NoLoss final : public LossModel {
+ public:
+  [[nodiscard]] bool drop(Xoshiro256&) override { return false; }
+};
+
+class BernoulliLoss final : public LossModel {
+ public:
+  explicit BernoulliLoss(double p) : p_(p) {}
+  [[nodiscard]] bool drop(Xoshiro256& rng) override { return rng.chance(p_); }
+
+ private:
+  double p_;
+};
+
+// Two-state Gilbert-Elliott bursty loss.
+class GilbertElliottLoss final : public LossModel {
+ public:
+  // p_gb: P(good→bad), p_bg: P(bad→good), loss_good/loss_bad: drop rates.
+  GilbertElliottLoss(double p_gb, double p_bg, double loss_good,
+                     double loss_bad)
+      : p_gb_(p_gb), p_bg_(p_bg), loss_good_(loss_good), loss_bad_(loss_bad) {}
+
+  [[nodiscard]] bool drop(Xoshiro256& rng) override;
+
+  [[nodiscard]] bool in_bad_state() const noexcept { return bad_; }
+
+ private:
+  double p_gb_, p_bg_, loss_good_, loss_bad_;
+  bool bad_ = false;
+};
+
+struct LinkStats {
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;       // loss-model drops
+  std::uint64_t queue_drops = 0;   // tail drops at a full egress queue
+  std::uint32_t max_queue = 0;     // high-water mark of queued packets
+};
+
+// Optional link shaping: finite bandwidth serializes packets and builds an
+// egress queue — the congestion signal INT's queue-depth metadata measures.
+struct LinkShape {
+  std::uint64_t bandwidth_bps = 0;  // 0 = infinite (no serialization delay)
+  std::uint32_t queue_cap = 0;      // packets; 0 = unbounded
+};
+
+// Unidirectional link. Use Simulator::connect for a bidirectional pair.
+struct Link {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  std::uint64_t latency_ns = 1000;
+  std::unique_ptr<LossModel> loss;
+  LinkShape shape;
+  std::uint64_t busy_until_ns = 0;  // when the serializer frees up
+  std::uint32_t queued = 0;         // packets waiting or serializing
+  LinkStats stats;
+};
+
+using LinkId = std::uint32_t;
+
+// Discrete-event simulator: a time-ordered queue of packet deliveries and
+// timer callbacks.
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Node registry. The simulator does not own nodes (callers typically hold
+  // them in typed containers); nodes must outlive the simulator run.
+  NodeId add_node(Node& node);
+
+  // Adds a unidirectional link; returns its id for stats lookup.
+  LinkId add_link(NodeId from, NodeId to, std::uint64_t latency_ns,
+                  std::unique_ptr<LossModel> loss = nullptr,
+                  LinkShape shape = {});
+
+  // Convenience: two symmetric unidirectional links.
+  void connect(NodeId a, NodeId b, std::uint64_t latency_ns,
+               double loss_rate = 0.0);
+
+  // Send a packet from `from` over the link to `to` (must exist).
+  void send(NodeId from, NodeId to, Packet packet);
+
+  // Schedule a callback at absolute simulated time.
+  void schedule(std::uint64_t at_ns, std::function<void()> fn);
+
+  // Runs until the event queue empties or `until_ns` is reached.
+  void run(std::uint64_t until_ns = UINT64_MAX);
+
+  [[nodiscard]] std::uint64_t now_ns() const noexcept { return now_ns_; }
+  [[nodiscard]] const LinkStats& link_stats(LinkId id) const {
+    return links_[id].stats;
+  }
+
+  // Instantaneous egress-queue depth of the (from → to) link — what an INT
+  // transit switch samples for its queue-depth metadata. 0 if no such link.
+  [[nodiscard]] std::uint32_t link_queue_depth(NodeId from, NodeId to) const noexcept;
+  [[nodiscard]] std::uint64_t total_delivered() const noexcept;
+  [[nodiscard]] std::uint64_t total_dropped() const noexcept;
+  [[nodiscard]] Xoshiro256& rng() noexcept { return rng_; }
+
+ private:
+  struct Event {
+    std::uint64_t at_ns;
+    std::uint64_t seq;  // tie-break for deterministic ordering
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.at_ns != b.at_ns ? a.at_ns > b.at_ns : a.seq > b.seq;
+    }
+  };
+
+  [[nodiscard]] Link* find_link(NodeId from, NodeId to) noexcept;
+
+  std::vector<Node*> nodes_;
+  std::vector<Link> links_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::uint64_t now_ns_ = 0;
+  std::uint64_t seq_ = 0;
+  Xoshiro256 rng_;
+};
+
+}  // namespace dart::net

@@ -1,0 +1,3 @@
+// packet.cpp — Packet is header-only today; this TU anchors the library and
+// keeps a home for future out-of-line packet helpers.
+#include "net/packet.hpp"

@@ -1,0 +1,77 @@
+#include "rdma/memory_region.hpp"
+
+#include <algorithm>
+
+#include "common/random.hpp"
+
+namespace dart::rdma {
+
+MemoryRegistry::MemoryRegistry(std::uint64_t rkey_seed)
+    : rkey_state_(rkey_seed) {}
+
+PdHandle MemoryRegistry::alloc_pd() {
+  const PdHandle pd = next_pd_++;
+  pds_.push_back(pd);
+  return pd;
+}
+
+Result<MemoryRegion> MemoryRegistry::register_mr(PdHandle pd,
+                                                 std::span<std::byte> buffer,
+                                                 std::uint64_t base_vaddr,
+                                                 Access access) {
+  if (std::find(pds_.begin(), pds_.end(), pd) == pds_.end()) {
+    return Error{"bad_pd", "protection domain does not exist"};
+  }
+  if (buffer.empty()) {
+    return Error{"empty_mr", "cannot register an empty buffer"};
+  }
+  // Reject overlap with an existing MR's virtual range — ambiguity about
+  // which rkey governs a vaddr would make validation meaningless.
+  for (const auto& mr : mrs_) {
+    const std::uint64_t a0 = mr.base_vaddr;
+    const std::uint64_t a1 = mr.base_vaddr + mr.buffer.size();
+    const std::uint64_t b0 = base_vaddr;
+    const std::uint64_t b1 = base_vaddr + buffer.size();
+    if (a0 < b1 && b0 < a1) {
+      return Error{"mr_overlap", "virtual range overlaps an existing MR"};
+    }
+  }
+
+  MemoryRegion mr;
+  mr.handle = next_mr_++;
+  mr.pd = pd;
+  mr.base_vaddr = base_vaddr;
+  mr.buffer = buffer;
+  mr.access = access;
+  // SplitMix-generated rkey; avoid 0 which we reserve as "invalid".
+  SplitMix64 sm(rkey_state_);
+  do {
+    mr.rkey = static_cast<std::uint32_t>(sm.next());
+  } while (mr.rkey == 0 || find_by_rkey(mr.rkey) != nullptr);
+  rkey_state_ = sm.next();
+
+  mrs_.push_back(mr);
+  return mrs_.back();
+}
+
+Status MemoryRegistry::deregister_mr(MrHandle handle) {
+  const auto it =
+      std::find_if(mrs_.begin(), mrs_.end(),
+                   [&](const MemoryRegion& mr) { return mr.handle == handle; });
+  if (it == mrs_.end()) {
+    return Error{"bad_mr", "memory region does not exist"};
+  }
+  mrs_.erase(it);
+  return {};
+}
+
+const MemoryRegion* MemoryRegistry::find_by_rkey(std::uint32_t rkey) const noexcept {
+  for (const auto& mr : mrs_) {
+    if (mr.rkey == rkey) return &mr;
+  }
+  return nullptr;
+}
+
+std::size_t MemoryRegistry::mr_count() const noexcept { return mrs_.size(); }
+
+}  // namespace dart::rdma

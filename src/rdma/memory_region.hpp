@@ -1,0 +1,91 @@
+// Protection domains and memory regions — the RNIC-side access-control model.
+//
+// A collector process registers its DART slot array as a memory region (MR)
+// inside a protection domain (PD). The registration yields an rkey that the
+// control plane distributes to switches (via the collector lookup table,
+// §3.1/§6). Every incoming RDMA request is validated against (rkey, PD,
+// bounds, access flags) exactly like a hardware NIC would; a bad rkey or an
+// out-of-bounds write is dropped and counted, never executed.
+//
+// Virtual addressing: MRs expose the registered buffer at an arbitrary
+// virtual base address (as real verbs do). Switch-side DART code computes
+// vaddr = mr.base + slot_index * slot_size.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace dart::rdma {
+
+using PdHandle = std::uint32_t;
+using MrHandle = std::uint32_t;
+
+enum class Access : std::uint32_t {
+  kNone = 0,
+  kRemoteWrite = 1u << 0,
+  kRemoteRead = 1u << 1,
+  kRemoteAtomic = 1u << 2,
+};
+
+[[nodiscard]] constexpr Access operator|(Access a, Access b) noexcept {
+  return static_cast<Access>(static_cast<std::uint32_t>(a) |
+                             static_cast<std::uint32_t>(b));
+}
+[[nodiscard]] constexpr bool has_access(Access set, Access want) noexcept {
+  return (static_cast<std::uint32_t>(set) & static_cast<std::uint32_t>(want)) ==
+         static_cast<std::uint32_t>(want);
+}
+
+struct MemoryRegion {
+  MrHandle handle = 0;
+  PdHandle pd = 0;
+  std::uint64_t base_vaddr = 0;   // remote virtual address of byte 0
+  std::span<std::byte> buffer;    // host memory backing the MR (not owned)
+  std::uint32_t rkey = 0;
+  Access access = Access::kNone;
+
+  [[nodiscard]] bool contains(std::uint64_t vaddr,
+                              std::uint64_t len) const noexcept {
+    return vaddr >= base_vaddr && len <= buffer.size() &&
+           vaddr - base_vaddr <= buffer.size() - len;
+  }
+
+  // Host pointer for a validated (vaddr, len) range.
+  [[nodiscard]] std::byte* at(std::uint64_t vaddr) const noexcept {
+    return buffer.data() + (vaddr - base_vaddr);
+  }
+};
+
+// Registry of PDs and MRs owned by one simulated RNIC.
+class MemoryRegistry {
+ public:
+  explicit MemoryRegistry(std::uint64_t rkey_seed = 0x5EED);
+
+  [[nodiscard]] PdHandle alloc_pd();
+
+  // Registers `buffer` at virtual base `base_vaddr`. rkeys are generated
+  // unpredictably (like hardware) so tests can't pass by accident.
+  [[nodiscard]] Result<MemoryRegion> register_mr(PdHandle pd,
+                                                 std::span<std::byte> buffer,
+                                                 std::uint64_t base_vaddr,
+                                                 Access access);
+
+  Status deregister_mr(MrHandle handle);
+
+  // rkey → MR lookup used on the fast path.
+  [[nodiscard]] const MemoryRegion* find_by_rkey(std::uint32_t rkey) const noexcept;
+
+  [[nodiscard]] std::size_t mr_count() const noexcept;
+
+ private:
+  std::uint64_t rkey_state_;
+  std::uint32_t next_pd_ = 1;
+  std::uint32_t next_mr_ = 1;
+  std::vector<MemoryRegion> mrs_;
+  std::vector<PdHandle> pds_;
+};
+
+}  // namespace dart::rdma

@@ -1,0 +1,62 @@
+#include "rdma/multiwrite.hpp"
+
+#include <cstring>
+
+#include "common/bytes.hpp"
+#include "common/hash.hpp"
+
+namespace dart::rdma {
+
+std::vector<std::byte> encode_multiwrite(std::uint32_t rkey, std::uint32_t psn,
+                                         std::span<const std::uint64_t> vaddrs,
+                                         std::span<const std::byte> payload) {
+  std::vector<std::byte> out;
+  out.reserve(14 + payload.size() + vaddrs.size() * 8 + 4);
+  BufWriter w(out);
+  w.be16(0x4454);  // "DT"
+  w.u8(kDtaVersion);
+  w.u8(static_cast<std::uint8_t>(vaddrs.size()));
+  w.be32(rkey);
+  w.be32(psn);
+  w.be16(static_cast<std::uint16_t>(payload.size()));
+  w.bytes(payload);
+  for (const auto vaddr : vaddrs) w.be64(vaddr);
+  const std::uint32_t crc = crc32(out);
+  // Trailer little-endian, mirroring the iCRC convention in roce.cpp.
+  out.push_back(static_cast<std::byte>(crc & 0xFF));
+  out.push_back(static_cast<std::byte>((crc >> 8) & 0xFF));
+  out.push_back(static_cast<std::byte>((crc >> 16) & 0xFF));
+  out.push_back(static_cast<std::byte>((crc >> 24) & 0xFF));
+  return out;
+}
+
+std::optional<DtaMultiWrite> parse_multiwrite(
+    std::span<const std::byte> udp_payload) {
+  if (udp_payload.size() < 14 + 4) return std::nullopt;
+
+  // CRC trailer first.
+  std::uint32_t carried;
+  std::memcpy(&carried, udp_payload.data() + udp_payload.size() - 4, 4);
+  if (crc32(udp_payload.first(udp_payload.size() - 4)) != carried) {
+    return std::nullopt;
+  }
+
+  BufReader r(udp_payload.first(udp_payload.size() - 4));
+  if (r.be16() != 0x4454) return std::nullopt;
+  if (r.u8() != kDtaVersion) return std::nullopt;
+  const std::uint8_t count = r.u8();
+  if (count == 0 || count > kDtaMaxTargets) return std::nullopt;
+
+  DtaMultiWrite mw;
+  mw.rkey = r.be32();
+  mw.psn = r.be32();
+  const std::uint16_t data_len = r.be16();
+  mw.payload = r.view(data_len);
+  if (mw.payload.size() != data_len) return std::nullopt;
+  mw.vaddrs.reserve(count);
+  for (std::uint8_t i = 0; i < count; ++i) mw.vaddrs.push_back(r.be64());
+  if (!r.ok() || r.remaining() != 0) return std::nullopt;
+  return mw;
+}
+
+}  // namespace dart::rdma

@@ -1,0 +1,65 @@
+// DTA multiwrite — the §7 "new direct telemetry access protocol".
+//
+// Standard RDMA allows one memory write per packet, so filling a key's N
+// slots costs N report packets (§3.1). The paper proposes SmartNIC-defined
+// primitives that execute several DMA operations per packet: "it would be
+// possible to design a new primitive for inserting the same data into
+// multiple memory addresses. This would significantly reduce the network
+// overheads of our current system."
+//
+// This module defines that primitive: a compact frame (UDP port 4793)
+// carrying ONE payload and N target addresses under a single rkey, with a
+// CRC32 trailer. The simulated RNIC executes it as a SmartNIC would —
+// validating every target, then performing N DMAs — when the extension is
+// enabled (it is off by default: stock RNICs don't speak it).
+//
+//   payload = [magic 0x4454 "DT"][ver u8][count u8][rkey u32][psn u32]
+//             [data len u16][data bytes][count × vaddr u64][crc32 u32]
+//
+// Compared with N RoCEv2 WRITEs, the multiwrite carries the payload once
+// and each extra slot costs 8 bytes instead of a whole packet.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace dart::rdma {
+
+inline constexpr std::uint16_t kDtaUdpPort = 4793;
+inline constexpr std::uint8_t kDtaVersion = 1;
+inline constexpr std::uint8_t kDtaMaxTargets = 16;
+
+struct DtaMultiWrite {
+  std::uint32_t rkey = 0;
+  std::uint32_t psn = 0;
+  std::vector<std::uint64_t> vaddrs;     // N target addresses
+  std::span<const std::byte> payload;    // written to every target
+};
+
+// Serializes a multiwrite into a UDP payload (CRC trailer included).
+[[nodiscard]] std::vector<std::byte> encode_multiwrite(
+    std::uint32_t rkey, std::uint32_t psn,
+    std::span<const std::uint64_t> vaddrs,
+    std::span<const std::byte> payload);
+
+// Parses and CRC-verifies a multiwrite UDP payload.
+[[nodiscard]] std::optional<DtaMultiWrite> parse_multiwrite(
+    std::span<const std::byte> udp_payload);
+
+// Wire bytes a multiwrite of `targets` slots of `payload_len` costs,
+// including Ethernet/IP/UDP headers — used by the overhead ablation.
+[[nodiscard]] constexpr std::size_t multiwrite_frame_bytes(
+    std::size_t targets, std::size_t payload_len) noexcept {
+  return 14 + 20 + 8 +                       // Ethernet + IPv4 + UDP
+         14 + payload_len + targets * 8 + 4; // DTA header + data + addrs + CRC
+}
+
+// Wire bytes of one RoCEv2 WRITE report of `payload_len` (for comparison).
+[[nodiscard]] constexpr std::size_t roce_write_frame_bytes(
+    std::size_t payload_len) noexcept {
+  return 14 + 20 + 8 + 12 + 16 + payload_len + 4;  // + BTH + RETH + iCRC
+}
+
+}  // namespace dart::rdma

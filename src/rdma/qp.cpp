@@ -1,0 +1,61 @@
+#include "rdma/qp.hpp"
+
+#include <algorithm>
+
+namespace dart::rdma {
+
+bool QueuePair::accept_psn(std::uint32_t psn) noexcept {
+  psn &= kPsnMask;
+  if (type_ == QpType::kUc || policy_ == PsnPolicy::kIgnore) {
+    ++counters_.accepted;
+    expected_psn_ = (psn + 1) & kPsnMask;
+    return true;
+  }
+
+  const std::uint32_t ahead = psn_distance(expected_psn_, psn);
+  constexpr std::uint32_t kHalfWindow = 0x0080'0000u;
+
+  if (policy_ == PsnPolicy::kStrict) {
+    if (psn != expected_psn_) {
+      ++counters_.psn_stale;
+      return false;
+    }
+    ++counters_.accepted;
+    expected_psn_ = (expected_psn_ + 1) & kPsnMask;
+    return true;
+  }
+
+  // kTolerateLoss: accept anything in the forward half-window.
+  if (ahead >= kHalfWindow) {
+    ++counters_.psn_stale;  // behind us: duplicate or badly delayed
+    return false;
+  }
+  counters_.psn_gaps += ahead;  // ahead > 0 means `ahead` reports were lost
+  ++counters_.accepted;
+  expected_psn_ = (psn + 1) & kPsnMask;
+  return true;
+}
+
+Status QpRegistry::create(std::uint32_t qpn, QpType type, PdHandle pd,
+                          PsnPolicy policy) {
+  if (find(qpn) != nullptr) {
+    return Error{"qp_exists", "queue pair number already in use"};
+  }
+  if (qpn > 0x00FF'FFFFu) {
+    return Error{"bad_qpn", "queue pair numbers are 24-bit"};
+  }
+  qps_.emplace_back(qpn, type, pd, policy);
+  return {};
+}
+
+QueuePair* QpRegistry::find(std::uint32_t qpn) noexcept {
+  const auto it = std::find_if(qps_.begin(), qps_.end(),
+                               [&](const QueuePair& qp) { return qp.qpn() == qpn; });
+  return it == qps_.end() ? nullptr : &*it;
+}
+
+const QueuePair* QpRegistry::find(std::uint32_t qpn) const noexcept {
+  return const_cast<QpRegistry*>(this)->find(qpn);
+}
+
+}  // namespace dart::rdma

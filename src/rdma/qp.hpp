@@ -1,0 +1,85 @@
+// Queue pairs and PSN tracking.
+//
+// DART switches keep one per-collector PSN counter in a register array (§6)
+// and send RC WRITE ONLY packets. RC receivers normally enforce strictly
+// in-order PSNs; a telemetry receiver cannot afford go-back-N recovery (the
+// switch will not retransmit), so the model implements the policy the paper's
+// design implies: accept monotonically advancing PSNs, tolerate gaps
+// (= lost reports), and drop stale/duplicate PSNs. UC QPs always accept.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "rdma/memory_region.hpp"
+
+namespace dart::rdma {
+
+enum class QpType : std::uint8_t { kRc, kUc };
+
+// PSN acceptance policies for RC.
+enum class PsnPolicy : std::uint8_t {
+  kStrict,          // require exactly expected PSN (textbook RC)
+  kTolerateLoss,    // accept any PSN >= expected (gaps = lost reports)
+  kIgnore,          // accept everything (diagnostics)
+};
+
+struct QpCounters {
+  std::uint64_t accepted = 0;
+  std::uint64_t psn_stale = 0;   // duplicate / out-of-window
+  std::uint64_t psn_gaps = 0;    // total PSNs skipped by gaps
+};
+
+class QueuePair {
+ public:
+  QueuePair(std::uint32_t qpn, QpType type, PdHandle pd,
+            PsnPolicy policy = PsnPolicy::kTolerateLoss)
+      : qpn_(qpn), type_(type), pd_(pd), policy_(policy) {}
+
+  [[nodiscard]] std::uint32_t qpn() const noexcept { return qpn_; }
+  [[nodiscard]] QpType type() const noexcept { return type_; }
+  [[nodiscard]] PdHandle pd() const noexcept { return pd_; }
+  [[nodiscard]] const QpCounters& counters() const noexcept { return counters_; }
+  [[nodiscard]] std::uint32_t expected_psn() const noexcept { return expected_psn_; }
+
+  void set_expected_psn(std::uint32_t psn) noexcept {
+    expected_psn_ = psn & kPsnMask;
+  }
+
+  // Validates and advances the PSN window. Returns true if the packet should
+  // be executed.
+  [[nodiscard]] bool accept_psn(std::uint32_t psn) noexcept;
+
+ private:
+  static constexpr std::uint32_t kPsnMask = 0x00FF'FFFFu;
+  // Forward distance in 24-bit PSN space; > half-window means "behind".
+  [[nodiscard]] static std::uint32_t psn_distance(std::uint32_t from,
+                                                  std::uint32_t to) noexcept {
+    return (to - from) & kPsnMask;
+  }
+
+  std::uint32_t qpn_;
+  QpType type_;
+  PdHandle pd_;
+  PsnPolicy policy_;
+  std::uint32_t expected_psn_ = 0;
+  QpCounters counters_;
+};
+
+// QP registry for one RNIC.
+class QpRegistry {
+ public:
+  // Creates a QP with the given number (must be unique).
+  Status create(std::uint32_t qpn, QpType type, PdHandle pd,
+                PsnPolicy policy = PsnPolicy::kTolerateLoss);
+
+  [[nodiscard]] QueuePair* find(std::uint32_t qpn) noexcept;
+  [[nodiscard]] const QueuePair* find(std::uint32_t qpn) const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return qps_.size(); }
+
+ private:
+  std::vector<QueuePair> qps_;
+};
+
+}  // namespace dart::rdma

@@ -1,0 +1,170 @@
+#include "rdma/rnic.hpp"
+
+#include <cstring>
+
+#include "net/headers.hpp"
+#include "rdma/multiwrite.hpp"
+
+namespace dart::rdma {
+
+std::optional<Completion> SimulatedRnic::process_frame(
+    std::span<const std::byte> frame) {
+  ++counters_.frames;
+
+  const auto parsed = net::parse_udp_frame(frame);
+  if (!parsed) {
+    ++counters_.not_roce;
+    return std::nullopt;
+  }
+  if (dta_enabled_ && parsed->udp.dst_port == kDtaUdpPort) {
+    return execute_multiwrite(parsed->payload);
+  }
+  if (parsed->udp.dst_port != net::kRoceV2UdpPort) {
+    ++counters_.not_roce;
+    return std::nullopt;
+  }
+
+  if (validate_icrc_ && !verify_frame_icrc(frame)) {
+    ++counters_.bad_icrc;
+    return std::nullopt;
+  }
+
+  const auto req = parse_request(parsed->payload);
+  if (!req) {
+    ++counters_.bad_opcode;
+    return std::nullopt;
+  }
+
+  QueuePair* qp = qps_.find(req->bth.dest_qp);
+  if (qp == nullptr) {
+    ++counters_.unknown_qp;
+    return std::nullopt;
+  }
+  // Opcode transport class must match the QP type.
+  const bool uc_op = is_unreliable(req->bth.opcode);
+  if ((qp->type() == QpType::kUc) != uc_op) {
+    ++counters_.bad_opcode;
+    return std::nullopt;
+  }
+  if (!qp->accept_psn(req->bth.psn)) {
+    ++counters_.psn_rejected;
+    return std::nullopt;
+  }
+
+  auto completion = execute(*req);
+  if (completion) {
+    completion->qpn = qp->qpn();
+    // PD check happens inside execute() via the MR; verify it matched the QP.
+    ++counters_.executed;
+    if (hook_) hook_(*completion);
+  }
+  return completion;
+}
+
+std::optional<Completion> SimulatedRnic::execute(const RoceRequest& req) {
+  const bool atomic = is_atomic(req.bth.opcode);
+  const std::uint64_t vaddr =
+      atomic ? req.atomic_eth->vaddr : req.reth->vaddr;
+  const std::uint32_t rkey = atomic ? req.atomic_eth->rkey : req.reth->rkey;
+  const std::uint64_t len = atomic ? 8 : req.payload.size();
+
+  const MemoryRegion* mr = memory_.find_by_rkey(rkey);
+  if (mr == nullptr) {
+    ++counters_.bad_rkey;
+    return std::nullopt;
+  }
+  QueuePair* qp = qps_.find(req.bth.dest_qp);
+  if (qp != nullptr && qp->pd() != mr->pd) {
+    ++counters_.pd_mismatch;
+    return std::nullopt;
+  }
+  const Access want = atomic ? Access::kRemoteAtomic : Access::kRemoteWrite;
+  if (!has_access(mr->access, want)) {
+    ++counters_.access_denied;
+    return std::nullopt;
+  }
+  if (!mr->contains(vaddr, len)) {
+    ++counters_.out_of_bounds;
+    return std::nullopt;
+  }
+
+  Completion c{};
+  c.opcode = req.bth.opcode;
+  c.vaddr = vaddr;
+  c.length = static_cast<std::uint32_t>(len);
+
+  if (!atomic) {
+    std::memcpy(mr->at(vaddr), req.payload.data(), req.payload.size());
+    ++counters_.writes;
+    return c;
+  }
+
+  // Atomics operate on naturally aligned 64-bit words, big-endian on the
+  // wire, host-endian in memory (the collector reads them natively).
+  if ((vaddr & 0x7u) != 0) {
+    ++counters_.unaligned_atomic;
+    return std::nullopt;
+  }
+  std::uint64_t prior;
+  std::memcpy(&prior, mr->at(vaddr), 8);
+  c.atomic_prior = prior;
+
+  if (req.bth.opcode == Opcode::kRcFetchAdd) {
+    const std::uint64_t next = prior + req.atomic_eth->swap_add;
+    std::memcpy(mr->at(vaddr), &next, 8);
+    ++counters_.fetch_adds;
+  } else {  // CompareSwap
+    ++counters_.compare_swaps;
+    if (prior == req.atomic_eth->compare) {
+      std::memcpy(mr->at(vaddr), &req.atomic_eth->swap_add, 8);
+    } else {
+      ++counters_.cas_mismatches;
+    }
+  }
+  return c;
+}
+
+std::optional<Completion> SimulatedRnic::execute_multiwrite(
+    std::span<const std::byte> udp_payload) {
+  const auto mw = parse_multiwrite(udp_payload);
+  if (!mw) {
+    ++counters_.bad_icrc;  // CRC/format failure, same class as a bad iCRC
+    return std::nullopt;
+  }
+  const MemoryRegion* mr = memory_.find_by_rkey(mw->rkey);
+  if (mr == nullptr) {
+    ++counters_.bad_rkey;
+    return std::nullopt;
+  }
+  if (!has_access(mr->access, Access::kRemoteWrite)) {
+    ++counters_.access_denied;
+    return std::nullopt;
+  }
+  // All-or-nothing: validate every target before the first DMA, so a bad
+  // address cannot leave a half-applied group.
+  for (const auto vaddr : mw->vaddrs) {
+    if (!mr->contains(vaddr, mw->payload.size())) {
+      ++counters_.out_of_bounds;
+      return std::nullopt;
+    }
+  }
+  for (const auto vaddr : mw->vaddrs) {
+    std::memcpy(mr->at(vaddr), mw->payload.data(), mw->payload.size());
+    ++counters_.writes;
+  }
+  ++counters_.multiwrite_frames;
+  ++counters_.executed;
+
+  Completion c{};
+  c.opcode = Opcode::kRcRdmaWriteOnly;  // closest CQE analogue
+  c.vaddr = mw->vaddrs.front();
+  c.length = static_cast<std::uint32_t>(mw->payload.size() * mw->vaddrs.size());
+  if (hook_) hook_(c);
+  return c;
+}
+
+void SimulatedRnic::receive(net::Packet packet, std::uint64_t /*now_ns*/) {
+  (void)process_frame(packet.bytes());
+}
+
+}  // namespace dart::rdma

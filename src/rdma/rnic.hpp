@@ -1,0 +1,122 @@
+// SimulatedRnic — the collector-side RDMA NIC.
+//
+// The paper's central claim is architectural: the collector's CPU never
+// touches a telemetry report; the NIC parses the RoCEv2 request and DMAs the
+// payload straight into registered memory (§2, §3.1). This class is that
+// NIC. It implements, in software, the exact request-validation pipeline a
+// hardware RNIC applies to an inbound one-sided operation:
+//
+//   UDP port 4791 → iCRC check → QP lookup → PSN window → rkey lookup →
+//   PD match → access-flag check → bounds check → DMA / atomic execute.
+//
+// Every rejection is counted (the counters drive tests and the robustness
+// bench). The RNIC is also a net::Node so it can terminate links in the
+// fabric simulator; the baselines in src/baseline deliberately do all of
+// this work on "the CPU" instead, which is the Fig. 1 comparison.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+
+#include "common/result.hpp"
+#include "net/netsim.hpp"
+#include "rdma/memory_region.hpp"
+#include "rdma/qp.hpp"
+#include "rdma/roce.hpp"
+
+namespace dart::rdma {
+
+struct RnicCounters {
+  std::uint64_t frames = 0;          // frames seen
+  std::uint64_t executed = 0;        // operations applied to memory
+  std::uint64_t writes = 0;
+  std::uint64_t multiwrite_frames = 0;  // §7 DTA multiwrite frames executed
+  std::uint64_t fetch_adds = 0;
+  std::uint64_t compare_swaps = 0;
+  std::uint64_t cas_mismatches = 0;  // CAS executed but compare failed
+  std::uint64_t not_roce = 0;        // not UDP/4791 or unparsable frame
+  std::uint64_t bad_icrc = 0;
+  std::uint64_t bad_opcode = 0;
+  std::uint64_t unknown_qp = 0;
+  std::uint64_t psn_rejected = 0;
+  std::uint64_t bad_rkey = 0;
+  std::uint64_t pd_mismatch = 0;
+  std::uint64_t access_denied = 0;
+  std::uint64_t out_of_bounds = 0;
+  std::uint64_t unaligned_atomic = 0;
+};
+
+// Completion record for an executed operation (what a CQE would carry).
+struct Completion {
+  Opcode opcode;
+  std::uint32_t qpn;
+  std::uint64_t vaddr;
+  std::uint32_t length;        // bytes written (WRITE) or 8 (atomics)
+  std::uint64_t atomic_prior;  // original value at vaddr for atomics
+};
+
+class SimulatedRnic : public net::Node {
+ public:
+  explicit SimulatedRnic(std::uint64_t rkey_seed = 0x5EED)
+      : memory_(rkey_seed) {}
+
+  // --- Verbs-like control-plane API (collector host calls these) ---------
+  [[nodiscard]] PdHandle alloc_pd() { return memory_.alloc_pd(); }
+
+  [[nodiscard]] Result<MemoryRegion> register_mr(PdHandle pd,
+                                                 std::span<std::byte> buffer,
+                                                 std::uint64_t base_vaddr,
+                                                 Access access) {
+    return memory_.register_mr(pd, buffer, base_vaddr, access);
+  }
+
+  Status create_qp(std::uint32_t qpn, QpType type, PdHandle pd,
+                   PsnPolicy policy = PsnPolicy::kTolerateLoss) {
+    return qps_.create(qpn, type, pd, policy);
+  }
+
+  // --- Data plane ---------------------------------------------------------
+
+  // Processes one Ethernet frame. Returns the completion if an operation was
+  // executed; counters explain every rejection.
+  std::optional<Completion> process_frame(std::span<const std::byte> frame);
+
+  // net::Node — frames delivered by the fabric simulator.
+  void receive(net::Packet packet, std::uint64_t now_ns) override;
+
+  // Optional hook invoked after every executed operation (collectors use it
+  // to track ingest statistics without touching the data path).
+  void set_completion_hook(std::function<void(const Completion&)> hook) {
+    hook_ = std::move(hook);
+  }
+
+  [[nodiscard]] const RnicCounters& counters() const noexcept { return counters_; }
+  [[nodiscard]] const QpRegistry& qps() const noexcept { return qps_; }
+
+  // Toggles iCRC validation (on by default). The ablation bench measures the
+  // cost and the protection it buys against corrupted reports.
+  void set_validate_icrc(bool v) noexcept { validate_icrc_ = v; }
+
+  // Enables the §7 SmartNIC DTA-multiwrite extension (one frame → N DMAs).
+  // Off by default: stock RNICs only speak RoCEv2.
+  void set_dta_multiwrite(bool v) noexcept { dta_enabled_ = v; }
+  [[nodiscard]] bool dta_multiwrite_enabled() const noexcept {
+    return dta_enabled_;
+  }
+
+ private:
+  std::optional<Completion> execute(const RoceRequest& req);
+  std::optional<Completion> execute_multiwrite(
+      std::span<const std::byte> udp_payload);
+
+  MemoryRegistry memory_;
+  QpRegistry qps_;
+  RnicCounters counters_;
+  std::function<void(const Completion&)> hook_;
+  bool validate_icrc_ = true;
+  bool dta_enabled_ = false;
+};
+
+}  // namespace dart::rdma

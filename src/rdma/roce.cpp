@@ -1,0 +1,240 @@
+#include "rdma/roce.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "common/hash.hpp"
+
+namespace dart::rdma {
+
+// ---------------------------------------------------------------------------
+// BTH
+// ---------------------------------------------------------------------------
+
+void Bth::serialize(BufWriter& w) const {
+  w.u8(static_cast<std::uint8_t>(opcode));
+  std::uint8_t flags = 0;
+  if (solicited) flags |= 0x80;
+  if (mig_req) flags |= 0x40;
+  flags |= static_cast<std::uint8_t>((pad_count & 0x3u) << 4);
+  // low nibble: transport header version (0)
+  w.u8(flags);
+  w.be16(pkey);
+  w.be32(dest_qp & 0x00FF'FFFFu);  // top byte reserved (resv8a slot is byte 8)
+  std::uint32_t psn_word = psn & 0x00FF'FFFFu;
+  if (ack_req) psn_word |= 0x8000'0000u;
+  w.be32(psn_word);
+}
+
+std::optional<Bth> Bth::parse(BufReader& r) {
+  Bth h;
+  const std::uint8_t op = r.u8();
+  const std::uint8_t flags = r.u8();
+  h.pkey = r.be16();
+  const std::uint32_t qp_word = r.be32();
+  const std::uint32_t psn_word = r.be32();
+  if (!r.ok()) return std::nullopt;
+  switch (op) {
+    case static_cast<std::uint8_t>(Opcode::kRcRdmaWriteOnly):
+    case static_cast<std::uint8_t>(Opcode::kRcCompareSwap):
+    case static_cast<std::uint8_t>(Opcode::kRcFetchAdd):
+    case static_cast<std::uint8_t>(Opcode::kUcRdmaWriteOnly):
+      h.opcode = static_cast<Opcode>(op);
+      break;
+    default:
+      return std::nullopt;  // opcode not supported by this RNIC model
+  }
+  h.solicited = (flags & 0x80) != 0;
+  h.mig_req = (flags & 0x40) != 0;
+  h.pad_count = (flags >> 4) & 0x3;
+  if ((flags & 0x0F) != 0) return std::nullopt;  // header version must be 0
+  h.dest_qp = qp_word & 0x00FF'FFFFu;
+  h.ack_req = (psn_word & 0x8000'0000u) != 0;
+  h.psn = psn_word & 0x00FF'FFFFu;
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// RETH / AtomicETH
+// ---------------------------------------------------------------------------
+
+void Reth::serialize(BufWriter& w) const {
+  w.be64(vaddr);
+  w.be32(rkey);
+  w.be32(dma_length);
+}
+
+std::optional<Reth> Reth::parse(BufReader& r) {
+  Reth h;
+  h.vaddr = r.be64();
+  h.rkey = r.be32();
+  h.dma_length = r.be32();
+  if (!r.ok()) return std::nullopt;
+  return h;
+}
+
+void AtomicEth::serialize(BufWriter& w) const {
+  w.be64(vaddr);
+  w.be32(rkey);
+  w.be64(swap_add);
+  w.be64(compare);
+}
+
+std::optional<AtomicEth> AtomicEth::parse(BufReader& r) {
+  AtomicEth h;
+  h.vaddr = r.be64();
+  h.rkey = r.be32();
+  h.swap_add = r.be64();
+  h.compare = r.be64();
+  if (!r.ok()) return std::nullopt;
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// Request serialize / parse
+// ---------------------------------------------------------------------------
+
+std::size_t serialize_write(BufWriter& w, const Bth& bth, const Reth& reth,
+                            std::span<const std::byte> payload) {
+  bth.serialize(w);
+  reth.serialize(w);
+  w.bytes(payload);
+  const std::size_t icrc_off = w.size();
+  w.zeros(kIcrcLen);  // placeholder; finalize_frame_icrc fills it
+  return icrc_off;
+}
+
+std::size_t serialize_atomic(BufWriter& w, const Bth& bth,
+                             const AtomicEth& aeth) {
+  bth.serialize(w);
+  aeth.serialize(w);
+  const std::size_t icrc_off = w.size();
+  w.zeros(kIcrcLen);
+  return icrc_off;
+}
+
+std::optional<RoceRequest> parse_request(std::span<const std::byte> udp_payload) {
+  if (udp_payload.size() < kBthLen + kIcrcLen) return std::nullopt;
+
+  BufReader r(udp_payload.first(udp_payload.size() - kIcrcLen));
+  RoceRequest req;
+  const auto bth = Bth::parse(r);
+  if (!bth) return std::nullopt;
+  req.bth = *bth;
+
+  if (is_write(req.bth.opcode)) {
+    const auto reth = Reth::parse(r);
+    if (!reth) return std::nullopt;
+    req.reth = *reth;
+    req.payload = r.rest();
+    if (req.payload.size() != req.reth->dma_length) return std::nullopt;
+  } else if (is_atomic(req.bth.opcode)) {
+    const auto aeth = AtomicEth::parse(r);
+    if (!aeth) return std::nullopt;
+    req.atomic_eth = *aeth;
+    if (r.remaining() != 0) return std::nullopt;
+  } else {
+    return std::nullopt;
+  }
+
+  // Trailing iCRC, little-endian per rxe convention.
+  const auto* icrc_bytes = udp_payload.data() + udp_payload.size() - kIcrcLen;
+  std::memcpy(&req.icrc, icrc_bytes, kIcrcLen);
+  return req;
+}
+
+// ---------------------------------------------------------------------------
+// iCRC
+// ---------------------------------------------------------------------------
+
+std::uint32_t compute_icrc(const net::Ipv4Header& ip, const net::UdpHeader& udp,
+                           std::span<const std::byte> bth_to_payload) {
+  Crc32 crc;
+
+  // 8 masked dummy-LRH bytes.
+  static constexpr std::array<std::byte, 8> kOnes = {
+      std::byte{0xFF}, std::byte{0xFF}, std::byte{0xFF}, std::byte{0xFF},
+      std::byte{0xFF}, std::byte{0xFF}, std::byte{0xFF}, std::byte{0xFF}};
+  crc.update(kOnes);
+
+  // Masked IPv4 header: ToS, TTL, checksum → 0xFF.
+  {
+    std::vector<std::byte> hdr;
+    hdr.reserve(net::kIpv4HeaderLen);
+    BufWriter w(hdr);
+    net::Ipv4Header masked = ip;
+    masked.serialize(w);  // serializes with recomputed checksum
+    hdr[1] = std::byte{0xFF};               // ToS (DSCP/ECN)
+    hdr[8] = std::byte{0xFF};               // TTL
+    hdr[10] = hdr[11] = std::byte{0xFF};    // header checksum
+    crc.update(hdr);
+  }
+
+  // Masked UDP header: checksum → 0xFFFF.
+  {
+    std::vector<std::byte> hdr;
+    hdr.reserve(net::kUdpHeaderLen);
+    BufWriter w(hdr);
+    udp.serialize(w);
+    hdr[6] = hdr[7] = std::byte{0xFF};
+    crc.update(hdr);
+  }
+
+  // BTH with resv8a (byte 4 of BTH — top byte of the dest-QP word) masked.
+  if (bth_to_payload.size() < kBthLen) return 0;
+  {
+    std::array<std::byte, kBthLen> bth;
+    std::memcpy(bth.data(), bth_to_payload.data(), kBthLen);
+    bth[4] = std::byte{0xFF};
+    crc.update(bth);
+  }
+
+  // Remaining transport headers + payload (excluding the iCRC itself, which
+  // the caller already sliced off).
+  crc.update(bth_to_payload.subspan(kBthLen));
+  return crc.value();
+}
+
+namespace {
+
+struct FrameSlices {
+  net::Ipv4Header ip;
+  net::UdpHeader udp;
+  std::size_t roce_off;   // offset of BTH within the frame
+  std::size_t roce_len;   // BTH .. payload (excludes the 4 iCRC bytes)
+};
+
+std::optional<FrameSlices> slice_frame(std::span<const std::byte> frame) {
+  const auto parsed = net::parse_udp_frame(frame);
+  if (!parsed) return std::nullopt;
+  if (parsed->payload.size() < kBthLen + kIcrcLen) return std::nullopt;
+  FrameSlices s;
+  s.ip = parsed->ip;
+  s.udp = parsed->udp;
+  s.roce_off = static_cast<std::size_t>(parsed->payload.data() - frame.data());
+  s.roce_len = parsed->payload.size() - kIcrcLen;
+  return s;
+}
+
+}  // namespace
+
+bool finalize_frame_icrc(std::span<std::byte> frame) {
+  const auto s = slice_frame(frame);
+  if (!s) return false;
+  const std::uint32_t icrc =
+      compute_icrc(s->ip, s->udp, frame.subspan(s->roce_off, s->roce_len));
+  std::memcpy(frame.data() + s->roce_off + s->roce_len, &icrc, kIcrcLen);
+  return true;
+}
+
+bool verify_frame_icrc(std::span<const std::byte> frame) {
+  const auto s = slice_frame(frame);
+  if (!s) return false;
+  const std::uint32_t expect =
+      compute_icrc(s->ip, s->udp, frame.subspan(s->roce_off, s->roce_len));
+  std::uint32_t got;
+  std::memcpy(&got, frame.data() + s->roce_off + s->roce_len, kIcrcLen);
+  return got == expect;
+}
+
+}  // namespace dart::rdma

@@ -1,0 +1,128 @@
+// RoCEv2 wire format: Base Transport Header (BTH), RDMA Extended Transport
+// Header (RETH), Atomic Extended Transport Header (AtomicETH), and the
+// invariant CRC (iCRC).
+//
+// DART switches craft these headers in the P4 egress pipeline (§6): a report
+// is a UDP datagram to port 4791 carrying BTH+RETH+payload+iCRC, i.e. an
+// RDMA WRITE ONLY operation aimed at a hash-chosen collector address. The
+// simulated RNIC parses and validates the same format, so the switch and NIC
+// must agree bit-for-bit — tests assert round-trips and iCRC stability.
+//
+// iCRC: we follow the SoftRoCE (rxe) formulation for RoCEv2-over-IPv4:
+//   iCRC = CRC32( 8 bytes of 0xFF            — masked dummy LRH
+//               ‖ IPv4 header with ToS, TTL, header-checksum set to 0xFF
+//               ‖ UDP header with checksum set to 0xFFFF
+//               ‖ BTH with the resv8a byte set to 0xFF
+//               ‖ payload )
+// transmitted little-endian after the payload. Both producer (switch) and
+// consumer (RNIC) in this codebase use this exact function; bit-compatibility
+// with a specific hardware NIC is out of scope and irrelevant to the paper's
+// claims.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "net/headers.hpp"
+
+namespace dart::rdma {
+
+// BTH opcodes (IBTA spec §9.2; RC = 0x00-, UC = 0x20-).
+enum class Opcode : std::uint8_t {
+  kRcRdmaWriteOnly = 0x0A,
+  kRcCompareSwap = 0x13,
+  kRcFetchAdd = 0x14,
+  kUcRdmaWriteOnly = 0x2A,
+};
+
+[[nodiscard]] constexpr bool is_write(Opcode op) noexcept {
+  return op == Opcode::kRcRdmaWriteOnly || op == Opcode::kUcRdmaWriteOnly;
+}
+[[nodiscard]] constexpr bool is_atomic(Opcode op) noexcept {
+  return op == Opcode::kRcCompareSwap || op == Opcode::kRcFetchAdd;
+}
+[[nodiscard]] constexpr bool is_unreliable(Opcode op) noexcept {
+  return (static_cast<std::uint8_t>(op) & 0xE0u) == 0x20u;
+}
+
+inline constexpr std::size_t kBthLen = 12;
+inline constexpr std::size_t kRethLen = 16;
+inline constexpr std::size_t kAtomicEthLen = 28;
+inline constexpr std::size_t kIcrcLen = 4;
+
+// Base Transport Header (12 bytes).
+struct Bth {
+  Opcode opcode = Opcode::kRcRdmaWriteOnly;
+  bool solicited = false;
+  bool mig_req = true;   // matches common NIC defaults
+  std::uint8_t pad_count = 0;
+  std::uint16_t pkey = 0xFFFF;  // default partition
+  std::uint32_t dest_qp = 0;    // 24 bits
+  bool ack_req = false;
+  std::uint32_t psn = 0;  // 24 bits
+
+  void serialize(BufWriter& w) const;
+  [[nodiscard]] static std::optional<Bth> parse(BufReader& r);
+};
+
+// RDMA Extended Transport Header (16 bytes) — WRITE/READ address info.
+struct Reth {
+  std::uint64_t vaddr = 0;
+  std::uint32_t rkey = 0;
+  std::uint32_t dma_length = 0;
+
+  void serialize(BufWriter& w) const;
+  [[nodiscard]] static std::optional<Reth> parse(BufReader& r);
+};
+
+// Atomic Extended Transport Header (28 bytes) — CAS / Fetch&Add operands.
+struct AtomicEth {
+  std::uint64_t vaddr = 0;
+  std::uint32_t rkey = 0;
+  std::uint64_t swap_add = 0;  // swap value (CAS) or addend (F&A)
+  std::uint64_t compare = 0;   // compare value (CAS only)
+
+  void serialize(BufWriter& w) const;
+  [[nodiscard]] static std::optional<AtomicEth> parse(BufReader& r);
+};
+
+// A fully parsed RoCEv2 request as it leaves the UDP payload.
+struct RoceRequest {
+  Bth bth;
+  std::optional<Reth> reth;            // present for WRITE
+  std::optional<AtomicEth> atomic_eth; // present for CAS / F&A
+  std::span<const std::byte> payload;  // WRITE payload (view into input)
+  std::uint32_t icrc = 0;              // as carried on the wire
+};
+
+// Serializes BTH (+RETH) + payload (+iCRC placeholder filled by caller via
+// finalize_icrc) into `out`. Returns offset of the iCRC field.
+std::size_t serialize_write(BufWriter& w, const Bth& bth, const Reth& reth,
+                            std::span<const std::byte> payload);
+
+std::size_t serialize_atomic(BufWriter& w, const Bth& bth,
+                             const AtomicEth& aeth);
+
+// Parses a RoCEv2 request from a UDP payload (BTH .. iCRC). Does not verify
+// the iCRC — the RNIC does that against the full frame.
+[[nodiscard]] std::optional<RoceRequest> parse_request(
+    std::span<const std::byte> udp_payload);
+
+// Computes the RoCEv2 iCRC over a full Ethernet frame whose UDP payload ends
+// with a 4-byte iCRC slot (excluded from the computation).
+[[nodiscard]] std::uint32_t compute_icrc(const net::Ipv4Header& ip,
+                                         const net::UdpHeader& udp,
+                                         std::span<const std::byte> bth_to_payload);
+
+// Patches the trailing 4 iCRC bytes of `frame` (a full Ethernet+IP+UDP frame
+// carrying a RoCEv2 payload) with the correct iCRC. Returns false if the
+// frame is malformed.
+bool finalize_frame_icrc(std::span<std::byte> frame);
+
+// Verifies the trailing iCRC of a full frame.
+[[nodiscard]] bool verify_frame_icrc(std::span<const std::byte> frame);
+
+}  // namespace dart::rdma

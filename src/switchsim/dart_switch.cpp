@@ -1,0 +1,81 @@
+#include "switchsim/dart_switch.hpp"
+
+namespace dart::switchsim {
+
+DartSwitchPipeline::DartSwitchPipeline(const Config& config)
+    : config_(config),
+      hash_engine_(config.dart.n_addresses, config.dart.master_seed),
+      rng_(config.rng_seed),
+      psn_regs_(config.max_collectors, 0),
+      crafter_(config.dart) {
+  self_.mac = config.mac;
+  self_.ip = config.ip;
+}
+
+void DartSwitchPipeline::load_collector(const core::RemoteStoreInfo& info) {
+  CollectorEntry entry;
+  entry.mac = info.mac;
+  entry.ip = info.ip.value;
+  entry.qpn = info.qpn;
+  entry.rkey = info.rkey;
+  entry.base_vaddr = info.base_vaddr;
+  entry.n_slots = info.n_slots;
+  entry.slot_bytes = info.slot_bytes;
+  table_.insert(info.collector_id, entry);
+}
+
+std::vector<std::vector<std::byte>> DartSwitchPipeline::on_telemetry(
+    std::span<const std::byte> key, std::span<const std::byte> value) {
+  ++counters_.telemetry_events;
+  std::vector<std::vector<std::byte>> frames;
+
+  // Hash the key to its owning collector (same id regardless of n — all N
+  // copies of a key live on one collector, §3.1).
+  const std::uint32_t n_collectors = static_cast<std::uint32_t>(table_.size());
+  if (n_collectors == 0) {
+    ++counters_.table_misses;
+    return frames;
+  }
+  const std::uint32_t collector_id =
+      hash_engine_.collector_id(key, n_collectors);
+  const auto entry = table_.lookup(collector_id);
+  if (!entry) {
+    ++counters_.table_misses;
+    return frames;
+  }
+
+  // Reconstruct the directory row the crafter expects from the action data.
+  core::RemoteStoreInfo dst;
+  dst.collector_id = collector_id;
+  dst.mac = entry->mac;
+  dst.ip = net::Ipv4Addr{entry->ip};
+  dst.qpn = entry->qpn;
+  dst.rkey = entry->rkey;
+  dst.base_vaddr = entry->base_vaddr;
+  dst.n_slots = entry->n_slots;
+  dst.slot_bytes = entry->slot_bytes;
+
+  if (config_.use_dta_multiwrite) {
+    const std::uint32_t psn = psn_regs_.rmw(
+        collector_id, [](std::uint32_t old) { return (old + 1) & 0x00FF'FFFFu; });
+    frames.push_back(crafter_.craft_multiwrite(dst, self_, key, value, psn));
+    ++counters_.reports_emitted;
+    return frames;
+  }
+
+  const std::uint32_t n_addr = config_.dart.n_addresses;
+  const bool all_slots = config_.write_mode == core::WriteMode::kAllSlots;
+  const std::uint32_t emit_count = all_slots ? n_addr : 1;
+
+  for (std::uint32_t i = 0; i < emit_count; ++i) {
+    const std::uint32_t n = all_slots ? i : rng_.next(n_addr);
+    // Per-collector PSN counter: one register cell, read-modify-write.
+    const std::uint32_t psn = psn_regs_.rmw(
+        collector_id, [](std::uint32_t old) { return (old + 1) & 0x00FF'FFFFu; });
+    frames.push_back(crafter_.craft_write(dst, self_, key, value, n, psn));
+    ++counters_.reports_emitted;
+  }
+  return frames;
+}
+
+}  // namespace dart::switchsim

@@ -1,0 +1,33 @@
+#include "switchsim/externs.hpp"
+
+#include <algorithm>
+
+namespace dart::switchsim {
+
+void MirrorExtern::configure(Session session) {
+  const auto it = std::find_if(
+      sessions_.begin(), sessions_.end(),
+      [&](const Session& s) { return s.id == session.id; });
+  if (it != sessions_.end()) {
+    *it = session;
+  } else {
+    sessions_.push_back(session);
+  }
+}
+
+net::Packet MirrorExtern::clone(const net::Packet& original,
+                                std::uint32_t session_id) const {
+  const auto it = std::find_if(
+      sessions_.begin(), sessions_.end(),
+      [&](const Session& s) { return s.id == session_id; });
+  if (it == sessions_.end()) return net::Packet{};
+
+  net::Packet copy = original.clone();
+  copy.truncate(it->truncate_len);
+  copy.meta().is_mirror_clone = true;
+  copy.meta().mirror_session = session_id;
+  ++clones_;
+  return copy;
+}
+
+}  // namespace dart::switchsim

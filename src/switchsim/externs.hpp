@@ -1,0 +1,97 @@
+// P4 externs used by the DART switch program (§6):
+//  - RngExtern: the Tofino-native random number generator that picks which
+//    of the N per-key slots this report targets,
+//  - CrcExtern: the CRC engine (key checksums, RoCEv2 iCRC),
+//  - HashEngine: the hash units that map (n, key) to a collector id and a
+//    memory address. The paper's prototype drives these with CRC
+//    polynomials; the deployment-configurable engine here is seeded with the
+//    same HashFamily the collectors and query clients use — the choice of
+//    underlying hash is a deployment parameter, the *statelessness* is the
+//    design point.
+//  - MirrorExtern: I2E mirroring — clones a packet into the egress pipeline
+//    truncated to `truncate_len`, which is how a DART report is born.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/random.hpp"
+#include "net/packet.hpp"
+
+namespace dart::switchsim {
+
+// Tofino-native RNG: uniform n ∈ [0, bound).
+class RngExtern {
+ public:
+  explicit RngExtern(std::uint64_t seed) : rng_(seed) {}
+
+  [[nodiscard]] std::uint32_t next(std::uint32_t bound) noexcept {
+    return static_cast<std::uint32_t>(rng_.below(bound));
+  }
+
+ private:
+  Xoshiro256 rng_;
+};
+
+// CRC engine: the polynomials Tofino exposes.
+class CrcExtern {
+ public:
+  [[nodiscard]] std::uint32_t crc32(std::span<const std::byte> data) const noexcept {
+    return ::dart::crc32(data);
+  }
+  [[nodiscard]] std::uint16_t crc16(std::span<const std::byte> data) const noexcept {
+    return ::dart::crc16_ccitt(data);
+  }
+};
+
+// Hash units computing the stateless DART mapping; wraps the deployment's
+// HashFamily so switch and querier agree bit-for-bit.
+class HashEngine {
+ public:
+  HashEngine(std::uint32_t n_addresses, std::uint64_t master_seed)
+      : family_(n_addresses, master_seed) {}
+
+  [[nodiscard]] std::uint32_t collector_id(std::span<const std::byte> key,
+                                           std::uint32_t n_collectors) const noexcept {
+    return family_.collector_of(key, n_collectors);
+  }
+  [[nodiscard]] std::uint64_t slot_index(std::span<const std::byte> key,
+                                         std::uint32_t n,
+                                         std::uint64_t n_slots) const noexcept {
+    return family_.address_of(key, n, n_slots);
+  }
+  [[nodiscard]] std::uint32_t key_checksum(std::span<const std::byte> key,
+                                           std::uint32_t bits) const noexcept {
+    return family_.checksum_of(key, bits);
+  }
+  [[nodiscard]] const HashFamily& family() const noexcept { return family_; }
+
+ private:
+  HashFamily family_;
+};
+
+// I2E mirror sessions: clone + truncate.
+class MirrorExtern {
+ public:
+  struct Session {
+    std::uint32_t id = 0;
+    std::size_t truncate_len = 128;
+  };
+
+  void configure(Session session);
+
+  // Returns a truncated clone tagged as a mirror packet, or an untagged
+  // empty packet if the session does not exist.
+  [[nodiscard]] net::Packet clone(const net::Packet& original,
+                                  std::uint32_t session_id) const;
+
+  [[nodiscard]] std::uint64_t clones_emitted() const noexcept { return clones_; }
+
+ private:
+  std::vector<Session> sessions_;
+  mutable std::uint64_t clones_ = 0;
+};
+
+}  // namespace dart::switchsim

@@ -1,0 +1,55 @@
+// RegisterArray — the stateful ALU/SRAM register extern of a P4 switch.
+//
+// Tofino register arrays are fixed-size at compile time, support one
+// read-modify-write per pipeline pass, and cannot be dynamically allocated —
+// the resource constraint that rules out per-key switch state and motivates
+// DART's stateless hashing (§3.1). The model enforces the fixed size and
+// exposes the same RMW idiom; the DART pipeline uses one such array for its
+// per-collector RoCEv2 PSN counters (§6).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace dart::switchsim {
+
+template <typename T>
+class RegisterArray {
+ public:
+  explicit RegisterArray(std::size_t size, T initial = T{})
+      : cells_(size, initial) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return cells_.size(); }
+
+  [[nodiscard]] T read(std::size_t index) const noexcept {
+    assert(index < cells_.size());
+    return cells_[index];
+  }
+
+  void write(std::size_t index, T value) noexcept {
+    assert(index < cells_.size());
+    cells_[index] = value;
+  }
+
+  // One-pass read-modify-write, the only stateful primitive the hardware
+  // offers. Returns the value *before* modification (like a Tofino
+  // RegisterAction that outputs the old value).
+  template <typename F>
+  T rmw(std::size_t index, F&& modify) noexcept {
+    assert(index < cells_.size());
+    const T old = cells_[index];
+    cells_[index] = modify(old);
+    return old;
+  }
+
+  // Approximate SRAM footprint of this array (bytes).
+  [[nodiscard]] std::size_t sram_bytes() const noexcept {
+    return cells_.size() * sizeof(T);
+  }
+
+ private:
+  std::vector<T> cells_;
+};
+
+}  // namespace dart::switchsim

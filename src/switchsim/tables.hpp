@@ -1,0 +1,44 @@
+// Exact-match match-action tables — the control-plane-populated lookup
+// structures of a P4 pipeline.
+//
+// The DART program has one table that matters: the *collector lookup table*
+// (§3.1/§6), mapping a hashed collector id to the RDMA essentials needed to
+// deparse a RoCEv2 report. Its action data is deliberately small — the paper
+// reports ~20 bytes of SRAM per collector, which is what lets one switch
+// address tens of thousands of collectors; sram_bytes() reproduces that
+// accounting so tests can assert it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+namespace dart::switchsim {
+
+template <typename Key, typename ActionData>
+class ExactTable {
+ public:
+  // Control-plane insert/overwrite.
+  void insert(Key key, ActionData data) { entries_[key] = data; }
+  void remove(Key key) { entries_.erase(key); }
+
+  // Data-plane lookup: hit returns action data, miss returns nullopt (the
+  // P4 default action).
+  [[nodiscard]] std::optional<ActionData> lookup(const Key& key) const {
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  // Approximate SRAM cost: key + action data per entry.
+  [[nodiscard]] std::size_t sram_bytes() const noexcept {
+    return entries_.size() * (sizeof(Key) + sizeof(ActionData));
+  }
+
+ private:
+  std::unordered_map<Key, ActionData> entries_;
+};
+
+}  // namespace dart::switchsim

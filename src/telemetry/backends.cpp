@@ -1,0 +1,196 @@
+#include "telemetry/backends.hpp"
+
+#include <cassert>
+
+namespace dart::telemetry {
+
+namespace {
+
+void put_be16(std::vector<std::byte>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::byte>((v >> 8) & 0xFF));
+  out.push_back(static_cast<std::byte>(v & 0xFF));
+}
+
+void put_be32(std::vector<std::byte>& out, std::uint32_t v) {
+  put_be16(out, static_cast<std::uint16_t>(v >> 16));
+  put_be16(out, static_cast<std::uint16_t>(v & 0xFFFF));
+}
+
+void put_be64(std::vector<std::byte>& out, std::uint64_t v) {
+  put_be32(out, static_cast<std::uint32_t>(v >> 32));
+  put_be32(out, static_cast<std::uint32_t>(v & 0xFFFF'FFFFull));
+}
+
+[[nodiscard]] std::uint32_t get_be32(std::span<const std::byte> in,
+                                     std::size_t off) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v = (v << 8) | static_cast<std::uint8_t>(in[off + static_cast<std::size_t>(i)]);
+  }
+  return v;
+}
+
+[[nodiscard]] std::uint64_t get_be64(std::span<const std::byte> in,
+                                     std::size_t off) noexcept {
+  return (static_cast<std::uint64_t>(get_be32(in, off)) << 32) |
+         get_be32(in, off + 4);
+}
+
+// Pads/truncation guard for values: every record must be exactly the
+// deployment's value width so slot writes are well-formed.
+std::vector<std::byte> fit(std::vector<std::byte> v, std::uint32_t value_bytes) {
+  assert(v.size() <= value_bytes && "value exceeds deployment value width");
+  v.resize(value_bytes, std::byte{0});
+  return v;
+}
+
+}  // namespace
+
+// --- in-band INT -------------------------------------------------------------
+
+TelemetryRecord make_inband_record(const FiveTuple& flow, const IntStack& stack,
+                                   std::uint32_t value_bytes) {
+  TelemetryRecord rec;
+  const auto key = flow.key_bytes();
+  rec.key.assign(key.begin(), key.end());
+  auto value = stack.encode_value(value_bytes);
+  assert(value.has_value() && "INT stack exceeds deployment value width");
+  rec.value = std::move(*value);
+  return rec;
+}
+
+// --- postcards -----------------------------------------------------------------
+
+std::vector<std::byte> postcard_key(std::uint32_t switch_id,
+                                    const FiveTuple& flow) {
+  std::vector<std::byte> key;
+  key.reserve(4 + 13);
+  put_be32(key, switch_id);
+  const auto fk = flow.key_bytes();
+  key.insert(key.end(), fk.begin(), fk.end());
+  return key;
+}
+
+TelemetryRecord make_postcard_record(std::uint32_t switch_id,
+                                     const FiveTuple& flow,
+                                     const IntHopMetadata& hop,
+                                     std::uint32_t value_bytes) {
+  TelemetryRecord rec;
+  rec.key = postcard_key(switch_id, flow);
+  std::vector<std::byte> v;
+  put_be32(v, hop.switch_id);
+  put_be32(v, hop.queue_depth);
+  put_be32(v, hop.hop_latency_ns);
+  rec.value = fit(std::move(v), value_bytes);
+  return rec;
+}
+
+// --- query-based mirroring --------------------------------------------------------
+
+std::vector<std::byte> query_mirror_key(std::uint32_t query_id) {
+  std::vector<std::byte> key;
+  key.reserve(6);
+  // Domain tag avoids cross-backend key collisions when several backends
+  // share one store.
+  put_be16(key, 0x5133);  // "Q3" — query-mirroring domain
+  put_be32(key, query_id);
+  return key;
+}
+
+TelemetryRecord make_query_mirror_record(std::uint32_t query_id,
+                                         std::span<const std::byte> answer,
+                                         std::uint32_t value_bytes) {
+  TelemetryRecord rec;
+  rec.key = query_mirror_key(query_id);
+  std::vector<std::byte> v(answer.begin(), answer.end());
+  rec.value = fit(std::move(v), value_bytes);
+  return rec;
+}
+
+// --- trace analysis ----------------------------------------------------------------
+
+std::vector<std::byte> trace_analysis_key(std::uint32_t analysis_id,
+                                          std::uint64_t object_id) {
+  std::vector<std::byte> key;
+  key.reserve(14);
+  put_be16(key, 0x7261);  // "ra" — trace-analysis domain
+  put_be32(key, analysis_id);
+  put_be64(key, object_id);
+  return key;
+}
+
+TelemetryRecord make_trace_analysis_record(std::uint32_t analysis_id,
+                                           std::uint64_t object_id,
+                                           std::span<const std::byte> output,
+                                           std::uint32_t value_bytes) {
+  TelemetryRecord rec;
+  rec.key = trace_analysis_key(analysis_id, object_id);
+  std::vector<std::byte> v(output.begin(), output.end());
+  rec.value = fit(std::move(v), value_bytes);
+  return rec;
+}
+
+// --- flow anomalies ------------------------------------------------------------------
+
+std::vector<std::byte> anomaly_key(const FiveTuple& flow, AnomalyKind kind) {
+  std::vector<std::byte> key;
+  key.reserve(15);
+  const auto fk = flow.key_bytes();
+  key.insert(key.end(), fk.begin(), fk.end());
+  put_be16(key, static_cast<std::uint16_t>(kind));
+  return key;
+}
+
+TelemetryRecord make_anomaly_record(const FlowAnomalyEvent& event,
+                                    std::uint32_t value_bytes) {
+  TelemetryRecord rec;
+  rec.key = anomaly_key(event.flow, event.kind);
+  std::vector<std::byte> v;
+  put_be64(v, event.timestamp_ns);
+  put_be32(v, event.magnitude);
+  rec.value = fit(std::move(v), value_bytes);
+  return rec;
+}
+
+AnomalyData decode_anomaly_value(std::span<const std::byte> value) {
+  AnomalyData d;
+  if (value.size() >= 12) {
+    d.timestamp_ns = get_be64(value, 0);
+    d.magnitude = get_be32(value, 8);
+  }
+  return d;
+}
+
+// --- network failures ------------------------------------------------------------------
+
+std::vector<std::byte> failure_key(std::uint32_t failure_id,
+                                   std::uint32_t location) {
+  std::vector<std::byte> key;
+  key.reserve(10);
+  put_be16(key, 0xFA11);  // failure domain
+  put_be32(key, failure_id);
+  put_be32(key, location);
+  return key;
+}
+
+TelemetryRecord make_failure_record(const NetworkFailureEvent& event,
+                                    std::uint32_t value_bytes) {
+  TelemetryRecord rec;
+  rec.key = failure_key(event.failure_id, event.location);
+  std::vector<std::byte> v;
+  put_be64(v, event.timestamp_ns);
+  put_be32(v, event.debug_code);
+  rec.value = fit(std::move(v), value_bytes);
+  return rec;
+}
+
+FailureData decode_failure_value(std::span<const std::byte> value) {
+  FailureData d;
+  if (value.size() >= 12) {
+    d.timestamp_ns = get_be64(value, 0);
+    d.debug_code = get_be32(value, 8);
+  }
+  return d;
+}
+
+}  // namespace dart::telemetry

@@ -1,0 +1,110 @@
+// Table 1 of the paper: measurement techniques mapped onto DART's key-value
+// collection structure. One adapter per row turns a backend-specific event
+// into the canonical TelemetryRecord {key bytes, value bytes} that any
+// DartStore / switch pipeline can carry — DART itself "does not place any
+// specific restriction on the underlying measurement framework" (§3).
+//
+//   Backend                  Key                          Data
+//   In-band INT              flow 5-tuple                 packet-carried data
+//   Postcards                (switch id, 5-tuple)         local measurement
+//   Query-based mirroring    query id                     query answer
+//   Trace analysis           (analysis id, object id)     analysis output
+//   Flow anomalies           (5-tuple, anomaly id)        time + event data
+//   Network failures         (failure id, location)       time + debug info
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "telemetry/flow.hpp"
+#include "telemetry/int_path.hpp"
+
+namespace dart::telemetry {
+
+struct TelemetryRecord {
+  std::vector<std::byte> key;
+  std::vector<std::byte> value;
+};
+
+// --- row 1: in-band INT -----------------------------------------------------
+
+// Key = flow 5-tuple; value = the packet-carried INT stack.
+[[nodiscard]] TelemetryRecord make_inband_record(const FiveTuple& flow,
+                                                 const IntStack& stack,
+                                                 std::uint32_t value_bytes);
+
+// --- row 2: postcards --------------------------------------------------------
+
+// Key = (switch id ‖ 5-tuple); value = this switch's local measurement.
+[[nodiscard]] TelemetryRecord make_postcard_record(std::uint32_t switch_id,
+                                                   const FiveTuple& flow,
+                                                   const IntHopMetadata& hop,
+                                                   std::uint32_t value_bytes);
+[[nodiscard]] std::vector<std::byte> postcard_key(std::uint32_t switch_id,
+                                                  const FiveTuple& flow);
+
+// --- row 3: query-based mirroring --------------------------------------------
+
+[[nodiscard]] TelemetryRecord make_query_mirror_record(
+    std::uint32_t query_id, std::span<const std::byte> answer,
+    std::uint32_t value_bytes);
+[[nodiscard]] std::vector<std::byte> query_mirror_key(std::uint32_t query_id);
+
+// --- row 4: trace analysis ----------------------------------------------------
+
+[[nodiscard]] TelemetryRecord make_trace_analysis_record(
+    std::uint32_t analysis_id, std::uint64_t object_id,
+    std::span<const std::byte> output, std::uint32_t value_bytes);
+[[nodiscard]] std::vector<std::byte> trace_analysis_key(
+    std::uint32_t analysis_id, std::uint64_t object_id);
+
+// --- row 5: flow anomalies -----------------------------------------------------
+
+enum class AnomalyKind : std::uint16_t {
+  kRetransmissionBurst = 1,
+  kRttSpike = 2,
+  kPacketDropRun = 3,
+  kPathChange = 4,
+};
+
+struct FlowAnomalyEvent {
+  FiveTuple flow;
+  AnomalyKind kind = AnomalyKind::kRetransmissionBurst;
+  std::uint64_t timestamp_ns = 0;
+  std::uint32_t magnitude = 0;  // event-specific (drops, µs spike, ...)
+};
+
+[[nodiscard]] TelemetryRecord make_anomaly_record(const FlowAnomalyEvent& event,
+                                                  std::uint32_t value_bytes);
+[[nodiscard]] std::vector<std::byte> anomaly_key(const FiveTuple& flow,
+                                                 AnomalyKind kind);
+
+// Decoded form of an anomaly value (for query clients).
+struct AnomalyData {
+  std::uint64_t timestamp_ns = 0;
+  std::uint32_t magnitude = 0;
+};
+[[nodiscard]] AnomalyData decode_anomaly_value(std::span<const std::byte> value);
+
+// --- row 6: network failures -----------------------------------------------------
+
+struct NetworkFailureEvent {
+  std::uint32_t failure_id = 0;   // e.g. Pingmesh-style probe id
+  std::uint32_t location = 0;     // switch / link id
+  std::uint64_t timestamp_ns = 0;
+  std::uint32_t debug_code = 0;
+};
+
+[[nodiscard]] TelemetryRecord make_failure_record(
+    const NetworkFailureEvent& event, std::uint32_t value_bytes);
+[[nodiscard]] std::vector<std::byte> failure_key(std::uint32_t failure_id,
+                                                 std::uint32_t location);
+
+struct FailureData {
+  std::uint64_t timestamp_ns = 0;
+  std::uint32_t debug_code = 0;
+};
+[[nodiscard]] FailureData decode_failure_value(std::span<const std::byte> value);
+
+}  // namespace dart::telemetry

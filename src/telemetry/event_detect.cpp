@@ -1,0 +1,58 @@
+#include "telemetry/event_detect.hpp"
+
+#include <cstdlib>
+
+#include "common/hash.hpp"
+
+namespace dart::telemetry {
+
+ChangeDetector::ChangeDetector(const ChangeDetectorConfig& config)
+    : config_(config),
+      table_(config.table_size == 0 ? 1 : config.table_size) {}
+
+bool ChangeDetector::observe(std::span<const std::byte> key,
+                             std::uint32_t value, std::uint64_t now_ns) {
+  ++stats_.observations;
+
+  const std::uint64_t h = xxhash64(key, config_.seed);
+  const std::size_t idx = h % table_.size();
+  // Tag from independent bits of the hash; avoid 0 (the empty marker).
+  std::uint32_t tag = static_cast<std::uint32_t>(h >> 32);
+  if (tag == 0) tag = 1;
+
+  Entry& entry = table_[idx];
+
+  if (entry.tag != tag) {
+    // New flow, or a collision evicting the previous occupant — either way
+    // the switch has no state for this key and must report.
+    if (entry.tag != 0) ++stats_.evictions;
+    ++stats_.new_flows;
+    entry.tag = tag;
+    entry.last_value = value;
+    entry.last_report_ns = now_ns;
+    ++stats_.reports;
+    return true;
+  }
+
+  const std::uint32_t delta = value > entry.last_value
+                                  ? value - entry.last_value
+                                  : entry.last_value - value;
+  if (delta <= config_.threshold) {
+    ++stats_.suppressed_unchanged;
+    return false;
+  }
+  if (now_ns - entry.last_report_ns < config_.min_interval_ns) {
+    ++stats_.suppressed_ratelimited;
+    return false;
+  }
+  entry.last_value = value;
+  entry.last_report_ns = now_ns;
+  ++stats_.reports;
+  return true;
+}
+
+std::size_t ChangeDetector::sram_bytes() const noexcept {
+  return table_.size() * sizeof(Entry);
+}
+
+}  // namespace dart::telemetry

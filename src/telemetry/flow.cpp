@@ -1,0 +1,41 @@
+#include "telemetry/flow.hpp"
+
+#include <cstdio>
+
+#include "common/hash.hpp"
+
+namespace dart::telemetry {
+
+std::array<std::byte, 13> FiveTuple::key_bytes() const noexcept {
+  std::array<std::byte, 13> out;
+  auto put32 = [&](std::size_t off, std::uint32_t v) {
+    out[off + 0] = static_cast<std::byte>((v >> 24) & 0xFF);
+    out[off + 1] = static_cast<std::byte>((v >> 16) & 0xFF);
+    out[off + 2] = static_cast<std::byte>((v >> 8) & 0xFF);
+    out[off + 3] = static_cast<std::byte>(v & 0xFF);
+  };
+  auto put16 = [&](std::size_t off, std::uint16_t v) {
+    out[off + 0] = static_cast<std::byte>((v >> 8) & 0xFF);
+    out[off + 1] = static_cast<std::byte>(v & 0xFF);
+  };
+  put32(0, src_ip.value);
+  put32(4, dst_ip.value);
+  put16(8, src_port);
+  put16(10, dst_port);
+  out[12] = static_cast<std::byte>(protocol);
+  return out;
+}
+
+std::string FiveTuple::str() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s:%u->%s:%u/%u", src_ip.str().c_str(),
+                src_port, dst_ip.str().c_str(), dst_port, protocol);
+  return buf;
+}
+
+std::size_t FiveTupleHash::operator()(const FiveTuple& t) const noexcept {
+  const auto k = t.key_bytes();
+  return static_cast<std::size_t>(xxhash64(k, 0x5717'F10Dull));
+}
+
+}  // namespace dart::telemetry

@@ -1,0 +1,37 @@
+// Flow identity: the 5-tuple every Table-1 backend keys on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+
+#include "net/headers.hpp"
+
+namespace dart::telemetry {
+
+struct FiveTuple {
+  net::Ipv4Addr src_ip{};
+  net::Ipv4Addr dst_ip{};
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t protocol = 6;  // TCP
+
+  friend bool operator==(const FiveTuple&, const FiveTuple&) = default;
+
+  // Canonical 13-byte packed encoding (big-endian fields) — the exact bytes
+  // hashed by switches and query clients; any divergence here would break
+  // the stateless mapping, so this is the only serializer.
+  [[nodiscard]] std::array<std::byte, 13> key_bytes() const noexcept;
+
+  [[nodiscard]] std::string str() const;
+};
+
+// Hash for unordered containers (simulation bookkeeping only — the DART data
+// path uses HashFamily, not this).
+struct FiveTupleHash {
+  [[nodiscard]] std::size_t operator()(const FiveTuple& t) const noexcept;
+};
+
+}  // namespace dart::telemetry

@@ -1,0 +1,86 @@
+#include "telemetry/heavy_hitters.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace dart::telemetry {
+
+HeavyHitterCollector::HeavyHitterCollector(const HeavyHitterConfig& config)
+    : config_(config),
+      memory_(static_cast<std::size_t>(config.sketch_rows) *
+                  config.sketch_cols * 8,
+              std::byte{0}),
+      rnic_(config.hash_seed ^ 0x99),
+      index_(config.sketch_rows, config.sketch_cols, config.hash_seed) {
+  const auto pd = rnic_.alloc_pd();
+  auto mr = rnic_.register_mr(pd, memory_, config.base_vaddr,
+                              rdma::Access::kRemoteAtomic);
+  assert(mr.ok());
+  const auto qp =
+      rnic_.create_qp(config.qpn, rdma::QpType::kRc, pd,
+                      rdma::PsnPolicy::kIgnore);  // many switches, one QP
+  assert(qp.ok());
+  (void)qp;
+
+  info_.collector_id = 0;
+  info_.ip = net::Ipv4Addr::from_octets(10, 0, 102, 1);
+  info_.mac = {0x02, 0x44, 0, 0, 0, 1};
+  info_.qpn = config.qpn;
+  info_.rkey = mr.value().rkey;
+  info_.base_vaddr = config.base_vaddr;
+  info_.n_slots = static_cast<std::uint64_t>(config.sketch_rows) *
+                  config.sketch_cols;
+  info_.slot_bytes = 8;
+}
+
+std::vector<std::uint64_t> HeavyHitterCollector::cell_indices(
+    const FiveTuple& flow) const {
+  const auto key = flow.key_bytes();
+  return index_.cell_indices(key);
+}
+
+std::uint64_t HeavyHitterCollector::estimate(const FiveTuple& flow) const {
+  std::uint64_t best = UINT64_MAX;
+  for (const auto cell : cell_indices(flow)) {
+    std::uint64_t v;
+    std::memcpy(&v, memory_.data() + cell * 8, 8);
+    best = std::min(best, v);
+  }
+  return best == UINT64_MAX ? 0 : best;
+}
+
+std::vector<std::pair<FiveTuple, std::uint64_t>>
+HeavyHitterCollector::heavy_hitters(std::span<const FiveTuple> candidates,
+                                    std::uint64_t threshold) const {
+  std::vector<std::pair<FiveTuple, std::uint64_t>> out;
+  for (const auto& flow : candidates) {
+    const auto est = estimate(flow);
+    if (est >= threshold) out.emplace_back(flow, est);
+  }
+  return out;
+}
+
+HeavyHitterSwitch::HeavyHitterSwitch(const HeavyHitterCollector& collector,
+                                     const core::ReporterEndpoint& endpoint)
+    : collector_(&collector), endpoint_(endpoint),
+      crafter_([&] {
+        core::DartConfig cfg;  // crafter only needs framing defaults here
+        cfg.n_slots = collector.remote_info().n_slots;
+        cfg.value_bytes = 8;
+        return cfg;
+      }()) {}
+
+std::vector<std::vector<std::byte>> HeavyHitterSwitch::observe(
+    const FiveTuple& flow, std::uint64_t count) {
+  std::vector<std::vector<std::byte>> frames;
+  const auto info = collector_->remote_info();
+  for (const auto cell : collector_->cell_indices(flow)) {
+    frames.push_back(crafter_.craft_fetch_add(
+        info, endpoint_, info.base_vaddr + cell * 8, count, psn_++));
+    ++frames_;
+  }
+  return frames;
+}
+
+}  // namespace dart::telemetry

@@ -1,0 +1,94 @@
+// Network-wide heavy-hitter detection on collector memory (§7).
+//
+//   "Fetch & Add can be used to implement flow-counters directly in
+//    collectors' memory (saving resources at switches) or to perform
+//    network-wide aggregation of sketches."
+//
+// HeavyHitterMonitor is the deployable form of that idea: every switch
+// observes packets and emits FETCH_ADD frames against a count-min sketch
+// living in one collector's registered memory. Switches keep ZERO counting
+// state; the sketch in collector DRAM is automatically the network-wide sum
+// of all switches' contributions (addition commutes — no merge step, no
+// coordination). The operator estimates any flow's count by reading d cells
+// from collector memory and reports flows above a threshold.
+//
+// The monitor also tracks candidate keys on the operator side (a real
+// deployment learns candidates from flow logs or sampled headers; the
+// sketch itself is one-directional).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/atomics_store.hpp"
+#include "core/collector.hpp"
+#include "core/report_crafter.hpp"
+#include "telemetry/flow.hpp"
+
+namespace dart::telemetry {
+
+struct HeavyHitterConfig {
+  std::uint32_t sketch_rows = 4;
+  std::uint64_t sketch_cols = 4096;
+  std::uint64_t base_vaddr = 0x0000'3000'0000'0000ull;
+  std::uint32_t qpn = 0x300;
+  std::uint64_t hash_seed = 0x5E7C;
+};
+
+// Collector-side state: sketch memory registered as an RDMA MR.
+class HeavyHitterCollector {
+ public:
+  explicit HeavyHitterCollector(const HeavyHitterConfig& config);
+
+  [[nodiscard]] rdma::SimulatedRnic& rnic() noexcept { return rnic_; }
+  [[nodiscard]] core::RemoteStoreInfo remote_info() const noexcept {
+    return info_;
+  }
+
+  // Operator read path: count estimate for a flow (min over d cells).
+  [[nodiscard]] std::uint64_t estimate(const FiveTuple& flow) const;
+
+  // Flows among `candidates` whose estimate meets `threshold`.
+  [[nodiscard]] std::vector<std::pair<FiveTuple, std::uint64_t>> heavy_hitters(
+      std::span<const FiveTuple> candidates, std::uint64_t threshold) const;
+
+  [[nodiscard]] const HeavyHitterConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  friend class HeavyHitterSwitch;
+  [[nodiscard]] std::vector<std::uint64_t> cell_indices(
+      const FiveTuple& flow) const;
+
+  HeavyHitterConfig config_;
+  std::vector<std::byte> memory_;
+  rdma::SimulatedRnic rnic_;
+  core::RemoteStoreInfo info_;
+  core::CountMinSketch index_;  // index geometry only; cells live in memory_
+};
+
+// Switch-side: stateless observation → FETCH_ADD frames.
+class HeavyHitterSwitch {
+ public:
+  HeavyHitterSwitch(const HeavyHitterCollector& collector,
+                    const core::ReporterEndpoint& endpoint);
+
+  // Frames to emit for one observed packet (one FETCH_ADD per sketch row).
+  [[nodiscard]] std::vector<std::vector<std::byte>> observe(
+      const FiveTuple& flow, std::uint64_t count = 1);
+
+  [[nodiscard]] std::uint64_t frames_emitted() const noexcept {
+    return frames_;
+  }
+
+ private:
+  const HeavyHitterCollector* collector_;
+  core::ReporterEndpoint endpoint_;
+  core::ReportCrafter crafter_;
+  std::uint32_t psn_ = 0;
+  std::uint64_t frames_ = 0;
+};
+
+}  // namespace dart::telemetry

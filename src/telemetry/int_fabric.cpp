@@ -1,0 +1,139 @@
+#include "telemetry/int_fabric.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/hash.hpp"
+
+namespace dart::telemetry {
+
+IntFabric::IntFabric(const IntFabricConfig& config)
+    : config_(config),
+      topo_(config.fat_tree_k),
+      cluster_(config.dart, config.n_collectors),
+      loss_rng_(config.seed ^ 0x1055) {
+  switches_.reserve(topo_.n_switches());
+  for (std::uint32_t sw = 0; sw < topo_.n_switches(); ++sw) {
+    switchsim::DartSwitchPipeline::Config sc;
+    sc.dart = config.dart;
+    sc.mac = {0x02, 0x5A, 0x00, 0x00, static_cast<std::uint8_t>(sw >> 8),
+              static_cast<std::uint8_t>(sw & 0xFF)};
+    sc.ip = net::Ipv4Addr::from_octets(10, 255, static_cast<std::uint8_t>(sw >> 8),
+                                       static_cast<std::uint8_t>(sw & 0xFF));
+    sc.max_collectors = std::max<std::uint32_t>(config.n_collectors, 1);
+    sc.rng_seed = config.seed * 1000003ull + sw;
+    sc.write_mode = config.switch_write_mode;
+    switches_.push_back(std::make_unique<switchsim::DartSwitchPipeline>(sc));
+    for (const auto& info : cluster_.directory()) {
+      switches_.back()->load_collector(info);
+    }
+  }
+}
+
+IntHopMetadata IntFabric::hop_metadata(std::uint32_t switch_id,
+                                       const FiveTuple& flow) const {
+  IntHopMetadata hop;
+  hop.switch_id = int_id(switch_id);
+  // Deterministic synthetic congestion state per (switch, flow).
+  const auto key = flow.key_bytes();
+  const std::uint64_t h = xxhash64(key, 0xBEEF'0000ull + switch_id);
+  hop.queue_depth = static_cast<std::uint32_t>(h % 128);
+  hop.hop_latency_ns = 500 + static_cast<std::uint32_t>((h >> 32) % 20000);
+  return hop;
+}
+
+void IntFabric::deliver(const std::vector<std::vector<std::byte>>& frames) {
+  for (const auto& frame : frames) {
+    ++stats_.reports_emitted;
+    if (config_.report_loss_rate > 0.0 &&
+        loss_rng_.chance(config_.report_loss_rate)) {
+      ++stats_.reports_lost;
+      continue;
+    }
+    // Route the report to the collector owning the frame's destination IP.
+    const auto parsed = net::parse_udp_frame(frame);
+    assert(parsed.has_value());
+    bool routed = false;
+    for (const auto& info : cluster_.directory()) {
+      if (info.ip == parsed->ip.dst) {
+        cluster_.collector(info.collector_id).rnic().process_frame(frame);
+        routed = true;
+        break;
+      }
+    }
+    assert(routed && "report addressed to unknown collector");
+    (void)routed;
+    ++stats_.reports_delivered;
+  }
+}
+
+std::vector<std::uint32_t> IntFabric::trace_flow(const FlowEndpoints& flow) {
+  ++stats_.flows_traced;
+  const auto key = flow.tuple.key_bytes();
+  const std::uint64_t flow_hash = xxhash64(key, 0xECB9);
+  const auto path = topo_.path(flow.src_host, flow.dst_host, flow_hash);
+
+  // In-band: the packet accumulates one stack entry per hop...
+  IntStack stack(config_.instruction, /*max_hops=*/16);
+  for (const std::uint32_t sw : path) {
+    const bool pushed = stack.push_hop(hop_metadata(sw, flow.tuple));
+    assert(pushed);
+    (void)pushed;
+  }
+
+  // ...and the INT sink (last hop) extracts it and reports to DART.
+  const auto record =
+      make_inband_record(flow.tuple, stack, config_.dart.value_bytes);
+  auto& sink = *switches_[path.back()];
+  deliver(sink.on_telemetry(record.key, record.value));
+  return path;
+}
+
+std::vector<std::uint32_t> IntFabric::postcard_flow(const FlowEndpoints& flow) {
+  ++stats_.flows_traced;
+  const auto key = flow.tuple.key_bytes();
+  const std::uint64_t flow_hash = xxhash64(key, 0xECB9);
+  const auto path = topo_.path(flow.src_host, flow.dst_host, flow_hash);
+
+  for (const std::uint32_t sw : path) {
+    const auto record =
+        make_postcard_record(int_id(sw), flow.tuple, hop_metadata(sw, flow.tuple),
+                             config_.dart.value_bytes);
+    deliver(switches_[sw]->on_telemetry(record.key, record.value));
+  }
+  return path;
+}
+
+std::optional<std::vector<std::uint32_t>> IntFabric::query_path(
+    const FiveTuple& flow, core::ReturnPolicy policy) const {
+  const auto key = flow.key_bytes();
+  const auto result = cluster_.query(key, policy);
+  if (result.outcome != core::QueryOutcome::kFound) return std::nullopt;
+  auto wire_ids = IntStack::decode_switch_ids(result.value);
+  for (auto& id : wire_ids) id = topo_id(id);
+  return wire_ids;
+}
+
+std::optional<IntHopMetadata> IntFabric::query_postcard(
+    std::uint32_t switch_id, const FiveTuple& flow,
+    core::ReturnPolicy policy) const {
+  const auto key = postcard_key(int_id(switch_id), flow);
+  const auto result = cluster_.query(key, policy);
+  if (result.outcome != core::QueryOutcome::kFound) return std::nullopt;
+  if (result.value.size() < 12) return std::nullopt;
+  IntHopMetadata hop;
+  auto be32 = [&](std::size_t off) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v = (v << 8) |
+          static_cast<std::uint8_t>(result.value[off + static_cast<std::size_t>(i)]);
+    }
+    return v;
+  };
+  hop.switch_id = be32(0);
+  hop.queue_depth = be32(4);
+  hop.hop_latency_ns = be32(8);
+  return hop;
+}
+
+}  // namespace dart::telemetry

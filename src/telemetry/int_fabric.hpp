@@ -1,0 +1,106 @@
+// IntFabric — the end-to-end system of the paper's running example: INT path
+// tracing on a fat tree, collected by DART with zero collector-CPU ingest.
+//
+// Wiring: one DartSwitchPipeline per fat-tree switch (each loaded with the
+// full collector directory), a CollectorCluster of RNIC-fronted stores, and
+// an optional Bernoulli report-loss process between switches and collectors.
+//
+//   trace_flow():   in-band INT — per-hop metadata accumulates in the packet;
+//                   the egress edge switch (INT sink) extracts the stack and
+//                   emits DART report frames keyed by the flow 5-tuple.
+//   postcard_flow(): every switch on the path reports its own hop record
+//                   keyed by (switch id, 5-tuple).
+//
+// Reports are real RoCEv2 frames produced by the switch pipeline model and
+// ingested by the simulated RNIC — the same bytes a hardware deployment
+// would put on the wire. Queries then recover the path from store memory.
+//
+// INT switch ids on the wire are topology ids + 1, so id 0 never appears in
+// a value and zero-padding in slots stays unambiguous.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/random.hpp"
+#include "core/cluster.hpp"
+#include "switchsim/dart_switch.hpp"
+#include "switchsim/topology.hpp"
+#include "telemetry/backends.hpp"
+#include "telemetry/flow.hpp"
+#include "telemetry/workload.hpp"
+
+namespace dart::telemetry {
+
+struct IntFabricConfig {
+  std::uint32_t fat_tree_k = 4;
+  core::DartConfig dart;             // value_bytes must fit the hop stack
+  std::uint32_t n_collectors = 1;
+  core::WriteMode switch_write_mode = core::WriteMode::kAllSlots;
+  double report_loss_rate = 0.0;     // Bernoulli loss switch→collector
+  std::uint64_t seed = 1;
+  IntInstruction instruction = IntInstruction::kSwitchId;
+};
+
+struct IntFabricStats {
+  std::uint64_t flows_traced = 0;
+  std::uint64_t reports_emitted = 0;
+  std::uint64_t reports_lost = 0;
+  std::uint64_t reports_delivered = 0;
+};
+
+class IntFabric {
+ public:
+  explicit IntFabric(const IntFabricConfig& config);
+
+  [[nodiscard]] const switchsim::FatTree& topology() const noexcept {
+    return topo_;
+  }
+  [[nodiscard]] core::CollectorCluster& cluster() noexcept { return cluster_; }
+  [[nodiscard]] const IntFabricStats& stats() const noexcept { return stats_; }
+
+  // In-band INT: traces one packet of `flow`, reports at the sink.
+  // Returns the path (topology switch ids) the packet took.
+  std::vector<std::uint32_t> trace_flow(const FlowEndpoints& flow);
+
+  // Postcard INT: every switch on the path reports its own record.
+  std::vector<std::uint32_t> postcard_flow(const FlowEndpoints& flow);
+
+  // Query the traced path of a flow (in-band mode). nullopt = empty return.
+  [[nodiscard]] std::optional<std::vector<std::uint32_t>> query_path(
+      const FiveTuple& flow,
+      core::ReturnPolicy policy = core::ReturnPolicy::kPlurality) const;
+
+  // Query one switch's postcard for a flow (postcard mode).
+  [[nodiscard]] std::optional<IntHopMetadata> query_postcard(
+      std::uint32_t switch_id, const FiveTuple& flow,
+      core::ReturnPolicy policy = core::ReturnPolicy::kPlurality) const;
+
+  // INT-id mapping (wire id = topo id + 1).
+  [[nodiscard]] static constexpr std::uint32_t int_id(std::uint32_t topo_id) noexcept {
+    return topo_id + 1;
+  }
+  [[nodiscard]] static constexpr std::uint32_t topo_id(std::uint32_t int_id) noexcept {
+    return int_id - 1;
+  }
+
+ private:
+  // Synthetic per-hop measurements (queue depth, latency) for richer INT
+  // instructions; deterministic per (switch, flow).
+  [[nodiscard]] IntHopMetadata hop_metadata(std::uint32_t switch_id,
+                                            const FiveTuple& flow) const;
+
+  // Sends crafted frames to the owning collector's RNIC, applying loss.
+  void deliver(const std::vector<std::vector<std::byte>>& frames);
+
+  IntFabricConfig config_;
+  switchsim::FatTree topo_;
+  core::CollectorCluster cluster_;
+  std::vector<std::unique_ptr<switchsim::DartSwitchPipeline>> switches_;
+  Xoshiro256 loss_rng_;
+  IntFabricStats stats_;
+};
+
+}  // namespace dart::telemetry

@@ -1,0 +1,548 @@
+#include "telemetry/wire_fabric.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/hash.hpp"
+#include "telemetry/backends.hpp"
+
+namespace dart::telemetry {
+
+namespace {
+
+// The ECMP flow hash every switch derives from the packet's inner 5-tuple.
+// For INT packets the *original* destination port (preserved in the shim)
+// is used, so the hash — and therefore the path — is stable across the
+// encapsulation, and matches FatTree::path for the original flow.
+std::uint64_t flow_hash_of(const net::ParsedUdpFrame& frame) {
+  FiveTuple tuple;
+  tuple.src_ip = frame.ip.src;
+  tuple.dst_ip = frame.ip.dst;
+  tuple.src_port = frame.udp.src_port;
+  tuple.dst_port = frame.udp.dst_port;
+  tuple.protocol = frame.ip.protocol;
+  if (frame.udp.dst_port == kIntUdpPort) {
+    if (const auto pkt = int_parse(frame.payload)) {
+      tuple.dst_port = pkt->original_dst_port;
+    }
+  }
+  const auto key = tuple.key_bytes();
+  return xxhash64(key, 0xECB9);
+}
+
+// Rebuilds an Ethernet+IPv4+UDP frame around a new UDP payload / dst port,
+// keeping addressing intact (what a switch's deparser does after INT edits).
+std::vector<std::byte> rebuild_frame(const net::ParsedUdpFrame& frame,
+                                     std::span<const std::byte> new_payload,
+                                     std::uint16_t new_dst_port) {
+  net::UdpFrameSpec spec;
+  spec.src_mac = frame.eth.src;
+  spec.dst_mac = frame.eth.dst;
+  spec.src_ip = frame.ip.src;
+  spec.dst_ip = frame.ip.dst;
+  spec.src_port = frame.udp.src_port;
+  spec.dst_port = new_dst_port;
+  spec.ttl = static_cast<std::uint8_t>(frame.ip.ttl > 0 ? frame.ip.ttl - 1
+                                                        : 0);
+  spec.dscp = frame.ip.dscp;
+  spec.protocol = frame.ip.protocol;
+  return net::build_udp_frame(spec, new_payload);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// HostNode
+// ---------------------------------------------------------------------------
+
+class HostNode final : public net::Node {
+ public:
+  HostNode(std::uint32_t host_id, net::Ipv4Addr ip,
+           std::shared_ptr<const FabricDirectory> directory,
+           const switchsim::FatTree* topo)
+      : host_id_(host_id), ip_(ip), directory_(std::move(directory)),
+        topo_(topo) {}
+
+  void receive(net::Packet packet, std::uint64_t) override {
+    const auto parsed = net::parse_udp_frame(packet.bytes());
+    if (parsed && parsed->ip.dst == ip_) ++received_;
+  }
+
+  void send_udp(const FiveTuple& flow, std::span<const std::byte> payload) {
+    net::UdpFrameSpec spec;
+    spec.src_mac = mac();
+    spec.dst_mac = {0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF};  // next-hop rewrites
+    spec.src_ip = flow.src_ip;
+    spec.dst_ip = flow.dst_ip;
+    spec.src_port = flow.src_port;
+    spec.dst_port = flow.dst_port;
+    spec.protocol = flow.protocol;
+    const auto frame = net::build_udp_frame(spec, payload);
+    const auto edge = topo_->host_edge(host_id_);
+    sim_->send(self_, directory_->switch_nodes[edge],
+               net::Packet(std::vector<std::byte>(frame.begin(), frame.end())));
+    ++sent_;
+  }
+
+  [[nodiscard]] std::uint64_t received() const noexcept { return received_; }
+  [[nodiscard]] std::uint64_t sent() const noexcept { return sent_; }
+
+ private:
+  [[nodiscard]] net::MacAddr mac() const noexcept {
+    return {0x02, 0x0A, 0, 0, static_cast<std::uint8_t>(host_id_ >> 8),
+            static_cast<std::uint8_t>(host_id_ & 0xFF)};
+  }
+
+  std::uint32_t host_id_;
+  net::Ipv4Addr ip_;
+  std::shared_ptr<const FabricDirectory> directory_;
+  const switchsim::FatTree* topo_;
+  std::uint64_t received_ = 0;
+  std::uint64_t sent_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// ForwardingSwitch
+// ---------------------------------------------------------------------------
+
+class ForwardingSwitch final : public net::Node {
+ public:
+  struct Stats {
+    std::uint64_t forwarded = 0;
+    std::uint64_t int_sources = 0;
+    std::uint64_t int_sinks = 0;
+    std::uint64_t int_overhead_bytes = 0;
+    std::uint64_t reports_emitted = 0;
+    std::uint64_t routing_drops = 0;
+    std::uint32_t max_reported_queue_depth = 0;
+    std::uint64_t postcard_observations = 0;
+    std::uint64_t postcard_reports = 0;
+  };
+
+  ForwardingSwitch(const WireFabricConfig& config,
+                   const switchsim::FatTree* topo, std::uint32_t switch_id,
+                   std::shared_ptr<const FabricDirectory> directory,
+                   const std::vector<core::RemoteStoreInfo>& collectors)
+      : config_(config), topo_(topo), self_ref_(topo->describe(switch_id)),
+        directory_(std::move(directory)), rng_(config.seed * 7919 + switch_id) {
+    switchsim::DartSwitchPipeline::Config sc;
+    sc.dart = config.dart;
+    sc.mac = {0x02, 0x5A, 0, 0, static_cast<std::uint8_t>(switch_id >> 8),
+              static_cast<std::uint8_t>(switch_id & 0xFF)};
+    sc.ip = net::Ipv4Addr::from_octets(
+        10, 254, static_cast<std::uint8_t>(switch_id >> 8),
+        static_cast<std::uint8_t>(switch_id & 0xFF));
+    sc.max_collectors = std::max<std::uint32_t>(config.n_collectors, 1);
+    sc.rng_seed = config.seed * 104729 + switch_id;
+    sc.write_mode = config.switch_write_mode;
+    pipeline_ = std::make_unique<switchsim::DartSwitchPipeline>(sc);
+    for (const auto& info : collectors) pipeline_->load_collector(info);
+    if (config.postcards) {
+      auto det_cfg = config.postcard_detector;
+      det_cfg.seed ^= switch_id;  // independent tag hashing per switch
+      postcard_detector_ = std::make_unique<ChangeDetector>(det_cfg);
+    }
+  }
+
+  void receive(net::Packet packet, std::uint64_t now_ns) override;
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  [[nodiscard]] std::uint32_t host_id_of(net::Ipv4Addr ip) const noexcept {
+    // 10.pod.edge.(2+idx) — inverse of FatTree::host_ip.
+    const std::uint32_t pod = (ip.value >> 16) & 0xFF;
+    const std::uint32_t edge = (ip.value >> 8) & 0xFF;
+    const std::uint32_t idx = (ip.value & 0xFF) - 2;
+    const std::uint32_t half = topo_->k() / 2;
+    return pod * half * half + edge * half + idx;
+  }
+
+  // Hop metadata sampled against the packet's actual egress link: the
+  // queue depth is the link's real instantaneous egress queue (non-zero
+  // only when links are bandwidth-shaped), as INT-MD specifies.
+  [[nodiscard]] IntHopMetadata my_hop_metadata(std::uint64_t now_ns,
+                                               net::NodeId egress) noexcept {
+    IntHopMetadata hop;
+    hop.switch_id = self_ref_.id + 1;  // wire ids are topo id + 1
+    hop.queue_depth = sim_->link_queue_depth(self_, egress);
+    hop.hop_latency_ns =
+        static_cast<std::uint32_t>(config_.link_latency_ns +
+                                   rng_.below(500)) +
+        static_cast<std::uint32_t>(now_ns % 2);
+    return hop;
+  }
+
+  // Next-hop switch for a transit packet (hash-based ECMP, mirrors
+  // FatTree::path); only valid when this switch is not the destination edge.
+  [[nodiscard]] std::uint32_t next_hop_switch(
+      const net::ParsedUdpFrame& parsed) const;
+
+  void deliver_reports(std::span<const std::byte> key,
+                       std::span<const std::byte> value);
+
+  // Postcard mode: report this switch's hop record for the packet's flow,
+  // gated by the change detector on the observed queue depth.
+  void maybe_emit_postcard(const net::ParsedUdpFrame& parsed,
+                           const IntHopMetadata& hop);
+
+  WireFabricConfig config_;
+  const switchsim::FatTree* topo_;
+  switchsim::SwitchRef self_ref_;
+  std::shared_ptr<const FabricDirectory> directory_;
+  Xoshiro256 rng_;
+  std::unique_ptr<switchsim::DartSwitchPipeline> pipeline_;
+  std::unique_ptr<ChangeDetector> postcard_detector_;
+  Stats stats_;
+};
+
+void ForwardingSwitch::deliver_reports(std::span<const std::byte> key,
+                                       std::span<const std::byte> value) {
+  for (auto& frame : pipeline_->on_telemetry(key, value)) {
+    ++stats_.reports_emitted;
+    const auto parsed = net::parse_udp_frame(frame);
+    assert(parsed.has_value());
+    // Monitoring underlay: a direct link to each collector.
+    for (std::uint32_t c = 0; c < directory_->collector_nodes.size(); ++c) {
+      if (net::Ipv4Addr::from_octets(10, 0, 100,
+                                     static_cast<std::uint8_t>(c & 0xFF)) ==
+          parsed->ip.dst) {
+        sim_->send(self_, directory_->collector_nodes[c],
+                   net::Packet(std::move(frame)));
+        break;
+      }
+    }
+  }
+}
+
+void ForwardingSwitch::maybe_emit_postcard(const net::ParsedUdpFrame& parsed,
+                                           const IntHopMetadata& hop) {
+  // Key the postcard by the flow's ORIGINAL 5-tuple (restore the port the
+  // INT shim preserved), so queries use the same key at every hop.
+  FiveTuple tuple;
+  tuple.src_ip = parsed.ip.src;
+  tuple.dst_ip = parsed.ip.dst;
+  tuple.src_port = parsed.udp.src_port;
+  tuple.dst_port = parsed.udp.dst_port;
+  tuple.protocol = parsed.ip.protocol;
+  if (parsed.udp.dst_port == kIntUdpPort) {
+    if (const auto pkt = int_parse(parsed.payload)) {
+      tuple.dst_port = pkt->original_dst_port;
+    }
+  }
+
+  ++stats_.postcard_observations;
+  const auto key = postcard_key(hop.switch_id, tuple);
+  if (!postcard_detector_->observe(key, hop.queue_depth, sim_->now_ns())) {
+    return;  // suppressed: nothing changed for this (switch, flow)
+  }
+  ++stats_.postcard_reports;
+  const auto record = make_postcard_record(hop.switch_id, tuple, hop,
+                                           config_.dart.value_bytes);
+  deliver_reports(record.key, record.value);
+}
+
+void ForwardingSwitch::receive(net::Packet packet, std::uint64_t now_ns) {
+  auto parsed = net::parse_udp_frame(packet.bytes());
+  if (!parsed) {
+    ++stats_.routing_drops;
+    return;
+  }
+  ++stats_.forwarded;
+
+  const bool is_int = parsed->udp.dst_port == kIntUdpPort;
+  const std::uint32_t dst_host = host_id_of(parsed->ip.dst);
+  const bool i_am_dst_edge = self_ref_.tier == switchsim::SwitchTier::kEdge &&
+                             topo_->host_edge(dst_host) == self_ref_.id;
+
+  // The packet's egress (needed up front: hop metadata samples the real
+  // queue depth of the link it is about to cross).
+  const net::NodeId egress =
+      i_am_dst_edge ? directory_->host_nodes[dst_host]
+                    : directory_->switch_nodes[next_hop_switch(*parsed)];
+
+  // --- INT source: first edge switch on the path encapsulates -------------
+  if (!is_int && self_ref_.tier == switchsim::SwitchTier::kEdge) {
+    IntMdHeader md;
+    md.remaining_hops = config_.int_max_hops;
+    md.instructions = config_.int_instructions;
+    md.hop_words = int_hop_words(md.instructions);
+    auto payload = int_source_encap(md, parsed->udp.dst_port, parsed->payload);
+    (void)int_transit_push(payload, my_hop_metadata(now_ns, egress));
+    ++stats_.int_sources;
+    auto frame = rebuild_frame(*parsed, payload, kIntUdpPort);
+    packet.assign(std::move(frame));
+    parsed = net::parse_udp_frame(packet.bytes());
+    assert(parsed.has_value());
+  } else if (is_int && !i_am_dst_edge) {
+    // --- INT transit: push my metadata ------------------------------------
+    std::vector<std::byte> payload(parsed->payload.begin(),
+                                   parsed->payload.end());
+    (void)int_transit_push(payload, my_hop_metadata(now_ns, egress));
+    auto frame = rebuild_frame(*parsed, payload, kIntUdpPort);
+    packet.assign(std::move(frame));
+    parsed = net::parse_udp_frame(packet.bytes());
+    assert(parsed.has_value());
+  }
+
+  // --- Postcards (Table 1 row 2): every switch may report its own hop ----
+  if (postcard_detector_) {
+    maybe_emit_postcard(*parsed, my_hop_metadata(now_ns, egress));
+  }
+
+  // --- INT sink: strip, deliver, report ------------------------------------
+  if (i_am_dst_edge) {
+    std::vector<std::byte> payload(parsed->payload.begin(),
+                                   parsed->payload.end());
+    if (parsed->udp.dst_port == kIntUdpPort) {
+      // If we are also a transit (not the source of this packet), our hop
+      // was pushed above only when !i_am_dst_edge; push it now unless we
+      // were the source (source already pushed).
+      const auto pre = int_parse(payload);
+      if (pre && (pre->hops.empty() ||
+                  pre->hops.back().switch_id != self_ref_.id + 1)) {
+        (void)int_transit_push(payload, my_hop_metadata(now_ns, egress));
+      }
+      const auto pkt = int_parse(payload);
+      if (pkt) {
+        ++stats_.int_sinks;
+        stats_.int_overhead_bytes += payload.size() - pkt->inner_payload.size();
+        for (const auto& hop : pkt->hops) {
+          stats_.max_reported_queue_depth =
+              std::max(stats_.max_reported_queue_depth, hop.queue_depth);
+        }
+
+        // DART report: key = original 5-tuple, value = path switch ids.
+        FiveTuple tuple;
+        tuple.src_ip = parsed->ip.src;
+        tuple.dst_ip = parsed->ip.dst;
+        tuple.src_port = parsed->udp.src_port;
+        tuple.dst_port = pkt->original_dst_port;
+        tuple.protocol = parsed->ip.protocol;
+        IntStack stack(IntInstruction::kSwitchId, config_.int_max_hops);
+        for (const auto& hop : pkt->hops) (void)stack.push_hop(hop);
+        if (const auto value = stack.encode_value(config_.dart.value_bytes)) {
+          const auto key = tuple.key_bytes();
+          deliver_reports(key, *value);
+        }
+
+        // Restore and deliver the inner frame to the host.
+        const auto inner = int_sink_decap(payload);
+        auto frame = rebuild_frame(*parsed, *inner, pkt->original_dst_port);
+        sim_->send(self_, directory_->host_nodes[dst_host],
+                   net::Packet(std::move(frame)));
+        return;
+      }
+    }
+    // Non-INT packet for a local host: plain delivery.
+    sim_->send(self_, directory_->host_nodes[dst_host], std::move(packet));
+    return;
+  }
+
+  // --- Forwarding (hash-based ECMP, mirrors FatTree::path) -----------------
+  sim_->send(self_, egress, std::move(packet));
+}
+
+std::uint32_t ForwardingSwitch::next_hop_switch(
+    const net::ParsedUdpFrame& parsed) const {
+  const std::uint32_t half = topo_->k() / 2;
+  const std::uint64_t hash = flow_hash_of(parsed);
+  const std::uint32_t dst_host = host_id_of(parsed.ip.dst);
+  const std::uint32_t dst_pod = topo_->host_pod(dst_host);
+  const auto agg_choice = static_cast<std::uint32_t>(hash % half);
+
+  switch (self_ref_.tier) {
+    case switchsim::SwitchTier::kEdge:
+      return topo_->agg_id(self_ref_.pod, agg_choice);
+    case switchsim::SwitchTier::kAggregation:
+      if (dst_pod == self_ref_.pod) {
+        return topo_->host_edge(dst_host);
+      } else {
+        const auto core_choice =
+            static_cast<std::uint32_t>((hash / half) % half);
+        return topo_->core_id(self_ref_.index * half + core_choice);
+      }
+    case switchsim::SwitchTier::kCore:
+      return topo_->agg_id(dst_pod, self_ref_.index / half);
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// WireFabric
+// ---------------------------------------------------------------------------
+
+WireFabric::WireFabric(const WireFabricConfig& config)
+    : config_(config), topo_(config.fat_tree_k), sim_(config.seed) {
+  cluster_ = std::make_unique<core::CollectorCluster>(
+      config.dart, config.n_collectors);
+  directory_ = std::make_shared<FabricDirectory>();
+
+  // Collector RNICs join the simulator directly.
+  for (std::uint32_t c = 0; c < cluster_->size(); ++c) {
+    directory_->collector_nodes.push_back(
+        sim_.add_node(cluster_->collector(c).rnic()));
+  }
+  // Switches.
+  for (std::uint32_t s = 0; s < topo_.n_switches(); ++s) {
+    switches_.push_back(std::make_unique<ForwardingSwitch>(
+        config, &topo_, s, directory_, cluster_->directory()));
+    directory_->switch_nodes.push_back(sim_.add_node(*switches_.back()));
+  }
+  // Hosts.
+  for (std::uint32_t h = 0; h < topo_.n_hosts(); ++h) {
+    hosts_.push_back(std::make_unique<HostNode>(h, topo_.host_ip(h),
+                                                directory_, &topo_));
+    directory_->host_nodes.push_back(sim_.add_node(*hosts_.back()));
+  }
+
+  const std::uint64_t lat = config.link_latency_ns;
+  // Data links: host↔edge, edge↔agg (full bipartite per pod), agg↔core —
+  // each direction optionally bandwidth-shaped.
+  auto connect_shaped = [&](net::NodeId a, net::NodeId b) {
+    sim_.add_link(a, b, lat, nullptr, config.data_link_shape);
+    sim_.add_link(b, a, lat, nullptr, config.data_link_shape);
+  };
+  for (std::uint32_t h = 0; h < topo_.n_hosts(); ++h) {
+    connect_shaped(directory_->host_nodes[h],
+                   directory_->switch_nodes[topo_.host_edge(h)]);
+  }
+  const std::uint32_t half = topo_.k() / 2;
+  for (std::uint32_t pod = 0; pod < topo_.n_pods(); ++pod) {
+    for (std::uint32_t e = 0; e < half; ++e) {
+      for (std::uint32_t a = 0; a < half; ++a) {
+        connect_shaped(directory_->switch_nodes[topo_.edge_id(pod, e)],
+                       directory_->switch_nodes[topo_.agg_id(pod, a)]);
+      }
+    }
+    for (std::uint32_t a = 0; a < half; ++a) {
+      for (std::uint32_t c = 0; c < half; ++c) {
+        connect_shaped(directory_->switch_nodes[topo_.agg_id(pod, a)],
+                       directory_->switch_nodes[topo_.core_id(a * half + c)]);
+      }
+    }
+  }
+  // Monitoring underlay: every switch → every collector, with report loss.
+  for (std::uint32_t s = 0; s < topo_.n_switches(); ++s) {
+    for (std::uint32_t c = 0; c < cluster_->size(); ++c) {
+      sim_.add_link(directory_->switch_nodes[s], directory_->collector_nodes[c],
+                    5 * lat,
+                    config.report_loss_rate > 0.0
+                        ? std::unique_ptr<net::LossModel>(
+                              std::make_unique<net::BernoulliLoss>(
+                                  config.report_loss_rate))
+                        : std::unique_ptr<net::LossModel>(
+                              std::make_unique<net::NoLoss>()));
+    }
+  }
+}
+
+WireFabric::~WireFabric() = default;
+
+core::OperatorClient& WireFabric::attach_operator(std::uint64_t mgmt_latency_ns) {
+  if (operator_) return *operator_;
+
+  operator_crafter_ = std::make_unique<core::ReportCrafter>(config_.dart);
+  mgmt_arp_ =
+      std::make_shared<std::vector<std::pair<net::Ipv4Addr, net::NodeId>>>();
+  auto arp = mgmt_arp_;  // shared with the resolver closures
+  auto resolver = [arp](net::Ipv4Addr ip) -> std::optional<net::NodeId> {
+    for (const auto& [addr, node] : *arp) {
+      if (addr == ip) return node;
+    }
+    return std::nullopt;
+  };
+
+  std::vector<net::Ipv4Addr> service_ips;
+  for (std::uint32_t c = 0; c < cluster_->size(); ++c) {
+    const auto ip = net::Ipv4Addr::from_octets(10, 0, 200,
+                                               static_cast<std::uint8_t>(c));
+    service_ips.push_back(ip);
+    query_services_.push_back(std::make_unique<core::QueryServiceNode>(
+        cluster_->collector(c), ip, resolver));
+  }
+  const auto operator_ip = net::Ipv4Addr::from_octets(10, 9, 9, 9);
+  operator_ = std::make_unique<core::OperatorClient>(
+      *operator_crafter_, operator_ip, service_ips, resolver);
+
+  const auto op_node = sim_.add_node(*operator_);
+  arp->emplace_back(operator_ip, op_node);
+  for (std::uint32_t c = 0; c < query_services_.size(); ++c) {
+    const auto node = sim_.add_node(*query_services_[c]);
+    arp->emplace_back(service_ips[c], node);
+    sim_.connect(op_node, node, mgmt_latency_ns);
+  }
+  return *operator_;
+}
+
+void WireFabric::send_flow(const FiveTuple& flow, std::uint32_t src_host,
+                           std::uint32_t count, std::size_t payload_bytes) {
+  std::vector<std::byte> payload(payload_bytes, std::byte{0x5A});
+  for (std::uint32_t i = 0; i < count; ++i) {
+    hosts_[src_host]->send_udp(flow, payload);
+  }
+}
+
+std::optional<std::vector<std::uint32_t>> WireFabric::query_path(
+    const FiveTuple& flow) const {
+  const auto key = flow.key_bytes();
+  const auto result = cluster_->query(key);
+  if (result.outcome != core::QueryOutcome::kFound) return std::nullopt;
+  auto ids = IntStack::decode_switch_ids(result.value);
+  for (auto& id : ids) id -= 1;  // wire id → topo id
+  return ids;
+}
+
+std::optional<IntHopMetadata> WireFabric::query_postcard(
+    std::uint32_t switch_id, const FiveTuple& flow) const {
+  const auto key = postcard_key(switch_id + 1, flow);  // wire id = topo id + 1
+  const auto result = cluster_->query(key);
+  if (result.outcome != core::QueryOutcome::kFound) return std::nullopt;
+  if (result.value.size() < 12) return std::nullopt;
+  auto be32 = [&](std::size_t off) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v = (v << 8) | static_cast<std::uint8_t>(
+                         result.value[off + static_cast<std::size_t>(i)]);
+    }
+    return v;
+  };
+  IntHopMetadata hop;
+  hop.switch_id = be32(0);
+  hop.queue_depth = be32(4);
+  hop.hop_latency_ns = be32(8);
+  return hop;
+}
+
+std::uint64_t WireFabric::host_received(std::uint32_t host) const {
+  return hosts_[host]->received();
+}
+
+std::optional<std::uint32_t> WireFabric::host_of_ip(net::Ipv4Addr ip) const {
+  for (std::uint32_t h = 0; h < topo_.n_hosts(); ++h) {
+    if (topo_.host_ip(h) == ip) return h;
+  }
+  return std::nullopt;
+}
+
+WireFabricStats WireFabric::stats() const {
+  WireFabricStats s;
+  for (const auto& host : hosts_) {
+    s.host_packets_sent += host->sent();
+    s.host_packets_received += host->received();
+  }
+  for (const auto& sw : switches_) {
+    s.switch_hops += sw->stats().forwarded;
+    s.int_sources += sw->stats().int_sources;
+    s.int_sinks += sw->stats().int_sinks;
+    s.int_overhead_bytes += sw->stats().int_overhead_bytes;
+    s.reports_emitted += sw->stats().reports_emitted;
+    s.max_reported_queue_depth = std::max(
+        s.max_reported_queue_depth, sw->stats().max_reported_queue_depth);
+    s.postcard_observations += sw->stats().postcard_observations;
+    s.postcard_reports += sw->stats().postcard_reports;
+  }
+  return s;
+}
+
+}  // namespace dart::telemetry

@@ -1,0 +1,143 @@
+// WireFabric — a fully packet-forwarding fat-tree datacenter with wire-level
+// INT and DART collection, built on the event-driven network simulator.
+//
+// Where IntFabric (int_fabric.hpp) walks abstract paths, WireFabric moves
+// real Ethernet/IPv4/UDP frames hop by hop:
+//
+//   host ──frame──▶ edge (INT source: encap + push hop)
+//                    │ ECMP uplink
+//                   agg (INT transit: push hop)
+//                    │
+//                   core (INT transit) ─▶ agg ─▶ edge (INT sink:
+//                        push hop, strip INT, deliver inner frame to host,
+//                        craft DART RoCEv2 reports → collector RNIC)
+//
+// Every switch is a ForwardingSwitch (a net::Node) with hash-based ECMP that
+// provably matches FatTree::path (tests assert it); collectors terminate a
+// dedicated monitoring underlay (one link per switch), which is where report
+// loss is injected. INT telemetry rides the *data* packets, exactly as
+// in-band telemetry does (§3, Table 1 row 1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/query_service.hpp"
+#include "net/netsim.hpp"
+#include "switchsim/dart_switch.hpp"
+#include "switchsim/topology.hpp"
+#include "telemetry/event_detect.hpp"
+#include "telemetry/flow.hpp"
+#include "telemetry/int_wire.hpp"
+
+namespace dart::telemetry {
+
+struct WireFabricConfig {
+  std::uint32_t fat_tree_k = 4;
+  core::DartConfig dart;
+  std::uint32_t n_collectors = 1;
+  core::WriteMode switch_write_mode = core::WriteMode::kAllSlots;
+  double report_loss_rate = 0.0;       // on the monitoring underlay
+  std::uint64_t link_latency_ns = 1000;
+  // Data-link shaping: finite bandwidth serializes packets and builds real
+  // egress queues, which INT's queue-depth metadata then reports. Default:
+  // ideal links (no queuing).
+  net::LinkShape data_link_shape{};
+  std::uint8_t int_max_hops = 8;
+  std::uint16_t int_instructions = kIntInsSwitchId;
+  // Postcard mode (Table 1 row 2): every switch on the path reports its own
+  // (switch, flow) hop record, gated by a per-switch ChangeDetector on the
+  // observed queue depth (§2's event filter) so stable flows stay quiet.
+  bool postcards = false;
+  ChangeDetectorConfig postcard_detector{};
+  std::uint64_t seed = 1;
+};
+
+struct WireFabricStats {
+  std::uint64_t host_packets_sent = 0;
+  std::uint64_t host_packets_received = 0;
+  std::uint64_t switch_hops = 0;          // per-switch forwarding events
+  std::uint64_t int_sources = 0;          // encapsulations at ingress edges
+  std::uint64_t int_sinks = 0;            // decapsulations at egress edges
+  std::uint64_t int_overhead_bytes = 0;   // INT bytes removed at sinks
+  std::uint64_t reports_emitted = 0;      // RoCEv2 frames toward collectors
+  std::uint32_t max_reported_queue_depth = 0;  // deepest queue seen by INT
+  std::uint64_t postcard_observations = 0;  // per-switch per-packet checks
+  std::uint64_t postcard_reports = 0;       // postcards that fired
+};
+
+// Node id directory shared by all switches (who is where in the simulator).
+struct FabricDirectory {
+  std::vector<net::NodeId> switch_nodes;    // by topology switch id
+  std::vector<net::NodeId> host_nodes;      // by host id
+  std::vector<net::NodeId> collector_nodes; // by collector id
+};
+
+class HostNode;
+class ForwardingSwitch;
+
+class WireFabric {
+ public:
+  explicit WireFabric(const WireFabricConfig& config);
+  ~WireFabric();
+
+  WireFabric(const WireFabric&) = delete;
+  WireFabric& operator=(const WireFabric&) = delete;
+
+  [[nodiscard]] const switchsim::FatTree& topology() const noexcept {
+    return topo_;
+  }
+  [[nodiscard]] core::CollectorCluster& cluster() noexcept { return *cluster_; }
+  [[nodiscard]] net::Simulator& simulator() noexcept { return sim_; }
+
+  // Sends `count` UDP packets of `payload_bytes` for the given flow from its
+  // source host; INT is added/stripped by the fabric. Call run() to drain.
+  void send_flow(const FiveTuple& flow, std::uint32_t src_host,
+                 std::uint32_t count = 1, std::size_t payload_bytes = 64);
+
+  // Drains all in-flight events.
+  void run() { sim_.run(); }
+
+  // The DART-recorded path of a flow (topology switch ids, path order).
+  [[nodiscard]] std::optional<std::vector<std::uint32_t>> query_path(
+      const FiveTuple& flow) const;
+
+  // Postcard mode: one switch's latest hop record for a flow.
+  [[nodiscard]] std::optional<IntHopMetadata> query_postcard(
+      std::uint32_t switch_id, const FiveTuple& flow) const;
+
+  // Packets delivered to a given host (inner frames, post-INT-strip).
+  [[nodiscard]] std::uint64_t host_received(std::uint32_t host) const;
+
+  [[nodiscard]] WireFabricStats stats() const;
+
+  // Host id owning an IP, if any (used by tests).
+  [[nodiscard]] std::optional<std::uint32_t> host_of_ip(net::Ipv4Addr ip) const;
+
+  // Completes Fig. 2 inside this one simulator: brings up a QueryServiceNode
+  // per collector and an OperatorClient, all joined to the management
+  // network. Call once; returns the operator (owned by the fabric). Queries
+  // then flow as real UDP/4800 frames: operator → service → response.
+  [[nodiscard]] core::OperatorClient& attach_operator(
+      std::uint64_t mgmt_latency_ns = 50'000);
+
+ private:
+  WireFabricConfig config_;
+  switchsim::FatTree topo_;
+  net::Simulator sim_;
+  std::unique_ptr<core::CollectorCluster> cluster_;
+  std::shared_ptr<FabricDirectory> directory_;
+  std::vector<std::unique_ptr<HostNode>> hosts_;
+  std::vector<std::unique_ptr<ForwardingSwitch>> switches_;
+
+  // Management plane (created by attach_operator).
+  std::unique_ptr<core::ReportCrafter> operator_crafter_;
+  std::vector<std::unique_ptr<core::QueryServiceNode>> query_services_;
+  std::unique_ptr<core::OperatorClient> operator_;
+  std::shared_ptr<std::vector<std::pair<net::Ipv4Addr, net::NodeId>>> mgmt_arp_;
+};
+
+}  // namespace dart::telemetry

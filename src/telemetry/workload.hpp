@@ -1,0 +1,64 @@
+// Workload generation for simulations and benches.
+//
+// FlowGenerator produces distinct flow 5-tuples between fat-tree hosts (the
+// "100 million flows" of Fig. 4 are distinct keys appearing over time).
+// FlowSampler adds a Zipf popularity skew on top for traffic-driven
+// experiments (datacenter flow popularity is heavy-tailed [44]).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hpp"
+#include "switchsim/topology.hpp"
+#include "telemetry/flow.hpp"
+
+namespace dart::telemetry {
+
+struct FlowEndpoints {
+  std::uint32_t src_host = 0;
+  std::uint32_t dst_host = 0;
+  FiveTuple tuple;
+};
+
+class FlowGenerator {
+ public:
+  FlowGenerator(const switchsim::FatTree& topo, std::uint64_t seed)
+      : topo_(&topo), rng_(seed) {}
+
+  // A fresh flow between two distinct, uniformly chosen hosts. Ephemeral
+  // ports make repeats astronomically unlikely; `sequence` folds a counter
+  // into the ports so even colliding picks stay distinct.
+  [[nodiscard]] FlowEndpoints next_flow();
+
+  // Deterministic i-th flow (pure function of seed+i, no state) — lets
+  // multi-million-key sweeps regenerate key i without storing it.
+  [[nodiscard]] FlowEndpoints flow_at(std::uint64_t index) const;
+
+ private:
+  [[nodiscard]] FlowEndpoints make_flow(std::uint64_t nonce) const;
+
+  const switchsim::FatTree* topo_;
+  Xoshiro256 rng_;
+  std::uint64_t counter_ = 0;
+};
+
+// Zipf-popularity sampler over a fixed population of flows.
+class FlowSampler {
+ public:
+  FlowSampler(const switchsim::FatTree& topo, std::size_t population,
+              double zipf_skew, std::uint64_t seed);
+
+  [[nodiscard]] const FlowEndpoints& sample();
+  [[nodiscard]] std::size_t population() const noexcept { return flows_.size(); }
+  [[nodiscard]] const FlowEndpoints& flow(std::size_t i) const noexcept {
+    return flows_[i];
+  }
+
+ private:
+  std::vector<FlowEndpoints> flows_;
+  ZipfSampler zipf_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace dart::telemetry

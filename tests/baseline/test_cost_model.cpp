@@ -1,0 +1,54 @@
+// Tests for the Fig. 1a analytic collection-cost model.
+#include "baseline/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dart::baseline {
+namespace {
+
+TEST(CostModel, CoresScaleLinearlyWithSwitches) {
+  CollectionCostModel model;
+  const double c10k = model.io_cores(10'000, 64);
+  const double c100k = model.io_cores(100'000, 64);
+  EXPECT_NEAR(c100k / c10k, 10.0, 0.05);
+}
+
+TEST(CostModel, TenThousandSwitchesNeedHundredsOfCores) {
+  // §2: "Even normal-sized data centers, comprising 10K switches, would
+  // require a collection cluster containing thousands of CPU cores" for
+  // I/O + storage; pure I/O alone is already hundreds.
+  CollectionCostModel model;
+  const double io = model.io_cores(10'000, 64);
+  EXPECT_GE(io, 300.0);
+  EXPECT_LE(io, 1000.0);
+  const double total = model.total_cores(10'000, 64, /*storage ratio=*/114.0);
+  EXPECT_GE(total, 10'000.0);  // "thousands of CPU cores" and then some
+}
+
+TEST(CostModel, LargerPacketsNeedMoreCores) {
+  CollectionCostModel model;
+  EXPECT_GT(model.io_cores(50'000, 128), model.io_cores(50'000, 64));
+}
+
+TEST(CostModel, SamplingReducesCores) {
+  CollectionCostModel full;
+  CollectionCostModel sampled;
+  sampled.sampling = 0.01;
+  EXPECT_LT(sampled.io_cores(100'000, 64), full.io_cores(100'000, 64) / 50);
+}
+
+TEST(CostModel, CoresAreCeiled) {
+  CollectionCostModel model;
+  model.reports_per_switch_per_sec = 1;  // one report/s total
+  EXPECT_EQ(model.io_cores(1, 64), 1.0);
+}
+
+TEST(CostModel, RnicOutpacesCpuCollectors) {
+  // §2: one RNIC (>200M msg/s) replaces many DPDK cores (~42M pps each).
+  CollectionCostModel model;
+  const double rnic_equivalent_cores = kRnicMessagesPerSec / model.per_core.pps_64b;
+  EXPECT_GT(rnic_equivalent_cores, 4.0);
+}
+
+}  // namespace
+}  // namespace dart::baseline

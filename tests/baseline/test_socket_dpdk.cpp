@@ -1,0 +1,133 @@
+// Tests for the socket-path and DPDK-PMD-path I/O emulations, including the
+// relative-cost property Fig. 1b depends on.
+#include "baseline/dpdk_stack.hpp"
+#include "baseline/socket_stack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/cycles.hpp"
+
+namespace dart::baseline {
+namespace {
+
+std::vector<std::byte> packet(std::size_t n, std::uint8_t fill = 0x77) {
+  return std::vector<std::byte>(n, static_cast<std::byte>(fill));
+}
+
+TEST(SocketStack, DeliversPacketsInOrder) {
+  SocketStack sock;
+  ASSERT_TRUE(sock.kernel_receive(packet(64, 0x01)));
+  ASSERT_TRUE(sock.kernel_receive(packet(128, 0x02)));
+  EXPECT_EQ(sock.queued(), 2u);
+
+  std::vector<std::byte> buf(2048);
+  EXPECT_EQ(sock.user_receive(buf), 64u);
+  EXPECT_EQ(static_cast<std::uint8_t>(buf[0]), 0x01);
+  EXPECT_EQ(sock.user_receive(buf), 128u);
+  EXPECT_EQ(static_cast<std::uint8_t>(buf[0]), 0x02);
+  EXPECT_EQ(sock.user_receive(buf), 0u);  // empty
+  EXPECT_EQ(sock.stats().packets_delivered, 2u);
+}
+
+TEST(SocketStack, CopiesTwicePerPacket) {
+  SocketStack sock;
+  ASSERT_TRUE(sock.kernel_receive(packet(100)));
+  std::vector<std::byte> buf(2048);
+  (void)sock.user_receive(buf);
+  EXPECT_EQ(sock.stats().bytes_copied, 200u);  // kernel copy + user copy
+}
+
+TEST(SocketStack, RcvbufOverflowDrops) {
+  SocketStack sock(2048, /*rcvbuf_packets=*/4);
+  for (int i = 0; i < 10; ++i) (void)sock.kernel_receive(packet(64));
+  EXPECT_EQ(sock.queued(), 4u);
+  EXPECT_EQ(sock.stats().queue_drops, 6u);
+}
+
+TEST(SocketStack, TruncatesToUserBuffer) {
+  SocketStack sock;
+  ASSERT_TRUE(sock.kernel_receive(packet(128)));
+  std::vector<std::byte> small(32);
+  EXPECT_EQ(sock.user_receive(small), 32u);
+}
+
+TEST(DpdkStack, BurstReceivesZeroCopy) {
+  DpdkStack dpdk(16);
+  ASSERT_TRUE(dpdk.nic_enqueue(packet(64, 0xAA)));
+  ASSERT_TRUE(dpdk.nic_enqueue(packet(128, 0xBB)));
+
+  std::array<Mbuf, 32> burst;
+  const auto n = dpdk.rx_burst(burst);
+  ASSERT_EQ(n, 2u);
+  EXPECT_EQ(burst[0].len, 64u);
+  EXPECT_EQ(static_cast<std::uint8_t>(burst[0].data[0]), 0xAA);
+  EXPECT_EQ(burst[1].len, 128u);
+  EXPECT_EQ(static_cast<std::uint8_t>(burst[1].data[0]), 0xBB);
+  EXPECT_EQ(dpdk.stats().received, 2u);
+}
+
+TEST(DpdkStack, RingFullDrops) {
+  DpdkStack dpdk(4);
+  for (int i = 0; i < 6; ++i) (void)dpdk.nic_enqueue(packet(64));
+  EXPECT_EQ(dpdk.stats().ring_full_drops, 2u);
+  EXPECT_EQ(dpdk.pending(), 4u);
+}
+
+TEST(DpdkStack, BurstBoundedByOutputSpan) {
+  DpdkStack dpdk(64);
+  for (int i = 0; i < 10; ++i) (void)dpdk.nic_enqueue(packet(64));
+  std::array<Mbuf, 4> burst;
+  EXPECT_EQ(dpdk.rx_burst(burst), 4u);
+  EXPECT_EQ(dpdk.pending(), 6u);
+}
+
+TEST(DpdkStack, SlotsReusedAfterConsumption) {
+  DpdkStack dpdk(4);
+  std::array<Mbuf, 4> burst;
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 4; ++i) ASSERT_TRUE(dpdk.nic_enqueue(packet(64)));
+    ASSERT_EQ(dpdk.rx_burst(burst), 4u);
+  }
+  EXPECT_EQ(dpdk.stats().enqueued, 40u);
+  EXPECT_EQ(dpdk.stats().ring_full_drops, 0u);
+}
+
+TEST(IoCostShape, SocketPathCostsMoreCyclesThanDpdkPath) {
+  // The Fig. 1 premise, as a property: per-report consumer-side cost of the
+  // socket path exceeds the PMD path by a healthy factor.
+  constexpr int kReports = 20000;
+  const auto wire = packet(64);
+
+  SocketStack sock(2048, 1 << 16);
+  std::vector<std::byte> user(2048);
+  std::uint64_t socket_cycles = 0;
+  for (int i = 0; i < kReports; ++i) {
+    CycleTimer t(socket_cycles);
+    (void)sock.kernel_receive(wire);
+    (void)sock.user_receive(user);
+  }
+
+  DpdkStack dpdk(1024);
+  std::array<Mbuf, 32> burst;
+  std::uint64_t dpdk_cycles = 0;
+  std::uint64_t consumed = 0;
+  for (int i = 0; i < kReports; ++i) {
+    (void)dpdk.nic_enqueue(wire);  // NIC side: off the measured path
+    if ((i & 31) == 31) {
+      CycleTimer t(dpdk_cycles);
+      consumed += dpdk.rx_burst(burst);
+    }
+  }
+  {
+    CycleTimer t(dpdk_cycles);
+    consumed += dpdk.rx_burst(burst);
+  }
+  ASSERT_EQ(consumed, static_cast<std::uint64_t>(kReports));
+  EXPECT_GT(socket_cycles, 3 * dpdk_cycles)
+      << "socket=" << socket_cycles << " dpdk=" << dpdk_cycles;
+}
+
+}  // namespace
+}  // namespace dart::baseline

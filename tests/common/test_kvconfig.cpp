@@ -1,0 +1,143 @@
+// Tests for the key=value config format and DartConfig round trips.
+#include "common/kvconfig.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/config_io.hpp"
+
+namespace dart {
+namespace {
+
+TEST(KvConfig, ParsesBasicSyntax) {
+  const auto cfg = KvConfig::parse(
+      "# deployment\n"
+      "n_slots = 1048576\n"
+      "name=spine-pod-7   # trailing comment\n"
+      "\n"
+      "ratio = 0.25\n");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg.value().size(), 3u);
+  EXPECT_EQ(cfg.value().get("n_slots"), "1048576");
+  EXPECT_EQ(cfg.value().get("name"), "spine-pod-7");
+  EXPECT_EQ(cfg.value().get_u64("n_slots"), 1048576u);
+  EXPECT_EQ(cfg.value().get_double("ratio"), 0.25);
+}
+
+TEST(KvConfig, HexIntegers) {
+  const auto cfg = KvConfig::parse("seed = 0xDA27\n");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg.value().get_u64("seed"), 0xDA27u);
+}
+
+TEST(KvConfig, MalformedLineRejectedWithLineNumber) {
+  const auto cfg = KvConfig::parse("good = 1\nthis line has no equals\n");
+  ASSERT_FALSE(cfg.ok());
+  EXPECT_EQ(cfg.error().code, "kv_syntax");
+  EXPECT_NE(cfg.error().message.find("line 2"), std::string::npos);
+}
+
+TEST(KvConfig, EmptyKeyRejected) {
+  EXPECT_FALSE(KvConfig::parse(" = value\n").ok());
+}
+
+TEST(KvConfig, MissingAndUnparsableValues) {
+  const auto cfg = KvConfig::parse("text = hello\n");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_FALSE(cfg.value().get("absent").has_value());
+  EXPECT_FALSE(cfg.value().get_u64("text").has_value());
+  EXPECT_FALSE(cfg.value().get_double("text").has_value());
+}
+
+TEST(KvConfig, SetOverwritesAndSerializes) {
+  KvConfig cfg;
+  cfg.set("a", "1");
+  cfg.set("b", "2");
+  cfg.set("a", "3");
+  EXPECT_EQ(cfg.size(), 2u);
+  EXPECT_EQ(cfg.str(), "a = 3\nb = 2\n");
+  // Round trip.
+  const auto back = KvConfig::parse(cfg.str());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().get("a"), "3");
+}
+
+TEST(KvConfig, FileRoundTrip) {
+  namespace fs = std::filesystem;
+  const auto path =
+      (fs::temp_directory_path() / "dart_kv_test.conf").string();
+  KvConfig cfg;
+  cfg.set("x", "42");
+  ASSERT_TRUE(cfg.save(path).ok());
+  const auto loaded = KvConfig::load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().get_u64("x"), 42u);
+  fs::remove(path);
+  EXPECT_FALSE(KvConfig::load(path).ok());
+}
+
+// --- DartConfig I/O -----------------------------------------------------------
+
+TEST(DartConfigIo, RoundTripPreservesEveryField) {
+  core::DartConfig cfg;
+  cfg.n_slots = 123456;
+  cfg.n_addresses = 4;
+  cfg.checksum_bits = 16;
+  cfg.value_bytes = 24;
+  cfg.master_seed = 0xABCDEF0123ull;
+  cfg.write_mode = core::WriteMode::kStochastic;
+
+  const auto kv = core::to_kv(cfg);
+  const auto back = core::dart_config_from_kv(kv);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().n_slots, cfg.n_slots);
+  EXPECT_EQ(back.value().n_addresses, cfg.n_addresses);
+  EXPECT_EQ(back.value().checksum_bits, cfg.checksum_bits);
+  EXPECT_EQ(back.value().value_bytes, cfg.value_bytes);
+  EXPECT_EQ(back.value().master_seed, cfg.master_seed);
+  EXPECT_EQ(back.value().write_mode, core::WriteMode::kStochastic);
+}
+
+TEST(DartConfigIo, MissingKeysFallBackToDefaults) {
+  const auto kv = KvConfig::parse("n_addresses = 4\n");
+  ASSERT_TRUE(kv.ok());
+  const auto cfg = core::dart_config_from_kv(kv.value());
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg.value().n_addresses, 4u);
+  EXPECT_EQ(cfg.value().n_slots, core::DartConfig{}.n_slots);
+}
+
+TEST(DartConfigIo, InvalidCombinationRejected) {
+  const auto kv = KvConfig::parse("checksum_bits = 48\n");
+  ASSERT_TRUE(kv.ok());
+  const auto cfg = core::dart_config_from_kv(kv.value());
+  ASSERT_FALSE(cfg.ok());
+  EXPECT_EQ(cfg.error().code, "config_invalid");
+}
+
+TEST(DartConfigIo, BadValueRejected) {
+  const auto kv = KvConfig::parse("n_slots = banana\n");
+  ASSERT_TRUE(kv.ok());
+  EXPECT_FALSE(core::dart_config_from_kv(kv.value()).ok());
+  const auto kv2 = KvConfig::parse("write_mode = sometimes\n");
+  ASSERT_TRUE(kv2.ok());
+  EXPECT_FALSE(core::dart_config_from_kv(kv2.value()).ok());
+}
+
+TEST(DartConfigIo, FileRoundTrip) {
+  namespace fs = std::filesystem;
+  const auto path =
+      (fs::temp_directory_path() / "dart_deploy_test.conf").string();
+  core::DartConfig cfg;
+  cfg.master_seed = 0x5EED;
+  ASSERT_TRUE(core::save_dart_config(cfg, path).ok());
+  const auto back = core::load_dart_config(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().master_seed, 0x5EEDu);
+  fs::remove(path);
+}
+
+}  // namespace
+}  // namespace dart

@@ -1,0 +1,134 @@
+// Tests for the deterministic PRNGs and the Zipf sampler.
+#include "common/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace dart {
+namespace {
+
+TEST(SplitMix64, DeterministicSequence) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, SeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro, DeterministicSequence) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, BelowIsInRange) {
+  Xoshiro256 rng(3);
+  for (const std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro, BelowZeroBoundReturnsZero) {
+  Xoshiro256 rng(3);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Xoshiro, BelowOneIsAlwaysZero) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Xoshiro, UniformInUnitInterval) {
+  Xoshiro256 rng(11);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Xoshiro, ChanceMatchesProbability) {
+  Xoshiro256 rng(13);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.chance(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.25, 0.01);
+}
+
+TEST(Xoshiro, BelowIsApproximatelyUniform) {
+  Xoshiro256 rng(17);
+  constexpr std::uint64_t kBuckets = 10;
+  std::vector<int> counts(kBuckets, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.below(kBuckets)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kN / static_cast<int>(kBuckets), kN / 100);
+  }
+}
+
+TEST(Zipf, UniformWhenSkewZero) {
+  ZipfSampler zipf(10, 0.0);
+  Xoshiro256 rng(23);
+  std::vector<int> counts(10, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[zipf.sample(rng)];
+  for (const int c : counts) EXPECT_NEAR(c, kN / 10, kN / 50);
+}
+
+TEST(Zipf, SkewFavorsLowRanks) {
+  ZipfSampler zipf(1000, 1.0);
+  Xoshiro256 rng(29);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], 20 * std::max(counts[500], 1));
+}
+
+TEST(Zipf, SamplesWithinPopulation) {
+  ZipfSampler zipf(17, 1.2);
+  Xoshiro256 rng(31);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.sample(rng), 17u);
+}
+
+TEST(Zipf, EmptyPopulationClampedToOne) {
+  ZipfSampler zipf(0, 1.0);
+  EXPECT_EQ(zipf.size(), 1u);
+  Xoshiro256 rng(1);
+  EXPECT_EQ(zipf.sample(rng), 0u);
+}
+
+// Property sweep: empirical rank-1 share grows with skew.
+class ZipfSkewMonotonic : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfSkewMonotonic, TopRankShareMatchesTheory) {
+  const double s = GetParam();
+  ZipfSampler zipf(100, s);
+  Xoshiro256 rng(37);
+  int top = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) top += zipf.sample(rng) == 0 ? 1 : 0;
+  // Theoretical share of rank 1: 1 / H_{100,s}.
+  double harmonic = 0;
+  for (int r = 1; r <= 100; ++r) harmonic += 1.0 / std::pow(r, s);
+  EXPECT_NEAR(static_cast<double>(top) / kN, 1.0 / harmonic, 0.01)
+      << "skew=" << s;
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, ZipfSkewMonotonic,
+                         ::testing::Values(0.5, 0.9, 1.1, 1.5));
+
+}  // namespace
+}  // namespace dart

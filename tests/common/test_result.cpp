@@ -1,0 +1,53 @@
+// Tests for the Result/Status error-handling types.
+#include "common/result.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace dart {
+namespace {
+
+Result<int> parse_positive(int v) {
+  if (v <= 0) return Error{"not_positive", "value must be > 0"};
+  return v;
+}
+
+TEST(Result, OkPath) {
+  const auto r = parse_positive(5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 5);
+}
+
+TEST(Result, ErrorPath) {
+  const auto r = parse_positive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "not_positive");
+  EXPECT_FALSE(r.error().message.empty());
+}
+
+TEST(Result, ValueOr) {
+  EXPECT_EQ(parse_positive(3).value_or(0), 3);
+  EXPECT_EQ(parse_positive(-3).value_or(0), 0);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r(std::string(100, 'x'));
+  const std::string moved = std::move(r).value();
+  EXPECT_EQ(moved.size(), 100u);
+}
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+}
+
+TEST(Status, ErrorCarriesCode) {
+  const Status s = Error{"boom", "it broke"};
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, "boom");
+}
+
+}  // namespace
+}  // namespace dart

@@ -1,0 +1,137 @@
+// Tests for Summary, Histogram, TrialCounter and the format helpers.
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dart {
+namespace {
+
+TEST(Summary, EmptyIsZeroed) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, SingleValue) {
+  Summary s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, KnownMoments) {
+  Summary s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic set: 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Summary, MergeEqualsSequential) {
+  Summary whole;
+  Summary left;
+  Summary right;
+  for (int i = 0; i < 100; ++i) {
+    const double v = std::sin(i) * 10 + i * 0.1;
+    whole.add(v);
+    (i < 40 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+}
+
+TEST(Summary, MergeWithEmpty) {
+  Summary a;
+  a.add(1.0);
+  Summary b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.mean(), 1.0);
+}
+
+TEST(Histogram, BucketsAndTotal) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(5.5);
+  h.add(9.9);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.count_at(0), 1u);
+  EXPECT_EQ(h.count_at(5), 1u);
+  EXPECT_EQ(h.count_at(9), 1u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-5.0);
+  h.add(100.0);
+  EXPECT_EQ(h.count_at(0), 1u);
+  EXPECT_EQ(h.count_at(9), 1u);
+}
+
+TEST(Histogram, WeightedAdd) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.25, 10);
+  EXPECT_EQ(h.total(), 10u);
+  EXPECT_EQ(h.count_at(0), 10u);
+}
+
+TEST(Histogram, QuantileOfUniformMass) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.0), 0.0, 1.5);
+}
+
+TEST(Histogram, BucketBounds) {
+  Histogram h(10.0, 20.0, 5);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(0), 12.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(4), 18.0);
+}
+
+TEST(TrialCounter, RateAndMargin) {
+  TrialCounter t;
+  for (int i = 0; i < 100; ++i) t.record(i < 30);
+  EXPECT_EQ(t.trials(), 100u);
+  EXPECT_EQ(t.successes(), 30u);
+  EXPECT_DOUBLE_EQ(t.rate(), 0.3);
+  // 1.96 * sqrt(0.3*0.7/100) ≈ 0.0898
+  EXPECT_NEAR(t.margin95(), 0.0898, 0.001);
+}
+
+TEST(TrialCounter, EmptyIsSafe) {
+  TrialCounter t;
+  EXPECT_EQ(t.rate(), 0.0);
+  EXPECT_EQ(t.margin95(), 0.0);
+}
+
+TEST(FormatBytes, HumanReadable) {
+  EXPECT_EQ(format_bytes(300), "300 B");
+  EXPECT_EQ(format_bytes(3e9), "3 GB");
+  EXPECT_EQ(format_bytes(1.5e3), "1.5 KB");
+}
+
+TEST(FormatCount, HumanReadable) {
+  EXPECT_EQ(format_count(100e6), "100M");
+  EXPECT_EQ(format_count(1500), "1.5K");
+  EXPECT_EQ(format_count(12), "12");
+}
+
+}  // namespace
+}  // namespace dart

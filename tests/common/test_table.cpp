@@ -1,0 +1,59 @@
+// Tests for the bench table printer and numeric formatters.
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dart {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.row({"x", "1"});
+  t.row({"longer-name", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name "), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.row({"1"});  // missing cells become empty strings
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(t.rows(), 1u);
+  // Every data line must have 3 separators + trailing.
+  const std::string out = os.str();
+  const auto last_line_start = out.rfind("| 1");
+  ASSERT_NE(last_line_start, std::string::npos);
+}
+
+TEST(Table, EmptyTablePrintsHeaderOnly) {
+  Table t({"only"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(t.rows(), 0u);
+  EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+TEST(Fmt, Double) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(1.0, 0), "1");
+}
+
+TEST(Fmt, Percent) {
+  EXPECT_EQ(fmt_percent(0.999, 1), "99.9%");
+  EXPECT_EQ(fmt_percent(0.5), "50.00%");
+}
+
+TEST(Fmt, Scientific) {
+  EXPECT_EQ(fmt_sci(0.000123, 2), "1.23e-04");
+}
+
+}  // namespace
+}  // namespace dart

@@ -1,0 +1,133 @@
+// Tests for load-adaptive redundancy (§5.1 future work): occupancy
+// estimation, N selection, and the queryability benefit.
+#include "core/adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "core/oracle.hpp"
+#include "core/query.hpp"
+
+namespace dart::core {
+namespace {
+
+DartConfig config(std::uint32_t n_max = 8, std::uint64_t slots = 1 << 14) {
+  DartConfig cfg;
+  cfg.n_slots = slots;
+  cfg.n_addresses = n_max;
+  cfg.value_bytes = 8;
+  cfg.master_seed = 0xADA;
+  return cfg;
+}
+
+std::vector<std::byte> value_of(std::uint64_t v) {
+  std::vector<std::byte> out(8);
+  std::memcpy(out.data(), &v, 8);
+  return out;
+}
+
+TEST(OccupancyEstimator, EmptyStoreIsZero) {
+  DartStore store(config());
+  OccupancyEstimator est(store, 1);
+  EXPECT_EQ(est.sample_occupancy(256), 0.0);
+}
+
+TEST(OccupancyEstimator, TracksActualOccupancy) {
+  DartStore store(config(2, 1 << 14));
+  // Fill ~half the slots: K keys × 2 copies ≈ occupancy 1-e^{-2K/M}.
+  const std::uint64_t keys = (1 << 14) / 4;  // α = 0.25 → occ ≈ 0.39
+  for (std::uint64_t i = 0; i < keys; ++i) {
+    store.write(sim_key(i), value_of(i));
+  }
+  OccupancyEstimator est(store, 2);
+  const double occ = est.sample_occupancy(4096);
+  EXPECT_NEAR(occ, 1.0 - std::exp(-0.5), 0.04);
+}
+
+TEST(OccupancyEstimator, AlphaInversionRecoversLoad) {
+  DartStore store(config(2, 1 << 14));
+  const double alpha = 0.5;
+  const auto keys = static_cast<std::uint64_t>(alpha * (1 << 14));
+  for (std::uint64_t i = 0; i < keys; ++i) {
+    store.write(sim_key(i), value_of(i));
+  }
+  OccupancyEstimator est(store, 3);
+  EXPECT_NEAR(est.estimate_alpha(2, 4096), alpha, 0.08);
+}
+
+TEST(OccupancyEstimator, SaturatedTableReportsHighLoad) {
+  DartStore store(config(2, 256));
+  for (std::uint64_t i = 0; i < 4096; ++i) {
+    store.write(sim_key(i), value_of(i));
+  }
+  OccupancyEstimator est(store, 4);
+  EXPECT_GT(est.estimate_alpha(2, 256), 2.0);
+}
+
+TEST(AdaptiveReporter, StartsHighAndBacksOff) {
+  DartStore store(config(8, 1 << 12));
+  AdaptiveReporter reporter(store, 5, /*reestimate_every=*/256);
+  // Empty table → optimal N is the max.
+  reporter.report(sim_key(0), value_of(0));
+  EXPECT_EQ(reporter.stats().current_n, 8u);
+
+  // Push the table deep into overload; N must fall to 1.
+  for (std::uint64_t i = 1; i < 20'000; ++i) {
+    reporter.report(sim_key(i), value_of(i));
+  }
+  EXPECT_EQ(reporter.stats().current_n, 1u);
+  EXPECT_GT(reporter.stats().re_estimates, 10u);
+  // Copies per key < N_max on average (it adapted down).
+  EXPECT_LT(static_cast<double>(reporter.stats().copies_written) /
+                static_cast<double>(reporter.stats().keys_written),
+            7.0);
+}
+
+TEST(AdaptiveReporter, QueriesFindKeysWrittenWithReducedN) {
+  DartStore store(config(8, 1 << 12));
+  AdaptiveReporter reporter(store, 6);
+  for (std::uint64_t i = 0; i < 6'000; ++i) {
+    reporter.report(sim_key(i), value_of(i));
+  }
+  // Queries scan all 8 addresses regardless of the N used at write time.
+  const QueryEngine q(store);
+  Oracle oracle;
+  for (std::uint64_t i = 5'500; i < 6'000; ++i) {  // recent keys
+    oracle.record(i, value_of(i));
+    (void)oracle.classify(i, q.resolve(sim_key(i)));
+  }
+  EXPECT_GT(oracle.counts().success_rate(), 0.5);
+  EXPECT_EQ(oracle.counts().error, 0u);
+}
+
+TEST(AdaptiveReporter, BeatsFixedExtremesAcrossTheSweep) {
+  // The §5.1 motivation: a fixed N is wrong somewhere. Fill stores to high
+  // load; adaptive should beat fixed N=8 (which self-destructs at high load)
+  // and fixed N=1 should beat neither at low load. We check the high-load
+  // side, where adaptation matters most.
+  const std::uint64_t keys = 12'000;  // α ≈ 2.9 at 2^12 slots
+  DartStore fixed8(config(8, 1 << 12));
+  DartStore adaptive_store(config(8, 1 << 12));
+  AdaptiveReporter adaptive(adaptive_store, 7, 256);
+
+  Oracle fixed_oracle, adaptive_oracle;
+  for (std::uint64_t i = 0; i < keys; ++i) {
+    fixed8.write(sim_key(i), value_of(i));
+    adaptive.report(sim_key(i), value_of(i));
+    fixed_oracle.record(i, value_of(i));
+    adaptive_oracle.record(i, value_of(i));
+  }
+  const QueryEngine qf(fixed8);
+  const QueryEngine qa(adaptive_store);
+  for (std::uint64_t i = 0; i < keys; ++i) {
+    (void)fixed_oracle.classify(i, qf.resolve(sim_key(i)));
+    (void)adaptive_oracle.classify(i, qa.resolve(sim_key(i)));
+  }
+  EXPECT_GT(adaptive_oracle.counts().success_rate(),
+            fixed_oracle.counts().success_rate() + 0.05);
+}
+
+}  // namespace
+}  // namespace dart::core

@@ -1,0 +1,181 @@
+// Tests for the §4 closed-form analysis: limits, monotonicity, the paper's
+// quoted numbers, and consistency between bounds.
+#include "core/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dart::core {
+namespace {
+
+TEST(Analysis, ZeroLoadIsPerfect) {
+  for (unsigned n = 1; n <= 8; ++n) {
+    EXPECT_EQ(p_slot_overwritten(0.0, n), 0.0);
+    EXPECT_EQ(p_all_overwritten(0.0, n), 0.0);
+    EXPECT_EQ(p_survives(0.0, n), 1.0);
+  }
+}
+
+TEST(Analysis, InfiniteLoadIsHopeless) {
+  for (unsigned n = 1; n <= 8; ++n) {
+    EXPECT_NEAR(p_survives(1e6, n), 0.0, 1e-12);
+  }
+}
+
+TEST(Analysis, KnownClosedFormValues) {
+  // N=1: survival = e^{-α}.
+  EXPECT_NEAR(p_survives(1.0, 1), std::exp(-1.0), 1e-12);
+  // N=2, α=0.5: p = 1-e^{-1}; survival = 1-p².
+  const double p = 1.0 - std::exp(-1.0);
+  EXPECT_NEAR(p_survives(0.5, 2), 1.0 - p * p, 1e-12);
+}
+
+TEST(Analysis, PaperQuotedOldestQueryability) {
+  // §5.2: 100M flows, 3GB storage, 24B slots (160-bit value + 32-bit csum),
+  // N=2 → theory predicts ≈38.7% for the oldest reports.
+  // With decimal-GB slots (125M) this formula gives ≈0.363; the paper's
+  // quoted 38.7% corresponds to a slightly larger effective M (e.g. binary
+  // gigabytes). Accept the band around both readings.
+  const double n_slots = 3e9 / 24.0;
+  const double oldest = oldest_success(100e6, n_slots, 2);
+  EXPECT_NEAR(oldest, 0.387, 0.04);
+  // Binary-GB reading: 3·2^30 / 24B = 134.2M slots → ≈0.40.
+  EXPECT_NEAR(oldest_success(100e6, 3.0 * (1ull << 30) / 24.0, 2), 0.40, 0.02);
+}
+
+TEST(Analysis, PaperQuotedAverageQueryability) {
+  // Same setting: average across all ages ≈71.4% (paper's measured value;
+  // theory should be within a couple of points).
+  const double n_slots = 3e9 / 24.0;
+  const double avg = average_success_over_ages(100e6, n_slots, 2);
+  EXPECT_NEAR(avg, 0.714, 0.03);
+}
+
+TEST(Analysis, TenXStorageReaches99Percent) {
+  // §5.2: raising storage to 30GB lifts average queryability to ~99.3%.
+  const double n_slots = 30e9 / 24.0;
+  const double avg = average_success_over_ages(100e6, n_slots, 2);
+  EXPECT_GT(avg, 0.99);
+  EXPECT_NEAR(avg, 0.993, 0.01);
+}
+
+TEST(Analysis, SurvivalDecreasesWithLoad) {
+  for (unsigned n : {1u, 2u, 4u}) {
+    double prev = 1.0;
+    for (double a = 0.05; a < 4.0; a += 0.05) {
+      const double s = p_survives(a, n);
+      EXPECT_LT(s, prev) << "alpha=" << a << " n=" << n;
+      prev = s;
+    }
+  }
+}
+
+TEST(Analysis, RedundancyHelpsAtLowLoad) {
+  // Fig. 3's key message: at low α, larger N wins.
+  EXPECT_GT(p_survives(0.1, 2), p_survives(0.1, 1));
+  EXPECT_GT(p_survives(0.05, 4), p_survives(0.05, 2));
+  EXPECT_GT(p_survives(0.01, 8), p_survives(0.01, 4));
+}
+
+TEST(Analysis, RedundancyHurtsAtHighLoad) {
+  // ...and at high α, extra copies only displace other keys.
+  EXPECT_GT(p_survives(3.0, 1), p_survives(3.0, 2));
+  EXPECT_GT(p_survives(2.0, 2), p_survives(2.0, 8));
+}
+
+TEST(Analysis, OptimalNMatchesDirectMaximization) {
+  for (double a : {0.01, 0.05, 0.2, 0.5, 1.0, 2.0, 4.0}) {
+    const unsigned best = optimal_n(a, 8);
+    const double best_p = p_survives(a, best);
+    for (unsigned n = 1; n <= 8; ++n) {
+      EXPECT_GE(best_p, p_survives(a, n)) << "alpha=" << a;
+    }
+  }
+}
+
+TEST(Analysis, OptimalNDecreasesWithLoad) {
+  unsigned prev = 9;
+  for (double a : {0.01, 0.1, 0.5, 1.0, 2.0, 8.0}) {
+    const unsigned n = optimal_n(a, 8);
+    EXPECT_LE(n, prev) << "alpha=" << a;
+    prev = n;
+  }
+  EXPECT_EQ(optimal_n(8.0, 8), 1u);
+}
+
+TEST(Analysis, CrossoverBracketsFound) {
+  // Fig. 3's shading boundaries: N=1 overtakes N=2 near α ≈ 0.49.
+  const double x12 = crossover_alpha(1, 2, 0.2, 1.0);
+  ASSERT_GT(x12, 0.0);
+  EXPECT_NEAR(p_survives(x12, 1), p_survives(x12, 2), 1e-9);
+  // And N=2 overtakes N=4 earlier.
+  const double x24 = crossover_alpha(2, 4, 0.1, 2.0);
+  ASSERT_GT(x24, 0.0);
+  EXPECT_LT(x24, x12);
+}
+
+TEST(Analysis, CrossoverUnbracketedIsNegative) {
+  EXPECT_LT(crossover_alpha(1, 2, 0.0001, 0.001), 0.0);
+}
+
+TEST(Analysis, EmptyNoMatchBelowAllOverwritten) {
+  for (double a : {0.2, 0.7, 1.5}) {
+    for (unsigned n : {1u, 2u, 4u}) {
+      const double all = p_all_overwritten(a, n);
+      const double empty = p_empty_no_match(a, n, 16);
+      EXPECT_LE(empty, all);
+      EXPECT_GE(empty, 0.0);
+    }
+  }
+}
+
+TEST(Analysis, LargeChecksumKillsReturnErrors) {
+  const double lo32 = p_return_error_lower(1.0, 2, 32);
+  const double hi32 = p_return_error_upper(1.0, 2, 32);
+  EXPECT_LT(hi32, 1e-8);
+  EXPECT_LE(lo32, hi32);
+  // With b=1, errors are rampant.
+  EXPECT_GT(p_return_error_upper(1.0, 2, 1), 0.1);
+}
+
+TEST(Analysis, BoundsAreOrdered) {
+  for (double a : {0.1, 0.5, 1.0, 2.0}) {
+    for (unsigned n : {2u, 3u, 4u, 8u}) {
+      for (unsigned b : {1u, 4u, 8u, 16u}) {
+        EXPECT_LE(p_return_error_lower(a, n, b), p_return_error_upper(a, n, b))
+            << "a=" << a << " n=" << n << " b=" << b;
+        EXPECT_LE(p_ambiguous_lower(a, n, b), p_ambiguous_upper(a, n, b) + 1e-15)
+            << "a=" << a << " n=" << n << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(Analysis, ErrorUpperDecreasesWithChecksumBits) {
+  for (unsigned b = 1; b < 24; ++b) {
+    EXPECT_GT(p_return_error_upper(1.0, 2, b),
+              p_return_error_upper(1.0, 2, b + 1));
+  }
+}
+
+TEST(Analysis, AverageIsBetweenOldestAndOne) {
+  const double k = 5e5;
+  const double m = 1e6;
+  const double avg = average_success_over_ages(k, m, 2);
+  const double oldest = oldest_success(k, m, 2);
+  EXPECT_GT(avg, oldest);
+  EXPECT_LT(avg, 1.0);
+}
+
+TEST(Analysis, AverageOfZeroKeysIsOne) {
+  EXPECT_EQ(average_success_over_ages(0.0, 1e6, 2), 1.0);
+}
+
+// Property: N=1 ambiguity is impossible (sum is empty).
+TEST(Analysis, NoAmbiguityForSingleCopy) {
+  EXPECT_EQ(p_ambiguous_lower(1.0, 1, 8), 0.0);
+}
+
+}  // namespace
+}  // namespace dart::core

@@ -1,0 +1,199 @@
+// Tests for the §4 coding-theory hardening: per-location checksums and
+// value masking.
+#include "core/coding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/oracle.hpp"
+
+namespace dart::core {
+namespace {
+
+DartConfig dart_config(std::uint32_t bits = 8, std::uint32_t n = 4) {
+  DartConfig cfg;
+  cfg.n_slots = 1 << 14;
+  cfg.n_addresses = n;
+  cfg.checksum_bits = bits;
+  cfg.value_bytes = 8;
+  cfg.master_seed = 0xC0D;
+  return cfg;
+}
+
+std::vector<std::byte> value_of(std::uint64_t v) {
+  std::vector<std::byte> out(8);
+  std::memcpy(out.data(), &v, 8);
+  return out;
+}
+
+TEST(SlotCodec, PerLocationChecksumsDiffer) {
+  const SlotCodec codec(dart_config(32), {.per_location_checksums = true});
+  const std::uint32_t base = 0xDEADBEEF;
+  EXPECT_NE(codec.stored_checksum(base, 0), codec.stored_checksum(base, 1));
+  EXPECT_NE(codec.stored_checksum(base, 1), codec.stored_checksum(base, 2));
+  // Deterministic.
+  EXPECT_EQ(codec.stored_checksum(base, 0), codec.stored_checksum(base, 0));
+}
+
+TEST(SlotCodec, DisabledSchemesAreIdentity) {
+  const SlotCodec codec(dart_config(32),
+                        {.per_location_checksums = false, .mask_values = false});
+  EXPECT_EQ(codec.stored_checksum(0xAB, 0), 0xABu);
+  EXPECT_EQ(codec.stored_checksum(0xAB, 3), 0xABu);
+  auto v = value_of(7);
+  const auto orig = v;
+  codec.transform_value(sim_key(1), 0, v);
+  EXPECT_EQ(v, orig);
+}
+
+TEST(SlotCodec, MaskIsInvolutionAndKeyed) {
+  const SlotCodec codec(dart_config(), {.mask_values = true});
+  auto v = value_of(0x1234);
+  const auto orig = v;
+  codec.transform_value(sim_key(1), 0, v);
+  EXPECT_NE(v, orig);  // masked
+  codec.transform_value(sim_key(1), 0, v);
+  EXPECT_EQ(v, orig);  // unmasked
+
+  // Different key or location → different pad.
+  auto v1 = orig, v2 = orig, v3 = orig;
+  codec.transform_value(sim_key(1), 0, v1);
+  codec.transform_value(sim_key(2), 0, v2);
+  codec.transform_value(sim_key(1), 1, v3);
+  EXPECT_NE(v1, v2);
+  EXPECT_NE(v1, v3);
+}
+
+TEST(CodedStore, WriteQueryRoundTrip) {
+  CodedStore store(dart_config(32), {});
+  store.write(sim_key(5), value_of(0x55));
+  const auto r = store.query(sim_key(5));
+  ASSERT_EQ(r.outcome, QueryOutcome::kFound);
+  EXPECT_EQ(r.value, value_of(0x55));
+  EXPECT_EQ(r.checksum_matches, 4u);
+  EXPECT_EQ(r.distinct_values, 1u);
+}
+
+TEST(CodedStore, RawSlotsAreActuallyCoded) {
+  CodedStore coded(dart_config(32), {});
+  coded.write(sim_key(9), value_of(0x99));
+  // The raw slot bytes must differ from the plaintext (value masked, and
+  // the stored checksum differs from CRC32(key)&mask at locations ≥ 1).
+  const auto& store = coded.store();
+  const auto slot = store.read_slot(store.slot_index(sim_key(9), 1));
+  EXPECT_NE(slot.checksum, store.key_checksum(sim_key(9)));
+  std::uint64_t raw;
+  std::memcpy(&raw, slot.value.data(), 8);
+  EXPECT_NE(raw, 0x99u);
+}
+
+TEST(CodedStore, SharedChecksumCollisionsAreCorrelated_CodedAreNot) {
+  // Construct the §4 hazard: a foreign key whose b-bit checksum equals the
+  // victim's. With a shared checksum it matches at EVERY location it
+  // overwrites; with per-location checksums it almost surely doesn't.
+  const auto cfg = dart_config(/*bits=*/8, /*n=*/4);
+  const HashFamily family(cfg.n_addresses, cfg.master_seed);
+
+  // Find a colliding pair under the 8-bit shared checksum.
+  std::uint64_t victim = 1, impostor = 0;
+  bool found = false;
+  const auto vk = sim_key(victim);
+  const std::uint32_t victim_csum = family.checksum_of(vk, 8);
+  for (std::uint64_t j = 2; j < 5000 && !found; ++j) {
+    if (family.checksum_of(sim_key(j), 8) == victim_csum) {
+      impostor = j;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found);
+
+  // Shared-checksum store: impostor slots match victim queries wherever the
+  // addresses overlap... emulate total overlap by querying the impostor's
+  // value through the victim's checksum directly.
+  const SlotCodec shared(cfg, {.per_location_checksums = false});
+  const SlotCodec coded(cfg, {.per_location_checksums = true});
+  const std::uint32_t imp_csum = family.checksum_of(sim_key(impostor), 8);
+  int shared_matches = 0, coded_matches = 0;
+  for (std::uint32_t n = 0; n < 4; ++n) {
+    if (shared.stored_checksum(imp_csum, n) ==
+        shared.stored_checksum(victim_csum, n)) {
+      ++shared_matches;
+    }
+    if (coded.stored_checksum(imp_csum, n) ==
+        coded.stored_checksum(victim_csum, n)) {
+      ++coded_matches;
+    }
+  }
+  EXPECT_EQ(shared_matches, 4);  // fully correlated
+  EXPECT_EQ(coded_matches, 4);   // XOR with the same mix preserves equality!
+  // NOTE: per-location checksums decorrelate *address-dependent* collisions
+  // (same stored value at different slots), not same-base-checksum pairs —
+  // XOR preserves equality of equal bases. The value mask below is what
+  // breaks same-base impostors.
+}
+
+TEST(CodedStore, ValueMaskBreaksImpostorConsensus) {
+  // Same-checksum impostor whose value lands in two of the victim's slots:
+  // with plain slots the two foreign copies AGREE and win consensus; with
+  // masked values they decode (under the victim's pad) to two DIFFERENT
+  // garbage values and cannot form a plurality or consensus.
+  const auto cfg = dart_config(/*bits=*/8, /*n=*/2);
+
+  auto run = [&](bool mask) {
+    CodedStore store(cfg, {.per_location_checksums = false,
+                           .mask_values = mask});
+    const auto victim = sim_key(1);
+    // Forge: write the impostor's value bytes into both of the victim's
+    // slots with the victim's stored checksums (worst-case §4 scenario).
+    auto& raw = store.store();
+    const std::uint32_t csum = raw.key_checksum(victim) & 0xFF;
+    for (std::uint32_t n = 0; n < 2; ++n) {
+      const auto idx = raw.slot_index(victim, n);
+      auto* slot = raw.memory().data() + raw.slot_offset(idx);
+      std::memcpy(slot, &csum, 1);
+      const std::uint64_t foreign = 0xBAD0BAD0BAD0BAD0ull;
+      std::memcpy(slot + cfg.checksum_bytes(), &foreign, 8);
+    }
+    return store.query(victim, ReturnPolicy::kConsensusTwo);
+  };
+
+  const auto plain = run(false);
+  EXPECT_EQ(plain.outcome, QueryOutcome::kFound);  // confident wrong answer!
+  const auto masked = run(true);
+  EXPECT_EQ(masked.outcome, QueryOutcome::kEmpty);  // decorrelated → no vote
+  EXPECT_EQ(masked.distinct_values, 2u);
+}
+
+TEST(CodedStore, ErrorRateDropsUnderChurnWithCoding) {
+  // Full churn experiment at small b: plain vs coded return errors under
+  // plurality, ground truth via oracle.
+  const auto cfg = dart_config(/*bits=*/4, /*n=*/2);
+  const std::uint64_t keys = 2 * cfg.n_slots;  // α = 2: heavy churn
+
+  DartStore plain(cfg);
+  CodedStore coded(cfg, {});
+  Oracle plain_oracle, coded_oracle;
+  for (std::uint64_t i = 0; i < keys; ++i) {
+    plain.write(sim_key(i), value_of(i));
+    coded.write(sim_key(i), value_of(i));
+    plain_oracle.record(i, value_of(i));
+    coded_oracle.record(i, value_of(i));
+  }
+  const QueryEngine pq(plain);
+  for (std::uint64_t i = 0; i < keys; ++i) {
+    (void)plain_oracle.classify(i, pq.resolve(sim_key(i)));
+    (void)coded_oracle.classify(i, coded.query(sim_key(i)));
+  }
+  // Under *uniform* churn, errors are independent 2^-b flukes that coding
+  // cannot reduce (it kills correlated impostor agreement — see
+  // ValueMaskBreaksImpostorConsensus). Coding must match the plain store on
+  // both success and error rates within sampling noise.
+  EXPECT_NEAR(coded_oracle.counts().success_rate(),
+              plain_oracle.counts().success_rate(), 0.02);
+  EXPECT_NEAR(coded_oracle.counts().error_rate(),
+              plain_oracle.counts().error_rate(), 0.005);
+}
+
+}  // namespace
+}  // namespace dart::core

@@ -1,0 +1,170 @@
+// Tests for the deployment control plane: config fingerprinting, directory
+// versioning, table pushes, and resize remap analysis.
+#include "core/control.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/cluster.hpp"
+
+namespace dart::core {
+namespace {
+
+DartConfig config() {
+  DartConfig cfg;
+  cfg.n_slots = 1 << 12;
+  cfg.n_addresses = 2;
+  cfg.value_bytes = 8;
+  cfg.master_seed = 0xC7A1;
+  return cfg;
+}
+
+switchsim::DartSwitchPipeline::Config switch_config(const DartConfig& dart) {
+  switchsim::DartSwitchPipeline::Config sc;
+  sc.dart = dart;
+  sc.write_mode = WriteMode::kAllSlots;
+  return sc;
+}
+
+RemoteStoreInfo info(std::uint32_t id) {
+  RemoteStoreInfo r;
+  r.collector_id = id;
+  r.ip = net::Ipv4Addr::from_octets(10, 0, 100, static_cast<std::uint8_t>(id));
+  r.qpn = 0x100 + id;
+  r.rkey = 0xAA00 + id;
+  r.base_vaddr = 0x1000;
+  r.n_slots = 1 << 12;
+  r.slot_bytes = 12;
+  return r;
+}
+
+TEST(ConfigFingerprint, SensitiveToEveryMappingField) {
+  const auto base = config_fingerprint(config());
+  auto c = config();
+  c.master_seed ^= 1;
+  EXPECT_NE(config_fingerprint(c), base);
+  c = config();
+  c.n_slots += 1;
+  EXPECT_NE(config_fingerprint(c), base);
+  c = config();
+  c.n_addresses = 3;
+  EXPECT_NE(config_fingerprint(c), base);
+  c = config();
+  c.checksum_bits = 16;
+  EXPECT_NE(config_fingerprint(c), base);
+  c = config();
+  c.value_bytes = 16;
+  EXPECT_NE(config_fingerprint(c), base);
+  EXPECT_EQ(config_fingerprint(config()), base);  // stable
+}
+
+TEST(Controller, AttachPushesDirectory) {
+  DeploymentController controller(config());
+  controller.register_collector(info(0));
+  controller.register_collector(info(1));
+
+  switchsim::DartSwitchPipeline sw(switch_config(config()));
+  ASSERT_TRUE(controller.attach_switch(sw).ok());
+  EXPECT_EQ(sw.collectors_loaded(), 2u);
+  EXPECT_EQ(controller.stats().switches_attached, 1u);
+  EXPECT_EQ(controller.stats().table_entries_pushed, 2u);
+}
+
+TEST(Controller, MismatchedConfigRejected) {
+  DeploymentController controller(config());
+  auto wrong = config();
+  wrong.master_seed = 0xBAD;  // would silently break the mapping
+  switchsim::DartSwitchPipeline sw(switch_config(wrong));
+  const auto status = controller.attach_switch(sw);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, "config_mismatch");
+  EXPECT_EQ(controller.stats().config_rejections, 1u);
+  EXPECT_EQ(sw.collectors_loaded(), 0u);
+}
+
+TEST(Controller, LateCollectorReachesSwitchesViaPushUpdates) {
+  DeploymentController controller(config());
+  controller.register_collector(info(0));
+  switchsim::DartSwitchPipeline sw(switch_config(config()));
+  ASSERT_TRUE(controller.attach_switch(sw).ok());
+  EXPECT_EQ(sw.collectors_loaded(), 1u);
+
+  controller.register_collector(info(1));
+  EXPECT_EQ(sw.collectors_loaded(), 1u);  // not yet pushed
+  EXPECT_EQ(controller.push_updates(), 1u);
+  EXPECT_EQ(sw.collectors_loaded(), 2u);
+  EXPECT_EQ(controller.push_updates(), 0u);  // idempotent
+}
+
+TEST(Controller, ReRegistrationUpdatesRow) {
+  DeploymentController controller(config());
+  controller.register_collector(info(0));
+  auto updated = info(0);
+  updated.rkey = 0xFEED;  // collector restarted with a fresh MR
+  controller.register_collector(updated);
+  ASSERT_EQ(controller.directory().size(), 1u);
+  EXPECT_EQ(controller.directory()[0].rkey, 0xFEEDu);
+  EXPECT_EQ(controller.stats().directory_version, 2u);
+}
+
+TEST(Controller, DecommissionRemovesAndPropagates) {
+  DeploymentController controller(config());
+  controller.register_collector(info(0));
+  controller.register_collector(info(1));
+  switchsim::DartSwitchPipeline sw(switch_config(config()));
+  ASSERT_TRUE(controller.attach_switch(sw).ok());
+
+  ASSERT_TRUE(controller.decommission_collector(0).ok());
+  EXPECT_EQ(controller.directory().size(), 1u);
+  (void)controller.push_updates();
+  EXPECT_EQ(sw.collectors_loaded(), 1u);
+
+  EXPECT_FALSE(controller.decommission_collector(42).ok());
+}
+
+TEST(Controller, RemapFractionMatchesModuloTheory) {
+  DeploymentController controller(config());
+  // Growing C → C+1 under h % C remaps ~1 - 1/(C+1)·(expected stays) — for
+  // independent uniform hashing the stay probability is 1/(C+1)·C·(1/C)=…
+  // empirically ≈ 1 - 1/(C+1) for modulo of a fresh hash. Just check the
+  // headline: resizes remap MOST keys (not the 1/C of consistent hashing).
+  const double frac_2_3 = controller.estimate_remap_fraction(2, 3);
+  EXPECT_GT(frac_2_3, 0.5);
+  const double frac_4_5 = controller.estimate_remap_fraction(4, 5);
+  EXPECT_GT(frac_4_5, 0.5);
+  // Identity resize moves nothing.
+  EXPECT_EQ(controller.estimate_remap_fraction(4, 4), 0.0);
+}
+
+TEST(Controller, EndToEndWithRealCollectors) {
+  // Controller wiring against real Collector objects: register, attach,
+  // report, query.
+  const auto cfg = config();
+  CollectorCluster cluster(cfg, 2);
+  DeploymentController controller(cfg);
+  for (const auto& row : cluster.directory()) {
+    controller.register_collector(row);
+  }
+  switchsim::DartSwitchPipeline sw(switch_config(cfg));
+  ASSERT_TRUE(controller.attach_switch(sw).ok());
+
+  const std::string key = "controlled-key";
+  const auto kb = std::as_bytes(std::span{key.data(), key.size()});
+  std::vector<std::byte> value(8, std::byte{0x77});
+  for (const auto& frame : sw.on_telemetry(kb, value)) {
+    const auto parsed = net::parse_udp_frame(frame);
+    for (const auto& row : cluster.directory()) {
+      if (row.ip == parsed->ip.dst) {
+        ASSERT_TRUE(cluster.collector(row.collector_id)
+                        .rnic()
+                        .process_frame(frame)
+                        .has_value());
+      }
+    }
+  }
+  EXPECT_EQ(cluster.query(kb).outcome, QueryOutcome::kFound);
+}
+
+}  // namespace
+}  // namespace dart::core

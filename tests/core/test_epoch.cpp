@@ -1,0 +1,190 @@
+// Tests for the §5.2.1 epoch-based persistent archive: file format, CRC
+// validation, historical queries, and the seal lifecycle.
+#include "core/epoch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "core/oracle.hpp"
+
+namespace dart::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+class EpochFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("dart_epoch_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  static DartConfig config() {
+    DartConfig cfg;
+    cfg.n_slots = 1 << 10;
+    cfg.n_addresses = 2;
+    cfg.value_bytes = 8;
+    cfg.master_seed = 0xE9;
+    return cfg;
+  }
+
+  static std::vector<std::byte> value_of(std::uint64_t v) {
+    std::vector<std::byte> out(8);
+    std::memcpy(out.data(), &v, 8);
+    return out;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(EpochFixture, WriteAndReadBackArchive) {
+  DartStore store(config());
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    store.write(sim_key(i), value_of(i));
+  }
+  const auto written = write_epoch_archive(path("e0.dart"), 42, store);
+  ASSERT_TRUE(written.ok());
+  EXPECT_GT(written.value(), 150u);  // ~200 slots minus collisions
+
+  auto reader = EpochArchiveReader::open(path("e0.dart"));
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader.value().epoch(), 42u);
+  EXPECT_EQ(reader.value().entry_count(), written.value());
+  EXPECT_EQ(reader.value().value_bytes(), 8u);
+
+  // Every key queryable from history.
+  int found = 0;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const auto hit = reader.value().query(sim_key(i));
+    if (hit && *hit == value_of(i)) ++found;
+  }
+  EXPECT_GE(found, 98);
+}
+
+TEST_F(EpochFixture, UnknownKeyNotInArchive) {
+  DartStore store(config());
+  store.write(sim_key(1), value_of(1));
+  ASSERT_TRUE(write_epoch_archive(path("e.dart"), 0, store).ok());
+  auto reader = EpochArchiveReader::open(path("e.dart"));
+  ASSERT_TRUE(reader.ok());
+  EXPECT_FALSE(reader.value().query(sim_key(999)).has_value());
+}
+
+TEST_F(EpochFixture, EmptyStoreProducesEmptyArchive) {
+  DartStore store(config());
+  const auto written = write_epoch_archive(path("empty.dart"), 1, store);
+  ASSERT_TRUE(written.ok());
+  EXPECT_EQ(written.value(), 0u);
+  auto reader = EpochArchiveReader::open(path("empty.dart"));
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader.value().entry_count(), 0u);
+}
+
+TEST_F(EpochFixture, CorruptedArchiveRejected) {
+  DartStore store(config());
+  store.write(sim_key(1), value_of(1));
+  ASSERT_TRUE(write_epoch_archive(path("c.dart"), 0, store).ok());
+
+  // Flip a byte in the middle of the entries.
+  std::fstream f(path("c.dart"),
+                 std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(40);
+  char b;
+  f.seekg(40);
+  f.read(&b, 1);
+  b = static_cast<char>(b ^ 0x01);
+  f.seekp(40);
+  f.write(&b, 1);
+  f.close();
+
+  const auto reader = EpochArchiveReader::open(path("c.dart"));
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.error().code, "archive_crc");
+}
+
+TEST_F(EpochFixture, TruncatedArchiveRejected) {
+  DartStore store(config());
+  for (std::uint64_t i = 0; i < 10; ++i) store.write(sim_key(i), value_of(i));
+  ASSERT_TRUE(write_epoch_archive(path("t.dart"), 0, store).ok());
+  const auto size = fs::file_size(path("t.dart"));
+  fs::resize_file(path("t.dart"), size - 10);
+  EXPECT_FALSE(EpochArchiveReader::open(path("t.dart")).ok());
+}
+
+TEST_F(EpochFixture, NotAnArchiveRejected) {
+  std::ofstream(path("junk.dart")) << "this is not an archive";
+  const auto reader = EpochArchiveReader::open(path("junk.dart"));
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.error().code, "archive_magic");
+}
+
+TEST_F(EpochFixture, MissingFileRejected) {
+  EXPECT_FALSE(EpochArchiveReader::open(path("nope.dart")).ok());
+}
+
+TEST_F(EpochFixture, SealLifecycle) {
+  EpochedStore epochs(config());
+  // Epoch 0: keys 0..49 with generation-0 values.
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    epochs.live().write(sim_key(i), value_of(i));
+  }
+  ASSERT_TRUE(epochs.seal_to_file(path("ep0.dart")).ok());
+  EXPECT_EQ(epochs.current_epoch(), 1u);
+  // Live store is fresh: zero occupancy, zero CPU writes.
+  EXPECT_EQ(epochs.live().writes_performed(), 0u);
+
+  // Epoch 1: same keys, new values.
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    epochs.live().write(sim_key(i), value_of(1000 + i));
+  }
+  ASSERT_TRUE(epochs.seal_to_file(path("ep1.dart")).ok());
+
+  // History answers per epoch with the right generation.
+  auto r0 = EpochArchiveReader::open(path("ep0.dart"));
+  auto r1 = EpochArchiveReader::open(path("ep1.dart"));
+  ASSERT_TRUE(r0.ok() && r1.ok());
+  EXPECT_EQ(r0.value().epoch(), 0u);
+  EXPECT_EQ(r1.value().epoch(), 1u);
+  const auto h0 = r0.value().query(sim_key(7));
+  const auto h1 = r1.value().query(sim_key(7));
+  ASSERT_TRUE(h0 && h1);
+  EXPECT_EQ(*h0, value_of(7));
+  EXPECT_EQ(*h1, value_of(1007));
+}
+
+TEST_F(EpochFixture, AmbiguousChecksumInHistoryIsConservativeEmpty) {
+  // Two distinct archived values sharing a checksum (tiny b forces it):
+  // the historical query must refuse to guess.
+  DartConfig cfg = config();
+  cfg.checksum_bits = 2;
+  DartStore store(cfg);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    store.write(sim_key(i), value_of(i));
+  }
+  ASSERT_TRUE(write_epoch_archive(path("amb.dart"), 0, store).ok());
+  auto reader = EpochArchiveReader::open(path("amb.dart"));
+  ASSERT_TRUE(reader.ok());
+
+  // With b=2 there are ≤4 checksum classes over ~128 entries: lookups return
+  // many values, query() must be empty for at least some keys.
+  int empty = 0;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    if (!reader.value().query(sim_key(i)).has_value()) ++empty;
+    EXPECT_GT(reader.value().lookup_key(sim_key(i)).size(), 1u);
+  }
+  EXPECT_GT(empty, 0);
+}
+
+}  // namespace
+}  // namespace dart::core

@@ -1,0 +1,235 @@
+// Tests for the §3.2 operator query protocol: wire round trips and the full
+// operator ↔ collector exchange over the fabric simulator.
+#include "core/query_protocol.hpp"
+#include "core/query_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "core/cluster.hpp"
+#include "core/oracle.hpp"
+
+namespace dart::core {
+namespace {
+
+std::vector<std::byte> key_of(const std::string& s) {
+  const auto b = std::as_bytes(std::span{s.data(), s.size()});
+  return {b.begin(), b.end()};
+}
+
+TEST(QueryProtocol, RequestRoundTrip) {
+  QueryRequest req;
+  req.request_id = 0xDEADBEEF01ull;
+  req.policy = ReturnPolicy::kConsensusTwo;
+  req.key = key_of("flow-42");
+
+  const auto wire = encode_query_request(req);
+  const auto parsed = parse_query_request(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->request_id, req.request_id);
+  EXPECT_EQ(parsed->policy, ReturnPolicy::kConsensusTwo);
+  EXPECT_EQ(parsed->key, req.key);
+}
+
+TEST(QueryProtocol, ResponseRoundTrip) {
+  QueryResponse resp;
+  resp.request_id = 77;
+  resp.outcome = QueryOutcome::kFound;
+  resp.checksum_matches = 2;
+  resp.distinct_values = 1;
+  resp.value = key_of("some-value-bytes");
+
+  const auto wire = encode_query_response(resp);
+  const auto parsed = parse_query_response(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->request_id, 77u);
+  EXPECT_EQ(parsed->outcome, QueryOutcome::kFound);
+  EXPECT_EQ(parsed->checksum_matches, 2);
+  EXPECT_EQ(parsed->value, resp.value);
+}
+
+TEST(QueryProtocol, EmptyResponseRoundTrip) {
+  QueryResponse resp;
+  resp.request_id = 5;
+  resp.outcome = QueryOutcome::kEmpty;
+  const auto parsed = parse_query_response(encode_query_response(resp));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->outcome, QueryOutcome::kEmpty);
+  EXPECT_TRUE(parsed->value.empty());
+}
+
+TEST(QueryProtocol, MalformedRejected) {
+  EXPECT_FALSE(parse_query_request({}).has_value());
+  EXPECT_FALSE(parse_query_response({}).has_value());
+
+  QueryRequest req;
+  req.request_id = 1;
+  req.key = key_of("k");
+  auto wire = encode_query_request(req);
+  wire[0] = std::byte{0xFF};  // wrong magic
+  EXPECT_FALSE(parse_query_request(wire).has_value());
+
+  wire = encode_query_request(req);
+  wire[3] = std::byte{0x09};  // invalid policy
+  EXPECT_FALSE(parse_query_request(wire).has_value());
+
+  wire = encode_query_request(req);
+  wire.resize(wire.size() - 1);  // truncated key
+  EXPECT_FALSE(parse_query_request(wire).has_value());
+}
+
+TEST(QueryProtocol, EmptyKeyRejected) {
+  QueryRequest req;
+  req.request_id = 1;
+  const auto wire = encode_query_request(req);  // key empty
+  EXPECT_FALSE(parse_query_request(wire).has_value());
+}
+
+TEST(QueryProtocol, MakeResponseClampsCounts) {
+  QueryResult result;
+  result.outcome = QueryOutcome::kFound;
+  result.value = key_of("v");
+  result.checksum_matches = 1000;
+  result.distinct_values = 500;
+  const auto resp = make_response(9, result);
+  EXPECT_EQ(resp.checksum_matches, 0xFF);
+  EXPECT_EQ(resp.distinct_values, 0xFF);
+}
+
+// --- end-to-end over the simulator ------------------------------------------
+
+class QueryServiceFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DartConfig cfg;
+    cfg.n_slots = 1 << 12;
+    cfg.n_addresses = 2;
+    cfg.value_bytes = 8;
+    cfg.master_seed = 0x0E;
+    cluster_ = std::make_unique<CollectorCluster>(cfg, 2);
+    crafter_ = std::make_unique<ReportCrafter>(cfg);
+
+    // Service nodes front the two collectors; the operator joins the same
+    // management network (star links for simplicity).
+    std::vector<net::Ipv4Addr> service_ips;
+    for (std::uint32_t c = 0; c < 2; ++c) {
+      const auto ip = net::Ipv4Addr::from_octets(10, 0, 100, static_cast<std::uint8_t>(c));
+      service_ips.push_back(ip);
+    }
+    auto resolver = [this](net::Ipv4Addr ip) -> std::optional<net::NodeId> {
+      for (const auto& [addr, node] : arp_) {
+        if (addr == ip) return node;
+      }
+      return std::nullopt;
+    };
+    for (std::uint32_t c = 0; c < 2; ++c) {
+      services_.push_back(std::make_unique<QueryServiceNode>(
+          cluster_->collector(c), service_ips[c], resolver));
+    }
+    const auto operator_ip = net::Ipv4Addr::from_octets(10, 9, 0, 1);
+    operator_ = std::make_unique<OperatorClient>(*crafter_, operator_ip,
+                                                 service_ips, resolver);
+
+    const auto op_node = sim_.add_node(*operator_);
+    arp_.emplace_back(operator_ip, op_node);
+    for (std::uint32_t c = 0; c < 2; ++c) {
+      const auto node = sim_.add_node(*services_[c]);
+      arp_.emplace_back(service_ips[c], node);
+      sim_.connect(op_node, node, /*latency_ns=*/2000);
+    }
+  }
+
+  std::vector<std::byte> value_of(std::uint64_t v) {
+    std::vector<std::byte> out(8);
+    std::memcpy(out.data(), &v, 8);
+    return out;
+  }
+
+  net::Simulator sim_{1};
+  std::unique_ptr<CollectorCluster> cluster_;
+  std::unique_ptr<ReportCrafter> crafter_;
+  std::vector<std::unique_ptr<QueryServiceNode>> services_;
+  std::unique_ptr<OperatorClient> operator_;
+  std::vector<std::pair<net::Ipv4Addr, net::NodeId>> arp_;
+};
+
+TEST_F(QueryServiceFixture, QueryOverTheWireFindsValue) {
+  const auto key = key_of("remote-query-key");
+  cluster_->write(key, value_of(0xCAFE));
+
+  const auto id = operator_->query(key);
+  EXPECT_EQ(operator_->pending(), 1u);
+  sim_.run();
+
+  const auto resp = operator_->take_response(id);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->outcome, QueryOutcome::kFound);
+  std::uint64_t got;
+  std::memcpy(&got, resp->value.data(), 8);
+  EXPECT_EQ(got, 0xCAFEu);
+  EXPECT_EQ(operator_->pending(), 0u);
+  // Exactly one service did the work — the key's hash owner.
+  EXPECT_EQ(services_[cluster_->owner_of(key)]->requests_served(), 1u);
+  EXPECT_EQ(services_[1 - cluster_->owner_of(key)]->requests_served(), 0u);
+}
+
+TEST_F(QueryServiceFixture, UnknownKeyYieldsEmptyResponse) {
+  const auto key = key_of("never-written");
+  const auto id = operator_->query(key);
+  sim_.run();
+  const auto resp = operator_->take_response(id);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->outcome, QueryOutcome::kEmpty);
+}
+
+TEST_F(QueryServiceFixture, ConcurrentQueriesToBothCollectors) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> issued;  // id, truth
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const auto key = key_of("bulk-" + std::to_string(i));
+    cluster_->write(key, value_of(i));
+    issued.emplace_back(operator_->query(key), i);
+  }
+  sim_.run();
+  for (const auto& [id, truth] : issued) {
+    const auto resp = operator_->take_response(id);
+    ASSERT_TRUE(resp.has_value()) << id;
+    ASSERT_EQ(resp->outcome, QueryOutcome::kFound);
+    std::uint64_t got;
+    std::memcpy(&got, resp->value.data(), 8);
+    EXPECT_EQ(got, truth);
+  }
+  EXPECT_GT(services_[0]->requests_served(), 10u);
+  EXPECT_GT(services_[1]->requests_served(), 10u);
+}
+
+TEST_F(QueryServiceFixture, PerQueryPolicyHonored) {
+  // One copy clobbered → plurality finds it, consensus-2 returns empty
+  // (the §4 per-query trade-off, now over the wire).
+  const auto key = key_of("policy-key");
+  auto& store = cluster_->collector(cluster_->owner_of(key)).store();
+  store.write(key, value_of(0xAB));
+  // Clobber copy 1's checksum.
+  const auto idx = store.slot_index(key, 1);
+  store.memory()[store.slot_offset(idx)] ^= std::byte{0xFF};
+
+  const auto id_plural = operator_->query(key, ReturnPolicy::kPlurality);
+  const auto id_consensus = operator_->query(key, ReturnPolicy::kConsensusTwo);
+  sim_.run();
+  EXPECT_EQ(operator_->take_response(id_plural)->outcome, QueryOutcome::kFound);
+  EXPECT_EQ(operator_->take_response(id_consensus)->outcome,
+            QueryOutcome::kEmpty);
+}
+
+TEST_F(QueryServiceFixture, TakeResponseIsOneShot) {
+  const auto key = key_of("oneshot");
+  cluster_->write(key, value_of(1));
+  const auto id = operator_->query(key);
+  sim_.run();
+  EXPECT_TRUE(operator_->take_response(id).has_value());
+  EXPECT_FALSE(operator_->take_response(id).has_value());
+}
+
+}  // namespace
+}  // namespace dart::core

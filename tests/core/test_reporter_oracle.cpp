@@ -1,0 +1,153 @@
+// Tests for DartReporter write modes and the ground-truth Oracle.
+#include "core/oracle.hpp"
+#include "core/reporter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "core/query.hpp"
+
+namespace dart::core {
+namespace {
+
+DartConfig config(WriteMode mode, std::uint32_t n = 2) {
+  DartConfig cfg;
+  cfg.n_slots = 1 << 14;
+  cfg.n_addresses = n;
+  cfg.checksum_bits = 32;
+  cfg.value_bytes = 8;
+  cfg.master_seed = 11;
+  cfg.write_mode = mode;
+  return cfg;
+}
+
+std::vector<std::byte> value_of(std::uint64_t v) {
+  std::vector<std::byte> out(8);
+  std::memcpy(out.data(), &v, 8);
+  return out;
+}
+
+TEST(Reporter, AllSlotsModeFillsEveryCopy) {
+  DartStore store(config(WriteMode::kAllSlots, 4));
+  DartReporter reporter(store, 1);
+  reporter.report(sim_key(1), value_of(42));
+  EXPECT_EQ(reporter.stats().keys_reported, 1u);
+  EXPECT_EQ(reporter.stats().reports_sent, 4u);
+  for (const auto& s : store.read_slots(sim_key(1))) {
+    EXPECT_EQ(s.checksum, store.key_checksum(sim_key(1)));
+  }
+}
+
+TEST(Reporter, StochasticSingleReportFillsOneSlot) {
+  DartStore store(config(WriteMode::kStochastic, 4));
+  DartReporter reporter(store, 1);
+  reporter.report(sim_key(2), value_of(1), /*reports=*/1);
+  EXPECT_EQ(reporter.stats().reports_sent, 1u);
+  int matches = 0;
+  for (const auto& s : store.read_slots(sim_key(2))) {
+    matches += s.checksum == store.key_checksum(sim_key(2)) ? 1 : 0;
+  }
+  EXPECT_EQ(matches, 1);
+}
+
+TEST(Reporter, StochasticManyReportsEventuallyFillAll) {
+  DartStore store(config(WriteMode::kStochastic, 4));
+  DartReporter reporter(store, 1);
+  reporter.report(sim_key(3), value_of(9), /*reports=*/64);
+  int matches = 0;
+  for (const auto& s : store.read_slots(sim_key(3))) {
+    matches += s.checksum == store.key_checksum(sim_key(3)) ? 1 : 0;
+  }
+  EXPECT_EQ(matches, 4);  // coupon collector: 64 ≫ 4·H₄
+}
+
+TEST(Reporter, StochasticCoverageMatchesCouponCollector) {
+  // With r reports over N slots, E[covered] = N(1-(1-1/N)^r). Check the
+  // aggregate over many keys is near theory.
+  DartStore store(config(WriteMode::kStochastic, 2));
+  DartReporter reporter(store, 7);
+  constexpr int kKeys = 2000;
+  constexpr std::uint32_t kReports = 2;
+  int covered = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    reporter.report(sim_key(1000 + i), value_of(i), kReports);
+    for (const auto& s : store.read_slots(sim_key(1000 + i))) {
+      covered += s.checksum == store.key_checksum(sim_key(1000 + i)) ? 1 : 0;
+    }
+  }
+  const double expect = 2.0 * (1.0 - std::pow(0.5, kReports));  // = 1.5
+  EXPECT_NEAR(static_cast<double>(covered) / kKeys, expect, 0.08);
+}
+
+TEST(Oracle, ClassifiesCorrect) {
+  DartStore store(config(WriteMode::kAllSlots));
+  Oracle oracle;
+  store.write(sim_key(1), value_of(5));
+  oracle.record(1, value_of(5));
+  const QueryEngine q(store);
+  EXPECT_EQ(oracle.classify(1, q.resolve(sim_key(1))), Verdict::kCorrect);
+  EXPECT_EQ(oracle.counts().correct, 1u);
+  EXPECT_DOUBLE_EQ(oracle.counts().success_rate(), 1.0);
+}
+
+TEST(Oracle, ClassifiesEmpty) {
+  DartStore store(config(WriteMode::kAllSlots));
+  Oracle oracle;
+  oracle.record(2, value_of(1));  // recorded but never stored
+  const QueryEngine q(store);
+  EXPECT_EQ(oracle.classify(2, q.resolve(sim_key(2))), Verdict::kEmptyReturn);
+  EXPECT_EQ(oracle.counts().empty, 1u);
+}
+
+TEST(Oracle, ClassifiesNeverWritten) {
+  Oracle oracle;
+  QueryResult r;
+  EXPECT_EQ(oracle.classify(77, r), Verdict::kNeverWritten);
+  EXPECT_EQ(oracle.counts().never_written, 1u);
+}
+
+TEST(Oracle, LatestWriteWins) {
+  DartStore store(config(WriteMode::kAllSlots));
+  Oracle oracle;
+  store.write(sim_key(4), value_of(1));
+  oracle.record(4, value_of(1));
+  store.write(sim_key(4), value_of(2));
+  oracle.record(4, value_of(2));
+  const QueryEngine q(store);
+  EXPECT_EQ(oracle.classify(4, q.resolve(sim_key(4))), Verdict::kCorrect);
+}
+
+TEST(Oracle, StaleValueIsReturnError) {
+  // Key is rewritten in truth but the store still holds the old value (e.g.
+  // the report was lost): the query returns stale data → return error.
+  DartStore store(config(WriteMode::kAllSlots));
+  Oracle oracle;
+  store.write(sim_key(5), value_of(1));
+  oracle.record(5, value_of(1));
+  oracle.record(5, value_of(2));  // truth moved on; store did not
+  const QueryEngine q(store);
+  EXPECT_EQ(oracle.classify(5, q.resolve(sim_key(5))), Verdict::kReturnError);
+}
+
+TEST(Oracle, CountsAccumulateAndReset) {
+  Oracle oracle;
+  QueryResult empty_result;
+  oracle.record(1, value_of(1));
+  (void)oracle.classify(1, empty_result);
+  (void)oracle.classify(2, empty_result);
+  EXPECT_EQ(oracle.counts().total(), 2u);
+  oracle.reset_counts();
+  EXPECT_EQ(oracle.counts().total(), 0u);
+  EXPECT_EQ(oracle.keys_tracked(), 1u);  // truth survives a counter reset
+}
+
+TEST(SimKey, LittleEndianEncoding) {
+  const auto k = sim_key(0x0102030405060708ull);
+  EXPECT_EQ(static_cast<std::uint8_t>(k[0]), 0x08);
+  EXPECT_EQ(static_cast<std::uint8_t>(k[7]), 0x01);
+}
+
+}  // namespace
+}  // namespace dart::core

@@ -1,0 +1,145 @@
+// Tests for SpreadCluster — the §3.1 single-collector vs spread-copies
+// placement trade-off (resiliency vs query locality).
+#include "core/spread.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/oracle.hpp"
+
+namespace dart::core {
+namespace {
+
+DartConfig config() {
+  DartConfig cfg;
+  cfg.n_slots = 1 << 12;
+  cfg.n_addresses = 2;
+  cfg.value_bytes = 8;
+  cfg.master_seed = 0x5B;
+  return cfg;
+}
+
+std::vector<std::byte> value_of(std::uint64_t v) {
+  std::vector<std::byte> out(8);
+  std::memcpy(out.data(), &v, 8);
+  return out;
+}
+
+TEST(SpreadCluster, SingleModeKeepsCopiesTogether) {
+  SpreadCluster cluster(config(), 4, PlacementMode::kSingleCollector);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    const auto key = sim_key(i);
+    EXPECT_EQ(cluster.collector_for_copy(key, 0),
+              cluster.collector_for_copy(key, 1));
+  }
+}
+
+TEST(SpreadCluster, SpreadModeSeparatesCopies) {
+  SpreadCluster cluster(config(), 4, PlacementMode::kSpreadCopies);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    const auto key = sim_key(i);
+    EXPECT_NE(cluster.collector_for_copy(key, 0),
+              cluster.collector_for_copy(key, 1));
+  }
+}
+
+TEST(SpreadCluster, BothModesAnswerQueries) {
+  for (const auto mode :
+       {PlacementMode::kSingleCollector, PlacementMode::kSpreadCopies}) {
+    SpreadCluster cluster(config(), 4, mode);
+    for (std::uint64_t i = 0; i < 100; ++i) {
+      cluster.write(sim_key(i), value_of(i));
+    }
+    int found = 0;
+    for (std::uint64_t i = 0; i < 100; ++i) {
+      const auto r = cluster.query(sim_key(i));
+      if (r.outcome == QueryOutcome::kFound) {
+        std::uint64_t got;
+        std::memcpy(&got, r.value.data(), 8);
+        EXPECT_EQ(got, i);
+        ++found;
+      }
+    }
+    EXPECT_GE(found, 98) << "mode " << static_cast<int>(mode);
+  }
+}
+
+TEST(SpreadCluster, QueryFanOutCost) {
+  // The paper's stated cost of spreading: queries touch more collectors.
+  SpreadCluster single(config(), 4, PlacementMode::kSingleCollector);
+  SpreadCluster spread(config(), 4, PlacementMode::kSpreadCopies);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    single.write(sim_key(i), value_of(i));
+    spread.write(sim_key(i), value_of(i));
+  }
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    (void)single.query(sim_key(i));
+    (void)spread.query(sim_key(i));
+  }
+  EXPECT_EQ(single.query_stats().collector_reads, 200u);       // 1 per query
+  EXPECT_EQ(spread.query_stats().collector_reads, 2u * 200u);  // N per query
+}
+
+TEST(SpreadCluster, CollectorFailureSingleModeLosesWholeKeys) {
+  SpreadCluster cluster(config(), 4, PlacementMode::kSingleCollector);
+  constexpr std::uint64_t kKeys = 400;
+  for (std::uint64_t i = 0; i < kKeys; ++i) {
+    cluster.write(sim_key(i), value_of(i));
+  }
+  cluster.fail_collector(0);
+  std::uint64_t lost = 0, found = 0;
+  for (std::uint64_t i = 0; i < kKeys; ++i) {
+    const auto r = cluster.query(sim_key(i));
+    (r.outcome == QueryOutcome::kFound ? found : lost) += 1;
+  }
+  // All keys owned by collector 0 (≈1/4) are gone entirely.
+  EXPECT_NEAR(static_cast<double>(lost) / kKeys, 0.25, 0.07);
+}
+
+TEST(SpreadCluster, CollectorFailureSpreadModeKeepsOneCopy) {
+  SpreadCluster cluster(config(), 4, PlacementMode::kSpreadCopies);
+  constexpr std::uint64_t kKeys = 400;
+  for (std::uint64_t i = 0; i < kKeys; ++i) {
+    cluster.write(sim_key(i), value_of(i));
+  }
+  cluster.fail_collector(0);
+  std::uint64_t found = 0;
+  for (std::uint64_t i = 0; i < kKeys; ++i) {
+    if (cluster.query(sim_key(i)).outcome == QueryOutcome::kFound) ++found;
+  }
+  // Every key keeps its other copy on a live collector (minus rare slot
+  // collisions at this low load): near-total availability.
+  EXPECT_GE(static_cast<double>(found) / kKeys, 0.97);
+}
+
+TEST(SpreadCluster, RestoreBringsCollectorBack) {
+  SpreadCluster cluster(config(), 2, PlacementMode::kSingleCollector);
+  cluster.fail_collector(0);
+  EXPECT_TRUE(cluster.is_failed(0));
+  // Writes while failed are lost.
+  const auto key = sim_key(7);
+  const bool owned_by_0 = cluster.collector_for_copy(key, 0) == 0;
+  cluster.write(key, value_of(1));
+  cluster.restore_collector(0);
+  const auto r = cluster.query(key);
+  if (owned_by_0) {
+    EXPECT_EQ(r.outcome, QueryOutcome::kEmpty);
+  } else {
+    EXPECT_EQ(r.outcome, QueryOutcome::kFound);
+  }
+  // Writes after restore land.
+  cluster.write(key, value_of(2));
+  EXPECT_EQ(cluster.query(key).outcome, QueryOutcome::kFound);
+}
+
+TEST(SpreadCluster, ConsensusWorksAcrossCollectors) {
+  SpreadCluster cluster(config(), 4, PlacementMode::kSpreadCopies);
+  cluster.write(sim_key(1), value_of(0xAA));
+  const auto r = cluster.query(sim_key(1), ReturnPolicy::kConsensusTwo);
+  ASSERT_EQ(r.outcome, QueryOutcome::kFound);
+  EXPECT_EQ(r.checksum_matches, 2u);
+}
+
+}  // namespace
+}  // namespace dart::core

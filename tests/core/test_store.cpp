@@ -1,0 +1,210 @@
+// Tests for the DartStore slot layout and write/read paths.
+#include "core/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "core/oracle.hpp"
+
+namespace dart::core {
+namespace {
+
+DartConfig config(std::uint32_t n = 2, std::uint32_t bits = 32,
+                  std::uint32_t value_bytes = 8, std::uint64_t slots = 4096) {
+  DartConfig cfg;
+  cfg.n_slots = slots;
+  cfg.n_addresses = n;
+  cfg.checksum_bits = bits;
+  cfg.value_bytes = value_bytes;
+  cfg.master_seed = 1;
+  return cfg;
+}
+
+std::vector<std::byte> value_of(std::uint64_t v, std::uint32_t width = 8) {
+  std::vector<std::byte> out(width, std::byte{0});
+  for (std::uint32_t i = 0; i < 8 && i < width; ++i) {
+    out[i] = static_cast<std::byte>((v >> (8 * i)) & 0xFF);
+  }
+  return out;
+}
+
+TEST(DartConfig, SlotGeometry) {
+  EXPECT_EQ(config(2, 32, 20).slot_bytes(), 24u);  // Fig. 4's 24 B slots
+  EXPECT_EQ(config(2, 16, 20).slot_bytes(), 22u);
+  EXPECT_EQ(config(2, 9, 20).checksum_bytes(), 2u);
+  EXPECT_EQ(config(2, 32, 20, 1000).memory_bytes(), 24000u);
+  EXPECT_TRUE(config().valid());
+  DartConfig bad = config();
+  bad.checksum_bits = 33;
+  EXPECT_FALSE(bad.valid());
+  bad = config();
+  bad.n_slots = 0;
+  EXPECT_FALSE(bad.valid());
+}
+
+TEST(DartStore, WriteThenReadBack) {
+  DartStore store(config());
+  const auto key = sim_key(42);
+  const auto value = value_of(0xABCD);
+  store.write(key, value);
+
+  const auto slots = store.read_slots(key);
+  ASSERT_EQ(slots.size(), 2u);
+  for (const auto& s : slots) {
+    EXPECT_EQ(s.checksum, store.key_checksum(key));
+    EXPECT_TRUE(std::equal(value.begin(), value.end(), s.value.begin()));
+  }
+  EXPECT_EQ(store.writes_performed(), 2u);
+}
+
+TEST(DartStore, WriteOneFillsOnlyThatCopy) {
+  DartStore store(config());
+  const auto key = sim_key(7);
+  store.write_one(key, value_of(1), 0);
+  const auto slots = store.read_slots(key);
+  EXPECT_EQ(slots[0].checksum, store.key_checksum(key));
+  // Copy 1 still zeroed (unless the two hashes collide — astronomically
+  // unlikely for this key/config and pinned by the seed).
+  ASSERT_NE(store.slot_index(key, 0), store.slot_index(key, 1));
+  EXPECT_EQ(slots[1].checksum, 0u);
+}
+
+TEST(DartStore, OverwriteReplacesValue) {
+  DartStore store(config());
+  const auto key = sim_key(5);
+  store.write(key, value_of(1));
+  store.write(key, value_of(2));
+  for (const auto& s : store.read_slots(key)) {
+    std::uint64_t got = 0;
+    std::memcpy(&got, s.value.data(), 8);
+    EXPECT_EQ(got, 2u);
+  }
+}
+
+TEST(DartStore, CollidingKeysOverwriteEachOther) {
+  // Force collisions with a tiny table: two keys mapping to the same slot
+  // must leave only the later key's checksum there.
+  DartConfig cfg = config(1, 32, 8, /*slots=*/1);
+  DartStore store(cfg);
+  const auto k1 = sim_key(1);
+  const auto k2 = sim_key(2);
+  store.write(k1, value_of(11));
+  store.write(k2, value_of(22));
+  const auto slot = store.read_slot(0);
+  EXPECT_EQ(slot.checksum, store.key_checksum(k2));
+}
+
+TEST(DartStore, ChecksumMaskedToConfiguredBits) {
+  DartStore store(config(2, /*bits=*/8));
+  const auto key = sim_key(1234);
+  store.write(key, value_of(9));
+  for (const auto& s : store.read_slots(key)) {
+    EXPECT_LE(s.checksum, 0xFFu);
+  }
+}
+
+TEST(DartStore, NonByteAlignedChecksumWidth) {
+  // b = 12 bits → stored in 2 bytes, high bits zero.
+  DartStore store(config(2, /*bits=*/12));
+  const auto key = sim_key(99);
+  store.write(key, value_of(1));
+  for (const auto& s : store.read_slots(key)) {
+    EXPECT_EQ(s.checksum, store.key_checksum(key));
+    EXPECT_LE(s.checksum, 0xFFFu);
+  }
+  EXPECT_EQ(store.config().slot_bytes(), 2u + 8u);
+}
+
+TEST(DartStore, ExternalMemoryIsShared) {
+  const auto cfg = config();
+  std::vector<std::byte> memory(cfg.memory_bytes(), std::byte{0});
+  DartStore store(cfg, memory);
+  const auto key = sim_key(3);
+  store.write(key, value_of(0x55AA));
+  // The bytes must be visible in the external buffer (what the RNIC DMAs
+  // into is what queries read).
+  const auto off = store.slot_offset(store.slot_index(key, 0));
+  std::uint32_t csum = 0;
+  std::memcpy(&csum, memory.data() + off, 4);
+  EXPECT_EQ(csum, store.key_checksum(key));
+}
+
+TEST(DartStore, EncodeSlotPayloadMatchesMemoryLayout) {
+  DartStore store(config());
+  const auto key = sim_key(77);
+  const auto value = value_of(0xDEAD);
+  std::vector<std::byte> payload;
+  store.encode_slot_payload(key, value, payload);
+  ASSERT_EQ(payload.size(), store.config().slot_bytes());
+
+  store.write(key, value);
+  const auto off = store.slot_offset(store.slot_index(key, 0));
+  const auto mem = store.memory().subspan(off, payload.size());
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(), mem.begin()));
+}
+
+TEST(DartStore, ClearZeroesEverything) {
+  DartStore store(config());
+  store.write(sim_key(1), value_of(1));
+  store.clear();
+  EXPECT_EQ(store.writes_performed(), 0u);
+  for (const auto b : store.memory()) {
+    ASSERT_EQ(static_cast<std::uint8_t>(b), 0);
+  }
+}
+
+TEST(DartStore, AddressesMatchHashFamily) {
+  DartStore store(config(4));
+  const HashFamily family(4, 1);
+  const auto key = sim_key(123456);
+  for (std::uint32_t n = 0; n < 4; ++n) {
+    EXPECT_EQ(store.slot_index(key, n),
+              family.address_of(key, n, store.config().n_slots));
+  }
+}
+
+// Property sweep over slot geometries: write→read round trip.
+struct Geometry {
+  std::uint32_t n;
+  std::uint32_t bits;
+  std::uint32_t value_bytes;
+};
+
+class StoreGeometry : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(StoreGeometry, RoundTripsAcrossGeometries) {
+  const auto g = GetParam();
+  DartStore store(config(g.n, g.bits, g.value_bytes, 1 << 16));
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const auto key = sim_key(i * 7919);
+    std::vector<std::byte> value(g.value_bytes);
+    for (std::uint32_t b = 0; b < g.value_bytes; ++b) {
+      value[b] = static_cast<std::byte>((i + b) & 0xFF);
+    }
+    store.write(key, value);
+    const auto slots = store.read_slots(key);
+    ASSERT_EQ(slots.size(), g.n);
+    // At least copy 0 must hold our freshly written data (later keys in this
+    // loop could collide, but with 64 keys in 65536 slots collisions of a
+    // *just-written* key are absent for the pinned seed).
+    bool any_match = false;
+    for (const auto& s : slots) {
+      if (s.checksum == store.key_checksum(key) &&
+          std::equal(value.begin(), value.end(), s.value.begin())) {
+        any_match = true;
+      }
+    }
+    EXPECT_TRUE(any_match) << "key " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, StoreGeometry,
+    ::testing::Values(Geometry{1, 32, 4}, Geometry{2, 32, 20},
+                      Geometry{2, 16, 8}, Geometry{4, 8, 20},
+                      Geometry{8, 12, 16}, Geometry{2, 1, 8}));
+
+}  // namespace
+}  // namespace dart::core

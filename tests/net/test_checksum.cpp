@@ -1,0 +1,64 @@
+// Tests for the RFC 1071 internet checksum.
+#include "net/checksum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+namespace dart::net {
+namespace {
+
+TEST(InternetChecksum, Rfc1071WorkedExample) {
+  // The classic RFC 1071 example: 0x0001 0xf203 0xf4f5 0xf6f7 → ~sum = 0x220d.
+  const std::array<std::byte, 8> data{
+      std::byte{0x00}, std::byte{0x01}, std::byte{0xf2}, std::byte{0x03},
+      std::byte{0xf4}, std::byte{0xf5}, std::byte{0xf6}, std::byte{0xf7}};
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(InternetChecksum, EmptyIsAllOnesComplement) {
+  EXPECT_EQ(internet_checksum({}), 0xFFFF);
+}
+
+TEST(InternetChecksum, OddLengthPadsWithZero) {
+  const std::array<std::byte, 3> odd{std::byte{0x12}, std::byte{0x34},
+                                     std::byte{0x56}};
+  const std::array<std::byte, 4> even{std::byte{0x12}, std::byte{0x34},
+                                      std::byte{0x56}, std::byte{0x00}};
+  EXPECT_EQ(internet_checksum(odd), internet_checksum(even));
+}
+
+TEST(InternetChecksum, VerificationPropertyHolds) {
+  // For any data, appending the computed checksum makes the total sum verify
+  // to zero — the property IPv4 header validation relies on.
+  std::vector<std::byte> data;
+  for (int i = 0; i < 20; ++i) data.push_back(static_cast<std::byte>(i * 31));
+  // Zero the "checksum field" at offset 10..11 as IPv4 does.
+  data[10] = data[11] = std::byte{0};
+  const std::uint16_t csum = internet_checksum(data);
+  data[10] = static_cast<std::byte>(csum >> 8);
+  data[11] = static_cast<std::byte>(csum & 0xFF);
+  EXPECT_EQ(internet_checksum(data), 0x0000);
+}
+
+TEST(InternetChecksum, IncrementalAccumulatorMatches) {
+  std::vector<std::byte> data;
+  for (int i = 0; i < 64; ++i) data.push_back(static_cast<std::byte>(i));
+  InternetChecksum acc;
+  acc.add(std::span{data}.first(32));
+  acc.add(std::span{data}.subspan(32));
+  EXPECT_EQ(acc.finish(), internet_checksum(data));
+}
+
+TEST(InternetChecksum, AddU16AndU32) {
+  InternetChecksum a;
+  a.add_u32(0x12345678u);
+  InternetChecksum b;
+  b.add_u16(0x1234);
+  b.add_u16(0x5678);
+  EXPECT_EQ(a.finish(), b.finish());
+}
+
+}  // namespace
+}  // namespace dart::net

@@ -1,0 +1,125 @@
+// Tests for bandwidth-shaped links: serialization delay, queue build-up,
+// tail drop, and queue-depth observation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/netsim.hpp"
+
+namespace dart::net {
+namespace {
+
+class SinkNode final : public Node {
+ public:
+  void receive(Packet packet, std::uint64_t now_ns) override {
+    sizes.push_back(packet.size());
+    times.push_back(now_ns);
+  }
+  std::vector<std::size_t> sizes;
+  std::vector<std::uint64_t> times;
+};
+
+Packet make_packet(std::size_t n) {
+  return Packet(std::vector<std::byte>(n, std::byte{0x11}));
+}
+
+TEST(LinkShaping, SerializationDelayAddsToLatency) {
+  Simulator sim(1);
+  SinkNode a, b;
+  const auto na = sim.add_node(a);
+  const auto nb = sim.add_node(b);
+  // 1 Gbps: a 1000-byte packet serializes in 8 µs.
+  sim.add_link(na, nb, /*latency_ns=*/1000, nullptr,
+               LinkShape{.bandwidth_bps = 1'000'000'000});
+
+  sim.send(na, nb, make_packet(1000));
+  sim.run();
+  ASSERT_EQ(b.times.size(), 1u);
+  EXPECT_EQ(b.times[0], 8000u + 1000u);
+}
+
+TEST(LinkShaping, BackToBackPacketsQueueBehindEachOther) {
+  Simulator sim(1);
+  SinkNode a, b;
+  const auto na = sim.add_node(a);
+  const auto nb = sim.add_node(b);
+  sim.add_link(na, nb, 0, nullptr, LinkShape{.bandwidth_bps = 1'000'000'000});
+
+  for (int i = 0; i < 3; ++i) sim.send(na, nb, make_packet(1000));
+  sim.run();
+  ASSERT_EQ(b.times.size(), 3u);
+  EXPECT_EQ(b.times[0], 8000u);
+  EXPECT_EQ(b.times[1], 16000u);  // waited for the first
+  EXPECT_EQ(b.times[2], 24000u);
+}
+
+TEST(LinkShaping, QueueDepthVisibleWhileBacklogged) {
+  Simulator sim(1);
+  SinkNode a, b;
+  const auto na = sim.add_node(a);
+  const auto nb = sim.add_node(b);
+  const auto link = sim.add_link(na, nb, 0, nullptr,
+                                 LinkShape{.bandwidth_bps = 1'000'000'000});
+
+  for (int i = 0; i < 5; ++i) sim.send(na, nb, make_packet(1000));
+  // Before draining, all 5 sit in the egress queue.
+  EXPECT_EQ(sim.link_queue_depth(na, nb), 5u);
+  sim.run();
+  EXPECT_EQ(sim.link_queue_depth(na, nb), 0u);
+  EXPECT_EQ(sim.link_stats(link).max_queue, 5u);
+}
+
+TEST(LinkShaping, FullQueueTailDrops) {
+  Simulator sim(1);
+  SinkNode a, b;
+  const auto na = sim.add_node(a);
+  const auto nb = sim.add_node(b);
+  const auto link =
+      sim.add_link(na, nb, 0, nullptr,
+                   LinkShape{.bandwidth_bps = 1'000'000'000, .queue_cap = 3});
+
+  for (int i = 0; i < 10; ++i) sim.send(na, nb, make_packet(1000));
+  sim.run();
+  EXPECT_EQ(b.sizes.size(), 3u);
+  EXPECT_EQ(sim.link_stats(link).queue_drops, 7u);
+}
+
+TEST(LinkShaping, IdleLinkResumesAtLineRate) {
+  Simulator sim(1);
+  SinkNode a, b;
+  const auto na = sim.add_node(a);
+  const auto nb = sim.add_node(b);
+  sim.add_link(na, nb, 0, nullptr, LinkShape{.bandwidth_bps = 1'000'000'000});
+
+  sim.send(na, nb, make_packet(1000));
+  sim.run();  // drains; link idle again
+  // New packet at t=8000 must not queue behind ghosts.
+  sim.schedule(100'000, [&] { sim.send(na, nb, make_packet(1000)); });
+  sim.run();
+  ASSERT_EQ(b.times.size(), 2u);
+  EXPECT_EQ(b.times[1], 108'000u);
+}
+
+TEST(LinkShaping, UnshapedLinkHasNoQueue) {
+  Simulator sim(1);
+  SinkNode a, b;
+  const auto na = sim.add_node(a);
+  const auto nb = sim.add_node(b);
+  sim.add_link(na, nb, 500);
+  for (int i = 0; i < 100; ++i) sim.send(na, nb, make_packet(1500));
+  EXPECT_EQ(sim.link_queue_depth(na, nb), 0u);
+  sim.run();
+  EXPECT_EQ(b.sizes.size(), 100u);
+  // All delivered at the same instant (pure propagation).
+  EXPECT_EQ(b.times.front(), b.times.back());
+}
+
+TEST(LinkShaping, UnknownLinkQueueDepthIsZero) {
+  Simulator sim(1);
+  SinkNode a;
+  const auto na = sim.add_node(a);
+  EXPECT_EQ(sim.link_queue_depth(na, na), 0u);
+}
+
+}  // namespace
+}  // namespace dart::net

@@ -1,0 +1,55 @@
+// Coverage for the Packet buffer + metadata type.
+#include "net/packet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dart::net {
+namespace {
+
+TEST(Packet, DefaultIsEmpty) {
+  Packet p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.size(), 0u);
+}
+
+TEST(Packet, OwnsBytes) {
+  Packet p(std::vector<std::byte>(10, std::byte{0xAA}));
+  EXPECT_EQ(p.size(), 10u);
+  EXPECT_EQ(static_cast<std::uint8_t>(p.bytes()[9]), 0xAA);
+  p.mutable_bytes()[0] = std::byte{0x01};
+  EXPECT_EQ(static_cast<std::uint8_t>(p.bytes()[0]), 0x01);
+}
+
+TEST(Packet, AppendAndTruncate) {
+  Packet p(std::vector<std::byte>(4, std::byte{1}));
+  const std::vector<std::byte> extra(2, std::byte{2});
+  p.append(extra);
+  EXPECT_EQ(p.size(), 6u);
+  p.truncate(3);
+  EXPECT_EQ(p.size(), 3u);
+  p.truncate(100);  // no-op when larger
+  EXPECT_EQ(p.size(), 3u);
+}
+
+TEST(Packet, CloneCopiesBytesAndMetadata) {
+  Packet p(std::vector<std::byte>(5, std::byte{7}));
+  p.meta().ingress_port = 3;
+  p.meta().queue_depth = 42;
+  auto c = p.clone();
+  EXPECT_EQ(c.size(), 5u);
+  EXPECT_EQ(c.meta().ingress_port, 3u);
+  EXPECT_EQ(c.meta().queue_depth, 42u);
+  // Deep copy: mutating the clone leaves the original intact.
+  c.mutable_bytes()[0] = std::byte{9};
+  EXPECT_EQ(static_cast<std::uint8_t>(p.bytes()[0]), 7);
+}
+
+TEST(Packet, AssignReplacesContents) {
+  Packet p(std::vector<std::byte>(5, std::byte{1}));
+  p.assign(std::vector<std::byte>(2, std::byte{2}));
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_EQ(static_cast<std::uint8_t>(p.bytes()[0]), 2);
+}
+
+}  // namespace
+}  // namespace dart::net

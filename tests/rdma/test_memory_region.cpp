@@ -1,0 +1,122 @@
+// Tests for protection domains, MR registration and rkey lookup.
+#include "rdma/memory_region.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dart::rdma {
+namespace {
+
+TEST(MemoryRegistry, RegisterAndFind) {
+  MemoryRegistry reg;
+  const auto pd = reg.alloc_pd();
+  std::vector<std::byte> buf(1024);
+  const auto mr = reg.register_mr(pd, buf, 0x10000, Access::kRemoteWrite);
+  ASSERT_TRUE(mr.ok());
+  EXPECT_NE(mr.value().rkey, 0u);
+  EXPECT_EQ(mr.value().pd, pd);
+
+  const auto* found = reg.find_by_rkey(mr.value().rkey);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->base_vaddr, 0x10000u);
+}
+
+TEST(MemoryRegistry, UnknownRkeyIsNull) {
+  MemoryRegistry reg;
+  EXPECT_EQ(reg.find_by_rkey(0x1234), nullptr);
+}
+
+TEST(MemoryRegistry, BadPdRejected) {
+  MemoryRegistry reg;
+  std::vector<std::byte> buf(64);
+  const auto mr = reg.register_mr(999, buf, 0, Access::kRemoteWrite);
+  ASSERT_FALSE(mr.ok());
+  EXPECT_EQ(mr.error().code, "bad_pd");
+}
+
+TEST(MemoryRegistry, EmptyBufferRejected) {
+  MemoryRegistry reg;
+  const auto pd = reg.alloc_pd();
+  const auto mr = reg.register_mr(pd, {}, 0, Access::kRemoteWrite);
+  ASSERT_FALSE(mr.ok());
+  EXPECT_EQ(mr.error().code, "empty_mr");
+}
+
+TEST(MemoryRegistry, OverlappingVaddrRangesRejected) {
+  MemoryRegistry reg;
+  const auto pd = reg.alloc_pd();
+  std::vector<std::byte> a(100), b(100);
+  ASSERT_TRUE(reg.register_mr(pd, a, 0x1000, Access::kRemoteWrite).ok());
+  // Overlaps [0x1000, 0x1064).
+  const auto mr = reg.register_mr(pd, b, 0x1050, Access::kRemoteWrite);
+  ASSERT_FALSE(mr.ok());
+  EXPECT_EQ(mr.error().code, "mr_overlap");
+  // Adjacent (non-overlapping) is fine.
+  EXPECT_TRUE(reg.register_mr(pd, b, 0x1064, Access::kRemoteWrite).ok());
+}
+
+TEST(MemoryRegistry, DeregisterRemoves) {
+  MemoryRegistry reg;
+  const auto pd = reg.alloc_pd();
+  std::vector<std::byte> buf(64);
+  const auto mr = reg.register_mr(pd, buf, 0, Access::kRemoteWrite);
+  ASSERT_TRUE(mr.ok());
+  EXPECT_EQ(reg.mr_count(), 1u);
+  EXPECT_TRUE(reg.deregister_mr(mr.value().handle).ok());
+  EXPECT_EQ(reg.mr_count(), 0u);
+  EXPECT_EQ(reg.find_by_rkey(mr.value().rkey), nullptr);
+  EXPECT_FALSE(reg.deregister_mr(mr.value().handle).ok());
+}
+
+TEST(MemoryRegistry, RkeysAreUnpredictablyDistinct) {
+  MemoryRegistry reg;
+  const auto pd = reg.alloc_pd();
+  std::vector<std::byte> a(16), b(16);
+  const auto m1 = reg.register_mr(pd, a, 0x0, Access::kRemoteWrite);
+  const auto m2 = reg.register_mr(pd, b, 0x100, Access::kRemoteWrite);
+  ASSERT_TRUE(m1.ok());
+  ASSERT_TRUE(m2.ok());
+  EXPECT_NE(m1.value().rkey, m2.value().rkey);
+  // Different seeds → different rkeys for the same registration sequence.
+  MemoryRegistry reg2(0x1234);
+  const auto pd2 = reg2.alloc_pd();
+  std::vector<std::byte> c(16);
+  const auto m3 = reg2.register_mr(pd2, c, 0x0, Access::kRemoteWrite);
+  ASSERT_TRUE(m3.ok());
+  EXPECT_NE(m3.value().rkey, m1.value().rkey);
+}
+
+TEST(MemoryRegion, ContainsBoundsChecks) {
+  MemoryRegion mr;
+  std::vector<std::byte> buf(100);
+  mr.base_vaddr = 0x1000;
+  mr.buffer = buf;
+  EXPECT_TRUE(mr.contains(0x1000, 100));
+  EXPECT_TRUE(mr.contains(0x1063, 1));
+  EXPECT_FALSE(mr.contains(0x0FFF, 1));    // below base
+  EXPECT_FALSE(mr.contains(0x1064, 1));    // past end
+  EXPECT_FALSE(mr.contains(0x1000, 101));  // too long
+  EXPECT_FALSE(mr.contains(0x1063, 2));    // straddles end
+}
+
+TEST(MemoryRegion, ContainsIsOverflowSafe) {
+  MemoryRegion mr;
+  std::vector<std::byte> buf(16);
+  mr.base_vaddr = 0xFFFFFFFFFFFFFFF0ull;
+  mr.buffer = buf;
+  // vaddr + len would wrap; contains must not be fooled.
+  EXPECT_FALSE(mr.contains(0xFFFFFFFFFFFFFFF8ull, 16));
+  EXPECT_TRUE(mr.contains(0xFFFFFFFFFFFFFFF0ull, 16));
+}
+
+TEST(Access, FlagAlgebra) {
+  const auto rw = Access::kRemoteWrite | Access::kRemoteAtomic;
+  EXPECT_TRUE(has_access(rw, Access::kRemoteWrite));
+  EXPECT_TRUE(has_access(rw, Access::kRemoteAtomic));
+  EXPECT_FALSE(has_access(Access::kRemoteWrite, Access::kRemoteAtomic));
+  EXPECT_TRUE(has_access(rw, Access::kNone));
+}
+
+}  // namespace
+}  // namespace dart::rdma

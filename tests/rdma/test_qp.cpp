@@ -1,0 +1,95 @@
+// Tests for queue-pair PSN policies — the loss-tolerance semantics DART
+// receivers need (switches never retransmit reports).
+#include "rdma/qp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dart::rdma {
+namespace {
+
+TEST(QueuePair, StrictAcceptsOnlyExpected) {
+  QueuePair qp(1, QpType::kRc, 1, PsnPolicy::kStrict);
+  EXPECT_TRUE(qp.accept_psn(0));
+  EXPECT_TRUE(qp.accept_psn(1));
+  EXPECT_FALSE(qp.accept_psn(3));  // gap not allowed
+  EXPECT_FALSE(qp.accept_psn(1));  // duplicate
+  EXPECT_TRUE(qp.accept_psn(2));
+  EXPECT_EQ(qp.counters().accepted, 3u);
+  EXPECT_EQ(qp.counters().psn_stale, 2u);
+}
+
+TEST(QueuePair, TolerateLossAcceptsGaps) {
+  QueuePair qp(1, QpType::kRc, 1, PsnPolicy::kTolerateLoss);
+  EXPECT_TRUE(qp.accept_psn(0));
+  EXPECT_TRUE(qp.accept_psn(5));  // 4 reports lost
+  EXPECT_EQ(qp.counters().psn_gaps, 4u);
+  EXPECT_FALSE(qp.accept_psn(3));  // behind the window: stale
+  EXPECT_EQ(qp.counters().psn_stale, 1u);
+  EXPECT_TRUE(qp.accept_psn(6));
+  EXPECT_EQ(qp.counters().accepted, 3u);
+}
+
+TEST(QueuePair, TolerateLossRejectsDuplicates) {
+  QueuePair qp(1, QpType::kRc, 1, PsnPolicy::kTolerateLoss);
+  EXPECT_TRUE(qp.accept_psn(10));
+  EXPECT_FALSE(qp.accept_psn(10));
+}
+
+TEST(QueuePair, PsnWrapsAt24Bits) {
+  QueuePair qp(1, QpType::kRc, 1, PsnPolicy::kTolerateLoss);
+  qp.set_expected_psn(0x00FFFFFF);
+  EXPECT_TRUE(qp.accept_psn(0x00FFFFFF));
+  // Expected is now 0 (wrapped); PSN 0 must be accepted as "next".
+  EXPECT_EQ(qp.expected_psn(), 0u);
+  EXPECT_TRUE(qp.accept_psn(0));
+  EXPECT_TRUE(qp.accept_psn(1));
+}
+
+TEST(QueuePair, HalfWindowBoundary) {
+  QueuePair qp(1, QpType::kRc, 1, PsnPolicy::kTolerateLoss);
+  qp.set_expected_psn(0);
+  // Just under half the 24-bit space ahead: accepted as loss.
+  EXPECT_TRUE(qp.accept_psn(0x007FFFFF));
+  // Now something "behind" by a lot must be stale.
+  EXPECT_FALSE(qp.accept_psn(0x00000005));
+}
+
+TEST(QueuePair, UcAcceptsEverything) {
+  QueuePair qp(1, QpType::kUc, 1, PsnPolicy::kStrict);
+  EXPECT_TRUE(qp.accept_psn(100));
+  EXPECT_TRUE(qp.accept_psn(5));
+  EXPECT_TRUE(qp.accept_psn(5));
+  EXPECT_EQ(qp.counters().accepted, 3u);
+}
+
+TEST(QueuePair, IgnorePolicyAcceptsEverything) {
+  QueuePair qp(1, QpType::kRc, 1, PsnPolicy::kIgnore);
+  EXPECT_TRUE(qp.accept_psn(7));
+  EXPECT_TRUE(qp.accept_psn(7));
+}
+
+TEST(QpRegistry, CreateAndFind) {
+  QpRegistry reg;
+  EXPECT_TRUE(reg.create(0x100, QpType::kRc, 1).ok());
+  EXPECT_NE(reg.find(0x100), nullptr);
+  EXPECT_EQ(reg.find(0x101), nullptr);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(QpRegistry, DuplicateQpnRejected) {
+  QpRegistry reg;
+  ASSERT_TRUE(reg.create(5, QpType::kRc, 1).ok());
+  const auto st = reg.create(5, QpType::kUc, 1);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, "qp_exists");
+}
+
+TEST(QpRegistry, QpnMustBe24Bit) {
+  QpRegistry reg;
+  const auto st = reg.create(0x01000000, QpType::kRc, 1);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, "bad_qpn");
+}
+
+}  // namespace
+}  // namespace dart::rdma

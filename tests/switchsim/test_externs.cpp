@@ -1,0 +1,97 @@
+// Tests for the P4 extern models: RNG, CRC, hash engine, I2E mirror.
+#include "switchsim/externs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/hash.hpp"
+
+namespace dart::switchsim {
+namespace {
+
+std::span<const std::byte> bytes_of(const std::string& s) {
+  return std::as_bytes(std::span{s.data(), s.size()});
+}
+
+TEST(RngExtern, InBoundsAndDeterministic) {
+  RngExtern a(1), b(1);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next(4);
+    EXPECT_LT(va, 4u);
+    EXPECT_EQ(va, b.next(4));
+  }
+}
+
+TEST(RngExtern, CoversAllSlots) {
+  RngExtern rng(2);
+  std::array<int, 4> counts{};
+  for (int i = 0; i < 4000; ++i) ++counts[rng.next(4)];
+  for (const int c : counts) EXPECT_GT(c, 800);
+}
+
+TEST(CrcExtern, MatchesLibraryCrc) {
+  CrcExtern crc;
+  const std::string s = "123456789";
+  EXPECT_EQ(crc.crc32(bytes_of(s)), 0xCBF43926u);
+  EXPECT_EQ(crc.crc16(bytes_of(s)), 0x29B1);
+}
+
+TEST(HashEngine, AgreesWithHashFamily) {
+  // The switch's hash units and a query client's HashFamily must be the same
+  // function — this equality is DART's correctness linchpin.
+  HashEngine engine(4, 0xDA27);
+  const HashFamily family(4, 0xDA27);
+  const std::string key = "flow-xyz";
+  const auto kb = bytes_of(key);
+  EXPECT_EQ(engine.collector_id(kb, 32), family.collector_of(kb, 32));
+  for (std::uint32_t n = 0; n < 4; ++n) {
+    EXPECT_EQ(engine.slot_index(kb, n, 1 << 20),
+              family.address_of(kb, n, 1 << 20));
+  }
+  EXPECT_EQ(engine.key_checksum(kb, 32), family.checksum_of(kb, 32));
+}
+
+TEST(Mirror, CloneTruncatesAndTags) {
+  MirrorExtern mirror;
+  mirror.configure({.id = 5, .truncate_len = 64});
+
+  net::Packet original(std::vector<std::byte>(200, std::byte{0xAB}));
+  original.meta().ingress_port = 3;
+
+  const auto clone = mirror.clone(original, 5);
+  EXPECT_EQ(clone.size(), 64u);
+  EXPECT_TRUE(clone.meta().is_mirror_clone);
+  EXPECT_EQ(clone.meta().mirror_session, 5u);
+  EXPECT_EQ(clone.meta().ingress_port, 3u);  // metadata carried over
+  EXPECT_EQ(mirror.clones_emitted(), 1u);
+  // Original untouched.
+  EXPECT_EQ(original.size(), 200u);
+  EXPECT_FALSE(original.meta().is_mirror_clone);
+}
+
+TEST(Mirror, UnknownSessionYieldsEmpty) {
+  MirrorExtern mirror;
+  net::Packet original(std::vector<std::byte>(10, std::byte{1}));
+  const auto clone = mirror.clone(original, 99);
+  EXPECT_TRUE(clone.empty());
+  EXPECT_FALSE(clone.meta().is_mirror_clone);
+}
+
+TEST(Mirror, SessionReconfiguration) {
+  MirrorExtern mirror;
+  mirror.configure({.id = 1, .truncate_len = 100});
+  mirror.configure({.id = 1, .truncate_len = 10});
+  net::Packet original(std::vector<std::byte>(50, std::byte{1}));
+  EXPECT_EQ(mirror.clone(original, 1).size(), 10u);
+}
+
+TEST(Mirror, ShortPacketNotPadded) {
+  MirrorExtern mirror;
+  mirror.configure({.id = 1, .truncate_len = 128});
+  net::Packet original(std::vector<std::byte>(40, std::byte{1}));
+  EXPECT_EQ(mirror.clone(original, 1).size(), 40u);
+}
+
+}  // namespace
+}  // namespace dart::switchsim

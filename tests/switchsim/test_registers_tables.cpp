@@ -1,0 +1,76 @@
+// Tests for the register-array and match-action-table primitives.
+#include "switchsim/registers.hpp"
+#include "switchsim/tables.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dart::switchsim {
+namespace {
+
+TEST(RegisterArray, InitialValue) {
+  RegisterArray<std::uint32_t> regs(8, 42);
+  for (std::size_t i = 0; i < regs.size(); ++i) EXPECT_EQ(regs.read(i), 42u);
+}
+
+TEST(RegisterArray, WriteAndRead) {
+  RegisterArray<std::uint32_t> regs(4);
+  regs.write(2, 99);
+  EXPECT_EQ(regs.read(2), 99u);
+  EXPECT_EQ(regs.read(0), 0u);
+}
+
+TEST(RegisterArray, RmwReturnsOldValue) {
+  RegisterArray<std::uint32_t> regs(2);
+  const auto old = regs.rmw(0, [](std::uint32_t v) { return v + 5; });
+  EXPECT_EQ(old, 0u);
+  EXPECT_EQ(regs.read(0), 5u);
+  const auto old2 = regs.rmw(0, [](std::uint32_t v) { return v * 2; });
+  EXPECT_EQ(old2, 5u);
+  EXPECT_EQ(regs.read(0), 10u);
+}
+
+TEST(RegisterArray, PsnCounterIdiom) {
+  // The DART pipeline's per-collector PSN register (§6): 24-bit wrap.
+  RegisterArray<std::uint32_t> psn(1);
+  psn.write(0, 0x00FFFFFF);
+  const auto old =
+      psn.rmw(0, [](std::uint32_t v) { return (v + 1) & 0x00FFFFFFu; });
+  EXPECT_EQ(old, 0x00FFFFFFu);
+  EXPECT_EQ(psn.read(0), 0u);
+}
+
+TEST(RegisterArray, SramAccounting) {
+  RegisterArray<std::uint32_t> regs(1000);
+  EXPECT_EQ(regs.sram_bytes(), 4000u);
+}
+
+TEST(ExactTable, HitAndMiss) {
+  ExactTable<std::uint32_t, int> t;
+  t.insert(7, 70);
+  const auto hit = t.lookup(7);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 70);
+  EXPECT_FALSE(t.lookup(8).has_value());
+}
+
+TEST(ExactTable, OverwriteAndRemove) {
+  ExactTable<std::uint32_t, int> t;
+  t.insert(1, 10);
+  t.insert(1, 20);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(*t.lookup(1), 20);
+  t.remove(1);
+  EXPECT_FALSE(t.lookup(1).has_value());
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(ExactTable, SramScalesWithEntries) {
+  ExactTable<std::uint32_t, std::uint64_t> t;
+  EXPECT_EQ(t.sram_bytes(), 0u);
+  t.insert(1, 1);
+  t.insert(2, 2);
+  EXPECT_EQ(t.sram_bytes(), 2 * (4 + 8));
+}
+
+}  // namespace
+}  // namespace dart::switchsim

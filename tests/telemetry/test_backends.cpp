@@ -1,0 +1,138 @@
+// Tests for the Table-1 backend adapters: key uniqueness across domains,
+// value encodings, and end-to-end storage through a DartStore.
+#include "telemetry/backends.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/query.hpp"
+#include "core/store.hpp"
+
+namespace dart::telemetry {
+namespace {
+
+FiveTuple tuple(std::uint16_t port = 1000) {
+  FiveTuple t;
+  t.src_ip = net::Ipv4Addr::from_octets(10, 0, 0, 1);
+  t.dst_ip = net::Ipv4Addr::from_octets(10, 0, 0, 2);
+  t.src_port = port;
+  t.dst_port = 80;
+  return t;
+}
+
+TEST(Backends, InbandRecordKeyIsFlowTuple) {
+  IntStack stack;
+  stack.push_hop({.switch_id = 3});
+  const auto rec = make_inband_record(tuple(), stack, 20);
+  const auto expect = tuple().key_bytes();
+  ASSERT_EQ(rec.key.size(), expect.size());
+  EXPECT_TRUE(std::equal(rec.key.begin(), rec.key.end(), expect.begin()));
+  EXPECT_EQ(rec.value.size(), 20u);
+}
+
+TEST(Backends, PostcardKeyIncludesSwitch) {
+  const auto k1 = postcard_key(1, tuple());
+  const auto k2 = postcard_key(2, tuple());
+  EXPECT_NE(k1, k2);
+  EXPECT_EQ(k1.size(), 17u);  // 4B switch + 13B tuple
+}
+
+TEST(Backends, PostcardRecordRoundTrip) {
+  const IntHopMetadata hop{.switch_id = 9, .queue_depth = 5,
+                           .hop_latency_ns = 777};
+  const auto rec = make_postcard_record(9, tuple(), hop, 12);
+  EXPECT_EQ(rec.value.size(), 12u);
+  // Value layout: switch(4) ‖ queue(4) ‖ latency(4), big-endian.
+  EXPECT_EQ(static_cast<std::uint8_t>(rec.value[3]), 9);
+  EXPECT_EQ(static_cast<std::uint8_t>(rec.value[7]), 5);
+  EXPECT_EQ(static_cast<std::uint8_t>(rec.value[11]), 777 & 0xFF);
+}
+
+TEST(Backends, QueryMirrorRecord) {
+  std::vector<std::byte> answer{std::byte{1}, std::byte{2}};
+  const auto rec = make_query_mirror_record(42, answer, 8);
+  EXPECT_EQ(rec.key, query_mirror_key(42));
+  EXPECT_EQ(static_cast<std::uint8_t>(rec.value[0]), 1);
+  EXPECT_EQ(rec.value.size(), 8u);
+}
+
+TEST(Backends, TraceAnalysisKeyedByAnalysisAndObject) {
+  EXPECT_NE(trace_analysis_key(1, 100), trace_analysis_key(1, 101));
+  EXPECT_NE(trace_analysis_key(1, 100), trace_analysis_key(2, 100));
+}
+
+TEST(Backends, AnomalyRecordRoundTrip) {
+  FlowAnomalyEvent ev;
+  ev.flow = tuple();
+  ev.kind = AnomalyKind::kRttSpike;
+  ev.timestamp_ns = 0x0102030405060708ull;
+  ev.magnitude = 42;
+  const auto rec = make_anomaly_record(ev, 12);
+  const auto decoded = decode_anomaly_value(rec.value);
+  EXPECT_EQ(decoded.timestamp_ns, ev.timestamp_ns);
+  EXPECT_EQ(decoded.magnitude, 42u);
+}
+
+TEST(Backends, AnomalyKeyPerKind) {
+  EXPECT_NE(anomaly_key(tuple(), AnomalyKind::kRttSpike),
+            anomaly_key(tuple(), AnomalyKind::kPacketDropRun));
+}
+
+TEST(Backends, FailureRecordRoundTrip) {
+  NetworkFailureEvent ev;
+  ev.failure_id = 7;
+  ev.location = 13;
+  ev.timestamp_ns = 999999;
+  ev.debug_code = 0xDEAD;
+  const auto rec = make_failure_record(ev, 12);
+  EXPECT_EQ(rec.key, failure_key(7, 13));
+  const auto decoded = decode_failure_value(rec.value);
+  EXPECT_EQ(decoded.timestamp_ns, 999999u);
+  EXPECT_EQ(decoded.debug_code, 0xDEADu);
+}
+
+TEST(Backends, DomainsNeverCollideOnKeys) {
+  // Different backends writing into ONE shared store must use disjoint key
+  // spaces — the domain tags guarantee it for same-sized prefixes.
+  std::set<std::vector<std::byte>> keys;
+  keys.insert(postcard_key(1, tuple()));
+  keys.insert(query_mirror_key(1));
+  keys.insert(trace_analysis_key(1, 1));
+  keys.insert(anomaly_key(tuple(), AnomalyKind::kRetransmissionBurst));
+  keys.insert(failure_key(1, 1));
+  const auto fk = tuple().key_bytes();
+  keys.insert(std::vector<std::byte>(fk.begin(), fk.end()));
+  EXPECT_EQ(keys.size(), 6u);
+}
+
+TEST(Backends, AllBackendsStoreAndQueryThroughOneDartStore) {
+  // Table 1's point: one collection structure serves every technique.
+  core::DartConfig cfg;
+  cfg.n_slots = 1 << 14;
+  cfg.n_addresses = 2;
+  cfg.value_bytes = 20;
+  cfg.master_seed = 77;
+  core::DartStore store(cfg);
+  const core::QueryEngine q(store);
+
+  IntStack stack;
+  stack.push_hop({.switch_id = 1});
+  const auto recs = std::vector<TelemetryRecord>{
+      make_inband_record(tuple(1), stack, 20),
+      make_postcard_record(5, tuple(2), {.switch_id = 5}, 20),
+      make_query_mirror_record(3, {}, 20),
+      make_trace_analysis_record(1, 2, {}, 20),
+      make_anomaly_record({.flow = tuple(3)}, 20),
+      make_failure_record({.failure_id = 4, .location = 5}, 20),
+  };
+  for (const auto& rec : recs) store.write(rec.key, rec.value);
+  for (const auto& rec : recs) {
+    const auto r = q.resolve(rec.key);
+    ASSERT_EQ(r.outcome, core::QueryOutcome::kFound);
+    EXPECT_EQ(r.value, rec.value);
+  }
+}
+
+}  // namespace
+}  // namespace dart::telemetry

@@ -1,0 +1,142 @@
+// Tests for switch-side event-triggered reporting (§2).
+#include "telemetry/event_detect.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/oracle.hpp"
+#include "switchsim/topology.hpp"
+#include "telemetry/workload.hpp"
+
+namespace dart::telemetry {
+namespace {
+
+using dart::core::sim_key;
+
+ChangeDetectorConfig config(std::uint32_t threshold = 0,
+                            std::uint64_t interval = 0,
+                            std::uint32_t table = 1 << 12) {
+  ChangeDetectorConfig cfg;
+  cfg.table_size = table;
+  cfg.threshold = threshold;
+  cfg.min_interval_ns = interval;
+  return cfg;
+}
+
+TEST(ChangeDetector, NewFlowAlwaysReports) {
+  ChangeDetector det(config());
+  EXPECT_TRUE(det.observe(sim_key(1), 100, 0));
+  EXPECT_TRUE(det.observe(sim_key(2), 100, 0));
+  EXPECT_EQ(det.stats().new_flows, 2u);
+  EXPECT_EQ(det.stats().reports, 2u);
+}
+
+TEST(ChangeDetector, UnchangedValueSuppressed) {
+  ChangeDetector det(config());
+  EXPECT_TRUE(det.observe(sim_key(1), 100, 0));
+  for (int i = 1; i <= 10; ++i) {
+    EXPECT_FALSE(det.observe(sim_key(1), 100, i));
+  }
+  EXPECT_EQ(det.stats().suppressed_unchanged, 10u);
+  EXPECT_EQ(det.stats().reports, 1u);
+}
+
+TEST(ChangeDetector, ChangeTriggersReport) {
+  ChangeDetector det(config());
+  EXPECT_TRUE(det.observe(sim_key(1), 100, 0));
+  EXPECT_TRUE(det.observe(sim_key(1), 150, 1));
+  EXPECT_FALSE(det.observe(sim_key(1), 150, 2));
+  EXPECT_EQ(det.stats().reports, 2u);
+}
+
+TEST(ChangeDetector, ThresholdFiltersSmallChanges) {
+  ChangeDetector det(config(/*threshold=*/10));
+  EXPECT_TRUE(det.observe(sim_key(1), 100, 0));
+  EXPECT_FALSE(det.observe(sim_key(1), 105, 1));   // |Δ|=5 ≤ 10
+  EXPECT_FALSE(det.observe(sim_key(1), 95, 2));    // vs last REPORTED (100)
+  EXPECT_TRUE(det.observe(sim_key(1), 120, 3));    // |Δ|=20 > 10
+  EXPECT_EQ(det.stats().reports, 2u);
+}
+
+TEST(ChangeDetector, RateLimitSuppressesBursts) {
+  ChangeDetector det(config(0, /*interval=*/1000));
+  EXPECT_TRUE(det.observe(sim_key(1), 1, 0));
+  EXPECT_FALSE(det.observe(sim_key(1), 2, 100));   // changed but too soon
+  EXPECT_FALSE(det.observe(sim_key(1), 3, 999));
+  EXPECT_TRUE(det.observe(sim_key(1), 4, 1000));   // window elapsed
+  EXPECT_EQ(det.stats().suppressed_ratelimited, 2u);
+}
+
+TEST(ChangeDetector, CollisionEvictsAndReports) {
+  // 1-entry table: every distinct flow evicts the previous one.
+  ChangeDetector det(config(0, 0, /*table=*/1));
+  EXPECT_TRUE(det.observe(sim_key(1), 5, 0));
+  EXPECT_TRUE(det.observe(sim_key(2), 5, 1));  // evicts flow 1
+  EXPECT_TRUE(det.observe(sim_key(1), 5, 2));  // flow 1 is "new" again
+  EXPECT_EQ(det.stats().evictions, 2u);
+  EXPECT_EQ(det.stats().reports, 3u);
+}
+
+TEST(ChangeDetector, SramAccounting) {
+  ChangeDetector det(config(0, 0, 1 << 16));
+  EXPECT_EQ(det.sram_bytes(), (1u << 16) * 16u);  // 16 B/entry
+}
+
+TEST(ChangeDetector, ZeroTableClampedToOne) {
+  ChangeDetector det(config(0, 0, 0));
+  EXPECT_TRUE(det.observe(sim_key(1), 1, 0));
+}
+
+TEST(ChangeDetector, SuppressionOnStableSkewedTraffic) {
+  // The §2 claim's shape: per-packet telemetry over mostly-stable flows
+  // collapses to a small report stream once events, not packets, trigger
+  // reporting. Zipf traffic, values change rarely.
+  const switchsim::FatTree topo(8);
+  FlowSampler sampler(topo, 2000, 1.1, 3);
+  // Table sized well above the flow count: collisions (which re-report on
+  // every eviction) stay rare. The eviction counter shows the residue.
+  ChangeDetector det(config(/*threshold=*/8, /*interval=*/0, 1 << 17));
+  Xoshiro256 rng(5);
+
+  std::vector<std::uint32_t> flow_value(2000, 100);
+  constexpr int kPackets = 200'000;
+  for (int p = 0; p < kPackets; ++p) {
+    const auto idx = rng.below(2000);
+    // 1% of packets carry a real change (e.g. queue spike).
+    if (rng.chance(0.01)) {
+      flow_value[idx] += 50;
+    }
+    const auto key = sampler.flow(idx).tuple.key_bytes();
+    (void)det.observe(key, flow_value[idx], static_cast<std::uint64_t>(p));
+  }
+  // Report fraction ≈ change rate + new-flow transient + eviction residue,
+  // far below the per-packet rate.
+  EXPECT_LT(det.stats().report_fraction(), 0.06);
+  EXPECT_GT(det.stats().report_fraction(), 0.005);
+  EXPECT_EQ(det.stats().observations, static_cast<std::uint64_t>(kPackets));
+  // Eviction churn must be a minor contributor at this table size.
+  EXPECT_LT(det.stats().evictions, det.stats().reports / 2);
+}
+
+TEST(ChangeDetector, EveryChangeIsEventuallyReported) {
+  // No threshold, no rate limit, no collisions: every value change must
+  // produce exactly one report.
+  ChangeDetector det(config(0, 0, 1 << 16));
+  std::uint64_t expected = 0;
+  std::uint32_t value = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (i % 7 == 0) {
+      ++value;
+    }
+    const bool reported = det.observe(sim_key(42), value, i);
+    if (i == 0 || i % 7 == 0) {
+      EXPECT_TRUE(reported) << i;
+      ++expected;
+    } else {
+      EXPECT_FALSE(reported) << i;
+    }
+  }
+  EXPECT_EQ(det.stats().reports, expected);
+}
+
+}  // namespace
+}  // namespace dart::telemetry

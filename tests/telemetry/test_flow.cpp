@@ -1,0 +1,66 @@
+// Tests for the flow 5-tuple key encoding.
+#include "telemetry/flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace dart::telemetry {
+namespace {
+
+FiveTuple tuple() {
+  FiveTuple t;
+  t.src_ip = net::Ipv4Addr::from_octets(10, 1, 2, 3);
+  t.dst_ip = net::Ipv4Addr::from_octets(10, 4, 5, 6);
+  t.src_port = 0x1234;
+  t.dst_port = 0x5678;
+  t.protocol = 6;
+  return t;
+}
+
+TEST(FiveTuple, KeyBytesLayout) {
+  const auto k = tuple().key_bytes();
+  ASSERT_EQ(k.size(), 13u);
+  EXPECT_EQ(static_cast<std::uint8_t>(k[0]), 10);  // src ip, big-endian
+  EXPECT_EQ(static_cast<std::uint8_t>(k[3]), 3);
+  EXPECT_EQ(static_cast<std::uint8_t>(k[4]), 10);  // dst ip
+  EXPECT_EQ(static_cast<std::uint8_t>(k[8]), 0x12);   // src port
+  EXPECT_EQ(static_cast<std::uint8_t>(k[9]), 0x34);
+  EXPECT_EQ(static_cast<std::uint8_t>(k[10]), 0x56);  // dst port
+  EXPECT_EQ(static_cast<std::uint8_t>(k[12]), 6);     // protocol
+}
+
+TEST(FiveTuple, EqualityAndKeyAgree) {
+  const FiveTuple a = tuple();
+  FiveTuple b = tuple();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.key_bytes(), b.key_bytes());
+  b.src_port = 9;
+  EXPECT_NE(a, b);
+  EXPECT_NE(a.key_bytes(), b.key_bytes());
+}
+
+TEST(FiveTuple, DirectionMatters) {
+  FiveTuple fwd = tuple();
+  FiveTuple rev = tuple();
+  std::swap(rev.src_ip, rev.dst_ip);
+  std::swap(rev.src_port, rev.dst_port);
+  EXPECT_NE(fwd.key_bytes(), rev.key_bytes());
+}
+
+TEST(FiveTuple, StringForm) {
+  EXPECT_EQ(tuple().str(), "10.1.2.3:4660->10.4.5.6:22136/6");
+}
+
+TEST(FiveTupleHash, UsableInUnorderedSet) {
+  std::unordered_set<FiveTuple, FiveTupleHash> set;
+  set.insert(tuple());
+  set.insert(tuple());  // duplicate
+  FiveTuple other = tuple();
+  other.dst_port = 1;
+  set.insert(other);
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace dart::telemetry

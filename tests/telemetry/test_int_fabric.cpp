@@ -1,0 +1,160 @@
+// Tests for the end-to-end INT fabric: in-band tracing, postcards, loss,
+// and path queryability — the paper's running example at test scale.
+#include "telemetry/int_fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace dart::telemetry {
+namespace {
+
+IntFabricConfig fabric_config(std::uint32_t collectors = 1,
+                              double loss = 0.0) {
+  IntFabricConfig cfg;
+  cfg.fat_tree_k = 4;
+  cfg.dart.n_slots = 1 << 14;
+  cfg.dart.n_addresses = 2;
+  cfg.dart.checksum_bits = 32;
+  cfg.dart.value_bytes = 20;
+  cfg.dart.master_seed = 0xFAB;
+  cfg.n_collectors = collectors;
+  cfg.switch_write_mode = core::WriteMode::kAllSlots;
+  cfg.report_loss_rate = loss;
+  cfg.seed = 9;
+  return cfg;
+}
+
+TEST(IntFabric, TraceThenQueryRecoversPath) {
+  IntFabric fabric(fabric_config());
+  FlowGenerator gen(fabric.topology(), 4);
+
+  const auto flow = gen.next_flow();
+  const auto path = fabric.trace_flow(flow);
+  ASSERT_FALSE(path.empty());
+
+  const auto queried = fabric.query_path(flow.tuple);
+  ASSERT_TRUE(queried.has_value());
+  EXPECT_EQ(*queried, path);
+}
+
+TEST(IntFabric, ReportsFlowThroughRealRnic) {
+  IntFabric fabric(fabric_config());
+  FlowGenerator gen(fabric.topology(), 4);
+  for (int i = 0; i < 20; ++i) {
+    (void)fabric.trace_flow(gen.next_flow());
+  }
+  EXPECT_EQ(fabric.stats().flows_traced, 20u);
+  // kAllSlots: N=2 frames per flow, all delivered.
+  EXPECT_EQ(fabric.stats().reports_emitted, 40u);
+  EXPECT_EQ(fabric.stats().reports_delivered, 40u);
+  std::uint64_t rnic_writes = 0;
+  for (std::uint32_t c = 0; c < fabric.cluster().size(); ++c) {
+    rnic_writes += fabric.cluster().collector(c).ingest_counters().writes;
+  }
+  EXPECT_EQ(rnic_writes, 40u);
+}
+
+TEST(IntFabric, ManyFlowsHighQueryabilityAtLowLoad) {
+  IntFabric fabric(fabric_config());
+  FlowGenerator gen(fabric.topology(), 4);
+  std::vector<FlowEndpoints> flows;
+  std::vector<std::vector<std::uint32_t>> paths;
+  for (int i = 0; i < 500; ++i) {
+    flows.push_back(gen.next_flow());
+    paths.push_back(fabric.trace_flow(flows.back()));
+  }
+  int correct = 0;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const auto q = fabric.query_path(flows[i].tuple);
+    if (q.has_value() && *q == paths[i]) ++correct;
+  }
+  // α = 500/16384 ≈ 0.03 → near-perfect queryability.
+  EXPECT_GE(correct, 490);
+}
+
+TEST(IntFabric, PathsMatchTopologyRouting) {
+  IntFabric fabric(fabric_config());
+  FlowGenerator gen(fabric.topology(), 4);
+  for (int i = 0; i < 50; ++i) {
+    const auto flow = gen.next_flow();
+    const auto path = fabric.trace_flow(flow);
+    ASSERT_TRUE(path.size() == 1 || path.size() == 3 || path.size() == 5);
+    EXPECT_EQ(path.front(), fabric.topology().host_edge(flow.src_host));
+    EXPECT_EQ(path.back(), fabric.topology().host_edge(flow.dst_host));
+  }
+}
+
+TEST(IntFabric, MultiCollectorSharding) {
+  IntFabric fabric(fabric_config(/*collectors=*/4));
+  FlowGenerator gen(fabric.topology(), 4);
+  std::vector<FlowEndpoints> flows;
+  for (int i = 0; i < 200; ++i) {
+    flows.push_back(gen.next_flow());
+    (void)fabric.trace_flow(flows.back());
+  }
+  // Every collector ingested something.
+  int active = 0;
+  for (std::uint32_t c = 0; c < 4; ++c) {
+    if (fabric.cluster().collector(c).ingest_counters().writes > 0) ++active;
+  }
+  EXPECT_EQ(active, 4);
+  // And queries still resolve (routing agrees with reporting).
+  int found = 0;
+  for (const auto& f : flows) {
+    if (fabric.query_path(f.tuple).has_value()) ++found;
+  }
+  EXPECT_GE(found, 195);
+}
+
+TEST(IntFabric, LossReducesDeliveryButRedundancySaves) {
+  IntFabric fabric(fabric_config(1, /*loss=*/0.3));
+  FlowGenerator gen(fabric.topology(), 4);
+  std::vector<FlowEndpoints> flows;
+  for (int i = 0; i < 500; ++i) {
+    flows.push_back(gen.next_flow());
+    (void)fabric.trace_flow(flows.back());
+  }
+  EXPECT_GT(fabric.stats().reports_lost, 0u);
+  int found = 0;
+  for (const auto& f : flows) {
+    if (fabric.query_path(f.tuple).has_value()) ++found;
+  }
+  // Each flow needs ≥1 of its 2 reports delivered: P ≈ 1 - 0.3² = 0.91.
+  EXPECT_NEAR(static_cast<double>(found) / 500.0, 0.91, 0.05);
+}
+
+TEST(IntFabric, PostcardModeQueriesPerSwitch) {
+  IntFabric fabric(fabric_config());
+  FlowGenerator gen(fabric.topology(), 4);
+  const auto flow = gen.next_flow();
+  const auto path = fabric.postcard_flow(flow);
+  for (const auto sw : path) {
+    const auto hop = fabric.query_postcard(sw, flow.tuple);
+    ASSERT_TRUE(hop.has_value()) << "switch " << sw;
+    EXPECT_EQ(hop->switch_id, IntFabric::int_id(sw));
+  }
+  // A switch off the path has no postcard.
+  std::uint32_t off_path = 0;
+  while (std::find(path.begin(), path.end(), off_path) != path.end()) {
+    ++off_path;
+  }
+  EXPECT_FALSE(fabric.query_postcard(off_path, flow.tuple).has_value());
+}
+
+TEST(IntFabric, IntIdMappingAvoidsZero) {
+  EXPECT_EQ(IntFabric::int_id(0), 1u);
+  EXPECT_EQ(IntFabric::topo_id(IntFabric::int_id(17)), 17u);
+}
+
+TEST(IntFabric, StochasticModeDeliversOneReportPerFlow) {
+  auto cfg = fabric_config();
+  cfg.switch_write_mode = core::WriteMode::kStochastic;
+  IntFabric fabric(cfg);
+  FlowGenerator gen(fabric.topology(), 4);
+  for (int i = 0; i < 10; ++i) (void)fabric.trace_flow(gen.next_flow());
+  EXPECT_EQ(fabric.stats().reports_emitted, 10u);
+}
+
+}  // namespace
+}  // namespace dart::telemetry

@@ -1,0 +1,121 @@
+// Tests for the wire-level INT-MD encoding: encap, transit push, hop limit,
+// sink decap, and field round trips.
+#include "telemetry/int_wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dart::telemetry {
+namespace {
+
+std::vector<std::byte> inner(std::size_t n = 10, std::uint8_t fill = 0x7E) {
+  return std::vector<std::byte>(n, static_cast<std::byte>(fill));
+}
+
+IntMdHeader md(std::uint16_t instructions = kIntInsSwitchId,
+               std::uint8_t max_hops = 8) {
+  IntMdHeader h;
+  h.instructions = instructions;
+  h.hop_words = int_hop_words(instructions);
+  h.remaining_hops = max_hops;
+  return h;
+}
+
+TEST(IntWire, SourceEncapPreservesInnerAndPort) {
+  const auto payload = int_source_encap(md(), 4321, inner());
+  EXPECT_EQ(payload.size(), kIntShimLen + kIntMdLen + 10);
+
+  const auto pkt = int_parse(payload);
+  ASSERT_TRUE(pkt.has_value());
+  EXPECT_EQ(pkt->original_dst_port, 4321);
+  EXPECT_TRUE(pkt->hops.empty());
+  ASSERT_EQ(pkt->inner_payload.size(), 10u);
+  EXPECT_EQ(static_cast<std::uint8_t>(pkt->inner_payload[0]), 0x7E);
+}
+
+TEST(IntWire, TransitPushAccumulatesInPathOrder) {
+  auto payload = int_source_encap(md(), 80, inner());
+  for (std::uint32_t sw : {11u, 22u, 33u}) {
+    EXPECT_TRUE(int_transit_push(payload, {.switch_id = sw}));
+  }
+  const auto pkt = int_parse(payload);
+  ASSERT_TRUE(pkt.has_value());
+  ASSERT_EQ(pkt->hops.size(), 3u);
+  EXPECT_EQ(pkt->hops[0].switch_id, 11u);  // oldest first
+  EXPECT_EQ(pkt->hops[1].switch_id, 22u);
+  EXPECT_EQ(pkt->hops[2].switch_id, 33u);
+  EXPECT_EQ(pkt->md.remaining_hops, 5u);
+}
+
+TEST(IntWire, HopLimitSetsExceededBit) {
+  auto payload = int_source_encap(md(kIntInsSwitchId, 2), 80, inner());
+  EXPECT_TRUE(int_transit_push(payload, {.switch_id = 1}));
+  EXPECT_TRUE(int_transit_push(payload, {.switch_id = 2}));
+  EXPECT_FALSE(int_transit_push(payload, {.switch_id = 3}));  // over limit
+  const auto pkt = int_parse(payload);
+  ASSERT_TRUE(pkt.has_value());
+  EXPECT_EQ(pkt->hops.size(), 2u);
+  EXPECT_TRUE(pkt->md.exceeded);
+}
+
+TEST(IntWire, RichInstructionsCarryAllFields) {
+  const auto ins = static_cast<std::uint16_t>(
+      kIntInsSwitchId | kIntInsHopLatency | kIntInsQueueDepth);
+  EXPECT_EQ(int_hop_words(ins), 3u);
+  auto payload = int_source_encap(md(ins), 80, inner());
+  EXPECT_TRUE(int_transit_push(
+      payload, {.switch_id = 7, .queue_depth = 42, .hop_latency_ns = 1700}));
+  const auto pkt = int_parse(payload);
+  ASSERT_TRUE(pkt.has_value());
+  ASSERT_EQ(pkt->hops.size(), 1u);
+  EXPECT_EQ(pkt->hops[0].switch_id, 7u);
+  EXPECT_EQ(pkt->hops[0].queue_depth, 42u);
+  EXPECT_EQ(pkt->hops[0].hop_latency_ns, 1700u);
+}
+
+TEST(IntWire, SinkDecapRestoresInnerExactly) {
+  const auto original = inner(37, 0xAB);
+  auto payload = int_source_encap(md(), 8080, original);
+  (void)int_transit_push(payload, {.switch_id = 1});
+  (void)int_transit_push(payload, {.switch_id = 2});
+  const auto restored = int_sink_decap(payload);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(*restored, original);
+}
+
+TEST(IntWire, OverheadGrowsPerHop) {
+  auto payload = int_source_encap(md(), 80, inner());
+  EXPECT_EQ(int_overhead_bytes(payload), kIntShimLen + kIntMdLen);
+  (void)int_transit_push(payload, {.switch_id = 1});
+  EXPECT_EQ(int_overhead_bytes(payload), kIntShimLen + kIntMdLen + 4);
+  (void)int_transit_push(payload, {.switch_id = 2});
+  EXPECT_EQ(int_overhead_bytes(payload), kIntShimLen + kIntMdLen + 8);
+}
+
+TEST(IntWire, NonIntPayloadRejected) {
+  std::vector<std::byte> junk(20, std::byte{0x42});
+  EXPECT_FALSE(int_parse(junk).has_value());
+  EXPECT_FALSE(int_sink_decap(junk).has_value());
+  std::vector<std::byte> junk2 = junk;
+  EXPECT_FALSE(int_transit_push(junk2, {.switch_id = 1}));
+}
+
+TEST(IntWire, TruncatedStackRejected) {
+  auto payload = int_source_encap(md(), 80, inner(0));
+  (void)int_transit_push(payload, {.switch_id = 1});
+  payload.resize(payload.size() - 2);  // cut into the stack
+  EXPECT_FALSE(int_parse(payload).has_value());
+}
+
+TEST(IntWire, EmptyInnerPayloadWorks) {
+  auto payload = int_source_encap(md(), 80, {});
+  (void)int_transit_push(payload, {.switch_id = 9});
+  const auto pkt = int_parse(payload);
+  ASSERT_TRUE(pkt.has_value());
+  EXPECT_TRUE(pkt->inner_payload.empty());
+  EXPECT_EQ(pkt->hops.size(), 1u);
+}
+
+}  // namespace
+}  // namespace dart::telemetry

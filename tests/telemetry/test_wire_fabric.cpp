@@ -1,0 +1,294 @@
+// Tests for the packet-forwarding fat-tree fabric with wire-level INT:
+// delivery, routing equivalence with FatTree::path, INT accounting, and the
+// DART report path over the monitoring underlay.
+#include "telemetry/wire_fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/hash.hpp"
+#include "telemetry/workload.hpp"
+
+namespace dart::telemetry {
+namespace {
+
+WireFabricConfig config(std::uint32_t k = 4, double loss = 0.0) {
+  WireFabricConfig cfg;
+  cfg.fat_tree_k = k;
+  cfg.dart.n_slots = 1 << 14;
+  cfg.dart.n_addresses = 2;
+  cfg.dart.value_bytes = 20;
+  cfg.dart.master_seed = 0x31BE;
+  cfg.n_collectors = 1;
+  cfg.report_loss_rate = loss;
+  cfg.seed = 3;
+  return cfg;
+}
+
+FiveTuple make_flow(const switchsim::FatTree& topo, std::uint32_t src,
+                    std::uint32_t dst, std::uint16_t sport = 50000) {
+  FiveTuple t;
+  t.src_ip = topo.host_ip(src);
+  t.dst_ip = topo.host_ip(dst);
+  t.src_port = sport;
+  t.dst_port = 8080;
+  t.protocol = 17;
+  return t;
+}
+
+TEST(WireFabric, DeliversPacketToDestinationHost) {
+  WireFabric fabric(config());
+  const auto flow = make_flow(fabric.topology(), 0, 15);
+  fabric.send_flow(flow, 0, 3);
+  fabric.run();
+  EXPECT_EQ(fabric.host_received(15), 3u);
+  EXPECT_EQ(fabric.stats().host_packets_sent, 3u);
+  EXPECT_EQ(fabric.stats().host_packets_received, 3u);
+}
+
+TEST(WireFabric, IntSourceAndSinkFireOncePerPacket) {
+  WireFabric fabric(config());
+  const auto flow = make_flow(fabric.topology(), 0, 15);
+  fabric.send_flow(flow, 0, 5);
+  fabric.run();
+  const auto s = fabric.stats();
+  EXPECT_EQ(s.int_sources, 5u);
+  EXPECT_EQ(s.int_sinks, 5u);
+  // 5-hop path, 1 word/hop: shim(4)+md(8)+5*4 = 32 B per packet.
+  EXPECT_EQ(s.int_overhead_bytes, 5u * 32u);
+}
+
+TEST(WireFabric, RecordedPathMatchesFatTreeEcmp) {
+  WireFabric fabric(config(8));
+  const auto& topo = fabric.topology();
+  FlowGenerator gen(topo, 11);
+  for (int i = 0; i < 40; ++i) {
+    const auto fe = gen.next_flow();
+    fabric.send_flow(fe.tuple, fe.src_host, 1);
+    fabric.run();
+
+    const auto recorded = fabric.query_path(fe.tuple);
+    ASSERT_TRUE(recorded.has_value()) << "flow " << i;
+
+    const auto key = fe.tuple.key_bytes();
+    const auto expected =
+        topo.path(fe.src_host, fe.dst_host, xxhash64(key, 0xECB9));
+    EXPECT_EQ(*recorded, expected) << fe.tuple.str();
+  }
+}
+
+TEST(WireFabric, IntraRackFlowIsOneHop) {
+  WireFabric fabric(config());
+  // Hosts 0 and 1 share edge 0 in a k=4 tree.
+  const auto flow = make_flow(fabric.topology(), 0, 1);
+  fabric.send_flow(flow, 0, 1);
+  fabric.run();
+  EXPECT_EQ(fabric.host_received(1), 1u);
+  const auto path = fabric.query_path(flow);
+  ASSERT_TRUE(path.has_value());
+  ASSERT_EQ(path->size(), 1u);
+  EXPECT_EQ((*path)[0], fabric.topology().host_edge(0));
+}
+
+TEST(WireFabric, InnerPayloadSurvivesIntRoundTrip) {
+  WireFabric fabric(config());
+  const auto flow = make_flow(fabric.topology(), 2, 13);
+  fabric.send_flow(flow, 2, 1, /*payload_bytes=*/123);
+  fabric.run();
+  EXPECT_EQ(fabric.host_received(13), 1u);
+  // INT overhead accounted and stripped: 5 hops → 32 B, payload unchanged on
+  // delivery (host counts only frames addressed to its IP — decap happened).
+  EXPECT_GT(fabric.stats().int_overhead_bytes, 0u);
+}
+
+TEST(WireFabric, ReportsReachCollectorThroughUnderlay) {
+  WireFabric fabric(config());
+  const auto flow = make_flow(fabric.topology(), 0, 15);
+  fabric.send_flow(flow, 0, 1);
+  fabric.run();
+  const auto& counters = fabric.cluster().collector(0).ingest_counters();
+  EXPECT_EQ(counters.writes, 2u);  // N = 2 report frames
+  EXPECT_EQ(fabric.stats().reports_emitted, 2u);
+  // Zero CPU writes at the collector.
+  EXPECT_EQ(fabric.cluster().collector(0).store().writes_performed(), 0u);
+}
+
+TEST(WireFabric, ManyFlowsQueryable) {
+  WireFabric fabric(config(4));
+  FlowGenerator gen(fabric.topology(), 17);
+  std::vector<FlowEndpoints> flows;
+  for (int i = 0; i < 300; ++i) {
+    flows.push_back(gen.next_flow());
+    fabric.send_flow(flows.back().tuple, flows.back().src_host, 1);
+  }
+  fabric.run();
+  int found = 0;
+  for (const auto& fe : flows) {
+    if (fabric.query_path(fe.tuple).has_value()) ++found;
+  }
+  EXPECT_GE(found, 296);  // α ≈ 0.037 → near-perfect
+}
+
+TEST(WireFabric, ReportLossOnUnderlayToleratedByRedundancy) {
+  WireFabric fabric(config(4, /*loss=*/0.3));
+  FlowGenerator gen(fabric.topology(), 19);
+  std::vector<FlowEndpoints> flows;
+  for (int i = 0; i < 600; ++i) {
+    flows.push_back(gen.next_flow());
+    fabric.send_flow(flows.back().tuple, flows.back().src_host, 1);
+  }
+  fabric.run();
+  int found = 0;
+  for (const auto& fe : flows) {
+    if (fabric.query_path(fe.tuple).has_value()) ++found;
+  }
+  // Loss applies only to report frames: success ≈ 1 - 0.3² = 0.91.
+  EXPECT_NEAR(static_cast<double>(found) / 600.0, 0.91, 0.05);
+  // Data delivery unaffected.
+  EXPECT_EQ(fabric.stats().host_packets_received, 600u);
+}
+
+TEST(WireFabric, HopMetadataRichInstructions) {
+  auto cfg = config();
+  cfg.int_instructions = static_cast<std::uint16_t>(
+      kIntInsSwitchId | kIntInsQueueDepth | kIntInsHopLatency);
+  WireFabric fabric(cfg);
+  const auto flow = make_flow(fabric.topology(), 0, 15);
+  fabric.send_flow(flow, 0, 1);
+  fabric.run();
+  // 5 hops × 3 words × 4 B + 12 B headers.
+  EXPECT_EQ(fabric.stats().int_overhead_bytes, 5u * 12u + 12u);
+  // Path still recorded (value carries switch ids only).
+  EXPECT_TRUE(fabric.query_path(flow).has_value());
+}
+
+TEST(WireFabric, HostOfIpInverse) {
+  WireFabric fabric(config());
+  const auto& topo = fabric.topology();
+  for (std::uint32_t h = 0; h < topo.n_hosts(); ++h) {
+    EXPECT_EQ(fabric.host_of_ip(topo.host_ip(h)), h);
+  }
+  EXPECT_FALSE(
+      fabric.host_of_ip(net::Ipv4Addr::from_octets(192, 168, 1, 1)).has_value());
+}
+
+TEST(WireFabric, ShapedLinksReportRealQueueDepths) {
+  // Bandwidth-shaped links + a traffic burst between two hosts: INT's
+  // queue-depth metadata must observe the real egress backlog.
+  auto cfg = config();
+  cfg.int_instructions = static_cast<std::uint16_t>(
+      kIntInsSwitchId | kIntInsQueueDepth);
+  cfg.data_link_shape = {.bandwidth_bps = 100'000'000, .queue_cap = 0};
+  WireFabric fabric(cfg);
+  const auto flow = make_flow(fabric.topology(), 0, 15);
+  // 64 back-to-back packets: at 100 Mbps a ~100B frame serializes in ~8 µs,
+  // so the burst builds a deep queue at the first hop.
+  fabric.send_flow(flow, 0, 64);
+  fabric.run();
+  EXPECT_EQ(fabric.stats().host_packets_received, 64u);
+  EXPECT_GT(fabric.stats().max_reported_queue_depth, 10u);
+
+  // The same burst over ideal links reports all-zero queue depths.
+  auto ideal_cfg = config();
+  ideal_cfg.int_instructions = cfg.int_instructions;
+  WireFabric ideal(ideal_cfg);
+  ideal.send_flow(make_flow(ideal.topology(), 0, 15), 0, 64);
+  ideal.run();
+  EXPECT_EQ(ideal.stats().max_reported_queue_depth, 0u);
+}
+
+TEST(WireFabric, TailDropUnderSevereCongestion) {
+  auto cfg = config();
+  cfg.data_link_shape = {.bandwidth_bps = 10'000'000, .queue_cap = 8};
+  WireFabric fabric(cfg);
+  const auto flow = make_flow(fabric.topology(), 0, 15);
+  fabric.send_flow(flow, 0, 200);
+  fabric.run();
+  // The 8-deep 10 Mbps host uplink cannot carry a 200-packet burst.
+  EXPECT_LT(fabric.stats().host_packets_received, 200u);
+  EXPECT_GT(fabric.stats().host_packets_received, 0u);
+}
+
+TEST(WireFabric, PostcardModeReportsPerSwitch) {
+  auto cfg = config();
+  cfg.postcards = true;
+  cfg.postcard_detector = {.table_size = 1 << 14, .threshold = 0};
+  WireFabric fabric(cfg);
+  const auto flow = make_flow(fabric.topology(), 0, 15);
+  fabric.send_flow(flow, 0, 1);
+  fabric.run();
+
+  // Every switch on the 5-hop path filed a postcard for this new flow.
+  const auto path = fabric.query_path(flow);
+  ASSERT_TRUE(path.has_value());
+  ASSERT_EQ(path->size(), 5u);
+  for (const auto sw : *path) {
+    const auto hop = fabric.query_postcard(sw, flow);
+    ASSERT_TRUE(hop.has_value()) << "switch " << sw;
+    EXPECT_EQ(hop->switch_id, sw + 1);
+  }
+  // Off-path switch: no postcard.
+  std::uint32_t off_path = 0;
+  while (std::find(path->begin(), path->end(), off_path) != path->end()) {
+    ++off_path;
+  }
+  EXPECT_FALSE(fabric.query_postcard(off_path, flow).has_value());
+  EXPECT_EQ(fabric.stats().postcard_reports, 5u);
+}
+
+TEST(WireFabric, PostcardEventFilterSuppressesStableFlows) {
+  auto cfg = config();
+  cfg.postcards = true;
+  cfg.postcard_detector = {.table_size = 1 << 14, .threshold = 4};
+  WireFabric fabric(cfg);
+  const auto flow = make_flow(fabric.topology(), 0, 15);
+  // 50 packets of a steady flow on ideal links (queue depth constant 0):
+  // only the first packet's 5 hops report.
+  fabric.send_flow(flow, 0, 50);
+  fabric.run();
+  EXPECT_EQ(fabric.stats().postcard_reports, 5u);
+  EXPECT_EQ(fabric.stats().postcard_observations, 50u * 5u);
+}
+
+TEST(WireFabric, Figure2CompleteInOneSimulator) {
+  // The whole paper picture in one event-driven simulation: hosts send
+  // traffic, switches do INT + DART reporting to RNICs, and an operator
+  // node issues UDP queries to collector-side query services.
+  auto cfg = config();
+  cfg.n_collectors = 2;
+  WireFabric fabric(cfg);
+  auto& op = fabric.attach_operator();
+
+  FlowGenerator gen(fabric.topology(), 23);
+  std::vector<FlowEndpoints> flows;
+  for (int i = 0; i < 100; ++i) {
+    flows.push_back(gen.next_flow());
+    fabric.send_flow(flows.back().tuple, flows.back().src_host, 1);
+  }
+  // Queries can be injected while traffic drains — one event queue.
+  std::vector<std::uint64_t> ids;
+  for (const auto& fe : flows) {
+    const auto key = fe.tuple.key_bytes();
+    ids.push_back(op.query(std::vector<std::byte>(key.begin(), key.end())));
+  }
+  fabric.run();
+
+  int found = 0;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const auto resp = op.take_response(ids[i]);
+    ASSERT_TRUE(resp.has_value()) << i;
+    if (resp->outcome == core::QueryOutcome::kFound) {
+      auto wire_ids = IntStack::decode_switch_ids(resp->value);
+      ASSERT_FALSE(wire_ids.empty());
+      ++found;
+    }
+  }
+  // Management RTT (100 µs) exceeds fabric delivery (~10 µs), so reports
+  // land before queries arrive: near-perfect hit rate at α ≈ 0.012.
+  EXPECT_GE(found, 98);
+  EXPECT_EQ(op.responses_received(), 100u);
+  // Idempotent attach.
+  EXPECT_EQ(&fabric.attach_operator(), &op);
+}
+
+}  // namespace
+}  // namespace dart::telemetry

@@ -1,0 +1,94 @@
+// dart_archive — inspect the epoch archive files written by EpochedStore
+// (core/epoch.hpp).
+//
+//   dart_archive info  <file>                  header + entry count
+//   dart_archive dump  <file> [--limit=20]     entries (checksum + value hex)
+//   dart_archive query <file> --key-u64=<id>   historical point query using
+//                                              the sim_key convention
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench_util.hpp"
+#include "common/bytes.hpp"
+#include "core/epoch.hpp"
+#include "core/oracle.hpp"
+
+namespace {
+
+using namespace dart;
+using namespace dart::core;
+
+int cmd_info(const std::string& path) {
+  auto reader = EpochArchiveReader::open(path);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "error [%s]: %s\n", reader.error().code.c_str(),
+                 reader.error().message.c_str());
+    return 1;
+  }
+  const auto& r = reader.value();
+  std::printf("archive        : %s\n", path.c_str());
+  std::printf("epoch          : %llu\n",
+              static_cast<unsigned long long>(r.epoch()));
+  std::printf("checksum bits  : %u\n", r.checksum_bits());
+  std::printf("value bytes    : %u\n", r.value_bytes());
+  std::printf("entries        : %zu\n", r.entry_count());
+  return 0;
+}
+
+int cmd_dump(const std::string& path, int argc, char** argv) {
+  auto reader = EpochArchiveReader::open(path);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "error: %s\n", reader.error().message.c_str());
+    return 1;
+  }
+  const auto limit = bench::flag_u64(argc, argv, "limit", 20);
+  const auto& entries = reader.value().entries();
+  std::printf("%zu entries (showing up to %llu):\n", entries.size(),
+              static_cast<unsigned long long>(limit));
+  std::uint64_t printed = 0;
+  for (const auto& e : entries) {
+    if (printed++ >= limit) break;
+    std::printf("  slot %-10llu csum 0x%08x  value %s\n",
+                static_cast<unsigned long long>(e.slot_index), e.checksum,
+                hex_dump(e.value, 24).c_str());
+  }
+  return 0;
+}
+
+int cmd_query(const std::string& path, int argc, char** argv) {
+  auto reader = EpochArchiveReader::open(path);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "error: %s\n", reader.error().message.c_str());
+    return 1;
+  }
+  const auto id = bench::flag_u64(argc, argv, "key-u64", 0);
+  const auto key = sim_key(id);
+  const auto hits = reader.value().lookup_key(key);
+  std::printf("key %llu: %zu checksum-matching entr%s\n",
+              static_cast<unsigned long long>(id), hits.size(),
+              hits.size() == 1 ? "y" : "ies");
+  for (const auto& v : hits) {
+    std::printf("  value: %s\n", hex_dump(v, 32).c_str());
+  }
+  const auto answer = reader.value().query(key);
+  if (answer) {
+    std::printf("historical answer: %s\n", hex_dump(*answer, 32).c_str());
+    return 0;
+  }
+  std::printf("historical answer: empty (no copy, or ambiguous)\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string cmd = argc > 1 ? argv[1] : "";
+  const std::string path = argc > 2 ? argv[2] : "";
+  if (cmd == "info" && !path.empty()) return cmd_info(path);
+  if (cmd == "dump" && !path.empty()) return cmd_dump(path, argc, argv);
+  if (cmd == "query" && !path.empty()) return cmd_query(path, argc, argv);
+  std::fprintf(stderr,
+               "usage: dart_archive <info|dump|query> <file> [--flags]\n");
+  return cmd.empty() ? 2 : 1;
+}

@@ -1,0 +1,115 @@
+// dart_calc — deployment planning calculator over the §4 closed forms.
+//
+//   dart_calc success --alpha=0.745 --n=2 [--bits=32]
+//       probabilities at one operating point (survival, empty, error bounds)
+//   dart_calc optimal --alpha=0.25 [--max-n=8]
+//       best redundancy at a load factor
+//   dart_calc provision --flows=1e8 --target=0.993 [--n=2] [--value-bytes=20]
+//                       [--bits=32]
+//       memory needed for a target average queryability (the Fig. 4 sizing
+//       question: "how many GB for 100M flows at 99.3%?")
+//   dart_calc sweep [--n=2] [--bits=32]
+//       success-vs-load table (Fig. 3's curve, analytically)
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "core/analysis.hpp"
+#include "core/config.hpp"
+
+namespace {
+
+using namespace dart;
+using namespace dart::core;
+
+int cmd_success(int argc, char** argv) {
+  const double alpha = bench::flag_double(argc, argv, "alpha", 0.745);
+  const auto n = static_cast<unsigned>(bench::flag_u64(argc, argv, "n", 2));
+  const auto bits =
+      static_cast<unsigned>(bench::flag_u64(argc, argv, "bits", 32));
+  std::printf("operating point: alpha=%.4f N=%u b=%u\n", alpha, n, bits);
+  std::printf("  P(one slot overwritten)   = %.6f\n", p_slot_overwritten(alpha, n));
+  std::printf("  P(all slots overwritten)  = %.6f\n", p_all_overwritten(alpha, n));
+  std::printf("  P(survives / queryable)   = %.6f\n", p_survives(alpha, n));
+  std::printf("  P(empty, no csum match)   = %.6e\n",
+              p_empty_no_match(alpha, n, bits));
+  std::printf("  P(ambiguous)              = [%.3e, %.3e]\n",
+              p_ambiguous_lower(alpha, n, bits), p_ambiguous_upper(alpha, n, bits));
+  std::printf("  P(return error)           = [%.3e, %.3e]\n",
+              p_return_error_lower(alpha, n, bits),
+              p_return_error_upper(alpha, n, bits));
+  return 0;
+}
+
+int cmd_optimal(int argc, char** argv) {
+  const double alpha = bench::flag_double(argc, argv, "alpha", 0.25);
+  const auto max_n =
+      static_cast<unsigned>(bench::flag_u64(argc, argv, "max-n", 8));
+  const unsigned best = optimal_n(alpha, max_n);
+  std::printf("alpha=%.4f: optimal N = %u (success %.4f)\n", alpha, best,
+              p_survives(alpha, best));
+  for (unsigned n = 1; n <= max_n; ++n) {
+    std::printf("  N=%u -> %.4f%s\n", n, p_survives(alpha, n),
+                n == best ? "  <-- best" : "");
+  }
+  return 0;
+}
+
+int cmd_provision(int argc, char** argv) {
+  const double flows = bench::flag_double(argc, argv, "flows", 1e8);
+  const double target = bench::flag_double(argc, argv, "target", 0.993);
+  const auto n = static_cast<unsigned>(bench::flag_u64(argc, argv, "n", 2));
+  const auto value_bytes =
+      static_cast<std::uint32_t>(bench::flag_u64(argc, argv, "value-bytes", 20));
+  const auto bits =
+      static_cast<std::uint32_t>(bench::flag_u64(argc, argv, "bits", 32));
+
+  DartConfig cfg;
+  cfg.value_bytes = value_bytes;
+  cfg.checksum_bits = bits;
+  const double slot_bytes = cfg.slot_bytes();
+
+  // Bisect the slot count for the target average queryability.
+  double lo = flows * 0.01, hi = flows * 1000.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (average_success_over_ages(flows, mid, n) >= target ? hi : lo) = mid;
+  }
+  const double slots = hi;
+  std::printf("provisioning for %s flows, target avg queryability %.3f, "
+              "N=%u, slot=%d B:\n",
+              format_count(flows).c_str(), target, n,
+              static_cast<int>(slot_bytes));
+  std::printf("  slots needed    : %s\n", format_count(slots).c_str());
+  std::printf("  memory needed   : %s (%.1f B/flow)\n",
+              format_bytes(slots * slot_bytes).c_str(),
+              slots * slot_bytes / flows);
+  std::printf("  oldest-report Q : %.4f\n", oldest_success(flows, slots, n));
+  return 0;
+}
+
+int cmd_sweep(int argc, char** argv) {
+  const auto n = static_cast<unsigned>(bench::flag_u64(argc, argv, "n", 2));
+  std::printf("alpha     survival(N=%u)  optimal-N\n", n);
+  for (double alpha = 0.015625; alpha <= 8.0; alpha *= 2.0) {
+    std::printf("%-9.4f %-15.4f %u\n", alpha, p_survives(alpha, n),
+                optimal_n(alpha, 8));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string cmd = argc > 1 ? argv[1] : "";
+  if (cmd == "success") return cmd_success(argc, argv);
+  if (cmd == "optimal") return cmd_optimal(argc, argv);
+  if (cmd == "provision") return cmd_provision(argc, argv);
+  if (cmd == "sweep") return cmd_sweep(argc, argv);
+  std::fprintf(stderr,
+               "usage: dart_calc <success|optimal|provision|sweep> [--flags]\n"
+               "see the header comment of tools/dart_calc.cpp for details\n");
+  return cmd.empty() ? 2 : 1;
+}
