@@ -18,6 +18,7 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/cluster.hpp"
+#include "core/ingest_pipeline.hpp"
 #include "core/oracle.hpp"
 #include "core/report_crafter.hpp"
 
@@ -80,6 +81,35 @@ double run(std::uint32_t n_collectors, std::uint64_t frames_per_collector) {
   return static_cast<double>(frames_per_collector) * n_collectors / seconds;
 }
 
+// --pipeline=1 variant: each collector is a full sharded ingest pipeline
+// (feeder crafts frames live, shard worker validates + DMAs), so the bench
+// also covers the frame-crafting half of the data path instead of replaying
+// a pre-crafted pool.
+double run_pipelines(std::uint32_t n_collectors,
+                     std::uint64_t frames_per_collector) {
+  std::vector<std::unique_ptr<IngestPipeline>> pipelines;
+  pipelines.reserve(n_collectors);
+  for (std::uint32_t c = 0; c < n_collectors; ++c) {
+    IngestPipelineConfig cfg;
+    cfg.dart = config();
+    cfg.n_feeders = 1;
+    cfg.n_shards = 1;
+    // N=2 addresses → 2 frames per report: keep frame counts comparable.
+    cfg.reports_per_feeder = frames_per_collector / cfg.dart.n_addresses;
+    cfg.seed = 0x5CA1E + c;
+    pipelines.push_back(std::make_unique<IngestPipeline>(cfg));
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto& p : pipelines) p->start();
+  std::uint64_t frames = 0;
+  for (auto& p : pipelines) frames += p->finish().frames_applied;
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return static_cast<double>(frames) / seconds;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -89,13 +119,17 @@ int main(int argc, char** argv) {
       "the pool, no coordination (§1, §3)");
 
   const auto frames = bench::flag_u64(argc, argv, "frames", 400'000);
+  const bool pipeline = bench::flag_u64(argc, argv, "pipeline", 0) != 0;
   const unsigned hw = std::thread::hardware_concurrency();
-  std::printf("hardware threads available: %u\n", hw);
+  std::printf("hardware threads available: %u, ingest: %s\n", hw,
+              pipeline ? "sharded pipeline (frames crafted live)"
+                       : "pre-crafted frame replay");
 
   Table t({"collectors", "aggregate frames/s", "speedup vs 1"});
   double base = 0;
   for (const std::uint32_t c : {1u, 2u, 4u, 8u}) {
-    const double rate = run(c, frames);
+    const double rate =
+        pipeline ? run_pipelines(c, frames) : run(c, frames);
     if (c == 1) base = rate;
     t.row({std::to_string(c), format_count(rate) + "/s",
            fmt_double(rate / base, 2) + "x"});

@@ -1,0 +1,92 @@
+// Scale-up: single-collector ingest throughput vs pipeline thread count.
+//
+// The paper's collector does ingest in NIC hardware; simulating that NIC in
+// software turns every DMA into CPU work, so the simulator's report rate is
+// bounded by how well that work parallelizes. This bench drives the sharded
+// ingest pipeline (T feeder threads → T shard workers over SPSC rings into
+// ONE collector's memory) and reports Mreports/s versus T. The shard workers
+// share one RNIC and one slot array — the scaling comes from slot-range
+// sharding keeping every memory byte single-writer, not from partitioning
+// the collector.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/ingest_pipeline.hpp"
+
+namespace {
+
+using namespace dart;
+using namespace dart::core;
+
+IngestPipelineStats run(std::uint32_t threads, std::uint64_t total_reports,
+                        bool validate_icrc) {
+  IngestPipelineConfig cfg;
+  cfg.dart.n_slots = 1 << 18;
+  cfg.dart.n_addresses = 2;
+  cfg.dart.value_bytes = 20;
+  cfg.dart.master_seed = 0x5CA1E;
+  cfg.n_feeders = threads;
+  cfg.n_shards = threads;
+  cfg.ring_capacity = 4096;
+  cfg.reports_per_feeder = total_reports / threads;
+  cfg.seed = 42;
+  cfg.validate_icrc = validate_icrc;
+  IngestPipeline pipeline(cfg);
+  return pipeline.run();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner(
+      "Scale-up — one collector's ingest rate vs pipeline threads",
+      "zero-CPU collection means the NIC does this work; when the NIC is "
+      "simulated, slot-range sharding lets the simulation use every core");
+
+  const auto reports = bench::flag_u64(argc, argv, "reports", 400'000);
+  const auto icrc = bench::flag_u64(argc, argv, "icrc", 1) != 0;
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("hardware threads available: %u, iCRC validation: %s\n", hw,
+              icrc ? "on" : "off");
+
+  std::vector<std::uint32_t> sweep{1, 2, 4};
+  for (std::uint32_t t = 8; t <= hw; t *= 2) sweep.push_back(t);
+
+  Table table({"threads (feeders=shards)", "Mreports/s", "speedup vs 1",
+               "ring backpressure spins"});
+  double base = 0;
+  for (const auto t : sweep) {
+    const auto stats = run(t, reports, icrc);
+    const double rate = stats.mreports_per_sec();
+    if (t == 1) base = rate;
+    table.row({std::to_string(t), fmt_double(rate, 3),
+               fmt_double(base > 0 ? rate / base : 0.0, 2) + "x",
+               std::to_string(stats.ring_full_spins)});
+  }
+  table.print(std::cout);
+
+  if (hw < 4) {
+    std::printf(
+        "\nNOTE: this host exposes %u hardware thread(s), so the sweep cannot\n"
+        "show parallel speedup here (all pipeline threads time-share the same\n"
+        "core, and the >=2x-at-4-threads property needs >=4 cores). The\n"
+        "pipeline's scaling structure is still exercised end to end: per-\n"
+        "thread RNG streams, SPSC rings, and single-writer slot shards mean\n"
+        "the only shared mutable state is relaxed statistics counters, so on\n"
+        "a multicore host per-report work (frame craft + iCRC + validation\n"
+        "pipeline) scales with the core count.\n",
+        hw);
+  } else {
+    std::printf(
+        "\nTakeaway: crafting and validating reports dominates (iCRC over\n"
+        "~100B per frame), and that work is embarrassingly parallel across\n"
+        "feeders and shard workers until the host runs out of cores (%u).\n",
+        hw);
+  }
+  return 0;
+}

@@ -164,7 +164,8 @@ bench-build/CMakeFiles/ablation_adaptive.dir/ablation_adaptive.cpp.o: \
  /usr/include/c++/12/span /usr/include/c++/12/array \
  /usr/include/c++/12/cstddef /root/repo/src/common/random.hpp \
  /usr/include/c++/12/limits /root/repo/src/core/analysis.hpp \
- /root/repo/src/core/store.hpp /root/repo/src/common/hash.hpp \
+ /root/repo/src/core/store.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/hash.hpp \
  /root/repo/src/core/config.hpp /root/repo/src/core/oracle.hpp \
  /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/ext/aligned_buffer.h \

@@ -163,7 +163,8 @@ bench-build/CMakeFiles/ablation_cas.dir/ablation_cas.cpp.o: \
  /root/repo/src/common/table.hpp /root/repo/src/core/atomics_store.hpp \
  /usr/include/c++/12/span /usr/include/c++/12/array \
  /usr/include/c++/12/cstddef /root/repo/src/common/hash.hpp \
- /root/repo/src/core/store.hpp /root/repo/src/core/config.hpp \
+ /root/repo/src/core/store.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/core/config.hpp \
  /root/repo/src/core/oracle.hpp /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/bits/hashtable.h \

@@ -204,6 +204,7 @@ bench-build/CMakeFiles/ablation_multiwrite.dir/ablation_multiwrite.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/span \
  /usr/include/c++/12/array /root/repo/src/core/config.hpp \
  /root/repo/src/core/query.hpp /root/repo/src/core/store.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/common/hash.hpp /root/repo/src/net/headers.hpp \
  /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
@@ -217,9 +218,9 @@ bench-build/CMakeFiles/ablation_multiwrite.dir/ablation_multiwrite.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/common/atomic_counter.hpp /usr/include/c++/12/atomic \
  /root/repo/src/common/result.hpp /usr/include/c++/12/cassert \
- /usr/include/assert.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
+ /usr/include/assert.h /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/net/netsim.hpp \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \

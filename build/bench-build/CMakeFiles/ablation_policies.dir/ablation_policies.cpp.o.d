@@ -171,6 +171,7 @@ bench-build/CMakeFiles/ablation_policies.dir/ablation_policies.cpp.o: \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/core/query.hpp \
- /root/repo/src/core/store.hpp /root/repo/src/common/hash.hpp \
+ /root/repo/src/core/store.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/hash.hpp \
  /root/repo/src/core/config.hpp /root/repo/src/core/reporter.hpp \
  /root/repo/src/common/random.hpp /usr/include/c++/12/limits

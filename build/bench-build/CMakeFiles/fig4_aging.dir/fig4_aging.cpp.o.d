@@ -173,7 +173,8 @@ bench-build/CMakeFiles/fig4_aging.dir/fig4_aging.cpp.o: \
  /usr/include/c++/12/cstddef /usr/include/c++/12/span \
  /root/repo/src/common/stats.hpp /root/repo/src/common/table.hpp \
  /root/repo/src/core/analysis.hpp /root/repo/src/core/query.hpp \
- /root/repo/src/core/store.hpp /root/repo/src/core/config.hpp \
+ /root/repo/src/core/store.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/core/config.hpp \
  /root/repo/src/switchsim/topology.hpp /root/repo/src/net/headers.hpp \
  /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \

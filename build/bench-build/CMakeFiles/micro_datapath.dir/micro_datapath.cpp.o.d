@@ -227,6 +227,7 @@ bench-build/CMakeFiles/micro_datapath.dir/micro_datapath.cpp.o: \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h \
+ /root/repo/src/common/atomic_counter.hpp \
  /root/repo/src/common/result.hpp /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/net/netsim.hpp \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \

@@ -18,6 +18,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/control.cpp" "src/core/CMakeFiles/dart_core.dir/control.cpp.o" "gcc" "src/core/CMakeFiles/dart_core.dir/control.cpp.o.d"
   "/root/repo/src/core/epoch.cpp" "src/core/CMakeFiles/dart_core.dir/epoch.cpp.o" "gcc" "src/core/CMakeFiles/dart_core.dir/epoch.cpp.o.d"
   "/root/repo/src/core/epoch_rotation.cpp" "src/core/CMakeFiles/dart_core.dir/epoch_rotation.cpp.o" "gcc" "src/core/CMakeFiles/dart_core.dir/epoch_rotation.cpp.o.d"
+  "/root/repo/src/core/ingest_pipeline.cpp" "src/core/CMakeFiles/dart_core.dir/ingest_pipeline.cpp.o" "gcc" "src/core/CMakeFiles/dart_core.dir/ingest_pipeline.cpp.o.d"
   "/root/repo/src/core/oracle.cpp" "src/core/CMakeFiles/dart_core.dir/oracle.cpp.o" "gcc" "src/core/CMakeFiles/dart_core.dir/oracle.cpp.o.d"
   "/root/repo/src/core/query.cpp" "src/core/CMakeFiles/dart_core.dir/query.cpp.o" "gcc" "src/core/CMakeFiles/dart_core.dir/query.cpp.o.d"
   "/root/repo/src/core/query_protocol.cpp" "src/core/CMakeFiles/dart_core.dir/query_protocol.cpp.o" "gcc" "src/core/CMakeFiles/dart_core.dir/query_protocol.cpp.o.d"

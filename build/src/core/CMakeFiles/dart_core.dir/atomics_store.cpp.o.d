@@ -79,6 +79,7 @@ src/core/CMakeFiles/dart_core.dir/atomics_store.cpp.o: \
  /usr/include/c++/12/bits/ostream_insert.h \
  /usr/include/c++/12/bits/cxxabi_forced.h \
  /usr/include/c++/12/bits/string_view.tcc /root/repo/src/core/store.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/core/config.hpp /usr/include/c++/12/cassert \
  /usr/include/assert.h /usr/include/c++/12/cstring /usr/include/string.h \
  /usr/include/strings.h /root/repo/src/common/random.hpp \

@@ -67,7 +67,8 @@ src/core/CMakeFiles/dart_core.dir/query_protocol.cpp.o: \
  /usr/include/c++/12/bits/stl_function.h \
  /usr/include/c++/12/backward/binders.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/query.hpp \
- /root/repo/src/core/store.hpp /root/repo/src/common/hash.hpp \
+ /root/repo/src/core/store.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/hash.hpp \
  /usr/include/c++/12/string_view /usr/include/c++/12/iosfwd \
  /usr/include/c++/12/bits/stringfwd.h /usr/include/c++/12/bits/postypes.h \
  /usr/include/c++/12/cwchar /usr/include/wchar.h \

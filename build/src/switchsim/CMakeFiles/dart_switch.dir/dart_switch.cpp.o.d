@@ -211,12 +211,13 @@ src/switchsim/CMakeFiles/dart_switch.dir/dart_switch.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/core/query.hpp \
- /root/repo/src/core/store.hpp /root/repo/src/net/headers.hpp \
+ /root/repo/src/core/store.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/net/headers.hpp \
  /usr/include/c++/12/optional /root/repo/src/common/bytes.hpp \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/rdma/rnic.hpp /root/repo/src/common/result.hpp \
+ /root/repo/src/rdma/rnic.hpp /root/repo/src/common/atomic_counter.hpp \
+ /usr/include/c++/12/atomic /root/repo/src/common/result.hpp \
  /usr/include/c++/12/cassert /usr/include/assert.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/net/netsim.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \

@@ -203,7 +203,8 @@ src/telemetry/CMakeFiles/dart_telemetry.dir/int_fabric.cpp.o: \
  /usr/include/c++/12/span /usr/include/c++/12/array \
  /usr/include/c++/12/cstddef /root/repo/src/core/collector.hpp \
  /root/repo/src/core/config.hpp /root/repo/src/core/query.hpp \
- /root/repo/src/core/store.hpp /root/repo/src/common/hash.hpp \
+ /root/repo/src/core/store.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/hash.hpp \
  /root/repo/src/net/headers.hpp /root/repo/src/common/bytes.hpp \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/rdma/rnic.hpp /usr/include/c++/12/functional \
@@ -216,9 +217,9 @@ src/telemetry/CMakeFiles/dart_telemetry.dir/int_fabric.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/common/atomic_counter.hpp /usr/include/c++/12/atomic \
  /root/repo/src/common/result.hpp /usr/include/c++/12/cassert \
- /usr/include/assert.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
+ /usr/include/assert.h /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/net/netsim.hpp \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \

@@ -299,14 +299,15 @@ tests/CMakeFiles/test_end_to_end.dir/integration/test_end_to_end.cpp.o: \
  /root/repo/src/core/config.hpp /root/repo/src/core/query.hpp \
  /root/repo/src/core/store.hpp /root/repo/src/common/hash.hpp \
  /root/repo/src/net/headers.hpp /root/repo/src/common/bytes.hpp \
- /root/repo/src/rdma/rnic.hpp /root/repo/src/common/result.hpp \
- /root/repo/src/net/netsim.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/common/random.hpp /root/repo/src/net/packet.hpp \
- /root/repo/src/rdma/memory_region.hpp /root/repo/src/rdma/qp.hpp \
- /root/repo/src/rdma/roce.hpp /root/repo/src/core/report_crafter.hpp \
- /root/repo/src/core/oracle.hpp /root/repo/src/switchsim/dart_switch.hpp \
+ /root/repo/src/rdma/rnic.hpp /root/repo/src/common/atomic_counter.hpp \
+ /root/repo/src/common/result.hpp /root/repo/src/net/netsim.hpp \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/common/random.hpp \
+ /root/repo/src/net/packet.hpp /root/repo/src/rdma/memory_region.hpp \
+ /root/repo/src/rdma/qp.hpp /root/repo/src/rdma/roce.hpp \
+ /root/repo/src/core/report_crafter.hpp /root/repo/src/core/oracle.hpp \
+ /root/repo/src/switchsim/dart_switch.hpp \
  /root/repo/src/switchsim/externs.hpp \
  /root/repo/src/switchsim/registers.hpp \
  /root/repo/src/switchsim/tables.hpp \

@@ -325,9 +325,10 @@ tests/CMakeFiles/test_loss_robustness.dir/integration/test_loss_robustness.cpp.o
  /root/repo/src/core/query.hpp /root/repo/src/core/store.hpp \
  /root/repo/src/common/hash.hpp /root/repo/src/net/headers.hpp \
  /root/repo/src/common/bytes.hpp /usr/include/c++/12/cstring \
- /root/repo/src/rdma/rnic.hpp /root/repo/src/common/result.hpp \
- /root/repo/src/rdma/memory_region.hpp /root/repo/src/rdma/qp.hpp \
- /root/repo/src/rdma/roce.hpp /root/repo/src/core/report_crafter.hpp \
+ /root/repo/src/rdma/rnic.hpp /root/repo/src/common/atomic_counter.hpp \
+ /root/repo/src/common/result.hpp /root/repo/src/rdma/memory_region.hpp \
+ /root/repo/src/rdma/qp.hpp /root/repo/src/rdma/roce.hpp \
+ /root/repo/src/core/report_crafter.hpp \
  /root/repo/src/switchsim/dart_switch.hpp \
  /root/repo/src/switchsim/externs.hpp \
  /root/repo/src/switchsim/registers.hpp \

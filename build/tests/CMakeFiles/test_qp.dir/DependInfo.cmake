@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/rdma/CMakeFiles/dart_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dart_core.dir/DependInfo.cmake"
   "/root/repo/build/src/net/CMakeFiles/dart_net.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/dart_common.dir/DependInfo.cmake"
   )

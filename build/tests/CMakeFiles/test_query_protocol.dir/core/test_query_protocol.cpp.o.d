@@ -67,7 +67,8 @@ tests/CMakeFiles/test_query_protocol.dir/core/test_query_protocol.cpp.o: \
  /usr/include/c++/12/bits/stl_function.h \
  /usr/include/c++/12/backward/binders.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/query.hpp \
- /root/repo/src/core/store.hpp /root/repo/src/common/hash.hpp \
+ /root/repo/src/core/store.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/hash.hpp \
  /usr/include/c++/12/string_view /usr/include/c++/12/iosfwd \
  /usr/include/c++/12/bits/stringfwd.h /usr/include/c++/12/bits/postypes.h \
  /usr/include/c++/12/cwchar /usr/include/wchar.h \
@@ -215,9 +216,9 @@ tests/CMakeFiles/test_query_protocol.dir/core/test_query_protocol.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/net/headers.hpp \
  /root/repo/src/common/bytes.hpp /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/rdma/rnic.hpp /root/repo/src/common/result.hpp \
+ /root/repo/src/rdma/rnic.hpp /root/repo/src/common/atomic_counter.hpp \
+ /usr/include/c++/12/atomic /root/repo/src/common/result.hpp \
  /usr/include/c++/12/cassert /usr/include/assert.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/net/netsim.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
@@ -295,7 +296,6 @@ tests/CMakeFiles/test_query_protocol.dir/core/test_query_protocol.cpp.o: \
  /root/miniconda/include/gtest/gtest-death-test.h \
  /root/miniconda/include/gtest/internal/gtest-death-test-internal.h \
  /root/miniconda/include/gtest/gtest-matchers.h \
- /usr/include/c++/12/atomic \
  /root/miniconda/include/gtest/gtest-printers.h \
  /root/miniconda/include/gtest/internal/custom/gtest-printers.h \
  /root/miniconda/include/gtest/gtest-param-test.h \

@@ -1,0 +1,60 @@
+// RelaxedCounter — a statistics counter that is safe to bump from many
+// threads at once yet still reads, copies and compares like a plain
+// std::uint64_t.
+//
+// The RNIC and QP counter structs are incremented on the ingest data path;
+// with the sharded ingest pipeline several shard workers drive one
+// SimulatedRnic concurrently, so the counters must be atomic. They are pure
+// monotonic statistics — no ordering is ever derived from them — so every
+// operation uses std::memory_order_relaxed (an uncontended `lock xadd` on
+// x86, the same instruction a seq_cst increment would emit).
+//
+// Copy/assignment take a relaxed snapshot, which keeps counter structs
+// aggregatable (summing per-shard snapshots) exactly like the plain-integer
+// structs they replace.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+
+namespace dart {
+
+class RelaxedCounter {
+ public:
+  constexpr RelaxedCounter() noexcept = default;
+  constexpr RelaxedCounter(std::uint64_t v) noexcept : v_(v) {}  // NOLINT: implicit by design
+
+  RelaxedCounter(const RelaxedCounter& other) noexcept : v_(other.load()) {}
+  RelaxedCounter& operator=(const RelaxedCounter& other) noexcept {
+    v_.store(other.load(), std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator=(std::uint64_t v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+
+  [[nodiscard]] std::uint64_t load() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  operator std::uint64_t() const noexcept { return load(); }  // NOLINT: implicit by design
+
+  RelaxedCounter& operator++() noexcept {
+    v_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator+=(std::uint64_t delta) noexcept {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+    return *this;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const RelaxedCounter& c) {
+    return os << c.load();
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+}  // namespace dart

@@ -1,5 +1,6 @@
 #include "common/hash.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 namespace dart {
@@ -177,6 +178,16 @@ HashFamily::HashFamily(std::uint32_t n_addresses, std::uint64_t master_seed)
   std::uint64_t s = master_seed;
   for (std::uint32_t i = 0; i < n_addresses; ++i) {
     s = mix(s + i);
+    // Degenerate-seed guard: the N address hashes are only independent if
+    // their seeds are pairwise distinct (and distinct from the collector
+    // seed). A colliding pair would silently collapse two of the N slots
+    // into one, inflating return-error rates versus the §4 analysis — for
+    // *every* key, not probabilistically. Re-mix until unique; for sane
+    // seeds (including master_seed == 0) this loop never iterates.
+    while (s == collector_seed_ ||
+           std::find(seeds_.begin(), seeds_.end(), s) != seeds_.end()) {
+      s = mix(s ^ 0xD15'71AC'7ull);
+    }
     seeds_.push_back(s);
   }
 }

@@ -97,6 +97,12 @@ class HashFamily {
 
   [[nodiscard]] std::uint64_t master_seed() const noexcept { return master_seed_; }
 
+  // The derived per-index seeds — guaranteed pairwise distinct (and distinct
+  // from the collector seed) for any master seed, including 0.
+  [[nodiscard]] std::span<const std::uint64_t> address_seeds() const noexcept {
+    return seeds_;
+  }
+
  private:
   std::uint64_t master_seed_;
   std::uint64_t collector_seed_;

@@ -71,6 +71,17 @@ class Xoshiro256 {
   // Bernoulli trial with probability p.
   bool chance(double p) noexcept { return uniform() < p; }
 
+  // Independent per-thread stream `stream_id` derived from one master seed.
+  // Each (seed, stream_id) pair seeds a fresh generator through SplitMix64,
+  // so parallel workers (ingest-pipeline feeders) get decorrelated streams
+  // while the whole run stays reproducible from a single seed.
+  [[nodiscard]] static Xoshiro256 stream(std::uint64_t seed,
+                                         std::uint64_t stream_id) noexcept {
+    SplitMix64 sm(seed);
+    const std::uint64_t base = sm.next();
+    return Xoshiro256(base ^ ((stream_id + 1) * 0x9E37'79B9'7F4A'7C15ull));
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

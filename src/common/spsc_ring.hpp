@@ -1,0 +1,85 @@
+// SpscRing — bounded single-producer / single-consumer lock-free ring.
+//
+// The ingest pipeline wires every feeder thread to every shard worker with
+// one of these (N×M rings total), which is what makes the whole pipeline
+// mutex-free: each ring has exactly one producer (a feeder) and one consumer
+// (a shard worker), so a pair of monotonic indices with acquire/release
+// ordering is sufficient — the classic Lamport queue, plus the two standard
+// refinements high-rate rings use:
+//
+//   - head and tail live on their own cache lines so the producer and
+//     consumer never false-share, and
+//   - each side caches its last observation of the other side's index and
+//     only re-reads it (a cache-coherence miss) when the ring looks full or
+//     empty.
+//
+// Capacity is rounded up to a power of two so wrap-around is a mask, not a
+// division. Indices are unbounded uint64s (they cannot realistically wrap).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace dart {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+  // Producer only. Returns false when the ring is full.
+  [[nodiscard]] bool try_push(T&& v) noexcept {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ >= slots_.size()) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ >= slots_.size()) return false;
+    }
+    slots_[tail & mask_] = std::move(v);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer only. Returns false when the ring is empty.
+  [[nodiscard]] bool try_pop(T& out) noexcept {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Approximate (racy) occupancy — fine for stats and idle heuristics.
+  [[nodiscard]] std::size_t size_approx() const noexcept {
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(tail - head);
+  }
+
+  [[nodiscard]] bool empty_approx() const noexcept { return size_approx() == 0; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // consumer index
+  alignas(64) std::uint64_t cached_tail_ = 0;       // consumer's view of tail_
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // producer index
+  alignas(64) std::uint64_t cached_head_ = 0;       // producer's view of head_
+};
+
+}  // namespace dart

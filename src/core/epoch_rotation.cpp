@@ -47,31 +47,60 @@ RemoteStoreInfo RotatingCollector::info_for(const Region& region) const noexcept
 }
 
 RemoteStoreInfo RotatingCollector::active_info() const noexcept {
-  return info_for(regions_[active_]);
+  // Seqlock read: if a flip lands mid-read we retry, so the returned row is
+  // always a region that was active for one consistent generation. The body
+  // only touches atomics and per-region fields frozen at construction.
+  return seq_read(seq_, [&] {
+    return info_for(regions_[active_.load(std::memory_order_relaxed)]);
+  });
 }
 
 RemoteStoreInfo RotatingCollector::standby_info() const noexcept {
-  return info_for(regions_[1 - active_]);
+  return seq_read(seq_, [&] {
+    return info_for(regions_[1 - active_.load(std::memory_order_relaxed)]);
+  });
+}
+
+std::pair<std::uint64_t, std::uint32_t> RotatingCollector::epoch_snapshot()
+    const noexcept {
+  return seq_read(seq_, [&] {
+    return std::pair{epoch_.load(std::memory_order_relaxed),
+                     active_.load(std::memory_order_relaxed)};
+  });
 }
 
 QueryResult RotatingCollector::query(std::span<const std::byte> key,
                                      ReturnPolicy policy) const {
-  return QueryEngine(*regions_[active_].store).resolve(key, policy);
+  // Pin the region choice under the seqlock; the resolve itself reads slot
+  // memory, which callers must not overlap with ingest into that region
+  // (query after drain — see ingest_pipeline.hpp). A flip between the pin
+  // and the resolve is benign: the old region stays registered and readable
+  // through the grace period.
+  const std::uint32_t region =
+      seq_read(seq_, [&] { return active_.load(std::memory_order_relaxed); });
+  return QueryEngine(*regions_[region].store).resolve(key, policy);
 }
 
 QueryResult RotatingCollector::query_standby(std::span<const std::byte> key,
                                              ReturnPolicy policy) const {
-  return QueryEngine(*regions_[1 - active_].store).resolve(key, policy);
+  const std::uint32_t region =
+      seq_read(seq_, [&] { return active_.load(std::memory_order_relaxed); });
+  return QueryEngine(*regions_[1 - region].store).resolve(key, policy);
 }
 
 void RotatingCollector::flip() {
-  active_ = 1 - active_;
-  ++epoch_;
+  seq_.write_begin();
+  active_.store(1 - active_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+  seq_.write_end();
 }
 
 Result<std::uint64_t> RotatingCollector::seal_previous(const std::string& path) {
-  Region& previous = regions_[1 - active_];
-  auto written = write_epoch_archive(path, epoch_ - 1, *previous.store);
+  Region& previous =
+      regions_[1 - active_.load(std::memory_order_acquire)];
+  auto written = write_epoch_archive(
+      path, epoch_.load(std::memory_order_acquire) - 1, *previous.store);
   if (!written.ok()) return written;
   previous.store->clear();
   return written;

@@ -14,13 +14,24 @@
 //
 // No reporter ever blocks; the only data at risk is what §4 already prices
 // in (a report racing the seal lands in the next epoch's file instead).
+//
+// Threading: the ingest pipeline's feeder threads refresh their directory
+// rows (active_info) while the controller thread flips epochs. A flip
+// publishes {active region, epoch} under a seqlock (SeqCount): readers retry
+// if a flip was in flight, so no thread ever observes a torn rotation — e.g.
+// the new region paired with the old epoch number. All per-region fields
+// (rkey, base_vaddr, memory) are immutable after construction, which is what
+// makes the seqlock's racy read section safe; only the two atomics flip.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.hpp"
+#include "common/seqlock.hpp"
 #include "core/collector.hpp"
 #include "core/epoch.hpp"
 #include "core/query.hpp"
@@ -41,12 +52,26 @@ class RotatingCollector {
   [[nodiscard]] rdma::SimulatedRnic& rnic() noexcept { return rnic_; }
 
   // Directory row for the ACTIVE region — what the controller distributes.
+  // Safe to call from any thread concurrently with flip() (seqlock retry).
   [[nodiscard]] RemoteStoreInfo active_info() const noexcept;
   // Row for the standby region (what the next flip will publish).
   [[nodiscard]] RemoteStoreInfo standby_info() const noexcept;
 
-  [[nodiscard]] std::uint64_t current_epoch() const noexcept { return epoch_; }
-  [[nodiscard]] std::uint32_t active_region() const noexcept { return active_; }
+  // Consistent {epoch, active region} snapshot — the pair a directory push
+  // carries. Never torn across a concurrent flip().
+  [[nodiscard]] std::pair<std::uint64_t, std::uint32_t> epoch_snapshot()
+      const noexcept;
+
+  [[nodiscard]] std::uint64_t current_epoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint32_t active_region() const noexcept {
+    return active_.load(std::memory_order_acquire);
+  }
+  // Rotation generation counter (even = stable, odd = flip in flight).
+  [[nodiscard]] std::uint64_t rotation_generation() const noexcept {
+    return seq_.generation();
+  }
 
   // Live query against the active region.
   [[nodiscard]] QueryResult query(std::span<const std::byte> key,
@@ -58,7 +83,9 @@ class RotatingCollector {
                                           ReturnPolicy policy = ReturnPolicy::kPlurality) const;
 
   // Epoch flip, step 1+2: activate the standby region. The previous region
-  // keeps accepting in-flight writes until seal_previous().
+  // keeps accepting in-flight writes until seal_previous(). Must be called
+  // from one controller thread at a time (seqlock writers are exclusive);
+  // readers on other threads are never blocked.
   void flip();
 
   // Epoch flip, step 3: seal the now-standby (previous) region to `path`
@@ -82,8 +109,11 @@ class RotatingCollector {
   CollectorEndpoint endpoint_;
   rdma::SimulatedRnic rnic_;
   Region regions_[2];
-  std::uint32_t active_ = 0;
-  std::uint64_t epoch_ = 0;
+  // Guarded by seq_: the pair must be observed consistently. Individually
+  // atomic so the seqlock's racy read section is data-race-free under TSan.
+  SeqCount seq_;
+  std::atomic<std::uint32_t> active_{0};
+  std::atomic<std::uint64_t> epoch_{0};
 };
 
 }  // namespace dart::core

@@ -1,0 +1,242 @@
+#include "core/ingest_pipeline.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "common/random.hpp"
+#include "core/store.hpp"
+
+namespace dart::core {
+
+namespace {
+
+CollectorEndpoint pipeline_endpoint() {
+  return {{2, 0, 0, 0, 0, 0x50}, net::Ipv4Addr::from_octets(10, 0, 200, 1)};
+}
+
+ReporterEndpoint switch_endpoint(std::uint32_t feeder, std::uint32_t sw) {
+  ReporterEndpoint ep;
+  ep.mac = {0x02, 0xFE, 0x00, 0x00, static_cast<std::uint8_t>(feeder),
+            static_cast<std::uint8_t>(sw)};
+  ep.ip = net::Ipv4Addr::from_octets(10, 1, static_cast<std::uint8_t>(feeder),
+                                     static_cast<std::uint8_t>(sw + 1));
+  ep.udp_src_port = static_cast<std::uint16_t>(0xC000 + feeder * 256 + sw);
+  return ep;
+}
+
+}  // namespace
+
+std::array<std::byte, 8> IngestPipeline::make_key(std::uint32_t feeder,
+                                                  std::uint64_t k) noexcept {
+  // Feeder id in the top bits keeps feeder keyspaces disjoint.
+  const std::uint64_t id = (static_cast<std::uint64_t>(feeder) << 40) | k;
+  std::array<std::byte, 8> key;
+  std::memcpy(key.data(), &id, 8);
+  return key;
+}
+
+void IngestPipeline::make_value(std::span<const std::byte> key,
+                                std::uint32_t value_bytes,
+                                std::vector<std::byte>& out) {
+  std::uint64_t id = 0;
+  std::memcpy(&id, key.data(), std::min<std::size_t>(key.size(), 8));
+  SplitMix64 sm(id ^ 0x5AFE'C0DE'D00D'F00Dull);
+  out.clear();
+  out.reserve(value_bytes);
+  std::uint64_t word = 0;
+  for (std::uint32_t i = 0; i < value_bytes; ++i) {
+    if (i % 8 == 0) word = sm.next();
+    out.push_back(static_cast<std::byte>(word & 0xFF));
+    word >>= 8;
+  }
+}
+
+IngestPipeline::IngestPipeline(const IngestPipelineConfig& config)
+    : config_(config),
+      collector_(config.dart, /*collector_id=*/0, pipeline_endpoint()),
+      crafter_(config.dart) {
+  assert(config_.valid());
+  collector_.rnic().set_validate_icrc(config_.validate_icrc);
+  const std::size_t n_rings =
+      static_cast<std::size_t>(config_.n_feeders) * config_.n_shards;
+  rings_.reserve(n_rings);
+  for (std::size_t i = 0; i < n_rings; ++i) {
+    rings_.push_back(std::make_unique<Ring>(config_.ring_capacity));
+  }
+  feeder_tallies_.resize(config_.n_feeders);
+  worker_tallies_.resize(config_.n_shards);
+}
+
+IngestPipeline::~IngestPipeline() {
+  if (running_) (void)finish();
+}
+
+void IngestPipeline::start() {
+  assert(!running_);
+  running_ = true;
+  feeders_done_.store(0, std::memory_order_relaxed);
+  started_at_ = std::chrono::steady_clock::now();
+  threads_.reserve(config_.n_feeders + config_.n_shards);
+  // Workers first so rings drain from the moment feeders wake.
+  for (std::uint32_t s = 0; s < config_.n_shards; ++s) {
+    threads_.emplace_back([this, s] { worker_main(s); });
+  }
+  for (std::uint32_t f = 0; f < config_.n_feeders; ++f) {
+    threads_.emplace_back([this, f] { feeder_main(f); });
+  }
+}
+
+IngestPipelineStats IngestPipeline::finish() {
+  assert(running_);
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+  running_ = false;
+  const auto elapsed = std::chrono::steady_clock::now() - started_at_;
+
+  IngestPipelineStats stats;
+  stats.seconds = std::chrono::duration<double>(elapsed).count();
+  for (const auto& t : feeder_tallies_) {
+    stats.reports_generated += t.reports;
+    stats.frames_crafted += t.crafted;
+    stats.frames_dropped += t.dropped;
+    stats.ring_full_spins += t.full_spins;
+  }
+  stats.per_shard_applied.reserve(worker_tallies_.size());
+  for (const auto& t : worker_tallies_) {
+    stats.frames_applied += t.applied;
+    stats.frames_rejected += t.rejected;
+    stats.per_shard_applied.push_back(t.applied);
+  }
+  return stats;
+}
+
+IngestPipelineStats IngestPipeline::run() {
+  start();
+  return finish();
+}
+
+void IngestPipeline::feeder_main(std::uint32_t feeder_id) {
+  FeederTally& tally = feeder_tallies_[feeder_id];
+  auto rng = Xoshiro256::stream(config_.seed, feeder_id);
+  const std::unique_ptr<net::LossModel> loss =
+      config_.loss_model ? config_.loss_model->clone() : nullptr;
+
+  std::vector<ReporterEndpoint> switches;
+  std::vector<std::uint32_t> psns(config_.switches_per_feeder, 0);
+  switches.reserve(config_.switches_per_feeder);
+  for (std::uint32_t sw = 0; sw < config_.switches_per_feeder; ++sw) {
+    switches.push_back(switch_endpoint(feeder_id, sw));
+  }
+
+  const std::uint64_t unique_keys = config_.unique_keys_per_feeder != 0
+                                        ? config_.unique_keys_per_feeder
+                                        : config_.reports_per_feeder;
+  const bool stochastic = config_.dart.write_mode == WriteMode::kStochastic;
+  const std::uint64_t n_slots = config_.dart.n_slots;
+
+  RemoteStoreInfo dst = collector_.active_info();
+  std::vector<std::byte> value;
+
+  // Pushes one crafted frame to the shard that owns its target slot,
+  // spinning (with yield) on backpressure — reports are never silently lost
+  // to a full ring, which would skew the loss accounting tests rely on.
+  auto emit = [&](std::uint64_t slot, const std::vector<std::byte>& frame) {
+    assert(frame.size() <= kMaxFrameBytes);
+    const std::uint32_t shard = static_cast<std::uint32_t>(
+        shard_of_slot(slot, n_slots, config_.n_shards));
+    FrameSlot item;
+    item.len = static_cast<std::uint16_t>(frame.size());
+    std::memcpy(item.bytes.data(), frame.data(), frame.size());
+    Ring& r = ring(feeder_id, shard);
+    while (!r.try_push(std::move(item))) {
+      ++tally.full_spins;
+      std::this_thread::yield();
+    }
+  };
+
+  for (std::uint64_t i = 0; i < config_.reports_per_feeder; ++i) {
+    if (i % config_.directory_refresh == 0) {
+      // Seqlock-protected directory refresh: never observes a torn flip.
+      dst = collector_.active_info();
+    }
+    const auto key = make_key(feeder_id, i % unique_keys);
+    make_value(key, config_.dart.value_bytes, value);
+    const std::uint32_t sw =
+        static_cast<std::uint32_t>(i % config_.switches_per_feeder);
+    ++tally.reports;
+
+    const std::uint32_t first_copy =
+        stochastic ? static_cast<std::uint32_t>(
+                         rng.below(config_.dart.n_addresses))
+                   : 0;
+    const std::uint32_t copies = stochastic ? 1 : config_.dart.n_addresses;
+    for (std::uint32_t c = 0; c < copies; ++c) {
+      const std::uint32_t n = stochastic ? first_copy : c;
+      ++tally.crafted;
+      if (loss && loss->drop(rng)) {
+        ++tally.dropped;
+        continue;
+      }
+      const std::uint64_t slot =
+          crafter_.hashes().address_of(key, n, dst.n_slots);
+      if (config_.second_copy_cas && n == 1) {
+        // §7 insert-if-empty: CAS the slot's 64-bit word from 0 to the
+        // packed [checksum ‖ value] payload (config guarantees
+        // slot_bytes == 8, so the CAS covers the whole slot).
+        std::vector<std::byte> payload;
+        payload.reserve(config_.dart.slot_bytes());
+        const std::uint32_t checksum =
+            crafter_.hashes().checksum_of(key, config_.dart.checksum_bits);
+        for (std::uint32_t b = 0; b < config_.dart.checksum_bytes(); ++b) {
+          payload.push_back(static_cast<std::byte>((checksum >> (8 * b)) & 0xFF));
+        }
+        payload.insert(payload.end(), value.begin(), value.end());
+        std::uint64_t swap = 0;
+        std::memcpy(&swap, payload.data(), 8);
+        emit(slot, crafter_.craft_compare_swap(dst, switches[sw],
+                                               dst.slot_vaddr(slot),
+                                               /*compare=*/0, swap,
+                                               psns[sw]++));
+      } else {
+        emit(slot, crafter_.craft_write(dst, switches[sw], key, value, n,
+                                        psns[sw]++));
+      }
+    }
+  }
+
+  feeders_done_.fetch_add(1, std::memory_order_release);
+}
+
+void IngestPipeline::worker_main(std::uint32_t shard_id) {
+  WorkerTally& tally = worker_tallies_[shard_id];
+  auto& rnic = collector_.rnic();
+  FrameSlot item;
+  for (;;) {
+    // Order matters: observe the done count BEFORE the sweep. If the sweep
+    // then finds every ring empty while done was already at n_feeders, no
+    // push can arrive afterwards (pushes happen-before the release
+    // fetch_add in feeder_main), so exiting is safe.
+    const bool done = feeders_done_.load(std::memory_order_acquire) ==
+                      config_.n_feeders;
+    bool got = false;
+    for (std::uint32_t f = 0; f < config_.n_feeders; ++f) {
+      Ring& r = ring(f, shard_id);
+      while (r.try_pop(item)) {
+        got = true;
+        const auto frame = std::span<const std::byte>(item.bytes.data(),
+                                                      item.len);
+        if (rnic.process_frame(frame).has_value()) {
+          ++tally.applied;
+        } else {
+          ++tally.rejected;
+        }
+      }
+    }
+    if (got) continue;
+    if (done) break;
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace dart::core

@@ -1,0 +1,202 @@
+// Sharded multi-threaded ingest pipeline.
+//
+// The paper's collector never spends CPU on ingest — the RNIC DMAs reports
+// into memory. When the RNIC is simulated in software, that DMA engine *is*
+// CPU work, and a single thread caps the achievable report rate. This module
+// parallelizes the simulated data path the same way hardware does:
+//
+//   feeder 0 ──ring──▶ shard worker 0 ──▶ slots [0,    M/S)
+//   feeder 1 ──ring──▶ shard worker 1 ──▶ slots [M/S, 2M/S)      (× S shards)
+//     ⋮     ╲─ring──▶    ⋮
+//
+// - N FEEDER threads play the switch fleet: each owns a set of simulated
+//   switches (ReporterEndpoints with per-switch PSN counters), a private
+//   Xoshiro256 stream (Xoshiro256::stream — decorrelated but reproducible
+//   from one master seed), and an optional clone() of a LossModel, and
+//   crafts byte-exact RoCEv2 report frames.
+// - S SHARD WORKERS play the RNIC's DMA engines: worker s executes only
+//   frames whose target slot lies in shard s's contiguous slot range
+//   (store.hpp shard_of_slot). Keying frames to workers by slot-address
+//   range makes every slot byte single-writer, so concurrent
+//   SimulatedRnic::process_frame calls never race on store memory.
+// - Each (feeder, shard) pair is connected by a wait-free SPSC ring whose
+//   items are fixed-size inline frame buffers — no cross-thread allocation
+//   on the hot path.
+//
+// The pipeline ingests into a RotatingCollector, so live epoch flips are
+// part of the design: feeders refresh their directory row every
+// `directory_refresh` reports through the rotation seqlock, which guarantees
+// they never observe a torn {region, epoch} pair mid-flip.
+//
+// Read-your-ingest discipline: query() is safe only when no worker is
+// executing (before start() or after finish()); during ingest, slot memory
+// is being DMAed into and reads would race. This mirrors the paper's
+// deployment, where queries hit a sealed epoch or tolerate live churn.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/spsc_ring.hpp"
+#include "core/collector.hpp"
+#include "core/config.hpp"
+#include "core/epoch_rotation.hpp"
+#include "core/query.hpp"
+#include "core/report_crafter.hpp"
+#include "net/netsim.hpp"
+
+namespace dart::core {
+
+// Largest report frame the inline ring buffers can carry. Eth+IP+UDP+BTH+
+// RETH+iCRC is 74 bytes, so this supports slot payloads up to 182 bytes —
+// far beyond the paper's 24-byte INT reports.
+inline constexpr std::size_t kMaxFrameBytes = 256;
+
+struct IngestPipelineConfig {
+  DartConfig dart;
+  std::uint32_t n_feeders = 2;
+  std::uint32_t n_shards = 2;
+  std::uint32_t switches_per_feeder = 4;
+  std::size_t ring_capacity = 1024;
+  std::uint64_t reports_per_feeder = 10'000;
+  // Distinct keys each feeder cycles through; 0 = every report a fresh key.
+  std::uint64_t unique_keys_per_feeder = 0;
+  std::uint64_t seed = 1;
+  bool validate_icrc = true;
+  // §7 CAS-insert wire mode: copy 0 is a WRITE, copy 1 a CAS-if-empty.
+  // Requires n_addresses == 2 and slot_bytes() == 8 so the 64-bit CAS word
+  // covers the whole slot.
+  bool second_copy_cas = false;
+  // Feeders re-read the collector's directory row (through the rotation
+  // seqlock) every this-many reports.
+  std::uint32_t directory_refresh = 64;
+  // Optional report-loss process; each feeder works on its own clone().
+  const net::LossModel* loss_model = nullptr;
+
+  [[nodiscard]] bool valid() const noexcept {
+    const bool cas_ok = !second_copy_cas ||
+                        (dart.n_addresses == 2 && dart.slot_bytes() == 8);
+    return dart.valid() && n_feeders >= 1 && n_shards >= 1 &&
+           switches_per_feeder >= 1 && ring_capacity >= 2 &&
+           directory_refresh >= 1 && cas_ok &&
+           74 + dart.slot_bytes() <= kMaxFrameBytes;
+  }
+};
+
+struct IngestPipelineStats {
+  double seconds = 0.0;
+  std::uint64_t reports_generated = 0;
+  std::uint64_t frames_crafted = 0;
+  std::uint64_t frames_dropped = 0;   // feeder-side loss-model drops
+  std::uint64_t frames_applied = 0;   // RNIC returned a completion
+  std::uint64_t frames_rejected = 0;  // RNIC rejected (counters say why)
+  std::uint64_t ring_full_spins = 0;  // backpressure events at full rings
+  std::vector<std::uint64_t> per_shard_applied;
+
+  [[nodiscard]] double mreports_per_sec() const noexcept {
+    return seconds > 0.0
+               ? static_cast<double>(reports_generated) / seconds / 1e6
+               : 0.0;
+  }
+};
+
+class IngestPipeline {
+ public:
+  explicit IngestPipeline(const IngestPipelineConfig& config);
+  ~IngestPipeline();
+
+  IngestPipeline(const IngestPipeline&) = delete;
+  IngestPipeline& operator=(const IngestPipeline&) = delete;
+
+  // Launches feeders and shard workers. Call finish() to join.
+  void start();
+
+  // Joins all threads and returns aggregated statistics.
+  IngestPipelineStats finish();
+
+  // start() + finish().
+  IngestPipelineStats run();
+
+  // Live epoch flip — safe while feeders are running (rotation seqlock).
+  void rotate() { collector_.flip(); }
+  [[nodiscard]] Result<std::uint64_t> seal_previous(const std::string& path) {
+    return collector_.seal_previous(path);
+  }
+
+  // Query the active region. Only call while the pipeline is quiescent
+  // (before start() / after finish()) — see the header comment.
+  [[nodiscard]] QueryResult query(
+      std::span<const std::byte> key,
+      ReturnPolicy policy = ReturnPolicy::kPlurality) const {
+    return collector_.query(key, policy);
+  }
+
+  [[nodiscard]] RotatingCollector& collector() noexcept { return collector_; }
+  [[nodiscard]] const RotatingCollector& collector() const noexcept {
+    return collector_;
+  }
+  [[nodiscard]] const IngestPipelineConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const ReportCrafter& crafter() const noexcept {
+    return crafter_;
+  }
+
+  // Deterministic workload: the key and value of report k from `feeder` are
+  // pure functions of (feeder, k), so tests can predict exactly what any
+  // query must return after a run.
+  [[nodiscard]] static std::array<std::byte, 8> make_key(
+      std::uint32_t feeder, std::uint64_t k) noexcept;
+  static void make_value(std::span<const std::byte> key,
+                         std::uint32_t value_bytes,
+                         std::vector<std::byte>& out);
+
+ private:
+  // Fixed-size ring item: length-prefixed inline frame bytes. Copying one is
+  // a short memcpy; no allocator crosses the feeder→worker boundary.
+  struct FrameSlot {
+    std::uint16_t len = 0;
+    std::array<std::byte, kMaxFrameBytes> bytes;
+  };
+  using Ring = SpscRing<FrameSlot>;
+
+  // Per-thread tallies, cache-line separated so threads never share a line.
+  struct alignas(64) FeederTally {
+    std::uint64_t reports = 0;
+    std::uint64_t crafted = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t full_spins = 0;
+  };
+  struct alignas(64) WorkerTally {
+    std::uint64_t applied = 0;
+    std::uint64_t rejected = 0;
+  };
+
+  [[nodiscard]] Ring& ring(std::uint32_t feeder, std::uint32_t shard) noexcept {
+    return *rings_[static_cast<std::size_t>(feeder) * config_.n_shards + shard];
+  }
+
+  void feeder_main(std::uint32_t feeder_id);
+  void worker_main(std::uint32_t shard_id);
+
+  IngestPipelineConfig config_;
+  RotatingCollector collector_;
+  ReportCrafter crafter_;
+  std::vector<std::unique_ptr<Ring>> rings_;  // [feeder × shard]
+  std::vector<FeederTally> feeder_tallies_;
+  std::vector<WorkerTally> worker_tallies_;
+  std::vector<std::thread> threads_;
+  std::atomic<std::uint32_t> feeders_done_{0};
+  std::chrono::steady_clock::time_point started_at_{};
+  bool running_ = false;
+};
+
+}  // namespace dart::core

@@ -23,12 +23,41 @@
 
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/hash.hpp"
 #include "core/config.hpp"
 
 namespace dart::core {
+
+// ---- slot-range sharding ---------------------------------------------------
+//
+// The sharded ingest pipeline partitions the M slots into n_shards contiguous
+// ranges so each range has exactly one writer thread (no two workers ever
+// touch the same slot bytes). The partition is the classic balanced integer
+// split: slot i belongs to shard ⌊i·S/M⌋, so ranges differ in size by at most
+// one slot. Free functions: switches and feeders need the mapping without a
+// DartStore in hand.
+
+[[nodiscard]] constexpr std::uint32_t shard_of_slot(
+    std::uint64_t index, std::uint64_t n_slots,
+    std::uint32_t n_shards) noexcept {
+  return static_cast<std::uint32_t>(index * n_shards / n_slots);
+}
+
+// Half-open [first, last) slot range owned by `shard`; the inverse of
+// shard_of_slot (every index in the range maps back to `shard`).
+[[nodiscard]] constexpr std::pair<std::uint64_t, std::uint64_t>
+shard_slot_range(std::uint32_t shard, std::uint64_t n_slots,
+                 std::uint32_t n_shards) noexcept {
+  const auto lo =
+      (static_cast<std::uint64_t>(shard) * n_slots + n_shards - 1) / n_shards;
+  const auto hi =
+      (static_cast<std::uint64_t>(shard + 1) * n_slots + n_shards - 1) /
+      n_shards;
+  return {lo, hi};
+}
 
 // One decoded slot.
 struct SlotView {
@@ -59,6 +88,13 @@ class DartStore {
   // Byte offset of a slot within the memory block.
   [[nodiscard]] std::uint64_t slot_offset(std::uint64_t index) const noexcept {
     return index * config_.slot_bytes();
+  }
+
+  // Shard owning a slot under an n_shards-way range partition (see the free
+  // functions above).
+  [[nodiscard]] std::uint32_t shard_of(std::uint64_t index,
+                                       std::uint32_t n_shards) const noexcept {
+    return shard_of_slot(index, config_.n_slots, n_shards);
   }
 
   // b-bit key checksum as stored in slots.

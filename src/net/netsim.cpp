@@ -6,13 +6,18 @@
 namespace dart::net {
 
 bool GilbertElliottLoss::drop(Xoshiro256& rng) {
-  // State transition first, then the state's loss rate.
+  // Standard Gilbert-Elliott formulation: the CURRENT state decides this
+  // packet's fate, then the chain transitions for the next packet.
+  // (Transitioning first is a subtly different chain: the very first packet
+  // would already sample the post-transition state, which shifts the burst
+  // statistics and makes the initial state unobservable.)
+  const bool lost = rng.chance(bad_ ? loss_bad_ : loss_good_);
   if (bad_) {
     if (rng.chance(p_bg_)) bad_ = false;
   } else {
     if (rng.chance(p_gb_)) bad_ = true;
   }
-  return rng.chance(bad_ ? loss_bad_ : loss_good_);
+  return lost;
 }
 
 NodeId Simulator::add_node(Node& node) {

@@ -58,28 +58,42 @@ class Node {
   std::string name_;
 };
 
-// Loss process attached to a link.
+// Loss process attached to a link. The RNG is plumbed in per call rather
+// than owned, so one model description can be replicated across threads
+// (clone()) with each replica driven by its thread's private Xoshiro256
+// stream — the pattern the ingest pipeline's feeders use.
 class LossModel {
  public:
   virtual ~LossModel() = default;
   [[nodiscard]] virtual bool drop(Xoshiro256& rng) = 0;
+  // Fresh replica with the same parameters and initial state (not the
+  // current chain state) — per-thread loss processes must start identically.
+  [[nodiscard]] virtual std::unique_ptr<LossModel> clone() const = 0;
 };
 
 class NoLoss final : public LossModel {
  public:
   [[nodiscard]] bool drop(Xoshiro256&) override { return false; }
+  [[nodiscard]] std::unique_ptr<LossModel> clone() const override {
+    return std::make_unique<NoLoss>();
+  }
 };
 
 class BernoulliLoss final : public LossModel {
  public:
   explicit BernoulliLoss(double p) : p_(p) {}
   [[nodiscard]] bool drop(Xoshiro256& rng) override { return rng.chance(p_); }
+  [[nodiscard]] std::unique_ptr<LossModel> clone() const override {
+    return std::make_unique<BernoulliLoss>(p_);
+  }
 
  private:
   double p_;
 };
 
-// Two-state Gilbert-Elliott bursty loss.
+// Two-state Gilbert-Elliott bursty loss. Each packet is dropped with the
+// current state's loss rate, THEN the chain transitions (the standard
+// formulation; see GilbertElliottLoss::drop).
 class GilbertElliottLoss final : public LossModel {
  public:
   // p_gb: P(good→bad), p_bg: P(bad→good), loss_good/loss_bad: drop rates.
@@ -88,8 +102,19 @@ class GilbertElliottLoss final : public LossModel {
       : p_gb_(p_gb), p_bg_(p_bg), loss_good_(loss_good), loss_bad_(loss_bad) {}
 
   [[nodiscard]] bool drop(Xoshiro256& rng) override;
+  [[nodiscard]] std::unique_ptr<LossModel> clone() const override {
+    return std::make_unique<GilbertElliottLoss>(p_gb_, p_bg_, loss_good_,
+                                                loss_bad_);
+  }
 
   [[nodiscard]] bool in_bad_state() const noexcept { return bad_; }
+
+  // Stationary expected loss rate of the chain: P(bad) = p_gb/(p_gb+p_bg).
+  [[nodiscard]] double stationary_loss_rate() const noexcept {
+    const double denom = p_gb_ + p_bg_;
+    const double p_bad = denom > 0 ? p_gb_ / denom : 0.0;
+    return (1.0 - p_bad) * loss_good_ + p_bad * loss_bad_;
+  }
 
  private:
   double p_gb_, p_bg_, loss_good_, loss_bad_;

@@ -32,16 +32,23 @@ std::vector<std::byte> encode_multiwrite(std::uint32_t rkey, std::uint32_t psn,
 
 std::optional<DtaMultiWrite> parse_multiwrite(
     std::span<const std::byte> udp_payload) {
-  if (udp_payload.size() < 14 + 4) return std::nullopt;
+  // Reject truncated frames before ANY `size() - 4` span arithmetic: the
+  // sizes are unsigned, so a frame shorter than the CRC trailer alone would
+  // underflow into a huge subspan length. The CRC guard alone is not enough
+  // — it must not even be computed on a short frame.
+  if (udp_payload.size() < kDtaCrcLen) return std::nullopt;
+  // Minimum well-formed frame: full header + ≥1 target + CRC trailer.
+  if (udp_payload.size() < kDtaHeaderLen + 8 + kDtaCrcLen) return std::nullopt;
 
   // CRC trailer first.
   std::uint32_t carried;
-  std::memcpy(&carried, udp_payload.data() + udp_payload.size() - 4, 4);
-  if (crc32(udp_payload.first(udp_payload.size() - 4)) != carried) {
+  std::memcpy(&carried, udp_payload.data() + udp_payload.size() - kDtaCrcLen,
+              kDtaCrcLen);
+  if (crc32(udp_payload.first(udp_payload.size() - kDtaCrcLen)) != carried) {
     return std::nullopt;
   }
 
-  BufReader r(udp_payload.first(udp_payload.size() - 4));
+  BufReader r(udp_payload.first(udp_payload.size() - kDtaCrcLen));
   if (r.be16() != 0x4454) return std::nullopt;
   if (r.u8() != kDtaVersion) return std::nullopt;
   const std::uint8_t count = r.u8();
@@ -51,6 +58,15 @@ std::optional<DtaMultiWrite> parse_multiwrite(
   mw.rkey = r.be32();
   mw.psn = r.be32();
   const std::uint16_t data_len = r.be16();
+  // A report always carries at least a checksum byte, and the remaining
+  // bytes must cover the declared data length plus every target address —
+  // checked explicitly so a lying length field cannot push the payload view
+  // past the end (BufReader would catch it too; this keeps the reject
+  // unconditional and obvious).
+  if (data_len == 0) return std::nullopt;
+  if (r.remaining() < data_len + static_cast<std::size_t>(count) * 8) {
+    return std::nullopt;
+  }
   mw.payload = r.view(data_len);
   if (mw.payload.size() != data_len) return std::nullopt;
   mw.vaddrs.reserve(count);

@@ -30,6 +30,8 @@ namespace dart::rdma {
 inline constexpr std::uint16_t kDtaUdpPort = 4793;
 inline constexpr std::uint8_t kDtaVersion = 1;
 inline constexpr std::uint8_t kDtaMaxTargets = 16;
+inline constexpr std::size_t kDtaHeaderLen = 14;  // magic..data-len field
+inline constexpr std::size_t kDtaCrcLen = 4;      // CRC32 trailer
 
 struct DtaMultiWrite {
   std::uint32_t rkey = 0;

@@ -8,31 +8,35 @@ bool QueuePair::accept_psn(std::uint32_t psn) noexcept {
   psn &= kPsnMask;
   if (type_ == QpType::kUc || policy_ == PsnPolicy::kIgnore) {
     ++counters_.accepted;
-    expected_psn_ = (psn + 1) & kPsnMask;
+    expected_psn_.store((psn + 1) & kPsnMask, std::memory_order_relaxed);
     return true;
   }
 
-  const std::uint32_t ahead = psn_distance(expected_psn_, psn);
+  const std::uint32_t expected = expected_psn_.load(std::memory_order_relaxed);
+  const std::uint32_t ahead = psn_distance(expected, psn);
   constexpr std::uint32_t kHalfWindow = 0x0080'0000u;
 
   if (policy_ == PsnPolicy::kStrict) {
-    if (psn != expected_psn_) {
+    if (psn != expected) {
       ++counters_.psn_stale;
       return false;
     }
     ++counters_.accepted;
-    expected_psn_ = (expected_psn_ + 1) & kPsnMask;
+    expected_psn_.store((expected + 1) & kPsnMask, std::memory_order_relaxed);
     return true;
   }
 
-  // kTolerateLoss: accept anything in the forward half-window.
+  // kTolerateLoss: accept anything in the forward half-window. `ahead` is
+  // computed modulo 2^24, so a gap that straddles the wraparound (expected
+  // 0xFFFFFF, received 0x000001) still counts exactly the PSNs in
+  // [expected, psn) — the reports that were lost — with no off-by-one.
   if (ahead >= kHalfWindow) {
     ++counters_.psn_stale;  // behind us: duplicate or badly delayed
     return false;
   }
   counters_.psn_gaps += ahead;  // ahead > 0 means `ahead` reports were lost
   ++counters_.accepted;
-  expected_psn_ = (psn + 1) & kPsnMask;
+  expected_psn_.store((psn + 1) & kPsnMask, std::memory_order_relaxed);
   return true;
 }
 

@@ -8,10 +8,12 @@
 // (= lost reports), and drop stale/duplicate PSNs. UC QPs always accept.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "common/atomic_counter.hpp"
 #include "rdma/memory_region.hpp"
 
 namespace dart::rdma {
@@ -25,10 +27,12 @@ enum class PsnPolicy : std::uint8_t {
   kIgnore,          // accept everything (diagnostics)
 };
 
+// Counters are RelaxedCounter so one QP can be driven by several shard
+// workers at once (the sharded ingest pipeline shares a single report QP).
 struct QpCounters {
-  std::uint64_t accepted = 0;
-  std::uint64_t psn_stale = 0;   // duplicate / out-of-window
-  std::uint64_t psn_gaps = 0;    // total PSNs skipped by gaps
+  RelaxedCounter accepted;
+  RelaxedCounter psn_stale;   // duplicate / out-of-window
+  RelaxedCounter psn_gaps;    // total PSNs skipped by gaps
 };
 
 class QueuePair {
@@ -37,18 +41,44 @@ class QueuePair {
             PsnPolicy policy = PsnPolicy::kTolerateLoss)
       : qpn_(qpn), type_(type), pd_(pd), policy_(policy) {}
 
+  // Copyable so QpRegistry's vector can grow; the copy snapshots the
+  // (atomic) PSN window and counters.
+  QueuePair(const QueuePair& other) noexcept
+      : qpn_(other.qpn_), type_(other.type_), pd_(other.pd_),
+        policy_(other.policy_),
+        expected_psn_(other.expected_psn_.load(std::memory_order_relaxed)),
+        counters_(other.counters_) {}
+  QueuePair& operator=(const QueuePair& other) noexcept {
+    qpn_ = other.qpn_;
+    type_ = other.type_;
+    pd_ = other.pd_;
+    policy_ = other.policy_;
+    expected_psn_.store(other.expected_psn_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    counters_ = other.counters_;
+    return *this;
+  }
+
   [[nodiscard]] std::uint32_t qpn() const noexcept { return qpn_; }
   [[nodiscard]] QpType type() const noexcept { return type_; }
   [[nodiscard]] PdHandle pd() const noexcept { return pd_; }
   [[nodiscard]] const QpCounters& counters() const noexcept { return counters_; }
-  [[nodiscard]] std::uint32_t expected_psn() const noexcept { return expected_psn_; }
+  [[nodiscard]] std::uint32_t expected_psn() const noexcept {
+    return expected_psn_.load(std::memory_order_relaxed);
+  }
 
   void set_expected_psn(std::uint32_t psn) noexcept {
-    expected_psn_ = psn & kPsnMask;
+    expected_psn_.store(psn & kPsnMask, std::memory_order_relaxed);
   }
 
   // Validates and advances the PSN window. Returns true if the packet should
   // be executed.
+  //
+  // Thread-safety: under kIgnore (and for UC QPs) this is safe to call from
+  // many threads — counters and the (advisory) expected PSN are atomic. The
+  // window-tracking policies (kStrict, kTolerateLoss) perform a
+  // read-modify-write of the window and assume one caller at a time, which
+  // matches their use: per-switch PSN streams terminate on dedicated QPs.
   [[nodiscard]] bool accept_psn(std::uint32_t psn) noexcept;
 
  private:
@@ -63,7 +93,7 @@ class QueuePair {
   QpType type_;
   PdHandle pd_;
   PsnPolicy policy_;
-  std::uint32_t expected_psn_ = 0;
+  std::atomic<std::uint32_t> expected_psn_{0};
   QpCounters counters_;
 };
 

@@ -20,6 +20,7 @@
 #include <optional>
 #include <span>
 
+#include "common/atomic_counter.hpp"
 #include "common/result.hpp"
 #include "net/netsim.hpp"
 #include "rdma/memory_region.hpp"
@@ -28,24 +29,28 @@
 
 namespace dart::rdma {
 
+// All counters are RelaxedCounter: the sharded ingest pipeline drives one
+// RNIC from several shard workers concurrently (a hardware RNIC services
+// many DMA engines the same way), so the statistics must tolerate parallel
+// increments without a data race.
 struct RnicCounters {
-  std::uint64_t frames = 0;          // frames seen
-  std::uint64_t executed = 0;        // operations applied to memory
-  std::uint64_t writes = 0;
-  std::uint64_t multiwrite_frames = 0;  // §7 DTA multiwrite frames executed
-  std::uint64_t fetch_adds = 0;
-  std::uint64_t compare_swaps = 0;
-  std::uint64_t cas_mismatches = 0;  // CAS executed but compare failed
-  std::uint64_t not_roce = 0;        // not UDP/4791 or unparsable frame
-  std::uint64_t bad_icrc = 0;
-  std::uint64_t bad_opcode = 0;
-  std::uint64_t unknown_qp = 0;
-  std::uint64_t psn_rejected = 0;
-  std::uint64_t bad_rkey = 0;
-  std::uint64_t pd_mismatch = 0;
-  std::uint64_t access_denied = 0;
-  std::uint64_t out_of_bounds = 0;
-  std::uint64_t unaligned_atomic = 0;
+  RelaxedCounter frames;          // frames seen
+  RelaxedCounter executed;        // operations applied to memory
+  RelaxedCounter writes;
+  RelaxedCounter multiwrite_frames;  // §7 DTA multiwrite frames executed
+  RelaxedCounter fetch_adds;
+  RelaxedCounter compare_swaps;
+  RelaxedCounter cas_mismatches;  // CAS executed but compare failed
+  RelaxedCounter not_roce;        // not UDP/4791 or unparsable frame
+  RelaxedCounter bad_icrc;
+  RelaxedCounter bad_opcode;
+  RelaxedCounter unknown_qp;
+  RelaxedCounter psn_rejected;
+  RelaxedCounter bad_rkey;
+  RelaxedCounter pd_mismatch;
+  RelaxedCounter access_denied;
+  RelaxedCounter out_of_bounds;
+  RelaxedCounter unaligned_atomic;
 };
 
 // Completion record for an executed operation (what a CQE would carry).
@@ -81,6 +86,14 @@ class SimulatedRnic : public net::Node {
 
   // Processes one Ethernet frame. Returns the completion if an operation was
   // executed; counters explain every rejection.
+  //
+  // Thread-safety: concurrent calls are safe provided (a) the control plane
+  // (register_mr / create_qp / set_*) is quiescent, (b) target QPs use
+  // PsnPolicy::kIgnore or are driven by one thread each (see
+  // QueuePair::accept_psn), and (c) callers do not issue overlapping writes
+  // to the same bytes — the discipline the sharded ingest pipeline enforces
+  // by routing frames to shard workers by slot-address range. This mirrors
+  // hardware: an RNIC runs many DMA engines against one memory map.
   std::optional<Completion> process_frame(std::span<const std::byte> frame);
 
   // net::Node — frames delivered by the fabric simulator.

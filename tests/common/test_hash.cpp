@@ -223,5 +223,46 @@ TEST_P(HashUniformity, ChiSquareWithinBounds) {
 INSTANTIATE_TEST_SUITE_P(AllCopyIndices, HashUniformity,
                          ::testing::Values(0u, 1u, 2u, 3u));
 
+// Regression: per-index seeds must be pairwise distinct for EVERY master
+// seed, including degenerate ones like 0 — identical seeds would collapse a
+// key's N "independent" addresses into one and silently void the §4
+// redundancy analysis.
+TEST(HashFamily, AddressSeedsPairwiseDistinct) {
+  const std::uint64_t masters[] = {0ull,
+                                   1ull,
+                                   0xDA27'0000'0001ull,
+                                   0xFFFF'FFFF'FFFF'FFFFull,
+                                   0x9E37'79B9'7F4A'7C15ull,
+                                   42ull};
+  for (const auto master : masters) {
+    for (std::uint32_t n = 1; n <= 16; ++n) {
+      const HashFamily fam(n, master);
+      const auto seeds = fam.address_seeds();
+      ASSERT_EQ(seeds.size(), n);
+      for (std::size_t i = 0; i < seeds.size(); ++i) {
+        for (std::size_t j = i + 1; j < seeds.size(); ++j) {
+          EXPECT_NE(seeds[i], seeds[j])
+              << "master=" << master << " n=" << n << " (i=" << i
+              << ", j=" << j << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(HashFamily, DistinctSeedsYieldDistinctAddressStreams) {
+  // The behavioural consequence: with M ≫ 1, copy 0 and copy 1 of the same
+  // key must not land on the same slot for every key (the symptom a
+  // degenerate family would show).
+  const HashFamily fam(2, /*master_seed=*/0);
+  constexpr std::uint64_t kSlots = 1 << 16;
+  int same = 0;
+  for (std::uint64_t k = 0; k < 512; ++k) {
+    const auto key = std::as_bytes(std::span{&k, 1});
+    same += fam.address_of(key, 0, kSlots) == fam.address_of(key, 1, kSlots);
+  }
+  EXPECT_LT(same, 5);  // expected ≈ 512/2^16 collisions, not 512
+}
+
 }  // namespace
 }  // namespace dart

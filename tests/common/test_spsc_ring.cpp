@@ -1,0 +1,118 @@
+// Tests for the lock-free building blocks under the ingest pipeline: the
+// SPSC ring, the seqlock, and the relaxed stats counter.
+#include "common/spsc_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/atomic_counter.hpp"
+#include "common/seqlock.hpp"
+
+namespace dart {
+namespace {
+
+TEST(SpscRing, FifoOrderSingleThread) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ring.try_push(int(i)));
+  EXPECT_FALSE(ring.try_push(99));  // full
+  int out = -1;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.try_pop(out));  // empty
+}
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  SpscRing<int> ring(5);  // rounds to 8
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ring.try_push(int(i)));
+  EXPECT_FALSE(ring.try_push(8));
+}
+
+TEST(SpscRing, WrapsAroundManyTimes) {
+  SpscRing<std::uint64_t> ring(4);
+  std::uint64_t out = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(ring.try_push(std::uint64_t(i)));
+    ASSERT_TRUE(ring.try_pop(out));
+    ASSERT_EQ(out, i);
+  }
+}
+
+TEST(SpscRing, ProducerConsumerTransfersEverythingInOrder) {
+  SpscRing<std::uint64_t> ring(64);
+  constexpr std::uint64_t kItems = 200000;
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kItems; ++i) {
+      while (!ring.try_push(std::uint64_t(i))) std::this_thread::yield();
+    }
+  });
+  std::uint64_t expected = 0;
+  std::uint64_t item = 0;
+  while (expected < kItems) {
+    if (ring.try_pop(item)) {
+      ASSERT_EQ(item, expected);  // FIFO, no loss, no duplication
+      ++expected;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ring.empty_approx());
+}
+
+TEST(SeqCount, ReadersRetryAcrossWrites) {
+  SeqCount seq;
+  // Two fields with the invariant a == b, updated under the seqlock.
+  std::atomic<std::uint64_t> a{0}, b{0};
+  constexpr std::uint64_t kWrites = 100000;
+  std::thread writer([&] {
+    for (std::uint64_t i = 1; i <= kWrites; ++i) {
+      seq.write_begin();
+      a.store(i, std::memory_order_relaxed);
+      b.store(i, std::memory_order_relaxed);
+      seq.write_end();
+    }
+  });
+  std::uint64_t last = 0;
+  while (last < kWrites) {
+    const auto pair = seq_read(seq, [&] {
+      return std::pair{a.load(std::memory_order_relaxed),
+                       b.load(std::memory_order_relaxed)};
+    });
+    ASSERT_EQ(pair.first, pair.second) << "torn read";
+    ASSERT_GE(pair.first, last);
+    last = pair.first;
+  }
+  writer.join();
+  EXPECT_EQ(seq.generation(), 2 * kWrites);  // even: no write in flight
+}
+
+TEST(RelaxedCounter, ConcurrentIncrementsAllLand) {
+  RelaxedCounter counter;
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kEach = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (std::uint64_t i = 0; i < kEach; ++i) ++counter;
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.load(), kThreads * kEach);
+}
+
+TEST(RelaxedCounter, CopySnapshotsValue) {
+  RelaxedCounter counter;
+  counter += 41;
+  ++counter;
+  const RelaxedCounter snapshot = counter;
+  EXPECT_EQ(snapshot, 42u);
+  EXPECT_EQ(static_cast<std::uint64_t>(snapshot), 42u);
+}
+
+}  // namespace
+}  // namespace dart

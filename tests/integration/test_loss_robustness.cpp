@@ -80,6 +80,12 @@ TEST(LossRobustness, BurstyLossOnFabricLinkStillBounded) {
   net::GilbertElliottLoss probe = ge;
   for (int i = 0; i < kProbe; ++i) drops += probe.drop(rng) ? 1 : 0;
   const double avg_loss = static_cast<double>(drops) / kProbe;
+  // The chain's empirical rate must agree with the stationary analysis
+  // (π_bad = p_gb/(p_gb+p_bg)): ≈ 0.0818 for these parameters. This pins the
+  // drop-then-transition order — transitioning before sampling biases the
+  // rate toward the bad state.
+  EXPECT_NEAR(avg_loss, ge.stationary_loss_rate(), 0.01);
+  EXPECT_NEAR(ge.stationary_loss_rate(), 0.0818, 0.0001);
 
   // Per-key: two consecutive trials through a fresh chain replica.
   Xoshiro256 rng2(7);

@@ -154,6 +154,64 @@ TEST(GilbertElliott, ZeroRatesNeverDrop) {
   for (int i = 0; i < 1000; ++i) EXPECT_FALSE(ge.drop(rng));
 }
 
+// Regression for the drop/transition ordering: the CURRENT state decides a
+// packet's fate, then the chain transitions. With loss_good=0 and a certain
+// good→bad transition, the first packet sampled in the good state must
+// never drop — transitioning first would drop it with the bad state's rate.
+TEST(GilbertElliott, FirstPacketSampledInInitialState) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    Xoshiro256 rng(seed);
+    GilbertElliottLoss ge(/*p_gb=*/1.0, /*p_bg=*/0.0, /*loss_good=*/0.0,
+                          /*loss_bad=*/1.0);
+    EXPECT_FALSE(ge.drop(rng)) << "seed " << seed;  // sampled in good state
+    EXPECT_TRUE(ge.in_bad_state());                 // then transitioned
+    EXPECT_TRUE(ge.drop(rng));                      // now stuck in bad
+  }
+  // Mirror image: start in good with loss_good=1 → first packet always drops
+  // even when the chain immediately leaves the state afterwards.
+  Xoshiro256 rng(7);
+  GilbertElliottLoss ge(/*p_gb=*/1.0, /*p_bg=*/1.0, /*loss_good=*/1.0,
+                        /*loss_bad=*/0.0);
+  EXPECT_TRUE(ge.drop(rng));
+}
+
+TEST(GilbertElliott, EmpiricalRateMatchesStationaryFormula) {
+  // π_bad = p_gb/(p_gb+p_bg); E[loss] = (1-π)·loss_good + π·loss_bad.
+  Xoshiro256 rng(11);
+  GilbertElliottLoss ge(/*p_gb=*/0.05, /*p_bg=*/0.25, /*loss_good=*/0.01,
+                        /*loss_bad=*/0.7);
+  const double expected = ge.stationary_loss_rate();
+  EXPECT_NEAR(expected, (0.25 / 0.30) * 0.01 + (0.05 / 0.30) * 0.7, 1e-12);
+  int drops = 0;
+  constexpr int kN = 400000;
+  for (int i = 0; i < kN; ++i) drops += ge.drop(rng) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(drops) / kN, expected, 0.01);
+}
+
+TEST(LossModel, CloneReplicatesParametersAndInitialState) {
+  GilbertElliottLoss ge(1.0, 0.0, 0.0, 1.0);
+  Xoshiro256 rng(3);
+  (void)ge.drop(rng);  // drive the original into the bad state
+  ASSERT_TRUE(ge.in_bad_state());
+
+  // The clone starts from the INITIAL state (good), not the current one,
+  // and an identical RNG stream must produce identical behaviour.
+  const auto replica = ge.clone();
+  Xoshiro256 ra(42), rb(42);
+  GilbertElliottLoss fresh(1.0, 0.0, 0.0, 1.0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(replica->drop(ra), fresh.drop(rb)) << "packet " << i;
+  }
+
+  // Bernoulli / NoLoss clones behave identically to their originals too.
+  BernoulliLoss bern(0.5);
+  const auto bclone = bern.clone();
+  Xoshiro256 rc(9), rd(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(bern.drop(rc), bclone->drop(rd));
+  NoLoss none;
+  EXPECT_FALSE(none.clone()->drop(rc));
+}
+
 TEST(Simulator, DeterministicAcrossRuns) {
   auto run_once = [](std::uint64_t seed) {
     Simulator sim(seed);

@@ -56,6 +56,73 @@ TEST(Multiwrite, TruncatedRejected) {
   EXPECT_FALSE(parse_multiwrite(wire).has_value());
 }
 
+// Fuzz-style robustness: every prefix of a valid frame must be rejected
+// cleanly. Before the length guards, frames shorter than the CRC trailer
+// underflowed the `size() - 4` subspan arithmetic.
+TEST(Multiwrite, EveryTruncationRejectedWithoutCrash) {
+  const auto wire = encode_multiwrite(
+      0xCAFE, 9, std::vector<std::uint64_t>{0x1000, 0x2000, 0x3000},
+      payload_of(24, 0x42));
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    const auto prefix = std::span<const std::byte>(wire.data(), len);
+    EXPECT_FALSE(parse_multiwrite(prefix).has_value()) << "prefix len " << len;
+  }
+  // The only accepted length is the exact frame.
+  EXPECT_TRUE(parse_multiwrite(wire).has_value());
+}
+
+TEST(Multiwrite, TinyFramesRejected) {
+  // 0..3 bytes: shorter than the CRC trailer alone.
+  for (std::size_t len = 0; len < 4; ++len) {
+    const std::vector<std::byte> junk(len, std::byte{0xFF});
+    EXPECT_FALSE(parse_multiwrite(junk).has_value()) << "len " << len;
+  }
+}
+
+TEST(Multiwrite, EverySingleByteFlipRejected) {
+  // Any one-byte corruption breaks the CRC, so no flipped frame may parse
+  // (and none may crash — lying count/data_len fields are the interesting
+  // cases, and the CRC check must not be reachable with bad geometry).
+  const auto wire = encode_multiwrite(
+      0x1234, 3, std::vector<std::uint64_t>{0xA000, 0xB000}, payload_of(8, 7));
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    for (const std::uint8_t bit : {0x01, 0x80}) {
+      auto mutant = wire;
+      mutant[i] ^= static_cast<std::byte>(bit);
+      EXPECT_FALSE(parse_multiwrite(mutant).has_value())
+          << "byte " << i << " bit " << int(bit);
+    }
+  }
+}
+
+TEST(Multiwrite, LyingDataLengthRejected) {
+  // Re-seal the CRC after inflating data_len so the parser reaches the
+  // geometry checks: the declared data no longer fits the frame.
+  auto body = encode_multiwrite(1, 0, std::vector<std::uint64_t>{0x10},
+                                payload_of(8, 1));
+  body.resize(body.size() - kDtaCrcLen);  // strip trailer
+  body[12] = std::byte{0xFF};             // data_len big-endian high byte
+  body[13] = std::byte{0xFF};
+  const std::uint32_t crc = dart::crc32(body);
+  for (int i = 0; i < 4; ++i) {
+    body.push_back(static_cast<std::byte>((crc >> (8 * i)) & 0xFF));
+  }
+  EXPECT_FALSE(parse_multiwrite(body).has_value());
+}
+
+TEST(Multiwrite, ZeroDataLengthRejected) {
+  auto body = encode_multiwrite(1, 0, std::vector<std::uint64_t>{0x10},
+                                payload_of(8, 1));
+  body.resize(body.size() - kDtaCrcLen);
+  body[12] = std::byte{0};  // data_len := 0 (reports always carry data)
+  body[13] = std::byte{0};
+  const std::uint32_t crc = dart::crc32(body);
+  for (int i = 0; i < 4; ++i) {
+    body.push_back(static_cast<std::byte>((crc >> (8 * i)) & 0xFF));
+  }
+  EXPECT_FALSE(parse_multiwrite(body).has_value());
+}
+
 TEST(Multiwrite, FrameBytesSavingsFormula) {
   // 24 B slot payload, N=4: one multiwrite vs four RoCEv2 writes.
   const std::size_t dta = multiwrite_frame_bytes(4, 24);
