@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_cas"
+  "../bench/ablation_cas.pdb"
+  "CMakeFiles/ablation_cas.dir/ablation_cas.cpp.o"
+  "CMakeFiles/ablation_cas.dir/ablation_cas.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

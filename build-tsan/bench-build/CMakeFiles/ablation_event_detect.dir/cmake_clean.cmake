@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_event_detect"
+  "../bench/ablation_event_detect.pdb"
+  "CMakeFiles/ablation_event_detect.dir/ablation_event_detect.cpp.o"
+  "CMakeFiles/ablation_event_detect.dir/ablation_event_detect.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_event_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_loss"
+  "../bench/ablation_loss.pdb"
+  "CMakeFiles/ablation_loss.dir/ablation_loss.cpp.o"
+  "CMakeFiles/ablation_loss.dir/ablation_loss.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

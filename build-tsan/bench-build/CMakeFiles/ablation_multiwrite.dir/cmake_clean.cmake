@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_multiwrite"
+  "../bench/ablation_multiwrite.pdb"
+  "CMakeFiles/ablation_multiwrite.dir/ablation_multiwrite.cpp.o"
+  "CMakeFiles/ablation_multiwrite.dir/ablation_multiwrite.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multiwrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

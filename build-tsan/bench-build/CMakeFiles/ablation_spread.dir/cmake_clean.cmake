@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_spread"
+  "../bench/ablation_spread.pdb"
+  "CMakeFiles/ablation_spread.dir/ablation_spread.cpp.o"
+  "CMakeFiles/ablation_spread.dir/ablation_spread.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_spread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

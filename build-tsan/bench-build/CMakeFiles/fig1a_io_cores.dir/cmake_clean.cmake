@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1a_io_cores"
+  "../bench/fig1a_io_cores.pdb"
+  "CMakeFiles/fig1a_io_cores.dir/fig1a_io_cores.cpp.o"
+  "CMakeFiles/fig1a_io_cores.dir/fig1a_io_cores.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1a_io_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1b_storage_cycles"
+  "../bench/fig1b_storage_cycles.pdb"
+  "CMakeFiles/fig1b_storage_cycles.dir/fig1b_storage_cycles.cpp.o"
+  "CMakeFiles/fig1b_storage_cycles.dir/fig1b_storage_cycles.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1b_storage_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

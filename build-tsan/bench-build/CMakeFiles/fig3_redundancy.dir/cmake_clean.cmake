@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_redundancy"
+  "../bench/fig3_redundancy.pdb"
+  "CMakeFiles/fig3_redundancy.dir/fig3_redundancy.cpp.o"
+  "CMakeFiles/fig3_redundancy.dir/fig3_redundancy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_aging"
+  "../bench/fig4_aging.pdb"
+  "CMakeFiles/fig4_aging.dir/fig4_aging.cpp.o"
+  "CMakeFiles/fig4_aging.dir/fig4_aging.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

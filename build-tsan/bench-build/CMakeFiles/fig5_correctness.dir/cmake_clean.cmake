@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_correctness"
+  "../bench/fig5_correctness.pdb"
+  "CMakeFiles/fig5_correctness.dir/fig5_correctness.cpp.o"
+  "CMakeFiles/fig5_correctness.dir/fig5_correctness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_correctness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

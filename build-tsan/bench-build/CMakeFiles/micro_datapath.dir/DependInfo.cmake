@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_datapath.cpp" "bench-build/CMakeFiles/micro_datapath.dir/micro_datapath.cpp.o" "gcc" "bench-build/CMakeFiles/micro_datapath.dir/micro_datapath.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/dart_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/switchsim/CMakeFiles/dart_switch.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/baseline/CMakeFiles/dart_baseline.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/telemetry/CMakeFiles/dart_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/dart_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/rdma/CMakeFiles/dart_rdma.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/dart_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

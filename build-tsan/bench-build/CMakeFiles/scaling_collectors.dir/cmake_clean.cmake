@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/scaling_collectors"
+  "../bench/scaling_collectors.pdb"
+  "CMakeFiles/scaling_collectors.dir/scaling_collectors.cpp.o"
+  "CMakeFiles/scaling_collectors.dir/scaling_collectors.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_collectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/scaling_ingest_threads"
+  "../bench/scaling_ingest_threads.pdb"
+  "CMakeFiles/scaling_ingest_threads.dir/scaling_ingest_threads.cpp.o"
+  "CMakeFiles/scaling_ingest_threads.dir/scaling_ingest_threads.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_ingest_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

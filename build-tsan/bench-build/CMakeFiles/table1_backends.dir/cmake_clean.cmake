@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_backends"
+  "../bench/table1_backends.pdb"
+  "CMakeFiles/table1_backends.dir/table1_backends.cpp.o"
+  "CMakeFiles/table1_backends.dir/table1_backends.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congestion_hunt.dir/congestion_hunt.cpp.o"
+  "CMakeFiles/congestion_hunt.dir/congestion_hunt.cpp.o.d"
+  "congestion_hunt"
+  "congestion_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congestion_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_anomaly_monitor.dir/flow_anomaly_monitor.cpp.o"
+  "CMakeFiles/flow_anomaly_monitor.dir/flow_anomaly_monitor.cpp.o.d"
+  "flow_anomaly_monitor"
+  "flow_anomaly_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_anomaly_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

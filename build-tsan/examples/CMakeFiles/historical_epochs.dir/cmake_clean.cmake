@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/historical_epochs.dir/historical_epochs.cpp.o"
+  "CMakeFiles/historical_epochs.dir/historical_epochs.cpp.o.d"
+  "historical_epochs"
+  "historical_epochs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/historical_epochs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/int_fat_tree.dir/int_fat_tree.cpp.o"
+  "CMakeFiles/int_fat_tree.dir/int_fat_tree.cpp.o.d"
+  "int_fat_tree"
+  "int_fat_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/int_fat_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operator_queries.dir/operator_queries.cpp.o"
+  "CMakeFiles/operator_queries.dir/operator_queries.cpp.o.d"
+  "operator_queries"
+  "operator_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operator_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

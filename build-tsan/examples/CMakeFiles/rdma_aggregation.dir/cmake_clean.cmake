@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdma_aggregation.dir/rdma_aggregation.cpp.o"
+  "CMakeFiles/rdma_aggregation.dir/rdma_aggregation.cpp.o.d"
+  "rdma_aggregation"
+  "rdma_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdma_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

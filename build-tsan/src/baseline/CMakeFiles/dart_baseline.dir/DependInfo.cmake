@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/confluo_like.cpp" "src/baseline/CMakeFiles/dart_baseline.dir/confluo_like.cpp.o" "gcc" "src/baseline/CMakeFiles/dart_baseline.dir/confluo_like.cpp.o.d"
+  "/root/repo/src/baseline/cost_model.cpp" "src/baseline/CMakeFiles/dart_baseline.dir/cost_model.cpp.o" "gcc" "src/baseline/CMakeFiles/dart_baseline.dir/cost_model.cpp.o.d"
+  "/root/repo/src/baseline/dpdk_stack.cpp" "src/baseline/CMakeFiles/dart_baseline.dir/dpdk_stack.cpp.o" "gcc" "src/baseline/CMakeFiles/dart_baseline.dir/dpdk_stack.cpp.o.d"
+  "/root/repo/src/baseline/kafka_like.cpp" "src/baseline/CMakeFiles/dart_baseline.dir/kafka_like.cpp.o" "gcc" "src/baseline/CMakeFiles/dart_baseline.dir/kafka_like.cpp.o.d"
+  "/root/repo/src/baseline/report_gen.cpp" "src/baseline/CMakeFiles/dart_baseline.dir/report_gen.cpp.o" "gcc" "src/baseline/CMakeFiles/dart_baseline.dir/report_gen.cpp.o.d"
+  "/root/repo/src/baseline/socket_stack.cpp" "src/baseline/CMakeFiles/dart_baseline.dir/socket_stack.cpp.o" "gcc" "src/baseline/CMakeFiles/dart_baseline.dir/socket_stack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/dart_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/dart_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dart_baseline.dir/confluo_like.cpp.o"
+  "CMakeFiles/dart_baseline.dir/confluo_like.cpp.o.d"
+  "CMakeFiles/dart_baseline.dir/cost_model.cpp.o"
+  "CMakeFiles/dart_baseline.dir/cost_model.cpp.o.d"
+  "CMakeFiles/dart_baseline.dir/dpdk_stack.cpp.o"
+  "CMakeFiles/dart_baseline.dir/dpdk_stack.cpp.o.d"
+  "CMakeFiles/dart_baseline.dir/kafka_like.cpp.o"
+  "CMakeFiles/dart_baseline.dir/kafka_like.cpp.o.d"
+  "CMakeFiles/dart_baseline.dir/report_gen.cpp.o"
+  "CMakeFiles/dart_baseline.dir/report_gen.cpp.o.d"
+  "CMakeFiles/dart_baseline.dir/socket_stack.cpp.o"
+  "CMakeFiles/dart_baseline.dir/socket_stack.cpp.o.d"
+  "libdart_baseline.a"
+  "libdart_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dart_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dart_common.dir/bytes.cpp.o"
+  "CMakeFiles/dart_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/dart_common.dir/cycles.cpp.o"
+  "CMakeFiles/dart_common.dir/cycles.cpp.o.d"
+  "CMakeFiles/dart_common.dir/hash.cpp.o"
+  "CMakeFiles/dart_common.dir/hash.cpp.o.d"
+  "CMakeFiles/dart_common.dir/kvconfig.cpp.o"
+  "CMakeFiles/dart_common.dir/kvconfig.cpp.o.d"
+  "CMakeFiles/dart_common.dir/logging.cpp.o"
+  "CMakeFiles/dart_common.dir/logging.cpp.o.d"
+  "CMakeFiles/dart_common.dir/random.cpp.o"
+  "CMakeFiles/dart_common.dir/random.cpp.o.d"
+  "CMakeFiles/dart_common.dir/stats.cpp.o"
+  "CMakeFiles/dart_common.dir/stats.cpp.o.d"
+  "CMakeFiles/dart_common.dir/table.cpp.o"
+  "CMakeFiles/dart_common.dir/table.cpp.o.d"
+  "libdart_common.a"
+  "libdart_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dart_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive.cpp" "src/core/CMakeFiles/dart_core.dir/adaptive.cpp.o" "gcc" "src/core/CMakeFiles/dart_core.dir/adaptive.cpp.o.d"
+  "/root/repo/src/core/analysis.cpp" "src/core/CMakeFiles/dart_core.dir/analysis.cpp.o" "gcc" "src/core/CMakeFiles/dart_core.dir/analysis.cpp.o.d"
+  "/root/repo/src/core/atomics_store.cpp" "src/core/CMakeFiles/dart_core.dir/atomics_store.cpp.o" "gcc" "src/core/CMakeFiles/dart_core.dir/atomics_store.cpp.o.d"
+  "/root/repo/src/core/cluster.cpp" "src/core/CMakeFiles/dart_core.dir/cluster.cpp.o" "gcc" "src/core/CMakeFiles/dart_core.dir/cluster.cpp.o.d"
+  "/root/repo/src/core/coding.cpp" "src/core/CMakeFiles/dart_core.dir/coding.cpp.o" "gcc" "src/core/CMakeFiles/dart_core.dir/coding.cpp.o.d"
+  "/root/repo/src/core/collector.cpp" "src/core/CMakeFiles/dart_core.dir/collector.cpp.o" "gcc" "src/core/CMakeFiles/dart_core.dir/collector.cpp.o.d"
+  "/root/repo/src/core/config_io.cpp" "src/core/CMakeFiles/dart_core.dir/config_io.cpp.o" "gcc" "src/core/CMakeFiles/dart_core.dir/config_io.cpp.o.d"
+  "/root/repo/src/core/control.cpp" "src/core/CMakeFiles/dart_core.dir/control.cpp.o" "gcc" "src/core/CMakeFiles/dart_core.dir/control.cpp.o.d"
+  "/root/repo/src/core/epoch.cpp" "src/core/CMakeFiles/dart_core.dir/epoch.cpp.o" "gcc" "src/core/CMakeFiles/dart_core.dir/epoch.cpp.o.d"
+  "/root/repo/src/core/epoch_rotation.cpp" "src/core/CMakeFiles/dart_core.dir/epoch_rotation.cpp.o" "gcc" "src/core/CMakeFiles/dart_core.dir/epoch_rotation.cpp.o.d"
+  "/root/repo/src/core/ingest_pipeline.cpp" "src/core/CMakeFiles/dart_core.dir/ingest_pipeline.cpp.o" "gcc" "src/core/CMakeFiles/dart_core.dir/ingest_pipeline.cpp.o.d"
+  "/root/repo/src/core/oracle.cpp" "src/core/CMakeFiles/dart_core.dir/oracle.cpp.o" "gcc" "src/core/CMakeFiles/dart_core.dir/oracle.cpp.o.d"
+  "/root/repo/src/core/query.cpp" "src/core/CMakeFiles/dart_core.dir/query.cpp.o" "gcc" "src/core/CMakeFiles/dart_core.dir/query.cpp.o.d"
+  "/root/repo/src/core/query_protocol.cpp" "src/core/CMakeFiles/dart_core.dir/query_protocol.cpp.o" "gcc" "src/core/CMakeFiles/dart_core.dir/query_protocol.cpp.o.d"
+  "/root/repo/src/core/query_service.cpp" "src/core/CMakeFiles/dart_core.dir/query_service.cpp.o" "gcc" "src/core/CMakeFiles/dart_core.dir/query_service.cpp.o.d"
+  "/root/repo/src/core/report_crafter.cpp" "src/core/CMakeFiles/dart_core.dir/report_crafter.cpp.o" "gcc" "src/core/CMakeFiles/dart_core.dir/report_crafter.cpp.o.d"
+  "/root/repo/src/core/reporter.cpp" "src/core/CMakeFiles/dart_core.dir/reporter.cpp.o" "gcc" "src/core/CMakeFiles/dart_core.dir/reporter.cpp.o.d"
+  "/root/repo/src/core/spread.cpp" "src/core/CMakeFiles/dart_core.dir/spread.cpp.o" "gcc" "src/core/CMakeFiles/dart_core.dir/spread.cpp.o.d"
+  "/root/repo/src/core/store.cpp" "src/core/CMakeFiles/dart_core.dir/store.cpp.o" "gcc" "src/core/CMakeFiles/dart_core.dir/store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/dart_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/dart_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/rdma/CMakeFiles/dart_rdma.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dart_net.dir/checksum.cpp.o"
+  "CMakeFiles/dart_net.dir/checksum.cpp.o.d"
+  "CMakeFiles/dart_net.dir/headers.cpp.o"
+  "CMakeFiles/dart_net.dir/headers.cpp.o.d"
+  "CMakeFiles/dart_net.dir/netsim.cpp.o"
+  "CMakeFiles/dart_net.dir/netsim.cpp.o.d"
+  "CMakeFiles/dart_net.dir/packet.cpp.o"
+  "CMakeFiles/dart_net.dir/packet.cpp.o.d"
+  "libdart_net.a"
+  "libdart_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dart_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

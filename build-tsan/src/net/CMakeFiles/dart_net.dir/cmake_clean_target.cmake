@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdart_net.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rdma/memory_region.cpp" "src/rdma/CMakeFiles/dart_rdma.dir/memory_region.cpp.o" "gcc" "src/rdma/CMakeFiles/dart_rdma.dir/memory_region.cpp.o.d"
+  "/root/repo/src/rdma/multiwrite.cpp" "src/rdma/CMakeFiles/dart_rdma.dir/multiwrite.cpp.o" "gcc" "src/rdma/CMakeFiles/dart_rdma.dir/multiwrite.cpp.o.d"
+  "/root/repo/src/rdma/qp.cpp" "src/rdma/CMakeFiles/dart_rdma.dir/qp.cpp.o" "gcc" "src/rdma/CMakeFiles/dart_rdma.dir/qp.cpp.o.d"
+  "/root/repo/src/rdma/rnic.cpp" "src/rdma/CMakeFiles/dart_rdma.dir/rnic.cpp.o" "gcc" "src/rdma/CMakeFiles/dart_rdma.dir/rnic.cpp.o.d"
+  "/root/repo/src/rdma/roce.cpp" "src/rdma/CMakeFiles/dart_rdma.dir/roce.cpp.o" "gcc" "src/rdma/CMakeFiles/dart_rdma.dir/roce.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/dart_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/dart_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dart_rdma.dir/memory_region.cpp.o"
+  "CMakeFiles/dart_rdma.dir/memory_region.cpp.o.d"
+  "CMakeFiles/dart_rdma.dir/multiwrite.cpp.o"
+  "CMakeFiles/dart_rdma.dir/multiwrite.cpp.o.d"
+  "CMakeFiles/dart_rdma.dir/qp.cpp.o"
+  "CMakeFiles/dart_rdma.dir/qp.cpp.o.d"
+  "CMakeFiles/dart_rdma.dir/rnic.cpp.o"
+  "CMakeFiles/dart_rdma.dir/rnic.cpp.o.d"
+  "CMakeFiles/dart_rdma.dir/roce.cpp.o"
+  "CMakeFiles/dart_rdma.dir/roce.cpp.o.d"
+  "libdart_rdma.a"
+  "libdart_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dart_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

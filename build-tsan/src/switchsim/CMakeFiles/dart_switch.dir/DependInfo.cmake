@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/switchsim/dart_switch.cpp" "src/switchsim/CMakeFiles/dart_switch.dir/dart_switch.cpp.o" "gcc" "src/switchsim/CMakeFiles/dart_switch.dir/dart_switch.cpp.o.d"
+  "/root/repo/src/switchsim/externs.cpp" "src/switchsim/CMakeFiles/dart_switch.dir/externs.cpp.o" "gcc" "src/switchsim/CMakeFiles/dart_switch.dir/externs.cpp.o.d"
+  "/root/repo/src/switchsim/topology.cpp" "src/switchsim/CMakeFiles/dart_switch.dir/topology.cpp.o" "gcc" "src/switchsim/CMakeFiles/dart_switch.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/dart_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/dart_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/rdma/CMakeFiles/dart_rdma.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/dart_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

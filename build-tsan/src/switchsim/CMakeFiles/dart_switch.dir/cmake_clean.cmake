@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dart_switch.dir/dart_switch.cpp.o"
+  "CMakeFiles/dart_switch.dir/dart_switch.cpp.o.d"
+  "CMakeFiles/dart_switch.dir/externs.cpp.o"
+  "CMakeFiles/dart_switch.dir/externs.cpp.o.d"
+  "CMakeFiles/dart_switch.dir/topology.cpp.o"
+  "CMakeFiles/dart_switch.dir/topology.cpp.o.d"
+  "libdart_switch.a"
+  "libdart_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dart_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/backends.cpp" "src/telemetry/CMakeFiles/dart_telemetry.dir/backends.cpp.o" "gcc" "src/telemetry/CMakeFiles/dart_telemetry.dir/backends.cpp.o.d"
+  "/root/repo/src/telemetry/event_detect.cpp" "src/telemetry/CMakeFiles/dart_telemetry.dir/event_detect.cpp.o" "gcc" "src/telemetry/CMakeFiles/dart_telemetry.dir/event_detect.cpp.o.d"
+  "/root/repo/src/telemetry/flow.cpp" "src/telemetry/CMakeFiles/dart_telemetry.dir/flow.cpp.o" "gcc" "src/telemetry/CMakeFiles/dart_telemetry.dir/flow.cpp.o.d"
+  "/root/repo/src/telemetry/heavy_hitters.cpp" "src/telemetry/CMakeFiles/dart_telemetry.dir/heavy_hitters.cpp.o" "gcc" "src/telemetry/CMakeFiles/dart_telemetry.dir/heavy_hitters.cpp.o.d"
+  "/root/repo/src/telemetry/int_fabric.cpp" "src/telemetry/CMakeFiles/dart_telemetry.dir/int_fabric.cpp.o" "gcc" "src/telemetry/CMakeFiles/dart_telemetry.dir/int_fabric.cpp.o.d"
+  "/root/repo/src/telemetry/int_path.cpp" "src/telemetry/CMakeFiles/dart_telemetry.dir/int_path.cpp.o" "gcc" "src/telemetry/CMakeFiles/dart_telemetry.dir/int_path.cpp.o.d"
+  "/root/repo/src/telemetry/int_wire.cpp" "src/telemetry/CMakeFiles/dart_telemetry.dir/int_wire.cpp.o" "gcc" "src/telemetry/CMakeFiles/dart_telemetry.dir/int_wire.cpp.o.d"
+  "/root/repo/src/telemetry/wire_fabric.cpp" "src/telemetry/CMakeFiles/dart_telemetry.dir/wire_fabric.cpp.o" "gcc" "src/telemetry/CMakeFiles/dart_telemetry.dir/wire_fabric.cpp.o.d"
+  "/root/repo/src/telemetry/workload.cpp" "src/telemetry/CMakeFiles/dart_telemetry.dir/workload.cpp.o" "gcc" "src/telemetry/CMakeFiles/dart_telemetry.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/dart_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/dart_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/dart_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/switchsim/CMakeFiles/dart_switch.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/rdma/CMakeFiles/dart_rdma.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

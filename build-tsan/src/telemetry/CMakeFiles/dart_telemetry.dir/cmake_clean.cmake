@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dart_telemetry.dir/backends.cpp.o"
+  "CMakeFiles/dart_telemetry.dir/backends.cpp.o.d"
+  "CMakeFiles/dart_telemetry.dir/event_detect.cpp.o"
+  "CMakeFiles/dart_telemetry.dir/event_detect.cpp.o.d"
+  "CMakeFiles/dart_telemetry.dir/flow.cpp.o"
+  "CMakeFiles/dart_telemetry.dir/flow.cpp.o.d"
+  "CMakeFiles/dart_telemetry.dir/heavy_hitters.cpp.o"
+  "CMakeFiles/dart_telemetry.dir/heavy_hitters.cpp.o.d"
+  "CMakeFiles/dart_telemetry.dir/int_fabric.cpp.o"
+  "CMakeFiles/dart_telemetry.dir/int_fabric.cpp.o.d"
+  "CMakeFiles/dart_telemetry.dir/int_path.cpp.o"
+  "CMakeFiles/dart_telemetry.dir/int_path.cpp.o.d"
+  "CMakeFiles/dart_telemetry.dir/int_wire.cpp.o"
+  "CMakeFiles/dart_telemetry.dir/int_wire.cpp.o.d"
+  "CMakeFiles/dart_telemetry.dir/wire_fabric.cpp.o"
+  "CMakeFiles/dart_telemetry.dir/wire_fabric.cpp.o.d"
+  "CMakeFiles/dart_telemetry.dir/workload.cpp.o"
+  "CMakeFiles/dart_telemetry.dir/workload.cpp.o.d"
+  "libdart_telemetry.a"
+  "libdart_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dart_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_atomics_store.dir/core/test_atomics_store.cpp.o"
+  "CMakeFiles/test_atomics_store.dir/core/test_atomics_store.cpp.o.d"
+  "test_atomics_store"
+  "test_atomics_store.pdb"
+  "test_atomics_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_atomics_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_checksum.dir/net/test_checksum.cpp.o"
+  "CMakeFiles/test_checksum.dir/net/test_checksum.cpp.o.d"
+  "test_checksum"
+  "test_checksum.pdb"
+  "test_checksum[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_checksum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

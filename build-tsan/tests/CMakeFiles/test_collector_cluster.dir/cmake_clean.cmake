@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collector_cluster.dir/core/test_collector_cluster.cpp.o"
+  "CMakeFiles/test_collector_cluster.dir/core/test_collector_cluster.cpp.o.d"
+  "test_collector_cluster"
+  "test_collector_cluster.pdb"
+  "test_collector_cluster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collector_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

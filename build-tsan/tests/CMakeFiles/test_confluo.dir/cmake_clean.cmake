@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_confluo.dir/baseline/test_confluo.cpp.o"
+  "CMakeFiles/test_confluo.dir/baseline/test_confluo.cpp.o.d"
+  "test_confluo"
+  "test_confluo.pdb"
+  "test_confluo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_confluo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

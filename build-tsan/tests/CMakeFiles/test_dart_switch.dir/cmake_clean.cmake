@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dart_switch.dir/switchsim/test_dart_switch.cpp.o"
+  "CMakeFiles/test_dart_switch.dir/switchsim/test_dart_switch.cpp.o.d"
+  "test_dart_switch"
+  "test_dart_switch.pdb"
+  "test_dart_switch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dart_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

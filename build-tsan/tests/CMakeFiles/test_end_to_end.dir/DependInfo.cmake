@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/test_end_to_end.cpp" "tests/CMakeFiles/test_end_to_end.dir/integration/test_end_to_end.cpp.o" "gcc" "tests/CMakeFiles/test_end_to_end.dir/integration/test_end_to_end.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/dart_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/switchsim/CMakeFiles/dart_switch.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/telemetry/CMakeFiles/dart_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/rdma/CMakeFiles/dart_rdma.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/dart_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/dart_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

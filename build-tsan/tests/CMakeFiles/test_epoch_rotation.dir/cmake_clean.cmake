@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_epoch_rotation.dir/core/test_epoch_rotation.cpp.o"
+  "CMakeFiles/test_epoch_rotation.dir/core/test_epoch_rotation.cpp.o.d"
+  "test_epoch_rotation"
+  "test_epoch_rotation.pdb"
+  "test_epoch_rotation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_epoch_rotation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_event_detect.dir/telemetry/test_event_detect.cpp.o"
+  "CMakeFiles/test_event_detect.dir/telemetry/test_event_detect.cpp.o.d"
+  "test_event_detect"
+  "test_event_detect.pdb"
+  "test_event_detect[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_event_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

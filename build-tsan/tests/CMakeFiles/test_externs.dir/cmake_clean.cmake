@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_externs.dir/switchsim/test_externs.cpp.o"
+  "CMakeFiles/test_externs.dir/switchsim/test_externs.cpp.o.d"
+  "test_externs"
+  "test_externs.pdb"
+  "test_externs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_externs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_heavy_hitters.dir/telemetry/test_heavy_hitters.cpp.o"
+  "CMakeFiles/test_heavy_hitters.dir/telemetry/test_heavy_hitters.cpp.o.d"
+  "test_heavy_hitters"
+  "test_heavy_hitters.pdb"
+  "test_heavy_hitters[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_heavy_hitters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

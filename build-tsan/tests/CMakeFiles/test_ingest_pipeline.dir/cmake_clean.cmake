@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ingest_pipeline.dir/core/test_ingest_pipeline.cpp.o"
+  "CMakeFiles/test_ingest_pipeline.dir/core/test_ingest_pipeline.cpp.o.d"
+  "test_ingest_pipeline"
+  "test_ingest_pipeline.pdb"
+  "test_ingest_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ingest_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_int_fabric.dir/telemetry/test_int_fabric.cpp.o"
+  "CMakeFiles/test_int_fabric.dir/telemetry/test_int_fabric.cpp.o.d"
+  "test_int_fabric"
+  "test_int_fabric.pdb"
+  "test_int_fabric[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_int_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

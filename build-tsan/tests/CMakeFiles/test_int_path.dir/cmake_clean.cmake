@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_int_path.dir/telemetry/test_int_path.cpp.o"
+  "CMakeFiles/test_int_path.dir/telemetry/test_int_path.cpp.o.d"
+  "test_int_path"
+  "test_int_path.pdb"
+  "test_int_path[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_int_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

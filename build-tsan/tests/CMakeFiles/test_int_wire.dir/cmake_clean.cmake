@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_int_wire.dir/telemetry/test_int_wire.cpp.o"
+  "CMakeFiles/test_int_wire.dir/telemetry/test_int_wire.cpp.o.d"
+  "test_int_wire"
+  "test_int_wire.pdb"
+  "test_int_wire[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_int_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

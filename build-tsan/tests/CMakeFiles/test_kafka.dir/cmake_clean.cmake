@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kafka.dir/baseline/test_kafka.cpp.o"
+  "CMakeFiles/test_kafka.dir/baseline/test_kafka.cpp.o.d"
+  "test_kafka"
+  "test_kafka.pdb"
+  "test_kafka[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kafka.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kvconfig.dir/common/test_kvconfig.cpp.o"
+  "CMakeFiles/test_kvconfig.dir/common/test_kvconfig.cpp.o.d"
+  "test_kvconfig"
+  "test_kvconfig.pdb"
+  "test_kvconfig[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kvconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

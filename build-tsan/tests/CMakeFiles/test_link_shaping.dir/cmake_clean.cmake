@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_link_shaping.dir/net/test_link_shaping.cpp.o"
+  "CMakeFiles/test_link_shaping.dir/net/test_link_shaping.cpp.o.d"
+  "test_link_shaping"
+  "test_link_shaping.pdb"
+  "test_link_shaping[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_link_shaping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

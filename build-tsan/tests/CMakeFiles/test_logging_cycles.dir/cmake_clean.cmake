@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_logging_cycles.dir/common/test_logging_cycles.cpp.o"
+  "CMakeFiles/test_logging_cycles.dir/common/test_logging_cycles.cpp.o.d"
+  "test_logging_cycles"
+  "test_logging_cycles.pdb"
+  "test_logging_cycles[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_logging_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_loss_robustness.dir/integration/test_loss_robustness.cpp.o"
+  "CMakeFiles/test_loss_robustness.dir/integration/test_loss_robustness.cpp.o.d"
+  "test_loss_robustness"
+  "test_loss_robustness.pdb"
+  "test_loss_robustness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_loss_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memory_region.dir/rdma/test_memory_region.cpp.o"
+  "CMakeFiles/test_memory_region.dir/rdma/test_memory_region.cpp.o.d"
+  "test_memory_region"
+  "test_memory_region.pdb"
+  "test_memory_region[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memory_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multiwrite.dir/rdma/test_multiwrite.cpp.o"
+  "CMakeFiles/test_multiwrite.dir/rdma/test_multiwrite.cpp.o.d"
+  "test_multiwrite"
+  "test_multiwrite.pdb"
+  "test_multiwrite[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multiwrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

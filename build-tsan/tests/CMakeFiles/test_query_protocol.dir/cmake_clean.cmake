@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_query_protocol.dir/core/test_query_protocol.cpp.o"
+  "CMakeFiles/test_query_protocol.dir/core/test_query_protocol.cpp.o.d"
+  "test_query_protocol"
+  "test_query_protocol.pdb"
+  "test_query_protocol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_query_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_registers_tables.dir/switchsim/test_registers_tables.cpp.o"
+  "CMakeFiles/test_registers_tables.dir/switchsim/test_registers_tables.cpp.o.d"
+  "test_registers_tables"
+  "test_registers_tables.pdb"
+  "test_registers_tables[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_registers_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

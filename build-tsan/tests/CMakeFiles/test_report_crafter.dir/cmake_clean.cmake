@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_report_crafter.dir/core/test_report_crafter.cpp.o"
+  "CMakeFiles/test_report_crafter.dir/core/test_report_crafter.cpp.o.d"
+  "test_report_crafter"
+  "test_report_crafter.pdb"
+  "test_report_crafter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_report_crafter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_report_gen.dir/baseline/test_report_gen.cpp.o"
+  "CMakeFiles/test_report_gen.dir/baseline/test_report_gen.cpp.o.d"
+  "test_report_gen"
+  "test_report_gen.pdb"
+  "test_report_gen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_report_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

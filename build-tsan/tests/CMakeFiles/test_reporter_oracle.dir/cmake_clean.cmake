@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reporter_oracle.dir/core/test_reporter_oracle.cpp.o"
+  "CMakeFiles/test_reporter_oracle.dir/core/test_reporter_oracle.cpp.o.d"
+  "test_reporter_oracle"
+  "test_reporter_oracle.pdb"
+  "test_reporter_oracle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reporter_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

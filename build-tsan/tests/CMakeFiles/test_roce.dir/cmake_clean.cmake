@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_roce.dir/rdma/test_roce.cpp.o"
+  "CMakeFiles/test_roce.dir/rdma/test_roce.cpp.o.d"
+  "test_roce"
+  "test_roce.pdb"
+  "test_roce[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_roce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_socket_dpdk.dir/baseline/test_socket_dpdk.cpp.o"
+  "CMakeFiles/test_socket_dpdk.dir/baseline/test_socket_dpdk.cpp.o.d"
+  "test_socket_dpdk"
+  "test_socket_dpdk.pdb"
+  "test_socket_dpdk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_socket_dpdk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spread.dir/core/test_spread.cpp.o"
+  "CMakeFiles/test_spread.dir/core/test_spread.cpp.o.d"
+  "test_spread"
+  "test_spread.pdb"
+  "test_spread[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spsc_ring.dir/common/test_spsc_ring.cpp.o"
+  "CMakeFiles/test_spsc_ring.dir/common/test_spsc_ring.cpp.o.d"
+  "test_spsc_ring"
+  "test_spsc_ring.pdb"
+  "test_spsc_ring[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spsc_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

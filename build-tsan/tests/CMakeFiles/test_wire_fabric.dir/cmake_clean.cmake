@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wire_fabric.dir/telemetry/test_wire_fabric.cpp.o"
+  "CMakeFiles/test_wire_fabric.dir/telemetry/test_wire_fabric.cpp.o.d"
+  "test_wire_fabric"
+  "test_wire_fabric.pdb"
+  "test_wire_fabric[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wire_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

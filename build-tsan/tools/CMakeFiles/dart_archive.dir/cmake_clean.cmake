@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dart_archive.dir/dart_archive.cpp.o"
+  "CMakeFiles/dart_archive.dir/dart_archive.cpp.o.d"
+  "dart_archive"
+  "dart_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dart_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dart_calc.dir/dart_calc.cpp.o"
+  "CMakeFiles/dart_calc.dir/dart_calc.cpp.o.d"
+  "dart_calc"
+  "dart_calc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dart_calc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

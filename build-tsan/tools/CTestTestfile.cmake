@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build-tsan/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_calc_success "/root/repo/build-tsan/tools/dart_calc" "success" "--alpha=0.745" "--n=2")
+set_tests_properties(tool_calc_success PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_calc_optimal "/root/repo/build-tsan/tools/dart_calc" "optimal" "--alpha=0.25")
+set_tests_properties(tool_calc_optimal PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_calc_provision "/root/repo/build-tsan/tools/dart_calc" "provision" "--flows=1e8" "--target=0.993")
+set_tests_properties(tool_calc_provision PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_calc_sweep "/root/repo/build-tsan/tools/dart_calc" "sweep" "--n=2")
+set_tests_properties(tool_calc_sweep PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_calc_usage_error "/root/repo/build-tsan/tools/dart_calc" "bogus")
+set_tests_properties(tool_calc_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_archive_usage "/root/repo/build-tsan/tools/dart_archive" "info" "/nonexistent.dart")
+set_tests_properties(tool_archive_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
