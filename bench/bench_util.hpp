@@ -7,6 +7,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace dart::bench {
 
@@ -35,5 +37,58 @@ inline void banner(const char* experiment, const char* paper_claim) {
   std::printf("Paper: %s\n", paper_claim);
   std::printf("================================================================\n");
 }
+
+// Machine-readable benchmark output: collects config and result key/value
+// pairs and writes them as BENCH_<name>.json so successive PRs can diff
+// perf numbers without scraping console tables. The schema is deliberately
+// flat: {"name": ..., "config": {...}, "results": {...}}.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  void config(const std::string& key, double value) {
+    config_num_.emplace_back(key, value);
+  }
+  void config(const std::string& key, const std::string& value) {
+    config_str_.emplace_back(key, value);
+  }
+  void result(const std::string& key, double value) {
+    results_.emplace_back(key, value);
+  }
+
+  // Writes BENCH_<name>.json into `dir`; returns false on I/O failure.
+  bool write(const std::string& dir = ".") const {
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n  \"name\": \"%s\",\n  \"config\": {", name_.c_str());
+    bool first = true;
+    for (const auto& [k, v] : config_str_) {
+      std::fprintf(f, "%s\n    \"%s\": \"%s\"", first ? "" : ",", k.c_str(),
+                   v.c_str());
+      first = false;
+    }
+    for (const auto& [k, v] : config_num_) {
+      std::fprintf(f, "%s\n    \"%s\": %.17g", first ? "" : ",", k.c_str(), v);
+      first = false;
+    }
+    std::fprintf(f, "\n  },\n  \"results\": {");
+    first = true;
+    for (const auto& [k, v] : results_) {
+      std::fprintf(f, "%s\n    \"%s\": %.17g", first ? "" : ",", k.c_str(), v);
+      first = false;
+    }
+    std::fprintf(f, "\n  }\n}\n");
+    const bool ok = std::fclose(f) == 0;
+    std::printf("[bench-json] wrote %s\n", path.c_str());
+    return ok;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> config_str_;
+  std::vector<std::pair<std::string, double>> config_num_;
+  std::vector<std::pair<std::string, double>> results_;
+};
 
 }  // namespace dart::bench

@@ -57,18 +57,33 @@ int main(int argc, char** argv) {
   std::vector<std::uint32_t> sweep{1, 2, 4};
   for (std::uint32_t t = 8; t <= hw; t *= 2) sweep.push_back(t);
 
+  bench::BenchJson json("scaling_ingest_threads");
+  json.config("reports", static_cast<double>(reports));
+  json.config("icrc", icrc ? 1.0 : 0.0);
+  json.config("hardware_threads", static_cast<double>(hw));
+
   Table table({"threads (feeders=shards)", "Mreports/s", "speedup vs 1",
                "ring backpressure spins"});
   double base = 0;
+  double best = 0;
   for (const auto t : sweep) {
     const auto stats = run(t, reports, icrc);
     const double rate = stats.mreports_per_sec();
     if (t == 1) base = rate;
+    if (rate > best) best = rate;
     table.row({std::to_string(t), fmt_double(rate, 3),
                fmt_double(base > 0 ? rate / base : 0.0, 2) + "x",
                std::to_string(stats.ring_full_spins)});
+    const std::string prefix = "t" + std::to_string(t);
+    json.result(prefix + "_mreports_per_sec", rate);
+    json.result(prefix + "_ring_full_spins",
+                static_cast<double>(stats.ring_full_spins));
   }
   table.print(std::cout);
+
+  json.result("reports_per_sec", best * 1e6);
+  json.result("ns_per_report", best > 0 ? 1e3 / best : 0.0);
+  json.write();
 
   if (hw < 4) {
     std::printf(

@@ -44,7 +44,11 @@ template <typename T>
 // for streaming instead.
 [[nodiscard]] std::uint32_t crc32(std::span<const std::byte> data) noexcept;
 
-// Streaming CRC-32 (IEEE, reflected). update() may be called repeatedly.
+// Streaming CRC-32 (IEEE, reflected). update() may be called repeatedly and
+// runs slicing-by-8 (8 bytes per step) with a byte-wise tail. Instances are
+// plain copyable values, so a partially-fed CRC can be cached and resumed —
+// the report-crafter frame templates cache the state over the invariant
+// masked header prefix and finish each frame's iCRC from there.
 class Crc32 {
  public:
   void update(std::span<const std::byte> data) noexcept;

@@ -20,6 +20,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -62,6 +63,44 @@ class SpscRing {
     out = std::move(slots_[head & mask_]);
     head_.store(head + 1, std::memory_order_release);
     return true;
+  }
+
+  // Producer only. Moves as many leading elements of `items` into the ring
+  // as fit and returns that count (0 when full). One acquire refresh of the
+  // consumer index and one release publish cover the whole batch, so the
+  // per-item cost collapses to a move — the point of batching the feeder →
+  // shard hand-off.
+  [[nodiscard]] std::size_t try_push_n(std::span<T> items) noexcept {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    std::size_t free = slots_.size() - static_cast<std::size_t>(tail - cached_head_);
+    if (free < items.size()) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      free = slots_.size() - static_cast<std::size_t>(tail - cached_head_);
+    }
+    const std::size_t n = free < items.size() ? free : items.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      slots_[(tail + i) & mask_] = std::move(items[i]);
+    }
+    if (n > 0) tail_.store(tail + n, std::memory_order_release);
+    return n;
+  }
+
+  // Consumer only. Moves up to `out.size()` elements into `out` and returns
+  // the count (0 when empty). Single acquire refresh + single release
+  // publish, mirroring try_push_n.
+  [[nodiscard]] std::size_t try_pop_n(std::span<T> out) noexcept {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    std::size_t avail = static_cast<std::size_t>(cached_tail_ - head);
+    if (avail < out.size()) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      avail = static_cast<std::size_t>(cached_tail_ - head);
+    }
+    const std::size_t n = avail < out.size() ? avail : out.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = std::move(slots_[(head + i) & mask_]);
+    }
+    if (n > 0) head_.store(head + n, std::memory_order_release);
+    return n;
   }
 
   // Approximate (racy) occupancy — fine for stats and idle heuristics.

@@ -138,27 +138,55 @@ void IngestPipeline::feeder_main(std::uint32_t feeder_id) {
   RemoteStoreInfo dst = collector_.active_info();
   std::vector<std::byte> value;
 
-  // Pushes one crafted frame to the shard that owns its target slot,
-  // spinning (with yield) on backpressure — reports are never silently lost
-  // to a full ring, which would skew the loss accounting tests rely on.
-  auto emit = [&](std::uint64_t slot, const std::vector<std::byte>& frame) {
-    assert(frame.size() <= kMaxFrameBytes);
-    const std::uint32_t shard = static_cast<std::uint32_t>(
-        shard_of_slot(slot, n_slots, config_.n_shards));
-    FrameSlot item;
-    item.len = static_cast<std::uint16_t>(frame.size());
-    std::memcpy(item.bytes.data(), frame.data(), frame.size());
-    Ring& r = ring(feeder_id, shard);
-    while (!r.try_push(std::move(item))) {
-      ++tally.full_spins;
-      std::this_thread::yield();
+  // Frame templates per switch, rebuilt only when a directory refresh shows
+  // a different destination (epoch flips move base_vaddr). All per-report
+  // crafting then runs through craft_*_into with zero allocations.
+  std::vector<FrameTemplate> write_tpls(config_.switches_per_feeder);
+  std::vector<FrameTemplate> cas_tpls;
+  if (config_.second_copy_cas) cas_tpls.resize(config_.switches_per_feeder);
+  auto rebuild_templates = [&] {
+    for (std::uint32_t sw = 0; sw < config_.switches_per_feeder; ++sw) {
+      write_tpls[sw] = crafter_.make_write_template(dst, switches[sw]);
+      if (config_.second_copy_cas) {
+        cas_tpls[sw] = crafter_.make_atomic_template(
+            dst, switches[sw], rdma::Opcode::kRcCompareSwap);
+      }
     }
+  };
+  rebuild_templates();
+
+  // Per-shard staging of up to batch_size frames, published with a single
+  // try_push_n. flush() spins (with yield) on backpressure — reports are
+  // never silently lost to a full ring, which would skew the loss
+  // accounting tests rely on.
+  const std::size_t batch = config_.batch_size;
+  std::vector<std::vector<FrameSlot>> staged(config_.n_shards);
+  for (auto& s : staged) s.resize(batch);
+  std::vector<std::size_t> staged_n(config_.n_shards, 0);
+  auto flush = [&](std::uint32_t shard) {
+    Ring& r = ring(feeder_id, shard);
+    std::span<FrameSlot> pending(staged[shard].data(), staged_n[shard]);
+    while (!pending.empty()) {
+      const std::size_t pushed = r.try_push_n(pending);
+      pending = pending.subspan(pushed);
+      if (pushed == 0) {
+        ++tally.full_spins;
+        std::this_thread::yield();
+      }
+    }
+    staged_n[shard] = 0;
   };
 
   for (std::uint64_t i = 0; i < config_.reports_per_feeder; ++i) {
     if (i % config_.directory_refresh == 0) {
       // Seqlock-protected directory refresh: never observes a torn flip.
-      dst = collector_.active_info();
+      const RemoteStoreInfo fresh = collector_.active_info();
+      if (fresh.base_vaddr != dst.base_vaddr || fresh.rkey != dst.rkey ||
+          fresh.qpn != dst.qpn || fresh.n_slots != dst.n_slots ||
+          fresh.slot_bytes != dst.slot_bytes) {
+        dst = fresh;
+        rebuild_templates();
+      }
     }
     const auto key = make_key(feeder_id, i % unique_keys);
     make_value(key, config_.dart.value_bytes, value);
@@ -180,29 +208,43 @@ void IngestPipeline::feeder_main(std::uint32_t feeder_id) {
       }
       const std::uint64_t slot =
           crafter_.hashes().address_of(key, n, dst.n_slots);
+      const std::uint32_t shard = static_cast<std::uint32_t>(
+          shard_of_slot(slot, n_slots, config_.n_shards));
+      FrameSlot& item = staged[shard][staged_n[shard]];
+      std::size_t len;
       if (config_.second_copy_cas && n == 1) {
         // §7 insert-if-empty: CAS the slot's 64-bit word from 0 to the
         // packed [checksum ‖ value] payload (config guarantees
         // slot_bytes == 8, so the CAS covers the whole slot).
-        std::vector<std::byte> payload;
-        payload.reserve(config_.dart.slot_bytes());
+        std::array<std::byte, 8> payload{};
         const std::uint32_t checksum =
             crafter_.hashes().checksum_of(key, config_.dart.checksum_bits);
+        std::size_t off = 0;
         for (std::uint32_t b = 0; b < config_.dart.checksum_bytes(); ++b) {
-          payload.push_back(static_cast<std::byte>((checksum >> (8 * b)) & 0xFF));
+          payload[off++] = static_cast<std::byte>((checksum >> (8 * b)) & 0xFF);
         }
-        payload.insert(payload.end(), value.begin(), value.end());
+        std::memcpy(payload.data() + off, value.data(), value.size());
         std::uint64_t swap = 0;
         std::memcpy(&swap, payload.data(), 8);
-        emit(slot, crafter_.craft_compare_swap(dst, switches[sw],
+        len = crafter_.craft_compare_swap_into(cas_tpls[sw],
                                                dst.slot_vaddr(slot),
                                                /*compare=*/0, swap,
-                                               psns[sw]++));
+                                               psns[sw]++, item.bytes);
       } else {
-        emit(slot, crafter_.craft_write(dst, switches[sw], key, value, n,
-                                        psns[sw]++));
+        len = crafter_.craft_write_into(write_tpls[sw], key, value, n,
+                                        psns[sw]++, item.bytes);
       }
+      assert(len != 0 && len <= kMaxFrameBytes);
+      item.len = static_cast<std::uint16_t>(len);
+      if (++staged_n[shard] == batch) flush(shard);
     }
+  }
+
+  // Publish every partially filled batch before signalling completion —
+  // workers key their exit on feeders_done_, so staged frames must be in
+  // the rings before the release fetch_add below.
+  for (std::uint32_t shard = 0; shard < config_.n_shards; ++shard) {
+    if (staged_n[shard] > 0) flush(shard);
   }
 
   feeders_done_.fetch_add(1, std::memory_order_release);
@@ -211,7 +253,9 @@ void IngestPipeline::feeder_main(std::uint32_t feeder_id) {
 void IngestPipeline::worker_main(std::uint32_t shard_id) {
   WorkerTally& tally = worker_tallies_[shard_id];
   auto& rnic = collector_.rnic();
-  FrameSlot item;
+  const std::size_t batch = config_.batch_size;
+  std::vector<FrameSlot> items(batch);
+  std::vector<std::span<const std::byte>> views(batch);
   for (;;) {
     // Order matters: observe the done count BEFORE the sweep. If the sweep
     // then finds every ring empty while done was already at n_feeders, no
@@ -222,15 +266,19 @@ void IngestPipeline::worker_main(std::uint32_t shard_id) {
     bool got = false;
     for (std::uint32_t f = 0; f < config_.n_feeders; ++f) {
       Ring& r = ring(f, shard_id);
-      while (r.try_pop(item)) {
+      std::size_t k;
+      while ((k = r.try_pop_n(std::span<FrameSlot>(items.data(), batch))) >
+             0) {
         got = true;
-        const auto frame = std::span<const std::byte>(item.bytes.data(),
-                                                      item.len);
-        if (rnic.process_frame(frame).has_value()) {
-          ++tally.applied;
-        } else {
-          ++tally.rejected;
+        for (std::size_t i = 0; i < k; ++i) {
+          views[i] = std::span<const std::byte>(items[i].bytes.data(),
+                                                items[i].len);
         }
+        const std::size_t applied = rnic.process_frames(
+            std::span<const std::span<const std::byte>>(views.data(), k));
+        tally.applied += applied;
+        tally.rejected += k - applied;
+        if (k < batch) break;  // ring drained; move to the next feeder
       }
     }
     if (got) continue;

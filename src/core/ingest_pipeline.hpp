@@ -78,6 +78,11 @@ struct IngestPipelineConfig {
   // Feeders re-read the collector's directory row (through the rotation
   // seqlock) every this-many reports.
   std::uint32_t directory_refresh = 64;
+  // Frames moved per ring operation: feeders stage up to this many frames
+  // per shard before publishing them with one try_push_n, and shard workers
+  // drain up to this many per try_pop_n and hand them to the RNIC as one
+  // process_frames batch. 1 degenerates to the unbatched per-frame path.
+  std::size_t batch_size = 32;
   // Optional report-loss process; each feeder works on its own clone().
   const net::LossModel* loss_model = nullptr;
 
@@ -86,7 +91,7 @@ struct IngestPipelineConfig {
                         (dart.n_addresses == 2 && dart.slot_bytes() == 8);
     return dart.valid() && n_feeders >= 1 && n_shards >= 1 &&
            switches_per_feeder >= 1 && ring_capacity >= 2 &&
-           directory_refresh >= 1 && cas_ok &&
+           directory_refresh >= 1 && batch_size >= 1 && cas_ok &&
            74 + dart.slot_bytes() <= kMaxFrameBytes;
   }
 };

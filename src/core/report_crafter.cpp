@@ -1,11 +1,47 @@
 #include "core/report_crafter.hpp"
 
+#include <array>
 #include <cassert>
+#include <cstring>
 
 #include "rdma/multiwrite.hpp"
 #include "rdma/roce.hpp"
 
 namespace dart::core {
+
+namespace {
+
+// Absolute byte offsets of the variant fields inside a crafted frame. The
+// layouts are fixed by the wire formats (net/headers, rdma/roce,
+// rdma/multiwrite); frame-equality tests pin them against the serializers.
+constexpr std::size_t kRoceOff =
+    net::kEthernetHeaderLen + net::kIpv4HeaderLen + net::kUdpHeaderLen;
+constexpr std::size_t kPsnOff = kRoceOff + 9;  // BTH bytes 9..11, 24-bit BE
+constexpr std::size_t kRethVaddrOff = kRoceOff + rdma::kBthLen;
+constexpr std::size_t kWritePayloadOff = kRethVaddrOff + rdma::kRethLen;
+constexpr std::size_t kAtomicVaddrOff = kRoceOff + rdma::kBthLen;
+constexpr std::size_t kAtomicSwapOff = kAtomicVaddrOff + 8 + 4;
+constexpr std::size_t kAtomicCompareOff = kAtomicSwapOff + 8;
+constexpr std::size_t kDtaPsnOff = kRoceOff + 8;  // 32-bit BE
+constexpr std::size_t kDtaDataOff = kRoceOff + rdma::kDtaHeaderLen;
+
+void put_be24(std::byte* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::byte>((v >> 16) & 0xFF);
+  p[1] = static_cast<std::byte>((v >> 8) & 0xFF);
+  p[2] = static_cast<std::byte>(v & 0xFF);
+}
+
+void put_be32(std::byte* p, std::uint32_t v) noexcept {
+  const std::uint32_t be = host_to_net32(v);
+  std::memcpy(p, &be, sizeof(be));
+}
+
+void put_be64(std::byte* p, std::uint64_t v) noexcept {
+  const std::uint64_t be = host_to_net64(v);
+  std::memcpy(p, &be, sizeof(be));
+}
+
+}  // namespace
 
 std::vector<std::byte> ReportCrafter::craft_write(
     const RemoteStoreInfo& dst, const ReporterEndpoint& src,
@@ -107,6 +143,163 @@ std::vector<std::byte> ReportCrafter::craft_multiwrite(
   spec.src_port = src.udp_src_port;
   spec.dst_port = rdma::kDtaUdpPort;
   return net::build_udp_frame(spec, dta);
+}
+
+FrameTemplate ReportCrafter::make_write_template(
+    const RemoteStoreInfo& dst, const ReporterEndpoint& src) const {
+  FrameTemplate t;
+  const std::array<std::byte, 1> dummy_key{};
+  const std::vector<std::byte> zero_value(config_.value_bytes);
+  t.prototype_ = craft_write(dst, src, dummy_key, zero_value, 0, 0);
+  t.crc_prefix_ = rdma::icrc_prefix_state(t.prototype_);
+  t.dst_ = dst;
+  t.kind_ = FrameTemplate::Kind::kWrite;
+  return t;
+}
+
+FrameTemplate ReportCrafter::make_atomic_template(const RemoteStoreInfo& dst,
+                                                  const ReporterEndpoint& src,
+                                                  rdma::Opcode op) const {
+  FrameTemplate t;
+  if (op == rdma::Opcode::kRcFetchAdd) {
+    t.prototype_ = craft_fetch_add(dst, src, 0, 0, 0);
+    t.kind_ = FrameTemplate::Kind::kFetchAdd;
+  } else if (op == rdma::Opcode::kRcCompareSwap) {
+    t.prototype_ = craft_compare_swap(dst, src, 0, 0, 0, 0);
+    t.kind_ = FrameTemplate::Kind::kCompareSwap;
+  } else {
+    return t;
+  }
+  t.crc_prefix_ = rdma::icrc_prefix_state(t.prototype_);
+  t.dst_ = dst;
+  return t;
+}
+
+FrameTemplate ReportCrafter::make_multiwrite_template(
+    const RemoteStoreInfo& dst, const ReporterEndpoint& src) const {
+  FrameTemplate t;
+  const std::array<std::byte, 1> dummy_key{};
+  const std::vector<std::byte> zero_value(config_.value_bytes);
+  t.prototype_ = craft_multiwrite(dst, src, dummy_key, zero_value, 0);
+  // The DTA trailer CRC covers the whole DTA payload, unmasked; the cacheable
+  // prefix is magic/version/count/rkey — the 8 bytes before the PSN, which by
+  // construction ends at the same absolute offset as the RoCE variant region.
+  t.crc_prefix_.update(
+      std::span<const std::byte>(t.prototype_.data() + kRoceOff, 8));
+  t.dst_ = dst;
+  t.kind_ = FrameTemplate::Kind::kMultiwrite;
+  return t;
+}
+
+std::size_t ReportCrafter::craft_write_into(const FrameTemplate& tpl,
+                                            std::span<const std::byte> key,
+                                            std::span<const std::byte> value,
+                                            std::uint32_t n, std::uint32_t psn,
+                                            std::span<std::byte> out) const {
+  if (tpl.kind_ != FrameTemplate::Kind::kWrite ||
+      out.size() < tpl.prototype_.size()) {
+    return 0;
+  }
+  assert(value.size() == config_.value_bytes);
+  const std::size_t len = tpl.prototype_.size();
+  std::memcpy(out.data(), tpl.prototype_.data(), len);
+  put_be24(out.data() + kPsnOff, psn & 0xFF'FFFFu);
+  put_be64(out.data() + kRethVaddrOff, slot_vaddr(tpl.dst_, key, n));
+  std::byte* p = out.data() + kWritePayloadOff;
+  const std::uint32_t csum = hashes_.checksum_of(key, config_.checksum_bits);
+  for (std::uint32_t i = 0; i < config_.checksum_bytes(); ++i) {
+    *p++ = static_cast<std::byte>((csum >> (8 * i)) & 0xFF);
+  }
+  std::memcpy(p, value.data(), value.size());
+  const std::size_t icrc_off = len - rdma::kIcrcLen;
+  Crc32 crc = tpl.crc_prefix_;
+  crc.update(std::span<const std::byte>(
+      out.data() + rdma::kIcrcVariantOffset,
+      icrc_off - rdma::kIcrcVariantOffset));
+  const std::uint32_t icrc = crc.value();
+  std::memcpy(out.data() + icrc_off, &icrc, rdma::kIcrcLen);
+  return len;
+}
+
+std::size_t ReportCrafter::craft_fetch_add_into(const FrameTemplate& tpl,
+                                                std::uint64_t vaddr,
+                                                std::uint64_t addend,
+                                                std::uint32_t psn,
+                                                std::span<std::byte> out) const {
+  if (tpl.kind_ != FrameTemplate::Kind::kFetchAdd ||
+      out.size() < tpl.prototype_.size()) {
+    return 0;
+  }
+  const std::size_t len = tpl.prototype_.size();
+  std::memcpy(out.data(), tpl.prototype_.data(), len);
+  put_be24(out.data() + kPsnOff, psn & 0xFF'FFFFu);
+  put_be64(out.data() + kAtomicVaddrOff, vaddr);
+  put_be64(out.data() + kAtomicSwapOff, addend);
+  const std::size_t icrc_off = len - rdma::kIcrcLen;
+  Crc32 crc = tpl.crc_prefix_;
+  crc.update(std::span<const std::byte>(
+      out.data() + rdma::kIcrcVariantOffset,
+      icrc_off - rdma::kIcrcVariantOffset));
+  const std::uint32_t icrc = crc.value();
+  std::memcpy(out.data() + icrc_off, &icrc, rdma::kIcrcLen);
+  return len;
+}
+
+std::size_t ReportCrafter::craft_compare_swap_into(
+    const FrameTemplate& tpl, std::uint64_t vaddr, std::uint64_t compare,
+    std::uint64_t swap, std::uint32_t psn, std::span<std::byte> out) const {
+  if (tpl.kind_ != FrameTemplate::Kind::kCompareSwap ||
+      out.size() < tpl.prototype_.size()) {
+    return 0;
+  }
+  const std::size_t len = tpl.prototype_.size();
+  std::memcpy(out.data(), tpl.prototype_.data(), len);
+  put_be24(out.data() + kPsnOff, psn & 0xFF'FFFFu);
+  put_be64(out.data() + kAtomicVaddrOff, vaddr);
+  put_be64(out.data() + kAtomicSwapOff, swap);
+  put_be64(out.data() + kAtomicCompareOff, compare);
+  const std::size_t icrc_off = len - rdma::kIcrcLen;
+  Crc32 crc = tpl.crc_prefix_;
+  crc.update(std::span<const std::byte>(
+      out.data() + rdma::kIcrcVariantOffset,
+      icrc_off - rdma::kIcrcVariantOffset));
+  const std::uint32_t icrc = crc.value();
+  std::memcpy(out.data() + icrc_off, &icrc, rdma::kIcrcLen);
+  return len;
+}
+
+std::size_t ReportCrafter::craft_multiwrite_into(
+    const FrameTemplate& tpl, std::span<const std::byte> key,
+    std::span<const std::byte> value, std::uint32_t psn,
+    std::span<std::byte> out) const {
+  if (tpl.kind_ != FrameTemplate::Kind::kMultiwrite ||
+      out.size() < tpl.prototype_.size()) {
+    return 0;
+  }
+  assert(value.size() == config_.value_bytes);
+  const std::size_t len = tpl.prototype_.size();
+  std::memcpy(out.data(), tpl.prototype_.data(), len);
+  put_be32(out.data() + kDtaPsnOff, psn);
+  std::byte* p = out.data() + kDtaDataOff;
+  const std::uint32_t csum = hashes_.checksum_of(key, config_.checksum_bits);
+  for (std::uint32_t i = 0; i < config_.checksum_bytes(); ++i) {
+    *p++ = static_cast<std::byte>((csum >> (8 * i)) & 0xFF);
+  }
+  std::memcpy(p, value.data(), value.size());
+  p += value.size();
+  for (std::uint32_t n = 0; n < config_.n_addresses; ++n) {
+    put_be64(p + 8 * n, slot_vaddr(tpl.dst_, key, n));
+  }
+  const std::size_t crc_off = len - rdma::kDtaCrcLen;
+  Crc32 crc = tpl.crc_prefix_;
+  crc.update(std::span<const std::byte>(out.data() + kDtaPsnOff,
+                                        crc_off - kDtaPsnOff));
+  const std::uint32_t v = crc.value();
+  out[crc_off] = static_cast<std::byte>(v & 0xFF);
+  out[crc_off + 1] = static_cast<std::byte>((v >> 8) & 0xFF);
+  out[crc_off + 2] = static_cast<std::byte>((v >> 16) & 0xFF);
+  out[crc_off + 3] = static_cast<std::byte>((v >> 24) & 0xFF);
+  return len;
 }
 
 std::vector<std::byte> ReportCrafter::wrap_frame(

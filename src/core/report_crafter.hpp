@@ -19,6 +19,7 @@
 #include "core/collector.hpp"
 #include "core/config.hpp"
 #include "net/headers.hpp"
+#include "rdma/roce.hpp"
 
 namespace dart::core {
 
@@ -27,6 +28,54 @@ struct ReporterEndpoint {
   net::MacAddr mac{};
   net::Ipv4Addr ip{};
   std::uint16_t udp_src_port = 0xC000;  // RoCEv2 source ports use the dynamic range
+};
+
+// Precomputed frame skeleton for one (reporter endpoint, collector) pair.
+//
+// Everything up to the BTH PSN word — Ethernet, IPv4 (including its header
+// checksum), UDP, and BTH bytes 0..7 — is invariant for a fixed pair, as is
+// the frame length for a fixed DartConfig. A template stores the full
+// reference frame once plus the streaming-CRC state over the masked
+// invariant prefix, so ReportCrafter::craft_*_into can emit a report by
+// memcpy + patching the variant fields (PSN, vaddr(s), operands, payload)
+// and resuming the cached CRC over the ~50 variant bytes: zero allocations
+// and no header reserialization per report. This mirrors what the real
+// datapaths do — a Tofino deparser emits a fixed header template and a
+// ConnectX engine computes iCRC in flight; neither rebuilds headers per
+// packet.
+//
+// Built by ReportCrafter::make_*_template; frames produced through a
+// template are byte-identical to the corresponding craft_* output (tests
+// assert this, iCRC included).
+class FrameTemplate {
+ public:
+  enum class Kind : std::uint8_t {
+    kInvalid,
+    kWrite,
+    kFetchAdd,
+    kCompareSwap,
+    kMultiwrite,
+  };
+
+  FrameTemplate() = default;
+
+  [[nodiscard]] bool valid() const noexcept { return kind_ != Kind::kInvalid; }
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  // Exact size of every frame crafted from this template; `out` buffers
+  // passed to craft_*_into must hold at least this many bytes.
+  [[nodiscard]] std::size_t frame_size() const noexcept {
+    return prototype_.size();
+  }
+  // Destination the template was built for.
+  [[nodiscard]] const RemoteStoreInfo& dst() const noexcept { return dst_; }
+
+ private:
+  friend class ReportCrafter;
+
+  Kind kind_ = Kind::kInvalid;
+  std::vector<std::byte> prototype_;  // reference frame, variant fields zeroed
+  Crc32 crc_prefix_;  // CRC state over the masked invariant prefix
+  RemoteStoreInfo dst_{};
 };
 
 class ReportCrafter {
@@ -74,6 +123,44 @@ class ReportCrafter {
       const RemoteStoreInfo& dst, const ReporterEndpoint& src,
       std::span<const std::byte> key, std::span<const std::byte> value,
       std::uint32_t psn) const;
+
+  // --- Zero-allocation fast path -----------------------------------------
+  //
+  // make_*_template precomputes the frame skeleton for a (src, dst) pair;
+  // the craft_*_into counterparts patch variant fields into a caller-owned
+  // buffer and return the frame length, or 0 if the template kind does not
+  // match or `out` is smaller than tpl.frame_size(). Output is byte-
+  // identical to the matching craft_* call.
+
+  [[nodiscard]] FrameTemplate make_write_template(
+      const RemoteStoreInfo& dst, const ReporterEndpoint& src) const;
+  // `op` must be kRcFetchAdd or kRcCompareSwap; anything else yields an
+  // invalid template.
+  [[nodiscard]] FrameTemplate make_atomic_template(
+      const RemoteStoreInfo& dst, const ReporterEndpoint& src,
+      rdma::Opcode op) const;
+  [[nodiscard]] FrameTemplate make_multiwrite_template(
+      const RemoteStoreInfo& dst, const ReporterEndpoint& src) const;
+
+  std::size_t craft_write_into(const FrameTemplate& tpl,
+                               std::span<const std::byte> key,
+                               std::span<const std::byte> value,
+                               std::uint32_t n, std::uint32_t psn,
+                               std::span<std::byte> out) const;
+  std::size_t craft_fetch_add_into(const FrameTemplate& tpl,
+                                   std::uint64_t vaddr, std::uint64_t addend,
+                                   std::uint32_t psn,
+                                   std::span<std::byte> out) const;
+  std::size_t craft_compare_swap_into(const FrameTemplate& tpl,
+                                      std::uint64_t vaddr,
+                                      std::uint64_t compare,
+                                      std::uint64_t swap, std::uint32_t psn,
+                                      std::span<std::byte> out) const;
+  std::size_t craft_multiwrite_into(const FrameTemplate& tpl,
+                                    std::span<const std::byte> key,
+                                    std::span<const std::byte> value,
+                                    std::uint32_t psn,
+                                    std::span<std::byte> out) const;
 
  private:
   [[nodiscard]] std::vector<std::byte> wrap_frame(

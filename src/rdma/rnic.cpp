@@ -61,6 +61,15 @@ std::optional<Completion> SimulatedRnic::process_frame(
   return completion;
 }
 
+std::size_t SimulatedRnic::process_frames(
+    std::span<const std::span<const std::byte>> frames) {
+  std::size_t executed = 0;
+  for (const auto& frame : frames) {
+    if (process_frame(frame)) ++executed;
+  }
+  return executed;
+}
+
 std::optional<Completion> SimulatedRnic::execute(const RoceRequest& req) {
   const bool atomic = is_atomic(req.bth.opcode);
   const std::uint64_t vaddr =

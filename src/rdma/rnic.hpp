@@ -96,6 +96,13 @@ class SimulatedRnic : public net::Node {
   // hardware: an RNIC runs many DMA engines against one memory map.
   std::optional<Completion> process_frame(std::span<const std::byte> frame);
 
+  // Batch entry point: processes `frames` in order and returns how many
+  // executed an operation (the per-frame verdicts land in counters(), same
+  // as process_frame). This is how the shard workers hand over a whole ring
+  // drain in one call — the batch analogue of an RNIC pulling a doorbell'd
+  // chain of receive descriptors.
+  std::size_t process_frames(std::span<const std::span<const std::byte>> frames);
+
   // net::Node — frames delivered by the fabric simulator.
   void receive(net::Packet packet, std::uint64_t now_ns) override;
 

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/hash.hpp"
 #include "net/headers.hpp"
 
 namespace dart::rdma {
@@ -116,6 +117,23 @@ std::size_t serialize_atomic(BufWriter& w, const Bth& bth,
 [[nodiscard]] std::uint32_t compute_icrc(const net::Ipv4Header& ip,
                                          const net::UdpHeader& udp,
                                          std::span<const std::byte> bth_to_payload);
+
+// Offset of the first iCRC-covered byte that can differ between two frames
+// of one (source, destination) endpoint pair: the BTH PSN word. Everything
+// before it — Eth/IP/UDP headers and BTH bytes 0..7 — is invariant for a
+// fixed endpoint pair and payload length, which is what makes the masked
+// prefix cacheable.
+inline constexpr std::size_t kIcrcVariantOffset =
+    net::kEthernetHeaderLen + net::kIpv4HeaderLen + net::kUdpHeaderLen + 8;
+
+// Streaming-CRC state over the masked invariant prefix of `frame`: the 8
+// dummy-LRH 0xFF bytes, the masked IPv4 and UDP headers, and BTH bytes 0..7
+// with resv8a masked. Resuming this state over
+// frame[kIcrcVariantOffset .. icrc) yields the full iCRC. The report
+// crafter's frame templates cache this state once per (endpoint, collector)
+// pair so per-report iCRC work shrinks to the ~50 variant bytes. `frame`
+// must hold at least kIcrcVariantOffset bytes of a well-formed frame.
+[[nodiscard]] Crc32 icrc_prefix_state(std::span<const std::byte> frame) noexcept;
 
 // Patches the trailing 4 iCRC bytes of `frame` (a full Ethernet+IP+UDP frame
 // carrying a RoCEv2 payload) with the correct iCRC. Returns false if the

@@ -1,5 +1,7 @@
 #include "switchsim/dart_switch.hpp"
 
+#include <cassert>
+
 namespace dart::switchsim {
 
 DartSwitchPipeline::DartSwitchPipeline(const Config& config)
@@ -22,6 +24,13 @@ void DartSwitchPipeline::load_collector(const core::RemoteStoreInfo& info) {
   entry.n_slots = info.n_slots;
   entry.slot_bytes = info.slot_bytes;
   table_.insert(info.collector_id, entry);
+
+  EgressTemplates tpls;
+  tpls.write = crafter_.make_write_template(info, self_);
+  if (config_.use_dta_multiwrite) {
+    tpls.multiwrite = crafter_.make_multiwrite_template(info, self_);
+  }
+  egress_tpls_[info.collector_id] = std::move(tpls);
 }
 
 std::vector<std::vector<std::byte>> DartSwitchPipeline::on_telemetry(
@@ -44,6 +53,10 @@ std::vector<std::vector<std::byte>> DartSwitchPipeline::on_telemetry(
     return frames;
   }
 
+  // Deparser templates built by load_collector; the slow reconstruct-and-
+  // reserialize path below only runs if the cache is somehow out of sync.
+  const auto tpl_it = egress_tpls_.find(collector_id);
+
   // Reconstruct the directory row the crafter expects from the action data.
   core::RemoteStoreInfo dst;
   dst.collector_id = collector_id;
@@ -58,7 +71,16 @@ std::vector<std::vector<std::byte>> DartSwitchPipeline::on_telemetry(
   if (config_.use_dta_multiwrite) {
     const std::uint32_t psn = psn_regs_.rmw(
         collector_id, [](std::uint32_t old) { return (old + 1) & 0x00FF'FFFFu; });
-    frames.push_back(crafter_.craft_multiwrite(dst, self_, key, value, psn));
+    if (tpl_it != egress_tpls_.end() && tpl_it->second.multiwrite.valid()) {
+      const core::FrameTemplate& tpl = tpl_it->second.multiwrite;
+      auto& frame = frames.emplace_back(tpl.frame_size());
+      const std::size_t len =
+          crafter_.craft_multiwrite_into(tpl, key, value, psn, frame);
+      (void)len;
+      assert(len == frame.size());
+    } else {
+      frames.push_back(crafter_.craft_multiwrite(dst, self_, key, value, psn));
+    }
     ++counters_.reports_emitted;
     return frames;
   }
@@ -72,7 +94,16 @@ std::vector<std::vector<std::byte>> DartSwitchPipeline::on_telemetry(
     // Per-collector PSN counter: one register cell, read-modify-write.
     const std::uint32_t psn = psn_regs_.rmw(
         collector_id, [](std::uint32_t old) { return (old + 1) & 0x00FF'FFFFu; });
-    frames.push_back(crafter_.craft_write(dst, self_, key, value, n, psn));
+    if (tpl_it != egress_tpls_.end() && tpl_it->second.write.valid()) {
+      const core::FrameTemplate& tpl = tpl_it->second.write;
+      auto& frame = frames.emplace_back(tpl.frame_size());
+      const std::size_t len =
+          crafter_.craft_write_into(tpl, key, value, n, psn, frame);
+      (void)len;
+      assert(len == frame.size());
+    } else {
+      frames.push_back(crafter_.craft_write(dst, self_, key, value, n, psn));
+    }
     ++counters_.reports_emitted;
   }
   return frames;

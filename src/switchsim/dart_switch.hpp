@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "core/config.hpp"
@@ -74,9 +75,11 @@ class DartSwitchPipeline {
   void load_collector(const core::RemoteStoreInfo& info);
   void unload_collector(std::uint32_t collector_id) {
     table_.remove(collector_id);
+    egress_tpls_.erase(collector_id);
   }
   void clear_collectors() {
     table_ = {};
+    egress_tpls_.clear();
   }
   [[nodiscard]] std::size_t collectors_loaded() const noexcept {
     return table_.size();
@@ -108,6 +111,15 @@ class DartSwitchPipeline {
   [[nodiscard]] const Config& config() const noexcept { return config_; }
 
  private:
+  // Deparser fast path: precomputed frame templates per loaded collector,
+  // built by the control plane alongside the lookup-table row — the software
+  // analogue of a Tofino deparser emitting a fixed header template. Kept in
+  // sync with table_ by load/unload/clear.
+  struct EgressTemplates {
+    core::FrameTemplate write;
+    core::FrameTemplate multiwrite;  // only valid() when use_dta_multiwrite
+  };
+
   Config config_;
   HashEngine hash_engine_;
   RngExtern rng_;
@@ -116,6 +128,7 @@ class DartSwitchPipeline {
   RegisterArray<std::uint32_t> psn_regs_;
   core::ReportCrafter crafter_;
   core::ReporterEndpoint self_;
+  std::unordered_map<std::uint32_t, EgressTemplates> egress_tpls_;
   SwitchCounters counters_;
 };
 

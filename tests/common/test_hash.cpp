@@ -109,6 +109,117 @@ TEST(Crc16, KnownAnswer123456789) {
   EXPECT_EQ(crc16_ccitt(bytes_of(s)), 0x29B1);
 }
 
+// --- sliced CRC vs bit-wise reference ----------------------------------------
+//
+// The production CRC-32 runs slicing-by-8 and the CRC-16 is table-driven;
+// these references compute the same polynomials bit by bit, so any table or
+// tail-handling bug in the fast paths shows up as a mismatch.
+
+std::uint32_t crc32_reference(std::span<const std::byte> data) {
+  std::uint32_t crc = 0xFFFF'FFFFu;
+  for (const std::byte b : data) {
+    crc ^= static_cast<std::uint8_t>(b);
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc & 1u) ? (0xEDB8'8320u ^ (crc >> 1)) : (crc >> 1);
+    }
+  }
+  return ~crc;
+}
+
+std::uint16_t crc16_reference(std::span<const std::byte> data) {
+  std::uint16_t crc = 0xFFFF;
+  for (const std::byte b : data) {
+    crc ^= static_cast<std::uint16_t>(static_cast<std::uint8_t>(b) << 8);
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc & 0x8000u) ? static_cast<std::uint16_t>((crc << 1) ^ 0x1021u)
+                            : static_cast<std::uint16_t>(crc << 1);
+    }
+  }
+  return crc;
+}
+
+// Deterministic byte pattern with no structure the tables could hide behind.
+std::vector<std::byte> pattern_bytes(std::size_t n, std::uint64_t seed) {
+  std::vector<std::byte> out(n);
+  std::uint64_t x = seed * 0x9E37'79B9'7F4A'7C15ull + 0x5DEE'CE66Dull;
+  for (std::size_t i = 0; i < n; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    out[i] = static_cast<std::byte>(x & 0xFF);
+  }
+  return out;
+}
+
+TEST(Crc32, SlicedMatchesReferenceAllShortLengths) {
+  // Lengths 0..64 cover every (8-byte blocks, tail) combination at least
+  // eight times over.
+  const auto buf = pattern_bytes(64, 1);
+  for (std::size_t len = 0; len <= buf.size(); ++len) {
+    EXPECT_EQ(crc32(std::span{buf.data(), len}),
+              crc32_reference(std::span{buf.data(), len}))
+        << "len=" << len;
+  }
+}
+
+TEST(Crc32, SlicedMatchesReferenceRandomLengthsAndAlignments) {
+  const auto buf = pattern_bytes(512, 2);
+  std::uint64_t x = 42;
+  for (int round = 0; round < 200; ++round) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    const std::size_t off = (x >> 33) % 16;  // misalign the window start
+    const std::size_t max_len = buf.size() - off;
+    const std::size_t len = (x >> 17) % (max_len + 1);
+    const std::span<const std::byte> window{buf.data() + off, len};
+    EXPECT_EQ(crc32(window), crc32_reference(window))
+        << "off=" << off << " len=" << len;
+  }
+}
+
+TEST(Crc32, StreamingSplitsMatchOneShotAroundBlockBoundary) {
+  // Splitting mid-block forces the byte-wise tail on the first update and a
+  // fresh block start on the second — state hand-off must be exact.
+  const auto buf = pattern_bytes(48, 3);
+  const std::uint32_t expect = crc32(buf);
+  for (std::size_t split = 0; split <= buf.size(); ++split) {
+    Crc32 c;
+    c.update(std::span{buf.data(), split});
+    c.update(std::span{buf.data() + split, buf.size() - split});
+    EXPECT_EQ(c.value(), expect) << "split=" << split;
+  }
+}
+
+TEST(Crc32, UpdateByteMatchesBulkUpdate) {
+  const auto buf = pattern_bytes(37, 4);
+  Crc32 bytewise;
+  for (const std::byte b : buf) {
+    bytewise.update_byte(static_cast<std::uint8_t>(b));
+  }
+  EXPECT_EQ(bytewise.value(), crc32(buf));
+}
+
+TEST(Crc16, TableMatchesReferenceAllShortLengths) {
+  const auto buf = pattern_bytes(64, 5);
+  for (std::size_t len = 0; len <= buf.size(); ++len) {
+    EXPECT_EQ(crc16_ccitt(std::span{buf.data(), len}),
+              crc16_reference(std::span{buf.data(), len}))
+        << "len=" << len;
+  }
+}
+
+TEST(Crc16, TableMatchesReferenceRandomWindows) {
+  const auto buf = pattern_bytes(256, 6);
+  std::uint64_t x = 99;
+  for (int round = 0; round < 100; ++round) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    const std::size_t off = (x >> 33) % 32;
+    const std::size_t len = (x >> 17) % (buf.size() - off + 1);
+    const std::span<const std::byte> window{buf.data() + off, len};
+    EXPECT_EQ(crc16_ccitt(window), crc16_reference(window))
+        << "off=" << off << " len=" << len;
+  }
+}
+
 // --- HashFamily ---------------------------------------------------------------
 
 TEST(HashFamily, DeterministicAcrossInstances) {

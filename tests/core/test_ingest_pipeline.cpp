@@ -95,6 +95,35 @@ TEST(IngestPipeline, IngestedValuesAreQueryable) {
   EXPECT_EQ(wrong, 0u);  // 32-bit checksums: return errors ≈ 0 at this scale
 }
 
+TEST(IngestPipeline, BatchSizesProduceIdenticalStoreState) {
+  // batch_size only changes how frames move through the rings, never what
+  // they contain or where they land: batch_size=1 (the old per-frame path)
+  // and a large batch must leave byte-identical query results behind. One
+  // feeder keeps same-slot write order equal to program order (each slot maps
+  // to one ring, rings are FIFO), so the comparison is exact.
+  auto run_with_batch = [](std::size_t batch) {
+    auto cfg = small_config();
+    cfg.n_feeders = 1;
+    cfg.reports_per_feeder = 1000;
+    cfg.batch_size = batch;
+    IngestPipeline pipeline(cfg);
+    const auto stats = pipeline.run();
+    EXPECT_EQ(stats.frames_applied, stats.frames_crafted) << "batch=" << batch;
+
+    std::vector<std::pair<QueryOutcome, std::vector<std::byte>>> results;
+    for (std::uint32_t f = 0; f < cfg.n_feeders; ++f) {
+      for (std::uint64_t k = 0; k < cfg.reports_per_feeder; ++k) {
+        const auto r = pipeline.query(IngestPipeline::make_key(f, k));
+        results.emplace_back(r.outcome, r.value);
+      }
+    }
+    return results;
+  };
+  const auto unbatched = run_with_batch(1);
+  const auto batched = run_with_batch(16);
+  EXPECT_EQ(unbatched, batched);
+}
+
 TEST(IngestPipeline, ManyFeedersManyShards) {
   auto cfg = small_config();
   cfg.n_feeders = 4;

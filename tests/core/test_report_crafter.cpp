@@ -148,5 +148,160 @@ TEST(ReportCrafter, ReportSizeMatchesPaperFraming) {
   EXPECT_EQ(frame.size(), 14u + 20 + 8 + 12 + 16 + 24 + 4);
 }
 
+// --- FrameTemplate fast path: byte identity with the reference crafters ------
+//
+// The acceptance oracle for the zero-allocation path: for every operation
+// kind, craft_*_into through a template must produce frames byte-identical
+// to the allocating craft_* reference — including the iCRC / DTA trailer,
+// which the template path computes from a cached prefix CRC state.
+
+TEST(FrameTemplate, WriteByteIdenticalAcrossKeysAndPsns) {
+  const ReportCrafter crafter(config());
+  const auto tpl = crafter.make_write_template(dst_info(), src_info());
+  ASSERT_TRUE(tpl.valid());
+  ASSERT_EQ(tpl.kind(), FrameTemplate::Kind::kWrite);
+
+  std::vector<std::byte> out(tpl.frame_size());
+  const std::uint32_t psns[] = {0, 1, 5, 0x00FF'FFFFu, 0x1234'5678u};
+  for (int i = 0; i < 8; ++i) {
+    const std::string key = "flow-" + std::to_string(i);
+    std::vector<std::byte> value(20, static_cast<std::byte>(0x10 + i));
+    for (const std::uint32_t psn : psns) {
+      for (std::uint32_t n = 0; n < 2; ++n) {
+        const auto ref = crafter.craft_write(dst_info(), src_info(),
+                                             bytes_of(key), value, n, psn);
+        const std::size_t len =
+            crafter.craft_write_into(tpl, bytes_of(key), value, n, psn, out);
+        ASSERT_EQ(len, ref.size());
+        EXPECT_EQ(std::vector<std::byte>(out.begin(), out.begin() + len), ref)
+            << "key=" << key << " n=" << n << " psn=" << psn;
+      }
+    }
+  }
+}
+
+TEST(FrameTemplate, FetchAddByteIdentical) {
+  const ReportCrafter crafter(config());
+  const auto tpl = crafter.make_atomic_template(dst_info(), src_info(),
+                                                rdma::Opcode::kRcFetchAdd);
+  ASSERT_TRUE(tpl.valid());
+  ASSERT_EQ(tpl.kind(), FrameTemplate::Kind::kFetchAdd);
+
+  std::vector<std::byte> out(tpl.frame_size());
+  const std::uint64_t vaddrs[] = {0x0000'1000'0000'0040ull,
+                                  0x0000'1000'0000'FFF8ull};
+  for (const std::uint64_t vaddr : vaddrs) {
+    for (std::uint64_t addend : {std::uint64_t{0}, std::uint64_t{7},
+                                 std::uint64_t{0xFFFF'FFFF'FFFF'FFFFull}}) {
+      for (const std::uint32_t psn : {0u, 3u, 0x00FF'FFFFu}) {
+        const auto ref =
+            crafter.craft_fetch_add(dst_info(), src_info(), vaddr, addend, psn);
+        const std::size_t len =
+            crafter.craft_fetch_add_into(tpl, vaddr, addend, psn, out);
+        ASSERT_EQ(len, ref.size());
+        EXPECT_EQ(std::vector<std::byte>(out.begin(), out.begin() + len), ref);
+      }
+    }
+  }
+}
+
+TEST(FrameTemplate, CompareSwapByteIdentical) {
+  const ReportCrafter crafter(config());
+  const auto tpl = crafter.make_atomic_template(dst_info(), src_info(),
+                                                rdma::Opcode::kRcCompareSwap);
+  ASSERT_TRUE(tpl.valid());
+  ASSERT_EQ(tpl.kind(), FrameTemplate::Kind::kCompareSwap);
+
+  std::vector<std::byte> out(tpl.frame_size());
+  for (const std::uint64_t compare : {std::uint64_t{0}, std::uint64_t{0xAA}}) {
+    for (const std::uint64_t swap :
+         {std::uint64_t{0xAA}, std::uint64_t{0xDEAD'BEEF'CAFE'F00Dull}}) {
+      for (const std::uint32_t psn : {9u, 0x00FF'FFFFu}) {
+        const auto ref = crafter.craft_compare_swap(
+            dst_info(), src_info(), 0x0000'1000'0000'0080ull, compare, swap,
+            psn);
+        const std::size_t len = crafter.craft_compare_swap_into(
+            tpl, 0x0000'1000'0000'0080ull, compare, swap, psn, out);
+        ASSERT_EQ(len, ref.size());
+        EXPECT_EQ(std::vector<std::byte>(out.begin(), out.begin() + len), ref);
+      }
+    }
+  }
+}
+
+TEST(FrameTemplate, MultiwriteByteIdentical) {
+  const ReportCrafter crafter(config());
+  const auto tpl = crafter.make_multiwrite_template(dst_info(), src_info());
+  ASSERT_TRUE(tpl.valid());
+  ASSERT_EQ(tpl.kind(), FrameTemplate::Kind::kMultiwrite);
+
+  std::vector<std::byte> out(tpl.frame_size());
+  for (int i = 0; i < 8; ++i) {
+    const std::string key = "mw-" + std::to_string(i);
+    std::vector<std::byte> value(20, static_cast<std::byte>(0x33 + i));
+    for (const std::uint32_t psn : {0u, 77u, 0xFFFF'FFFFu}) {
+      const auto ref = crafter.craft_multiwrite(dst_info(), src_info(),
+                                                bytes_of(key), value, psn);
+      const std::size_t len =
+          crafter.craft_multiwrite_into(tpl, bytes_of(key), value, psn, out);
+      ASSERT_EQ(len, ref.size());
+      EXPECT_EQ(std::vector<std::byte>(out.begin(), out.begin() + len), ref)
+          << "key=" << key << " psn=" << psn;
+    }
+  }
+}
+
+TEST(FrameTemplate, TemplateFramesVerifyAndParse) {
+  // Independent of byte identity: the RNIC-side validators accept template
+  // frames on their own terms.
+  const ReportCrafter crafter(config());
+  const auto tpl = crafter.make_write_template(dst_info(), src_info());
+  std::vector<std::byte> out(tpl.frame_size());
+  const std::string key = "flow-X";
+  std::vector<std::byte> value(20, std::byte{0x55});
+  ASSERT_NE(crafter.craft_write_into(tpl, bytes_of(key), value, 1, 42, out),
+            0u);
+  EXPECT_TRUE(rdma::verify_frame_icrc(out));
+  const auto parsed = net::parse_udp_frame(out);
+  ASSERT_TRUE(parsed.has_value());
+  const auto req = rdma::parse_request(parsed->payload);
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->bth.psn, 42u);
+  EXPECT_EQ(req->reth->vaddr, crafter.slot_vaddr(dst_info(), bytes_of(key), 1));
+}
+
+TEST(FrameTemplate, RejectsKindMismatchAndUndersizedBuffer) {
+  const ReportCrafter crafter(config());
+  const auto write_tpl = crafter.make_write_template(dst_info(), src_info());
+  const auto fa_tpl = crafter.make_atomic_template(dst_info(), src_info(),
+                                                   rdma::Opcode::kRcFetchAdd);
+  const std::string key = "flow-Y";
+  std::vector<std::byte> value(20, std::byte{0});
+  std::vector<std::byte> out(write_tpl.frame_size());
+
+  // Kind mismatch: a write template refuses atomic crafting and vice versa.
+  EXPECT_EQ(crafter.craft_fetch_add_into(write_tpl, 0x1000, 1, 0, out), 0u);
+  EXPECT_EQ(crafter.craft_write_into(fa_tpl, bytes_of(key), value, 0, 0, out),
+            0u);
+
+  // Undersized output buffer.
+  std::vector<std::byte> small(write_tpl.frame_size() - 1);
+  EXPECT_EQ(
+      crafter.craft_write_into(write_tpl, bytes_of(key), value, 0, 0, small),
+      0u);
+
+  // Default-constructed template is invalid and crafts nothing.
+  const FrameTemplate none;
+  EXPECT_FALSE(none.valid());
+  EXPECT_EQ(crafter.craft_write_into(none, bytes_of(key), value, 0, 0, out),
+            0u);
+
+  // An opcode that is not an atomic yields an invalid template.
+  EXPECT_FALSE(crafter
+                   .make_atomic_template(dst_info(), src_info(),
+                                         rdma::Opcode::kRcRdmaWriteOnly)
+                   .valid());
+}
+
 }  // namespace
 }  // namespace dart::core

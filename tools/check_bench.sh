@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Builds the benches in Release and smoke-runs the two perf-trajectory
+# binaries (micro_datapath, scaling_ingest_threads) with a small rep count,
+# then validates that each emitted BENCH_<name>.json parses and carries the
+# required keys. This is the gate that keeps the machine-readable perf
+# baseline from silently rotting between PRs.
+#
+# Usage: tools/check_bench.sh [build-dir]   (default: build-bench)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-bench}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD_DIR" -j --target micro_datapath scaling_ingest_threads
+
+OUT_DIR="$(mktemp -d)"
+trap 'rm -rf "$OUT_DIR"' EXIT
+
+# Small rep counts: this validates plumbing, not statistics.
+# NOTE: the bundled google-benchmark wants a plain double for min_time.
+(cd "$OUT_DIR" && "$OLDPWD/$BUILD_DIR/bench/micro_datapath" \
+  --benchmark_min_time=0.05)
+(cd "$OUT_DIR" && "$OLDPWD/$BUILD_DIR/bench/scaling_ingest_threads" \
+  --reports=40000)
+
+python3 - "$OUT_DIR" <<'EOF'
+import json
+import sys
+from pathlib import Path
+
+out_dir = Path(sys.argv[1])
+required = ["reports_per_sec", "ns_per_report"]
+failures = 0
+for name in ["micro_datapath", "scaling_ingest_threads"]:
+    path = out_dir / f"BENCH_{name}.json"
+    if not path.exists():
+        print(f"FAIL: {path} was not emitted")
+        failures += 1
+        continue
+    doc = json.loads(path.read_text())  # raises on malformed JSON
+    for key in ["name", "config", "results"]:
+        if key not in doc:
+            print(f"FAIL: {path}: missing top-level key '{key}'")
+            failures += 1
+    results = doc.get("results", {})
+    for key in required:
+        if key not in results:
+            print(f"FAIL: {path}: missing result '{key}'")
+            failures += 1
+        elif not (isinstance(results[key], (int, float)) and results[key] > 0):
+            print(f"FAIL: {path}: result '{key}' = {results[key]!r} not > 0")
+            failures += 1
+    if failures == 0:
+        print(f"OK: {path.name}: reports_per_sec="
+              f"{results['reports_per_sec']:.0f} "
+              f"ns_per_report={results['ns_per_report']:.1f}")
+sys.exit(1 if failures else 0)
+EOF
+
+echo "bench JSON: clean"
