@@ -45,15 +45,26 @@ void Summary::merge(const Summary& other) noexcept {
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t buckets)
-    : lo_(lo),
-      width_((hi - lo) / static_cast<double>(buckets == 0 ? 1 : buckets)),
-      counts_(buckets == 0 ? 1 : buckets, 0) {}
+    : lo_(lo), counts_(buckets == 0 ? 1 : buckets, 0) {
+  // A zero, negative, or non-finite width would make add()'s index
+  // computation divide by zero and cast ±inf/NaN to an integer (UB).
+  // Degrade to unit-width buckets instead.
+  width_ = (hi - lo) / static_cast<double>(counts_.size());
+  if (!std::isfinite(width_) || width_ <= 0.0) width_ = 1.0;
+}
+
+std::size_t Histogram::bucket_index(double x) const noexcept {
+  // Clamp in the double domain: casting a value outside ptrdiff_t's range
+  // (huge x, or NaN from a NaN observation) to an integer is UB.
+  const double pos = (x - lo_) / width_;
+  const double last = static_cast<double>(counts_.size() - 1);
+  if (!(pos > 0.0)) return 0;  // negative, zero, or NaN
+  if (pos >= last) return counts_.size() - 1;
+  return static_cast<std::size_t>(pos);
+}
 
 void Histogram::add(double x, std::uint64_t weight) noexcept {
-  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width_);
-  idx = std::clamp<std::ptrdiff_t>(idx, 0,
-                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  counts_[static_cast<std::size_t>(idx)] += weight;
+  counts_[bucket_index(x)] += weight;
   total_ += weight;
 }
 

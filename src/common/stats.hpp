@@ -36,6 +36,12 @@ class Summary {
 };
 
 // Fixed-width linear histogram over [lo, hi); out-of-range goes to edge bins.
+//
+// Degenerate bounds are tolerated: if the requested width is zero, negative,
+// or non-finite (hi <= lo, denormal spans, NaN inputs) the histogram degrades
+// to unit-width buckets instead of dividing by zero. This type is the bucket
+// geometry behind obs::Histogram, so it must stay safe for arbitrary
+// user-configured bounds.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t buckets);
@@ -49,6 +55,10 @@ class Histogram {
   }
   [[nodiscard]] double bucket_lo(std::size_t bucket) const noexcept;
   [[nodiscard]] double bucket_hi(std::size_t bucket) const noexcept;
+
+  // Bucket an observation falls into (edge-clamped, NaN-safe). Exposed so
+  // wrappers with their own (atomic) cells can share the geometry.
+  [[nodiscard]] std::size_t bucket_index(double x) const noexcept;
 
   // Value below which `q` (0..1) of the mass falls (linear within bucket).
   [[nodiscard]] double quantile(double q) const noexcept;

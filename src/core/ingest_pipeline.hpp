@@ -44,6 +44,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/atomic_counter.hpp"
 #include "common/result.hpp"
 #include "common/spsc_ring.hpp"
 #include "core/collector.hpp"
@@ -52,6 +53,7 @@
 #include "core/query.hpp"
 #include "core/report_crafter.hpp"
 #include "net/netsim.hpp"
+#include "obs/metric.hpp"
 
 namespace dart::core {
 
@@ -83,6 +85,10 @@ struct IngestPipelineConfig {
   // drain up to this many per try_pop_n and hand them to the RNIC as one
   // process_frames batch. 1 degenerates to the unbatched per-frame path.
   std::size_t batch_size = 32;
+  // One in every this-many crafted frames carries a TSC stamp that the shard
+  // worker turns into a craft→ingest latency sample (only when a metrics
+  // registry is bound via bind_metrics; otherwise no frame is ever stamped).
+  std::uint32_t latency_sample_every = 64;
   // Optional report-loss process; each feeder works on its own clone().
   const net::LossModel* loss_model = nullptr;
 
@@ -91,7 +97,8 @@ struct IngestPipelineConfig {
                         (dart.n_addresses == 2 && dart.slot_bytes() == 8);
     return dart.valid() && n_feeders >= 1 && n_shards >= 1 &&
            switches_per_feeder >= 1 && ring_capacity >= 2 &&
-           directory_refresh >= 1 && batch_size >= 1 && cas_ok &&
+           directory_refresh >= 1 && batch_size >= 1 &&
+           latency_sample_every >= 1 && cas_ok &&
            74 + dart.slot_bytes() <= kMaxFrameBytes;
   }
 };
@@ -155,6 +162,15 @@ class IngestPipeline {
     return crafter_;
   }
 
+  // Registers the pipeline's live counters under `<prefix>_ingest_*`
+  // (aggregates plus per-shard applied/rejected) and creates the sampled
+  // craft→ingest latency histogram `<prefix>_ingest_craft_to_ingest_ns`.
+  // Call before start(); the registry must outlive the pipeline. Tallies are
+  // RelaxedCounter, so snapshotting mid-run is race-free and the pull-based
+  // adapters add no hot-path cost beyond the per-thread relaxed increments
+  // the tallies already pay.
+  void bind_metrics(obs::MetricRegistry& registry, const std::string& prefix);
+
   // Deterministic workload: the key and value of report k from `feeder` are
   // pure functions of (feeder, k), so tests can predict exactly what any
   // query must return after a run.
@@ -167,22 +183,27 @@ class IngestPipeline {
  private:
   // Fixed-size ring item: length-prefixed inline frame bytes. Copying one is
   // a short memcpy; no allocator crosses the feeder→worker boundary.
+  // craft_tsc != 0 marks a latency-sampled frame: the feeder stamps rdtsc()
+  // at craft time and the shard worker records the delta after ingest.
   struct FrameSlot {
     std::uint16_t len = 0;
+    std::uint64_t craft_tsc = 0;
     std::array<std::byte, kMaxFrameBytes> bytes;
   };
   using Ring = SpscRing<FrameSlot>;
 
   // Per-thread tallies, cache-line separated so threads never share a line.
+  // RelaxedCounter cells: each is written by exactly one thread but may be
+  // read live by a metrics snapshot on another.
   struct alignas(64) FeederTally {
-    std::uint64_t reports = 0;
-    std::uint64_t crafted = 0;
-    std::uint64_t dropped = 0;
-    std::uint64_t full_spins = 0;
+    RelaxedCounter reports;
+    RelaxedCounter crafted;
+    RelaxedCounter dropped;
+    RelaxedCounter full_spins;
   };
   struct alignas(64) WorkerTally {
-    std::uint64_t applied = 0;
-    std::uint64_t rejected = 0;
+    RelaxedCounter applied;
+    RelaxedCounter rejected;
   };
 
   [[nodiscard]] Ring& ring(std::uint32_t feeder, std::uint32_t shard) noexcept {
@@ -202,6 +223,7 @@ class IngestPipeline {
   std::atomic<std::uint32_t> feeders_done_{0};
   std::chrono::steady_clock::time_point started_at_{};
   bool running_ = false;
+  obs::Histogram* craft_ingest_hist_ = nullptr;  // owned by the bound registry
 };
 
 }  // namespace dart::core

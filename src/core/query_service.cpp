@@ -1,5 +1,7 @@
 #include "core/query_service.hpp"
 
+#include "common/cycles.hpp"
+
 namespace dart::core {
 
 namespace {
@@ -17,9 +19,14 @@ net::UdpFrameSpec reply_spec(net::Ipv4Addr from, net::Ipv4Addr to) {
 
 void QueryServiceNode::receive(net::Packet packet, std::uint64_t /*now_ns*/) {
   const auto frame = net::parse_udp_frame(packet.bytes());
-  if (!frame || frame->udp.dst_port != kDartQueryUdpPort ||
-      frame->ip.dst != ip_) {
+  if (!frame) {
     ++malformed_;
+    return;
+  }
+  // Well-formed but addressed elsewhere: routing noise, not a protocol
+  // error. Conflating the two would make `malformed` un-alertable.
+  if (frame->udp.dst_port != kDartQueryUdpPort || frame->ip.dst != ip_) {
+    ++not_for_me_;
     return;
   }
   const auto request = parse_query_request(frame->payload);
@@ -29,7 +36,17 @@ void QueryServiceNode::receive(net::Packet packet, std::uint64_t /*now_ns*/) {
   }
 
   // The collector CPU's actual work: N slot reads + checksum filter + vote.
+  // Sampled latency: time one in every `resolve_sample_every_` resolves.
+  const bool sample =
+      resolve_hist_ != nullptr && (served_ % resolve_sample_every_) == 0;
+  const std::uint64_t t0 = sample ? rdtsc() : 0;
   const auto result = collector_->query(request->key, request->policy);
+  if (sample) {
+    const double ns =
+        static_cast<double>(rdtsc() - t0) / tsc_ghz();
+    resolve_hist_->record(ns);
+    ++resolve_samples_;
+  }
   ++served_;
 
   const auto response_payload =
@@ -39,6 +56,24 @@ void QueryServiceNode::receive(net::Packet packet, std::uint64_t /*now_ns*/) {
   auto reply =
       net::build_udp_frame(reply_spec(ip_, frame->ip.src), response_payload);
   sim_->send(self_, *dest, net::Packet(std::move(reply)));
+}
+
+void QueryServiceNode::bind_metrics(obs::MetricRegistry& registry,
+                                    const std::string& prefix) {
+  registry.counter_fn(prefix + "_query_served_total",
+                      [this] { return served_; },
+                      "query requests resolved and answered");
+  registry.counter_fn(prefix + "_query_malformed_total",
+                      [this] { return malformed_; },
+                      "unparsable frames or bad DQ payloads");
+  registry.counter_fn(prefix + "_query_not_for_me_total",
+                      [this] { return not_for_me_; },
+                      "well-formed frames addressed to another node");
+  // Linear buckets 0..50us cover the N-slot read + vote for every store
+  // size the tests use; outliers clamp to the top bucket.
+  resolve_hist_ = &registry.histogram(
+      prefix + "_query_resolve_ns", 0.0, 50'000.0, 50,
+      "sampled DartStore resolve latency (ns)");
 }
 
 std::uint64_t OperatorClient::query(std::span<const std::byte> key,
@@ -58,7 +93,10 @@ std::uint64_t OperatorClient::query(std::span<const std::byte> key,
     auto frame = net::build_udp_frame(reply_spec(ip_, service_ip),
                                       encode_query_request(request));
     sim_->send(self_, *dest, net::Packet(std::move(frame)));
-    ++pending_;
+    // Outstanding only if actually sent: an unreachable service can never
+    // answer, so its id must not inflate pending().
+    outstanding_.insert(request.request_id);
+    ++sent_;
   }
   return request.request_id;
 }
@@ -66,10 +104,23 @@ std::uint64_t OperatorClient::query(std::span<const std::byte> key,
 void OperatorClient::receive(net::Packet packet, std::uint64_t /*now_ns*/) {
   const auto frame = net::parse_udp_frame(packet.bytes());
   if (!frame || frame->udp.dst_port != kDartQueryUdpPort) return;
+  if (frame->ip.dst != ip_) {
+    // Addressed to another client; recording it as ours would hand this
+    // operator someone else's answer.
+    ++stray_;
+    return;
+  }
   const auto response = parse_query_response(frame->payload);
   if (!response) return;
+  // First matching response retires the id; duplicates and replays (UDP can
+  // deliver both) are counted but change neither pending() nor responses_.
+  const auto it = outstanding_.find(response->request_id);
+  if (it == outstanding_.end()) {
+    ++unexpected_;
+    return;
+  }
+  outstanding_.erase(it);
   ++received_;
-  if (pending_ > 0) --pending_;
   responses_[response->request_id] = *response;
 }
 
@@ -80,6 +131,24 @@ std::optional<QueryResponse> OperatorClient::take_response(
   QueryResponse resp = std::move(it->second);
   responses_.erase(it);
   return resp;
+}
+
+void OperatorClient::bind_metrics(obs::MetricRegistry& registry,
+                                  const std::string& prefix) {
+  registry.counter_fn(prefix + "_operator_queries_sent_total",
+                      [this] { return sent_; }, "query requests sent");
+  registry.counter_fn(prefix + "_operator_responses_received_total",
+                      [this] { return received_; },
+                      "first-copy responses accepted");
+  registry.counter_fn(prefix + "_operator_responses_stray_total",
+                      [this] { return stray_; },
+                      "responses addressed to another client");
+  registry.counter_fn(prefix + "_operator_responses_unexpected_total",
+                      [this] { return unexpected_; },
+                      "duplicate/replayed/unknown-id responses");
+  registry.gauge_fn(prefix + "_operator_pending",
+                    [this] { return static_cast<double>(pending()); },
+                    "requests in flight");
 }
 
 }  // namespace dart::core

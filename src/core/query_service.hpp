@@ -4,24 +4,37 @@
 // QueryServiceNode fronts one Collector: it terminates UDP/4800, resolves
 // each request against the collector's DartStore with the requested return
 // policy, and replies to the requester's IP. This — not report ingest — is
-// where the collector CPU does its work.
+// where the collector CPU does its work. Well-formed frames that simply are
+// not addressed to this node (wrong dst IP or port) count as `not_for_me`,
+// distinct from `malformed` protocol errors, so routing noise never trips a
+// protocol-error alert.
 //
 // OperatorClient implements the four steps of Fig. 2's query flow: hash key
-// → collector id → directory lookup → request/response. It tracks pending
-// request ids and exposes completed answers; queries to distinct collectors
-// can be in flight simultaneously.
+// → collector id → directory lookup → request/response. It tracks the set
+// of outstanding request ids: a response is accepted only if it is addressed
+// to this client AND matches an in-flight id, so duplicated or replayed
+// responses (UDP can deliver both) neither corrupt `pending()` nor
+// overwrite an already-recorded answer. Queries to distinct collectors can
+// be in flight simultaneously.
+//
+// Both nodes export their counters through obs::MetricRegistry via
+// bind_metrics(); the service additionally records a sampled query-resolve
+// latency histogram (the paper's "collector CPU cost" observable).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/collector.hpp"
 #include "core/query_protocol.hpp"
 #include "core/report_crafter.hpp"
 #include "net/netsim.hpp"
+#include "obs/metric.hpp"
 
 namespace dart::core {
 
@@ -37,12 +50,22 @@ class QueryServiceNode final : public net::Node {
 
   void receive(net::Packet packet, std::uint64_t now_ns) override;
 
+  // Registers this service's counters under `<prefix>_query_*` and creates
+  // the sampled resolve-latency histogram `<prefix>_query_resolve_ns`.
+  // Call once per registry; the registry must outlive this node's use.
+  void bind_metrics(obs::MetricRegistry& registry, const std::string& prefix);
+
   [[nodiscard]] net::Ipv4Addr ip() const noexcept { return ip_; }
   [[nodiscard]] std::uint64_t requests_served() const noexcept {
     return served_;
   }
+  // Protocol errors: unparsable frames or bad DQ payloads addressed to us.
   [[nodiscard]] std::uint64_t malformed_requests() const noexcept {
     return malformed_;
+  }
+  // Well-formed frames for some other node (wrong dst IP or UDP port).
+  [[nodiscard]] std::uint64_t not_for_me() const noexcept {
+    return not_for_me_;
   }
 
  private:
@@ -51,6 +74,10 @@ class QueryServiceNode final : public net::Node {
   IpResolver resolver_;
   std::uint64_t served_ = 0;
   std::uint64_t malformed_ = 0;
+  std::uint64_t not_for_me_ = 0;
+  obs::Histogram* resolve_hist_ = nullptr;  // owned by the bound registry
+  std::uint32_t resolve_sample_every_ = 8;
+  std::uint64_t resolve_samples_ = 0;
 };
 
 class OperatorClient final : public net::Node {
@@ -71,9 +98,27 @@ class OperatorClient final : public net::Node {
   // Response for a completed request, if it has arrived (removes it).
   [[nodiscard]] std::optional<QueryResponse> take_response(std::uint64_t request_id);
 
-  [[nodiscard]] std::size_t pending() const noexcept { return pending_; }
+  // Registers this client's counters under `<prefix>_operator_*`.
+  void bind_metrics(obs::MetricRegistry& registry, const std::string& prefix);
+
+  [[nodiscard]] net::Ipv4Addr ip() const noexcept { return ip_; }
+  // Requests sent and not yet answered (first matching response retires one).
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return outstanding_.size();
+  }
+  [[nodiscard]] std::uint64_t queries_sent() const noexcept { return sent_; }
   [[nodiscard]] std::uint64_t responses_received() const noexcept {
     return received_;
+  }
+  // Responses addressed to some other client (dst IP mismatch) — delivered
+  // here by a misrouted underlay, never recorded as ours.
+  [[nodiscard]] std::uint64_t stray_responses() const noexcept {
+    return stray_;
+  }
+  // Well-addressed responses with no outstanding request id: duplicates,
+  // replays, or answers to requests we never sent.
+  [[nodiscard]] std::uint64_t unexpected_responses() const noexcept {
+    return unexpected_;
   }
 
  private:
@@ -82,9 +127,12 @@ class OperatorClient final : public net::Node {
   std::vector<net::Ipv4Addr> service_ips_;
   IpResolver resolver_;
   std::unordered_map<std::uint64_t, QueryResponse> responses_;
+  std::unordered_set<std::uint64_t> outstanding_;
   std::uint64_t next_id_ = 1;
-  std::size_t pending_ = 0;
+  std::uint64_t sent_ = 0;
   std::uint64_t received_ = 0;
+  std::uint64_t stray_ = 0;
+  std::uint64_t unexpected_ = 0;
 };
 
 }  // namespace dart::core

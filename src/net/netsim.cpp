@@ -132,4 +132,10 @@ std::uint64_t Simulator::total_dropped() const noexcept {
   return n;
 }
 
+std::uint64_t Simulator::total_queue_drops() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& l : links_) n += l.stats.queue_drops;
+  return n;
+}
+
 }  // namespace dart::net

@@ -190,6 +190,8 @@ class Simulator {
   [[nodiscard]] std::uint32_t link_queue_depth(NodeId from, NodeId to) const noexcept;
   [[nodiscard]] std::uint64_t total_delivered() const noexcept;
   [[nodiscard]] std::uint64_t total_dropped() const noexcept;
+  [[nodiscard]] std::uint64_t total_queue_drops() const noexcept;
+  [[nodiscard]] std::size_t n_links() const noexcept { return links_.size(); }
   [[nodiscard]] Xoshiro256& rng() noexcept { return rng_; }
 
  private:

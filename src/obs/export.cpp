@@ -1,0 +1,177 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <unordered_map>
+
+namespace dart::obs {
+
+namespace {
+
+// %.17g round-trips doubles exactly; integral values print without noise.
+std::string num(double v) {
+  char buf[40];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, double>> flatten(const Snapshot& snapshot) {
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(snapshot.metrics.size());
+  for (const MetricValue& m : snapshot.metrics) {
+    if (!m.hist) {
+      out.emplace_back(m.name, m.value);
+      continue;
+    }
+    const HistogramSnapshot& h = *m.hist;
+    out.emplace_back(m.name + "_count", static_cast<double>(h.total));
+    out.emplace_back(m.name + "_sum", h.sum);
+    out.emplace_back(m.name + "_p50", h.quantile(0.50));
+    out.emplace_back(m.name + "_p90", h.quantile(0.90));
+    out.emplace_back(m.name + "_p99", h.quantile(0.99));
+  }
+  return out;
+}
+
+std::string to_bench_json(
+    const Snapshot& snapshot, const std::string& name,
+    const std::vector<std::pair<std::string, double>>& config) {
+  std::string out;
+  out += "{\n  \"name\": \"" + name + "\",\n  \"config\": {";
+  bool first = true;
+  for (const auto& [k, v] : config) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + k + "\": " + num(v);
+    first = false;
+  }
+  out += "\n  },\n  \"results\": {";
+  first = true;
+  for (const auto& [k, v] : flatten(snapshot)) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + k + "\": " + num(v);
+    first = false;
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+bool write_bench_json(
+    const Snapshot& snapshot, const std::string& name, const std::string& path,
+    const std::vector<std::pair<std::string, double>>& config) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string doc = to_bench_json(snapshot, name, config);
+  const bool wrote = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  return (std::fclose(f) == 0) && wrote;
+}
+
+std::string to_prometheus(const Snapshot& snapshot) {
+  std::string out;
+  for (const MetricValue& m : snapshot.metrics) {
+    if (!m.help.empty()) out += "# HELP " + m.name + " " + m.help + "\n";
+    out += "# TYPE " + m.name + " " + to_string(m.kind) + "\n";
+    if (!m.hist) {
+      out += m.name + " " + num(m.value) + "\n";
+      continue;
+    }
+    const HistogramSnapshot& h = *m.hist;
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      cum += h.counts[i];
+      out += m.name + "_bucket{le=\"" + num(h.upper_bounds[i]) + "\"} " +
+             num(static_cast<double>(cum)) + "\n";
+    }
+    out += m.name + "_bucket{le=\"+Inf\"} " +
+           num(static_cast<double>(h.total)) + "\n";
+    out += m.name + "_sum " + num(h.sum) + "\n";
+    out += m.name + "_count " + num(static_cast<double>(h.total)) + "\n";
+  }
+  return out;
+}
+
+Snapshot diff(const Snapshot& before, const Snapshot& after) {
+  Snapshot out;
+  out.metrics.reserve(after.metrics.size());
+  for (const MetricValue& b : after.metrics) {
+    const MetricValue* a = before.find(b.name);
+    MetricValue d = b;
+    if (a != nullptr && b.kind == MetricKind::kCounter) {
+      d.value = b.value >= a->value ? b.value - a->value : b.value;
+    } else if (a != nullptr && b.kind == MetricKind::kHistogram && a->hist &&
+               d.hist && a->hist->counts.size() == d.hist->counts.size()) {
+      for (std::size_t i = 0; i < d.hist->counts.size(); ++i) {
+        const std::uint64_t prev = a->hist->counts[i];
+        d.hist->counts[i] -= std::min(prev, d.hist->counts[i]);
+      }
+      d.hist->total -= std::min(a->hist->total, d.hist->total);
+      d.hist->sum -= std::min(a->hist->sum, d.hist->sum);
+      d.value = static_cast<double>(d.hist->total);
+    }
+    out.metrics.push_back(std::move(d));
+  }
+  // Metrics that disappeared keep their before-value (flagged by presence).
+  for (const MetricValue& a : before.metrics) {
+    if (after.find(a.name) == nullptr) out.metrics.push_back(a);
+  }
+  std::sort(out.metrics.begin(), out.metrics.end(),
+            [](const MetricValue& x, const MetricValue& y) {
+              return x.name < y.name;
+            });
+  return out;
+}
+
+std::optional<std::vector<std::pair<std::string, double>>> read_results_json(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+
+  // Scan for the "results" object, then read "key": number pairs. This is a
+  // reader for our own flat emissions, not a general JSON parser.
+  const std::size_t results = text.find("\"results\"");
+  if (results == std::string::npos) return std::nullopt;
+  std::size_t pos = text.find('{', results);
+  if (pos == std::string::npos) return std::nullopt;
+  ++pos;
+
+  std::vector<std::pair<std::string, double>> out;
+  while (pos < text.size()) {
+    // Next key or closing brace.
+    while (pos < text.size() && (std::isspace(static_cast<unsigned char>(
+                                     text[pos])) != 0 ||
+                                 text[pos] == ',')) {
+      ++pos;
+    }
+    if (pos >= text.size() || text[pos] == '}') break;
+    if (text[pos] != '"') return std::nullopt;
+    const std::size_t key_end = text.find('"', pos + 1);
+    if (key_end == std::string::npos) return std::nullopt;
+    const std::string key = text.substr(pos + 1, key_end - pos - 1);
+    pos = text.find(':', key_end);
+    if (pos == std::string::npos) return std::nullopt;
+    ++pos;
+    char* end = nullptr;
+    const double value = std::strtod(text.c_str() + pos, &end);
+    if (end == text.c_str() + pos) return std::nullopt;
+    pos = static_cast<std::size_t>(end - text.c_str());
+    out.emplace_back(key, value);
+  }
+  return out;
+}
+
+}  // namespace dart::obs

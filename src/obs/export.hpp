@@ -1,0 +1,60 @@
+// Exposition formats for obs::Snapshot.
+//
+// Two exporters, one snapshot:
+//
+//  - JSON, in the exact BenchJson schema bench/bench_util.hpp emits
+//    ({"name": ..., "config": {...}, "results": {...}} with flat numeric
+//    results), so BENCH_*.json perf baselines and metrics snapshots share
+//    one format and one validator (tools/check_bench.sh). Histograms are
+//    flattened to <name>_count / <name>_sum / <name>_p50/_p90/_p99.
+//
+//  - Prometheus text exposition (version 0.0.4): counters and gauges as
+//    single samples, histograms as cumulative <name>_bucket{le="..."}
+//    series plus <name>_sum / <name>_count.
+//
+// Plus snapshot arithmetic (diff) and a minimal reader for the flat JSON we
+// ourselves emit, so `dart_metrics diff a.json b.json` needs no external
+// JSON dependency.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metric.hpp"
+
+namespace dart::obs {
+
+// Flat numeric results exactly as the JSON exporter writes them: histograms
+// expanded to _count/_sum/_p50/_p90/_p99, counters/gauges verbatim.
+[[nodiscard]] std::vector<std::pair<std::string, double>> flatten(
+    const Snapshot& snapshot);
+
+// BenchJson-schema JSON document. `config` entries land in the "config"
+// object (workload parameters, so a snapshot is self-describing).
+[[nodiscard]] std::string to_bench_json(
+    const Snapshot& snapshot, const std::string& name,
+    const std::vector<std::pair<std::string, double>>& config = {});
+
+// Writes to_bench_json() to `path`; returns false on I/O failure.
+bool write_bench_json(const Snapshot& snapshot, const std::string& name,
+                      const std::string& path,
+                      const std::vector<std::pair<std::string, double>>& config = {});
+
+// Prometheus text exposition of the whole snapshot.
+[[nodiscard]] std::string to_prometheus(const Snapshot& snapshot);
+
+// after - before: counters and histogram bucket counts subtract (clamped at
+// zero so a restarted component cannot produce negative rates), gauges take
+// `after`'s value. Metrics present on only one side keep that side's value.
+[[nodiscard]] Snapshot diff(const Snapshot& before, const Snapshot& after);
+
+// Reads the flat "results" object back out of a JSON file written by
+// write_bench_json (or any BenchJson emission). Understands exactly that
+// schema — flat string→number maps — not general JSON. nullopt on I/O or
+// parse failure.
+[[nodiscard]] std::optional<std::vector<std::pair<std::string, double>>>
+read_results_json(const std::string& path);
+
+}  // namespace dart::obs

@@ -1,0 +1,212 @@
+#include "obs/metric.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dart::obs {
+
+const char* to_string(MetricKind kind) noexcept {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// HistogramSnapshot
+// ---------------------------------------------------------------------------
+
+double HistogramSnapshot::quantile(double q) const noexcept {
+  if (total == 0 || counts.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const auto c = static_cast<double>(counts[i]);
+    if (cum + c >= target) {
+      const double hi = upper_bounds[i];
+      const double lo = i == 0 ? hi - (upper_bounds.size() > 1
+                                           ? upper_bounds[1] - upper_bounds[0]
+                                           : 0.0)
+                               : upper_bounds[i - 1];
+      const double frac = c > 0 ? (target - cum) / c : 0.0;
+      return lo + frac * (hi - lo);
+    }
+    cum += c;
+  }
+  return upper_bounds.back();
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : shape_(lo, hi, buckets), counts_(shape_.buckets()) {}
+
+void Histogram::record(double x, std::uint64_t weight) noexcept {
+  counts_[shape_.bucket_index(x)] += weight;
+  total_ += weight;
+  // No atomic<double>::fetch_add pre-C++20 on all targets; a relaxed CAS
+  // loop is fine at sampled-recording rates.
+  double cur = sum_.load(std::memory_order_relaxed);
+  const double contribution = x * static_cast<double>(weight);
+  while (!sum_.compare_exchange_weak(cur, cur + contribution,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.upper_bounds.reserve(counts_.size());
+  snap.counts.reserve(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    snap.upper_bounds.push_back(shape_.bucket_hi(i));
+    snap.counts.push_back(counts_[i].load());
+  }
+  snap.total = total_.load();
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot
+// ---------------------------------------------------------------------------
+
+const MetricValue* Snapshot::find(std::string_view name) const noexcept {
+  const auto it = std::lower_bound(
+      metrics.begin(), metrics.end(), name,
+      [](const MetricValue& m, std::string_view n) { return m.name < n; });
+  if (it == metrics.end() || it->name != name) return nullptr;
+  return &*it;
+}
+
+double Snapshot::value_of(std::string_view name) const noexcept {
+  const MetricValue* m = find(name);
+  return m != nullptr ? m->value : 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// MetricRegistry
+// ---------------------------------------------------------------------------
+
+bool MetricRegistry::valid_name(std::string_view name) noexcept {
+  if (name.empty()) return false;
+  const auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (const char c : name.substr(1)) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+MetricRegistry::Entry& MetricRegistry::emplace(const std::string& name,
+                                               MetricKind kind,
+                                               std::string help) {
+  if (!valid_name(name)) {
+    throw std::invalid_argument("invalid metric name: " + name);
+  }
+  for (const auto& e : entries_) {
+    if (e->name == name) {
+      if (e->kind != kind) {
+        throw std::logic_error("metric '" + name + "' re-registered as " +
+                               to_string(kind) + " (was " +
+                               to_string(e->kind) + ")");
+      }
+      return *e;
+    }
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->kind = kind;
+  entry->help = std::move(help);
+  entries_.push_back(std::move(entry));
+  return *entries_.back();
+}
+
+Counter& MetricRegistry::counter(const std::string& name, std::string help) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = emplace(name, MetricKind::kCounter, std::move(help));
+  if (e.counter_sampler) {
+    throw std::logic_error("metric '" + name +
+                           "' already registered as a counter adapter");
+  }
+  if (!e.counter) e.counter = std::make_unique<Counter>();
+  return *e.counter;
+}
+
+Histogram& MetricRegistry::histogram(const std::string& name, double lo,
+                                     double hi, std::size_t buckets,
+                                     std::string help) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = emplace(name, MetricKind::kHistogram, std::move(help));
+  if (!e.histogram) {
+    e.histogram = std::make_unique<Histogram>(lo, hi, buckets);
+  }
+  return *e.histogram;
+}
+
+void MetricRegistry::counter_fn(const std::string& name,
+                                std::function<std::uint64_t()> fn,
+                                std::string help) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = emplace(name, MetricKind::kCounter, std::move(help));
+  if (e.counter) {
+    throw std::logic_error("metric '" + name +
+                           "' already registered as an owned counter");
+  }
+  e.counter_sampler = std::move(fn);
+}
+
+void MetricRegistry::gauge_fn(const std::string& name,
+                              std::function<double()> fn, std::string help) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = emplace(name, MetricKind::kGauge, std::move(help));
+  e.gauge_sampler = std::move(fn);
+}
+
+Snapshot MetricRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.metrics.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    MetricValue v;
+    v.name = e->name;
+    v.kind = e->kind;
+    v.help = e->help;
+    switch (e->kind) {
+      case MetricKind::kCounter:
+        v.value = e->counter
+                      ? static_cast<double>(e->counter->value())
+                      : static_cast<double>(e->counter_sampler
+                                                ? e->counter_sampler()
+                                                : 0);
+        break;
+      case MetricKind::kGauge:
+        v.value = e->gauge_sampler ? e->gauge_sampler() : 0.0;
+        break;
+      case MetricKind::kHistogram:
+        v.hist = e->histogram->snapshot();
+        v.value = static_cast<double>(v.hist->total);
+        break;
+    }
+    snap.metrics.push_back(std::move(v));
+  }
+  std::sort(snap.metrics.begin(), snap.metrics.end(),
+            [](const MetricValue& a, const MetricValue& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+std::size_t MetricRegistry::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace dart::obs

@@ -1,0 +1,159 @@
+// Observability subsystem: one MetricRegistry per process (or per harness)
+// with named counters, gauges, and fixed-bucket latency histograms, plus
+// snapshot/export machinery (export.hpp) shared by every component.
+//
+// DART's collector moves its CPU budget from ingest to querying and
+// monitoring (§3.2, Fig. 2), so the monitoring surface must be as
+// disciplined as the datapath:
+//
+//  - Owned counters and histogram cells are RelaxedCounter — the same
+//    relaxed-atomic discipline as QpCounters — so shard workers and feeders
+//    can bump them concurrently with no ordering cost.
+//  - Existing per-component counter structs (SwitchCounters, RnicCounters,
+//    QpCounters, LinkStats, IngestPipeline tallies, query-service counters)
+//    are registered as PULL adapters: a callback reads the live struct at
+//    snapshot() time, so the hot path pays nothing for being observable.
+//  - Histograms reuse dart::Histogram (common/stats) for bucket geometry —
+//    clamped-width, edge-bin semantics — with RelaxedCounter cells so
+//    recording is thread-safe.
+//
+// Naming follows the Prometheus convention, flattened (no labels):
+//   dart_<component>[<instance>]_<metric>[_total]
+// e.g. dart_collector0_rnic_frames_total, dart_ingest_shard1_applied_total.
+// docs/METRICS.md documents the scheme; export.hpp renders snapshots as
+// BenchJson-compatible JSON and Prometheus text exposition.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/atomic_counter.hpp"
+#include "common/stats.hpp"
+
+namespace dart::obs {
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+[[nodiscard]] const char* to_string(MetricKind kind) noexcept;
+
+// Owned monotonic counter; cheap enough for the hot path (one relaxed
+// fetch_add, exactly what the existing counter structs already pay).
+class Counter {
+ public:
+  void inc() noexcept { ++v_; }
+  void add(std::uint64_t delta) noexcept { v_ += delta; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return v_.load(); }
+
+ private:
+  RelaxedCounter v_;
+};
+
+// Point-in-time view of one histogram: per-bucket (non-cumulative) counts
+// with their upper bounds, total observation count and sum.
+struct HistogramSnapshot {
+  std::vector<double> upper_bounds;   // bucket i covers (bounds[i-1], bounds[i]]
+  std::vector<std::uint64_t> counts;  // same length as upper_bounds
+  std::uint64_t total = 0;
+  double sum = 0.0;
+
+  // Value below which `q` (0..1) of the mass falls (linear within bucket).
+  [[nodiscard]] double quantile(double q) const noexcept;
+};
+
+// Thread-safe fixed-bucket linear histogram. Bucket geometry is delegated to
+// dart::Histogram (which clamps degenerate widths), cells are RelaxedCounter.
+// Intended for SAMPLED latency recording: callers time one in every K
+// operations, so even the rdtsc() around the timed section amortizes to
+// nothing on the hot path.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void record(double x, std::uint64_t weight = 1) noexcept;
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_.load(); }
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+
+ private:
+  dart::Histogram shape_;  // geometry only; its own cells stay empty
+  std::vector<RelaxedCounter> counts_;
+  RelaxedCounter total_;
+  std::atomic<double> sum_{0.0};
+};
+
+// One metric's value at snapshot time.
+struct MetricValue {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::string help;
+  double value = 0.0;  // counters and gauges
+  std::optional<HistogramSnapshot> hist;
+};
+
+// A consistent-enough view of every registered metric (counters are read
+// with relaxed loads; exactness across concurrently-advancing counters is
+// not promised, monotonicity per counter is).
+struct Snapshot {
+  std::vector<MetricValue> metrics;  // sorted by name
+
+  [[nodiscard]] const MetricValue* find(std::string_view name) const noexcept;
+  // Counter/gauge value by name; 0.0 when absent (missing metrics read as
+  // never-incremented counters, which is what conservation checks want).
+  [[nodiscard]] double value_of(std::string_view name) const noexcept;
+};
+
+// The registry. Registration is control-plane (mutex-guarded, may allocate);
+// recording through the returned Counter&/Histogram& is wait-free and never
+// touches the registry again. Callback metrics are invoked only by
+// snapshot().
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  // Owned metrics. Re-registering the same name with the same kind returns
+  // the existing instance (idempotent bind_metrics); a kind mismatch throws.
+  Counter& counter(const std::string& name, std::string help = "");
+  Histogram& histogram(const std::string& name, double lo, double hi,
+                       std::size_t buckets, std::string help = "");
+
+  // Pull adapters over existing counter structs: `fn` is called at
+  // snapshot() time. The callee must outlive the registry (or the registry
+  // must stop snapshotting first) — same contract as every stats() accessor.
+  void counter_fn(const std::string& name, std::function<std::uint64_t()> fn,
+                  std::string help = "");
+  void gauge_fn(const std::string& name, std::function<double()> fn,
+                std::string help = "");
+
+  [[nodiscard]] Snapshot snapshot() const;
+  [[nodiscard]] std::size_t size() const;
+
+  // Prometheus-compatible metric name: [a-zA-Z_:][a-zA-Z0-9_:]*.
+  [[nodiscard]] static bool valid_name(std::string_view name) noexcept;
+
+ private:
+  struct Entry {
+    std::string name;
+    MetricKind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;                // kCounter (owned)
+    std::unique_ptr<Histogram> histogram;            // kHistogram
+    std::function<std::uint64_t()> counter_sampler;  // kCounter (adapter)
+    std::function<double()> gauge_sampler;           // kGauge
+  };
+
+  Entry& emplace(const std::string& name, MetricKind kind, std::string help);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace dart::obs

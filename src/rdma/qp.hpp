@@ -108,6 +108,13 @@ class QpRegistry {
   [[nodiscard]] const QueuePair* find(std::uint32_t qpn) const noexcept;
   [[nodiscard]] std::size_t size() const noexcept { return qps_.size(); }
 
+  // Visits every QP (creation order) — how the observability adapters
+  // aggregate per-QP counters without exposing the backing vector.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const QueuePair& qp : qps_) fn(qp);
+  }
+
  private:
   std::vector<QueuePair> qps_;
 };

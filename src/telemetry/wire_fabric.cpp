@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/hash.hpp"
+#include "obs/adapters.hpp"
 #include "telemetry/backends.hpp"
 
 namespace dart::telemetry {
@@ -147,6 +148,10 @@ class ForwardingSwitch final : public net::Node {
   void receive(net::Packet packet, std::uint64_t now_ns) override;
 
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const switchsim::SwitchCounters& pipeline_counters()
+      const noexcept {
+    return pipeline_->counters();
+  }
 
  private:
   [[nodiscard]] std::uint32_t host_id_of(net::Ipv4Addr ip) const noexcept {
@@ -423,18 +428,92 @@ WireFabric::WireFabric(const WireFabricConfig& config)
     }
   }
   // Monitoring underlay: every switch → every collector, with report loss.
+  // Link ids are kept so register_metrics can export the underlay's
+  // delivered/dropped totals as their own link set (the loss term of the
+  // reports-emitted == frames-received + dropped conservation invariant).
   for (std::uint32_t s = 0; s < topo_.n_switches(); ++s) {
     for (std::uint32_t c = 0; c < cluster_->size(); ++c) {
-      sim_.add_link(directory_->switch_nodes[s], directory_->collector_nodes[c],
-                    5 * lat,
-                    config.report_loss_rate > 0.0
-                        ? std::unique_ptr<net::LossModel>(
-                              std::make_unique<net::BernoulliLoss>(
-                                  config.report_loss_rate))
-                        : std::unique_ptr<net::LossModel>(
-                              std::make_unique<net::NoLoss>()));
+      monitoring_links_.push_back(sim_.add_link(
+          directory_->switch_nodes[s], directory_->collector_nodes[c], 5 * lat,
+          config.report_loss_rate > 0.0
+              ? std::unique_ptr<net::LossModel>(
+                    std::make_unique<net::BernoulliLoss>(
+                        config.report_loss_rate))
+              : std::unique_ptr<net::LossModel>(
+                    std::make_unique<net::NoLoss>())));
     }
   }
+}
+
+void WireFabric::register_metrics(obs::MetricRegistry& registry,
+                                  const std::string& prefix) {
+  // Per-switch pipeline counters (the existing SwitchCounters struct) plus
+  // fabric-wide sums, which are what the conservation tests compare against.
+  for (std::uint32_t s = 0; s < switches_.size(); ++s) {
+    obs::register_switch_counters(registry,
+                                  prefix + "_switch" + std::to_string(s),
+                                  switches_[s]->pipeline_counters());
+  }
+  registry.counter_fn(prefix + "_switches_reports_emitted_total",
+                      [this] {
+                        std::uint64_t n = 0;
+                        for (const auto& sw : switches_) {
+                          n += sw->stats().reports_emitted;
+                        }
+                        return n;
+                      },
+                      "report frames sent toward collectors, all switches");
+  registry.counter_fn(prefix + "_switches_telemetry_events_total",
+                      [this] {
+                        std::uint64_t n = 0;
+                        for (const auto& sw : switches_) {
+                          n += sw->pipeline_counters().telemetry_events;
+                        }
+                        return n;
+                      },
+                      "on_telemetry() invocations, all switches");
+  registry.counter_fn(prefix + "_switches_routing_drops_total",
+                      [this] {
+                        std::uint64_t n = 0;
+                        for (const auto& sw : switches_) {
+                          n += sw->stats().routing_drops;
+                        }
+                        return n;
+                      },
+                      "unparsable frames dropped by switches");
+  registry.counter_fn(prefix + "_hosts_packets_sent_total",
+                      [this] {
+                        std::uint64_t n = 0;
+                        for (const auto& h : hosts_) n += h->sent();
+                        return n;
+                      },
+                      "UDP packets injected by hosts");
+  registry.counter_fn(prefix + "_hosts_packets_received_total",
+                      [this] {
+                        std::uint64_t n = 0;
+                        for (const auto& h : hosts_) n += h->received();
+                        return n;
+                      },
+                      "inner frames delivered to hosts");
+
+  for (std::uint32_t c = 0; c < cluster_->size(); ++c) {
+    const std::string cp = prefix + "_collector" + std::to_string(c);
+    obs::register_rnic_counters(registry, cp,
+                                cluster_->collector(c).rnic().counters());
+    obs::register_qp_counters(registry, cp,
+                              cluster_->collector(c).rnic().qps());
+  }
+
+  obs::register_simulator(registry, prefix, sim_);
+  obs::register_link_set(registry, prefix + "_monitoring", sim_,
+                         monitoring_links_);
+
+  // Query plane, when attach_operator has already been called.
+  for (std::uint32_t c = 0; c < query_services_.size(); ++c) {
+    query_services_[c]->bind_metrics(registry,
+                                     prefix + "_collector" + std::to_string(c));
+  }
+  if (operator_) operator_->bind_metrics(registry, prefix);
 }
 
 WireFabric::~WireFabric() = default;

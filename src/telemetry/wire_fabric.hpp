@@ -27,6 +27,7 @@
 #include "core/cluster.hpp"
 #include "core/query_service.hpp"
 #include "net/netsim.hpp"
+#include "obs/metric.hpp"
 #include "switchsim/dart_switch.hpp"
 #include "switchsim/topology.hpp"
 #include "telemetry/event_detect.hpp"
@@ -124,6 +125,16 @@ class WireFabric {
   [[nodiscard]] core::OperatorClient& attach_operator(
       std::uint64_t mgmt_latency_ns = 50'000);
 
+  // Registers every component's counters with a MetricRegistry (pull-based;
+  // zero cost until snapshot()): per-switch pipeline counters plus fabric
+  // sums, per-collector RNIC/QP counters, simulator totals, the monitoring
+  // underlay's delivered/dropped link set, and — when attach_operator has
+  // already run — the query services and the operator client. Call after
+  // attach_operator to cover the query plane; the registry must not outlive
+  // this fabric.
+  void register_metrics(obs::MetricRegistry& registry,
+                        const std::string& prefix = "dart");
+
  private:
   WireFabricConfig config_;
   switchsim::FatTree topo_;
@@ -132,6 +143,7 @@ class WireFabric {
   std::shared_ptr<FabricDirectory> directory_;
   std::vector<std::unique_ptr<HostNode>> hosts_;
   std::vector<std::unique_ptr<ForwardingSwitch>> switches_;
+  std::vector<net::LinkId> monitoring_links_;  // switch→collector underlay
 
   // Management plane (created by attach_operator).
   std::unique_ptr<core::ReportCrafter> operator_crafter_;

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 namespace dart {
 namespace {
@@ -103,6 +104,62 @@ TEST(Histogram, BucketBounds) {
   EXPECT_DOUBLE_EQ(h.bucket_lo(0), 10.0);
   EXPECT_DOUBLE_EQ(h.bucket_hi(0), 12.0);
   EXPECT_DOUBLE_EQ(h.bucket_lo(4), 18.0);
+}
+
+// Regression: lo == hi used to make width_ zero, so add() divided by zero
+// and cast the resulting ±inf/NaN to ptrdiff_t — UB. Degenerate bounds must
+// degrade to unit-width buckets instead.
+TEST(Histogram, ZeroWidthBoundsAreSafe) {
+  Histogram h(5.0, 5.0, 10);
+  h.add(5.0);
+  h.add(4.0);    // below lo → bucket 0
+  h.add(100.0);  // far above → clamped to the last bucket
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.count_at(0), 2u);
+  EXPECT_EQ(h.count_at(9), 1u);
+  // Unit-width degradation keeps bucket bounds finite and ordered.
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 5.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(0), 6.0);
+}
+
+TEST(Histogram, InvertedBoundsAreSafe) {
+  Histogram h(10.0, 0.0, 4);  // hi < lo → negative width without the clamp
+  h.add(3.0);
+  h.add(12.0);
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_EQ(h.count_at(0), 1u);  // 3.0 < lo
+  EXPECT_EQ(h.count_at(2), 1u);  // 12.0 lands at lo + 2·1.0
+}
+
+TEST(Histogram, UnderflowingWidthIsClamped) {
+  // (hi - lo) / buckets rounds to zero in double → clamp must kick in.
+  Histogram h(0.0, 1e-323, 1000);
+  h.add(0.0);
+  h.add(1e300);
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_EQ(h.count_at(0), 1u);
+  EXPECT_EQ(h.count_at(999), 1u);
+}
+
+TEST(Histogram, NonFiniteObservationsAreClampedNotUb) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(1e300);  // finite but way outside ptrdiff_t after scaling
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count_at(9), 2u);  // +inf and 1e300
+  EXPECT_EQ(h.count_at(0), 2u);  // -inf and NaN (NaN routes to bucket 0)
+}
+
+TEST(Histogram, BucketIndexMatchesAdd) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_EQ(h.bucket_index(-1.0), 0u);
+  EXPECT_EQ(h.bucket_index(0.0), 0u);
+  EXPECT_EQ(h.bucket_index(5.5), 5u);
+  EXPECT_EQ(h.bucket_index(9.999), 9u);
+  EXPECT_EQ(h.bucket_index(10.0), 9u);
+  EXPECT_EQ(h.bucket_index(1e12), 9u);
 }
 
 TEST(TrialCounter, RateAndMargin) {

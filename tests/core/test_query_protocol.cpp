@@ -10,6 +10,7 @@
 
 #include "core/cluster.hpp"
 #include "core/oracle.hpp"
+#include "net/headers.hpp"
 
 namespace dart::core {
 namespace {
@@ -229,6 +230,180 @@ TEST_F(QueryServiceFixture, TakeResponseIsOneShot) {
   sim_.run();
   EXPECT_TRUE(operator_->take_response(id).has_value());
   EXPECT_FALSE(operator_->take_response(id).has_value());
+}
+
+// --- query-plane hardening regressions ---------------------------------------
+
+std::vector<std::byte> query_frame(net::Ipv4Addr src, net::Ipv4Addr dst,
+                                   std::span<const std::byte> payload,
+                                   std::uint16_t dst_port = kDartQueryUdpPort) {
+  net::UdpFrameSpec spec;
+  spec.src_ip = src;
+  spec.dst_ip = dst;
+  spec.src_port = kDartQueryUdpPort;
+  spec.dst_port = dst_port;
+  return net::build_udp_frame(spec, payload);
+}
+
+// A service must not resolve well-formed requests addressed to another node:
+// wrong-dst frames count as not_for_me, never as malformed or served.
+TEST_F(QueryServiceFixture, WrongDstIpIsNotForMeNotMalformed) {
+  QueryRequest req;
+  req.request_id = 1;
+  req.key = key_of("misrouted");
+
+  // Well-formed request, but addressed to service 1, delivered to service 0.
+  services_[0]->receive(
+      net::Packet(query_frame(operator_->ip(), services_[1]->ip(),
+                              encode_query_request(req))),
+      0);
+  EXPECT_EQ(services_[0]->not_for_me(), 1u);
+  EXPECT_EQ(services_[0]->malformed_requests(), 0u);
+  EXPECT_EQ(services_[0]->requests_served(), 0u);
+
+  // Wrong UDP port is routing noise too.
+  services_[0]->receive(
+      net::Packet(query_frame(operator_->ip(), services_[0]->ip(),
+                              encode_query_request(req), /*dst_port=*/9999)),
+      0);
+  EXPECT_EQ(services_[0]->not_for_me(), 2u);
+  EXPECT_EQ(services_[0]->malformed_requests(), 0u);
+
+  // A bad DQ payload addressed TO US is a protocol error.
+  const auto junk = key_of("not-a-query");
+  services_[0]->receive(
+      net::Packet(query_frame(operator_->ip(), services_[0]->ip(), junk)), 0);
+  EXPECT_EQ(services_[0]->malformed_requests(), 1u);
+  EXPECT_EQ(services_[0]->not_for_me(), 2u);
+  EXPECT_EQ(services_[0]->requests_served(), 0u);
+}
+
+// Two operator clients on one fabric: a response misdelivered to the wrong
+// client (its dst IP names the other operator) must not be recorded.
+TEST_F(QueryServiceFixture, ClientIgnoresResponsesAddressedElsewhere) {
+  const auto key = key_of("two-client-key");
+  cluster_->write(key, value_of(0xBEEF));
+
+  // Client B shares the management network, but the ARP row for client A's
+  // IP is repointed at B's node — every reply to A is misdelivered to B.
+  const auto ip_b = net::Ipv4Addr::from_octets(10, 9, 0, 2);
+  std::vector<net::Ipv4Addr> service_ips;
+  for (const auto& svc : services_) service_ips.push_back(svc->ip());
+  auto resolver = [this](net::Ipv4Addr ip) -> std::optional<net::NodeId> {
+    for (const auto& [addr, node] : arp_) {
+      if (addr == ip) return node;
+    }
+    return std::nullopt;
+  };
+  OperatorClient client_b(*crafter_, ip_b, service_ips, resolver);
+  const auto b_node = sim_.add_node(client_b);
+  arp_.emplace_back(ip_b, b_node);
+  for (const auto& [addr, node] : std::vector<std::pair<net::Ipv4Addr,
+                                                        net::NodeId>>(arp_)) {
+    if (addr == operator_->ip()) continue;
+    if (node != b_node) sim_.connect(b_node, node, 2000);
+  }
+  for (auto& [addr, node] : arp_) {
+    if (addr == operator_->ip()) node = b_node;  // the misconfiguration
+  }
+
+  const auto id = operator_->query(key);
+  EXPECT_EQ(operator_->pending(), 1u);
+  sim_.run();
+
+  // B saw a well-formed response addressed to A and refused it.
+  EXPECT_EQ(client_b.stray_responses(), 1u);
+  EXPECT_EQ(client_b.responses_received(), 0u);
+  EXPECT_FALSE(client_b.take_response(id).has_value());
+  // A never got it: the request stays outstanding, nothing was recorded.
+  EXPECT_EQ(operator_->pending(), 1u);
+  EXPECT_FALSE(operator_->take_response(id).has_value());
+}
+
+// Relay node that delivers every packet to `target` twice — a duplicating
+// link, the UDP failure mode that used to double-decrement pending_.
+class DuplicatingRelay final : public net::Node {
+ public:
+  explicit DuplicatingRelay(net::NodeId target) : target_(target) {}
+  void receive(net::Packet packet, std::uint64_t) override {
+    sim_->send(self_, target_, packet.clone());
+    sim_->send(self_, target_, std::move(packet));
+  }
+
+ private:
+  net::NodeId target_;
+};
+
+// A duplicated response must retire the request exactly once: the first copy
+// is recorded, the second counts as unexpected and cannot corrupt pending().
+TEST_F(QueryServiceFixture, DuplicatedResponseRetiresRequestOnce) {
+  const auto key = key_of("dup-key");
+  cluster_->write(key, value_of(0xD0D0));
+  const std::uint32_t owner = cluster_->owner_of(key);
+
+  // Splice the relay into the service→operator return path: the ARP row for
+  // the operator's IP now resolves to the relay, which forwards every frame
+  // to the operator twice.
+  net::NodeId op_node = 0;
+  for (const auto& [addr, node] : arp_) {
+    if (addr == operator_->ip()) op_node = node;
+  }
+  DuplicatingRelay relay(op_node);
+  const auto relay_node = sim_.add_node(relay);
+  for (std::uint32_t c = 0; c < services_.size(); ++c) {
+    net::NodeId svc_node = 0;
+    for (const auto& [addr, node] : arp_) {
+      if (addr == services_[c]->ip()) svc_node = node;
+    }
+    sim_.connect(svc_node, relay_node, 1000);
+  }
+  sim_.connect(relay_node, op_node, 1000);
+  for (auto& [addr, node] : arp_) {
+    if (addr == operator_->ip()) node = relay_node;
+  }
+
+  const auto id = operator_->query(key);
+  EXPECT_EQ(operator_->pending(), 1u);
+  sim_.run();
+
+  EXPECT_EQ(services_[owner]->requests_served(), 1u);
+  EXPECT_EQ(operator_->responses_received(), 1u);
+  EXPECT_EQ(operator_->unexpected_responses(), 1u);
+  EXPECT_EQ(operator_->pending(), 0u);
+
+  const auto resp = operator_->take_response(id);
+  ASSERT_TRUE(resp.has_value());
+  std::uint64_t got;
+  std::memcpy(&got, resp->value.data(), 8);
+  EXPECT_EQ(got, 0xD0D0u);
+}
+
+// Replayed responses for an already-retired id are ignored outright — they
+// must not overwrite responses_ or go negative on anything.
+TEST_F(QueryServiceFixture, ReplayedResponseForRetiredIdIsIgnored) {
+  const auto key = key_of("replay-key");
+  cluster_->write(key, value_of(0xFACE));
+  const auto id = operator_->query(key);
+  sim_.run();
+  EXPECT_EQ(operator_->pending(), 0u);
+
+  // Replay: hand-craft a response with the retired id and a DIFFERENT value.
+  QueryResponse forged;
+  forged.request_id = id;
+  forged.outcome = QueryOutcome::kFound;
+  forged.value = value_of(0xBAD);
+  operator_->receive(
+      net::Packet(query_frame(services_[0]->ip(), operator_->ip(),
+                              encode_query_response(forged))),
+      0);
+
+  EXPECT_EQ(operator_->unexpected_responses(), 1u);
+  EXPECT_EQ(operator_->pending(), 0u);
+  const auto resp = operator_->take_response(id);
+  ASSERT_TRUE(resp.has_value());
+  std::uint64_t got;
+  std::memcpy(&got, resp->value.data(), 8);
+  EXPECT_EQ(got, 0xFACEu) << "replay must not overwrite the recorded answer";
 }
 
 }  // namespace

@@ -1,0 +1,272 @@
+// Tests for the observability subsystem: registry semantics, thread-safe
+// histograms, and the two exporters (BenchJson-schema JSON + Prometheus
+// text exposition).
+#include "obs/metric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.hpp"
+
+namespace dart::obs {
+namespace {
+
+TEST(MetricRegistry, CounterRoundTrip) {
+  MetricRegistry reg;
+  Counter& c = reg.counter("dart_test_events_total", "events seen");
+  c.inc();
+  c.add(41);
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.value_of("dart_test_events_total"), 42.0);
+  const MetricValue* m = snap.find("dart_test_events_total");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->kind, MetricKind::kCounter);
+  EXPECT_EQ(m->help, "events seen");
+}
+
+TEST(MetricRegistry, ReRegistrationIsIdempotentSameKind) {
+  MetricRegistry reg;
+  Counter& a = reg.counter("dart_twice_total");
+  Counter& b = reg.counter("dart_twice_total");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(reg.snapshot().value_of("dart_twice_total"), 1.0);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricRegistry, KindMismatchThrows) {
+  MetricRegistry reg;
+  (void)reg.counter("dart_kind_total");
+  EXPECT_THROW((void)reg.histogram("dart_kind_total", 0, 1, 4),
+               std::logic_error);
+  EXPECT_THROW(reg.gauge_fn("dart_kind_total", [] { return 0.0; }),
+               std::logic_error);
+}
+
+TEST(MetricRegistry, InvalidNamesRejected) {
+  MetricRegistry reg;
+  EXPECT_THROW((void)reg.counter(""), std::invalid_argument);
+  EXPECT_THROW((void)reg.counter("1starts_with_digit"), std::invalid_argument);
+  EXPECT_THROW((void)reg.counter("has space"), std::invalid_argument);
+  EXPECT_THROW((void)reg.counter("has-dash"), std::invalid_argument);
+  EXPECT_TRUE(MetricRegistry::valid_name("dart_collector0_rnic_frames_total"));
+  EXPECT_TRUE(MetricRegistry::valid_name("_underscore:colon"));
+}
+
+TEST(MetricRegistry, PullAdaptersReadLiveValues) {
+  MetricRegistry reg;
+  std::uint64_t external = 0;
+  double level = 0.0;
+  reg.counter_fn("dart_pull_total", [&] { return external; });
+  reg.gauge_fn("dart_level", [&] { return level; });
+
+  EXPECT_EQ(reg.snapshot().value_of("dart_pull_total"), 0.0);
+  external = 1234;
+  level = -2.5;
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.value_of("dart_pull_total"), 1234.0);
+  EXPECT_EQ(snap.value_of("dart_level"), -2.5);
+}
+
+TEST(MetricRegistry, SnapshotIsSortedByName) {
+  MetricRegistry reg;
+  (void)reg.counter("dart_z_total");
+  (void)reg.counter("dart_a_total");
+  (void)reg.counter("dart_m_total");
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.metrics.size(), 3u);
+  EXPECT_EQ(snap.metrics[0].name, "dart_a_total");
+  EXPECT_EQ(snap.metrics[1].name, "dart_m_total");
+  EXPECT_EQ(snap.metrics[2].name, "dart_z_total");
+}
+
+TEST(MetricRegistry, MissingMetricReadsAsZero) {
+  MetricRegistry reg;
+  EXPECT_EQ(reg.snapshot().value_of("dart_never_registered_total"), 0.0);
+  EXPECT_EQ(reg.snapshot().find("dart_never_registered_total"), nullptr);
+}
+
+TEST(ObsHistogram, RecordsIntoCorrectBuckets) {
+  MetricRegistry reg;
+  Histogram& h = reg.histogram("dart_lat_ns", 0.0, 100.0, 10);
+  h.record(5.0);    // bucket 0
+  h.record(15.0);   // bucket 1
+  h.record(95.0);   // bucket 9
+  h.record(1e9);    // clamps to bucket 9
+  h.record(-7.0);   // clamps to bucket 0
+
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.total, 5u);
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[9], 2u);
+  EXPECT_DOUBLE_EQ(snap.upper_bounds[0], 10.0);
+  EXPECT_DOUBLE_EQ(snap.upper_bounds[9], 100.0);
+}
+
+TEST(ObsHistogram, DegenerateBoundsAreSafe) {
+  // Reuses dart::Histogram's clamped geometry (the zero-width UB fix):
+  // lo == hi must not divide by zero or cast non-finite values.
+  MetricRegistry reg;
+  Histogram& h = reg.histogram("dart_degenerate_ns", 5.0, 5.0, 8);
+  h.record(5.0);
+  h.record(-1e308);
+  h.record(1e308);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(ObsHistogram, QuantilesInterpolate) {
+  MetricRegistry reg;
+  Histogram& h = reg.histogram("dart_q_ns", 0.0, 100.0, 10);
+  for (int i = 0; i < 100; ++i) h.record(static_cast<double>(i) + 0.5);
+  const auto snap = h.snapshot();
+  EXPECT_NEAR(snap.quantile(0.5), 50.0, 10.0);
+  EXPECT_NEAR(snap.quantile(0.9), 90.0, 10.0);
+  EXPECT_LE(snap.quantile(0.5), snap.quantile(0.9));
+  EXPECT_LE(snap.quantile(0.9), snap.quantile(0.99));
+}
+
+TEST(ObsHistogram, ConcurrentRecordingLosesNothing) {
+  MetricRegistry reg;
+  Histogram& h = reg.histogram("dart_mt_ns", 0.0, 1000.0, 16);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record(static_cast<double>((t * 251 + i) % 1000));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.total, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::uint64_t bucket_sum = 0;
+  for (const auto c : snap.counts) bucket_sum += c;
+  EXPECT_EQ(bucket_sum, snap.total);
+}
+
+TEST(Exporters, FlattenExpandsHistograms) {
+  MetricRegistry reg;
+  reg.counter("dart_c_total").add(7);
+  Histogram& h = reg.histogram("dart_h_ns", 0.0, 10.0, 2);
+  h.record(1.0);
+  h.record(9.0);
+
+  const auto flat = flatten(reg.snapshot());
+  auto value = [&](const std::string& k) -> double {
+    for (const auto& [name, v] : flat) {
+      if (name == k) return v;
+    }
+    ADD_FAILURE() << "missing key " << k;
+    return -1.0;
+  };
+  EXPECT_EQ(value("dart_c_total"), 7.0);
+  EXPECT_EQ(value("dart_h_ns_count"), 2.0);
+  EXPECT_EQ(value("dart_h_ns_sum"), 10.0);
+  EXPECT_GE(value("dart_h_ns_p99"), value("dart_h_ns_p50"));
+}
+
+TEST(Exporters, BenchJsonSchemaRoundTrips) {
+  MetricRegistry reg;
+  reg.counter("dart_rt_total").add(11);
+  Histogram& h = reg.histogram("dart_rt_ns", 0.0, 100.0, 4);
+  h.record(42.0);
+
+  const std::string path = ::testing::TempDir() + "obs_roundtrip.json";
+  ASSERT_TRUE(write_bench_json(reg.snapshot(), "obs_test", path,
+                               {{"n_things", 3.0}}));
+  const auto results = read_results_json(path);
+  ASSERT_TRUE(results.has_value());
+  bool saw_counter = false;
+  bool saw_hist_count = false;
+  for (const auto& [k, v] : *results) {
+    if (k == "dart_rt_total") {
+      saw_counter = true;
+      EXPECT_EQ(v, 11.0);
+    }
+    if (k == "dart_rt_ns_count") {
+      saw_hist_count = true;
+      EXPECT_EQ(v, 1.0);
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_hist_count);
+  std::remove(path.c_str());
+
+  // The document itself must carry the BenchJson top-level schema.
+  const std::string doc = to_bench_json(reg.snapshot(), "obs_test");
+  EXPECT_NE(doc.find("\"name\": \"obs_test\""), std::string::npos);
+  EXPECT_NE(doc.find("\"config\""), std::string::npos);
+  EXPECT_NE(doc.find("\"results\""), std::string::npos);
+}
+
+TEST(Exporters, PrometheusExposition) {
+  MetricRegistry reg;
+  reg.counter("dart_p_total", "things counted").add(3);
+  reg.gauge_fn("dart_p_level", [] { return 1.5; }, "a level");
+  Histogram& h = reg.histogram("dart_p_ns", 0.0, 20.0, 2, "a latency");
+  h.record(5.0);
+  h.record(15.0);
+  h.record(15.0);
+
+  const std::string text = to_prometheus(reg.snapshot());
+  EXPECT_NE(text.find("# HELP dart_p_total things counted\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE dart_p_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("dart_p_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE dart_p_level gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("dart_p_level 1.5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE dart_p_ns histogram\n"), std::string::npos);
+  // Buckets are CUMULATIVE: le="10" sees 1, le="20" sees all 3.
+  EXPECT_NE(text.find("dart_p_ns_bucket{le=\"10\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("dart_p_ns_bucket{le=\"20\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("dart_p_ns_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("dart_p_ns_count 3\n"), std::string::npos);
+}
+
+TEST(Exporters, DiffSubtractsCountersAndKeepsGauges) {
+  MetricRegistry reg;
+  Counter& c = reg.counter("dart_d_total");
+  double level = 1.0;
+  reg.gauge_fn("dart_d_level", [&] { return level; });
+  Histogram& h = reg.histogram("dart_d_ns", 0.0, 10.0, 2);
+
+  c.add(10);
+  h.record(1.0);
+  const auto before = reg.snapshot();
+
+  c.add(5);
+  h.record(1.0);
+  h.record(9.0);
+  level = 7.0;
+  const auto after = reg.snapshot();
+
+  const auto d = diff(before, after);
+  EXPECT_EQ(d.value_of("dart_d_total"), 5.0);
+  EXPECT_EQ(d.value_of("dart_d_level"), 7.0);
+  const MetricValue* dh = d.find("dart_d_ns");
+  ASSERT_NE(dh, nullptr);
+  ASSERT_TRUE(dh->hist.has_value());
+  EXPECT_EQ(dh->hist->total, 2u);
+  EXPECT_EQ(dh->hist->counts[0], 1u);
+  EXPECT_EQ(dh->hist->counts[1], 1u);
+}
+
+TEST(Exporters, DiffClampsCounterRegressionsAtRestart) {
+  Snapshot before;
+  before.metrics.push_back({"dart_r_total", MetricKind::kCounter, "", 100.0, {}});
+  Snapshot after;
+  after.metrics.push_back({"dart_r_total", MetricKind::kCounter, "", 40.0, {}});
+  // Counter went backwards (component restarted): report the after-value,
+  // never a negative rate.
+  EXPECT_EQ(diff(before, after).value_of("dart_r_total"), 40.0);
+}
+
+}  // namespace
+}  // namespace dart::obs

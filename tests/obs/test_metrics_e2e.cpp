@@ -1,0 +1,210 @@
+// End-to-end metrics test: one registry over a full WireFabric (switches,
+// RNICs, monitoring underlay, query plane) and over the sharded ingest
+// pipeline, asserting the conservation invariants the counters promise:
+//
+//   switch reports emitted == Σ RNIC frames received + monitoring drops
+//   RNIC frames            == executed + Σ per-reason rejections
+//   queries sent           == responses received + still pending
+//   Σ service served       == operator responses received   (lossless mgmt)
+//
+// plus exporter coverage: the JSON/Prometheus emissions must name every
+// component family the registry was built from.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/ingest_pipeline.hpp"
+#include "obs/export.hpp"
+#include "obs/metric.hpp"
+#include "telemetry/wire_fabric.hpp"
+#include "telemetry/workload.hpp"
+
+namespace dart {
+namespace {
+
+using obs::MetricRegistry;
+using obs::Snapshot;
+
+telemetry::WireFabricConfig fabric_config(double loss) {
+  telemetry::WireFabricConfig cfg;
+  cfg.fat_tree_k = 4;
+  cfg.dart.n_slots = 1 << 14;
+  cfg.dart.n_addresses = 2;
+  cfg.dart.value_bytes = 20;
+  cfg.dart.master_seed = 0x0B5;
+  cfg.n_collectors = 2;
+  cfg.report_loss_rate = loss;
+  cfg.seed = 7;
+  return cfg;
+}
+
+// Σ over both collectors of one RNIC counter family.
+double rnic_sum(const Snapshot& snap, const std::string& field) {
+  double n = 0.0;
+  for (int c = 0; c < 2; ++c) {
+    n += snap.value_of("dart_collector" + std::to_string(c) + "_rnic_" +
+                       field + "_total");
+  }
+  return n;
+}
+
+double service_sum(const Snapshot& snap, const std::string& field) {
+  double n = 0.0;
+  for (int c = 0; c < 2; ++c) {
+    n += snap.value_of("dart_collector" + std::to_string(c) + "_query_" +
+                       field + "_total");
+  }
+  return n;
+}
+
+TEST(MetricsE2E, FabricConservationUnderReportLoss) {
+  telemetry::WireFabric fabric(fabric_config(/*loss=*/0.25));
+  auto& op = fabric.attach_operator();
+
+  MetricRegistry reg;
+  fabric.register_metrics(reg);
+
+  // Traffic: enough flows that every tier forwards and reports are lost.
+  telemetry::FlowGenerator gen(fabric.topology(), 21);
+  std::vector<telemetry::FiveTuple> flows;
+  for (int i = 0; i < 80; ++i) {
+    const auto fe = gen.next_flow();
+    flows.push_back(fe.tuple);
+    fabric.send_flow(fe.tuple, fe.src_host, 2);
+  }
+  fabric.run();
+
+  // Query plane: one query per flow, drained.
+  for (const auto& flow : flows) {
+    const auto key = flow.key_bytes();
+    (void)op.query(key);
+  }
+  fabric.run();
+
+  const Snapshot snap = reg.snapshot();
+
+  // Reports leave switches, then either arrive at an RNIC or die on the
+  // monitoring underlay — nothing else can happen to them.
+  const double emitted = snap.value_of("dart_switches_reports_emitted_total");
+  const double rnic_frames = rnic_sum(snap, "frames");
+  const double monitoring_dropped =
+      snap.value_of("dart_monitoring_dropped_total");
+  EXPECT_GT(emitted, 0.0);
+  EXPECT_GT(monitoring_dropped, 0.0) << "loss=0.25 must actually drop";
+  EXPECT_EQ(emitted, rnic_frames + monitoring_dropped);
+  EXPECT_EQ(rnic_frames, snap.value_of("dart_monitoring_delivered_total"));
+
+  // Within each RNIC, every frame gets exactly one verdict.
+  const std::vector<std::string> rejections = {
+      "not_roce",   "bad_icrc",      "bad_opcode",    "unknown_qp",
+      "psn_rejected", "bad_rkey",    "pd_mismatch",   "access_denied",
+      "out_of_bounds", "unaligned_atomic"};
+  double verdicts = rnic_sum(snap, "executed");
+  for (const auto& r : rejections) verdicts += rnic_sum(snap, r);
+  EXPECT_EQ(rnic_frames, verdicts);
+
+  // Query plane over a lossless management network: everything sent is
+  // served exactly once and comes back exactly once.
+  const double sent = snap.value_of("dart_operator_queries_sent_total");
+  const double received =
+      snap.value_of("dart_operator_responses_received_total");
+  const double pending = snap.value_of("dart_operator_pending");
+  EXPECT_EQ(sent, static_cast<double>(flows.size()));
+  EXPECT_EQ(sent, received + pending);
+  EXPECT_EQ(pending, 0.0);
+  EXPECT_EQ(service_sum(snap, "served"), received);
+  EXPECT_EQ(service_sum(snap, "malformed"), 0.0);
+  EXPECT_EQ(service_sum(snap, "not_for_me"), 0.0);
+  EXPECT_EQ(snap.value_of("dart_operator_responses_stray_total"), 0.0);
+  EXPECT_EQ(snap.value_of("dart_operator_responses_unexpected_total"), 0.0);
+
+  // The resolve-latency histogram sampled at least the first resolve per
+  // service that answered anything.
+  const auto* hist = snap.find("dart_collector0_query_resolve_ns");
+  ASSERT_NE(hist, nullptr);
+  ASSERT_TRUE(hist->hist.has_value());
+  if (service_sum(snap, "served") > 0.0) {
+    EXPECT_GT(hist->hist->total +
+                  snap.find("dart_collector1_query_resolve_ns")->hist->total,
+              0u);
+  }
+}
+
+TEST(MetricsE2E, ExportersCoverEveryComponentFamily) {
+  telemetry::WireFabric fabric(fabric_config(0.0));
+  (void)fabric.attach_operator();
+  MetricRegistry reg;
+  fabric.register_metrics(reg);
+
+  const Snapshot snap = reg.snapshot();
+  const std::string prom = obs::to_prometheus(snap);
+  const std::string json = obs::to_bench_json(snap, "metrics_e2e");
+  for (const std::string needle :
+       {"dart_switch0_reports_emitted_total", "dart_collector0_rnic_frames_total",
+        "dart_collector1_qp_accepted_total", "dart_net_delivered_total",
+        "dart_monitoring_delivered_total", "dart_collector0_query_served_total",
+        "dart_collector0_query_not_for_me_total",
+        "dart_operator_queries_sent_total", "dart_operator_pending"}) {
+    EXPECT_NE(prom.find("# TYPE " + needle + " "), std::string::npos) << needle;
+    EXPECT_NE(json.find('"' + needle), std::string::npos) << needle;
+  }
+}
+
+TEST(MetricsE2E, IngestPipelineShardMetricsMatchRunStats) {
+  core::IngestPipelineConfig cfg;
+  cfg.dart.n_slots = 1 << 14;
+  cfg.dart.n_addresses = 2;
+  cfg.dart.value_bytes = 8;
+  cfg.dart.master_seed = 0xE77;
+  cfg.n_feeders = 2;
+  cfg.n_shards = 2;
+  cfg.reports_per_feeder = 20'000;
+  cfg.latency_sample_every = 16;
+  cfg.seed = 5;
+
+  core::IngestPipeline pipeline(cfg);
+  MetricRegistry reg;
+  pipeline.bind_metrics(reg, "dart");
+
+  const auto stats = pipeline.run();
+  const Snapshot snap = reg.snapshot();
+
+  EXPECT_EQ(snap.value_of("dart_ingest_reports_total"),
+            static_cast<double>(stats.reports_generated));
+  EXPECT_EQ(snap.value_of("dart_ingest_frames_crafted_total"),
+            static_cast<double>(stats.frames_crafted));
+  EXPECT_EQ(snap.value_of("dart_ingest_frames_dropped_total"),
+            static_cast<double>(stats.frames_dropped));
+
+  // Per-shard counters sum to the totals and match per_shard_applied.
+  double applied = 0.0;
+  double rejected = 0.0;
+  for (std::uint32_t s = 0; s < cfg.n_shards; ++s) {
+    const std::string shard = "dart_ingest_shard" + std::to_string(s);
+    const double shard_applied = snap.value_of(shard + "_applied_total");
+    EXPECT_EQ(shard_applied,
+              static_cast<double>(stats.per_shard_applied[s]));
+    applied += shard_applied;
+    rejected += snap.value_of(shard + "_rejected_total");
+  }
+  EXPECT_EQ(applied, static_cast<double>(stats.frames_applied));
+  EXPECT_EQ(rejected, static_cast<double>(stats.frames_rejected));
+
+  // Conservation inside the pipeline: every crafted frame was either
+  // dropped by the loss model or reached a shard worker for a verdict.
+  EXPECT_EQ(stats.frames_crafted,
+            stats.frames_dropped + stats.frames_applied +
+                stats.frames_rejected);
+
+  // The sampled craft→ingest histogram recorded roughly crafted/16 points.
+  const auto* hist = snap.find("dart_ingest_craft_to_ingest_ns");
+  ASSERT_NE(hist, nullptr);
+  ASSERT_TRUE(hist->hist.has_value());
+  EXPECT_GT(hist->hist->total, 0u);
+  EXPECT_LE(hist->hist->total,
+            stats.frames_crafted / cfg.latency_sample_every + cfg.n_feeders);
+}
+
+}  // namespace
+}  // namespace dart

@@ -12,7 +12,8 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-bench}"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$BUILD_DIR" -j --target micro_datapath scaling_ingest_threads
+cmake --build "$BUILD_DIR" -j \
+  --target micro_datapath scaling_ingest_threads dart_metrics
 
 OUT_DIR="$(mktemp -d)"
 trap 'rm -rf "$OUT_DIR"' EXIT
@@ -23,6 +24,11 @@ trap 'rm -rf "$OUT_DIR"' EXIT
   --benchmark_min_time=0.05)
 (cd "$OUT_DIR" && "$OLDPWD/$BUILD_DIR/bench/scaling_ingest_threads" \
   --reports=40000)
+
+# Metrics snapshot: conservation invariants plus the JSON exposition.
+"$BUILD_DIR/tools/dart_metrics" selfcheck
+"$BUILD_DIR/tools/dart_metrics" fabric --flows=40 --loss=0.1 \
+  --json="$OUT_DIR/METRICS_fabric.json"
 
 python3 - "$OUT_DIR" <<'EOF'
 import json
@@ -55,6 +61,42 @@ for name in ["micro_datapath", "scaling_ingest_threads"]:
         print(f"OK: {path.name}: reports_per_sec="
               f"{results['reports_per_sec']:.0f} "
               f"ns_per_report={results['ns_per_report']:.1f}")
+
+# Metrics snapshot: same BenchJson envelope, one flat key per metric (plus
+# _count/_sum/_p50/_p90/_p99 expansions for histograms).
+metrics_path = out_dir / "METRICS_fabric.json"
+metrics_required = [
+    "dart_switch0_reports_emitted_total",
+    "dart_switches_reports_emitted_total",
+    "dart_collector0_rnic_frames_total",
+    "dart_collector0_qp_accepted_total",
+    "dart_net_delivered_total",
+    "dart_monitoring_delivered_total",
+    "dart_collector0_query_served_total",
+    "dart_collector0_query_resolve_ns_count",
+    "dart_operator_queries_sent_total",
+]
+if not metrics_path.exists():
+    print(f"FAIL: {metrics_path} was not emitted")
+    failures += 1
+else:
+    doc = json.loads(metrics_path.read_text())
+    for key in ["name", "config", "results"]:
+        if key not in doc:
+            print(f"FAIL: {metrics_path}: missing top-level key '{key}'")
+            failures += 1
+    results = doc.get("results", {})
+    for key in metrics_required:
+        if key not in results:
+            print(f"FAIL: {metrics_path}: missing metric '{key}'")
+            failures += 1
+        elif not isinstance(results[key], (int, float)):
+            print(f"FAIL: {metrics_path}: metric '{key}' not numeric")
+            failures += 1
+    if failures == 0:
+        print(f"OK: {metrics_path.name}: {len(results)} metrics, "
+              f"reports_emitted="
+              f"{results['dart_switches_reports_emitted_total']:.0f}")
 sys.exit(1 if failures else 0)
 EOF
 

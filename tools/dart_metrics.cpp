@@ -1,0 +1,288 @@
+// dart_metrics — run a workload with the observability registry attached and
+// dump, check, or diff metric snapshots.
+//
+//   dart_metrics fabric [--k=4] [--collectors=2] [--flows=80] [--packets=2]
+//                       [--loss=0.1] [--queries=1] [--seed=7]
+//                       [--json=PATH] [--prom]
+//       Full WireFabric workload (switches → RNICs → query plane). Writes a
+//       BenchJson-schema snapshot to --json (default METRICS_fabric.json in
+//       the cwd) and, with --prom, the Prometheus text exposition to stdout.
+//
+//   dart_metrics ingest [--reports=200000] [--feeders=2] [--shards=2]
+//                       [--sample-every=64] [--seed=1] [--json=PATH] [--prom]
+//       Sharded ingest-pipeline workload with per-shard counters and the
+//       sampled craft→ingest latency histogram.
+//
+//   dart_metrics selfcheck
+//       Small fabric run that exits non-zero unless the conservation
+//       invariants hold (reports emitted == RNIC frames + monitoring drops;
+//       RNIC frames == executed + rejections; queries sent == received).
+//       Wired into ctest and tools/check_bench.sh.
+//
+//   dart_metrics diff BEFORE.json AFTER.json
+//       Per-key AFTER-BEFORE over the flat "results" objects (our own
+//       emissions; no external JSON dependency).
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+
+#include "core/ingest_pipeline.hpp"
+#include "obs/export.hpp"
+#include "obs/metric.hpp"
+#include "telemetry/wire_fabric.hpp"
+#include "telemetry/workload.hpp"
+
+namespace {
+
+using namespace dart;
+
+std::string flag_str(int argc, char** argv, const char* name,
+                     std::string fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return fallback;
+}
+
+bool flag_present(int argc, char** argv, const char* name) {
+  const std::string flat = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flat == argv[i]) return true;
+  }
+  return false;
+}
+
+int emit(const obs::MetricRegistry& reg, const std::string& name,
+         const std::string& json_path, bool prom,
+         const std::vector<std::pair<std::string, double>>& config) {
+  const auto snap = reg.snapshot();
+  if (!obs::write_bench_json(snap, name, json_path, config)) {
+    std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %s (%zu metrics)\n", json_path.c_str(),
+               snap.metrics.size());
+  if (prom) std::fputs(obs::to_prometheus(snap).c_str(), stdout);
+  return 0;
+}
+
+// Shared by `fabric` and `selfcheck`: build a fabric, drive a workload,
+// leave the registry populated. Returns the fabric so adapters stay valid
+// for the caller's snapshot.
+std::unique_ptr<telemetry::WireFabric> run_fabric(
+    obs::MetricRegistry& registry, std::uint32_t k, std::uint32_t collectors,
+    std::uint64_t flows, std::uint32_t packets, double loss, bool queries,
+    std::uint64_t seed) {
+  telemetry::WireFabricConfig cfg;
+  cfg.fat_tree_k = k;
+  cfg.dart.n_slots = 1 << 14;
+  cfg.dart.n_addresses = 2;
+  cfg.dart.value_bytes = 20;
+  cfg.dart.master_seed = 0x0B5;
+  cfg.n_collectors = collectors;
+  cfg.report_loss_rate = loss;
+  cfg.seed = seed;
+
+  auto fabric = std::make_unique<telemetry::WireFabric>(cfg);
+  auto& op = fabric->attach_operator();
+  fabric->register_metrics(registry);
+
+  telemetry::FlowGenerator gen(fabric->topology(), seed + 13);
+  std::vector<telemetry::FiveTuple> tuples;
+  for (std::uint64_t i = 0; i < flows; ++i) {
+    const auto fe = gen.next_flow();
+    tuples.push_back(fe.tuple);
+    fabric->send_flow(fe.tuple, fe.src_host, packets);
+  }
+  fabric->run();
+  if (queries) {
+    for (const auto& t : tuples) (void)op.query(t.key_bytes());
+    fabric->run();
+  }
+  return fabric;
+}
+
+int cmd_fabric(int argc, char** argv) {
+  const auto k = static_cast<std::uint32_t>(bench::flag_u64(argc, argv, "k", 4));
+  const auto collectors =
+      static_cast<std::uint32_t>(bench::flag_u64(argc, argv, "collectors", 2));
+  const auto flows = bench::flag_u64(argc, argv, "flows", 80);
+  const auto packets =
+      static_cast<std::uint32_t>(bench::flag_u64(argc, argv, "packets", 2));
+  const double loss = bench::flag_double(argc, argv, "loss", 0.1);
+  const bool queries = bench::flag_u64(argc, argv, "queries", 1) != 0;
+  const auto seed = bench::flag_u64(argc, argv, "seed", 7);
+  const auto json_path =
+      flag_str(argc, argv, "json", "METRICS_fabric.json");
+
+  obs::MetricRegistry registry;
+  const auto fabric =
+      run_fabric(registry, k, collectors, flows, packets, loss, queries, seed);
+  return emit(registry, "dart_metrics_fabric", json_path,
+              flag_present(argc, argv, "prom"),
+              {{"fat_tree_k", static_cast<double>(k)},
+               {"n_collectors", static_cast<double>(collectors)},
+               {"flows", static_cast<double>(flows)},
+               {"packets_per_flow", static_cast<double>(packets)},
+               {"report_loss_rate", loss}});
+}
+
+int cmd_ingest(int argc, char** argv) {
+  core::IngestPipelineConfig cfg;
+  cfg.dart.n_slots = 1 << 16;
+  cfg.dart.n_addresses = 2;
+  cfg.dart.value_bytes = 8;
+  cfg.dart.master_seed = 0xD317;
+  cfg.reports_per_feeder = bench::flag_u64(argc, argv, "reports", 200'000);
+  cfg.n_feeders =
+      static_cast<std::uint32_t>(bench::flag_u64(argc, argv, "feeders", 2));
+  cfg.n_shards =
+      static_cast<std::uint32_t>(bench::flag_u64(argc, argv, "shards", 2));
+  cfg.latency_sample_every = static_cast<std::uint32_t>(
+      bench::flag_u64(argc, argv, "sample-every", 64));
+  cfg.seed = bench::flag_u64(argc, argv, "seed", 1);
+  if (!cfg.valid()) {
+    std::fprintf(stderr, "error: invalid ingest config\n");
+    return 1;
+  }
+
+  core::IngestPipeline pipeline(cfg);
+  obs::MetricRegistry reg;
+  pipeline.bind_metrics(reg, "dart");
+  const auto stats = pipeline.run();
+  std::fprintf(stderr, "ingested %llu reports at %.2f Mreports/s\n",
+               static_cast<unsigned long long>(stats.reports_generated),
+               stats.mreports_per_sec());
+  return emit(reg, "dart_metrics_ingest",
+              flag_str(argc, argv, "json", "METRICS_ingest.json"),
+              flag_present(argc, argv, "prom"),
+              {{"n_feeders", static_cast<double>(cfg.n_feeders)},
+               {"n_shards", static_cast<double>(cfg.n_shards)},
+               {"reports_per_feeder",
+                static_cast<double>(cfg.reports_per_feeder)},
+               {"latency_sample_every",
+                static_cast<double>(cfg.latency_sample_every)}});
+}
+
+int cmd_selfcheck() {
+  obs::MetricRegistry registry;
+  const auto fabric =
+      run_fabric(registry, /*k=*/4, /*collectors=*/2, /*flows=*/60,
+                 /*packets=*/2, /*loss=*/0.2, /*queries=*/true, /*seed=*/11);
+  const auto snap = registry.snapshot();
+
+  int failures = 0;
+  const auto check = [&](bool ok, const char* what, double lhs, double rhs) {
+    if (ok) {
+      std::printf("OK:   %s (%.0f == %.0f)\n", what, lhs, rhs);
+    } else {
+      std::printf("FAIL: %s (%.0f != %.0f)\n", what, lhs, rhs);
+      ++failures;
+    }
+  };
+
+  double rnic_frames = 0.0;
+  double verdicts = 0.0;
+  for (int c = 0; c < 2; ++c) {
+    const std::string p = "dart_collector" + std::to_string(c) + "_rnic_";
+    rnic_frames += snap.value_of(p + "frames_total");
+    verdicts += snap.value_of(p + "executed_total");
+    for (const char* r :
+         {"not_roce", "bad_icrc", "bad_opcode", "unknown_qp", "psn_rejected",
+          "bad_rkey", "pd_mismatch", "access_denied", "out_of_bounds",
+          "unaligned_atomic"}) {
+      verdicts += snap.value_of(p + r + "_total");
+    }
+  }
+  const double emitted = snap.value_of("dart_switches_reports_emitted_total");
+  const double mon_dropped = snap.value_of("dart_monitoring_dropped_total");
+  const double mon_delivered =
+      snap.value_of("dart_monitoring_delivered_total");
+  check(emitted == rnic_frames + mon_dropped,
+        "reports emitted == rnic frames + monitoring drops", emitted,
+        rnic_frames + mon_dropped);
+  check(rnic_frames == mon_delivered,
+        "rnic frames == monitoring delivered", rnic_frames, mon_delivered);
+  check(rnic_frames == verdicts, "rnic frames == executed + rejections",
+        rnic_frames, verdicts);
+
+  const double sent = snap.value_of("dart_operator_queries_sent_total");
+  const double received =
+      snap.value_of("dart_operator_responses_received_total");
+  const double pending = snap.value_of("dart_operator_pending");
+  double served = 0.0;
+  for (int c = 0; c < 2; ++c) {
+    served += snap.value_of("dart_collector" + std::to_string(c) +
+                            "_query_served_total");
+  }
+  check(sent == received + pending, "queries sent == received + pending",
+        sent, received + pending);
+  check(served == received, "queries served == responses received", served,
+        received);
+  check(emitted > 0 && sent > 0, "workload actually ran", emitted, sent);
+
+  std::printf(failures == 0 ? "selfcheck: clean\n"
+                            : "selfcheck: %d invariant(s) violated\n",
+              failures);
+  return failures == 0 ? 0 : 1;
+}
+
+int cmd_diff(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr, "usage: dart_metrics diff BEFORE.json AFTER.json\n");
+    return 2;
+  }
+  const auto before = obs::read_results_json(argv[2]);
+  const auto after = obs::read_results_json(argv[3]);
+  if (!before || !after) {
+    std::fprintf(stderr, "error: cannot read %s\n",
+                 !before ? argv[2] : argv[3]);
+    return 1;
+  }
+  const auto find = [](const std::vector<std::pair<std::string, double>>& kv,
+                       const std::string& key) -> const double* {
+    for (const auto& [k, v] : kv) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  };
+  for (const auto& [key, after_v] : *after) {
+    const double* before_v = find(*before, key);
+    const double delta = before_v ? after_v - *before_v : after_v;
+    if (delta != 0.0 || before_v == nullptr) {
+      std::printf("%-64s %+.6g%s\n", key.c_str(), delta,
+                  before_v == nullptr ? "  (new)" : "");
+    }
+  }
+  for (const auto& [key, v] : *before) {
+    if (find(*after, key) == nullptr) {
+      std::printf("%-64s (removed, was %.6g)\n", key.c_str(), v);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: dart_metrics <fabric|ingest|selfcheck|diff> "
+                 "[--flags]\n");
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "fabric") return cmd_fabric(argc, argv);
+  if (cmd == "ingest") return cmd_ingest(argc, argv);
+  if (cmd == "selfcheck") return cmd_selfcheck();
+  if (cmd == "diff") return cmd_diff(argc, argv);
+  std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+  return 2;
+}
