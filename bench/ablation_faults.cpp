@@ -1,0 +1,184 @@
+// Ablation: collection and query availability under injected faults
+// (docs/FAULTS.md). One fabric run per fault class, identical workload and
+// seeds, measuring what fraction of emitted reports still executed at an
+// RNIC, what fraction of operator queries were answered, and how many of
+// those answers carried the degraded flag. The kill scenario runs twice —
+// with and without the recovery control plane — which is the ablation: the
+// failover machinery is what turns "answers lost" into "answers flagged".
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/injector.hpp"
+#include "fault/recovery.hpp"
+#include "telemetry/wire_fabric.hpp"
+#include "telemetry/workload.hpp"
+
+namespace {
+
+using namespace dart;
+
+constexpr std::uint64_t kMs = 1'000'000;
+constexpr std::uint32_t kCollectors = 3;
+
+struct Outcome {
+  double delivery = 0.0;  // reports executed / reports emitted
+  double answered = 0.0;  // query responses / queries sent
+  double degraded = 0.0;  // degraded responses / responses
+};
+
+enum class Scenario {
+  kHealthy,
+  kRnicStall,
+  kQpError,
+  kPartition,
+  kCorruption,
+  kKillNoRecovery,
+  kKillRecovery,
+};
+
+Outcome run(Scenario scenario, std::uint64_t flows_per_wave) {
+  telemetry::WireFabricConfig cfg;
+  cfg.fat_tree_k = 4;
+  cfg.dart.n_slots = 1 << 14;
+  cfg.dart.n_addresses = 2;
+  cfg.dart.value_bytes = 20;
+  cfg.dart.master_seed = 0x0B5;
+  cfg.n_collectors = kCollectors;
+  cfg.report_loss_rate = 0.0;  // isolate the injected fault
+  cfg.seed = 41;
+
+  telemetry::WireFabric fabric(cfg);
+  auto& op = fabric.attach_operator();
+  auto& sim = fabric.simulator();
+
+  // Recovery only in the scenario that ablates it in.
+  const bool with_recovery = scenario == Scenario::kKillRecovery;
+  fault::RecoveryManager recovery(fabric, fault::RecoveryConfig{});
+  fault::FaultInjector injector(fabric,
+                                with_recovery ? &recovery : nullptr);
+
+  // Fault window 8–16ms; kills revive at 22ms so every scenario converges.
+  fault::FaultPlan plan;
+  switch (scenario) {
+    case Scenario::kHealthy:
+      break;
+    case Scenario::kRnicStall:
+      plan.stall_rnic(8 * kMs, 1, /*frames=*/200);
+      break;
+    case Scenario::kQpError:
+      plan.error_qp(8 * kMs, 1, /*drain_ns=*/8 * kMs);
+      break;
+    case Scenario::kPartition:
+      for (std::uint32_t s = 0; s < fabric.n_switches(); ++s) {
+        plan.partition_link(8 * kMs, fabric.monitoring_link(s, 1));
+        plan.heal_link(16 * kMs, fabric.monitoring_link(s, 1));
+      }
+      break;
+    case Scenario::kCorruption:
+      for (std::uint32_t s = 0; s < fabric.n_switches(); ++s) {
+        plan.corrupt_link(8 * kMs, fabric.monitoring_link(s, 1), 0.5);
+        plan.clear_corruption(16 * kMs, fabric.monitoring_link(s, 1));
+      }
+      break;
+    case Scenario::kKillNoRecovery:
+    case Scenario::kKillRecovery:
+      plan.kill_collector(8 * kMs, 1).revive_collector(22 * kMs, 1);
+      break;
+  }
+  injector.arm(plan);
+  if (with_recovery) recovery.start(/*horizon_ns=*/40 * kMs);
+
+  telemetry::FlowGenerator gen(fabric.topology(), 53);
+  std::vector<telemetry::FiveTuple> tuples;
+  for (const std::uint64_t at :
+       {std::uint64_t{0}, 5 * kMs, 10 * kMs, 14 * kMs, 20 * kMs, 30 * kMs}) {
+    sim.schedule(at, [&fabric, &gen, &tuples, flows_per_wave] {
+      for (std::uint64_t i = 0; i < flows_per_wave; ++i) {
+        const auto fe = gen.next_flow();
+        tuples.push_back(fe.tuple);
+        fabric.send_flow(fe.tuple, fe.src_host, 2);
+      }
+    });
+  }
+  // Query everything sent so far: once mid-fault, once after convergence.
+  for (const std::uint64_t at : {18 * kMs, 35 * kMs}) {
+    sim.schedule(at, [&op, &tuples] {
+      for (const auto& tup : tuples) (void)op.query(tup.key_bytes());
+    });
+  }
+  fabric.run();
+
+  std::uint64_t executed = 0;
+  for (std::uint32_t c = 0; c < kCollectors; ++c) {
+    executed += fabric.cluster().collector(c).rnic().counters().executed.load();
+  }
+  Outcome out;
+  const auto emitted = fabric.stats().reports_emitted;
+  out.delivery = emitted == 0 ? 0.0
+                              : static_cast<double>(executed) /
+                                    static_cast<double>(emitted);
+  out.answered = op.queries_sent() == 0
+                     ? 0.0
+                     : static_cast<double>(op.responses_received()) /
+                           static_cast<double>(op.queries_sent());
+  out.degraded = op.responses_received() == 0
+                     ? 0.0
+                     : static_cast<double>(op.degraded_responses()) /
+                           static_cast<double>(op.responses_received());
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner(
+      "Ablation — availability under injected faults, with/without recovery",
+      "zero-CPU collection keeps no switch state to retry with; the failure "
+      "model (docs/FAULTS.md) loses windows, detects deaths, and degrades "
+      "explicitly instead of answering wrong");
+
+  const auto flows = bench::flag_u64(argc, argv, "flows", 25);
+
+  const std::pair<const char*, Scenario> scenarios[] = {
+      {"healthy", Scenario::kHealthy},
+      {"rnic_stall", Scenario::kRnicStall},
+      {"qp_error", Scenario::kQpError},
+      {"partition", Scenario::kPartition},
+      {"corruption", Scenario::kCorruption},
+      {"kill_no_recovery", Scenario::kKillNoRecovery},
+      {"kill_recovery", Scenario::kKillRecovery},
+  };
+
+  bench::BenchJson json("ablation_faults");
+  json.config("fat_tree_k", 4);
+  json.config("n_collectors", kCollectors);
+  json.config("flows_per_wave", static_cast<double>(flows));
+
+  Table t({"fault class", "report delivery", "queries answered",
+           "answers degraded"});
+  for (const auto& [name, scenario] : scenarios) {
+    const auto out = run(scenario, flows);
+    t.row({name, fmt_percent(out.delivery, 1), fmt_percent(out.answered, 1),
+           fmt_percent(out.degraded, 1)});
+    json.result(std::string(name) + "_delivery", out.delivery);
+    json.result(std::string(name) + "_answered", out.answered);
+    json.result(std::string(name) + "_degraded", out.degraded);
+  }
+  t.print(std::cout);
+  if (!json.write()) return 1;
+
+  std::printf(
+      "\nTakeaway: every fault class costs a bounded report window (stall /\n"
+      "error / partition / corruption all land in an explicit ledger\n"
+      "column), but only an unhandled collector kill costs query\n"
+      "availability. With the recovery plane, the dead key range fails over\n"
+      "within the detection timeout and its answers come back flagged\n"
+      "degraded — reduced certainty, never silent loss or wrong data.\n");
+  return 0;
+}

@@ -11,7 +11,8 @@ Collector::Collector(const DartConfig& config, std::uint32_t collector_id,
           /*rkey_seed=*/0x5EED'0000ull + collector_id)) {
   assert(config.valid());
 
-  const auto pd = rnic_->alloc_pd();
+  pd_ = rnic_->alloc_pd();
+  const auto pd = pd_;
   auto mr = rnic_->register_mr(pd, memory_, kDefaultBaseVaddr,
                                rdma::Access::kRemoteWrite |
                                    rdma::Access::kRemoteAtomic);
@@ -39,6 +40,22 @@ Collector::Collector(const DartConfig& config, std::uint32_t collector_id,
   info_.base_vaddr = kDefaultBaseVaddr;
   info_.n_slots = config.n_slots;
   info_.slot_bytes = config.slot_bytes();
+}
+
+Status Collector::adopt_takeover_qp(std::uint32_t dead_collector_id) {
+  const std::uint32_t qpn = qpn_for(dead_collector_id);
+  if (rdma::QueuePair* existing = rnic_->qp(qpn)) {
+    existing->reconnect(0);
+    return {};
+  }
+  // Same policy rationale as the primary report QP: many switches share the
+  // stream with independent PSN counters, so admission ignores PSN order.
+  return rnic_->create_qp(qpn, rdma::QpType::kRc, pd_,
+                          rdma::PsnPolicy::kIgnore);
+}
+
+void Collector::reconnect_report_qp() noexcept {
+  if (rdma::QueuePair* qp = rnic_->qp(info_.qpn)) qp->reconnect(0);
 }
 
 }  // namespace dart::core

@@ -76,6 +76,20 @@ class Collector {
   }
   [[nodiscard]] std::uint32_t id() const noexcept { return info_.collector_id; }
 
+  // --- failover / recovery (docs/FAULTS.md) --------------------------------
+
+  // Adopts the report stream of a dead peer: opens the peer's well-known
+  // QPN on THIS collector's RNIC (same PD and rkey) so re-targeted switch
+  // rows terminate on a dedicated QP with a fresh PSN window instead of
+  // interleaving with this collector's own stream. Idempotent — re-adoption
+  // reconnects the existing takeover QP.
+  Status adopt_takeover_qp(std::uint32_t dead_collector_id);
+
+  // Drain-and-reconnect of this collector's own report QP after an error
+  // (rdma::QpState::kError): back to Ready at PSN 0, the fresh sequence the
+  // switches' reset PSN registers will produce.
+  void reconnect_report_qp() noexcept;
+
   // Default QPN scheme: report QPs live at a fixed base + collector id.
   [[nodiscard]] static constexpr std::uint32_t qpn_for(std::uint32_t collector_id) noexcept {
     return 0x100u + collector_id;
@@ -87,6 +101,7 @@ class Collector {
   std::unique_ptr<rdma::SimulatedRnic> rnic_;
   std::unique_ptr<DartStore> store_;
   RemoteStoreInfo info_;
+  rdma::PdHandle pd_{};
 };
 
 }  // namespace dart::core

@@ -81,6 +81,77 @@ std::uint32_t DeploymentController::push_updates() {
   return updated;
 }
 
+CollectorLivenessTable::CollectorLivenessTable(std::uint32_t n_collectors,
+                                               const LivenessConfig& config,
+                                               std::uint64_t now_ns)
+    : config_(config) {
+  rows_.resize(n_collectors);
+  for (auto& row : rows_) row.last_seen_ns = now_ns;
+}
+
+void CollectorLivenessTable::heartbeat(std::uint32_t id, std::uint64_t now_ns) {
+  Row& row = rows_[id];
+  row.last_seen_ns = std::max(row.last_seen_ns, now_ns);
+  ++stats_.heartbeats;
+}
+
+std::vector<CollectorLivenessTable::Transition> CollectorLivenessTable::tick(
+    std::uint64_t now_ns) {
+  std::vector<Transition> out;
+  for (std::uint32_t id = 0; id < rows_.size(); ++id) {
+    Row& row = rows_[id];
+    const std::uint64_t silence =
+        now_ns > row.last_seen_ns ? now_ns - row.last_seen_ns : 0;
+
+    CollectorHealth next = row.state;
+    if (silence <= config_.heartbeat_interval_ns) {
+      next = CollectorHealth::kAlive;
+    } else if (silence > config_.timeout_ns) {
+      next = CollectorHealth::kDead;
+    } else if (row.state != CollectorHealth::kDead) {
+      // A dead collector stays dead until a heartbeat proves otherwise —
+      // partial silence must not un-declare a death.
+      next = CollectorHealth::kSuspect;
+    }
+    if (next == row.state) continue;
+
+    if (next == CollectorHealth::kDead) {
+      ++stats_.deaths;
+      row.backoff_ns = config_.probe_backoff_initial_ns;
+      row.next_probe_ns = now_ns + row.backoff_ns;
+    } else if (row.state == CollectorHealth::kDead) {
+      ++stats_.recoveries;
+    }
+    row.state = next;
+    out.push_back({id, next});
+  }
+  return out;
+}
+
+bool CollectorLivenessTable::probe_due(std::uint32_t id, std::uint64_t now_ns) {
+  Row& row = rows_[id];
+  if (row.state != CollectorHealth::kDead || now_ns < row.next_probe_ns) {
+    return false;
+  }
+  ++stats_.probes;
+  row.backoff_ns = std::min(
+      static_cast<std::uint64_t>(static_cast<double>(row.backoff_ns) *
+                                 config_.probe_backoff_factor),
+      config_.probe_backoff_max_ns);
+  row.next_probe_ns = now_ns + row.backoff_ns;
+  return true;
+}
+
+std::optional<std::uint32_t> CollectorLivenessTable::next_alive(
+    std::uint32_t from) const noexcept {
+  const auto n = static_cast<std::uint32_t>(rows_.size());
+  for (std::uint32_t step = 1; step < n; ++step) {
+    const std::uint32_t id = (from + step) % n;
+    if (rows_[id].state == CollectorHealth::kAlive) return id;
+  }
+  return std::nullopt;
+}
+
 double DeploymentController::estimate_remap_fraction(
     std::uint32_t before, std::uint32_t after, std::uint32_t samples) const {
   if (before == 0 || after == 0 || samples == 0) return 0.0;

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -86,6 +87,86 @@ class DeploymentController {
   std::vector<RemoteStoreInfo> directory_;
   std::vector<AttachedSwitch> switches_;
   ControllerStats stats_;
+};
+
+// --- collector liveness ------------------------------------------------------
+//
+// Failure detection for the collector pool, driven by control-plane
+// heartbeats (the management network the §6 Python control plane runs over).
+// The table is pure bookkeeping — it never touches the network itself; the
+// fabric feeds it heartbeat() / probe_due() signals and reacts to the
+// transitions tick() reports (see telemetry/wire_fabric and docs/FAULTS.md).
+
+enum class CollectorHealth : std::uint8_t {
+  kAlive,    // heartbeats arriving on cadence
+  kSuspect,  // missed at least one interval, not yet timed out
+  kDead,     // silent past timeout_ns; traffic must be re-targeted
+};
+
+struct LivenessConfig {
+  std::uint64_t heartbeat_interval_ns = 1'000'000;  // expected cadence
+  std::uint64_t timeout_ns = 5'000'000;             // silence → kDead
+  // Exponential-backoff re-probe of a dead collector: first probe after
+  // `initial`, then ×`factor` per silent probe, capped at `max`.
+  std::uint64_t probe_backoff_initial_ns = 2'000'000;
+  double probe_backoff_factor = 2.0;
+  std::uint64_t probe_backoff_max_ns = 32'000'000;
+};
+
+struct LivenessStats {
+  std::uint64_t heartbeats = 0;
+  std::uint64_t deaths = 0;      // kAlive/kSuspect → kDead transitions
+  std::uint64_t recoveries = 0;  // kDead → kAlive transitions
+  std::uint64_t probes = 0;      // backoff probes issued while dead
+};
+
+class CollectorLivenessTable {
+ public:
+  struct Transition {
+    std::uint32_t collector_id;
+    CollectorHealth to;
+  };
+
+  CollectorLivenessTable(std::uint32_t n_collectors,
+                         const LivenessConfig& config,
+                         std::uint64_t now_ns = 0);
+
+  // A heartbeat (or successful probe response) from collector `id`.
+  void heartbeat(std::uint32_t id, std::uint64_t now_ns);
+
+  // Advances every collector's state machine to `now_ns` and returns the
+  // transitions that fired, in collector-id order (deterministic).
+  std::vector<Transition> tick(std::uint64_t now_ns);
+
+  // True when a dead collector's next backoff probe is due; issuing the
+  // probe advances the deadline by the (growing) backoff. A probe that gets
+  // answered shows up as a heartbeat, which tick() turns into a recovery.
+  [[nodiscard]] bool probe_due(std::uint32_t id, std::uint64_t now_ns);
+
+  [[nodiscard]] CollectorHealth health(std::uint32_t id) const noexcept {
+    return rows_[id].state;
+  }
+  // Deterministic backup selection: the first alive collector after `from`
+  // in ring order, or nullopt if every other collector is down.
+  [[nodiscard]] std::optional<std::uint32_t> next_alive(
+      std::uint32_t from) const noexcept;
+
+  [[nodiscard]] std::uint32_t size() const noexcept {
+    return static_cast<std::uint32_t>(rows_.size());
+  }
+  [[nodiscard]] const LivenessStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Row {
+    CollectorHealth state = CollectorHealth::kAlive;
+    std::uint64_t last_seen_ns = 0;
+    std::uint64_t next_probe_ns = 0;
+    std::uint64_t backoff_ns = 0;
+  };
+
+  LivenessConfig config_;
+  std::vector<Row> rows_;
+  LivenessStats stats_;
 };
 
 }  // namespace dart::core

@@ -13,12 +13,13 @@ constexpr std::uint16_t kMagicResponse = 0x4452;  // "DR"
 
 std::vector<std::byte> encode_query_request(const QueryRequest& req) {
   std::vector<std::byte> out;
-  out.reserve(14 + req.key.size());
+  out.reserve(18 + req.key.size());
   BufWriter w(out);
   w.be16(kMagicRequest);
   w.u8(kQueryProtocolVersion);
   w.u8(static_cast<std::uint8_t>(req.policy));
   w.be64(req.request_id);
+  w.be32(req.epoch);
   w.be16(static_cast<std::uint16_t>(req.key.size()));
   w.bytes(req.key);
   return out;
@@ -36,6 +37,7 @@ std::optional<QueryRequest> parse_query_request(
   }
   req.policy = static_cast<ReturnPolicy>(policy);
   req.request_id = r.be64();
+  req.epoch = r.be32();
   const std::uint16_t key_len = r.be16();
   const auto key = r.view(key_len);
   if (!r.ok() || key.size() != key_len || key_len == 0) return std::nullopt;
@@ -45,12 +47,15 @@ std::optional<QueryRequest> parse_query_request(
 
 std::vector<std::byte> encode_query_response(const QueryResponse& resp) {
   std::vector<std::byte> out;
-  out.reserve(16 + resp.value.size());
+  out.reserve(23 + resp.value.size());
   BufWriter w(out);
   w.be16(kMagicResponse);
   w.u8(kQueryProtocolVersion);
   w.u8(resp.outcome == QueryOutcome::kFound ? 1 : 0);
   w.be64(resp.request_id);
+  w.be32(resp.epoch);
+  w.u8(resp.flags);
+  w.be16(resp.stale_epochs);
   w.u8(resp.checksum_matches);
   w.u8(resp.distinct_values);
   w.be16(static_cast<std::uint16_t>(resp.value.size()));
@@ -66,6 +71,9 @@ std::optional<QueryResponse> parse_query_response(
   QueryResponse resp;
   resp.outcome = r.u8() != 0 ? QueryOutcome::kFound : QueryOutcome::kEmpty;
   resp.request_id = r.be64();
+  resp.epoch = r.be32();
+  resp.flags = r.u8();
+  resp.stale_epochs = r.be16();
   resp.checksum_matches = r.u8();
   resp.distinct_values = r.u8();
   const std::uint16_t value_len = r.be16();

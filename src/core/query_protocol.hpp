@@ -7,12 +7,22 @@
 // defines the wire format; query_service.hpp provides the collector-side
 // service node and the operator client for the fabric simulator.
 //
-// Request  (UDP, port 4800):
-//   [magic 0x4451 "DQ"][ver u8][policy u8][request id u64]
+// Request  (UDP, port 4800) — protocol v2:
+//   [magic 0x4451 "DQ"][ver u8][policy u8][request id u64][epoch u32]
 //   [key len u16][key bytes]
-// Response (UDP, port 4800):
-//   [magic 0x4452 "DR"][ver u8][outcome u8][request id u64]
+// Response (UDP, port 4800) — protocol v2:
+//   [magic 0x4452 "DR"][ver u8][outcome u8][request id u64][epoch u32]
+//   [flags u8][stale epochs u16]
 //   [checksum matches u8][distinct values u8][value len u16][value bytes]
+//
+// v2 (this revision) added three fields for the failure model
+// (docs/FAULTS.md): the response echoes the request's `epoch` so the client
+// can compute staleness against its own epoch counter even when responses
+// arrive out of order; `flags` bit 0 (kResponseDegraded) marks an answer
+// served from a backup collector or a store known to have lost reports; and
+// `stale_epochs` counts how many epochs of that key's data are missing or
+// suspect. v1 frames (no epoch/flags) are rejected by version check — the
+// operator and services deploy together in this model.
 #pragma once
 
 #include <cstdint>
@@ -25,20 +35,31 @@
 namespace dart::core {
 
 inline constexpr std::uint16_t kDartQueryUdpPort = 4800;
-inline constexpr std::uint8_t kQueryProtocolVersion = 1;
+inline constexpr std::uint8_t kQueryProtocolVersion = 2;
+
+// QueryResponse::flags bits.
+inline constexpr std::uint8_t kResponseDegraded = 0x01;
 
 struct QueryRequest {
   std::uint64_t request_id = 0;
+  std::uint32_t epoch = 0;  // client's epoch counter at send time
   ReturnPolicy policy = ReturnPolicy::kPlurality;
   std::vector<std::byte> key;
 };
 
 struct QueryResponse {
   std::uint64_t request_id = 0;
+  std::uint32_t epoch = 0;        // echoed from the request (staleness anchor)
+  std::uint8_t flags = 0;         // kResponseDegraded | reserved
+  std::uint16_t stale_epochs = 0; // epochs of this key's data missing/suspect
   QueryOutcome outcome = QueryOutcome::kEmpty;
   std::uint8_t checksum_matches = 0;
   std::uint8_t distinct_values = 0;
   std::vector<std::byte> value;  // present iff outcome == kFound
+
+  [[nodiscard]] bool degraded() const noexcept {
+    return (flags & kResponseDegraded) != 0;
+  }
 };
 
 [[nodiscard]] std::vector<std::byte> encode_query_request(const QueryRequest& req);

@@ -1,5 +1,7 @@
 #include "core/query_service.hpp"
 
+#include <algorithm>
+
 #include "common/cycles.hpp"
 
 namespace dart::core {
@@ -29,6 +31,12 @@ void QueryServiceNode::receive(net::Packet packet, std::uint64_t /*now_ns*/) {
     ++not_for_me_;
     return;
   }
+  // A dead collector's service answers nothing: the request stays pending
+  // at the operator until liveness detection re-targets it to a backup.
+  if (!online_) {
+    ++dropped_offline_;
+    return;
+  }
   const auto request = parse_query_request(frame->payload);
   if (!request) {
     ++malformed_;
@@ -49,8 +57,29 @@ void QueryServiceNode::receive(net::Packet packet, std::uint64_t /*now_ns*/) {
   }
   ++served_;
 
-  const auto response_payload =
-      encode_query_response(make_response(request->request_id, result));
+  auto response = make_response(request->request_id, result);
+  // v2: echo the request's epoch so the client can compute staleness even
+  // for out-of-order responses.
+  response.epoch = request->epoch;
+  // Degraded marking: answering for a dead peer's keys, or our own store is
+  // known lossy. An explicit flag beats silently returning garbage.
+  std::uint16_t stale = self_stale_epochs_;
+  bool degraded = self_stale_epochs_ > 0;
+  if (crafter_for_owner_ != nullptr && n_collectors_ > 0) {
+    const std::uint32_t owner =
+        crafter_for_owner_->collector_of(request->key, n_collectors_);
+    if (const auto it = takeovers_.find(owner); it != takeovers_.end()) {
+      degraded = true;
+      stale = std::max(stale, it->second);
+    }
+  }
+  if (degraded) {
+    response.flags |= kResponseDegraded;
+    response.stale_epochs = stale;
+    ++degraded_;
+  }
+
+  const auto response_payload = encode_query_response(response);
   const auto dest = resolver_(frame->ip.src);
   if (!dest) return;  // requester unreachable — drop, like real UDP
   auto reply =
@@ -69,6 +98,12 @@ void QueryServiceNode::bind_metrics(obs::MetricRegistry& registry,
   registry.counter_fn(prefix + "_query_not_for_me_total",
                       [this] { return not_for_me_; },
                       "well-formed frames addressed to another node");
+  registry.counter_fn(prefix + "_query_degraded_total",
+                      [this] { return degraded_; },
+                      "responses served with the degraded flag");
+  registry.counter_fn(prefix + "_query_dropped_offline_total",
+                      [this] { return dropped_offline_; },
+                      "requests eaten while the collector was offline");
   // Linear buckets 0..50us cover the N-slot read + vote for every store
   // size the tests use; outliers clamp to the top bucket.
   resolve_hist_ = &registry.histogram(
@@ -79,12 +114,18 @@ void QueryServiceNode::bind_metrics(obs::MetricRegistry& registry,
 std::uint64_t OperatorClient::query(std::span<const std::byte> key,
                                     ReturnPolicy policy) {
   // Fig. 2, steps 1-2: hash the key to its collector, look up the address.
-  const std::uint32_t collector = crafter_->collector_of(
+  std::uint32_t collector = crafter_->collector_of(
       key, static_cast<std::uint32_t>(service_ips_.size()));
+  // Failover redirect: keys owned by a dead collector resolve to its backup
+  // (the directory row liveness re-pointed; see docs/FAULTS.md).
+  if (const auto it = retargets_.find(collector); it != retargets_.end()) {
+    collector = it->second;
+  }
   const net::Ipv4Addr service_ip = service_ips_[collector];
 
   QueryRequest request;
   request.request_id = next_id_++;
+  request.epoch = epoch_;
   request.policy = policy;
   request.key.assign(key.begin(), key.end());
 
@@ -121,6 +162,7 @@ void OperatorClient::receive(net::Packet packet, std::uint64_t /*now_ns*/) {
   }
   outstanding_.erase(it);
   ++received_;
+  if (response->degraded()) ++degraded_;
   responses_[response->request_id] = *response;
 }
 
@@ -146,6 +188,9 @@ void OperatorClient::bind_metrics(obs::MetricRegistry& registry,
   registry.counter_fn(prefix + "_operator_responses_unexpected_total",
                       [this] { return unexpected_; },
                       "duplicate/replayed/unknown-id responses");
+  registry.counter_fn(prefix + "_operator_responses_degraded_total",
+                      [this] { return degraded_; },
+                      "accepted responses flagged degraded");
   registry.gauge_fn(prefix + "_operator_pending",
                     [this] { return static_cast<double>(pending()); },
                     "requests in flight");

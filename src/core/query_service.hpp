@@ -55,6 +55,35 @@ class QueryServiceNode final : public net::Node {
   // Call once per registry; the registry must outlive this node's use.
   void bind_metrics(obs::MetricRegistry& registry, const std::string& prefix);
 
+  // --- degradation control plane (docs/FAULTS.md) --------------------------
+
+  // Ownership hash for takeover marking: with these set, a served key whose
+  // hashed owner is under takeover gets the degraded flag.
+  void set_deployment(const ReportCrafter* crafter,
+                      std::uint32_t n_collectors) noexcept {
+    crafter_for_owner_ = crafter;
+    n_collectors_ = n_collectors;
+  }
+
+  // A dead collector's service answers nothing (count: dropped_offline).
+  void set_online(bool online) noexcept { online_ = online; }
+  [[nodiscard]] bool online() const noexcept { return online_; }
+
+  // This service is answering for dead collector `owner_id`; answers for
+  // that owner's keys carry the degraded flag plus the epochs of data that
+  // were lost with the owner (in-flight reports are lost by design).
+  void begin_takeover(std::uint32_t owner_id, std::uint16_t stale_epochs) {
+    takeovers_[owner_id] = stale_epochs;
+  }
+  void end_takeover(std::uint32_t owner_id) { takeovers_.erase(owner_id); }
+
+  // Local degradation: this collector's own store lost reports (QP error /
+  // RNIC stall window); every answer is flagged until cleared.
+  void set_self_degraded(std::uint16_t stale_epochs) noexcept {
+    self_stale_epochs_ = stale_epochs;
+  }
+  void clear_self_degraded() noexcept { self_stale_epochs_ = 0; }
+
   [[nodiscard]] net::Ipv4Addr ip() const noexcept { return ip_; }
   [[nodiscard]] std::uint64_t requests_served() const noexcept {
     return served_;
@@ -67,14 +96,29 @@ class QueryServiceNode final : public net::Node {
   [[nodiscard]] std::uint64_t not_for_me() const noexcept {
     return not_for_me_;
   }
+  // Served responses that carried the degraded flag.
+  [[nodiscard]] std::uint64_t degraded_served() const noexcept {
+    return degraded_;
+  }
+  // Requests eaten while offline (the collector is dead).
+  [[nodiscard]] std::uint64_t dropped_offline() const noexcept {
+    return dropped_offline_;
+  }
 
  private:
   Collector* collector_;
   net::Ipv4Addr ip_;
   IpResolver resolver_;
+  const ReportCrafter* crafter_for_owner_ = nullptr;
+  std::uint32_t n_collectors_ = 0;
+  std::unordered_map<std::uint32_t, std::uint16_t> takeovers_;
+  std::uint16_t self_stale_epochs_ = 0;
+  bool online_ = true;
   std::uint64_t served_ = 0;
   std::uint64_t malformed_ = 0;
   std::uint64_t not_for_me_ = 0;
+  std::uint64_t degraded_ = 0;
+  std::uint64_t dropped_offline_ = 0;
   obs::Histogram* resolve_hist_ = nullptr;  // owned by the bound registry
   std::uint32_t resolve_sample_every_ = 8;
   std::uint64_t resolve_samples_ = 0;
@@ -101,6 +145,21 @@ class OperatorClient final : public net::Node {
   // Registers this client's counters under `<prefix>_operator_*`.
   void bind_metrics(obs::MetricRegistry& registry, const std::string& prefix);
 
+  // --- failover control plane (docs/FAULTS.md) -----------------------------
+
+  // The operator's epoch counter, stamped into every request and echoed by
+  // the service so staleness is computable per response.
+  void set_epoch(std::uint32_t epoch) noexcept { epoch_ = epoch; }
+  [[nodiscard]] std::uint32_t epoch() const noexcept { return epoch_; }
+
+  // Redirects queries for keys owned by dead collector `owner_id` to the
+  // backup's query service (the directory update the controller pushes when
+  // liveness declares a death). clear_retarget undoes it on recovery.
+  void retarget(std::uint32_t owner_id, std::uint32_t backup_id) {
+    retargets_[owner_id] = backup_id;
+  }
+  void clear_retarget(std::uint32_t owner_id) { retargets_.erase(owner_id); }
+
   [[nodiscard]] net::Ipv4Addr ip() const noexcept { return ip_; }
   // Requests sent and not yet answered (first matching response retires one).
   [[nodiscard]] std::size_t pending() const noexcept {
@@ -120,6 +179,11 @@ class OperatorClient final : public net::Node {
   [[nodiscard]] std::uint64_t unexpected_responses() const noexcept {
     return unexpected_;
   }
+  // Accepted responses that carried the degraded flag — the operator-visible
+  // signal that an answer came from a backup or a lossy store.
+  [[nodiscard]] std::uint64_t degraded_responses() const noexcept {
+    return degraded_;
+  }
 
  private:
   const ReportCrafter* crafter_;
@@ -128,11 +192,14 @@ class OperatorClient final : public net::Node {
   IpResolver resolver_;
   std::unordered_map<std::uint64_t, QueryResponse> responses_;
   std::unordered_set<std::uint64_t> outstanding_;
+  std::unordered_map<std::uint32_t, std::uint32_t> retargets_;
+  std::uint32_t epoch_ = 0;
   std::uint64_t next_id_ = 1;
   std::uint64_t sent_ = 0;
   std::uint64_t received_ = 0;
   std::uint64_t stray_ = 0;
   std::uint64_t unexpected_ = 0;
+  std::uint64_t degraded_ = 0;
 };
 
 }  // namespace dart::core

@@ -1,0 +1,105 @@
+#include "fault/fault_plan.hpp"
+
+#include "common/random.hpp"
+
+namespace dart::fault {
+
+const char* to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kKillCollector: return "collector_kills";
+    case FaultKind::kReviveCollector: return "collector_revivals";
+    case FaultKind::kStallRnic: return "rnic_stalls";
+    case FaultKind::kErrorQp: return "qp_errors";
+    case FaultKind::kReconnectQp: return "qp_reconnects";
+    case FaultKind::kPartitionLink: return "link_partitions";
+    case FaultKind::kHealLink: return "link_heals";
+    case FaultKind::kCorruptLink: return "link_corruptions";
+  }
+  return "unknown";
+}
+
+FaultPlan& FaultPlan::add(FaultEvent event) {
+  events_.push_back(event);
+  return *this;
+}
+
+FaultPlan& FaultPlan::kill_collector(std::uint64_t at_ns,
+                                     std::uint32_t collector) {
+  return add({at_ns, FaultKind::kKillCollector, collector, 0, 0.0});
+}
+
+FaultPlan& FaultPlan::revive_collector(std::uint64_t at_ns,
+                                       std::uint32_t collector) {
+  return add({at_ns, FaultKind::kReviveCollector, collector, 0, 0.0});
+}
+
+FaultPlan& FaultPlan::stall_rnic(std::uint64_t at_ns, std::uint32_t collector,
+                                 std::uint64_t frames) {
+  return add({at_ns, FaultKind::kStallRnic, collector, frames, 0.0});
+}
+
+FaultPlan& FaultPlan::error_qp(std::uint64_t at_ns, std::uint32_t collector,
+                               std::uint64_t drain_ns) {
+  add({at_ns, FaultKind::kErrorQp, collector, 0, 0.0});
+  if (drain_ns > 0) reconnect_qp(at_ns + drain_ns, collector);
+  return *this;
+}
+
+FaultPlan& FaultPlan::reconnect_qp(std::uint64_t at_ns,
+                                   std::uint32_t collector) {
+  return add({at_ns, FaultKind::kReconnectQp, collector, 0, 0.0});
+}
+
+FaultPlan& FaultPlan::partition_link(std::uint64_t at_ns, net::LinkId link) {
+  return add({at_ns, FaultKind::kPartitionLink, link, 0, 0.0});
+}
+
+FaultPlan& FaultPlan::heal_link(std::uint64_t at_ns, net::LinkId link) {
+  return add({at_ns, FaultKind::kHealLink, link, 0, 0.0});
+}
+
+FaultPlan& FaultPlan::corrupt_link(std::uint64_t at_ns, net::LinkId link,
+                                   double rate) {
+  return add({at_ns, FaultKind::kCorruptLink, link, 0, rate});
+}
+
+FaultPlan& FaultPlan::clear_corruption(std::uint64_t at_ns, net::LinkId link) {
+  return add({at_ns, FaultKind::kCorruptLink, link, 0, 0.0});
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, std::uint32_t n_collectors,
+                            std::uint32_t n_links, std::uint64_t horizon_ns) {
+  FaultPlan plan;
+  if (n_collectors == 0 || horizon_ns == 0) return plan;
+  Xoshiro256 rng(seed);
+  const auto t = [&](double lo, double hi) {
+    return static_cast<std::uint64_t>(
+        (lo + (hi - lo) * rng.uniform()) * static_cast<double>(horizon_ns));
+  };
+
+  // One kill/revive pair (needs a surviving backup to be interesting).
+  if (n_collectors > 1) {
+    const auto victim = static_cast<std::uint32_t>(rng.below(n_collectors));
+    plan.kill_collector(t(0.10, 0.25), victim);
+    plan.revive_collector(t(0.55, 0.70), victim);
+  }
+  // One RNIC stall and one QP error-with-drain on random collectors.
+  plan.stall_rnic(t(0.05, 0.40),
+                  static_cast<std::uint32_t>(rng.below(n_collectors)),
+                  1 + rng.below(64));
+  plan.error_qp(t(0.20, 0.45),
+                static_cast<std::uint32_t>(rng.below(n_collectors)),
+                horizon_ns / 10);
+  // One partition/heal pair and one corruption window on random links.
+  if (n_links > 0) {
+    const auto link = static_cast<net::LinkId>(rng.below(n_links));
+    plan.partition_link(t(0.15, 0.35), link);
+    plan.heal_link(t(0.45, 0.60), link);
+    const auto dirty = static_cast<net::LinkId>(rng.below(n_links));
+    plan.corrupt_link(t(0.10, 0.30), dirty, 0.5 + 0.5 * rng.uniform());
+    plan.clear_corruption(t(0.50, 0.75), dirty);
+  }
+  return plan;
+}
+
+}  // namespace dart::fault

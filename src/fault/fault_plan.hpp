@@ -1,0 +1,106 @@
+// FaultPlan — deterministic, schedule-driven fault injection (docs/FAULTS.md).
+//
+// A plan is an explicit list of (time, fault) events built up front by a
+// test, bench, or chaos tool and armed once on a fabric's simulator
+// (FaultInjector::arm). Nothing about execution is random: events fire at
+// their scheduled simulated time, same-time events fire in insertion order
+// (the simulator's seq tie-break), and the only randomness — which byte a
+// corrupting link damages, which packets a lossy window eats — comes from
+// the fabric's own seeded RNG. A given (plan, fabric seed) pair therefore
+// replays identically, which is what makes chaos results diffable across
+// PRs.
+//
+// The injection points the plan drives are zero-cost when disarmed: a link
+// tests one bool (`up`) and one double (`corrupt_rate`) it already has in
+// cache, the RNIC tests one relaxed-atomic stall counter that reads 0, and
+// the QP tests one relaxed-atomic state byte that reads kReady. A fabric
+// with no armed plan executes the exact same instruction stream as before
+// this subsystem existed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "net/netsim.hpp"
+
+namespace dart::fault {
+
+enum class FaultKind : std::uint8_t {
+  kKillCollector,    // process death: heartbeats stop, QP errors, queries eaten
+  kReviveCollector,  // process restart: backoff re-probes will detect it
+  kStallRnic,        // RNIC drops the next `param` inbound frames pre-parse
+  kErrorQp,          // the collector's report QP enters the Error state
+  kReconnectQp,      // drain done: QP back to Ready at a fresh PSN
+  kPartitionLink,    // link down — packets eaten, counted partitioned
+  kHealLink,         // link back up
+  kCorruptLink,      // per-packet payload bit damage at probability `rate`
+};
+inline constexpr std::size_t kFaultKinds = 8;
+
+// Metric-friendly slug, e.g. "collector_kills" (see register_metrics).
+[[nodiscard]] const char* to_string(FaultKind kind) noexcept;
+
+struct FaultEvent {
+  std::uint64_t at_ns = 0;
+  FaultKind kind = FaultKind::kKillCollector;
+  std::uint32_t target = 0;  // collector id, or link id for link faults
+  std::uint64_t param = 0;   // kStallRnic: frames to drop
+  double rate = 0.0;         // kCorruptLink: corruption probability
+};
+
+// Injection tallies, by kind, filled in by FaultInjector as events fire.
+struct FaultStats {
+  std::array<std::uint64_t, kFaultKinds> injected{};
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto v : injected) n += v;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t of(FaultKind kind) const noexcept {
+    return injected[static_cast<std::size_t>(kind)];
+  }
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  FaultPlan& kill_collector(std::uint64_t at_ns, std::uint32_t collector);
+  FaultPlan& revive_collector(std::uint64_t at_ns, std::uint32_t collector);
+  FaultPlan& stall_rnic(std::uint64_t at_ns, std::uint32_t collector,
+                        std::uint64_t frames);
+  // Errors the report QP at `at_ns`; when `drain_ns` > 0 the drain completes
+  // and the QP reconnects (fresh PSN) at `at_ns + drain_ns`. With 0 the QP
+  // stays wedged until something else reconnects it.
+  FaultPlan& error_qp(std::uint64_t at_ns, std::uint32_t collector,
+                      std::uint64_t drain_ns = 0);
+  FaultPlan& reconnect_qp(std::uint64_t at_ns, std::uint32_t collector);
+  FaultPlan& partition_link(std::uint64_t at_ns, net::LinkId link);
+  FaultPlan& heal_link(std::uint64_t at_ns, net::LinkId link);
+  FaultPlan& corrupt_link(std::uint64_t at_ns, net::LinkId link, double rate);
+  FaultPlan& clear_corruption(std::uint64_t at_ns, net::LinkId link);
+
+  // Seeded pseudo-random plan over `horizon_ns`: every fault class appears,
+  // targets and times drawn from `seed` — the chaos-fuzz entry point. Every
+  // kill is paired with a later revive and every partition with a heal, so
+  // the run can be asserted to converge back to a healthy fabric.
+  [[nodiscard]] static FaultPlan random(std::uint64_t seed,
+                                        std::uint32_t n_collectors,
+                                        std::uint32_t n_links,
+                                        std::uint64_t horizon_ns);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+
+ private:
+  FaultPlan& add(FaultEvent event);
+
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace dart::fault

@@ -1,0 +1,75 @@
+#include "fault/injector.hpp"
+
+#include "core/collector.hpp"
+
+namespace dart::fault {
+
+void FaultInjector::arm(const FaultPlan& plan) {
+  for (const FaultEvent& event : plan.events()) {
+    fabric_->simulator().schedule(event.at_ns,
+                                  [this, event] { apply(event); });
+  }
+}
+
+void FaultInjector::apply(const FaultEvent& event) {
+  ++stats_.injected[static_cast<std::size_t>(event.kind)];
+  auto& sim = fabric_->simulator();
+  const auto report_qp = [&](std::uint32_t c) {
+    return fabric_->cluster().collector(c).rnic().qp(
+        core::Collector::qpn_for(c));
+  };
+
+  switch (event.kind) {
+    case FaultKind::kKillCollector:
+      if (recovery_ != nullptr) {
+        recovery_->kill_collector(event.target);
+      } else {
+        if (auto* qs = fabric_->query_service(event.target)) {
+          qs->set_online(false);
+        }
+        if (auto* qp = report_qp(event.target)) qp->set_error();
+      }
+      break;
+    case FaultKind::kReviveCollector:
+      if (recovery_ != nullptr) {
+        recovery_->revive_collector(event.target);
+      } else {
+        if (auto* qs = fabric_->query_service(event.target)) {
+          qs->set_online(true);
+        }
+        fabric_->reconnect_collector_qp(event.target);
+      }
+      break;
+    case FaultKind::kStallRnic:
+      fabric_->cluster().collector(event.target).rnic().stall(event.param);
+      break;
+    case FaultKind::kErrorQp:
+      if (auto* qp = report_qp(event.target)) qp->set_error();
+      break;
+    case FaultKind::kReconnectQp:
+      fabric_->reconnect_collector_qp(event.target);
+      break;
+    case FaultKind::kPartitionLink:
+      sim.set_link_up(event.target, false);
+      break;
+    case FaultKind::kHealLink:
+      sim.set_link_up(event.target, true);
+      break;
+    case FaultKind::kCorruptLink:
+      sim.set_link_corruption(event.target, event.rate);
+      break;
+  }
+}
+
+void FaultInjector::register_metrics(obs::MetricRegistry& registry,
+                                     const std::string& prefix) {
+  for (std::size_t k = 0; k < kFaultKinds; ++k) {
+    const auto kind = static_cast<FaultKind>(k);
+    registry.counter_fn(
+        prefix + "_fault_" + to_string(kind) + "_total",
+        [this, k] { return stats_.injected[k]; },
+        std::string("injected faults: ") + to_string(kind));
+  }
+}
+
+}  // namespace dart::fault

@@ -1,0 +1,51 @@
+// FaultInjector — arms a FaultPlan on a live WireFabric.
+//
+// Each event is scheduled as a simulator callback at its fault time, so
+// faults interleave deterministically with the workload's own packet
+// events. The injector only flips the zero-cost injection points the lower
+// layers expose (link up/corrupt bits, RNIC stall counter, QP state byte);
+// all *recovery* behavior — detection, failover, failback — belongs to the
+// RecoveryManager, which reacts to the faults like a real control plane
+// would: by observing their symptoms, not the injection itself.
+//
+// Without a RecoveryManager attached, kill/revive degrade to their
+// mechanical effect (query service offline/online + report QP error /
+// reconnect) and nothing re-targets — the "no failure handling" baseline
+// the ablation bench measures against.
+#pragma once
+
+#include <string>
+
+#include "fault/fault_plan.hpp"
+#include "fault/recovery.hpp"
+#include "obs/metric.hpp"
+#include "telemetry/wire_fabric.hpp"
+
+namespace dart::fault {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(telemetry::WireFabric& fabric,
+                         RecoveryManager* recovery = nullptr)
+      : fabric_(&fabric), recovery_(recovery) {}
+
+  // Schedules every event of `plan` (absolute simulated times) on the
+  // fabric's simulator. The plan is copied; arming twice arms twice.
+  void arm(const FaultPlan& plan);
+
+  // Applies one event immediately (tests drive this directly).
+  void apply(const FaultEvent& event);
+
+  [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
+
+  // Registers per-kind injection counters under `<prefix>_fault_*_total`.
+  void register_metrics(obs::MetricRegistry& registry,
+                        const std::string& prefix);
+
+ private:
+  telemetry::WireFabric* fabric_;
+  RecoveryManager* recovery_;
+  FaultStats stats_;
+};
+
+}  // namespace dart::fault

@@ -1,0 +1,172 @@
+#include "fault/recovery.hpp"
+
+#include "core/collector.hpp"
+
+namespace dart::fault {
+
+RecoveryManager::RecoveryManager(telemetry::WireFabric& fabric,
+                                 const RecoveryConfig& config)
+    : fabric_(&fabric), config_(config),
+      liveness_(fabric.n_collectors(), config.liveness,
+                fabric.simulator().now_ns()),
+      admin_alive_(fabric.n_collectors(), 1) {}
+
+void RecoveryManager::start(std::uint64_t horizon_ns) {
+  horizon_ns_ = horizon_ns;
+  const std::uint64_t now = fabric_->simulator().now_ns();
+  schedule_heartbeats(now + config_.liveness.heartbeat_interval_ns);
+  schedule_tick(now + config_.tick_interval_ns);
+}
+
+void RecoveryManager::schedule_heartbeats(std::uint64_t at_ns) {
+  if (at_ns > horizon_ns_) return;
+  fabric_->simulator().schedule(at_ns, [this, at_ns] {
+    for (std::uint32_t c = 0; c < liveness_.size(); ++c) {
+      // A collector already declared dead does not rejoin via the ambient
+      // heartbeat stream — the controller ignores it until a backoff probe
+      // confirms the process (prevents a flapping process from bouncing the
+      // key range on every beat).
+      if (admin_alive_[c] &&
+          liveness_.health(c) != core::CollectorHealth::kDead) {
+        liveness_.heartbeat(c, at_ns);
+      }
+    }
+    schedule_heartbeats(at_ns + config_.liveness.heartbeat_interval_ns);
+  });
+}
+
+void RecoveryManager::schedule_tick(std::uint64_t at_ns) {
+  if (at_ns > horizon_ns_) return;
+  fabric_->simulator().schedule(at_ns, [this, at_ns] {
+    on_tick(at_ns);
+    schedule_tick(at_ns + config_.tick_interval_ns);
+  });
+}
+
+void RecoveryManager::on_tick(std::uint64_t now_ns) {
+  for (const auto& tr : liveness_.tick(now_ns)) {
+    if (tr.to == core::CollectorHealth::kDead) {
+      on_death(tr.collector_id, now_ns);
+    } else if (tr.to == core::CollectorHealth::kAlive &&
+               backups_.count(tr.collector_id) > 0) {
+      on_recovery(tr.collector_id, now_ns);
+    }
+  }
+  // Backoff re-probe of dead collectors: a probe reaches the process only
+  // if it is actually back up; the answer lands as a heartbeat, which the
+  // next tick turns into a kAlive transition.
+  for (std::uint32_t c = 0; c < liveness_.size(); ++c) {
+    if (liveness_.health(c) == core::CollectorHealth::kDead &&
+        liveness_.probe_due(c, now_ns) && admin_alive_[c]) {
+      ++stats_.probes_answered;
+      liveness_.heartbeat(c, now_ns);
+    }
+  }
+}
+
+void RecoveryManager::on_death(std::uint32_t c, std::uint64_t now_ns) {
+  ++stats_.deaths_detected;
+  log_.push_back({now_ns, EventRecord::What::kDeathDetected, c, 0});
+  const auto backup = liveness_.next_alive(c);
+  if (!backup) return;  // every other collector is down: nothing to fail to
+  backups_[c] = *backup;
+  fabric_->retarget_collector(c, *backup);
+  if (auto* qs = fabric_->query_service(*backup)) {
+    qs->begin_takeover(c, config_.takeover_stale_epochs);
+  }
+  if (auto* op = fabric_->operator_client()) op->retarget(c, *backup);
+  ++stats_.takeovers;
+  log_.push_back({now_ns, EventRecord::What::kTakeover, c, *backup});
+}
+
+void RecoveryManager::on_recovery(std::uint32_t c, std::uint64_t now_ns) {
+  fabric_->restore_collector(c);
+  const auto it = backups_.find(c);
+  const std::uint32_t backup = it != backups_.end() ? it->second : c;
+  if (it != backups_.end()) {
+    if (auto* qs = fabric_->query_service(it->second)) qs->end_takeover(c);
+    backups_.erase(it);
+  }
+  if (auto* op = fabric_->operator_client()) op->clear_retarget(c);
+  if (auto* qs = fabric_->query_service(c)) {
+    qs->set_online(true);
+    // The store is cold for everything that happened while dead; answers
+    // carry the degraded flag until acknowledge_repopulated.
+    qs->set_self_degraded(config_.takeover_stale_epochs);
+  }
+  ++stats_.failbacks;
+  log_.push_back({now_ns, EventRecord::What::kFailback, c, backup});
+}
+
+void RecoveryManager::kill_collector(std::uint32_t c) {
+  ++stats_.kills;
+  admin_alive_[c] = 0;
+  if (auto* qs = fabric_->query_service(c)) qs->set_online(false);
+  // The dead process's QPs refuse everything; reports in flight are lost by
+  // design (the paper's best-effort stance — no switch retransmission).
+  if (auto* qp = fabric_->cluster().collector(c).rnic().qp(
+          core::Collector::qpn_for(c))) {
+    qp->set_error();
+  }
+}
+
+void RecoveryManager::revive_collector(std::uint32_t c) {
+  ++stats_.revivals;
+  admin_alive_[c] = 1;
+  // Nothing else happens here: the process is up but unannounced. The next
+  // answered re-probe produces a heartbeat, the tick declares recovery, and
+  // on_recovery() performs the failback.
+}
+
+void RecoveryManager::acknowledge_repopulated(std::uint32_t c) {
+  if (auto* qs = fabric_->query_service(c)) qs->clear_self_degraded();
+}
+
+std::optional<std::uint32_t> RecoveryManager::backup_of(
+    std::uint32_t c) const {
+  const auto it = backups_.find(c);
+  if (it == backups_.end()) return std::nullopt;
+  return it->second;
+}
+
+void RecoveryManager::register_metrics(obs::MetricRegistry& registry,
+                                       const std::string& prefix) {
+  const std::string p = prefix + "_recovery_";
+  registry.counter_fn(p + "kills_total", [this] { return stats_.kills; },
+                      "collector processes killed (admin)");
+  registry.counter_fn(p + "revivals_total",
+                      [this] { return stats_.revivals; },
+                      "collector processes revived (admin)");
+  registry.counter_fn(p + "deaths_detected_total",
+                      [this] { return stats_.deaths_detected; },
+                      "liveness kDead transitions handled");
+  registry.counter_fn(p + "takeovers_total",
+                      [this] { return stats_.takeovers; },
+                      "key ranges re-targeted to a backup");
+  registry.counter_fn(p + "failbacks_total",
+                      [this] { return stats_.failbacks; },
+                      "key ranges restored to their owner");
+  registry.counter_fn(p + "probes_answered_total",
+                      [this] { return stats_.probes_answered; },
+                      "re-probes that reached a live process");
+  const auto& ls = liveness_.stats();
+  registry.counter_fn(p + "heartbeats_total",
+                      [&ls] { return ls.heartbeats; },
+                      "heartbeats recorded by the liveness table");
+  registry.counter_fn(p + "probes_total", [&ls] { return ls.probes; },
+                      "backoff probes issued while dead");
+  registry.gauge_fn(p + "collectors_dead",
+                    [this] {
+                      double n = 0;
+                      for (std::uint32_t c = 0; c < liveness_.size(); ++c) {
+                        if (liveness_.health(c) ==
+                            core::CollectorHealth::kDead) {
+                          ++n;
+                        }
+                      }
+                      return n;
+                    },
+                    "collectors currently declared dead");
+}
+
+}  // namespace dart::fault

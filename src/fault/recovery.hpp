@@ -1,0 +1,128 @@
+// RecoveryManager — the control-plane loop that turns collector failures
+// into failover, and recoveries into failback (docs/FAULTS.md).
+//
+// Detection follows the management-plane model of §6: every live collector
+// heartbeats into a core::CollectorLivenessTable on a fixed cadence; a
+// periodic tick advances the per-collector state machine
+// (alive → suspect → dead) and, once a collector is declared dead, issues
+// exponential-backoff re-probes until one is answered. The manager reacts to
+// the table's transitions:
+//
+//   → kDead:  pick the backup (first alive collector after the dead one in
+//             ring order), re-point every switch's lookup-table row at the
+//             backup (WireFabric::retarget_collector — the backup adopts the
+//             dead stream's QPN at a fresh PSN), mark the backup's query
+//             service as answering for the dead key range (degraded flag +
+//             stale-epoch count), and redirect the operator's queries.
+//   → kAlive (from kDead): undo all of it — the recovered collector takes
+//             its rows back at a fresh PSN, the takeover ends, and the
+//             recovered service answers flagged degraded until its store is
+//             repopulated (acknowledge_repopulated, typically after the next
+//             epoch rotation).
+//
+// Everything runs as simulator events, so detection latency, backoff
+// growth, and failover timing are all deterministic and assertable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/control.hpp"
+#include "obs/metric.hpp"
+#include "telemetry/wire_fabric.hpp"
+
+namespace dart::fault {
+
+struct RecoveryConfig {
+  core::LivenessConfig liveness{};
+  // Liveness state-machine advance cadence (the management CPU's poll loop).
+  std::uint64_t tick_interval_ns = 500'000;
+  // Epochs of an adopted key range the backup cannot serve: reports written
+  // before the death sit in the dead store, in-flight ones are lost by
+  // design, and the backup starts cold for those keys.
+  std::uint16_t takeover_stale_epochs = 1;
+};
+
+struct RecoveryStats {
+  std::uint64_t kills = 0;            // admin kill_collector calls
+  std::uint64_t revivals = 0;         // admin revive_collector calls
+  std::uint64_t deaths_detected = 0;  // liveness kDead transitions handled
+  std::uint64_t takeovers = 0;        // key ranges re-targeted to a backup
+  std::uint64_t failbacks = 0;        // key ranges restored to their owner
+  std::uint64_t probes_answered = 0;  // re-probes that reached a live process
+};
+
+class RecoveryManager {
+ public:
+  // What happened and when (simulated time) — the audit log chaos tests
+  // assert detection/failover latency against.
+  struct EventRecord {
+    enum class What : std::uint8_t {
+      kDeathDetected,
+      kTakeover,
+      kFailback,
+    };
+    std::uint64_t at_ns;
+    What what;
+    std::uint32_t collector;
+    std::uint32_t backup;  // kTakeover/kFailback: the backup involved
+  };
+
+  RecoveryManager(telemetry::WireFabric& fabric, const RecoveryConfig& config);
+
+  // Schedules the heartbeat and liveness-tick event chains from the
+  // simulator's current time up to `horizon_ns` (absolute simulated time).
+  // Call once, before driving the workload; faults must land inside the
+  // horizon for detection to observe them.
+  void start(std::uint64_t horizon_ns);
+
+  // Admin/process view, driven by FaultInjector (or tests directly): a
+  // killed collector stops heartbeating, its report QP errors (in-flight
+  // reports are refused), and its query service eats requests. A revived
+  // collector resumes answering probes; detection handles the rest.
+  void kill_collector(std::uint32_t c);
+  void revive_collector(std::uint32_t c);
+
+  // The recovered (or takeover-ended) collector's store has been
+  // repopulated — e.g. the next epoch rotated in — so its answers stop
+  // carrying the degraded flag.
+  void acknowledge_repopulated(std::uint32_t c);
+
+  [[nodiscard]] const core::CollectorLivenessTable& liveness() const noexcept {
+    return liveness_;
+  }
+  [[nodiscard]] bool admin_alive(std::uint32_t c) const noexcept {
+    return admin_alive_[c] != 0;
+  }
+  // Backup currently covering dead collector `c`, if a takeover is active.
+  [[nodiscard]] std::optional<std::uint32_t> backup_of(std::uint32_t c) const;
+  [[nodiscard]] const RecoveryStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const std::vector<EventRecord>& log() const noexcept {
+    return log_;
+  }
+
+  // Registers recovery + liveness counters under `<prefix>_recovery_*`.
+  void register_metrics(obs::MetricRegistry& registry,
+                        const std::string& prefix);
+
+ private:
+  void schedule_heartbeats(std::uint64_t at_ns);
+  void schedule_tick(std::uint64_t at_ns);
+  void on_tick(std::uint64_t now_ns);
+  void on_death(std::uint32_t c, std::uint64_t now_ns);
+  void on_recovery(std::uint32_t c, std::uint64_t now_ns);
+
+  telemetry::WireFabric* fabric_;
+  RecoveryConfig config_;
+  core::CollectorLivenessTable liveness_;
+  std::vector<std::uint8_t> admin_alive_;
+  std::unordered_map<std::uint32_t, std::uint32_t> backups_;  // dead → backup
+  RecoveryStats stats_;
+  std::vector<EventRecord> log_;
+  std::uint64_t horizon_ns_ = 0;
+};
+
+}  // namespace dart::fault

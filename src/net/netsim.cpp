@@ -60,9 +60,26 @@ Link* Simulator::find_link(NodeId from, NodeId to) noexcept {
 void Simulator::send(NodeId from, NodeId to, Packet packet) {
   Link* link = find_link(from, to);
   assert(link != nullptr && "send over a link that does not exist");
+  if (!link->up) {
+    // Partitioned link: silently eats packets, like a dead cable. Counted
+    // separately from loss-model drops so conservation checks can tell an
+    // injected partition from ambient report loss.
+    ++link->stats.partitioned;
+    return;
+  }
   if (link->loss->drop(rng_)) {
     ++link->stats.dropped;
     return;
+  }
+  if (link->corrupt_rate > 0.0 && rng_.chance(link->corrupt_rate) &&
+      !packet.bytes().empty()) {
+    // Flip one bit of one byte in the back half of the frame (headers stay
+    // parsable; the iCRC at the receiver is what should catch this).
+    auto bytes = packet.mutable_bytes();
+    const std::size_t at = bytes.size() / 2 + rng_.below(bytes.size() -
+                                                         bytes.size() / 2);
+    bytes[at] ^= std::byte{0x10};
+    ++link->stats.corrupted;
   }
 
   std::uint64_t deliver_at;
@@ -135,6 +152,18 @@ std::uint64_t Simulator::total_dropped() const noexcept {
 std::uint64_t Simulator::total_queue_drops() const noexcept {
   std::uint64_t n = 0;
   for (const auto& l : links_) n += l.stats.queue_drops;
+  return n;
+}
+
+std::uint64_t Simulator::total_partitioned() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& l : links_) n += l.stats.partitioned;
+  return n;
+}
+
+std::uint64_t Simulator::total_corrupted() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& l : links_) n += l.stats.corrupted;
   return n;
 }
 

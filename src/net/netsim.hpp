@@ -125,6 +125,8 @@ struct LinkStats {
   std::uint64_t delivered = 0;
   std::uint64_t dropped = 0;       // loss-model drops
   std::uint64_t queue_drops = 0;   // tail drops at a full egress queue
+  std::uint64_t partitioned = 0;   // dropped while the link was down
+  std::uint64_t corrupted = 0;     // delivered with injected byte damage
   std::uint32_t max_queue = 0;     // high-water mark of queued packets
 };
 
@@ -144,6 +146,8 @@ struct Link {
   LinkShape shape;
   std::uint64_t busy_until_ns = 0;  // when the serializer frees up
   std::uint32_t queued = 0;         // packets waiting or serializing
+  bool up = true;                   // false = administratively partitioned
+  double corrupt_rate = 0.0;        // per-packet byte-corruption probability
   LinkStats stats;
 };
 
@@ -177,6 +181,21 @@ class Simulator {
   // Schedule a callback at absolute simulated time.
   void schedule(std::uint64_t at_ns, std::function<void()> fn);
 
+  // --- fault-injection control plane (src/fault) ---------------------------
+  // All of these are zero-cost when unused: send() tests one bool and one
+  // double that default to "healthy" and sit on the Link it already loads.
+
+  // Takes a link down (packets are counted in stats.partitioned and dropped)
+  // or back up. Both directions of a pair must be toggled individually.
+  void set_link_up(LinkId id, bool up) { links_[id].up = up; }
+  [[nodiscard]] bool link_up(LinkId id) const { return links_[id].up; }
+
+  // Corrupts one payload byte of each delivered packet with probability
+  // `rate` (seeded by the simulator RNG, so runs stay deterministic).
+  void set_link_corruption(LinkId id, double rate) {
+    links_[id].corrupt_rate = rate;
+  }
+
   // Runs until the event queue empties or `until_ns` is reached.
   void run(std::uint64_t until_ns = UINT64_MAX);
 
@@ -191,6 +210,8 @@ class Simulator {
   [[nodiscard]] std::uint64_t total_delivered() const noexcept;
   [[nodiscard]] std::uint64_t total_dropped() const noexcept;
   [[nodiscard]] std::uint64_t total_queue_drops() const noexcept;
+  [[nodiscard]] std::uint64_t total_partitioned() const noexcept;
+  [[nodiscard]] std::uint64_t total_corrupted() const noexcept;
   [[nodiscard]] std::size_t n_links() const noexcept { return links_.size(); }
   [[nodiscard]] Xoshiro256& rng() noexcept { return rng_; }
 

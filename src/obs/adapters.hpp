@@ -40,6 +40,10 @@ inline void register_switch_counters(MetricRegistry& reg,
   reg.counter_fn(prefix + "_table_misses_total",
                  [&c] { return c.table_misses; },
                  "hashed collector id not loaded");
+  reg.counter_fn(prefix + "_retargets_total", [&c] { return c.retargets; },
+                 "rows re-pointed at a backup collector");
+  reg.counter_fn(prefix + "_restores_total", [&c] { return c.restores; },
+                 "rows restored to the original owner");
 }
 
 // rdma/rnic: every verdict of the request-validation pipeline.
@@ -68,6 +72,8 @@ inline void register_rnic_counters(MetricRegistry& reg,
   add("access_denied", c.access_denied, "MR access flags deny the op");
   add("out_of_bounds", c.out_of_bounds, "target outside the MR");
   add("unaligned_atomic", c.unaligned_atomic, "atomic at unaligned vaddr");
+  add("stalled", c.stalled, "dropped during an injected RNIC stall");
+  add("qp_error", c.qp_error, "refused: target QP in the Error state");
 }
 
 // rdma/qp: PSN-window accounting, aggregated over every QP of a registry
@@ -101,6 +107,24 @@ inline void register_qp_counters(MetricRegistry& reg, const std::string& prefix,
                    return sum;
                  },
                  "PSNs skipped by gaps (lost reports)");
+  reg.counter_fn(prefix + "_qp_error_drops_total",
+                 [&qps] {
+                   std::uint64_t sum = 0;
+                   qps.for_each([&](const rdma::QueuePair& qp) {
+                     sum += qp.counters().error_drops;
+                   });
+                   return sum;
+                 },
+                 "packets refused while a QP was in the Error state");
+  reg.counter_fn(prefix + "_qp_reconnects_total",
+                 [&qps] {
+                   std::uint64_t sum = 0;
+                   qps.for_each([&](const rdma::QueuePair& qp) {
+                     sum += qp.counters().reconnects;
+                   });
+                   return sum;
+                 },
+                 "error → ready drain-and-reconnect transitions");
 }
 
 // net/netsim: fabric-wide delivery/drop totals plus per-link-set drops via
@@ -117,6 +141,12 @@ inline void register_simulator(MetricRegistry& reg, const std::string& prefix,
   reg.counter_fn(prefix + "_net_queue_drops_total",
                  [&sim] { return sim.total_queue_drops(); },
                  "tail drops at full egress queues");
+  reg.counter_fn(prefix + "_net_partitioned_total",
+                 [&sim] { return sim.total_partitioned(); },
+                 "packets eaten by partitioned (down) links");
+  reg.counter_fn(prefix + "_net_corrupted_total",
+                 [&sim] { return sim.total_corrupted(); },
+                 "packets delivered with injected byte damage");
 }
 
 inline void register_link_set(MetricRegistry& reg, const std::string& prefix,
@@ -139,6 +169,24 @@ inline void register_link_set(MetricRegistry& reg, const std::string& prefix,
                    return sum;
                  },
                  "loss-model + queue drops on this link set");
+  reg.counter_fn(prefix + "_partitioned_total",
+                 [&sim, links] {
+                   std::uint64_t sum = 0;
+                   for (const auto id : links) {
+                     sum += sim.link_stats(id).partitioned;
+                   }
+                   return sum;
+                 },
+                 "packets eaten while links in this set were down");
+  reg.counter_fn(prefix + "_corrupted_total",
+                 [&sim, links] {
+                   std::uint64_t sum = 0;
+                   for (const auto id : links) {
+                     sum += sim.link_stats(id).corrupted;
+                   }
+                   return sum;
+                 },
+                 "packets delivered with injected damage on this link set");
 }
 
 }  // namespace dart::obs

@@ -26,6 +26,26 @@ std::string num(double v) {
 
 }  // namespace
 
+std::string prom_escape(std::string_view s, bool label_value) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '"':
+        if (label_value) {
+          out += "\\\"";
+        } else {
+          out += ch;
+        }
+        break;
+      default: out += ch;
+    }
+  }
+  return out;
+}
+
 std::vector<std::pair<std::string, double>> flatten(const Snapshot& snapshot) {
   std::vector<std::pair<std::string, double>> out;
   out.reserve(snapshot.metrics.size());
@@ -79,7 +99,9 @@ bool write_bench_json(
 std::string to_prometheus(const Snapshot& snapshot) {
   std::string out;
   for (const MetricValue& m : snapshot.metrics) {
-    if (!m.help.empty()) out += "# HELP " + m.name + " " + m.help + "\n";
+    if (!m.help.empty()) {
+      out += "# HELP " + m.name + " " + prom_escape(m.help, false) + "\n";
+    }
     out += "# TYPE " + m.name + " " + to_string(m.kind) + "\n";
     if (!m.hist) {
       out += m.name + " " + num(m.value) + "\n";
@@ -89,7 +111,7 @@ std::string to_prometheus(const Snapshot& snapshot) {
     std::uint64_t cum = 0;
     for (std::size_t i = 0; i < h.counts.size(); ++i) {
       cum += h.counts[i];
-      out += m.name + "_bucket{le=\"" + num(h.upper_bounds[i]) + "\"} " +
+      out += m.name + "_bucket{le=\"" + prom_escape(num(h.upper_bounds[i]), true) + "\"} " +
              num(static_cast<double>(cum)) + "\n";
     }
     out += m.name + "_bucket{le=\"+Inf\"} " +

@@ -19,6 +19,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -44,6 +45,11 @@ bool write_bench_json(const Snapshot& snapshot, const std::string& name,
 
 // Prometheus text exposition of the whole snapshot.
 [[nodiscard]] std::string to_prometheus(const Snapshot& snapshot);
+
+// Text-format 0.0.4 escaping, applied by to_prometheus and exposed for any
+// caller emitting its own series: HELP text escapes backslash and newline;
+// label values (label_value = true) additionally escape the double quote.
+[[nodiscard]] std::string prom_escape(std::string_view s, bool label_value);
 
 // after - before: counters and histogram bucket counts subtract (clamped at
 // zero so a restarted component cannot produce negative rates), gauges take

@@ -31,9 +31,20 @@ enum class PsnPolicy : std::uint8_t {
 // workers at once (the sharded ingest pipeline shares a single report QP).
 struct QpCounters {
   RelaxedCounter accepted;
-  RelaxedCounter psn_stale;   // duplicate / out-of-window
-  RelaxedCounter psn_gaps;    // total PSNs skipped by gaps
+  RelaxedCounter psn_stale;     // duplicate / out-of-window
+  RelaxedCounter psn_gaps;      // total PSNs skipped by gaps
+  RelaxedCounter error_drops;   // packets refused while in kError
+  RelaxedCounter reconnects;    // error → ready transitions
 };
+
+// RoCEv2 QP lifecycle, reduced to the two states a one-sided telemetry
+// receiver can observe. A real RC QP that hits a fatal receive error moves
+// to the Error state, refuses further work until the peer tears it down,
+// and is re-created in RTR with a *fresh* starting PSN (IBA v1.5 §9.9.2 —
+// reusing the old PSN window would mis-classify the peer's new stream as
+// stale/duplicate). The switch side mirrors the reconnect by resetting its
+// per-collector PSN register.
+enum class QpState : std::uint8_t { kReady, kError };
 
 class QueuePair {
  public:
@@ -47,6 +58,7 @@ class QueuePair {
       : qpn_(other.qpn_), type_(other.type_), pd_(other.pd_),
         policy_(other.policy_),
         expected_psn_(other.expected_psn_.load(std::memory_order_relaxed)),
+        state_(other.state_.load(std::memory_order_relaxed)),
         counters_(other.counters_) {}
   QueuePair& operator=(const QueuePair& other) noexcept {
     qpn_ = other.qpn_;
@@ -55,6 +67,8 @@ class QueuePair {
     policy_ = other.policy_;
     expected_psn_.store(other.expected_psn_.load(std::memory_order_relaxed),
                         std::memory_order_relaxed);
+    state_.store(other.state_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
     counters_ = other.counters_;
     return *this;
   }
@@ -70,6 +84,27 @@ class QueuePair {
   void set_expected_psn(std::uint32_t psn) noexcept {
     expected_psn_.store(psn & kPsnMask, std::memory_order_relaxed);
   }
+
+  [[nodiscard]] QpState state() const noexcept {
+    return state_.load(std::memory_order_relaxed);
+  }
+
+  // Moves the QP to the Error state: every subsequent packet is refused
+  // (counted in error_drops by the caller) until reconnect().
+  void set_error() noexcept {
+    state_.store(QpState::kError, std::memory_order_relaxed);
+  }
+
+  // Drain-and-reconnect: back to Ready with a fresh expected PSN, as a peer
+  // re-establishing the connection would negotiate. Counts the transition.
+  void reconnect(std::uint32_t fresh_psn = 0) noexcept {
+    expected_psn_.store(fresh_psn & kPsnMask, std::memory_order_relaxed);
+    state_.store(QpState::kReady, std::memory_order_relaxed);
+    ++counters_.reconnects;
+  }
+
+  // Called by the RNIC when a packet arrives while in kError.
+  void count_error_drop() noexcept { ++counters_.error_drops; }
 
   // Validates and advances the PSN window. Returns true if the packet should
   // be executed.
@@ -94,6 +129,7 @@ class QueuePair {
   PdHandle pd_;
   PsnPolicy policy_;
   std::atomic<std::uint32_t> expected_psn_{0};
+  std::atomic<QpState> state_{QpState::kReady};
   QpCounters counters_;
 };
 

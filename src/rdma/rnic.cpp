@@ -11,6 +11,18 @@ std::optional<Completion> SimulatedRnic::process_frame(
     std::span<const std::byte> frame) {
   ++counters_.frames;
 
+  // Injected stall: a wedged pipeline drops frames before any parsing. The
+  // decrement loop (rather than fetch_sub) keeps the count exact when shard
+  // workers race on the last few stalled frames.
+  for (std::uint64_t left = stall_remaining_.load(std::memory_order_relaxed);
+       left > 0;) {
+    if (stall_remaining_.compare_exchange_weak(left, left - 1,
+                                               std::memory_order_relaxed)) {
+      ++counters_.stalled;
+      return std::nullopt;
+    }
+  }
+
   const auto parsed = net::parse_udp_frame(frame);
   if (!parsed) {
     ++counters_.not_roce;
@@ -38,6 +50,13 @@ std::optional<Completion> SimulatedRnic::process_frame(
   QueuePair* qp = qps_.find(req->bth.dest_qp);
   if (qp == nullptr) {
     ++counters_.unknown_qp;
+    return std::nullopt;
+  }
+  if (qp->state() == QpState::kError) {
+    // An errored RC QP refuses all work until the connection is torn down
+    // and re-established (see QpState); the frame is lost by design.
+    qp->count_error_drop();
+    ++counters_.qp_error;
     return std::nullopt;
   }
   // Opcode transport class must match the QP type.

@@ -51,6 +51,8 @@ struct RnicCounters {
   RelaxedCounter access_denied;
   RelaxedCounter out_of_bounds;
   RelaxedCounter unaligned_atomic;
+  RelaxedCounter stalled;         // dropped during an injected RNIC stall
+  RelaxedCounter qp_error;        // refused: target QP in the Error state
 };
 
 // Completion record for an executed operation (what a CQE would carry).
@@ -114,6 +116,23 @@ class SimulatedRnic : public net::Node {
 
   [[nodiscard]] const RnicCounters& counters() const noexcept { return counters_; }
   [[nodiscard]] const QpRegistry& qps() const noexcept { return qps_; }
+  // Mutable QP access for the recovery control plane (fault injection and
+  // the collector's drain/reconnect path); nullptr if no such QPN.
+  [[nodiscard]] QueuePair* qp(std::uint32_t qpn) noexcept {
+    return qps_.find(qpn);
+  }
+
+  // --- fault injection (src/fault) ----------------------------------------
+
+  // Drops the next `frames` inbound frames on the floor (counted as
+  // `stalled`), modelling a wedged RNIC pipeline / PCIe back-pressure stall.
+  // Zero-cost when disarmed: the fast path tests one relaxed load that is 0.
+  void stall(std::uint64_t frames) noexcept {
+    stall_remaining_.store(frames, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t stall_remaining() const noexcept {
+    return stall_remaining_.load(std::memory_order_relaxed);
+  }
 
   // Toggles iCRC validation (on by default). The ablation bench measures the
   // cost and the protection it buys against corrupted reports.
@@ -135,6 +154,7 @@ class SimulatedRnic : public net::Node {
   QpRegistry qps_;
   RnicCounters counters_;
   std::function<void(const Completion&)> hook_;
+  std::atomic<std::uint64_t> stall_remaining_{0};
   bool validate_icrc_ = true;
   bool dta_enabled_ = false;
 };

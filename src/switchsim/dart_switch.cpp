@@ -33,6 +33,24 @@ void DartSwitchPipeline::load_collector(const core::RemoteStoreInfo& info) {
   egress_tpls_[info.collector_id] = std::move(tpls);
 }
 
+void DartSwitchPipeline::retarget_collector(std::uint32_t dead_id,
+                                            const core::RemoteStoreInfo& backup) {
+  // The row keeps the dead collector's id (the hash keeps producing it) but
+  // carries the backup's endpoint, so load_collector does all the work —
+  // including rebuilding the egress frame templates for the new destination.
+  core::RemoteStoreInfo aliased = backup;
+  aliased.collector_id = dead_id;
+  load_collector(aliased);
+  psn_regs_.write(dead_id, 0);  // reconnect ⇒ fresh PSN stream
+  ++counters_.retargets;
+}
+
+void DartSwitchPipeline::restore_collector(const core::RemoteStoreInfo& info) {
+  load_collector(info);
+  psn_regs_.write(info.collector_id, 0);
+  ++counters_.restores;
+}
+
 std::vector<std::vector<std::byte>> DartSwitchPipeline::on_telemetry(
     std::span<const std::byte> key, std::span<const std::byte> value) {
   ++counters_.telemetry_events;

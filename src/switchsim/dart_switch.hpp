@@ -49,6 +49,8 @@ struct SwitchCounters {
   std::uint64_t telemetry_events = 0;  // on_telemetry() invocations
   std::uint64_t reports_emitted = 0;   // RoCEv2 frames deparsed
   std::uint64_t table_misses = 0;      // hashed collector id not loaded
+  std::uint64_t retargets = 0;         // rows re-pointed at a backup
+  std::uint64_t restores = 0;          // rows restored to the original owner
 };
 
 class DartSwitchPipeline {
@@ -84,6 +86,24 @@ class DartSwitchPipeline {
   [[nodiscard]] std::size_t collectors_loaded() const noexcept {
     return table_.size();
   }
+
+  // Failover control plane (docs/FAULTS.md): re-points the lookup-table row
+  // for `dead_id` at the backup collector's RoCEv2 endpoint. The hash
+  // mapping key→collector id is untouched (it is stateless and shared with
+  // the query plane), so every report that hashes to the dead collector now
+  // lands on the backup's store at the address the key would hash to there.
+  // The dead row's PSN register resets to 0, matching the fresh PSN the
+  // backup's reconnected QP expects (rdma::QueuePair::reconnect).
+  void retarget_collector(std::uint32_t dead_id,
+                          const core::RemoteStoreInfo& backup);
+
+  // Undo: the recovered collector takes its row (and a fresh PSN) back.
+  void restore_collector(const core::RemoteStoreInfo& info);
+
+  // QP drain-and-reconnect support: zeroes the per-collector PSN register so
+  // the next report starts the fresh PSN stream the reconnected QP expects
+  // (rdma::QueuePair::reconnect). Row and templates are untouched.
+  void reset_psn(std::uint32_t collector_id) { psn_regs_.write(collector_id, 0); }
 
   // --- data plane ----------------------------------------------------------
 

@@ -152,6 +152,11 @@ class ForwardingSwitch final : public net::Node {
       const noexcept {
     return pipeline_->counters();
   }
+  // Mutable pipeline access for the failover control plane (retarget /
+  // restore / PSN reset — see WireFabric::retarget_collector).
+  [[nodiscard]] switchsim::DartSwitchPipeline& pipeline() noexcept {
+    return *pipeline_;
+  }
 
  private:
   [[nodiscard]] std::uint32_t host_id_of(net::Ipv4Addr ip) const noexcept {
@@ -518,6 +523,50 @@ void WireFabric::register_metrics(obs::MetricRegistry& registry,
 
 WireFabric::~WireFabric() = default;
 
+std::uint32_t WireFabric::n_collectors() const noexcept {
+  return cluster_->size();
+}
+
+std::uint32_t WireFabric::n_switches() const noexcept {
+  return static_cast<std::uint32_t>(switches_.size());
+}
+
+net::LinkId WireFabric::monitoring_link(std::uint32_t s,
+                                        std::uint32_t c) const {
+  // Creation order in the constructor: for each switch, one link per
+  // collector.
+  return monitoring_links_[s * cluster_->size() + c];
+}
+
+core::QueryServiceNode* WireFabric::query_service(std::uint32_t c) noexcept {
+  return c < query_services_.size() ? query_services_[c].get() : nullptr;
+}
+
+core::OperatorClient* WireFabric::operator_client() noexcept {
+  return operator_.get();
+}
+
+void WireFabric::retarget_collector(std::uint32_t dead, std::uint32_t backup) {
+  // The backup terminates the adopted stream on a dedicated QP at the dead
+  // stream's well-known QPN — fresh PSN window, no interleaving with the
+  // backup's own report stream.
+  (void)cluster_->collector(backup).adopt_takeover_qp(dead);
+  core::RemoteStoreInfo info = cluster_->collector(backup).remote_info();
+  info.qpn = core::Collector::qpn_for(dead);
+  for (auto& sw : switches_) sw->pipeline().retarget_collector(dead, info);
+}
+
+void WireFabric::restore_collector(std::uint32_t c) {
+  cluster_->collector(c).reconnect_report_qp();
+  const core::RemoteStoreInfo info = cluster_->collector(c).remote_info();
+  for (auto& sw : switches_) sw->pipeline().restore_collector(info);
+}
+
+void WireFabric::reconnect_collector_qp(std::uint32_t c) {
+  cluster_->collector(c).reconnect_report_qp();
+  for (auto& sw : switches_) sw->pipeline().reset_psn(c);
+}
+
 core::OperatorClient& WireFabric::attach_operator(std::uint64_t mgmt_latency_ns) {
   if (operator_) return *operator_;
 
@@ -539,6 +588,10 @@ core::OperatorClient& WireFabric::attach_operator(std::uint64_t mgmt_latency_ns)
     service_ips.push_back(ip);
     query_services_.push_back(std::make_unique<core::QueryServiceNode>(
         cluster_->collector(c), ip, resolver));
+    // Ownership hash for takeover marking: a served key whose hashed owner
+    // is under takeover gets the degraded flag (docs/FAULTS.md).
+    query_services_.back()->set_deployment(&cluster_->crafter(),
+                                           cluster_->size());
   }
   const auto operator_ip = net::Ipv4Addr::from_octets(10, 9, 9, 9);
   operator_ = std::make_unique<core::OperatorClient>(

@@ -125,6 +125,37 @@ class WireFabric {
   [[nodiscard]] core::OperatorClient& attach_operator(
       std::uint64_t mgmt_latency_ns = 50'000);
 
+  // --- fault & recovery hooks (src/fault, docs/FAULTS.md) ------------------
+
+  [[nodiscard]] std::uint32_t n_collectors() const noexcept;
+  [[nodiscard]] std::uint32_t n_switches() const noexcept;
+
+  // The monitoring-underlay link switch `s` → collector `c` (the partition /
+  // corruption target for report-path faults).
+  [[nodiscard]] net::LinkId monitoring_link(std::uint32_t s,
+                                            std::uint32_t c) const;
+
+  // Query plane, nullptr before attach_operator().
+  [[nodiscard]] core::QueryServiceNode* query_service(std::uint32_t c) noexcept;
+  [[nodiscard]] core::OperatorClient* operator_client() noexcept;
+
+  // Failover: re-points every switch's lookup-table row for dead collector
+  // `dead` at `backup`'s store — the backup first adopts the dead stream's
+  // well-known QPN (Collector::adopt_takeover_qp, fresh PSN window), then
+  // each switch rebuilds the row and resets its PSN register
+  // (DartSwitchPipeline::retarget_collector). Reports for the dead key range
+  // then land in the backup's store at the same slot indices the keys hash
+  // to everywhere (the address hash is collector-independent).
+  void retarget_collector(std::uint32_t dead, std::uint32_t backup);
+
+  // Recovery undo: collector `c` reconnects its report QP at a fresh PSN and
+  // takes its switch rows back.
+  void restore_collector(std::uint32_t c);
+
+  // Collector-local QP error recovery: drain-and-reconnect `c`'s report QP
+  // and zero every switch's PSN register for `c` (rows stay untouched).
+  void reconnect_collector_qp(std::uint32_t c);
+
   // Registers every component's counters with a MetricRegistry (pull-based;
   // zero cost until snapshot()): per-switch pipeline counters plus fabric
   // sums, per-collector RNIC/QP counters, simulator totals, the monitoring

@@ -88,6 +88,33 @@ TEST(QueryProtocol, EmptyKeyRejected) {
   EXPECT_FALSE(parse_query_request(wire).has_value());
 }
 
+// v2 regression (PROTOCOLS.md "Epoch echo"): both directions carry the
+// operator's epoch, and the response's degradation fields survive the wire.
+TEST(QueryProtocol, EpochAndDegradationRoundTrip) {
+  QueryRequest req;
+  req.request_id = 31;
+  req.epoch = 0xA1B2C3D4;
+  req.key = key_of("epoch-key");
+  const auto preq = parse_query_request(encode_query_request(req));
+  ASSERT_TRUE(preq.has_value());
+  EXPECT_EQ(preq->epoch, 0xA1B2C3D4u);
+
+  QueryResponse resp;
+  resp.request_id = 31;
+  resp.epoch = 0xA1B2C3D4;
+  resp.flags = kResponseDegraded;
+  resp.stale_epochs = 3;
+  resp.outcome = QueryOutcome::kEmpty;
+  const auto presp = parse_query_response(encode_query_response(resp));
+  ASSERT_TRUE(presp.has_value());
+  EXPECT_EQ(presp->epoch, 0xA1B2C3D4u);
+  EXPECT_TRUE(presp->degraded());
+  EXPECT_EQ(presp->stale_epochs, 3u);
+
+  resp.flags = 0;
+  EXPECT_FALSE(parse_query_response(encode_query_response(resp))->degraded());
+}
+
 TEST(QueryProtocol, MakeResponseClampsCounts) {
   QueryResult result;
   result.outcome = QueryOutcome::kFound;
@@ -230,6 +257,30 @@ TEST_F(QueryServiceFixture, TakeResponseIsOneShot) {
   sim_.run();
   EXPECT_TRUE(operator_->take_response(id).has_value());
   EXPECT_FALSE(operator_->take_response(id).has_value());
+}
+
+// The live exchange echoes the request's epoch even when responses arrive
+// out of order w.r.t. epoch bumps — each answer anchors to the epoch its
+// request was stamped with, not the client's current one.
+TEST_F(QueryServiceFixture, ResponseEchoesRequestEpoch) {
+  const auto key = key_of("epoch-echo");
+  cluster_->write(key, value_of(0xE0));
+
+  operator_->set_epoch(7);
+  const auto id_old = operator_->query(key);
+  operator_->set_epoch(8);
+  const auto id_new = operator_->query(key);
+  sim_.run();
+
+  const auto old_resp = operator_->take_response(id_old);
+  const auto new_resp = operator_->take_response(id_new);
+  ASSERT_TRUE(old_resp.has_value());
+  ASSERT_TRUE(new_resp.has_value());
+  EXPECT_EQ(old_resp->epoch, 7u);
+  EXPECT_EQ(new_resp->epoch, 8u);
+  // Healthy service, healthy store: no degradation markers.
+  EXPECT_FALSE(old_resp->degraded());
+  EXPECT_EQ(old_resp->stale_epochs, 0u);
 }
 
 // --- query-plane hardening regressions ---------------------------------------

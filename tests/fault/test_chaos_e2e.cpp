@@ -1,0 +1,268 @@
+// Chaos end-to-end: the full detect → failover → degrade → failback loop on
+// a live WireFabric, plus randomized fault plans that must keep the
+// conservation invariants intact (docs/FAULTS.md, "Guarantees").
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "fault/injector.hpp"
+#include "fault/recovery.hpp"
+#include "telemetry/wire_fabric.hpp"
+#include "telemetry/workload.hpp"
+
+namespace dart::fault {
+namespace {
+
+constexpr std::uint64_t kMs = 1'000'000;
+
+telemetry::WireFabricConfig chaos_config(double loss, std::uint64_t seed) {
+  telemetry::WireFabricConfig cfg;
+  cfg.fat_tree_k = 4;
+  cfg.dart.n_slots = 1 << 13;
+  cfg.dart.n_addresses = 2;
+  cfg.dart.value_bytes = 20;
+  cfg.dart.master_seed = 0x0B5;
+  cfg.n_collectors = 3;
+  cfg.report_loss_rate = loss;
+  cfg.seed = seed;
+  return cfg;
+}
+
+// Every injected fault has a ledger column, so the books must balance no
+// matter what the plan did: nothing disappears without being counted.
+void assert_conservation(telemetry::WireFabric& fabric,
+                         const core::OperatorClient& op) {
+  std::uint64_t frames = 0;
+  std::uint64_t verdicts = 0;
+  std::uint64_t served = 0;
+  std::uint64_t dropped_offline = 0;
+  for (std::uint32_t c = 0; c < fabric.n_collectors(); ++c) {
+    const auto& rc = fabric.cluster().collector(c).rnic().counters();
+    frames += rc.frames.load();
+    verdicts += rc.executed.load() + rc.not_roce.load() + rc.bad_icrc.load() +
+                rc.bad_opcode.load() + rc.unknown_qp.load() +
+                rc.psn_rejected.load() + rc.bad_rkey.load() +
+                rc.pd_mismatch.load() + rc.access_denied.load() +
+                rc.out_of_bounds.load() + rc.unaligned_atomic.load() +
+                rc.stalled.load() + rc.qp_error.load();
+    const auto* qs = fabric.query_service(c);
+    served += qs->requests_served();
+    dropped_offline += qs->dropped_offline();
+  }
+  std::uint64_t mon_delivered = 0;
+  std::uint64_t mon_dropped = 0;
+  std::uint64_t mon_partitioned = 0;
+  auto& sim = fabric.simulator();
+  for (std::uint32_t s = 0; s < fabric.n_switches(); ++s) {
+    for (std::uint32_t c = 0; c < fabric.n_collectors(); ++c) {
+      const auto& ls = sim.link_stats(fabric.monitoring_link(s, c));
+      mon_delivered += ls.delivered;
+      mon_dropped += ls.dropped + ls.queue_drops;
+      mon_partitioned += ls.partitioned;
+    }
+  }
+  EXPECT_EQ(fabric.stats().reports_emitted,
+            frames + mon_dropped + mon_partitioned)
+      << "reports emitted must equal RNIC arrivals + every ledgered loss";
+  EXPECT_EQ(frames, mon_delivered);
+  EXPECT_EQ(frames, verdicts) << "every frame gets exactly one verdict";
+  EXPECT_EQ(op.queries_sent(), op.responses_received() + op.pending());
+  EXPECT_EQ(served, op.responses_received());
+  EXPECT_GE(op.pending(), dropped_offline)
+      << "queries eaten offline stay pending — never answered wrong";
+}
+
+// The headline scenario from ISSUE/docs/FAULTS.md: kill a collector, watch
+// liveness declare it dead within the timeout, the backup adopt its key
+// range (queryable, flagged degraded), and a probe-driven failback return
+// the range to the owner after the revive.
+TEST(ChaosE2E, KillFailoverDegradeFailback) {
+  telemetry::WireFabric fabric(chaos_config(/*loss=*/0.0, /*seed=*/21));
+  auto& op = fabric.attach_operator();
+  auto& sim = fabric.simulator();
+
+  RecoveryManager recovery(fabric, RecoveryConfig{});
+  FaultInjector injector(fabric, &recovery);
+  FaultPlan plan;
+  plan.kill_collector(10 * kMs, 0).revive_collector(25 * kMs, 0);
+  injector.arm(plan);
+  recovery.start(/*horizon_ns=*/40 * kMs);
+
+  // Pre-kill wave: populates every store, including collector 0's.
+  telemetry::FlowGenerator gen(fabric.topology(), 77);
+  std::vector<telemetry::FiveTuple> owned_by_dead;
+  std::vector<std::pair<telemetry::FiveTuple, std::uint32_t>> all;
+  while (owned_by_dead.size() < 8) {
+    const auto fe = gen.next_flow();
+    all.emplace_back(fe.tuple, fe.src_host);
+    if (fabric.cluster().owner_of(fe.tuple.key_bytes()) == 0) {
+      owned_by_dead.push_back(fe.tuple);
+    }
+  }
+  for (const auto& [tup, src] : all) fabric.send_flow(tup, src, 2);
+
+  // Mid-takeover wave: written AFTER the failover, so these keys must land
+  // in the backup's store and be answerable from there.
+  sim.schedule(17 * kMs, [&] {
+    for (const auto& [tup, src] : all) fabric.send_flow(tup, src, 2);
+  });
+  std::vector<std::uint64_t> takeover_queries;
+  sim.schedule(18 * kMs, [&] {
+    for (const auto& tup : owned_by_dead) {
+      takeover_queries.push_back(op.query(tup.key_bytes()));
+    }
+  });
+  std::vector<std::uint64_t> failback_queries;
+  sim.schedule(35 * kMs, [&] {
+    for (const auto& tup : owned_by_dead) {
+      failback_queries.push_back(op.query(tup.key_bytes()));
+    }
+  });
+  fabric.run();
+
+  // Detection: dead within timeout_ns of the last heartbeat — the kill
+  // landed just after a heartbeat, the tick cadence adds at most one tick.
+  const auto& log = recovery.log();
+  ASSERT_GE(log.size(), 3u);
+  EXPECT_EQ(log[0].what, RecoveryManager::EventRecord::What::kDeathDetected);
+  EXPECT_EQ(log[0].collector, 0u);
+  const RecoveryConfig cfg;
+  EXPECT_GE(log[0].at_ns, 10 * kMs);
+  EXPECT_LE(log[0].at_ns - 10 * kMs,
+            cfg.liveness.timeout_ns + cfg.tick_interval_ns)
+      << "death must be declared within the detection timeout";
+  EXPECT_EQ(log[1].what, RecoveryManager::EventRecord::What::kTakeover);
+  EXPECT_EQ(log[1].backup, 1u) << "ring-order backup";
+  EXPECT_EQ(log[1].at_ns, log[0].at_ns) << "failover is immediate on detect";
+
+  // Takeover answers: all arrive (redirected to the backup), all degraded,
+  // all found — the keys were re-written into the backup's store.
+  ASSERT_EQ(takeover_queries.size(), owned_by_dead.size());
+  for (const auto id : takeover_queries) {
+    const auto resp = op.take_response(id);
+    ASSERT_TRUE(resp.has_value()) << "takeover queries must be answered";
+    EXPECT_TRUE(resp->degraded());
+    EXPECT_EQ(resp->stale_epochs, cfg.takeover_stale_epochs);
+    EXPECT_EQ(resp->outcome, core::QueryOutcome::kFound);
+  }
+
+  // Failback: probe answered after the revive, range restored, takeover map
+  // cleared. The recovered store still has its pre-kill data, but answers
+  // stay flagged degraded until repopulation is acknowledged.
+  const auto& fb = log.back();
+  EXPECT_EQ(fb.what, RecoveryManager::EventRecord::What::kFailback);
+  EXPECT_GE(fb.at_ns, 25 * kMs);
+  EXPECT_FALSE(recovery.backup_of(0).has_value());
+  EXPECT_GE(recovery.stats().probes_answered, 1u);
+  for (const auto id : failback_queries) {
+    const auto resp = op.take_response(id);
+    ASSERT_TRUE(resp.has_value()) << "post-failback queries go to the owner";
+    EXPECT_TRUE(resp->degraded()) << "cold store stays flagged";
+    EXPECT_EQ(resp->outcome, core::QueryOutcome::kFound);
+  }
+
+  // Repopulation acknowledged (e.g. the next epoch rotated in): clean again.
+  recovery.acknowledge_repopulated(0);
+  std::vector<std::uint64_t> clean_queries;
+  for (const auto& tup : owned_by_dead) {
+    clean_queries.push_back(op.query(tup.key_bytes()));
+  }
+  fabric.run();
+  for (const auto id : clean_queries) {
+    const auto resp = op.take_response(id);
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_FALSE(resp->degraded());
+  }
+
+  EXPECT_EQ(recovery.stats().kills, 1u);
+  EXPECT_EQ(recovery.stats().deaths_detected, 1u);
+  EXPECT_EQ(recovery.stats().takeovers, 1u);
+  EXPECT_EQ(recovery.stats().failbacks, 1u);
+  assert_conservation(fabric, op);
+}
+
+// If every other collector is down too, there is nothing to fail over to:
+// the death is detected and logged, no takeover happens, and queries to the
+// dead range are eaten — degraded availability, never wrong answers.
+TEST(ChaosE2E, NoBackupAvailableMeansNoTakeover) {
+  telemetry::WireFabric fabric(chaos_config(/*loss=*/0.0, /*seed=*/23));
+  auto& op = fabric.attach_operator();
+  auto& sim = fabric.simulator();
+
+  RecoveryManager recovery(fabric, RecoveryConfig{});
+  FaultInjector injector(fabric, &recovery);
+  FaultPlan plan;
+  for (std::uint32_t c = 0; c < 3; ++c) plan.kill_collector(5 * kMs, c);
+  injector.arm(plan);
+  recovery.start(/*horizon_ns=*/20 * kMs);
+
+  telemetry::FlowGenerator gen(fabric.topology(), 31);
+  const auto fe = gen.next_flow();
+  fabric.send_flow(fe.tuple, fe.src_host, 2);
+  std::uint64_t id = 0;
+  sim.schedule(15 * kMs, [&] { id = op.query(fe.tuple.key_bytes()); });
+  fabric.run();
+
+  EXPECT_EQ(recovery.stats().deaths_detected, 3u);
+  EXPECT_EQ(recovery.stats().takeovers, 0u);
+  EXPECT_FALSE(op.take_response(id).has_value());
+  EXPECT_EQ(op.pending(), 1u);
+  assert_conservation(fabric, op);
+}
+
+// Seeded random plans: whatever combination of kills, stalls, QP errors,
+// partitions, and corruption fires, the ledgers must still balance and the
+// fabric must converge back to health (every kill revives, every partition
+// heals, detection + failback run inside the horizon).
+TEST(ChaosE2E, RandomPlansKeepConservationInvariants) {
+  for (const std::uint64_t seed : {3u, 17u}) {
+    SCOPED_TRACE(seed);
+    telemetry::WireFabric fabric(chaos_config(/*loss=*/0.05, seed));
+    auto& op = fabric.attach_operator();
+    auto& sim = fabric.simulator();
+
+    RecoveryManager recovery(fabric, RecoveryConfig{});
+    FaultInjector injector(fabric, &recovery);
+    constexpr std::uint64_t kHorizon = 60 * kMs;
+    const auto n_links = static_cast<std::uint32_t>(
+        fabric.monitoring_link(fabric.n_switches() - 1,
+                               fabric.n_collectors() - 1) + 1);
+    const auto plan = FaultPlan::random(seed, fabric.n_collectors(), n_links,
+                                        /*horizon_ns=*/40 * kMs);
+    ASSERT_FALSE(plan.empty());
+    injector.arm(plan);
+    recovery.start(kHorizon);
+
+    telemetry::FlowGenerator gen(fabric.topology(), seed + 1);
+    std::vector<telemetry::FiveTuple> tuples;
+    for (const std::uint64_t at :
+         {std::uint64_t{0}, 8 * kMs, 16 * kMs, 24 * kMs, 32 * kMs, 48 * kMs}) {
+      sim.schedule(at, [&fabric, &gen, &tuples] {
+        for (int i = 0; i < 15; ++i) {
+          const auto fe = gen.next_flow();
+          tuples.push_back(fe.tuple);
+          fabric.send_flow(fe.tuple, fe.src_host, 2);
+        }
+      });
+    }
+    sim.schedule(55 * kMs, [&] {
+      for (const auto& tup : tuples) (void)op.query(tup.key_bytes());
+    });
+    fabric.run();
+
+    EXPECT_EQ(injector.stats().total(), plan.size());
+    assert_conservation(fabric, op);
+    // Convergence: the kill was revived and the probe loop failed back
+    // inside the horizon, so nothing is left dead or re-targeted.
+    for (std::uint32_t c = 0; c < fabric.n_collectors(); ++c) {
+      EXPECT_FALSE(recovery.backup_of(c).has_value()) << c;
+      EXPECT_TRUE(recovery.admin_alive(c)) << c;
+    }
+    EXPECT_EQ(recovery.stats().deaths_detected, recovery.stats().failbacks);
+  }
+}
+
+}  // namespace
+}  // namespace dart::fault

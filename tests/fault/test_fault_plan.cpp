@@ -1,0 +1,137 @@
+// FaultPlan unit tests: the builder, the paired-event helpers, and the
+// seeded random plan generator (determinism is what makes chaos replayable).
+#include "fault/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace dart::fault {
+namespace {
+
+TEST(FaultPlan, BuilderRecordsEventsInInsertionOrder) {
+  FaultPlan plan;
+  plan.kill_collector(100, 2)
+      .stall_rnic(50, 1, 16)
+      .partition_link(200, 7)
+      .corrupt_link(300, 9, 0.25);
+
+  ASSERT_EQ(plan.size(), 4u);
+  // Insertion order, not time order — the simulator's (time, seq) tie-break
+  // is what sequences them at arm time.
+  EXPECT_EQ(plan.events()[0].kind, FaultKind::kKillCollector);
+  EXPECT_EQ(plan.events()[0].at_ns, 100u);
+  EXPECT_EQ(plan.events()[0].target, 2u);
+  EXPECT_EQ(plan.events()[1].kind, FaultKind::kStallRnic);
+  EXPECT_EQ(plan.events()[1].param, 16u);
+  EXPECT_EQ(plan.events()[2].kind, FaultKind::kPartitionLink);
+  EXPECT_EQ(plan.events()[3].kind, FaultKind::kCorruptLink);
+  EXPECT_DOUBLE_EQ(plan.events()[3].rate, 0.25);
+}
+
+TEST(FaultPlan, ErrorQpWithDrainEmitsPairedReconnect) {
+  FaultPlan plan;
+  plan.error_qp(1'000, 3, /*drain_ns=*/500);
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan.events()[0].kind, FaultKind::kErrorQp);
+  EXPECT_EQ(plan.events()[1].kind, FaultKind::kReconnectQp);
+  EXPECT_EQ(plan.events()[1].at_ns, 1'500u);
+  EXPECT_EQ(plan.events()[1].target, 3u);
+
+  // No drain: the QP stays wedged; only the error event exists.
+  FaultPlan wedged;
+  wedged.error_qp(1'000, 3);
+  EXPECT_EQ(wedged.size(), 1u);
+}
+
+TEST(FaultPlan, ClearCorruptionIsZeroRateCorruptEvent) {
+  FaultPlan plan;
+  plan.corrupt_link(10, 4, 0.9).clear_corruption(20, 4);
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan.events()[1].kind, FaultKind::kCorruptLink);
+  EXPECT_DOUBLE_EQ(plan.events()[1].rate, 0.0);
+}
+
+TEST(FaultPlan, SlugsAreDistinctMetricNames) {
+  std::set<std::string> slugs;
+  for (std::size_t k = 0; k < kFaultKinds; ++k) {
+    const std::string slug = to_string(static_cast<FaultKind>(k));
+    EXPECT_NE(slug, "unknown");
+    slugs.insert(slug);
+  }
+  EXPECT_EQ(slugs.size(), kFaultKinds);
+}
+
+TEST(FaultStatsTest, OfAndTotalTally) {
+  FaultStats stats;
+  stats.injected[static_cast<std::size_t>(FaultKind::kKillCollector)] = 2;
+  stats.injected[static_cast<std::size_t>(FaultKind::kPartitionLink)] = 3;
+  EXPECT_EQ(stats.of(FaultKind::kKillCollector), 2u);
+  EXPECT_EQ(stats.of(FaultKind::kStallRnic), 0u);
+  EXPECT_EQ(stats.total(), 5u);
+}
+
+TEST(FaultPlanRandom, SameSeedReplaysIdentically) {
+  const auto a = FaultPlan::random(42, 4, 40, 1'000'000);
+  const auto b = FaultPlan::random(42, 4, 40, 1'000'000);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.events()[i].at_ns, b.events()[i].at_ns) << i;
+    EXPECT_EQ(a.events()[i].kind, b.events()[i].kind) << i;
+    EXPECT_EQ(a.events()[i].target, b.events()[i].target) << i;
+    EXPECT_EQ(a.events()[i].param, b.events()[i].param) << i;
+    EXPECT_DOUBLE_EQ(a.events()[i].rate, b.events()[i].rate) << i;
+  }
+}
+
+TEST(FaultPlanRandom, DifferentSeedsDiffer) {
+  const auto a = FaultPlan::random(1, 4, 40, 1'000'000);
+  const auto b = FaultPlan::random(2, 4, 40, 1'000'000);
+  bool differs = a.size() != b.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = a.events()[i].at_ns != b.events()[i].at_ns ||
+              a.events()[i].target != b.events()[i].target;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultPlanRandom, EveryFaultClassAppearsAndPairsConverge) {
+  for (const std::uint64_t seed : {7u, 19u, 101u}) {
+    const auto plan = FaultPlan::random(seed, 3, 20, 10'000'000);
+    FaultStats seen;
+    std::uint64_t kill_at = 0;
+    std::uint64_t revive_at = 0;
+    std::uint64_t partition_at = 0;
+    std::uint64_t heal_at = 0;
+    for (const auto& e : plan.events()) {
+      ++seen.injected[static_cast<std::size_t>(e.kind)];
+      EXPECT_LE(e.at_ns, 10'000'000u) << "fault outside the horizon";
+      if (e.kind == FaultKind::kKillCollector) kill_at = e.at_ns;
+      if (e.kind == FaultKind::kReviveCollector) revive_at = e.at_ns;
+      if (e.kind == FaultKind::kPartitionLink) partition_at = e.at_ns;
+      if (e.kind == FaultKind::kHealLink) heal_at = e.at_ns;
+    }
+    for (std::size_t k = 0; k < kFaultKinds; ++k) {
+      EXPECT_GE(seen.injected[k], 1u)
+          << "seed " << seed << " missing " << to_string(static_cast<FaultKind>(k));
+    }
+    // Kills revive and partitions heal, so the fabric converges back.
+    EXPECT_GT(revive_at, kill_at);
+    EXPECT_GT(heal_at, partition_at);
+  }
+}
+
+TEST(FaultPlanRandom, DegenerateInputsYieldEmptyOrSafePlans) {
+  EXPECT_TRUE(FaultPlan::random(1, 0, 10, 1'000).empty());
+  EXPECT_TRUE(FaultPlan::random(1, 2, 10, 0).empty());
+  // A single collector has no backup: no kill/revive pair is generated.
+  const auto solo = FaultPlan::random(1, 1, 10, 1'000'000);
+  for (const auto& e : solo.events()) {
+    EXPECT_NE(e.kind, FaultKind::kKillCollector);
+    EXPECT_NE(e.kind, FaultKind::kReviveCollector);
+  }
+}
+
+}  // namespace
+}  // namespace dart::fault

@@ -1,0 +1,223 @@
+// Mechanical fault-injection tests: each injection point in isolation on a
+// live WireFabric, without a RecoveryManager — the symptoms the control
+// plane later reacts to, plus the zero-cost-when-disarmed guarantee.
+#include "fault/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "rdma/qp.hpp"
+#include "telemetry/wire_fabric.hpp"
+#include "telemetry/workload.hpp"
+
+namespace dart::fault {
+namespace {
+
+constexpr std::uint64_t kMs = 1'000'000;
+
+telemetry::WireFabricConfig lossless_config(std::uint32_t collectors = 2) {
+  telemetry::WireFabricConfig cfg;
+  cfg.fat_tree_k = 4;
+  cfg.dart.n_slots = 1 << 12;
+  cfg.dart.n_addresses = 2;
+  cfg.dart.value_bytes = 20;
+  cfg.dart.master_seed = 0x0B5;
+  cfg.n_collectors = collectors;
+  cfg.report_loss_rate = 0.0;
+  cfg.seed = 5;
+  return cfg;
+}
+
+// Sends `flows` flows starting at the simulator's current time.
+void drive(telemetry::WireFabric& fabric, telemetry::FlowGenerator& gen,
+           int flows) {
+  for (int i = 0; i < flows; ++i) {
+    const auto fe = gen.next_flow();
+    fabric.send_flow(fe.tuple, fe.src_host, 2);
+  }
+}
+
+struct RnicTotals {
+  std::uint64_t frames = 0;
+  std::uint64_t executed = 0;
+  std::uint64_t stalled = 0;
+  std::uint64_t qp_error = 0;
+  std::uint64_t bad_icrc = 0;
+};
+
+RnicTotals rnic_totals(telemetry::WireFabric& fabric) {
+  RnicTotals t;
+  for (std::uint32_t c = 0; c < fabric.n_collectors(); ++c) {
+    const auto& rc = fabric.cluster().collector(c).rnic().counters();
+    t.frames += rc.frames.load();
+    t.executed += rc.executed.load();
+    t.stalled += rc.stalled.load();
+    t.qp_error += rc.qp_error.load();
+    t.bad_icrc += rc.bad_icrc.load();
+  }
+  return t;
+}
+
+// An armed-but-empty plan must leave the fabric's behavior bit-identical to
+// a fabric that never saw the fault subsystem: same seed, same counters.
+TEST(FaultInjection, DisarmedFabricIsUnchanged) {
+  telemetry::WireFabric plain(lossless_config());
+  telemetry::WireFabric armed(lossless_config());
+  FaultInjector injector(armed);
+  injector.arm(FaultPlan{});
+
+  telemetry::FlowGenerator gen_a(plain.topology(), 99);
+  telemetry::FlowGenerator gen_b(armed.topology(), 99);
+  drive(plain, gen_a, 40);
+  drive(armed, gen_b, 40);
+  plain.run();
+  armed.run();
+
+  EXPECT_EQ(injector.stats().total(), 0u);
+  EXPECT_EQ(plain.stats().reports_emitted, armed.stats().reports_emitted);
+  EXPECT_GT(plain.stats().reports_emitted, 0u);
+  const auto a = rnic_totals(plain);
+  const auto b = rnic_totals(armed);
+  EXPECT_EQ(a.frames, b.frames);
+  EXPECT_EQ(a.executed, b.executed);
+  EXPECT_EQ(b.stalled + b.qp_error, 0u);
+}
+
+// A stalled RNIC drops exactly the programmed number of frames pre-parse,
+// then resumes; the drops are ledgered in `stalled`, never silently lost.
+TEST(FaultInjection, StallDropsExactlyTheProgrammedFrames) {
+  telemetry::WireFabric fabric(lossless_config(/*collectors=*/1));
+  FaultInjector injector(fabric);
+  FaultPlan plan;
+  plan.stall_rnic(0, 0, /*frames=*/7);
+  injector.arm(plan);
+
+  telemetry::FlowGenerator gen(fabric.topology(), 3);
+  drive(fabric, gen, 30);
+  fabric.run();
+
+  const auto t = rnic_totals(fabric);
+  ASSERT_GT(t.frames, 7u) << "need traffic beyond the stall window";
+  EXPECT_EQ(t.stalled, 7u);
+  EXPECT_EQ(t.executed, t.frames - 7u);
+  EXPECT_EQ(fabric.cluster().collector(0).rnic().stall_remaining(), 0u);
+}
+
+// An errored QP refuses frames (counted twice: RNIC verdict + QP drop);
+// after the drain completes the QP reconnects at a fresh PSN and — because
+// the fabric resets the switch-side PSN registers in the same step — the
+// very next report is accepted, not PSN-rejected.
+TEST(FaultInjection, ErroredQpRefusesUntilReconnectAtFreshPsn) {
+  telemetry::WireFabric fabric(lossless_config(/*collectors=*/1));
+  auto& sim = fabric.simulator();
+  FaultInjector injector(fabric);
+  FaultPlan plan;
+  plan.error_qp(0, 0, /*drain_ns=*/5 * kMs);
+  injector.arm(plan);
+
+  telemetry::FlowGenerator gen(fabric.topology(), 4);
+  drive(fabric, gen, 10);  // lands inside the error window
+  sim.schedule(6 * kMs, [&] { drive(fabric, gen, 10); });  // after reconnect
+  fabric.run();
+
+  const auto t = rnic_totals(fabric);
+  const auto& qp = *fabric.cluster().collector(0).rnic().qp(
+      core::Collector::qpn_for(0));
+  EXPECT_GT(t.qp_error, 0u);
+  EXPECT_EQ(qp.counters().error_drops, t.qp_error);
+  EXPECT_EQ(qp.counters().reconnects, 1u);
+  EXPECT_EQ(qp.state(), rdma::QpState::kReady);
+  EXPECT_GT(t.executed, 0u) << "post-reconnect traffic must land";
+  EXPECT_EQ(fabric.cluster().collector(0).rnic().counters().psn_rejected.load(),
+            0u)
+      << "switch PSN registers were reset with the QP";
+  EXPECT_EQ(t.frames, t.executed + t.qp_error);
+}
+
+// Partitioned monitoring links eat reports into their own ledger column;
+// healing restores delivery, and emitted == delivered + partitioned.
+TEST(FaultInjection, PartitionEatsReportsThenHealRestores) {
+  telemetry::WireFabric fabric(lossless_config(/*collectors=*/1));
+  auto& sim = fabric.simulator();
+  FaultInjector injector(fabric);
+  FaultPlan plan;
+  for (std::uint32_t s = 0; s < fabric.n_switches(); ++s) {
+    plan.partition_link(0, fabric.monitoring_link(s, 0));
+    plan.heal_link(5 * kMs, fabric.monitoring_link(s, 0));
+  }
+  injector.arm(plan);
+
+  telemetry::FlowGenerator gen(fabric.topology(), 6);
+  drive(fabric, gen, 10);  // all reports eaten
+  sim.schedule(6 * kMs, [&] { drive(fabric, gen, 10); });  // delivered
+  fabric.run();
+
+  const auto t = rnic_totals(fabric);
+  const auto partitioned = sim.total_partitioned();
+  EXPECT_GT(partitioned, 0u);
+  EXPECT_GT(t.frames, 0u) << "post-heal reports must arrive";
+  EXPECT_EQ(fabric.stats().reports_emitted, t.frames + partitioned);
+}
+
+// Corrupted reports still arrive — damaged — and the RNIC's iCRC check is
+// what rejects them: every corruption shows up as a bad_icrc verdict.
+TEST(FaultInjection, CorruptionIsCaughtByIcrc) {
+  telemetry::WireFabric fabric(lossless_config(/*collectors=*/1));
+  auto& sim = fabric.simulator();
+  FaultInjector injector(fabric);
+  FaultPlan plan;
+  for (std::uint32_t s = 0; s < fabric.n_switches(); ++s) {
+    plan.corrupt_link(0, fabric.monitoring_link(s, 0), 1.0);
+    plan.clear_corruption(5 * kMs, fabric.monitoring_link(s, 0));
+  }
+  injector.arm(plan);
+
+  telemetry::FlowGenerator gen(fabric.topology(), 8);
+  drive(fabric, gen, 10);
+  sim.schedule(6 * kMs, [&] { drive(fabric, gen, 10); });
+  fabric.run();
+
+  const auto t = rnic_totals(fabric);
+  EXPECT_GT(sim.total_corrupted(), 0u);
+  EXPECT_EQ(t.bad_icrc, sim.total_corrupted())
+      << "every damaged frame must be caught, none executed";
+  EXPECT_EQ(t.frames, t.executed + t.bad_icrc);
+  EXPECT_GT(t.executed, 0u) << "clean-window traffic still lands";
+}
+
+// Without a RecoveryManager, kill/revive degrade to their mechanical
+// effects: service offline (queries eaten, counted) and QP error — the
+// "no failure handling" baseline. Nothing re-targets.
+TEST(FaultInjection, KillWithoutRecoveryIsMechanicalOnly) {
+  telemetry::WireFabric fabric(lossless_config(/*collectors=*/2));
+  auto& op = fabric.attach_operator();
+  auto& sim = fabric.simulator();
+  FaultInjector injector(fabric);
+  FaultPlan plan;
+  plan.kill_collector(2 * kMs, 0).revive_collector(8 * kMs, 0);
+  injector.arm(plan);
+
+  telemetry::FlowGenerator gen(fabric.topology(), 9);
+  std::vector<telemetry::FiveTuple> tuples;
+  for (int i = 0; i < 30; ++i) tuples.push_back(gen.next_flow().tuple);
+  for (const auto& tup : tuples) fabric.send_flow(tup, 0, 1);
+  sim.schedule(4 * kMs, [&] {
+    for (const auto& tup : tuples) (void)op.query(tup.key_bytes());
+  });
+  fabric.run();
+
+  EXPECT_EQ(injector.stats().of(FaultKind::kKillCollector), 1u);
+  const auto* dead_service = fabric.query_service(0);
+  ASSERT_NE(dead_service, nullptr);
+  EXPECT_GT(dead_service->dropped_offline(), 0u)
+      << "queries to the dead collector are eaten, not mis-answered";
+  EXPECT_TRUE(dead_service->online()) << "revive restored the service";
+  EXPECT_EQ(op.queries_sent(), op.responses_received() + op.pending());
+  EXPECT_EQ(op.pending(), dead_service->dropped_offline());
+}
+
+}  // namespace
+}  // namespace dart::fault

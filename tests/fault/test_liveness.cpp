@@ -1,0 +1,138 @@
+// CollectorLivenessTable unit tests: the alive → suspect → dead state
+// machine, heartbeat-driven recovery, exponential-backoff re-probes, and
+// ring-order backup selection (docs/FAULTS.md, "Detection").
+#include "core/control.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dart::core {
+namespace {
+
+constexpr std::uint64_t kMs = 1'000'000;
+
+LivenessConfig fast_config() {
+  LivenessConfig cfg;
+  cfg.heartbeat_interval_ns = 1 * kMs;
+  cfg.timeout_ns = 5 * kMs;
+  cfg.probe_backoff_initial_ns = 2 * kMs;
+  cfg.probe_backoff_factor = 2.0;
+  cfg.probe_backoff_max_ns = 16 * kMs;
+  return cfg;
+}
+
+TEST(Liveness, HeartbeatsOnCadenceStayAlive) {
+  CollectorLivenessTable table(2, fast_config());
+  for (std::uint64_t t = 1 * kMs; t <= 20 * kMs; t += 1 * kMs) {
+    table.heartbeat(0, t);
+    table.heartbeat(1, t);
+    EXPECT_TRUE(table.tick(t).empty()) << "no transitions while healthy";
+  }
+  EXPECT_EQ(table.health(0), CollectorHealth::kAlive);
+  EXPECT_EQ(table.stats().heartbeats, 40u);
+  EXPECT_EQ(table.stats().deaths, 0u);
+}
+
+TEST(Liveness, SilenceProgressesSuspectThenDead) {
+  CollectorLivenessTable table(2, fast_config());
+  table.heartbeat(0, 1 * kMs);
+  table.heartbeat(1, 1 * kMs);
+  table.heartbeat(1, 2 * kMs + kMs / 2);
+
+  // Collector 0 missed an interval: suspect, not yet dead. Collector 1 is
+  // on cadence and stays quiet in the transition list.
+  auto tr = table.tick(3 * kMs);
+  ASSERT_EQ(tr.size(), 1u);
+  EXPECT_EQ(tr[0].collector_id, 0u);
+  EXPECT_EQ(tr[0].to, CollectorHealth::kSuspect);
+  EXPECT_EQ(table.health(0), CollectorHealth::kSuspect);
+  EXPECT_EQ(table.stats().deaths, 0u);
+
+  // Collector 1 keeps heartbeating; collector 0 stays silent past timeout.
+  table.heartbeat(1, 6 * kMs);
+  tr = table.tick(1 * kMs + 5 * kMs + 1);
+  ASSERT_EQ(tr.size(), 1u);
+  EXPECT_EQ(tr[0].collector_id, 0u);
+  EXPECT_EQ(tr[0].to, CollectorHealth::kDead);
+  EXPECT_EQ(table.health(0), CollectorHealth::kDead);
+  EXPECT_EQ(table.health(1), CollectorHealth::kAlive);
+  EXPECT_EQ(table.stats().deaths, 1u);
+}
+
+TEST(Liveness, TransitionsReportedInCollectorIdOrder) {
+  CollectorLivenessTable table(4, fast_config());
+  for (std::uint32_t c = 0; c < 4; ++c) table.heartbeat(c, 1 * kMs);
+  const auto tr = table.tick(20 * kMs);  // everyone dead at once
+  ASSERT_EQ(tr.size(), 4u);
+  for (std::uint32_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(tr[c].collector_id, c);
+    EXPECT_EQ(tr[c].to, CollectorHealth::kDead);
+  }
+}
+
+TEST(Liveness, HeartbeatAfterDeathRecoversOnNextTick) {
+  CollectorLivenessTable table(1, fast_config());
+  table.heartbeat(0, 1 * kMs);
+  (void)table.tick(10 * kMs);
+  ASSERT_EQ(table.health(0), CollectorHealth::kDead);
+
+  table.heartbeat(0, 11 * kMs);  // an answered probe lands as a heartbeat
+  const auto tr = table.tick(11 * kMs);
+  ASSERT_EQ(tr.size(), 1u);
+  EXPECT_EQ(tr[0].to, CollectorHealth::kAlive);
+  EXPECT_EQ(table.stats().recoveries, 1u);
+}
+
+TEST(Liveness, ProbeBackoffDoublesAndCaps) {
+  CollectorLivenessTable table(1, fast_config());
+  table.heartbeat(0, 0);
+  (void)table.tick(6 * kMs);  // dead at t=6ms (timeout from t=0)
+  ASSERT_EQ(table.health(0), CollectorHealth::kDead);
+
+  // First probe due after the initial backoff, then 2x per silent probe,
+  // capped at 16ms: gaps of 2, 4, 8, 16, 16, ...
+  EXPECT_FALSE(table.probe_due(0, 6 * kMs + 1 * kMs));
+  EXPECT_TRUE(table.probe_due(0, 6 * kMs + 2 * kMs));
+  EXPECT_FALSE(table.probe_due(0, 8 * kMs + 3 * kMs));
+  EXPECT_TRUE(table.probe_due(0, 8 * kMs + 4 * kMs));
+  EXPECT_TRUE(table.probe_due(0, 12 * kMs + 8 * kMs));
+  EXPECT_TRUE(table.probe_due(0, 20 * kMs + 16 * kMs));
+  EXPECT_FALSE(table.probe_due(0, 36 * kMs + 15 * kMs)) << "cap, not 32ms";
+  EXPECT_TRUE(table.probe_due(0, 36 * kMs + 16 * kMs));
+  EXPECT_EQ(table.stats().probes, 5u);
+
+  // A probe is a liveness check, not a heartbeat: state stays dead.
+  EXPECT_EQ(table.health(0), CollectorHealth::kDead);
+}
+
+TEST(Liveness, ProbeNotDueForLiveCollectors) {
+  CollectorLivenessTable table(1, fast_config());
+  table.heartbeat(0, 1 * kMs);
+  (void)table.tick(1 * kMs);
+  EXPECT_FALSE(table.probe_due(0, 100 * kMs));
+  EXPECT_EQ(table.stats().probes, 0u);
+}
+
+TEST(Liveness, NextAliveWalksTheRing) {
+  CollectorLivenessTable table(4, fast_config());
+  for (std::uint32_t c = 0; c < 4; ++c) table.heartbeat(c, 1 * kMs);
+  table.heartbeat(1, 20 * kMs);  // only 1 survives the silence
+  table.heartbeat(3, 20 * kMs);
+  (void)table.tick(20 * kMs);
+  ASSERT_EQ(table.health(0), CollectorHealth::kDead);
+  ASSERT_EQ(table.health(2), CollectorHealth::kDead);
+
+  EXPECT_EQ(table.next_alive(0), std::optional<std::uint32_t>(1));
+  EXPECT_EQ(table.next_alive(2), std::optional<std::uint32_t>(3));
+  EXPECT_EQ(table.next_alive(3), std::optional<std::uint32_t>(1))
+      << "wraps around the ring";
+
+  // Everyone dead: nothing to fail over to.
+  CollectorLivenessTable lonely(2, fast_config());
+  lonely.heartbeat(0, 1 * kMs);
+  lonely.heartbeat(1, 1 * kMs);
+  (void)lonely.tick(50 * kMs);
+  EXPECT_FALSE(lonely.next_alive(0).has_value());
+}
+
+}  // namespace
+}  // namespace dart::core

@@ -268,5 +268,89 @@ TEST(Exporters, DiffClampsCounterRegressionsAtRestart) {
   EXPECT_EQ(diff(before, after).value_of("dart_r_total"), 40.0);
 }
 
+// --- exposition edge cases ----------------------------------------------------
+
+// An empty registry must export cleanly in every format: no stray bytes in
+// the Prometheus text, a valid BenchJson document with an empty results
+// object that our own reader accepts, and nothing to flatten.
+TEST(Exporters, EmptyRegistryExportsCleanly) {
+  MetricRegistry reg;
+  const auto snap = reg.snapshot();
+  EXPECT_TRUE(snap.metrics.empty());
+  EXPECT_TRUE(flatten(snap).empty());
+  EXPECT_EQ(to_prometheus(snap), "");
+
+  const std::string path = "OBS_empty_test.json";
+  ASSERT_TRUE(write_bench_json(snap, "empty", path));
+  const auto back = read_results_json(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(back.has_value()) << "empty results must still parse";
+  EXPECT_TRUE(back->empty());
+}
+
+// A histogram that never recorded anything still emits a complete,
+// all-zero cumulative series — absence of data is not absence of series.
+TEST(Exporters, EmptyHistogramExposesZeroSeries) {
+  MetricRegistry reg;
+  (void)reg.histogram("dart_idle_ns", 0.0, 10.0, 2);
+  const std::string text = to_prometheus(reg.snapshot());
+  EXPECT_NE(text.find("dart_idle_ns_bucket{le=\"+Inf\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dart_idle_ns_count 0\n"), std::string::npos);
+  EXPECT_NE(text.find("dart_idle_ns_sum 0\n"), std::string::npos);
+}
+
+// Text-format 0.0.4 escaping: HELP text escapes backslash and newline but
+// NOT quotes; label values escape all three. Unescaped output corrupts the
+// exposition (a newline in HELP splits a comment into a bogus sample line).
+TEST(Exporters, PrometheusEscaping) {
+  EXPECT_EQ(prom_escape("plain", false), "plain");
+  EXPECT_EQ(prom_escape("a\\b\nc\"d", false), "a\\\\b\\nc\"d");
+  EXPECT_EQ(prom_escape("a\\b\nc\"d", true), "a\\\\b\\nc\\\"d");
+
+  MetricRegistry reg;
+  reg.counter("dart_esc_total", "line one\nline \\two\\ \"quoted\"").add(1);
+  const std::string text = to_prometheus(reg.snapshot());
+  EXPECT_NE(
+      text.find(
+          "# HELP dart_esc_total line one\\nline \\\\two\\\\ \"quoted\"\n"),
+      std::string::npos);
+  // The one-sample-per-line framing survived the hostile help string.
+  EXPECT_NE(text.find("\ndart_esc_total 1\n"), std::string::npos);
+}
+
+// Diff with a series that disappeared between snapshots (component torn
+// down, e.g. a collector removed by failover): the removed series is kept
+// at its before-value instead of silently vanishing from the report.
+TEST(Exporters, DiffKeepsSeriesRemovedInAfter) {
+  Snapshot before;
+  before.metrics.push_back(
+      {"dart_gone_total", MetricKind::kCounter, "", 12.0, {}});
+  before.metrics.push_back(
+      {"dart_stays_total", MetricKind::kCounter, "", 1.0, {}});
+  Snapshot after;
+  after.metrics.push_back(
+      {"dart_stays_total", MetricKind::kCounter, "", 5.0, {}});
+
+  const auto d = diff(before, after);
+  ASSERT_EQ(d.metrics.size(), 2u);
+  EXPECT_EQ(d.value_of("dart_stays_total"), 4.0);
+  ASSERT_NE(d.find("dart_gone_total"), nullptr)
+      << "removed series must not vanish from the diff";
+  EXPECT_EQ(d.value_of("dart_gone_total"), 12.0);
+  // Output stays sorted even with the removed series spliced back in.
+  EXPECT_LT(d.metrics[0].name, d.metrics[1].name);
+}
+
+// A series newly present in `after` diffs as its full value (no before to
+// subtract) — the restart/startup counterpart of the removed-series case.
+TEST(Exporters, DiffTreatsNewSeriesAsFullValue) {
+  Snapshot before;
+  Snapshot after;
+  after.metrics.push_back(
+      {"dart_new_total", MetricKind::kCounter, "", 9.0, {}});
+  EXPECT_EQ(diff(before, after).value_of("dart_new_total"), 9.0);
+}
+
 }  // namespace
 }  // namespace dart::obs

@@ -11,9 +11,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-bench}"
 
+# The docs gate rides along: stale paths and broken links fail here too.
+tools/check_docs.sh
+
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" -j \
-  --target micro_datapath scaling_ingest_threads dart_metrics
+  --target micro_datapath scaling_ingest_threads ablation_faults dart_metrics
 
 OUT_DIR="$(mktemp -d)"
 trap 'rm -rf "$OUT_DIR"' EXIT
@@ -24,9 +27,12 @@ trap 'rm -rf "$OUT_DIR"' EXIT
   --benchmark_min_time=0.05)
 (cd "$OUT_DIR" && "$OLDPWD/$BUILD_DIR/bench/scaling_ingest_threads" \
   --reports=40000)
+(cd "$OUT_DIR" && "$OLDPWD/$BUILD_DIR/bench/ablation_faults" --flows=15)
 
-# Metrics snapshot: conservation invariants plus the JSON exposition.
+# Metrics snapshot: conservation invariants plus the JSON exposition, and
+# the chaos run that holds those invariants under every injected fault class.
 "$BUILD_DIR/tools/dart_metrics" selfcheck
+"$BUILD_DIR/tools/dart_metrics" chaos
 "$BUILD_DIR/tools/dart_metrics" fabric --flows=40 --loss=0.1 \
   --json="$OUT_DIR/METRICS_fabric.json"
 
@@ -61,6 +67,41 @@ for name in ["micro_datapath", "scaling_ingest_threads"]:
         print(f"OK: {path.name}: reports_per_sec="
               f"{results['reports_per_sec']:.0f} "
               f"ns_per_report={results['ns_per_report']:.1f}")
+
+# Fault ablation: same envelope; per fault class a delivery/answered/degraded
+# triple. The recovery row must answer everything (degraded, not dropped).
+faults_path = out_dir / "BENCH_ablation_faults.json"
+faults_required = [
+    "healthy_delivery", "healthy_answered",
+    "rnic_stall_delivery", "qp_error_delivery",
+    "partition_delivery", "corruption_delivery",
+    "kill_no_recovery_answered",
+    "kill_recovery_answered", "kill_recovery_degraded",
+]
+if not faults_path.exists():
+    print(f"FAIL: {faults_path} was not emitted")
+    failures += 1
+else:
+    doc = json.loads(faults_path.read_text())
+    results = doc.get("results", {})
+    for key in faults_required:
+        val = results.get(key)
+        if not (isinstance(val, (int, float)) and 0.0 <= val <= 1.0):
+            print(f"FAIL: {faults_path}: '{key}' = {val!r} not a rate")
+            failures += 1
+    if failures == 0:
+        if results["kill_recovery_answered"] < 0.99:
+            print("FAIL: recovery plane left queries unanswered: "
+                  f"{results['kill_recovery_answered']:.3f}")
+            failures += 1
+        if results["kill_recovery_degraded"] <= 0.0:
+            print("FAIL: takeover answers never carried the degraded flag")
+            failures += 1
+    if failures == 0:
+        print(f"OK: {faults_path.name}: kill answered "
+              f"{results['kill_no_recovery_answered']:.1%} -> "
+              f"{results['kill_recovery_answered']:.1%} with recovery "
+              f"({results['kill_recovery_degraded']:.1%} degraded)")
 
 # Metrics snapshot: same BenchJson envelope, one flat key per metric (plus
 # _count/_sum/_p50/_p90/_p99 expansions for histograms).

@@ -15,9 +15,16 @@
 //
 //   dart_metrics selfcheck
 //       Small fabric run that exits non-zero unless the conservation
-//       invariants hold (reports emitted == RNIC frames + monitoring drops;
-//       RNIC frames == executed + rejections; queries sent == received).
-//       Wired into ctest and tools/check_bench.sh.
+//       invariants hold (reports emitted == RNIC frames + monitoring drops
+//       + partitioned; RNIC frames == executed + rejections; queries sent
+//       == received + pending). Wired into ctest and tools/check_bench.sh.
+//
+//   dart_metrics chaos [--seed=N] [--json=PATH] [--prom]
+//       Fabric run with the full fault-injection + recovery stack armed
+//       (collector kill/failover, RNIC stall, QP error, link partition,
+//       payload corruption — src/fault, docs/FAULTS.md). Exits non-zero
+//       unless the same conservation invariants hold under every fault
+//       class and the recovery pipeline detected and failed over the kill.
 //
 //   dart_metrics diff BEFORE.json AFTER.json
 //       Per-key AFTER-BEFORE over the flat "results" objects (our own
@@ -31,6 +38,9 @@
 #include "bench_util.hpp"
 
 #include "core/ingest_pipeline.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/injector.hpp"
+#include "fault/recovery.hpp"
 #include "obs/export.hpp"
 #include "obs/metric.hpp"
 #include "telemetry/wire_fabric.hpp"
@@ -171,13 +181,11 @@ int cmd_ingest(int argc, char** argv) {
                 static_cast<double>(cfg.latency_sample_every)}});
 }
 
-int cmd_selfcheck() {
-  obs::MetricRegistry registry;
-  const auto fabric =
-      run_fabric(registry, /*k=*/4, /*collectors=*/2, /*flows=*/60,
-                 /*packets=*/2, /*loss=*/0.2, /*queries=*/true, /*seed=*/11);
-  const auto snap = registry.snapshot();
-
+// The conservation invariants every fabric run must satisfy, healthy or
+// chaotic. Every injected fault has an explicit ledger entry (partitioned,
+// stalled, qp_error, bad_icrc for corruption), so the books balance under
+// failure too — docs/FAULTS.md, "Accounting".
+int check_conservation(const obs::Snapshot& snap, std::uint32_t n_collectors) {
   int failures = 0;
   const auto check = [&](bool ok, const char* what, double lhs, double rhs) {
     if (ok) {
@@ -190,24 +198,26 @@ int cmd_selfcheck() {
 
   double rnic_frames = 0.0;
   double verdicts = 0.0;
-  for (int c = 0; c < 2; ++c) {
+  for (std::uint32_t c = 0; c < n_collectors; ++c) {
     const std::string p = "dart_collector" + std::to_string(c) + "_rnic_";
     rnic_frames += snap.value_of(p + "frames_total");
     verdicts += snap.value_of(p + "executed_total");
     for (const char* r :
          {"not_roce", "bad_icrc", "bad_opcode", "unknown_qp", "psn_rejected",
           "bad_rkey", "pd_mismatch", "access_denied", "out_of_bounds",
-          "unaligned_atomic"}) {
+          "unaligned_atomic", "stalled", "qp_error"}) {
       verdicts += snap.value_of(p + r + "_total");
     }
   }
   const double emitted = snap.value_of("dart_switches_reports_emitted_total");
   const double mon_dropped = snap.value_of("dart_monitoring_dropped_total");
+  const double mon_partitioned =
+      snap.value_of("dart_monitoring_partitioned_total");
   const double mon_delivered =
       snap.value_of("dart_monitoring_delivered_total");
-  check(emitted == rnic_frames + mon_dropped,
-        "reports emitted == rnic frames + monitoring drops", emitted,
-        rnic_frames + mon_dropped);
+  check(emitted == rnic_frames + mon_dropped + mon_partitioned,
+        "reports emitted == rnic frames + monitoring drops + partitioned",
+        emitted, rnic_frames + mon_dropped + mon_partitioned);
   check(rnic_frames == mon_delivered,
         "rnic frames == monitoring delivered", rnic_frames, mon_delivered);
   check(rnic_frames == verdicts, "rnic frames == executed + rejections",
@@ -218,18 +228,164 @@ int cmd_selfcheck() {
       snap.value_of("dart_operator_responses_received_total");
   const double pending = snap.value_of("dart_operator_pending");
   double served = 0.0;
-  for (int c = 0; c < 2; ++c) {
-    served += snap.value_of("dart_collector" + std::to_string(c) +
-                            "_query_served_total");
+  double dropped_offline = 0.0;
+  for (std::uint32_t c = 0; c < n_collectors; ++c) {
+    const std::string p = "dart_collector" + std::to_string(c) + "_query_";
+    served += snap.value_of(p + "served_total");
+    dropped_offline += snap.value_of(p + "dropped_offline_total");
   }
   check(sent == received + pending, "queries sent == received + pending",
         sent, received + pending);
   check(served == received, "queries served == responses received", served,
         received);
+  check(pending >= dropped_offline,
+        "queries eaten offline stay pending (never wrong data)", pending,
+        dropped_offline);
   check(emitted > 0 && sent > 0, "workload actually ran", emitted, sent);
+  return failures;
+}
 
+int cmd_selfcheck() {
+  obs::MetricRegistry registry;
+  const auto fabric =
+      run_fabric(registry, /*k=*/4, /*collectors=*/2, /*flows=*/60,
+                 /*packets=*/2, /*loss=*/0.2, /*queries=*/true, /*seed=*/11);
+  const int failures = check_conservation(registry.snapshot(), 2);
   std::printf(failures == 0 ? "selfcheck: clean\n"
                             : "selfcheck: %d invariant(s) violated\n",
+              failures);
+  return failures == 0 ? 0 : 1;
+}
+
+// Chaos run: a fabric under the full fault plan — RNIC stall, QP
+// error/reconnect, monitoring partition, payload corruption, collector kill
+// with liveness-driven failover and probe-driven failback — must keep the
+// same books balanced, and the recovery pipeline must visibly do its job.
+int cmd_chaos(int argc, char** argv) {
+  constexpr std::uint32_t kCollectors = 3;
+  constexpr std::uint64_t kMs = 1'000'000;
+  const auto seed = bench::flag_u64(argc, argv, "seed", 29);
+
+  telemetry::WireFabricConfig cfg;
+  cfg.fat_tree_k = 4;
+  cfg.dart.n_slots = 1 << 14;
+  cfg.dart.n_addresses = 2;
+  cfg.dart.value_bytes = 20;
+  cfg.dart.master_seed = 0x0B5;
+  cfg.n_collectors = kCollectors;
+  cfg.report_loss_rate = 0.05;
+  cfg.seed = seed;
+
+  telemetry::WireFabric fabric(cfg);
+  auto& op = fabric.attach_operator();
+  obs::MetricRegistry registry;
+  fabric.register_metrics(registry);
+
+  fault::RecoveryManager recovery(fabric, fault::RecoveryConfig{});
+  fault::FaultInjector injector(fabric, &recovery);
+  recovery.register_metrics(registry, "dart");
+  injector.register_metrics(registry, "dart");
+
+  // One event per fault class (partitions/corruption cover every monitoring
+  // link of the target so the window is guaranteed to bite).
+  fault::FaultPlan plan;
+  plan.stall_rnic(2 * kMs, /*collector=*/1, /*frames=*/30);
+  plan.error_qp(5 * kMs, /*collector=*/2, /*drain_ns=*/3 * kMs);
+  for (std::uint32_t s = 0; s < fabric.n_switches(); ++s) {
+    plan.partition_link(10 * kMs, fabric.monitoring_link(s, 1));
+    plan.heal_link(14 * kMs, fabric.monitoring_link(s, 1));
+    plan.corrupt_link(10 * kMs, fabric.monitoring_link(s, 2), 0.5);
+    plan.clear_corruption(14 * kMs, fabric.monitoring_link(s, 2));
+  }
+  plan.kill_collector(18 * kMs, 0);
+  plan.revive_collector(35 * kMs, 0);
+  injector.arm(plan);
+  recovery.start(/*horizon_ns=*/60 * kMs);
+
+  // Traffic waves phased across the fault windows, plus a query wave inside
+  // the takeover (the dead collector's keys must be answerable — degraded —
+  // from the backup).
+  telemetry::FlowGenerator gen(fabric.topology(), seed + 13);
+  std::vector<telemetry::FiveTuple> tuples;
+  for (int i = 0; i < 120; ++i) tuples.push_back(gen.next_flow().tuple);
+  auto& sim = fabric.simulator();
+  const std::uint64_t waves[] = {0,       3 * kMs,  6 * kMs,
+                                 11 * kMs, 26 * kMs, 45 * kMs};
+  for (std::size_t w = 0; w < std::size(waves); ++w) {
+    sim.schedule(waves[w], [&fabric, &gen] {
+      for (int i = 0; i < 20; ++i) {
+        const auto fe = gen.next_flow();
+        fabric.send_flow(fe.tuple, fe.src_host, 2);
+      }
+    });
+    sim.schedule(waves[w] + kMs / 2, [&fabric, &tuples, w] {
+      for (std::size_t i = 20 * w; i < 20 * (w + 1); ++i) {
+        fabric.send_flow(tuples[i], 0, 2);
+      }
+    });
+  }
+  // Queries: one wave while c0 is dead but undetected (eaten — stays
+  // pending, never answered wrong), one during the takeover (redirected to
+  // the backup, degraded), one after failback.
+  for (const std::uint64_t at : {20 * kMs, 27 * kMs, 50 * kMs}) {
+    sim.schedule(at, [&op, &tuples] {
+      for (std::size_t i = 0; i < 40; ++i) {
+        (void)op.query(tuples[i].key_bytes());
+      }
+    });
+  }
+  fabric.run();
+
+  const auto snap = registry.snapshot();
+  int failures = check_conservation(snap, kCollectors);
+  const auto require = [&](bool ok, const char* what, double got) {
+    if (ok) {
+      std::printf("OK:   %s (%.0f)\n", what, got);
+    } else {
+      std::printf("FAIL: %s (%.0f)\n", what, got);
+      ++failures;
+    }
+  };
+  require(injector.stats().total() == plan.size(),
+          "every planned fault fired",
+          static_cast<double>(injector.stats().total()));
+  const auto& rs = recovery.stats();
+  require(rs.deaths_detected >= 1, "liveness detected the kill",
+          static_cast<double>(rs.deaths_detected));
+  require(rs.takeovers >= 1, "a backup took over the dead key range",
+          static_cast<double>(rs.takeovers));
+  require(rs.failbacks >= 1, "probe-driven failback after the revive",
+          static_cast<double>(rs.failbacks));
+  require(op.degraded_responses() > 0,
+          "takeover answers carried the degraded flag",
+          static_cast<double>(op.degraded_responses()));
+  for (const char* symptom :
+       {"dart_monitoring_partitioned_total", "dart_net_corrupted_total"}) {
+    require(snap.value_of(symptom) > 0, symptom, snap.value_of(symptom));
+  }
+  double stalled = 0.0;
+  double qp_error = 0.0;
+  for (std::uint32_t c = 0; c < kCollectors; ++c) {
+    const std::string p = "dart_collector" + std::to_string(c) + "_rnic_";
+    stalled += snap.value_of(p + "stalled_total");
+    qp_error += snap.value_of(p + "qp_error_total");
+  }
+  require(stalled > 0, "stall window dropped frames", stalled);
+  require(qp_error > 0, "errored QP refused frames", qp_error);
+
+  const auto json_path = flag_str(argc, argv, "json", "");
+  if (!json_path.empty() &&
+      emit(registry, "dart_metrics_chaos", json_path,
+           flag_present(argc, argv, "prom"),
+           {{"n_collectors", kCollectors},
+            {"seed", static_cast<double>(seed)},
+            {"planned_faults", static_cast<double>(plan.size())}}) != 0) {
+    ++failures;
+  } else if (json_path.empty() && flag_present(argc, argv, "prom")) {
+    std::fputs(obs::to_prometheus(snap).c_str(), stdout);
+  }
+  std::printf(failures == 0 ? "chaos: clean\n"
+                            : "chaos: %d invariant(s) violated\n",
               failures);
   return failures == 0 ? 0 : 1;
 }
@@ -274,7 +430,7 @@ int cmd_diff(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: dart_metrics <fabric|ingest|selfcheck|diff> "
+                 "usage: dart_metrics <fabric|ingest|selfcheck|chaos|diff> "
                  "[--flags]\n");
     return 2;
   }
@@ -282,6 +438,7 @@ int main(int argc, char** argv) {
   if (cmd == "fabric") return cmd_fabric(argc, argv);
   if (cmd == "ingest") return cmd_ingest(argc, argv);
   if (cmd == "selfcheck") return cmd_selfcheck();
+  if (cmd == "chaos") return cmd_chaos(argc, argv);
   if (cmd == "diff") return cmd_diff(argc, argv);
   std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
   return 2;
