@@ -1,0 +1,69 @@
+#include "check/gen.hpp"
+
+namespace dart::check {
+
+std::uint64_t gen_key(Rng& rng, std::uint64_t universe) {
+  return rng.below(universe);
+}
+
+std::vector<std::byte> gen_value(Rng& rng, std::uint32_t bytes,
+                                 std::uint64_t pool) {
+  const auto id = rng.below(pool);
+  std::vector<std::byte> v(bytes);
+  for (std::uint32_t j = 0; j < bytes; ++j) {
+    v[j] = static_cast<std::byte>((id * 37 + j * 3 + 1) & 0xFF);
+  }
+  return v;
+}
+
+core::DartConfig gen_small_config(Rng& rng) {
+  core::DartConfig cfg;
+  cfg.n_slots = rng.pick<std::uint64_t>({16, 64, 256, 1024});
+  cfg.n_addresses = static_cast<std::uint32_t>(rng.range(1, 4));
+  cfg.checksum_bits = rng.pick<std::uint32_t>({8, 16, 24, 32});
+  cfg.value_bytes = rng.pick<std::uint32_t>({4, 8, 20});
+  cfg.master_seed = 0xDA27'0000'0100ull + rng.below(8);
+  return cfg;
+}
+
+ReportOp gen_report_op(Rng& rng, const core::DartConfig& config,
+                       const ReferenceFabric* reference,
+                       double drop_probability) {
+  ReportOp op;
+  // Simplest-first, writes most likely: draw 0 → plain write.
+  const auto kind = rng.below(8);
+  if (kind < 4) {
+    op.kind = ReportOp::Kind::kWrite;
+  } else if (kind < 6) {
+    op.kind = ReportOp::Kind::kMultiwrite;
+  } else if (kind == 6) {
+    op.kind = ReportOp::Kind::kFetchAdd;
+  } else {
+    op.kind = ReportOp::Kind::kCompareSwap;
+  }
+
+  op.key = gen_key(rng);
+  op.value = gen_value(rng, config.value_bytes);
+  op.copy = static_cast<std::uint32_t>(rng.below(config.n_addresses));
+
+  if (op.kind == ReportOp::Kind::kFetchAdd ||
+      op.kind == ReportOp::Kind::kCompareSwap) {
+    const auto words = config.memory_bytes() / 8;
+    op.word_index = rng.below(words);
+    op.operand = rng.below(1u << 20);
+    if (op.kind == ReportOp::Kind::kCompareSwap) {
+      // Half the CAS ops peek the oracle so they hit; the rest draw a
+      // (usually missing) compare, covering the cas_mismatch path.
+      if (reference != nullptr && rng.chance(0.5)) {
+        op.compare = reference->word(op.word_index);
+      } else {
+        op.compare = rng.below(1u << 20);
+      }
+    }
+  }
+
+  op.dropped = rng.chance(drop_probability);
+  return op;
+}
+
+}  // namespace dart::check

@@ -1,0 +1,42 @@
+// dartcheck generators for the DART domain.
+//
+// All generators draw exclusively through check::Rng so every generated
+// value shrinks for free (rng.hpp). They are deliberately collision-hungry:
+// keys come from a small universe so slots get overwritten, values from a
+// small pool so distinct-value counting and plurality ties actually happen,
+// and configs include tiny stores with 8-bit checksums so the §4 failure
+// modes (return errors, empty returns) appear within a 1000-case run
+// instead of once per billion.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "check/reference.hpp"
+#include "check/rng.hpp"
+#include "core/config.hpp"
+
+namespace dart::check {
+
+// Key id from a small universe (0-draw → id 0, the simplest key).
+[[nodiscard]] std::uint64_t gen_key(Rng& rng, std::uint64_t universe = 32);
+
+// Exact-width value. Draws an id from a small pool and expands it to a
+// deterministic byte pattern, so independent ops frequently agree on the
+// value — the precondition for consensus/plurality behaviour.
+[[nodiscard]] std::vector<std::byte> gen_value(Rng& rng, std::uint32_t bytes,
+                                               std::uint64_t pool = 4);
+
+// Small, always-valid deployment config. The zero tape decodes to the
+// smallest store with the narrowest checksum — maximally collision-prone,
+// which is the interesting regime.
+[[nodiscard]] core::DartConfig gen_small_config(Rng& rng);
+
+// One logical telemetry op against `config`. `reference` (optional) lets
+// compare-swaps peek the current word so roughly half of generated CAS ops
+// actually succeed; without it every CAS against a busy word would miss.
+[[nodiscard]] ReportOp gen_report_op(Rng& rng, const core::DartConfig& config,
+                                     const ReferenceFabric* reference = nullptr,
+                                     double drop_probability = 0.1);
+
+}  // namespace dart::check

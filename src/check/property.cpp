@@ -1,0 +1,247 @@
+#include "check/property.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "check/golden.hpp"
+#include "common/random.hpp"
+
+namespace dart::check {
+
+namespace {
+
+// One replay of `property` against a candidate tape. Returns the failure (if
+// any) plus the canonical form of the tape the run actually consumed:
+// replay pads with zeros, so trailing zeros are redundant and trimmed.
+struct Replay {
+  bool failed = false;
+  Failure failure;
+  std::vector<std::uint64_t> used;
+};
+
+Replay replay_tape(const Property& property,
+                   std::span<const std::uint64_t> tape) {
+  Rng rng(tape);
+  Replay r;
+  auto outcome = property(rng);
+  r.used = rng.used();
+  while (!r.used.empty() && r.used.back() == 0) r.used.pop_back();
+  if (outcome.has_value()) {
+    r.failed = true;
+    r.failure = std::move(*outcome);
+  }
+  return r;
+}
+
+// Tape-level minimization: truncate, zero spans, shrink entries. Accepts any
+// candidate that still fails (the classic rule — the shrunk counterexample
+// may expose a different symptom of the same property violation).
+struct ShrinkResult {
+  std::vector<std::uint64_t> tape;
+  Failure failure;
+  std::size_t accepted = 0;
+};
+
+ShrinkResult shrink(const Property& property,
+                    std::vector<std::uint64_t> tape, Failure failure,
+                    std::size_t max_execs) {
+  ShrinkResult best{std::move(tape), std::move(failure), 0};
+  std::size_t execs = 0;
+
+  auto attempt = [&](std::span<const std::uint64_t> candidate) -> bool {
+    if (execs >= max_execs) return false;
+    ++execs;
+    auto r = replay_tape(property, candidate);
+    if (!r.failed) return false;
+    best.tape = std::move(r.used);
+    best.failure = std::move(r.failure);
+    ++best.accepted;
+    return true;
+  };
+
+  bool improved = true;
+  while (improved && execs < max_execs) {
+    improved = false;
+    auto& t = best.tape;
+
+    // 1. Truncation — fewer decisions is the strongest simplification.
+    for (const std::size_t keep :
+         {t.size() / 2, t.size() - (t.empty() ? 0 : 1)}) {
+      if (keep >= t.size()) continue;
+      std::vector<std::uint64_t> cand(t.begin(),
+                                      t.begin() + static_cast<long>(keep));
+      if (attempt(cand)) {
+        improved = true;
+        break;
+      }
+    }
+    if (improved) continue;
+
+    // 2. Delete spans, coarse to fine — removes whole generated
+    // substructures so a failing element can migrate to the front of a
+    // list (zeroing alone cannot shorten the decoded structure).
+    for (std::size_t window : {std::size_t{8}, std::size_t{4}, std::size_t{2},
+                               std::size_t{1}}) {
+      if (window >= t.size()) continue;
+      for (std::size_t i = 0; i + window <= t.size() && !improved;
+           i += window) {
+        std::vector<std::uint64_t> cand;
+        cand.reserve(t.size() - window);
+        cand.insert(cand.end(), t.begin(), t.begin() + static_cast<long>(i));
+        cand.insert(cand.end(), t.begin() + static_cast<long>(i + window),
+                    t.end());
+        if (attempt(cand)) improved = true;
+      }
+      if (improved) break;
+    }
+    if (improved) continue;
+
+    // 3. Zero spans, coarse to fine — wipes whole generated substructures.
+    for (std::size_t window : {std::size_t{8}, std::size_t{4}, std::size_t{2},
+                               std::size_t{1}}) {
+      for (std::size_t i = 0; i + 1 <= t.size() && !improved; i += window) {
+        const std::size_t end = std::min(i + window, t.size());
+        bool any = false;
+        for (std::size_t j = i; j < end; ++j) any |= t[j] != 0;
+        if (!any) continue;
+        auto cand = t;
+        for (std::size_t j = i; j < end; ++j) cand[j] = 0;
+        if (attempt(cand)) improved = true;
+      }
+      if (improved) break;
+    }
+    if (improved) continue;
+
+    // 4. Shrink individual entries toward zero.
+    for (std::size_t i = 0; i < t.size() && !improved; ++i) {
+      if (t[i] == 0) continue;
+      for (const std::uint64_t v : {t[i] / 2, t[i] - 1}) {
+        auto cand = t;
+        cand[i] = v;
+        if (attempt(cand)) {
+          improved = true;
+          break;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> env_u64(const char* name) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return std::nullopt;
+  char* end = nullptr;
+  const auto v = std::strtoull(s, &end, 0);  // base 0: decimal or 0x-hex
+  if (end == s || *end != '\0') return std::nullopt;
+  return v;
+}
+
+std::uint64_t seed_from_env(std::uint64_t fallback, const char* context) {
+  const auto env = env_u64("DART_SEED");
+  const auto seed = env.value_or(fallback);
+  std::fprintf(stderr,
+               "[dartcheck] %s seed=0x%llx%s (override with DART_SEED)\n",
+               context != nullptr ? context : "run",
+               static_cast<unsigned long long>(seed),
+               env.has_value() ? " [from DART_SEED]" : "");
+  return seed;
+}
+
+std::uint64_t case_seed(std::uint64_t base, std::uint64_t index) {
+  if (index == 0) return base;  // repro contract: case 0 == DART_SEED
+  SplitMix64 sm(base ^ (index * 0x9E37'79B9'7F4A'7C15ull));
+  return sm.next();
+}
+
+std::string append_corpus_case(const std::string& dir,
+                               const std::string& property,
+                               std::uint64_t seed,
+                               std::span<const std::byte> artifact,
+                               const std::string& note) {
+  if (dir.empty() || artifact.empty()) return {};
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  char seed_hex[32];
+  std::snprintf(seed_hex, sizeof(seed_hex), "%llx",
+                static_cast<unsigned long long>(seed));
+  const auto path = dir + "/" + property + "-" + seed_hex + ".hex";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return {};
+  out << "# dartcheck shrunk failing case\n";
+  out << "# property: " << property << "\n";
+  out << "# seed: 0x" << seed_hex << "\n";
+  if (!note.empty()) out << "# " << note << "\n";
+  out << to_hex(artifact) << "\n";
+  return out ? path : std::string{};
+}
+
+CheckReport check(const std::string& name, const Property& property,
+                  const CheckConfig& cfg) {
+  CheckReport report;
+  report.name = name;
+
+  const std::uint64_t base = env_u64("DART_SEED").value_or(cfg.seed);
+  const std::uint64_t cases = env_u64("DART_CHECK_CASES").value_or(cfg.cases);
+
+  for (std::uint64_t i = 0; i < cases; ++i) {
+    const std::uint64_t seed = case_seed(base, i);
+    Rng rng(seed);
+    auto outcome = property(rng);
+    ++report.cases_run;
+    if (!outcome.has_value()) continue;
+
+    // First failure: minimize and report.
+    report.passed = false;
+    report.failing_case = i;
+    report.failing_seed = seed;
+    report.original_draws = rng.draws();
+
+    auto shrunk = shrink(property, rng.used(), std::move(*outcome),
+                         cfg.max_shrink_execs);
+    report.shrunk_tape = shrunk.tape;
+    report.shrink_steps = shrunk.accepted;
+    report.message = shrunk.failure.message;
+    report.artifact = shrunk.failure.artifact;
+
+    char seed_hex[32];
+    std::snprintf(seed_hex, sizeof(seed_hex), "0x%llx",
+                  static_cast<unsigned long long>(seed));
+    report.repro = std::string("DART_SEED=") + seed_hex +
+                   " DART_CHECK_CASES=1 (property '" + name + "')";
+
+    std::string corpus_dir = cfg.corpus_dir;
+    if (corpus_dir.empty()) {
+      const char* env = std::getenv("DART_CORPUS_DIR");
+      corpus_dir = env != nullptr ? env : "";
+    } else if (corpus_dir == "-") {
+      corpus_dir.clear();
+    }
+    report.corpus_path = append_corpus_case(
+        corpus_dir, name, seed, report.artifact, report.message);
+
+    if (cfg.log_failures) {
+      std::fprintf(stderr,
+                   "[dartcheck] property '%s' FAILED at case %llu (seed %s)\n",
+                   name.c_str(), static_cast<unsigned long long>(i), seed_hex);
+      std::fprintf(stderr, "[dartcheck]   %s\n", report.message.c_str());
+      std::fprintf(
+          stderr, "[dartcheck]   shrunk %zu -> %zu draws in %zu steps\n",
+          report.original_draws, report.shrunk_tape.size(),
+          report.shrink_steps);
+      std::fprintf(stderr, "[dartcheck]   repro: %s\n", report.repro.c_str());
+      if (!report.corpus_path.empty()) {
+        std::fprintf(stderr, "[dartcheck]   corpus: %s\n",
+                     report.corpus_path.c_str());
+      }
+    }
+    return report;
+  }
+  return report;
+}
+
+}  // namespace dart::check

@@ -1,0 +1,104 @@
+// dartcheck property runner — seeded cases, integrated shrinking, one-line
+// repro seeds, and automatic regression-corpus capture.
+//
+// A property is a function from an Rng to "pass" (std::nullopt) or a
+// Failure. The runner executes `cases` independent cases, each from its own
+// deterministically derived seed. On the first failure it shrinks the
+// recorded choice tape (rng.hpp) to a minimal still-failing case and prints:
+//
+//   [dartcheck] property 'slot_write_diff' FAILED at case 83 (seed 0x1D6B...)
+//   [dartcheck]   store byte 14 differs: real 0x00 reference 0x3A
+//   [dartcheck]   shrunk 41 -> 6 draws in 12 accepted steps
+//   [dartcheck]   repro: DART_SEED=0x1D6B... DART_CHECK_CASES=1 <this test>
+//   [dartcheck]   corpus: tests/corpus/slot_write_diff-1d6b....hex
+//
+// The repro line is exact: case 0 of a run always uses DART_SEED verbatim,
+// so `DART_SEED=<failing case seed> DART_CHECK_CASES=1` re-executes the
+// failing case and nothing else. If the failure carried a wire artifact
+// (a frame), the shrunk artifact is appended to the regression corpus
+// directory ($DART_CORPUS_DIR, which ctest points at tests/corpus/) so the
+// corpus-replay suite pins it forever.
+//
+// Environment knobs (all optional):
+//   DART_SEED         base seed, decimal or 0x-hex (default: cfg.seed)
+//   DART_CHECK_CASES  case count override
+//   DART_CORPUS_DIR   where shrunk failing artifacts are appended
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/rng.hpp"
+
+namespace dart::check {
+
+// A failing case: human-readable diagnosis plus an optional wire artifact
+// (the frame/payload that triggered the failure) for the regression corpus.
+struct Failure {
+  std::string message;
+  std::vector<std::byte> artifact;
+};
+
+using Property = std::function<std::optional<Failure>(Rng&)>;
+
+struct CheckConfig {
+  std::uint64_t seed = 0xDA27'C4EC;  // overridden by DART_SEED
+  std::uint64_t cases = 1000;        // overridden by DART_CHECK_CASES
+  // Shrink budget: max property re-executions during minimization.
+  std::size_t max_shrink_execs = 1500;
+  // Where shrunk failing artifacts are appended; empty = $DART_CORPUS_DIR,
+  // "-" = disabled (used by the mutation smoke-check, which fails on
+  // purpose and must not pollute the real corpus).
+  std::string corpus_dir;
+  // Quiet mode for deliberate-failure self-tests.
+  bool log_failures = true;
+};
+
+struct CheckReport {
+  bool passed = true;
+  std::string name;
+  std::uint64_t cases_run = 0;
+
+  // Populated on failure:
+  std::uint64_t failing_case = 0;
+  std::uint64_t failing_seed = 0;        // seed reproducing the case
+  std::string message;                   // shrunk case's diagnosis
+  std::string repro;                     // the one-line repro command
+  std::vector<std::uint64_t> shrunk_tape;
+  std::size_t original_draws = 0;
+  std::size_t shrink_steps = 0;          // accepted shrink candidates
+  std::vector<std::byte> artifact;       // shrunk case's artifact
+  std::string corpus_path;               // where the artifact was appended
+};
+
+// Runs the property. Tests assert `report.passed` (and can inspect the
+// shrink fields — the mutation smoke-check does).
+CheckReport check(const std::string& name, const Property& property,
+                  const CheckConfig& cfg = {});
+
+// --- seed plumbing (shared with non-dartcheck tests, e.g. the fuzz suite) --
+
+// Parses decimal or 0x-hex; nullopt when unset/unparsable.
+[[nodiscard]] std::optional<std::uint64_t> env_u64(const char* name);
+
+// DART_SEED override, else `fallback`. Logs one line to stderr either way so
+// every CI failure comes with its seed attached.
+[[nodiscard]] std::uint64_t seed_from_env(std::uint64_t fallback,
+                                          const char* context = nullptr);
+
+// Seed of case `index` for a given base seed. Case 0 IS the base seed —
+// that identity is what makes the printed repro line exact.
+[[nodiscard]] std::uint64_t case_seed(std::uint64_t base, std::uint64_t index);
+
+// Appends `artifact` as a hex fixture named `<property>-<seed>.hex` under
+// `dir`; returns the path, or "" on I/O failure.
+std::string append_corpus_case(const std::string& dir,
+                               const std::string& property,
+                               std::uint64_t seed,
+                               std::span<const std::byte> artifact,
+                               const std::string& note);
+
+}  // namespace dart::check

@@ -1,0 +1,105 @@
+// dartcheck Rng — a recordable, replayable random source.
+//
+// Every random decision a property makes flows through one of these. In
+// RECORD mode the Rng draws from a seeded Xoshiro256 and logs each raw
+// 64-bit draw onto a "choice tape". In REPLAY mode it plays a tape back
+// (padding with zeros once the tape is exhausted), so the shrinker can
+// minimize a failing case by editing the tape — truncating it, zeroing
+// spans, halving entries — and re-running the property, without knowing
+// anything about what the draws *meant*. This is the integrated-shrinking
+// design (à la Hypothesis): generators compose freely and shrinking comes
+// for free, because a lexicographically smaller tape decodes to a simpler
+// generated value by construction.
+//
+// Conventions that make zero the "simplest" choice:
+//   - below(b) returns draw % b, so a zero draw picks index 0 — order
+//     generator alternatives simplest-first;
+//   - chance(p) is true only for draws in the TOP p fraction, so a zero
+//     draw answers "no" — phrase optional complications as chance().
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/random.hpp"
+
+namespace dart::check {
+
+class Rng {
+ public:
+  // RECORD mode: fresh generator from `seed`, tape grows with each draw.
+  explicit Rng(std::uint64_t seed) : gen_(seed), replay_(false) {}
+
+  // REPLAY mode: plays `tape` back; draws past the end return 0.
+  explicit Rng(std::span<const std::uint64_t> tape)
+      : gen_(0), replay_(true), replay_tape_(tape) {}
+
+  // Raw 64-bit draw — the unit the choice tape records.
+  std::uint64_t u64() {
+    std::uint64_t v;
+    if (replay_) {
+      v = pos_ < replay_tape_.size() ? replay_tape_[pos_] : 0;
+      ++pos_;
+    } else {
+      v = gen_();
+    }
+    used_.push_back(v);
+    return v;
+  }
+
+  // Uniform-ish integer in [0, bound); bound 0 yields 0. Plain modulo on
+  // purpose: the tiny bias is irrelevant for testing, and the monotone
+  // draw→value mapping is what makes tape shrinking shrink values.
+  std::uint64_t below(std::uint64_t bound) {
+    const auto v = u64();
+    return bound == 0 ? 0 : v % bound;
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+    return lo + below(hi - lo + 1);
+  }
+
+  double uniform() { return static_cast<double>(u64() >> 11) * 0x1.0p-53; }
+
+  // Bernoulli(p), arranged so a zero draw answers false.
+  bool chance(double p) { return uniform() >= 1.0 - p; }
+
+  // Picks one element of a simplest-first alternative list.
+  template <typename T>
+  T pick(std::initializer_list<T> options) {
+    return options.begin()[below(options.size())];
+  }
+
+  std::vector<std::byte> bytes(std::size_t n) {
+    std::vector<std::byte> out;
+    out.reserve(n);
+    // Pack 8 bytes per draw so tapes stay short.
+    while (out.size() < n) {
+      auto v = u64();
+      for (int i = 0; i < 8 && out.size() < n; ++i) {
+        out.push_back(static_cast<std::byte>(v & 0xFF));
+        v >>= 8;
+      }
+    }
+    return out;
+  }
+
+  // The draws this Rng has served so far, in order — in RECORD mode the
+  // tape to replay, in REPLAY mode the (zero-padded) values actually used.
+  [[nodiscard]] const std::vector<std::uint64_t>& used() const noexcept {
+    return used_;
+  }
+  [[nodiscard]] std::size_t draws() const noexcept { return used_.size(); }
+  [[nodiscard]] bool replaying() const noexcept { return replay_; }
+
+ private:
+  Xoshiro256 gen_;
+  bool replay_;
+  std::span<const std::uint64_t> replay_tape_{};
+  std::size_t pos_ = 0;
+  std::vector<std::uint64_t> used_;
+};
+
+}  // namespace dart::check

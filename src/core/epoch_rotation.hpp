@@ -94,6 +94,13 @@ class RotatingCollector {
 
   [[nodiscard]] const DartConfig& config() const noexcept { return config_; }
 
+  // Direct store access for quiescent inspection (the analogue of
+  // Collector::store()). Only meaningful while no writer is executing —
+  // differential tests read it after IngestPipeline::finish().
+  [[nodiscard]] const DartStore& active_store() const noexcept {
+    return *regions_[active_region()].store;
+  }
+
  private:
   struct Region {
     std::vector<std::byte> memory;

@@ -62,8 +62,12 @@ std::vector<std::byte> int_source_encap(const IntMdHeader& md,
   put_be16(out.data() + 8, md.instructions);
   put_be16(out.data() + 10, md.domain_id);
 
-  std::memcpy(out.data() + kIntShimLen + kIntMdLen, inner_payload.data(),
-              inner_payload.size());
+  if (!inner_payload.empty()) {
+    // memcpy forbids a null source even for size 0, and an empty span's
+    // data() may be null.
+    std::memcpy(out.data() + kIntShimLen + kIntMdLen, inner_payload.data(),
+                inner_payload.size());
+  }
   return out;
 }
 

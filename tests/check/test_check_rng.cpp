@@ -1,0 +1,113 @@
+// dartcheck Rng: record/replay determinism, the zero-is-simplest
+// conventions, and the seed plumbing (case_seed, env overrides).
+#include "check/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "check/property.hpp"
+
+namespace dart::check {
+namespace {
+
+TEST(CheckRng, SameSeedSameDraws) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.u64(), b.u64());
+  Rng c(43);
+  bool differs = false;
+  Rng a2(42);
+  for (int i = 0; i < 100; ++i) differs |= a2.u64() != c.u64();
+  EXPECT_TRUE(differs);
+}
+
+TEST(CheckRng, ReplayReproducesRecordedRun) {
+  Rng rec(0xBEEF);
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 20; ++i) values.push_back(rec.below(1000));
+  ASSERT_EQ(rec.draws(), 20u);
+
+  Rng rep(rec.used());
+  EXPECT_TRUE(rep.replaying());
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(rep.below(1000), values[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(CheckRng, ReplayPadsWithZerosPastTapeEnd) {
+  const std::vector<std::uint64_t> tape = {7, 8};
+  Rng rng(tape);
+  EXPECT_EQ(rng.u64(), 7u);
+  EXPECT_EQ(rng.u64(), 8u);
+  EXPECT_EQ(rng.u64(), 0u);  // exhausted → zero
+  EXPECT_EQ(rng.below(100), 0u);
+  EXPECT_FALSE(rng.chance(0.5));  // zero draw answers "no"
+  EXPECT_EQ(rng.draws(), 5u);
+}
+
+TEST(CheckRng, ZeroTapeDecodesToSimplestChoices) {
+  Rng rng(std::span<const std::uint64_t>{});
+  EXPECT_EQ(rng.below(1000), 0u);
+  EXPECT_EQ(rng.range(5, 9), 5u);
+  EXPECT_FALSE(rng.chance(0.99));
+  EXPECT_EQ(rng.pick({10, 20, 30}), 10);  // first = simplest
+}
+
+TEST(CheckRng, BoundsRespected) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+    const auto r = rng.range(5, 9);
+    EXPECT_GE(r, 5u);
+    EXPECT_LE(r, 9u);
+    const auto u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  EXPECT_EQ(rng.below(0), 0u);  // degenerate bound
+}
+
+TEST(CheckRng, ChanceExtremes) {
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) EXPECT_FALSE(rng.chance(0.0));
+  for (int i = 0; i < 200; ++i) EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(CheckRng, BytesLengthAndDeterminism) {
+  Rng a(9), b(9);
+  for (const std::size_t n : {0u, 1u, 7u, 8u, 9u, 64u}) {
+    const auto x = a.bytes(n);
+    EXPECT_EQ(x.size(), n);
+    EXPECT_EQ(x, b.bytes(n));
+  }
+}
+
+TEST(CheckSeeds, CaseZeroIsBaseSeed) {
+  EXPECT_EQ(case_seed(0x1234, 0), 0x1234u);
+  // Later cases are scrambled and distinct.
+  EXPECT_NE(case_seed(0x1234, 1), 0x1234u);
+  EXPECT_NE(case_seed(0x1234, 1), case_seed(0x1234, 2));
+  EXPECT_NE(case_seed(0x1234, 1), case_seed(0x1235, 1));
+}
+
+TEST(CheckSeeds, EnvU64ParsesDecimalAndHex) {
+  ::setenv("DART_TEST_ENV_U64", "123", 1);
+  EXPECT_EQ(env_u64("DART_TEST_ENV_U64"), 123u);
+  ::setenv("DART_TEST_ENV_U64", "0xff", 1);
+  EXPECT_EQ(env_u64("DART_TEST_ENV_U64"), 255u);
+  ::setenv("DART_TEST_ENV_U64", "nonsense", 1);
+  EXPECT_EQ(env_u64("DART_TEST_ENV_U64"), std::nullopt);
+  ::unsetenv("DART_TEST_ENV_U64");
+  EXPECT_EQ(env_u64("DART_TEST_ENV_U64"), std::nullopt);
+}
+
+TEST(CheckSeeds, SeedFromEnvPrefersOverride) {
+  ::unsetenv("DART_SEED");
+  EXPECT_EQ(seed_from_env(0xF00D, "rng-test"), 0xF00Du);
+  ::setenv("DART_SEED", "0xABCD", 1);
+  EXPECT_EQ(seed_from_env(0xF00D, "rng-test"), 0xABCDu);
+  ::unsetenv("DART_SEED");
+}
+
+}  // namespace
+}  // namespace dart::check

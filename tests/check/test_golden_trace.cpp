@@ -1,0 +1,182 @@
+// Golden-trace replay: the committed fixtures under tests/golden/ must be
+// byte-identical to what the reference crafters produce today, and feeding
+// them through the real ingest path must reproduce the documented effects.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+
+#include "check/golden.hpp"
+#include "core/oracle.hpp"
+#include "core/query_protocol.hpp"
+
+namespace dart::check {
+namespace {
+
+std::string golden_dir() { return std::string(DART_SOURCE_DIR) + "/tests/golden"; }
+
+std::map<std::string, Trace> committed_traces() {
+  std::map<std::string, Trace> out;
+  for (const auto& fresh : canonical_golden_traces()) {
+    const auto t = read_trace_file(golden_dir() + "/" + fresh.name + ".hex");
+    if (t.has_value()) out[t->name] = *t;
+  }
+  return out;
+}
+
+TEST(GoldenTrace, HexRoundTrip) {
+  const std::vector<std::byte> bytes = {std::byte{0x00}, std::byte{0xde},
+                                        std::byte{0xad}, std::byte{0xff}};
+  EXPECT_EQ(to_hex(bytes), "00deadff");
+  EXPECT_EQ(from_hex("00deadff"), bytes);
+  EXPECT_EQ(from_hex("00 de AD ff"), bytes);  // spaces + upper ok
+  EXPECT_EQ(from_hex("0"), std::nullopt);     // odd digits
+  EXPECT_EQ(from_hex("zz"), std::nullopt);    // not hex
+  EXPECT_EQ(from_hex("0 0"), std::nullopt);   // split pair
+  EXPECT_TRUE(from_hex("")->empty());
+}
+
+TEST(GoldenTrace, CommittedFixturesAreByteIdentical) {
+  const auto committed = committed_traces();
+  for (const auto& fresh : canonical_golden_traces()) {
+    const auto it = committed.find(fresh.name);
+    ASSERT_NE(it, committed.end())
+        << "missing fixture tests/golden/" << fresh.name
+        << ".hex — regenerate: build/tools/dart_trace golden --out=tests/golden";
+    const auto& artifacts = it->second.artifacts;
+    ASSERT_EQ(artifacts.size(), fresh.artifacts.size()) << fresh.name;
+    for (std::size_t i = 0; i < artifacts.size(); ++i) {
+      ASSERT_EQ(artifacts[i].size(), fresh.artifacts[i].size())
+          << fresh.name << " artifact " << i;
+      for (std::size_t off = 0; off < artifacts[i].size(); ++off) {
+        ASSERT_EQ(artifacts[i][off], fresh.artifacts[i][off])
+            << fresh.name << " artifact " << i << " drifts at byte " << off;
+      }
+    }
+  }
+}
+
+// Replaying write_reports through a fresh golden-deployment collector: the
+// All 15 frames execute — collector QPs run PsnPolicy::kIgnore, so even the
+// wrap-edge PSNs (0xfffffe, 0xffffff, 0x000000 after 12 sequential frames)
+// land; reporters never retransmit and the store is last-writer-wins. Every
+// written key then resolves to its golden value.
+TEST(GoldenTrace, WriteReportsReplayPinsIngestSemantics) {
+  const auto committed = committed_traces();
+  const auto it = committed.find("write_reports");
+  ASSERT_NE(it, committed.end());
+  ASSERT_EQ(it->second.artifacts.size(), 15u);
+
+  const auto dep = golden_deployment();
+  core::Collector collector(dep.config, 0, dep.collector_endpoint);
+  for (const auto& frame : it->second.artifacts) {
+    collector.rnic().process_frame(frame);
+  }
+  const auto& c = collector.ingest_counters();
+  EXPECT_EQ(c.frames.load(), 15u);
+  EXPECT_EQ(c.executed.load(), 15u);
+  EXPECT_EQ(c.psn_rejected.load(), 0u);
+
+  for (std::uint64_t k = 1; k <= 6; ++k) {
+    const auto result = collector.query(core::sim_key(k));
+    ASSERT_EQ(result.outcome, core::QueryOutcome::kFound) << "key " << k;
+    EXPECT_EQ(result.value, golden_value(k, dep.config.value_bytes));
+    EXPECT_EQ(result.checksum_matches, 2u);
+  }
+  // Key 7 arrived only on the wrap-edge frames, copy 0 each time: one slot
+  // holds it (thrice overwritten with the same bytes), copy 1 stayed empty.
+  const auto k7 = collector.query(core::sim_key(7));
+  ASSERT_EQ(k7.outcome, core::QueryOutcome::kFound);
+  EXPECT_EQ(k7.value, golden_value(7, dep.config.value_bytes));
+  EXPECT_EQ(k7.checksum_matches, 1u);
+}
+
+TEST(GoldenTrace, AtomicReportsReplayPinsAtomicSemantics) {
+  const auto committed = committed_traces();
+  const auto it = committed.find("atomic_reports");
+  ASSERT_NE(it, committed.end());
+  ASSERT_EQ(it->second.artifacts.size(), 5u);
+
+  const auto dep = golden_deployment();
+  core::Collector collector(dep.config, 0, dep.collector_endpoint);
+  for (const auto& frame : it->second.artifacts) {
+    collector.rnic().process_frame(frame);
+  }
+  const auto& c = collector.ingest_counters();
+  EXPECT_EQ(c.fetch_adds.load(), 3u);
+  EXPECT_EQ(c.compare_swaps.load(), 2u);
+  EXPECT_EQ(c.cas_mismatches.load(), 0u);  // both CAS hit zeroed words
+
+  const auto word_at = [&](std::uint64_t w) {
+    std::uint64_t v;
+    std::memcpy(&v, collector.store().memory().data() + w * 8, 8);
+    return v;
+  };
+  // Values are host-endian in memory, per the RNIC's atomic semantics.
+  for (const std::uint64_t w : {0ull, 5ull, 100ull}) {
+    EXPECT_EQ(word_at(w), 0x0101'0000'0000'0000ull + w) << "word " << w;
+  }
+  for (const std::uint64_t w : {1ull, 7ull}) {
+    EXPECT_EQ(word_at(w), 0xC0DE'0000'0000'0000ull + w) << "word " << w;
+  }
+}
+
+TEST(GoldenTrace, MultiwriteReportsReplayFillsAllSlots) {
+  const auto committed = committed_traces();
+  const auto it = committed.find("multiwrite_reports");
+  ASSERT_NE(it, committed.end());
+
+  const auto dep = golden_deployment();
+  core::Collector collector(dep.config, 0, dep.collector_endpoint);
+  collector.rnic().set_dta_multiwrite(true);
+  for (const auto& frame : it->second.artifacts) {
+    collector.rnic().process_frame(frame);
+  }
+  EXPECT_EQ(collector.ingest_counters().multiwrite_frames.load(), 4u);
+  for (std::uint64_t k = 1; k <= 4; ++k) {
+    const auto result = collector.query(core::sim_key(k));
+    ASSERT_EQ(result.outcome, core::QueryOutcome::kFound) << "key " << k;
+    EXPECT_EQ(result.value, golden_value(k, dep.config.value_bytes));
+    EXPECT_EQ(result.checksum_matches, dep.config.n_addresses);
+  }
+}
+
+TEST(GoldenTrace, QueryWirePayloadsParseBack) {
+  const auto committed = committed_traces();
+  const auto it = committed.find("query_wire");
+  ASSERT_NE(it, committed.end());
+  ASSERT_EQ(it->second.artifacts.size(), 7u);
+
+  // First four artifacts: requests, one per return policy, ids 1..4.
+  const core::ReturnPolicy policies[] = {
+      core::ReturnPolicy::kFirstMatch, core::ReturnPolicy::kSingleDistinct,
+      core::ReturnPolicy::kPlurality, core::ReturnPolicy::kConsensusTwo};
+  for (std::uint64_t id = 1; id <= 4; ++id) {
+    const auto req = core::parse_query_request(it->second.artifacts[id - 1]);
+    ASSERT_TRUE(req.has_value()) << "request " << id;
+    EXPECT_EQ(req->request_id, id);
+    EXPECT_EQ(req->epoch, 0xE0000u + id);
+    EXPECT_EQ(req->policy, policies[id - 1]);
+    const auto key = core::sim_key(id);
+    EXPECT_TRUE(std::equal(req->key.begin(), req->key.end(), key.begin(),
+                           key.end()));
+  }
+  // Then: found, empty, degraded responses.
+  const auto found = core::parse_query_response(it->second.artifacts[4]);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->outcome, core::QueryOutcome::kFound);
+  EXPECT_EQ(found->epoch, 0xE0001u);
+  EXPECT_FALSE(found->degraded());
+
+  const auto empty = core::parse_query_response(it->second.artifacts[5]);
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_EQ(empty->outcome, core::QueryOutcome::kEmpty);
+
+  const auto degraded = core::parse_query_response(it->second.artifacts[6]);
+  ASSERT_TRUE(degraded.has_value());
+  EXPECT_TRUE(degraded->degraded());
+  EXPECT_EQ(degraded->stale_epochs, 2u);
+}
+
+}  // namespace
+}  // namespace dart::check

@@ -1,0 +1,201 @@
+// Failback-race properties for fault::RecoveryManager. The chaos e2e tests
+// pin a handful of hand-written and FaultPlan::random schedules; these
+// properties generate kill/revive schedules from the dartcheck Rng —
+// overlapping deaths, revives in the opposite order of the kills, revives
+// landing between two probe ticks — and assert the convergence contract for
+// ALL of them:
+//
+//   every kill that outlives the detection timeout is detected, adopted by
+//   a backup, and failed back after the revive; by the horizon no takeover
+//   is live, every collector is admin-alive, and the audit log for each
+//   collector is a clean (death → takeover → failback)* sequence with
+//   non-decreasing timestamps.
+//
+// Each case spins up a full WireFabric, so the case count is small; the
+// schedule space it explores per case is what the fixed tests cannot cover.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "check/property.hpp"
+#include "check/rng.hpp"
+#include "fault/recovery.hpp"
+#include "telemetry/wire_fabric.hpp"
+
+namespace dart::check {
+namespace {
+
+constexpr std::uint64_t kMs = 1'000'000;
+
+telemetry::WireFabricConfig small_fabric_config(std::uint64_t seed) {
+  telemetry::WireFabricConfig cfg;
+  cfg.fat_tree_k = 4;
+  cfg.dart.n_slots = 1 << 8;  // recovery control plane; stores stay tiny
+  cfg.dart.n_addresses = 2;
+  cfg.dart.value_bytes = 8;
+  cfg.dart.master_seed = 0x0B5;
+  cfg.n_collectors = 3;
+  cfg.report_loss_rate = 0.0;
+  cfg.seed = seed;
+  return cfg;
+}
+
+struct KillWindow {
+  std::uint32_t collector;
+  std::uint64_t kill_at;
+  std::uint64_t revive_at;
+};
+
+std::optional<Failure> failback_convergence_property(Rng& rng) {
+  telemetry::WireFabric fabric(small_fabric_config(rng.u64()));
+  auto& sim = fabric.simulator();
+  fault::RecoveryManager recovery(fabric, fault::RecoveryConfig{});
+
+  // 1–2 of the 3 collectors die once each. Never all three: a takeover
+  // needs a live backup, and the failure model guarantees one. Windows
+  // overlap freely — that is the race under test — and every window is
+  // long enough (≥10 ms vs the 5 ms liveness timeout) that detection
+  // always wins the race against the revive.
+  const auto n_kills = 1 + rng.below(2);
+  std::vector<std::uint32_t> victims{0, 1, 2};
+  // Fisher–Yates off the tape so the victim set shrinks deterministically.
+  for (std::size_t i = 0; i + 1 < victims.size(); ++i) {
+    std::swap(victims[i], victims[i + rng.below(victims.size() - i)]);
+  }
+  victims.resize(n_kills);
+
+  std::vector<KillWindow> plan;
+  for (const auto c : victims) {
+    KillWindow w;
+    w.collector = c;
+    w.kill_at = (3 + rng.below(12)) * kMs;
+    w.revive_at = w.kill_at + (10 + rng.below(15)) * kMs;
+    plan.push_back(w);
+  }
+  for (const auto& w : plan) {
+    sim.schedule(w.kill_at, [&recovery, c = w.collector] {
+      recovery.kill_collector(c);
+    });
+    sim.schedule(w.revive_at, [&recovery, c = w.collector] {
+      recovery.revive_collector(c);
+    });
+  }
+
+  // Last revive ≤ 39 ms; the probe backoff (2 ms doubling, 32 ms cap)
+  // answers within one capped interval, so 80 ms leaves failback room.
+  recovery.start(/*horizon_ns=*/80 * kMs);
+  fabric.run();
+
+  // --- convergence ---------------------------------------------------------
+  const auto& stats = recovery.stats();
+  if (stats.kills != n_kills || stats.revivals != n_kills) {
+    return Failure{"admin ledger: " + std::to_string(stats.kills) + " kills, " +
+                       std::to_string(stats.revivals) + " revivals for a " +
+                       std::to_string(n_kills) + "-kill plan",
+                   {}};
+  }
+  if (stats.deaths_detected != n_kills) {
+    return Failure{"detected " + std::to_string(stats.deaths_detected) +
+                       " deaths for " + std::to_string(n_kills) +
+                       " kills outliving the timeout",
+                   {}};
+  }
+  if (stats.takeovers != stats.deaths_detected ||
+      stats.failbacks != stats.deaths_detected) {
+    return Failure{"death/takeover/failback counts diverged: " +
+                       std::to_string(stats.deaths_detected) + "/" +
+                       std::to_string(stats.takeovers) + "/" +
+                       std::to_string(stats.failbacks),
+                   {}};
+  }
+  for (std::uint32_t c = 0; c < fabric.n_collectors(); ++c) {
+    if (!recovery.admin_alive(c)) {
+      return Failure{"collector " + std::to_string(c) +
+                         " still admin-dead at the horizon",
+                     {}};
+    }
+    if (recovery.backup_of(c).has_value()) {
+      return Failure{"takeover of collector " + std::to_string(c) +
+                         " never failed back",
+                     {}};
+    }
+  }
+
+  // --- audit-log shape -----------------------------------------------------
+  // Per collector the log must read (death → takeover → failback)*, and the
+  // global log must be in non-decreasing simulated time.
+  using What = fault::RecoveryManager::EventRecord::What;
+  std::uint64_t prev_ns = 0;
+  std::map<std::uint32_t, What> next_expected;
+  for (const auto& ev : recovery.log()) {
+    if (ev.at_ns < prev_ns) {
+      return Failure{"audit log is not time-ordered", {}};
+    }
+    prev_ns = ev.at_ns;
+    const auto expected =
+        next_expected.count(ev.collector) ? next_expected[ev.collector]
+                                          : What::kDeathDetected;
+    if (ev.what != expected) {
+      return Failure{"collector " + std::to_string(ev.collector) +
+                         " log out of phase at t=" + std::to_string(ev.at_ns),
+                     {}};
+    }
+    next_expected[ev.collector] =
+        ev.what == What::kDeathDetected  ? What::kTakeover
+        : ev.what == What::kTakeover     ? What::kFailback
+                                         : What::kDeathDetected;
+    // A takeover's backup must have been admin-alive SOME time — it can
+    // never be a collector that is currently mid-takeover itself as the
+    // dead party. (backup == collector would be a self-adoption bug.)
+    if (ev.what != What::kDeathDetected && ev.backup == ev.collector) {
+      return Failure{"collector " + std::to_string(ev.collector) +
+                         " adopted by itself",
+                     {}};
+    }
+  }
+  for (const auto& [c, expected] : next_expected) {
+    if (expected != What::kDeathDetected) {
+      return Failure{"collector " + std::to_string(c) +
+                         " log ends mid-cycle (takeover without failback)",
+                     {}};
+    }
+  }
+
+  // Detection latency: every death must be declared within the liveness
+  // timeout plus one tick plus one heartbeat of slack.
+  const fault::RecoveryConfig rc;
+  const auto detect_budget = rc.liveness.timeout_ns +
+                             rc.liveness.heartbeat_interval_ns +
+                             2 * rc.tick_interval_ns;
+  for (const auto& w : plan) {
+    std::uint64_t detected_at = 0;
+    for (const auto& ev : recovery.log()) {
+      if (ev.collector == w.collector && ev.what == What::kDeathDetected) {
+        detected_at = ev.at_ns;
+        break;
+      }
+    }
+    if (detected_at < w.kill_at || detected_at > w.kill_at + detect_budget) {
+      return Failure{"death of collector " + std::to_string(w.collector) +
+                         " at t=" + std::to_string(w.kill_at) +
+                         " detected at t=" + std::to_string(detected_at) +
+                         ", budget " + std::to_string(detect_budget),
+                     {}};
+    }
+  }
+  return std::nullopt;
+}
+
+TEST(PropFault, RandomKillReviveSchedulesConvergeAndFailBack) {
+  CheckConfig cfg;
+  cfg.cases = 15;  // each case builds a full fat-tree WireFabric
+  const auto report =
+      check("fault_failback", failback_convergence_property, cfg);
+  EXPECT_TRUE(report.passed) << report.message << "\nrepro: " << report.repro;
+}
+
+}  // namespace
+}  // namespace dart::check

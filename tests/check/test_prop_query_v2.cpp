@@ -1,0 +1,247 @@
+// Protocol-v2 epoch-echo properties for the live operator ↔ service
+// exchange. The fixed regression tests pin one duplicating relay and one
+// forged replay; these properties drive the exchange under RANDOM
+// duplication factors on BOTH directions, random epoch bumps between
+// requests, and random post-hoc replays — 1000 seeded cases — and assert
+// the v2 bookkeeping contract exactly:
+//
+//   epoch echo    every recorded response carries the epoch its request was
+//                 stamped with, not the client's current epoch
+//   retire once   a request retires on its FIRST response; every extra
+//                 delivery (request-dup × response-dup − 1 per query) counts
+//                 unexpected and cannot corrupt pending()
+//   truth         found/empty and the value match what the cluster holds
+//   no leakage    healthy services never set degraded/stale markers
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "check/property.hpp"
+#include "check/rng.hpp"
+#include "core/cluster.hpp"
+#include "core/query_protocol.hpp"
+#include "core/query_service.hpp"
+#include "core/report_crafter.hpp"
+#include "net/headers.hpp"
+#include "net/netsim.hpp"
+
+namespace dart::check {
+namespace {
+
+// Forwards every packet to `target` `copies` times — the generalized
+// duplicating link (copies=1 is a faithful relay).
+class RepeatingRelay final : public net::Node {
+ public:
+  RepeatingRelay(net::NodeId target, std::uint32_t copies)
+      : target_(target), copies_(copies) {}
+  void receive(net::Packet packet, std::uint64_t) override {
+    for (std::uint32_t i = 1; i < copies_; ++i) {
+      sim_->send(self_, target_, packet.clone());
+    }
+    sim_->send(self_, target_, std::move(packet));
+  }
+
+ private:
+  net::NodeId target_;
+  std::uint32_t copies_;
+};
+
+std::optional<Failure> epoch_echo_property(Rng& rng) {
+  core::DartConfig cfg;
+  cfg.n_slots = 1 << 8;
+  cfg.n_addresses = 2;
+  cfg.value_bytes = 8;
+  cfg.master_seed = 0x0E00 + rng.below(8);
+  core::CollectorCluster cluster(cfg, 2);
+  core::ReportCrafter crafter(cfg);
+
+  net::Simulator sim{1};
+  std::vector<std::pair<net::Ipv4Addr, net::NodeId>> arp;
+  auto resolver = [&arp](net::Ipv4Addr ip) -> std::optional<net::NodeId> {
+    for (const auto& [addr, node] : arp) {
+      if (addr == ip) return node;
+    }
+    return std::nullopt;
+  };
+
+  std::vector<net::Ipv4Addr> service_ips;
+  std::vector<std::unique_ptr<core::QueryServiceNode>> services;
+  for (std::uint32_t c = 0; c < 2; ++c) {
+    service_ips.push_back(
+        net::Ipv4Addr::from_octets(10, 0, 100, static_cast<std::uint8_t>(c)));
+    services.push_back(std::make_unique<core::QueryServiceNode>(
+        cluster.collector(c), service_ips[c], resolver));
+  }
+  const auto operator_ip = net::Ipv4Addr::from_octets(10, 9, 0, 1);
+  core::OperatorClient op(crafter, operator_ip, service_ips, resolver);
+
+  const auto op_node = sim.add_node(op);
+  arp.emplace_back(operator_ip, op_node);
+  std::vector<net::NodeId> svc_nodes;
+  for (std::uint32_t c = 0; c < 2; ++c) {
+    const auto node = sim.add_node(*services[c]);
+    svc_nodes.push_back(node);
+    arp.emplace_back(service_ips[c], node);
+    sim.connect(op_node, node, /*latency_ns=*/500 + rng.below(3000));
+  }
+
+  // Random duplication on each direction. Repointing an ARP row at a relay
+  // splices it into every path that resolves that IP.
+  const auto dup_req = 1 + static_cast<std::uint32_t>(rng.below(3));
+  const auto dup_resp = 1 + static_cast<std::uint32_t>(rng.below(3));
+  std::vector<std::unique_ptr<RepeatingRelay>> relays;
+  const auto splice = [&](net::Ipv4Addr ip, net::NodeId endpoint,
+                          std::uint32_t copies) {
+    relays.push_back(std::make_unique<RepeatingRelay>(endpoint, copies));
+    const auto relay_node = sim.add_node(*relays.back());
+    sim.connect(relay_node, op_node, 700);
+    for (const auto svc : svc_nodes) sim.connect(relay_node, svc, 700);
+    for (auto& [addr, node] : arp) {
+      if (addr == ip) node = relay_node;
+    }
+  };
+  if (dup_req > 1) {
+    for (std::uint32_t c = 0; c < 2; ++c) {
+      splice(service_ips[c], svc_nodes[c], dup_req);
+    }
+  }
+  if (dup_resp > 1) splice(operator_ip, op_node, dup_resp);
+
+  // Random workload: keys written (or not), epoch bumped between requests.
+  // All writes land before sim.run() delivers any request, so the services
+  // resolve against the same final store state a local query sees — the
+  // truth oracle below stays exact even when two keys collide on a slot.
+  struct Issued {
+    std::uint64_t id;
+    std::uint32_t epoch;
+    std::vector<std::byte> key;
+  };
+  std::vector<Issued> issued;
+  const auto n_queries = 1 + rng.below(6);
+  std::uint32_t epoch = static_cast<std::uint32_t>(rng.u64());
+  op.set_epoch(epoch);
+  for (std::uint64_t q = 0; q < n_queries; ++q) {
+    if (rng.chance(0.5)) {
+      epoch = static_cast<std::uint32_t>(rng.u64());
+      op.set_epoch(epoch);
+    }
+    Issued rec;
+    rec.epoch = epoch;
+    // Unique per query (leading index byte) so ids map to one key each.
+    rec.key = rng.bytes(1 + rng.below(12));
+    rec.key.insert(rec.key.begin(), static_cast<std::byte>(q));
+    if (rng.chance(0.7)) {
+      cluster.write(rec.key, rng.bytes(cfg.value_bytes));
+    }
+    rec.id = op.query(rec.key);
+    issued.push_back(std::move(rec));
+  }
+  if (op.pending() != issued.size()) {
+    return Failure{"pending() != queries in flight before the run", {}};
+  }
+  sim.run();
+
+  // --- retire-once accounting ----------------------------------------------
+  const auto deliveries =
+      static_cast<std::uint64_t>(dup_req) * dup_resp * issued.size();
+  if (op.pending() != 0) {
+    return Failure{std::to_string(op.pending()) +
+                       " requests still pending after a lossless run",
+                   {}};
+  }
+  if (op.queries_sent() != issued.size() ||
+      op.responses_received() != issued.size()) {
+    return Failure{"sent/received: " + std::to_string(op.queries_sent()) +
+                       "/" + std::to_string(op.responses_received()) +
+                       " for " + std::to_string(issued.size()) + " queries",
+                   {}};
+  }
+  if (op.unexpected_responses() != deliveries - issued.size()) {
+    return Failure{"unexpected_responses " +
+                       std::to_string(op.unexpected_responses()) +
+                       ", duplication says " +
+                       std::to_string(deliveries - issued.size()),
+                   {}};
+  }
+  if (op.stray_responses() != 0) {
+    return Failure{"well-addressed duplicates counted as stray", {}};
+  }
+  std::uint64_t served = 0;
+  for (const auto& svc : services) {
+    served += svc->requests_served();
+    if (svc->malformed_requests() != 0 || svc->not_for_me() != 0) {
+      return Failure{"service miscounted duplicated requests", {}};
+    }
+  }
+  if (served != static_cast<std::uint64_t>(dup_req) * issued.size()) {
+    return Failure{"services served " + std::to_string(served) +
+                       ", request duplication says " +
+                       std::to_string(dup_req * issued.size()),
+                   {}};
+  }
+
+  // --- epoch echo + truth ---------------------------------------------------
+  for (const auto& rec : issued) {
+    const auto resp = op.take_response(rec.id);
+    if (!resp.has_value()) {
+      return Failure{"response for id " + std::to_string(rec.id) + " lost",
+                     {}};
+    }
+    if (resp->epoch != rec.epoch) {
+      return Failure{"response echoes epoch " + std::to_string(resp->epoch) +
+                         ", request was stamped " + std::to_string(rec.epoch),
+                     {}};
+    }
+    if (resp->degraded() || resp->stale_epochs != 0) {
+      return Failure{"healthy service set degradation markers", {}};
+    }
+    // Differential truth: the over-the-wire answer must equal a local query
+    // against the same cluster under the same (default) policy.
+    const auto local = cluster.query(rec.key, core::ReturnPolicy::kPlurality);
+    if (resp->outcome != local.outcome || resp->value != local.value ||
+        resp->checksum_matches != local.checksum_matches ||
+        resp->distinct_values != local.distinct_values) {
+      return Failure{"wire response diverged from the local query for id " +
+                         std::to_string(rec.id),
+                     {}};
+    }
+  }
+
+  // --- forged replay for a retired id --------------------------------------
+  // Epoch echo must anchor to the recorded response even when a replay with
+  // a different epoch and value shows up later.
+  if (!issued.empty() && rng.chance(0.5)) {
+    const auto& victim = issued[rng.below(issued.size())];
+    core::QueryResponse forged;
+    forged.request_id = victim.id;
+    forged.epoch = victim.epoch ^ 0xFFFF'FFFFu;
+    forged.outcome = core::QueryOutcome::kFound;
+    forged.value = rng.bytes(cfg.value_bytes);
+    net::UdpFrameSpec spec;
+    spec.src_ip = service_ips[0];
+    spec.dst_ip = operator_ip;
+    spec.src_port = core::kDartQueryUdpPort;
+    spec.dst_port = core::kDartQueryUdpPort;
+    const auto before = op.unexpected_responses();
+    op.receive(
+        net::Packet(net::build_udp_frame(spec,
+                                         encode_query_response(forged))),
+        0);
+    if (op.unexpected_responses() != before + 1 || op.pending() != 0) {
+      return Failure{"forged replay corrupted the retire-once ledger", {}};
+    }
+  }
+  return std::nullopt;
+}
+
+TEST(PropQueryV2, EpochEchoSurvivesDuplicationOnBothDirections) {
+  const auto report = check("query_epoch_echo", epoch_echo_property, {});
+  EXPECT_TRUE(report.passed) << report.message << "\nrepro: " << report.repro;
+  EXPECT_GE(report.cases_run, 1000u);
+}
+
+}  // namespace
+}  // namespace dart::check

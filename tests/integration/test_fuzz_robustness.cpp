@@ -3,6 +3,10 @@
 // input. A telemetry collector's NIC faces the rawest traffic in the
 // datacenter; "garbage in → counted drop" is a core invariant of this
 // codebase.
+//
+// Every suite logs its RNG seed on entry and honors a DART_SEED override
+// (check::seed_from_env), so a failure in CI is reproducible locally with
+// the exact byte stream that triggered it.
 #include <gtest/gtest.h>
 
 #include <cstring>
@@ -11,6 +15,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "check/property.hpp"
 #include "common/kvconfig.hpp"
 #include "common/random.hpp"
 #include "core/collector.hpp"
@@ -33,7 +38,7 @@ std::vector<std::byte> random_blob(Xoshiro256& rng, std::size_t max_len) {
 }
 
 TEST(Fuzz, ParsersSurviveRandomBlobs) {
-  Xoshiro256 rng(0xF022);
+  Xoshiro256 rng(check::seed_from_env(0xF022, "Fuzz.ParsersSurviveRandomBlobs"));
   for (int i = 0; i < 20'000; ++i) {
     const auto blob = random_blob(rng, 256);
     (void)net::parse_udp_frame(blob);
@@ -57,7 +62,7 @@ TEST(Fuzz, RnicNeverExecutesRandomBlobs) {
   core::Collector collector(cfg, 0, ep);
   collector.rnic().set_dta_multiwrite(true);
 
-  Xoshiro256 rng(0xF033);
+  Xoshiro256 rng(check::seed_from_env(0xF033, "Fuzz.RnicNeverExecutesRandomBlobs"));
   std::uint64_t executed = 0;
   for (int i = 0; i < 20'000; ++i) {
     const auto blob = random_blob(rng, 200);
@@ -98,7 +103,7 @@ TEST(Fuzz, MutatedReportsAreRejectedOrSemanticallyIdentical) {
       crafter.craft_write(reference.remote_info(), src, key, value, 0, 0);
   ASSERT_TRUE(reference.rnic().process_frame(pristine).has_value());
 
-  Xoshiro256 rng(0xF044);
+  Xoshiro256 rng(check::seed_from_env(0xF044, "Fuzz.MutatedReportsAreRejectedOrSemanticallyIdentical"));
   int executed_mutants = 0;
   for (int i = 0; i < 4'000; ++i) {
     core::Collector target(cfg, 0, ep);
@@ -139,7 +144,7 @@ TEST(Fuzz, QueryEngineSurvivesGarbageStoreMemory) {
   cfg.value_bytes = 12;
   cfg.master_seed = 0xF2;
   core::DartStore store(cfg);
-  Xoshiro256 rng(0xF055);
+  Xoshiro256 rng(check::seed_from_env(0xF055, "Fuzz.QueryEngineSurvivesGarbageStoreMemory"));
   for (auto& b : store.memory()) b = static_cast<std::byte>(rng() & 0xFF);
 
   const core::QueryEngine engine(store);
@@ -167,7 +172,7 @@ TEST(Fuzz, QueryEngineSurvivesGarbageStoreMemory) {
 TEST(Fuzz, IntTransitOnMutatedPacketsNeverCorruptsMemory) {
   // INT transit push on random/mutated payloads: returns false or grows the
   // stack coherently; int_parse of the result never reads out of bounds.
-  Xoshiro256 rng(0xF066);
+  Xoshiro256 rng(check::seed_from_env(0xF066, "Fuzz.IntTransitOnMutatedPacketsNeverCorruptsMemory"));
   for (int i = 0; i < 10'000; ++i) {
     auto blob = random_blob(rng, 128);
     const bool pushed = telemetry::int_transit_push(
@@ -183,7 +188,7 @@ TEST(Fuzz, IntTransitOnMutatedPacketsNeverCorruptsMemory) {
 }
 
 TEST(Fuzz, KvConfigSurvivesRandomText) {
-  Xoshiro256 rng(0xF077);
+  Xoshiro256 rng(check::seed_from_env(0xF077, "Fuzz.KvConfigSurvivesRandomText"));
   for (int i = 0; i < 5'000; ++i) {
     std::string text;
     const auto len = rng.below(200);
@@ -205,7 +210,7 @@ TEST(Fuzz, ArchiveReaderSurvivesRandomFiles) {
   namespace fs = std::filesystem;
   const auto path =
       (fs::temp_directory_path() / "dart_fuzz_archive.bin").string();
-  Xoshiro256 rng(0xF088);
+  Xoshiro256 rng(check::seed_from_env(0xF088, "Fuzz.ArchiveReaderSurvivesRandomFiles"));
   int opened = 0;
   for (int i = 0; i < 300; ++i) {
     auto blob = random_blob(rng, 512);

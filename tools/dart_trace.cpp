@@ -1,0 +1,159 @@
+// dart_trace — golden-trace and corpus fixture management.
+//
+//   dart_trace golden --out=DIR   regenerate canonical golden traces
+//   dart_trace corpus --out=DIR   regenerate canonical must-reject corpus
+//   dart_trace verify --golden=DIR
+//                                 regenerate in memory and compare with the
+//                                 committed fixtures; exit 1 on any drift,
+//                                 reporting the first differing byte
+//   dart_trace show FILE          decode a fixture: name, notes, artifact
+//                                 sizes and hex dumps
+//
+// The committed fixtures under tests/golden/ pin the wire formats: CI
+// regenerates and byte-compares them (see docs/TESTING.md). Regenerate with
+// `golden` only after a deliberate wire-format change, and say so in the
+// commit message.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "check/golden.hpp"
+#include "common/bytes.hpp"
+
+namespace {
+
+using dart::check::Trace;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: dart_trace golden --out=DIR\n"
+               "       dart_trace corpus --out=DIR\n"
+               "       dart_trace verify --golden=DIR\n"
+               "       dart_trace show FILE\n");
+  return 2;
+}
+
+std::string arg_value(int argc, char** argv, const char* name) {
+  const auto prefix = std::string(name) + "=";
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return {};
+}
+
+int write_traces(const std::vector<Trace>& traces, const std::string& dir) {
+  for (const auto& trace : traces) {
+    const auto path = dir + "/" + trace.name + ".hex";
+    if (!dart::check::write_trace_file(path, trace)) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::size_t bytes = 0;
+    for (const auto& a : trace.artifacts) bytes += a.size();
+    std::printf("wrote %s (%zu artifacts, %zu bytes)\n", path.c_str(),
+                trace.artifacts.size(), bytes);
+  }
+  return 0;
+}
+
+// Byte-compares regenerated traces against the fixture directory. Reports
+// every drifting trace, with the first differing artifact and byte offset.
+int verify(const std::string& dir) {
+  int drifted = 0;
+  for (const auto& fresh : dart::check::canonical_golden_traces()) {
+    const auto path = dir + "/" + fresh.name + ".hex";
+    const auto committed = dart::check::read_trace_file(path);
+    if (!committed.has_value()) {
+      std::fprintf(stderr, "DRIFT %s: missing or unparsable\n", path.c_str());
+      ++drifted;
+      continue;
+    }
+    if (committed->artifacts.size() != fresh.artifacts.size()) {
+      std::fprintf(stderr, "DRIFT %s: %zu artifacts committed, %zu expected\n",
+                   path.c_str(), committed->artifacts.size(),
+                   fresh.artifacts.size());
+      ++drifted;
+      continue;
+    }
+    bool ok = true;
+    for (std::size_t i = 0; i < fresh.artifacts.size() && ok; ++i) {
+      const auto& a = committed->artifacts[i];
+      const auto& b = fresh.artifacts[i];
+      const auto n = std::min(a.size(), b.size());
+      for (std::size_t off = 0; off < n; ++off) {
+        if (a[off] != b[off]) {
+          std::fprintf(stderr,
+                       "DRIFT %s: artifact %zu byte %zu: committed %02x "
+                       "regenerated %02x\n",
+                       path.c_str(), i, off, static_cast<unsigned>(a[off]),
+                       static_cast<unsigned>(b[off]));
+          ok = false;
+          break;
+        }
+      }
+      if (ok && a.size() != b.size()) {
+        std::fprintf(stderr, "DRIFT %s: artifact %zu is %zu bytes, expected %zu\n",
+                     path.c_str(), i, a.size(), b.size());
+        ok = false;
+      }
+    }
+    if (!ok) {
+      ++drifted;
+    } else {
+      std::printf("ok %s (%zu artifacts)\n", path.c_str(),
+                  fresh.artifacts.size());
+    }
+  }
+  if (drifted != 0) {
+    std::fprintf(stderr,
+                 "%d trace(s) drifted. If the wire format change is "
+                 "deliberate: dart_trace golden --out=%s\n",
+                 drifted, dir.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int show(const std::string& path) {
+  const auto trace = dart::check::read_trace_file(path);
+  if (!trace.has_value()) {
+    std::fprintf(stderr, "error: cannot parse %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("trace: %s\n", trace->name.c_str());
+  for (const auto& note : trace->notes) std::printf("note:  %s\n", note.c_str());
+  for (std::size_t i = 0; i < trace->artifacts.size(); ++i) {
+    const auto& a = trace->artifacts[i];
+    std::printf("artifact %zu (%zu bytes): %s\n", i, a.size(),
+                dart::hex_dump(a, a.size()).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+
+  if (cmd == "golden" || cmd == "corpus") {
+    const auto out = arg_value(argc, argv, "--out");
+    if (out.empty()) return usage();
+    const auto traces = cmd == "golden" ? dart::check::canonical_golden_traces()
+                                        : dart::check::canonical_corpus();
+    return write_traces(traces, out);
+  }
+  if (cmd == "verify") {
+    const auto dir = arg_value(argc, argv, "--golden");
+    if (dir.empty()) return usage();
+    return verify(dir);
+  }
+  if (cmd == "show") {
+    if (argc < 3) return usage();
+    return show(argv[2]);
+  }
+  return usage();
+}
