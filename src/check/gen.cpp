@@ -66,4 +66,42 @@ ReportOp gen_report_op(Rng& rng, const core::DartConfig& config,
   return op;
 }
 
+core::DtaPrimitivesConfig gen_small_primitives(Rng& rng) {
+  core::DtaPrimitivesConfig cfg;
+  cfg.ring.n_entries = rng.pick<std::uint64_t>({4, 8, 16, 64});
+  cfg.ring.value_bytes = rng.pick<std::uint32_t>({4, 8, 16});
+  cfg.counters.n_counters = rng.pick<std::uint64_t>({4, 16, 64});
+  cfg.counters.seed = 0xDA27'00F1ull + rng.below(8);
+  cfg.postcards.n_groups = rng.pick<std::uint64_t>({2, 4, 8});
+  cfg.postcards.max_hops = rng.pick<std::uint32_t>({1, 3, 8});
+  cfg.postcards.checksum_bits = rng.pick<std::uint32_t>({8, 16});
+  cfg.postcards.value_bytes = rng.pick<std::uint32_t>({4, 8});
+  cfg.postcards.seed = 0xDA27'00F2ull + rng.below(8);
+  return cfg;
+}
+
+ReportOp gen_primitive_op(Rng& rng,
+                          const core::DtaPrimitivesConfig& primitives,
+                          double drop_probability) {
+  ReportOp op;
+  // Appends most likely (the ring is where order/wrap bugs live); draw 0 →
+  // the simplest op, an append.
+  const auto kind = rng.below(4);
+  if (kind < 2) {
+    op.kind = ReportOp::Kind::kAppend;
+    op.value = gen_value(rng, primitives.ring.value_bytes);
+  } else if (kind == 2) {
+    op.kind = ReportOp::Kind::kKeyIncrement;
+    op.key = gen_key(rng);
+    op.operand = 1 + rng.below(1u << 16);
+  } else {
+    op.kind = ReportOp::Kind::kPostcard;
+    op.key = gen_key(rng, /*universe=*/8);  // few flows → groups collide
+    op.hop = static_cast<std::uint32_t>(rng.below(primitives.postcards.max_hops));
+    op.value = gen_value(rng, primitives.postcards.value_bytes);
+  }
+  op.dropped = rng.chance(drop_probability);
+  return op;
+}
+
 }  // namespace dart::check

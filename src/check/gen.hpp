@@ -39,4 +39,17 @@ namespace dart::check {
                                      const ReferenceFabric* reference = nullptr,
                                      double drop_probability = 0.1);
 
+// Tiny primitive geometry: rings a handful of entries deep so wrap-around
+// overwrites happen within a short op stream, few counter cells so keys
+// alias, and narrow postcard groups/checksums so partial groups and
+// checksum collisions show up in a 1000-case run.
+[[nodiscard]] core::DtaPrimitivesConfig gen_small_primitives(Rng& rng);
+
+// One primitive op (kAppend / kKeyIncrement / kPostcard) against
+// `primitives`. The zero tape decodes to the simplest op: an append of the
+// zero-pool value, not dropped.
+[[nodiscard]] ReportOp gen_primitive_op(Rng& rng,
+                                        const core::DtaPrimitivesConfig& primitives,
+                                        double drop_probability = 0.1);
+
 }  // namespace dart::check

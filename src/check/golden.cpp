@@ -7,6 +7,7 @@
 #include "core/collector.hpp"
 #include "core/config.hpp"
 #include "core/oracle.hpp"
+#include "core/primitives.hpp"
 #include "core/query_protocol.hpp"
 #include "core/report_crafter.hpp"
 #include "rdma/multiwrite.hpp"
@@ -225,6 +226,144 @@ std::vector<Trace> canonical_golden_traces() {
     degraded.flags = core::kResponseDegraded;
     degraded.stale_epochs = 2;
     t.artifacts.push_back(core::encode_query_response(degraded));
+    traces.push_back(std::move(t));
+  }
+
+  // DTA translator primitives: region rows come from a golden-deployment
+  // collector with primitives enabled (same deterministic rkey/vaddr
+  // derivation the replay side reproduces).
+  const auto prim = core::default_primitives(cfg.master_seed);
+  {
+    const auto enabled = collector.enable_primitives(prim);
+    (void)enabled;  // default geometry is always valid
+  }
+
+  {
+    Trace t;
+    t.name = "append_reports";
+    t.notes = {"DTA Append frames into the golden ring (1024 entries):",
+               "seqs 1..4 with golden values, then seq 1025 — the first",
+               "wrap-around, landing on slot 0 and overwriting seq 1."};
+    const auto dst_ring = collector.remote_ring_info();
+    std::uint32_t psn = 0;
+    for (std::uint64_t seq = 1; seq <= 4; ++seq) {
+      t.artifacts.push_back(
+          crafter.craft_append(dst_ring, dep.reporter, prim.ring, seq,
+                               golden_value(seq, prim.ring.value_bytes), psn++));
+    }
+    t.artifacts.push_back(crafter.craft_append(
+        dst_ring, dep.reporter, prim.ring, 1025,
+        golden_value(9, prim.ring.value_bytes), psn++));
+    traces.push_back(std::move(t));
+  }
+
+  {
+    Trace t;
+    t.name = "key_increment_reports";
+    t.notes = {"DTA Key-Increment frames: FETCH_ADD on the counter cell of",
+               "sim_key(1..3), deltas 0x10101 * k."};
+    const auto dst_ctr = collector.remote_counter_info();
+    std::uint32_t psn = 0;
+    for (std::uint64_t k = 1; k <= 3; ++k) {
+      t.artifacts.push_back(crafter.craft_key_increment(
+          dst_ctr, dep.reporter, prim.counters, core::sim_key(k),
+          0x10101ull * k, psn++));
+    }
+    traces.push_back(std::move(t));
+  }
+
+  {
+    Trace t;
+    t.name = "postcard_reports";
+    t.notes = {"DTA Postcarding frames: flows sim_key(1..2), hops 0..2 each",
+               "(a partial group — golden max_hops is 8), golden values",
+               "indexed flow*8+hop."};
+    const auto dst_pc = collector.remote_postcard_info();
+    std::uint32_t psn = 0;
+    for (std::uint64_t flow = 1; flow <= 2; ++flow) {
+      for (std::uint32_t hop = 0; hop < 3; ++hop) {
+        t.artifacts.push_back(crafter.craft_postcard(
+            dst_pc, dep.reporter, prim.postcards, core::sim_key(flow), hop,
+            golden_value(flow * 8 + hop, prim.postcards.value_bytes), psn++));
+      }
+    }
+    traces.push_back(std::move(t));
+  }
+
+  {
+    Trace t;
+    t.name = "primitive_query_wire";
+    t.notes = {"primitive query protocol v1 payloads (no L2-L4 headers):",
+               "drain/read-counter/read-postcard-group requests, then",
+               "responses: a 2-entry drain with holes, a counter cell, a",
+               "partial postcard group, and a primitives-unavailable error."};
+    core::PrimitiveRequest drain;
+    drain.op = core::PrimitiveOp::kDrainRing;
+    drain.request_id = 1;
+    drain.epoch = 0xE1001;
+    drain.max_entries = 16;
+    t.artifacts.push_back(core::encode_primitive_request(drain));
+
+    core::PrimitiveRequest counter;
+    counter.op = core::PrimitiveOp::kReadCounter;
+    counter.request_id = 2;
+    counter.epoch = 0xE1002;
+    const auto ckey = core::sim_key(2);
+    counter.key.assign(ckey.begin(), ckey.end());
+    t.artifacts.push_back(core::encode_primitive_request(counter));
+
+    core::PrimitiveRequest group;
+    group.op = core::PrimitiveOp::kReadPostcardGroup;
+    group.request_id = 3;
+    group.epoch = 0xE1003;
+    const auto gkey = core::sim_key(3);
+    group.key.assign(gkey.begin(), gkey.end());
+    t.artifacts.push_back(core::encode_primitive_request(group));
+
+    core::PrimitiveResponse drained;
+    drained.op = core::PrimitiveOp::kDrainRing;
+    drained.request_id = 1;
+    drained.epoch = 0xE1001;
+    drained.missed = 3;
+    drained.next_seq = 7;
+    drained.entry_value_bytes =
+        static_cast<std::uint16_t>(prim.ring.value_bytes);
+    for (const std::uint64_t seq : {4ull, 6ull}) {
+      drained.entries.push_back(core::RingEntryWire{
+          seq, golden_value(seq, prim.ring.value_bytes)});
+    }
+    t.artifacts.push_back(core::encode_primitive_response(drained));
+
+    core::PrimitiveResponse cell;
+    cell.op = core::PrimitiveOp::kReadCounter;
+    cell.request_id = 2;
+    cell.epoch = 0xE1002;
+    cell.cell_index = prim.counters.index_of(ckey);
+    cell.counter_value = 0x20202;
+    t.artifacts.push_back(core::encode_primitive_response(cell));
+
+    core::PrimitiveResponse path;
+    path.op = core::PrimitiveOp::kReadPostcardGroup;
+    path.request_id = 3;
+    path.epoch = 0xE1003;
+    path.group_index = prim.postcards.group_of(gkey);
+    path.max_hops = static_cast<std::uint8_t>(prim.postcards.max_hops);
+    path.valid_mask = 0b101;  // hops 0 and 2 reported
+    path.hop_value_bytes =
+        static_cast<std::uint16_t>(prim.postcards.value_bytes);
+    for (std::uint32_t h = 0; h < prim.postcards.max_hops; ++h) {
+      path.hops.push_back((path.valid_mask >> h & 1) != 0
+                              ? golden_value(24 + h, prim.postcards.value_bytes)
+                              : std::vector<std::byte>(prim.postcards.value_bytes));
+    }
+    t.artifacts.push_back(core::encode_primitive_response(path));
+
+    core::PrimitiveResponse unavailable;
+    unavailable.op = core::PrimitiveOp::kDrainRing;
+    unavailable.request_id = 4;
+    unavailable.epoch = 0xE1004;
+    unavailable.flags = core::kResponsePrimitiveUnavailable;
+    t.artifacts.push_back(core::encode_primitive_response(unavailable));
     traces.push_back(std::move(t));
   }
 

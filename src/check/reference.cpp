@@ -83,8 +83,18 @@ core::QueryResult reference_resolve(std::span<const core::SlotView> slots,
 // ReferenceFabric
 // ---------------------------------------------------------------------------
 
+void ReferenceFabric::enable_primitives(
+    const core::DtaPrimitivesConfig& config) {
+  ring_ = std::make_unique<core::AppendRing>(config.ring);
+  counters_ = std::make_unique<core::CounterCellArray>(config.counters);
+  postcards_ = std::make_unique<core::PostcardStore>(config.postcards);
+}
+
 void ReferenceFabric::apply(const ReportOp& op) {
-  if (op.dropped) return;  // a lost report has no effect anywhere
+  // The append tail is a switch register: it advances when the frame is
+  // EMITTED, so a report the network then loses leaves a sequence hole.
+  if (op.kind == ReportOp::Kind::kAppend) ++append_tail_;
+  if (op.dropped) return;  // a lost report has no other effect anywhere
   const auto key = core::sim_key(op.key);
   switch (op.kind) {
     case ReportOp::Kind::kWrite:
@@ -112,6 +122,15 @@ void ReferenceFabric::apply(const ReportOp& op) {
       }
       break;
     }
+    case ReportOp::Kind::kAppend:
+      ring_->write_entry(append_tail_, op.value);
+      break;
+    case ReportOp::Kind::kKeyIncrement:
+      (void)counters_->fetch_add(key, op.operand);
+      break;
+    case ReportOp::Kind::kPostcard:
+      postcards_->write_hop(key, op.hop, op.value);
+      break;
   }
   ++applied_;
 }
@@ -165,6 +184,20 @@ WireDriver::WireDriver(const core::DartConfig& config)
   compare_swap_tpl_ =
       crafter_.make_atomic_template(dst_, src_, rdma::Opcode::kRcCompareSwap);
   multiwrite_tpl_ = crafter_.make_multiwrite_template(dst_, src_);
+}
+
+void WireDriver::enable_primitives(const core::DtaPrimitivesConfig& config) {
+  const auto status = collector_.enable_primitives(config);
+  (void)status;  // valid configs only; gen_small_primitives guarantees it
+  primitives_ = config;
+  ring_dst_ = collector_.remote_ring_info();
+  counter_dst_ = collector_.remote_counter_info();
+  postcard_dst_ = collector_.remote_postcard_info();
+  append_tpl_ = crafter_.make_append_template(ring_dst_, src_, config.ring);
+  key_increment_tpl_ =
+      crafter_.make_atomic_template(counter_dst_, src_, rdma::Opcode::kRcFetchAdd);
+  postcard_tpl_ =
+      crafter_.make_postcard_template(postcard_dst_, src_, config.postcards);
 }
 
 std::vector<std::byte> WireDriver::submit(const ReportOp& op) {
@@ -228,6 +261,43 @@ std::vector<std::byte> WireDriver::submit(const ReportOp& op) {
       }
       break;
     }
+    case ReportOp::Kind::kAppend: {
+      const std::uint64_t seq = ++append_tail_;  // consumed even if dropped
+      if (use_template) {
+        from_template(append_tpl_, [&](const core::FrameTemplate& tpl) {
+          return crafter_.craft_append_into(tpl, primitives_.ring, seq,
+                                            op.value, psn, frame);
+        });
+      } else {
+        frame = crafter_.craft_append(ring_dst_, src_, primitives_.ring, seq,
+                                      op.value, psn);
+      }
+      break;
+    }
+    case ReportOp::Kind::kKeyIncrement:
+      if (use_template) {
+        from_template(key_increment_tpl_, [&](const core::FrameTemplate& tpl) {
+          return crafter_.craft_key_increment_into(
+              tpl, primitives_.counters, key, op.operand, psn, frame);
+        });
+      } else {
+        frame = crafter_.craft_key_increment(counter_dst_, src_,
+                                             primitives_.counters, key,
+                                             op.operand, psn);
+      }
+      break;
+    case ReportOp::Kind::kPostcard:
+      if (use_template) {
+        from_template(postcard_tpl_, [&](const core::FrameTemplate& tpl) {
+          return crafter_.craft_postcard_into(tpl, primitives_.postcards, key,
+                                              op.hop, op.value, psn, frame);
+        });
+      } else {
+        frame = crafter_.craft_postcard(postcard_dst_, src_,
+                                        primitives_.postcards, key, op.hop,
+                                        op.value, psn);
+      }
+      break;
   }
 
   if (!op.dropped) {

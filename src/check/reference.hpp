@@ -19,8 +19,11 @@
 #include <span>
 #include <vector>
 
+#include <memory>
+
 #include "core/collector.hpp"
 #include "core/config.hpp"
+#include "core/primitives.hpp"
 #include "core/query.hpp"
 #include "core/report_crafter.hpp"
 #include "core/store.hpp"
@@ -35,6 +38,11 @@ struct ReportOp {
     kMultiwrite,   // §7 DTA multiwrite: all N copies in one frame
     kFetchAdd,     // atomic add of `operand` to store word `word_index`
     kCompareSwap,  // atomic CAS: word `word_index`, compare -> operand
+    // DTA translator primitives (primitives.hpp); the fabric must have
+    // primitives enabled before submitting these.
+    kAppend,        // ring append; the seq comes from the fabric's own tail
+    kKeyIncrement,  // FETCH_ADD of `operand` on the counter cell of `key`
+    kPostcard,      // hop `hop` of flow `key`'s slot group
   };
 
   Kind kind = Kind::kWrite;
@@ -42,8 +50,9 @@ struct ReportOp {
   std::vector<std::byte> value;
   std::uint32_t copy = 0;        // kWrite: which of the N slots
   std::uint64_t word_index = 0;  // atomics: 8-byte word within the store
-  std::uint64_t operand = 0;     // addend (kFetchAdd) / swap value (kCAS)
+  std::uint64_t operand = 0;     // addend (kFetchAdd/kKeyIncrement) / swap
   std::uint64_t compare = 0;     // kCompareSwap only
+  std::uint32_t hop = 0;         // kPostcard only
   bool dropped = false;          // lost in the network: a PSN-sequence gap
 };
 
@@ -59,6 +68,14 @@ class ReferenceFabric {
  public:
   explicit ReferenceFabric(const core::DartConfig& config)
       : store_(config) {}
+
+  // Brings up the reference twins of the collector's primitive regions.
+  // Mirror of Collector::enable_primitives; call before applying primitive
+  // ops.
+  void enable_primitives(const core::DtaPrimitivesConfig& config);
+  [[nodiscard]] bool primitives_enabled() const noexcept {
+    return ring_ != nullptr;
+  }
 
   void apply(const ReportOp& op);
 
@@ -81,10 +98,29 @@ class ReferenceFabric {
     return cas_mismatches_;
   }
 
+  // Primitive twins (enable_primitives first). Like the switch register,
+  // append_tail() counts every kAppend op — dropped frames consume a
+  // sequence number without landing, which is exactly the hole the ring
+  // reader's `missed` accounting must absorb.
+  [[nodiscard]] core::AppendRing& ring() noexcept { return *ring_; }
+  [[nodiscard]] core::CounterCellArray& counters() noexcept {
+    return *counters_;
+  }
+  [[nodiscard]] core::PostcardStore& postcards() noexcept {
+    return *postcards_;
+  }
+  [[nodiscard]] std::uint64_t append_tail() const noexcept {
+    return append_tail_;
+  }
+
  private:
   core::DartStore store_;
   std::uint64_t applied_ = 0;
   std::uint64_t cas_mismatches_ = 0;
+  std::unique_ptr<core::AppendRing> ring_;
+  std::unique_ptr<core::CounterCellArray> counters_;
+  std::unique_ptr<core::PostcardStore> postcards_;
+  std::uint64_t append_tail_ = 0;
 };
 
 // The real thing, driven op-by-op: a live Collector (RNIC + registered
@@ -96,6 +132,12 @@ class ReferenceFabric {
 class WireDriver {
  public:
   explicit WireDriver(const core::DartConfig& config);
+
+  // Enables the collector's primitive regions and precomputes the primitive
+  // frame templates. Like ReferenceFabric, the driver then plays the switch
+  // role for Append: it owns the tail register, and a dropped append still
+  // consumes a sequence number.
+  void enable_primitives(const core::DtaPrimitivesConfig& config);
 
   // Crafts the frame for `op`; delivers it to the RNIC unless op.dropped.
   // Returns the crafted frame so failing properties can attach it as a
@@ -118,6 +160,9 @@ class WireDriver {
     return crafter_;
   }
   [[nodiscard]] std::uint32_t next_psn() const noexcept { return psn_; }
+  [[nodiscard]] std::uint64_t append_tail() const noexcept {
+    return append_tail_;
+  }
 
  private:
   core::Collector collector_;
@@ -128,6 +173,16 @@ class WireDriver {
   core::FrameTemplate fetch_add_tpl_;
   core::FrameTemplate compare_swap_tpl_;
   core::FrameTemplate multiwrite_tpl_;
+  // Primitive state (enable_primitives): region rows, templates, and the
+  // switch-side append tail register.
+  core::DtaPrimitivesConfig primitives_{};
+  core::RemoteStoreInfo ring_dst_{};
+  core::RemoteStoreInfo counter_dst_{};
+  core::RemoteStoreInfo postcard_dst_{};
+  core::FrameTemplate append_tpl_;
+  core::FrameTemplate key_increment_tpl_;
+  core::FrameTemplate postcard_tpl_;
+  std::uint64_t append_tail_ = 0;
   std::uint32_t psn_ = 0;
 };
 

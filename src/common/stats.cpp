@@ -78,13 +78,20 @@ double Histogram::bucket_hi(std::size_t bucket) const noexcept {
 
 double Histogram::quantile(double q) const noexcept {
   if (total_ == 0) return lo_;
+  // NaN would fail every comparison below and fall through to the top
+  // bucket's upper edge; treat it as the minimum like any other below-range
+  // argument. Finite out-of-range q clamps to [0, 1].
+  if (std::isnan(q)) q = 0.0;
   q = std::clamp(q, 0.0, 1.0);
   const double target = q * static_cast<double>(total_);
   double cum = 0.0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     const auto c = static_cast<double>(counts_[i]);
-    if (cum + c >= target) {
-      const double frac = c > 0 ? (target - cum) / c : 0.0;
+    // Only a bucket with mass can host a quantile: without the c > 0 guard,
+    // q = 0 (target 0) resolved to bucket 0's lower edge even when every
+    // observation sat far above it.
+    if (c > 0 && cum + c >= target) {
+      const double frac = (target - cum) / c;  // in [0, 1]
       return bucket_lo(i) + frac * width_;
     }
     cum += c;

@@ -27,12 +27,18 @@ void CasInsertStore::write(std::span<const std::byte> key,
                            std::span<const std::byte> value) {
   store_->write_one(key, value, 0);  // plain RDMA WRITE
 
-  ++cas_attempts_;
+  cas_attempts_.fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t idx = store_->slot_index(key, 1);
-  if (slot_empty(idx)) {
-    store_->write_one(key, value, 1);  // CAS succeeded → second write lands
-    ++cas_successes_;
+  // Compare(word == 0)-and-claim under the slot's stripe lock: the atomic
+  // unit a real RDMA CAS gives us. The full-slot payload write rides inside
+  // the claim so a reader never sees a torn half-claimed slot.
+  auto& lock = claim_locks_[idx % kClaimStripes];
+  while (lock.test_and_set(std::memory_order_acquire)) {
   }
+  const bool claimed = slot_empty(idx);
+  if (claimed) store_->write_one(key, value, 1);
+  lock.clear(std::memory_order_release);
+  if (claimed) cas_successes_.fetch_add(1, std::memory_order_relaxed);
 }
 
 // ---------------------------------------------------------------------------
@@ -40,7 +46,12 @@ void CasInsertStore::write(std::span<const std::byte> key,
 // ---------------------------------------------------------------------------
 
 FlowCounterArray::FlowCounterArray(std::uint64_t n_counters, std::uint64_t seed)
-    : cells_(n_counters == 0 ? 1 : n_counters, 0), seed_(seed) {}
+    : cells_(n_counters, 0), seed_(seed) {
+  // A zero-cell array is a config error, not a 1-cell array: silently
+  // clamping to 1 used to alias EVERY key onto one counter, turning a typo
+  // into a subtly-wrong aggregate instead of a loud failure.
+  assert(n_counters > 0 && "FlowCounterArray requires n_counters >= 1");
+}
 
 std::uint64_t FlowCounterArray::index_of(
     std::span<const std::byte> key) const noexcept {
@@ -66,9 +77,12 @@ std::uint64_t FlowCounterArray::read(
 
 CountMinSketch::CountMinSketch(std::uint32_t rows, std::uint64_t cols,
                                std::uint64_t seed)
-    : rows_(rows == 0 ? 1 : rows),
-      cols_(cols == 0 ? 1 : cols),
+    : rows_(rows),
+      cols_(cols),
       cells_(static_cast<std::size_t>(rows_) * cols_, 0) {
+  // Same audit as FlowCounterArray: a 0-row or 0-column sketch was silently
+  // clamped to 1, degrading every estimate while looking configured.
+  assert(rows > 0 && cols > 0 && "CountMinSketch requires rows, cols >= 1");
   SplitMix64 sm(seed);
   row_seeds_.reserve(rows_);
   for (std::uint32_t r = 0; r < rows_; ++r) row_seeds_.push_back(sm.next());

@@ -42,6 +42,63 @@ Collector::Collector(const DartConfig& config, std::uint32_t collector_id,
   info_.slot_bytes = config.slot_bytes();
 }
 
+Status Collector::enable_primitives(const DtaPrimitivesConfig& config) {
+  assert(config.valid());
+  assert(primitives_ == nullptr);
+
+  auto regions = std::make_unique<PrimitiveRegions>();
+  regions->config = config;
+  regions->ring_mem.assign(config.ring.memory_bytes(), std::byte{0});
+  regions->counter_mem.assign(config.counters.memory_bytes(), std::byte{0});
+  regions->postcard_mem.assign(config.postcards.memory_bytes(), std::byte{0});
+
+  // One MR per region, same PD and report QP as the KV store. Only the
+  // counter region needs remote-atomic: Append and Postcarding are plain
+  // WRITEs, and withholding atomic access elsewhere keeps a misdirected
+  // FETCH_ADD from silently corrupting ring or postcard bytes.
+  auto ring_mr = rnic_->register_mr(pd_, regions->ring_mem, kRingBaseVaddr,
+                                    rdma::Access::kRemoteWrite);
+  if (!ring_mr.ok()) return ring_mr.error();
+  auto counter_mr =
+      rnic_->register_mr(pd_, regions->counter_mem, kCounterBaseVaddr,
+                         rdma::Access::kRemoteWrite |
+                             rdma::Access::kRemoteAtomic);
+  if (!counter_mr.ok()) return counter_mr.error();
+  auto postcard_mr =
+      rnic_->register_mr(pd_, regions->postcard_mem, kPostcardBaseVaddr,
+                         rdma::Access::kRemoteWrite);
+  if (!postcard_mr.ok()) return postcard_mr.error();
+
+  regions->ring = std::make_unique<AppendRing>(
+      config.ring, std::span<std::byte>(regions->ring_mem));
+  regions->counters = std::make_unique<CounterCellArray>(
+      config.counters, std::span<std::byte>(regions->counter_mem));
+  regions->postcards = std::make_unique<PostcardStore>(
+      config.postcards, std::span<std::byte>(regions->postcard_mem));
+
+  RemoteStoreInfo row = info_;  // same endpoint, QPN, collector id
+  row.base_vaddr = kRingBaseVaddr;
+  row.rkey = ring_mr.value().rkey;
+  row.n_slots = config.ring.n_entries;
+  row.slot_bytes = config.ring.entry_bytes();
+  regions->ring_info = row;
+
+  row.base_vaddr = kCounterBaseVaddr;
+  row.rkey = counter_mr.value().rkey;
+  row.n_slots = config.counters.n_counters;
+  row.slot_bytes = 8;
+  regions->counter_info = row;
+
+  row.base_vaddr = kPostcardBaseVaddr;
+  row.rkey = postcard_mr.value().rkey;
+  row.n_slots = config.postcards.n_slots();
+  row.slot_bytes = config.postcards.slot_bytes();
+  regions->postcard_info = row;
+
+  primitives_ = std::move(regions);
+  return {};
+}
+
 Status Collector::adopt_takeover_qp(std::uint32_t dead_collector_id) {
   const std::uint32_t qpn = qpn_for(dead_collector_id);
   if (rdma::QueuePair* existing = rnic_->qp(qpn)) {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/primitives.hpp"
 #include "core/query.hpp"
 #include "core/store.hpp"
 #include "net/headers.hpp"
@@ -90,18 +91,68 @@ class Collector {
   // switches' reset PSN registers will produce.
   void reconnect_report_qp() noexcept;
 
+  // --- DTA translator primitives (primitives.hpp) --------------------------
+
+  // Brings up the three primitive regions: each is its own MR on the same
+  // PD/QP (counters additionally with remote-atomic access, the FETCH_ADD
+  // target). Ingest into them stays RNIC → memory, exactly like the KV
+  // store; only drain/read queries touch the CPU. Call at most once.
+  Status enable_primitives(const DtaPrimitivesConfig& config);
+  [[nodiscard]] bool primitives_enabled() const noexcept {
+    return primitives_ != nullptr;
+  }
+
+  // Collector-side structures over the regions (enable_primitives first).
+  [[nodiscard]] AppendRing& ring() noexcept { return *primitives_->ring; }
+  [[nodiscard]] CounterCellArray& counters() noexcept {
+    return *primitives_->counters;
+  }
+  [[nodiscard]] PostcardStore& postcards() noexcept {
+    return *primitives_->postcards;
+  }
+
+  // Switch table rows for the primitive regions. For the ring, a "slot" is
+  // one entry; for counters, one 8-byte cell; for postcards, one hop slot.
+  [[nodiscard]] RemoteStoreInfo remote_ring_info() const noexcept {
+    return primitives_->ring_info;
+  }
+  [[nodiscard]] RemoteStoreInfo remote_counter_info() const noexcept {
+    return primitives_->counter_info;
+  }
+  [[nodiscard]] RemoteStoreInfo remote_postcard_info() const noexcept {
+    return primitives_->postcard_info;
+  }
+
   // Default QPN scheme: report QPs live at a fixed base + collector id.
   [[nodiscard]] static constexpr std::uint32_t qpn_for(std::uint32_t collector_id) noexcept {
     return 0x100u + collector_id;
   }
   static constexpr std::uint64_t kDefaultBaseVaddr = 0x0000'1000'0000'0000ull;
+  // Primitive regions get disjoint fixed bases in the same sparse scheme.
+  static constexpr std::uint64_t kRingBaseVaddr = 0x0000'2000'0000'0000ull;
+  static constexpr std::uint64_t kCounterBaseVaddr = 0x0000'3000'0000'0000ull;
+  static constexpr std::uint64_t kPostcardBaseVaddr = 0x0000'4000'0000'0000ull;
 
  private:
+  struct PrimitiveRegions {
+    DtaPrimitivesConfig config;
+    std::vector<std::byte> ring_mem;
+    std::vector<std::byte> counter_mem;
+    std::vector<std::byte> postcard_mem;
+    std::unique_ptr<AppendRing> ring;
+    std::unique_ptr<CounterCellArray> counters;
+    std::unique_ptr<PostcardStore> postcards;
+    RemoteStoreInfo ring_info;
+    RemoteStoreInfo counter_info;
+    RemoteStoreInfo postcard_info;
+  };
+
   std::vector<std::byte> memory_;
   std::unique_ptr<rdma::SimulatedRnic> rnic_;
   std::unique_ptr<DartStore> store_;
   RemoteStoreInfo info_;
   rdma::PdHandle pd_{};
+  std::unique_ptr<PrimitiveRegions> primitives_;
 };
 
 }  // namespace dart::core

@@ -9,6 +9,19 @@ namespace dart::core {
 namespace {
 constexpr std::uint16_t kMagicRequest = 0x4451;   // "DQ"
 constexpr std::uint16_t kMagicResponse = 0x4452;  // "DR"
+constexpr std::uint16_t kMagicPrimitiveRequest = 0x4470;   // "Dp"
+constexpr std::uint16_t kMagicPrimitiveResponse = 0x4472;  // "Dr"
+
+bool valid_primitive_op(std::uint8_t op) {
+  return op >= static_cast<std::uint8_t>(PrimitiveOp::kDrainRing) &&
+         op <= static_cast<std::uint8_t>(PrimitiveOp::kReadPostcardGroup);
+}
+
+std::uint16_t peek_magic(std::span<const std::byte> payload) {
+  BufReader r(payload);
+  const std::uint16_t magic = r.be16();
+  return r.ok() ? magic : 0;
+}
 }  // namespace
 
 std::vector<std::byte> encode_query_request(const QueryRequest& req) {
@@ -84,6 +97,157 @@ std::optional<QueryResponse> parse_query_response(
   }
   resp.value.assign(value.begin(), value.end());
   return resp;
+}
+
+std::vector<std::byte> encode_primitive_request(const PrimitiveRequest& req) {
+  std::vector<std::byte> out;
+  out.reserve(26 + req.key.size());
+  BufWriter w(out);
+  w.be16(kMagicPrimitiveRequest);
+  w.u8(kPrimitiveProtocolVersion);
+  w.u8(static_cast<std::uint8_t>(req.op));
+  w.be64(req.request_id);
+  w.be32(req.epoch);
+  w.be64(req.max_entries);
+  w.be16(static_cast<std::uint16_t>(req.key.size()));
+  w.bytes(req.key);
+  return out;
+}
+
+std::optional<PrimitiveRequest> parse_primitive_request(
+    std::span<const std::byte> payload) {
+  BufReader r(payload);
+  if (r.be16() != kMagicPrimitiveRequest) return std::nullopt;
+  if (r.u8() != kPrimitiveProtocolVersion) return std::nullopt;
+  const std::uint8_t op = r.u8();
+  if (!valid_primitive_op(op)) return std::nullopt;
+  PrimitiveRequest req;
+  req.op = static_cast<PrimitiveOp>(op);
+  req.request_id = r.be64();
+  req.epoch = r.be32();
+  req.max_entries = r.be64();
+  const std::uint16_t key_len = r.be16();
+  const auto key = r.view(key_len);
+  if (!r.ok() || key.size() != key_len) return std::nullopt;
+  // Drain addresses the whole ring (no key); the keyed ops need one.
+  if (req.op == PrimitiveOp::kDrainRing ? key_len != 0 : key_len == 0) {
+    return std::nullopt;
+  }
+  req.key.assign(key.begin(), key.end());
+  return req;
+}
+
+std::vector<std::byte> encode_primitive_response(const PrimitiveResponse& resp) {
+  std::vector<std::byte> out;
+  BufWriter w(out);
+  w.be16(kMagicPrimitiveResponse);
+  w.u8(kPrimitiveProtocolVersion);
+  w.u8(static_cast<std::uint8_t>(resp.op));
+  w.be64(resp.request_id);
+  w.be32(resp.epoch);
+  w.u8(resp.flags);
+  w.be16(resp.stale_epochs);
+  switch (resp.op) {
+    case PrimitiveOp::kDrainRing: {
+      w.be64(resp.missed);
+      w.be64(resp.next_seq);
+      w.be16(resp.entry_value_bytes);
+      w.be16(static_cast<std::uint16_t>(
+          std::min<std::size_t>(resp.entries.size(), 0xFFFF)));
+      std::size_t emitted = 0;
+      for (const RingEntryWire& entry : resp.entries) {
+        if (emitted++ == 0xFFFF) break;
+        w.be64(entry.seq);
+        w.bytes(entry.value);
+      }
+      break;
+    }
+    case PrimitiveOp::kReadCounter:
+      w.be64(resp.cell_index);
+      w.be64(resp.counter_value);
+      break;
+    case PrimitiveOp::kReadPostcardGroup: {
+      w.be64(resp.group_index);
+      w.u8(resp.max_hops);
+      w.be32(resp.valid_mask);
+      w.be16(resp.hop_value_bytes);
+      for (const auto& hop : resp.hops) w.bytes(hop);
+      break;
+    }
+  }
+  return out;
+}
+
+std::optional<PrimitiveResponse> parse_primitive_response(
+    std::span<const std::byte> payload) {
+  BufReader r(payload);
+  if (r.be16() != kMagicPrimitiveResponse) return std::nullopt;
+  if (r.u8() != kPrimitiveProtocolVersion) return std::nullopt;
+  const std::uint8_t op = r.u8();
+  if (!valid_primitive_op(op)) return std::nullopt;
+  PrimitiveResponse resp;
+  resp.op = static_cast<PrimitiveOp>(op);
+  resp.request_id = r.be64();
+  resp.epoch = r.be32();
+  resp.flags = r.u8();
+  resp.stale_epochs = r.be16();
+  if (!r.ok()) return std::nullopt;
+  switch (resp.op) {
+    case PrimitiveOp::kDrainRing: {
+      resp.missed = r.be64();
+      resp.next_seq = r.be64();
+      resp.entry_value_bytes = r.be16();
+      const std::uint16_t count = r.be16();
+      if (!r.ok()) return std::nullopt;
+      resp.entries.reserve(count);
+      for (std::uint16_t i = 0; i < count; ++i) {
+        RingEntryWire entry;
+        entry.seq = r.be64();
+        const auto value = r.view(resp.entry_value_bytes);
+        if (!r.ok() || value.size() != resp.entry_value_bytes) {
+          return std::nullopt;
+        }
+        entry.value.assign(value.begin(), value.end());
+        resp.entries.push_back(std::move(entry));
+      }
+      break;
+    }
+    case PrimitiveOp::kReadCounter:
+      resp.cell_index = r.be64();
+      resp.counter_value = r.be64();
+      if (!r.ok()) return std::nullopt;
+      break;
+    case PrimitiveOp::kReadPostcardGroup: {
+      resp.group_index = r.be64();
+      resp.max_hops = r.u8();
+      resp.valid_mask = r.be32();
+      resp.hop_value_bytes = r.be16();
+      if (!r.ok() || resp.max_hops > 32) return std::nullopt;
+      if (resp.max_hops < 32 && (resp.valid_mask >> resp.max_hops) != 0) {
+        return std::nullopt;
+      }
+      resp.hops.reserve(resp.max_hops);
+      for (std::uint8_t hop = 0; hop < resp.max_hops; ++hop) {
+        const auto value = r.view(resp.hop_value_bytes);
+        if (!r.ok() || value.size() != resp.hop_value_bytes) {
+          return std::nullopt;
+        }
+        resp.hops.emplace_back(value.begin(), value.end());
+      }
+      break;
+    }
+  }
+  // Trailing garbage after a structurally complete body is a framing error.
+  if (r.remaining() != 0) return std::nullopt;
+  return resp;
+}
+
+bool is_primitive_request(std::span<const std::byte> payload) {
+  return peek_magic(payload) == kMagicPrimitiveRequest;
+}
+
+bool is_primitive_response(std::span<const std::byte> payload) {
+  return peek_magic(payload) == kMagicPrimitiveResponse;
 }
 
 QueryResponse make_response(std::uint64_t request_id,

@@ -37,8 +37,11 @@ namespace dart::core {
 inline constexpr std::uint16_t kDartQueryUdpPort = 4800;
 inline constexpr std::uint8_t kQueryProtocolVersion = 2;
 
-// QueryResponse::flags bits.
+// QueryResponse::flags bits (shared with PrimitiveResponse).
 inline constexpr std::uint8_t kResponseDegraded = 0x01;
+// The collector has no DTA primitive regions enabled — the primitive op was
+// understood but cannot be answered (body is zeroed).
+inline constexpr std::uint8_t kResponsePrimitiveUnavailable = 0x02;
 
 struct QueryRequest {
   std::uint64_t request_id = 0;
@@ -74,5 +77,92 @@ struct QueryResponse {
 // Builds a response from a QueryEngine result.
 [[nodiscard]] QueryResponse make_response(std::uint64_t request_id,
                                           const QueryResult& result);
+
+// --- DTA primitive query ops (primitives.hpp) -------------------------------
+//
+// The three primitive read paths share UDP/4800 with the KV protocol; a
+// distinct magic pair selects the family, so one service port carries both.
+//
+// Request  — primitive protocol v1:
+//   [magic 0x4470 "Dp"][ver u8][op u8][request id u64][epoch u32]
+//   [max entries u64][key len u16][key bytes]
+//   kDrainRing ignores the key (len 0 required); the keyed ops require a
+//   non-empty key and ignore max entries.
+// Response — primitive protocol v1:
+//   [magic 0x4472 "Dr"][ver u8][op u8][request id u64][epoch u32]
+//   [flags u8][stale epochs u16]  followed by the op body:
+//   kDrainRing:         [missed u64][next seq u64][value bytes u16]
+//                       [count u16] then count × ([seq u64][value])
+//   kReadCounter:       [cell index u64][counter value u64]
+//   kReadPostcardGroup: [group u64][max hops u8][valid mask u32]
+//                       [value bytes u16] then max_hops × [value]
+
+inline constexpr std::uint8_t kPrimitiveProtocolVersion = 1;
+
+enum class PrimitiveOp : std::uint8_t {
+  kDrainRing = 1,         // Append: collect unread ring entries
+  kReadCounter = 2,       // Key-Increment: read the cell owning a key
+  kReadPostcardGroup = 3, // Postcarding: assemble a flow's slot group
+};
+
+struct PrimitiveRequest {
+  PrimitiveOp op = PrimitiveOp::kDrainRing;
+  std::uint64_t request_id = 0;
+  std::uint32_t epoch = 0;
+  std::uint64_t max_entries = 0;  // kDrainRing: 0 = no cap
+  std::vector<std::byte> key;     // keyed ops only
+};
+
+struct RingEntryWire {
+  std::uint64_t seq = 0;
+  std::vector<std::byte> value;
+};
+
+struct PrimitiveResponse {
+  PrimitiveOp op = PrimitiveOp::kDrainRing;
+  std::uint64_t request_id = 0;
+  std::uint32_t epoch = 0;         // echoed from the request
+  std::uint8_t flags = 0;          // kResponseDegraded | kResponsePrimitiveUnavailable
+  std::uint16_t stale_epochs = 0;
+
+  // kDrainRing body.
+  std::uint64_t missed = 0;
+  std::uint64_t next_seq = 0;
+  std::uint16_t entry_value_bytes = 0;
+  std::vector<RingEntryWire> entries;
+
+  // kReadCounter body.
+  std::uint64_t cell_index = 0;
+  std::uint64_t counter_value = 0;
+
+  // kReadPostcardGroup body.
+  std::uint64_t group_index = 0;
+  std::uint8_t max_hops = 0;
+  std::uint32_t valid_mask = 0;
+  std::uint16_t hop_value_bytes = 0;
+  std::vector<std::vector<std::byte>> hops;  // max_hops values
+
+  [[nodiscard]] bool degraded() const noexcept {
+    return (flags & kResponseDegraded) != 0;
+  }
+  [[nodiscard]] bool unavailable() const noexcept {
+    return (flags & kResponsePrimitiveUnavailable) != 0;
+  }
+};
+
+[[nodiscard]] std::vector<std::byte> encode_primitive_request(
+    const PrimitiveRequest& req);
+[[nodiscard]] std::optional<PrimitiveRequest> parse_primitive_request(
+    std::span<const std::byte> payload);
+
+[[nodiscard]] std::vector<std::byte> encode_primitive_response(
+    const PrimitiveResponse& resp);
+[[nodiscard]] std::optional<PrimitiveResponse> parse_primitive_response(
+    std::span<const std::byte> payload);
+
+// True iff `payload` leads with the primitive request/response magic — the
+// dispatch test a shared-port service uses before committing to a parser.
+[[nodiscard]] bool is_primitive_request(std::span<const std::byte> payload);
+[[nodiscard]] bool is_primitive_response(std::span<const std::byte> payload);
 
 }  // namespace dart::core

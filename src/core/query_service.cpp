@@ -37,6 +37,21 @@ void QueryServiceNode::receive(net::Packet packet, std::uint64_t /*now_ns*/) {
     ++dropped_offline_;
     return;
   }
+  // Shared port: the magic selects KV vs DTA-primitive family before either
+  // parser commits.
+  if (is_primitive_request(frame->payload)) {
+    const auto primitive = parse_primitive_request(frame->payload);
+    if (!primitive) {
+      ++malformed_;
+      return;
+    }
+    auto payload = serve_primitive(*primitive);
+    const auto dest = resolver_(frame->ip.src);
+    if (!dest) return;
+    auto reply = net::build_udp_frame(reply_spec(ip_, frame->ip.src), payload);
+    sim_->send(self_, *dest, net::Packet(std::move(reply)));
+    return;
+  }
   const auto request = parse_query_request(frame->payload);
   if (!request) {
     ++malformed_;
@@ -63,21 +78,8 @@ void QueryServiceNode::receive(net::Packet packet, std::uint64_t /*now_ns*/) {
   response.epoch = request->epoch;
   // Degraded marking: answering for a dead peer's keys, or our own store is
   // known lossy. An explicit flag beats silently returning garbage.
-  std::uint16_t stale = self_stale_epochs_;
-  bool degraded = self_stale_epochs_ > 0;
-  if (crafter_for_owner_ != nullptr && n_collectors_ > 0) {
-    const std::uint32_t owner =
-        crafter_for_owner_->collector_of(request->key, n_collectors_);
-    if (const auto it = takeovers_.find(owner); it != takeovers_.end()) {
-      degraded = true;
-      stale = std::max(stale, it->second);
-    }
-  }
-  if (degraded) {
-    response.flags |= kResponseDegraded;
-    response.stale_epochs = stale;
-    ++degraded_;
-  }
+  apply_degradation(request->key, response.flags, response.stale_epochs);
+  if (response.degraded()) ++degraded_;
 
   const auto response_payload = encode_query_response(response);
   const auto dest = resolver_(frame->ip.src);
@@ -85,6 +87,90 @@ void QueryServiceNode::receive(net::Packet packet, std::uint64_t /*now_ns*/) {
   auto reply =
       net::build_udp_frame(reply_spec(ip_, frame->ip.src), response_payload);
   sim_->send(self_, *dest, net::Packet(std::move(reply)));
+}
+
+void QueryServiceNode::apply_degradation(std::span<const std::byte> key,
+                                         std::uint8_t& flags,
+                                         std::uint16_t& stale) const {
+  std::uint16_t worst = self_stale_epochs_;
+  bool degraded = self_stale_epochs_ > 0;
+  if (!key.empty() && crafter_for_owner_ != nullptr && n_collectors_ > 0) {
+    const std::uint32_t owner =
+        crafter_for_owner_->collector_of(key, n_collectors_);
+    if (const auto it = takeovers_.find(owner); it != takeovers_.end()) {
+      degraded = true;
+      worst = std::max(worst, it->second);
+    }
+  }
+  if (degraded) {
+    flags |= kResponseDegraded;
+    stale = worst;
+  }
+}
+
+std::vector<std::byte> QueryServiceNode::serve_primitive(
+    const PrimitiveRequest& request) {
+  PrimitiveResponse response;
+  response.op = request.op;
+  response.request_id = request.request_id;
+  response.epoch = request.epoch;
+
+  if (!collector_->primitives_enabled()) {
+    // The op was understood; this collector just has no primitive regions.
+    // Answering (rather than dropping) lets the operator distinguish
+    // "unavailable" from "dead" without a timeout.
+    response.flags |= kResponsePrimitiveUnavailable;
+    ++served_;
+    ++primitives_served_;
+    ++primitives_unavailable_;
+    return encode_primitive_response(response);
+  }
+
+  // Drain has no key, so only local degradation applies; the keyed ops share
+  // the KV path's owner-takeover marking.
+  apply_degradation(request.key, response.flags, response.stale_epochs);
+
+  switch (request.op) {
+    case PrimitiveOp::kDrainRing: {
+      AppendRing& ring = collector_->ring();
+      auto drained = ring.drain(request.max_entries == 0
+                                    ? SIZE_MAX
+                                    : static_cast<std::size_t>(
+                                          std::min<std::uint64_t>(
+                                              request.max_entries, SIZE_MAX)));
+      response.missed = drained.missed;
+      response.next_seq = drained.next_seq;
+      response.entry_value_bytes =
+          static_cast<std::uint16_t>(ring.config().value_bytes);
+      response.entries.reserve(drained.entries.size());
+      for (auto& entry : drained.entries) {
+        response.entries.push_back(
+            RingEntryWire{entry.seq, std::move(entry.value)});
+      }
+      break;
+    }
+    case PrimitiveOp::kReadCounter: {
+      const CounterCellArray& cells = collector_->counters();
+      response.cell_index = cells.config().index_of(request.key);
+      response.counter_value = cells.read_cell(response.cell_index);
+      break;
+    }
+    case PrimitiveOp::kReadPostcardGroup: {
+      const PostcardStore& store = collector_->postcards();
+      auto view = store.read_group(request.key);
+      response.group_index = view.group;
+      response.valid_mask = view.valid_mask;
+      response.max_hops = static_cast<std::uint8_t>(store.config().max_hops);
+      response.hop_value_bytes =
+          static_cast<std::uint16_t>(store.config().value_bytes);
+      response.hops = std::move(view.hops);
+      break;
+    }
+  }
+  if (response.degraded()) ++degraded_;
+  ++served_;
+  ++primitives_served_;
+  return encode_primitive_response(response);
 }
 
 void QueryServiceNode::bind_metrics(obs::MetricRegistry& registry,
@@ -104,6 +190,12 @@ void QueryServiceNode::bind_metrics(obs::MetricRegistry& registry,
   registry.counter_fn(prefix + "_query_dropped_offline_total",
                       [this] { return dropped_offline_; },
                       "requests eaten while the collector was offline");
+  registry.counter_fn(prefix + "_query_primitives_served_total",
+                      [this] { return primitives_served_; },
+                      "DTA primitive requests answered");
+  registry.counter_fn(prefix + "_query_primitives_unavailable_total",
+                      [this] { return primitives_unavailable_; },
+                      "primitive requests answered 'regions not enabled'");
   // Linear buckets 0..50us cover the N-slot read + vote for every store
   // size the tests use; outliers clamp to the top bucket.
   resolve_hist_ = &registry.histogram(
@@ -111,8 +203,7 @@ void QueryServiceNode::bind_metrics(obs::MetricRegistry& registry,
       "sampled DartStore resolve latency (ns)");
 }
 
-std::uint64_t OperatorClient::query(std::span<const std::byte> key,
-                                    ReturnPolicy policy) {
+std::uint32_t OperatorClient::route_of(std::span<const std::byte> key) const {
   // Fig. 2, steps 1-2: hash the key to its collector, look up the address.
   std::uint32_t collector = crafter_->collector_of(
       key, static_cast<std::uint32_t>(service_ips_.size()));
@@ -121,24 +212,79 @@ std::uint64_t OperatorClient::query(std::span<const std::byte> key,
   if (const auto it = retargets_.find(collector); it != retargets_.end()) {
     collector = it->second;
   }
-  const net::Ipv4Addr service_ip = service_ips_[collector];
+  return collector;
+}
 
+bool OperatorClient::send_to_collector(std::uint32_t collector_id,
+                                       std::vector<std::byte> payload) {
+  if (collector_id >= service_ips_.size()) return false;
+  const net::Ipv4Addr service_ip = service_ips_[collector_id];
+  const auto dest = resolver_(service_ip);
+  if (!dest) return false;
+  auto frame = net::build_udp_frame(reply_spec(ip_, service_ip), payload);
+  sim_->send(self_, *dest, net::Packet(std::move(frame)));
+  return true;
+}
+
+std::uint64_t OperatorClient::query(std::span<const std::byte> key,
+                                    ReturnPolicy policy) {
   QueryRequest request;
   request.request_id = next_id_++;
   request.epoch = epoch_;
   request.policy = policy;
   request.key.assign(key.begin(), key.end());
 
-  const auto dest = resolver_(service_ip);
-  if (dest) {
-    auto frame = net::build_udp_frame(reply_spec(ip_, service_ip),
-                                      encode_query_request(request));
-    sim_->send(self_, *dest, net::Packet(std::move(frame)));
+  if (send_to_collector(route_of(key), encode_query_request(request))) {
     // Outstanding only if actually sent: an unreachable service can never
     // answer, so its id must not inflate pending().
     outstanding_.insert(request.request_id);
     ++sent_;
   }
+  return request.request_id;
+}
+
+std::uint64_t OperatorClient::drain_ring(std::uint32_t collector_id,
+                                         std::uint64_t max_entries) {
+  PrimitiveRequest request;
+  request.op = PrimitiveOp::kDrainRing;
+  request.request_id = next_id_++;
+  request.epoch = epoch_;
+  request.max_entries = max_entries;
+  if (!send_to_collector(collector_id, encode_primitive_request(request))) {
+    return 0;
+  }
+  outstanding_.insert(request.request_id);
+  ++sent_;
+  return request.request_id;
+}
+
+std::uint64_t OperatorClient::read_counter(std::span<const std::byte> key) {
+  PrimitiveRequest request;
+  request.op = PrimitiveOp::kReadCounter;
+  request.request_id = next_id_++;
+  request.epoch = epoch_;
+  request.key.assign(key.begin(), key.end());
+  if (!send_to_collector(route_of(key), encode_primitive_request(request))) {
+    return 0;
+  }
+  outstanding_.insert(request.request_id);
+  ++sent_;
+  return request.request_id;
+}
+
+std::uint64_t OperatorClient::read_postcard_group(
+    std::span<const std::byte> flow_key) {
+  PrimitiveRequest request;
+  request.op = PrimitiveOp::kReadPostcardGroup;
+  request.request_id = next_id_++;
+  request.epoch = epoch_;
+  request.key.assign(flow_key.begin(), flow_key.end());
+  if (!send_to_collector(route_of(flow_key),
+                         encode_primitive_request(request))) {
+    return 0;
+  }
+  outstanding_.insert(request.request_id);
+  ++sent_;
   return request.request_id;
 }
 
@@ -149,6 +295,20 @@ void OperatorClient::receive(net::Packet packet, std::uint64_t /*now_ns*/) {
     // Addressed to another client; recording it as ours would hand this
     // operator someone else's answer.
     ++stray_;
+    return;
+  }
+  if (is_primitive_response(frame->payload)) {
+    const auto response = parse_primitive_response(frame->payload);
+    if (!response) return;
+    const auto it = outstanding_.find(response->request_id);
+    if (it == outstanding_.end()) {
+      ++unexpected_;
+      return;
+    }
+    outstanding_.erase(it);
+    ++received_;
+    if (response->degraded()) ++degraded_;
+    primitive_responses_[response->request_id] = *response;
     return;
   }
   const auto response = parse_query_response(frame->payload);
@@ -164,6 +324,15 @@ void OperatorClient::receive(net::Packet packet, std::uint64_t /*now_ns*/) {
   ++received_;
   if (response->degraded()) ++degraded_;
   responses_[response->request_id] = *response;
+}
+
+std::optional<PrimitiveResponse> OperatorClient::take_primitive_response(
+    std::uint64_t request_id) {
+  const auto it = primitive_responses_.find(request_id);
+  if (it == primitive_responses_.end()) return std::nullopt;
+  PrimitiveResponse resp = std::move(it->second);
+  primitive_responses_.erase(it);
+  return resp;
 }
 
 std::optional<QueryResponse> OperatorClient::take_response(

@@ -69,13 +69,39 @@ class QueryServiceNode final : public net::Node {
   void set_online(bool online) noexcept { online_ = online; }
   [[nodiscard]] bool online() const noexcept { return online_; }
 
+  // Staleness counters saturate here instead of wrapping: a collector that
+  // stays dead across >65535 rotations must keep reading "maximally stale",
+  // not wrap back to "fresh".
+  static constexpr std::uint16_t kStaleEpochsSaturated = 0xFFFF;
+
   // This service is answering for dead collector `owner_id`; answers for
   // that owner's keys carry the degraded flag plus the epochs of data that
   // were lost with the owner (in-flight reports are lost by design).
+  // Re-declaring an already-marked owner accumulates (saturating): each call
+  // reports additional lost epochs, not a replacement estimate.
   void begin_takeover(std::uint32_t owner_id, std::uint16_t stale_epochs) {
-    takeovers_[owner_id] = stale_epochs;
+    auto [it, inserted] = takeovers_.try_emplace(owner_id, stale_epochs);
+    if (!inserted) it->second = sat_add16(it->second, stale_epochs);
   }
   void end_takeover(std::uint32_t owner_id) { takeovers_.erase(owner_id); }
+
+  // An epoch rotation happened while the marks above are standing: every
+  // owner still under takeover (and any local degradation) is now one more
+  // epoch stale. Saturates at kStaleEpochsSaturated.
+  void note_rotation() noexcept {
+    for (auto& [owner, stale] : takeovers_) stale = sat_add16(stale, 1);
+    if (self_stale_epochs_ != 0) {
+      self_stale_epochs_ = sat_add16(self_stale_epochs_, 1);
+    }
+  }
+
+  // Current staleness recorded for a takeover, if one is standing.
+  [[nodiscard]] std::optional<std::uint16_t> takeover_stale_epochs(
+      std::uint32_t owner_id) const {
+    const auto it = takeovers_.find(owner_id);
+    if (it == takeovers_.end()) return std::nullopt;
+    return it->second;
+  }
 
   // Local degradation: this collector's own store lost reports (QP error /
   // RNIC stall window); every answer is flagged until cleared.
@@ -104,8 +130,35 @@ class QueryServiceNode final : public net::Node {
   [[nodiscard]] std::uint64_t dropped_offline() const noexcept {
     return dropped_offline_;
   }
+  // DTA primitive requests served (subset of requests_served()).
+  [[nodiscard]] std::uint64_t primitives_served() const noexcept {
+    return primitives_served_;
+  }
+  // Primitive requests answered with kResponsePrimitiveUnavailable because
+  // the collector has no primitive regions enabled.
+  [[nodiscard]] std::uint64_t primitives_unavailable() const noexcept {
+    return primitives_unavailable_;
+  }
 
  private:
+  static constexpr std::uint16_t sat_add16(std::uint16_t a,
+                                           std::uint16_t b) noexcept {
+    const std::uint32_t sum = static_cast<std::uint32_t>(a) + b;
+    return sum > kStaleEpochsSaturated
+               ? kStaleEpochsSaturated
+               : static_cast<std::uint16_t>(sum);
+  }
+
+  // Degraded/staleness marking shared by the KV path and the keyed primitive
+  // ops: flags/stale for a response about `key` (empty key ⇒ only local
+  // degradation applies, the drain-ring case).
+  void apply_degradation(std::span<const std::byte> key, std::uint8_t& flags,
+                         std::uint16_t& stale) const;
+
+  // Serves one parsed primitive request; returns the encoded response.
+  [[nodiscard]] std::vector<std::byte> serve_primitive(
+      const PrimitiveRequest& request);
+
   Collector* collector_;
   net::Ipv4Addr ip_;
   IpResolver resolver_;
@@ -119,6 +172,8 @@ class QueryServiceNode final : public net::Node {
   std::uint64_t not_for_me_ = 0;
   std::uint64_t degraded_ = 0;
   std::uint64_t dropped_offline_ = 0;
+  std::uint64_t primitives_served_ = 0;
+  std::uint64_t primitives_unavailable_ = 0;
   obs::Histogram* resolve_hist_ = nullptr;  // owned by the bound registry
   std::uint32_t resolve_sample_every_ = 8;
   std::uint64_t resolve_samples_ = 0;
@@ -141,6 +196,28 @@ class OperatorClient final : public net::Node {
 
   // Response for a completed request, if it has arrived (removes it).
   [[nodiscard]] std::optional<QueryResponse> take_response(std::uint64_t request_id);
+
+  // --- DTA primitive queries (query_protocol.hpp, primitive v1) ------------
+  //
+  // Same transport and outstanding-id discipline as query(); answers arrive
+  // via take_primitive_response(). Returns 0 if the request could not be
+  // sent (unknown collector / unresolvable service IP).
+
+  // Drains collector `collector_id`'s Append ring (rings are per-collector,
+  // so drain targets an explicit collector, not a hashed key).
+  // `max_entries` 0 = no cap.
+  std::uint64_t drain_ring(std::uint32_t collector_id,
+                           std::uint64_t max_entries = 0);
+
+  // Reads the Key-Increment cell owning `key` (hash-routed like query(),
+  // honoring retargets).
+  std::uint64_t read_counter(std::span<const std::byte> key);
+
+  // Reads `flow_key`'s postcard slot group (hash-routed like query()).
+  std::uint64_t read_postcard_group(std::span<const std::byte> flow_key);
+
+  [[nodiscard]] std::optional<PrimitiveResponse> take_primitive_response(
+      std::uint64_t request_id);
 
   // Registers this client's counters under `<prefix>_operator_*`.
   void bind_metrics(obs::MetricRegistry& registry, const std::string& prefix);
@@ -186,11 +263,19 @@ class OperatorClient final : public net::Node {
   }
 
  private:
+  // Sends an encoded request to collector `collector_id`'s service; returns
+  // false if the id is unknown or its service IP does not resolve.
+  bool send_to_collector(std::uint32_t collector_id,
+                         std::vector<std::byte> payload);
+  // Retarget-aware service selection for a hashed key.
+  [[nodiscard]] std::uint32_t route_of(std::span<const std::byte> key) const;
+
   const ReportCrafter* crafter_;
   net::Ipv4Addr ip_;
   std::vector<net::Ipv4Addr> service_ips_;
   IpResolver resolver_;
   std::unordered_map<std::uint64_t, QueryResponse> responses_;
+  std::unordered_map<std::uint64_t, PrimitiveResponse> primitive_responses_;
   std::unordered_set<std::uint64_t> outstanding_;
   std::unordered_map<std::uint32_t, std::uint32_t> retargets_;
   std::uint32_t epoch_ = 0;

@@ -145,6 +145,65 @@ std::vector<std::byte> ReportCrafter::craft_multiwrite(
   return net::build_udp_frame(spec, dta);
 }
 
+std::vector<std::byte> ReportCrafter::craft_raw_write(
+    const RemoteStoreInfo& dst, const ReporterEndpoint& src,
+    std::uint64_t vaddr, std::span<const std::byte> payload,
+    std::uint32_t psn) const {
+  rdma::Bth bth;
+  bth.opcode = rdma::Opcode::kRcRdmaWriteOnly;
+  bth.dest_qp = dst.qpn;
+  bth.psn = psn;
+
+  rdma::Reth reth;
+  reth.vaddr = vaddr;
+  reth.rkey = dst.rkey;
+  reth.dma_length = static_cast<std::uint32_t>(payload.size());
+
+  std::vector<std::byte> roce;
+  BufWriter w(roce);
+  rdma::serialize_write(w, bth, reth, payload);
+  return wrap_frame(dst, src, roce);
+}
+
+std::vector<std::byte> ReportCrafter::craft_append(
+    const RemoteStoreInfo& dst, const ReporterEndpoint& src,
+    const AppendRingConfig& ring, std::uint64_t seq,
+    std::span<const std::byte> value, std::uint32_t psn) const {
+  assert(seq != 0);
+  assert(value.size() == ring.value_bytes);
+  assert(dst.slot_bytes == ring.entry_bytes());
+  std::vector<std::byte> payload;
+  payload.reserve(ring.entry_bytes());
+  AppendRing::encode_entry(seq, value, payload);
+  return craft_raw_write(dst, src, dst.slot_vaddr(ring.slot_of(seq)), payload,
+                         psn);
+}
+
+std::vector<std::byte> ReportCrafter::craft_key_increment(
+    const RemoteStoreInfo& dst, const ReporterEndpoint& src,
+    const CounterArrayConfig& counters, std::span<const std::byte> key,
+    std::uint64_t delta, std::uint32_t psn) const {
+  assert(dst.slot_bytes == 8);
+  return craft_fetch_add(dst, src, dst.slot_vaddr(counters.index_of(key)),
+                         delta, psn);
+}
+
+std::vector<std::byte> ReportCrafter::craft_postcard(
+    const RemoteStoreInfo& dst, const ReporterEndpoint& src,
+    const PostcardConfig& postcards, std::span<const std::byte> flow_key,
+    std::uint32_t hop, std::span<const std::byte> value,
+    std::uint32_t psn) const {
+  assert(hop < postcards.max_hops);
+  assert(value.size() == postcards.value_bytes);
+  assert(dst.slot_bytes == postcards.slot_bytes());
+  std::vector<std::byte> payload;
+  payload.reserve(postcards.slot_bytes());
+  PostcardStore::encode_hop_payload(postcards, flow_key, value, payload);
+  const std::uint64_t index =
+      postcards.slot_index(postcards.group_of(flow_key), hop);
+  return craft_raw_write(dst, src, dst.slot_vaddr(index), payload, psn);
+}
+
 FrameTemplate ReportCrafter::make_write_template(
     const RemoteStoreInfo& dst, const ReporterEndpoint& src) const {
   FrameTemplate t;
@@ -188,6 +247,31 @@ FrameTemplate ReportCrafter::make_multiwrite_template(
       std::span<const std::byte>(t.prototype_.data() + kRoceOff, 8));
   t.dst_ = dst;
   t.kind_ = FrameTemplate::Kind::kMultiwrite;
+  return t;
+}
+
+FrameTemplate ReportCrafter::make_append_template(
+    const RemoteStoreInfo& dst, const ReporterEndpoint& src,
+    const AppendRingConfig& ring) const {
+  FrameTemplate t;
+  const std::vector<std::byte> zero_value(ring.value_bytes);
+  t.prototype_ = craft_append(dst, src, ring, /*seq=*/1, zero_value, 0);
+  t.crc_prefix_ = rdma::icrc_prefix_state(t.prototype_);
+  t.dst_ = dst;
+  t.kind_ = FrameTemplate::Kind::kAppend;
+  return t;
+}
+
+FrameTemplate ReportCrafter::make_postcard_template(
+    const RemoteStoreInfo& dst, const ReporterEndpoint& src,
+    const PostcardConfig& postcards) const {
+  FrameTemplate t;
+  const std::array<std::byte, 1> dummy_key{};
+  const std::vector<std::byte> zero_value(postcards.value_bytes);
+  t.prototype_ = craft_postcard(dst, src, postcards, dummy_key, 0, zero_value, 0);
+  t.crc_prefix_ = rdma::icrc_prefix_state(t.prototype_);
+  t.dst_ = dst;
+  t.kind_ = FrameTemplate::Kind::kPostcard;
   return t;
 }
 
@@ -299,6 +383,79 @@ std::size_t ReportCrafter::craft_multiwrite_into(
   out[crc_off + 1] = static_cast<std::byte>((v >> 8) & 0xFF);
   out[crc_off + 2] = static_cast<std::byte>((v >> 16) & 0xFF);
   out[crc_off + 3] = static_cast<std::byte>((v >> 24) & 0xFF);
+  return len;
+}
+
+std::size_t ReportCrafter::craft_append_into(const FrameTemplate& tpl,
+                                             const AppendRingConfig& ring,
+                                             std::uint64_t seq,
+                                             std::span<const std::byte> value,
+                                             std::uint32_t psn,
+                                             std::span<std::byte> out) const {
+  if (tpl.kind_ != FrameTemplate::Kind::kAppend ||
+      out.size() < tpl.prototype_.size()) {
+    return 0;
+  }
+  assert(seq != 0);
+  assert(value.size() == ring.value_bytes);
+  const std::size_t len = tpl.prototype_.size();
+  std::memcpy(out.data(), tpl.prototype_.data(), len);
+  put_be24(out.data() + kPsnOff, psn & 0xFF'FFFFu);
+  put_be64(out.data() + kRethVaddrOff,
+           tpl.dst_.slot_vaddr(ring.slot_of(seq)));
+  std::byte* p = out.data() + kWritePayloadOff;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    *p++ = static_cast<std::byte>((seq >> (8 * i)) & 0xFF);
+  }
+  std::memcpy(p, value.data(), value.size());
+  const std::size_t icrc_off = len - rdma::kIcrcLen;
+  Crc32 crc = tpl.crc_prefix_;
+  crc.update(std::span<const std::byte>(
+      out.data() + rdma::kIcrcVariantOffset,
+      icrc_off - rdma::kIcrcVariantOffset));
+  const std::uint32_t icrc = crc.value();
+  std::memcpy(out.data() + icrc_off, &icrc, rdma::kIcrcLen);
+  return len;
+}
+
+std::size_t ReportCrafter::craft_key_increment_into(
+    const FrameTemplate& tpl, const CounterArrayConfig& counters,
+    std::span<const std::byte> key, std::uint64_t delta, std::uint32_t psn,
+    std::span<std::byte> out) const {
+  return craft_fetch_add_into(
+      tpl, tpl.dst_.slot_vaddr(counters.index_of(key)), delta, psn, out);
+}
+
+std::size_t ReportCrafter::craft_postcard_into(
+    const FrameTemplate& tpl, const PostcardConfig& postcards,
+    std::span<const std::byte> flow_key, std::uint32_t hop,
+    std::span<const std::byte> value, std::uint32_t psn,
+    std::span<std::byte> out) const {
+  if (tpl.kind_ != FrameTemplate::Kind::kPostcard ||
+      out.size() < tpl.prototype_.size()) {
+    return 0;
+  }
+  assert(hop < postcards.max_hops);
+  assert(value.size() == postcards.value_bytes);
+  const std::size_t len = tpl.prototype_.size();
+  std::memcpy(out.data(), tpl.prototype_.data(), len);
+  put_be24(out.data() + kPsnOff, psn & 0xFF'FFFFu);
+  const std::uint64_t index =
+      postcards.slot_index(postcards.group_of(flow_key), hop);
+  put_be64(out.data() + kRethVaddrOff, tpl.dst_.slot_vaddr(index));
+  std::byte* p = out.data() + kWritePayloadOff;
+  const std::uint32_t csum = postcards.checksum_of(flow_key);
+  for (std::uint32_t i = 0; i < postcards.checksum_bytes(); ++i) {
+    *p++ = static_cast<std::byte>((csum >> (8 * i)) & 0xFF);
+  }
+  std::memcpy(p, value.data(), value.size());
+  const std::size_t icrc_off = len - rdma::kIcrcLen;
+  Crc32 crc = tpl.crc_prefix_;
+  crc.update(std::span<const std::byte>(
+      out.data() + rdma::kIcrcVariantOffset,
+      icrc_off - rdma::kIcrcVariantOffset));
+  const std::uint32_t icrc = crc.value();
+  std::memcpy(out.data() + icrc_off, &icrc, rdma::kIcrcLen);
   return len;
 }
 

@@ -18,6 +18,7 @@
 #include "common/hash.hpp"
 #include "core/collector.hpp"
 #include "core/config.hpp"
+#include "core/primitives.hpp"
 #include "net/headers.hpp"
 #include "rdma/roce.hpp"
 
@@ -55,6 +56,8 @@ class FrameTemplate {
     kFetchAdd,
     kCompareSwap,
     kMultiwrite,
+    kAppend,    // DTA Append: WRITE of [seq | value] into the ring region
+    kPostcard,  // DTA Postcarding: WRITE of [checksum | value] into a group
   };
 
   FrameTemplate() = default;
@@ -124,6 +127,37 @@ class ReportCrafter {
       std::span<const std::byte> key, std::span<const std::byte> value,
       std::uint32_t psn) const;
 
+  // --- DTA translator primitives (primitives.hpp) --------------------------
+  //
+  // Crafting modes for the Append / Key-Increment / Postcarding regions.
+  // `dst` is the matching region row from the collector
+  // (remote_ring_info() / remote_counter_info() / remote_postcard_info()).
+
+  // Building block: RDMA WRITE of an arbitrary payload at `vaddr` in `dst`.
+  [[nodiscard]] std::vector<std::byte> craft_raw_write(
+      const RemoteStoreInfo& dst, const ReporterEndpoint& src,
+      std::uint64_t vaddr, std::span<const std::byte> payload,
+      std::uint32_t psn) const;
+
+  // Append: entry `seq` (the switch's tail value, 1-based) into the ring.
+  [[nodiscard]] std::vector<std::byte> craft_append(
+      const RemoteStoreInfo& dst, const ReporterEndpoint& src,
+      const AppendRingConfig& ring, std::uint64_t seq,
+      std::span<const std::byte> value, std::uint32_t psn) const;
+
+  // Key-Increment: FETCH_ADD of `delta` on the cell owning `key`.
+  [[nodiscard]] std::vector<std::byte> craft_key_increment(
+      const RemoteStoreInfo& dst, const ReporterEndpoint& src,
+      const CounterArrayConfig& counters, std::span<const std::byte> key,
+      std::uint64_t delta, std::uint32_t psn) const;
+
+  // Postcarding: hop `hop` of `flow_key`'s slot group.
+  [[nodiscard]] std::vector<std::byte> craft_postcard(
+      const RemoteStoreInfo& dst, const ReporterEndpoint& src,
+      const PostcardConfig& postcards, std::span<const std::byte> flow_key,
+      std::uint32_t hop, std::span<const std::byte> value,
+      std::uint32_t psn) const;
+
   // --- Zero-allocation fast path -----------------------------------------
   //
   // make_*_template precomputes the frame skeleton for a (src, dst) pair;
@@ -141,6 +175,14 @@ class ReportCrafter {
       rdma::Opcode op) const;
   [[nodiscard]] FrameTemplate make_multiwrite_template(
       const RemoteStoreInfo& dst, const ReporterEndpoint& src) const;
+  [[nodiscard]] FrameTemplate make_append_template(
+      const RemoteStoreInfo& dst, const ReporterEndpoint& src,
+      const AppendRingConfig& ring) const;
+  // Key-Increment frames come from make_atomic_template(kRcFetchAdd) with
+  // `dst` = the counter region row; see craft_key_increment_into.
+  [[nodiscard]] FrameTemplate make_postcard_template(
+      const RemoteStoreInfo& dst, const ReporterEndpoint& src,
+      const PostcardConfig& postcards) const;
 
   std::size_t craft_write_into(const FrameTemplate& tpl,
                                std::span<const std::byte> key,
@@ -161,6 +203,25 @@ class ReportCrafter {
                                     std::span<const std::byte> value,
                                     std::uint32_t psn,
                                     std::span<std::byte> out) const;
+  std::size_t craft_append_into(const FrameTemplate& tpl,
+                                const AppendRingConfig& ring,
+                                std::uint64_t seq,
+                                std::span<const std::byte> value,
+                                std::uint32_t psn,
+                                std::span<std::byte> out) const;
+  // `tpl` must be a kFetchAdd template built for the counter region row.
+  std::size_t craft_key_increment_into(const FrameTemplate& tpl,
+                                       const CounterArrayConfig& counters,
+                                       std::span<const std::byte> key,
+                                       std::uint64_t delta, std::uint32_t psn,
+                                       std::span<std::byte> out) const;
+  std::size_t craft_postcard_into(const FrameTemplate& tpl,
+                                  const PostcardConfig& postcards,
+                                  std::span<const std::byte> flow_key,
+                                  std::uint32_t hop,
+                                  std::span<const std::byte> value,
+                                  std::uint32_t psn,
+                                  std::span<std::byte> out) const;
 
  private:
   [[nodiscard]] std::vector<std::byte> wrap_frame(

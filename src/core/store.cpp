@@ -8,15 +8,14 @@ namespace dart::core {
 DartStore::DartStore(const DartConfig& config)
     : config_(config),
       hashes_(config.n_addresses, config.master_seed),
-      owned_(config.memory_bytes(), std::byte{0}),
-      memory_(owned_) {
+      backing_(static_cast<std::size_t>(config.memory_bytes())) {
   assert(config_.valid());
 }
 
 DartStore::DartStore(const DartConfig& config, std::span<std::byte> memory)
     : config_(config),
       hashes_(config.n_addresses, config.master_seed),
-      memory_(memory) {
+      backing_(memory) {
   assert(config_.valid());
   assert(memory.size() == config.memory_bytes());
 }
@@ -48,12 +47,12 @@ void DartStore::write_one(std::span<const std::byte> key,
 void DartStore::write_raw(std::uint64_t index, std::uint32_t checksum,
                           std::span<const std::byte> value) {
   assert(value.size() == config_.value_bytes);
-  std::byte* slot = memory_.data() + slot_offset(index);
+  std::byte* slot = backing_.memory().data() + slot_offset(index);
   for (std::uint32_t i = 0; i < config_.checksum_bytes(); ++i) {
     slot[i] = static_cast<std::byte>((checksum >> (8 * i)) & 0xFF);
   }
   std::memcpy(slot + config_.checksum_bytes(), value.data(), value.size());
-  ++writes_;
+  writes_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::vector<SlotView> DartStore::read_slots(
@@ -68,7 +67,7 @@ std::vector<SlotView> DartStore::read_slots(
 
 SlotView DartStore::read_slot(std::uint64_t index) const {
   assert(index < config_.n_slots);
-  const std::byte* slot = memory_.data() + slot_offset(index);
+  const std::byte* slot = backing_.memory().data() + slot_offset(index);
   SlotView v;
   v.checksum = 0;
   for (std::uint32_t i = 0; i < config_.checksum_bytes(); ++i) {
@@ -82,8 +81,8 @@ SlotView DartStore::read_slot(std::uint64_t index) const {
 }
 
 void DartStore::clear() {
-  std::memset(memory_.data(), 0, memory_.size());
-  writes_ = 0;
+  backing_.clear();
+  writes_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace dart::core

@@ -21,7 +21,9 @@
 // errors) lives in QueryEngine.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <utility>
 #include <vector>
@@ -63,6 +65,41 @@ shard_slot_range(std::uint32_t shard, std::uint64_t n_slots,
 struct SlotView {
   std::uint32_t checksum = 0;
   std::span<const std::byte> value;
+};
+
+// ---- storage backing -------------------------------------------------------
+//
+// Every collector-side structure (the DartStore and the DTA primitive
+// regions: append ring, counter-cell array, postcard slot groups) is a flat
+// byte region with the same two provisioning modes:
+//   - self-owning: the structure allocates zeroed memory (simulation use);
+//   - external: the structure is a *view* over caller-owned memory — in the
+//     real system a registered MR the RNIC DMAs into (RDMA use).
+// RegionBacking is that seam: one place that owns the mode distinction so
+// the structures above it only ever see a span.
+class RegionBacking {
+ public:
+  // Self-owning: allocates `bytes` zeroed bytes.
+  explicit RegionBacking(std::size_t bytes)
+      : owned_(bytes, std::byte{0}), memory_(owned_) {}
+
+  // External view: `memory` must outlive the backing.
+  explicit RegionBacking(std::span<std::byte> memory) : memory_(memory) {}
+
+  [[nodiscard]] std::span<std::byte> memory() noexcept { return memory_; }
+  [[nodiscard]] std::span<const std::byte> memory() const noexcept {
+    return memory_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return memory_.size(); }
+  [[nodiscard]] bool owning() const noexcept { return !owned_.empty(); }
+
+  void clear() noexcept {
+    if (!memory_.empty()) std::memset(memory_.data(), 0, memory_.size());
+  }
+
+ private:
+  std::vector<std::byte> owned_;  // empty when external memory is used
+  std::span<std::byte> memory_;
 };
 
 class DartStore {
@@ -131,13 +168,15 @@ class DartStore {
 
   // ---- raw memory ---------------------------------------------------------
 
-  [[nodiscard]] std::span<std::byte> memory() noexcept { return memory_; }
+  [[nodiscard]] std::span<std::byte> memory() noexcept {
+    return backing_.memory();
+  }
   [[nodiscard]] std::span<const std::byte> memory() const noexcept {
-    return memory_;
+    return backing_.memory();
   }
 
   [[nodiscard]] std::uint64_t writes_performed() const noexcept {
-    return writes_;
+    return writes_.load(std::memory_order_relaxed);
   }
 
   void clear();
@@ -148,9 +187,10 @@ class DartStore {
 
   DartConfig config_;
   HashFamily hashes_;
-  std::vector<std::byte> owned_;     // empty when external memory is used
-  std::span<std::byte> memory_;
-  std::uint64_t writes_ = 0;
+  RegionBacking backing_;
+  // Relaxed: local writers may be sharded across threads (disjoint slot
+  // ranges); the write tally must not impose ordering between them.
+  std::atomic<std::uint64_t> writes_{0};
 };
 
 }  // namespace dart::core

@@ -122,6 +122,12 @@ void RecoveryManager::acknowledge_repopulated(std::uint32_t c) {
   if (auto* qs = fabric_->query_service(c)) qs->clear_self_degraded();
 }
 
+void RecoveryManager::note_epoch_rotation() {
+  for (std::uint32_t c = 0; c < admin_alive_.size(); ++c) {
+    if (auto* qs = fabric_->query_service(c)) qs->note_rotation();
+  }
+}
+
 std::optional<std::uint32_t> RecoveryManager::backup_of(
     std::uint32_t c) const {
   const auto it = backups_.find(c);

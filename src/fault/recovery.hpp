@@ -91,6 +91,13 @@ class RecoveryManager {
   // carrying the degraded flag.
   void acknowledge_repopulated(std::uint32_t c);
 
+  // An epoch rotation completed while faults are standing: every query
+  // service accrues one more stale epoch on its open takeovers and local
+  // degradation marks (saturating at QueryServiceNode::kStaleEpochsSaturated
+  // — a collector dead across 100k rotations must read "maximally stale",
+  // never wrap back to fresh).
+  void note_epoch_rotation();
+
   [[nodiscard]] const core::CollectorLivenessTable& liveness() const noexcept {
     return liveness_;
   }

@@ -9,9 +9,33 @@ DartSwitchPipeline::DartSwitchPipeline(const Config& config)
       hash_engine_(config.dart.n_addresses, config.dart.master_seed),
       rng_(config.rng_seed),
       psn_regs_(config.max_collectors, 0),
+      append_tails_(config.max_collectors, 0),
       crafter_(config.dart) {
   self_.mac = config.mac;
   self_.ip = config.ip;
+}
+
+void DartSwitchPipeline::load_primitives(
+    const core::RemoteStoreInfo& ring_row,
+    const core::RemoteStoreInfo& counter_row,
+    const core::RemoteStoreInfo& postcard_row) {
+  const std::uint32_t id = ring_row.collector_id;
+  assert(counter_row.collector_id == id && postcard_row.collector_id == id);
+
+  PrimitiveRows rows;
+  rows.ring = ring_row;
+  rows.counters = counter_row;
+  rows.postcards = postcard_row;
+  primitive_rows_[id] = rows;
+
+  PrimitiveTemplates tpls;
+  tpls.append =
+      crafter_.make_append_template(ring_row, self_, config_.primitives.ring);
+  tpls.increment =
+      crafter_.make_atomic_template(counter_row, self_, rdma::Opcode::kRcFetchAdd);
+  tpls.postcard = crafter_.make_postcard_template(postcard_row, self_,
+                                                  config_.primitives.postcards);
+  primitive_tpls_[id] = std::move(tpls);
 }
 
 void DartSwitchPipeline::load_collector(const core::RemoteStoreInfo& info) {
@@ -125,6 +149,112 @@ std::vector<std::vector<std::byte>> DartSwitchPipeline::on_telemetry(
     ++counters_.reports_emitted;
   }
   return frames;
+}
+
+const DartSwitchPipeline::PrimitiveRows* DartSwitchPipeline::primitive_rows_of(
+    std::span<const std::byte> key, std::uint32_t& collector_id) {
+  ++counters_.telemetry_events;
+  const auto n = static_cast<std::uint32_t>(primitive_rows_.size());
+  if (n == 0) {
+    ++counters_.table_misses;
+    return nullptr;
+  }
+  collector_id = hash_engine_.collector_id(key, n);
+  const auto it = primitive_rows_.find(collector_id);
+  if (it == primitive_rows_.end()) {
+    ++counters_.table_misses;
+    return nullptr;
+  }
+  return &it->second;
+}
+
+std::vector<std::byte> DartSwitchPipeline::on_append_event(
+    std::span<const std::byte> key, std::span<const std::byte> value) {
+  std::uint32_t collector_id = 0;
+  const PrimitiveRows* rows = primitive_rows_of(key, collector_id);
+  if (rows == nullptr) return {};
+
+  // Tail register bump: this report's 1-based sequence number. Consumed even
+  // if the frame is later lost — the collector-side reader sees the hole.
+  const std::uint64_t seq =
+      append_tails_.rmw(collector_id, [](std::uint64_t old) { return old + 1; }) +
+      1;
+  const std::uint32_t psn = psn_regs_.rmw(
+      collector_id, [](std::uint32_t old) { return (old + 1) & 0x00FF'FFFFu; });
+
+  std::vector<std::byte> frame;
+  const auto tpl_it = primitive_tpls_.find(collector_id);
+  if (tpl_it != primitive_tpls_.end() && tpl_it->second.append.valid()) {
+    const core::FrameTemplate& tpl = tpl_it->second.append;
+    frame.resize(tpl.frame_size());
+    const std::size_t len = crafter_.craft_append_into(
+        tpl, config_.primitives.ring, seq, value, psn, frame);
+    (void)len;
+    assert(len == frame.size());
+  } else {
+    frame = crafter_.craft_append(rows->ring, self_, config_.primitives.ring,
+                                  seq, value, psn);
+  }
+  ++counters_.reports_emitted;
+  ++counters_.appends_emitted;
+  return frame;
+}
+
+std::vector<std::byte> DartSwitchPipeline::on_increment_event(
+    std::span<const std::byte> key, std::uint64_t delta) {
+  std::uint32_t collector_id = 0;
+  const PrimitiveRows* rows = primitive_rows_of(key, collector_id);
+  if (rows == nullptr) return {};
+
+  const std::uint32_t psn = psn_regs_.rmw(
+      collector_id, [](std::uint32_t old) { return (old + 1) & 0x00FF'FFFFu; });
+
+  std::vector<std::byte> frame;
+  const auto tpl_it = primitive_tpls_.find(collector_id);
+  if (tpl_it != primitive_tpls_.end() && tpl_it->second.increment.valid()) {
+    const core::FrameTemplate& tpl = tpl_it->second.increment;
+    frame.resize(tpl.frame_size());
+    const std::size_t len = crafter_.craft_key_increment_into(
+        tpl, config_.primitives.counters, key, delta, psn, frame);
+    (void)len;
+    assert(len == frame.size());
+  } else {
+    frame = crafter_.craft_key_increment(rows->counters, self_,
+                                         config_.primitives.counters, key,
+                                         delta, psn);
+  }
+  ++counters_.reports_emitted;
+  ++counters_.increments_emitted;
+  return frame;
+}
+
+std::vector<std::byte> DartSwitchPipeline::on_postcard_event(
+    std::span<const std::byte> flow_key, std::uint32_t hop,
+    std::span<const std::byte> value) {
+  std::uint32_t collector_id = 0;
+  const PrimitiveRows* rows = primitive_rows_of(flow_key, collector_id);
+  if (rows == nullptr) return {};
+
+  const std::uint32_t psn = psn_regs_.rmw(
+      collector_id, [](std::uint32_t old) { return (old + 1) & 0x00FF'FFFFu; });
+
+  std::vector<std::byte> frame;
+  const auto tpl_it = primitive_tpls_.find(collector_id);
+  if (tpl_it != primitive_tpls_.end() && tpl_it->second.postcard.valid()) {
+    const core::FrameTemplate& tpl = tpl_it->second.postcard;
+    frame.resize(tpl.frame_size());
+    const std::size_t len = crafter_.craft_postcard_into(
+        tpl, config_.primitives.postcards, flow_key, hop, value, psn, frame);
+    (void)len;
+    assert(len == frame.size());
+  } else {
+    frame = crafter_.craft_postcard(rows->postcards, self_,
+                                    config_.primitives.postcards, flow_key,
+                                    hop, value, psn);
+  }
+  ++counters_.reports_emitted;
+  ++counters_.postcards_emitted;
+  return frame;
 }
 
 }  // namespace dart::switchsim

@@ -51,6 +51,10 @@ struct SwitchCounters {
   std::uint64_t table_misses = 0;      // hashed collector id not loaded
   std::uint64_t retargets = 0;         // rows re-pointed at a backup
   std::uint64_t restores = 0;          // rows restored to the original owner
+  // DTA translator primitives (one frame each; included in reports_emitted).
+  std::uint64_t appends_emitted = 0;
+  std::uint64_t increments_emitted = 0;
+  std::uint64_t postcards_emitted = 0;
 };
 
 class DartSwitchPipeline {
@@ -69,6 +73,10 @@ class DartSwitchPipeline {
     // fills all N slots (requires collectors with the extension enabled;
     // write_mode is ignored when set).
     bool use_dta_multiwrite = false;
+    // Geometry/seeds of the DTA primitive regions (Append / Key-Increment /
+    // Postcarding). Must match the collectors' enable_primitives() config;
+    // used only once load_primitives() rows are installed.
+    core::DtaPrimitivesConfig primitives{};
   };
 
   explicit DartSwitchPipeline(const Config& config);
@@ -78,13 +86,30 @@ class DartSwitchPipeline {
   void unload_collector(std::uint32_t collector_id) {
     table_.remove(collector_id);
     egress_tpls_.erase(collector_id);
+    primitive_rows_.erase(collector_id);
+    primitive_tpls_.erase(collector_id);
   }
   void clear_collectors() {
     table_ = {};
     egress_tpls_.clear();
+    primitive_rows_.clear();
+    primitive_tpls_.clear();
   }
   [[nodiscard]] std::size_t collectors_loaded() const noexcept {
     return table_.size();
+  }
+
+  // Installs a collector's DTA primitive region rows (the Append ring,
+  // counter-cell array, and postcard group directory) plus their deparser
+  // templates. All three rows must share one collector id. Independent of
+  // load_collector: a deployment can run primitives-only. NOTE: the fault
+  // plane's retarget_collector covers only the KV table; primitive rows keep
+  // pointing at the original owner.
+  void load_primitives(const core::RemoteStoreInfo& ring_row,
+                       const core::RemoteStoreInfo& counter_row,
+                       const core::RemoteStoreInfo& postcard_row);
+  [[nodiscard]] std::size_t primitive_collectors_loaded() const noexcept {
+    return primitive_rows_.size();
   }
 
   // Failover control plane (docs/FAULTS.md): re-points the lookup-table row
@@ -111,6 +136,33 @@ class DartSwitchPipeline {
   // Returns the deparsed report frame(s), ready for the wire.
   [[nodiscard]] std::vector<std::vector<std::byte>> on_telemetry(
       std::span<const std::byte> key, std::span<const std::byte> value);
+
+  // --- DTA primitive data plane --------------------------------------------
+  //
+  // One frame per event, or empty on a primitive-table miss. The key hashes
+  // to a collector among the primitive rows loaded; PSNs come from the same
+  // per-collector register array as on_telemetry.
+
+  // Append: bumps this switch's per-collector tail register (the
+  // switch-maintained tail pointer) and emits the WRITE for that sequence
+  // number's ring slot.
+  [[nodiscard]] std::vector<std::byte> on_append_event(
+      std::span<const std::byte> key, std::span<const std::byte> value);
+
+  // Key-Increment: FETCH_ADD of `delta` on the cell owning `key`.
+  [[nodiscard]] std::vector<std::byte> on_increment_event(
+      std::span<const std::byte> key, std::uint64_t delta);
+
+  // Postcarding: hop `hop`'s INT metadata for `flow_key`'s slot group.
+  [[nodiscard]] std::vector<std::byte> on_postcard_event(
+      std::span<const std::byte> flow_key, std::uint32_t hop,
+      std::span<const std::byte> value);
+
+  // This switch's Append tail for a collector (entries emitted so far).
+  [[nodiscard]] std::uint64_t append_tail_of(
+      std::uint32_t collector_id) const noexcept {
+    return append_tails_.read(collector_id);
+  }
 
   // --- introspection -------------------------------------------------------
   [[nodiscard]] const SwitchCounters& counters() const noexcept {
@@ -140,15 +192,39 @@ class DartSwitchPipeline {
     core::FrameTemplate multiwrite;  // only valid() when use_dta_multiwrite
   };
 
+  // Primitive region directory rows + their deparser templates, one set per
+  // collector with load_primitives() installed.
+  struct PrimitiveRows {
+    core::RemoteStoreInfo ring;
+    core::RemoteStoreInfo counters;
+    core::RemoteStoreInfo postcards;
+  };
+  struct PrimitiveTemplates {
+    core::FrameTemplate append;
+    core::FrameTemplate increment;  // kFetchAdd against the counter region
+    core::FrameTemplate postcard;
+  };
+
+  // Collector owning `key` among the loaded primitive rows, or nullptr on a
+  // miss (counted). Shared head of the three primitive entry points.
+  const PrimitiveRows* primitive_rows_of(std::span<const std::byte> key,
+                                         std::uint32_t& collector_id);
+
   Config config_;
   HashEngine hash_engine_;
   RngExtern rng_;
   CrcExtern crc_;
   ExactTable<std::uint32_t, CollectorEntry> table_;
   RegisterArray<std::uint32_t> psn_regs_;
+  // The Append tail pointers (§ Append): one 64-bit register per collector,
+  // same resource class as the PSN counters. Value = entries emitted; the
+  // next entry's 1-based sequence number is tail+1.
+  RegisterArray<std::uint64_t> append_tails_;
   core::ReportCrafter crafter_;
   core::ReporterEndpoint self_;
   std::unordered_map<std::uint32_t, EgressTemplates> egress_tpls_;
+  std::unordered_map<std::uint32_t, PrimitiveRows> primitive_rows_;
+  std::unordered_map<std::uint32_t, PrimitiveTemplates> primitive_tpls_;
   SwitchCounters counters_;
 };
 

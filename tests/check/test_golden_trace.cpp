@@ -178,5 +178,143 @@ TEST(GoldenTrace, QueryWirePayloadsParseBack) {
   EXPECT_EQ(degraded->stale_epochs, 2u);
 }
 
+// --- DTA primitive traces ----------------------------------------------------
+
+TEST(GoldenTrace, AppendReportsReplayPinsRingSemantics) {
+  const auto committed = committed_traces();
+  const auto it = committed.find("append_reports");
+  ASSERT_NE(it, committed.end());
+  ASSERT_EQ(it->second.artifacts.size(), 5u);
+
+  const auto dep = golden_deployment();
+  const auto prim = core::default_primitives(dep.config.master_seed);
+  core::Collector collector(dep.config, 0, dep.collector_endpoint);
+  ASSERT_TRUE(collector.enable_primitives(prim).ok());
+  for (const auto& frame : it->second.artifacts) {
+    collector.rnic().process_frame(frame);
+  }
+  EXPECT_EQ(collector.ingest_counters().executed.load(), 5u);
+
+  // Seqs 1..4 then 1025: the wrap frame landed on slot 0, overwriting seq 1.
+  const auto d = collector.ring().drain();
+  ASSERT_EQ(d.entries.size(), 4u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(d.entries[i].seq, i + 2);
+    EXPECT_EQ(d.entries[i].value,
+              golden_value(i + 2, prim.ring.value_bytes));
+  }
+  EXPECT_EQ(d.entries[3].seq, 1025u);
+  EXPECT_EQ(d.entries[3].value, golden_value(9, prim.ring.value_bytes));
+  // Holes: seq 1 (lapped) plus seqs 5..1024 this trace never sent.
+  EXPECT_EQ(d.missed, 1021u);
+  EXPECT_EQ(d.next_seq, 1026u);
+}
+
+TEST(GoldenTrace, KeyIncrementReportsReplayAggregates) {
+  const auto committed = committed_traces();
+  const auto it = committed.find("key_increment_reports");
+  ASSERT_NE(it, committed.end());
+  ASSERT_EQ(it->second.artifacts.size(), 3u);
+
+  const auto dep = golden_deployment();
+  const auto prim = core::default_primitives(dep.config.master_seed);
+  core::Collector collector(dep.config, 0, dep.collector_endpoint);
+  ASSERT_TRUE(collector.enable_primitives(prim).ok());
+  for (const auto& frame : it->second.artifacts) {
+    collector.rnic().process_frame(frame);
+  }
+  EXPECT_EQ(collector.ingest_counters().fetch_adds.load(), 3u);
+  for (std::uint64_t k = 1; k <= 3; ++k) {
+    EXPECT_EQ(collector.counters().read(core::sim_key(k)), 0x10101ull * k)
+        << "key " << k;
+  }
+}
+
+TEST(GoldenTrace, PostcardReportsReplayAssemblePartialGroups) {
+  const auto committed = committed_traces();
+  const auto it = committed.find("postcard_reports");
+  ASSERT_NE(it, committed.end());
+  ASSERT_EQ(it->second.artifacts.size(), 6u);
+
+  const auto dep = golden_deployment();
+  const auto prim = core::default_primitives(dep.config.master_seed);
+  // The fixture assumes the two golden flows land in distinct groups.
+  ASSERT_NE(prim.postcards.group_of(core::sim_key(1)),
+            prim.postcards.group_of(core::sim_key(2)));
+  core::Collector collector(dep.config, 0, dep.collector_endpoint);
+  ASSERT_TRUE(collector.enable_primitives(prim).ok());
+  for (const auto& frame : it->second.artifacts) {
+    collector.rnic().process_frame(frame);
+  }
+  for (std::uint64_t flow = 1; flow <= 2; ++flow) {
+    const auto view = collector.postcards().read_group(core::sim_key(flow));
+    EXPECT_EQ(view.valid_mask, 0b111u) << "flow " << flow;  // hops 0..2 of 8
+    for (std::uint32_t hop = 0; hop < 3; ++hop) {
+      EXPECT_EQ(view.hops[hop],
+                golden_value(flow * 8 + hop, prim.postcards.value_bytes))
+          << "flow " << flow << " hop " << hop;
+    }
+  }
+}
+
+TEST(GoldenTrace, PrimitiveQueryWirePayloadsParseBack) {
+  const auto committed = committed_traces();
+  const auto it = committed.find("primitive_query_wire");
+  ASSERT_NE(it, committed.end());
+  ASSERT_EQ(it->second.artifacts.size(), 7u);
+
+  const auto dep = golden_deployment();
+  const auto prim = core::default_primitives(dep.config.master_seed);
+
+  const auto drain = core::parse_primitive_request(it->second.artifacts[0]);
+  ASSERT_TRUE(drain.has_value());
+  EXPECT_EQ(drain->op, core::PrimitiveOp::kDrainRing);
+  EXPECT_EQ(drain->request_id, 1u);
+  EXPECT_EQ(drain->epoch, 0xE1001u);
+  EXPECT_EQ(drain->max_entries, 16u);
+  EXPECT_TRUE(drain->key.empty());
+
+  const auto counter = core::parse_primitive_request(it->second.artifacts[1]);
+  ASSERT_TRUE(counter.has_value());
+  EXPECT_EQ(counter->op, core::PrimitiveOp::kReadCounter);
+  const auto ckey = core::sim_key(2);
+  EXPECT_TRUE(std::equal(counter->key.begin(), counter->key.end(),
+                         ckey.begin(), ckey.end()));
+
+  const auto group = core::parse_primitive_request(it->second.artifacts[2]);
+  ASSERT_TRUE(group.has_value());
+  EXPECT_EQ(group->op, core::PrimitiveOp::kReadPostcardGroup);
+
+  const auto drained = core::parse_primitive_response(it->second.artifacts[3]);
+  ASSERT_TRUE(drained.has_value());
+  EXPECT_FALSE(drained->unavailable());
+  EXPECT_EQ(drained->missed, 3u);
+  EXPECT_EQ(drained->next_seq, 7u);
+  ASSERT_EQ(drained->entries.size(), 2u);
+  EXPECT_EQ(drained->entries[0].seq, 4u);
+  EXPECT_EQ(drained->entries[1].seq, 6u);
+  EXPECT_EQ(drained->entries[1].value,
+            golden_value(6, prim.ring.value_bytes));
+
+  const auto cell = core::parse_primitive_response(it->second.artifacts[4]);
+  ASSERT_TRUE(cell.has_value());
+  EXPECT_EQ(cell->cell_index, prim.counters.index_of(ckey));
+  EXPECT_EQ(cell->counter_value, 0x20202u);
+
+  const auto path = core::parse_primitive_response(it->second.artifacts[5]);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->group_index, prim.postcards.group_of(core::sim_key(3)));
+  EXPECT_EQ(path->max_hops, prim.postcards.max_hops);
+  EXPECT_EQ(path->valid_mask, 0b101u);
+  ASSERT_EQ(path->hops.size(), prim.postcards.max_hops);
+
+  const auto unavailable =
+      core::parse_primitive_response(it->second.artifacts[6]);
+  ASSERT_TRUE(unavailable.has_value());
+  EXPECT_TRUE(unavailable->unavailable());
+  EXPECT_EQ(unavailable->request_id, 4u);
+  EXPECT_EQ(unavailable->epoch, 0xE1004u);
+}
+
 }  // namespace
 }  // namespace dart::check

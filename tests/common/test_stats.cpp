@@ -99,6 +99,60 @@ TEST(Histogram, QuantileOfUniformMass) {
   EXPECT_NEAR(h.quantile(0.0), 0.0, 1.5);
 }
 
+// Regression: quantile(0.0) used to resolve to bucket 0's lower edge even
+// when bucket 0 was empty — q = 0 must be the first observed value's bucket,
+// not the histogram's configured floor.
+TEST(Histogram, QuantileZeroSkipsEmptyBuckets) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 50; ++i) h.add(72.5);  // all mass in bucket 72
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 72.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 73.0);  // upper edge of the mass bucket
+  EXPECT_NEAR(h.quantile(0.5), 72.5, 0.51);
+}
+
+// q = 1.0 must land on the last non-empty bucket's upper edge, never beyond
+// the recorded mass (trailing empty buckets do not stretch the answer).
+TEST(Histogram, QuantileOneStopsAtLastMass) {
+  Histogram h(0.0, 100.0, 100);
+  h.add(5.5);
+  h.add(10.5);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 11.0);
+}
+
+// The empty histogram answers its floor for every q — no NaN, no UB.
+TEST(Histogram, QuantileOfEmptyIsFloor) {
+  Histogram h(2.0, 12.0, 10);
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.quantile(q), 2.0) << "q=" << q;
+  }
+}
+
+// A single bucket interpolates linearly across its width; p50/p99 of
+// one-bucket mass stay inside [lo, hi].
+TEST(Histogram, QuantileSingleBucketInterpolates) {
+  Histogram h(0.0, 10.0, 1);
+  h.add(5.0, 100);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 9.9);
+  EXPECT_GE(h.quantile(0.0), 0.0);
+  EXPECT_LE(h.quantile(1.0), 10.0);
+}
+
+// Out-of-range and non-finite q must clamp, not walk off the bucket array:
+// the old code let NaN fail every comparison and fall through to the top
+// bucket's upper edge.
+TEST(Histogram, QuantileClampsBadQ) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(3.5, 10);
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+  EXPECT_DOUBLE_EQ(h.quantile(std::numeric_limits<double>::quiet_NaN()),
+                   h.quantile(0.0));
+  // Every answer stays in the mass bucket's range.
+  EXPECT_GE(h.quantile(0.0), 3.0);
+  EXPECT_LE(h.quantile(1.0), 4.0);
+}
+
 TEST(Histogram, BucketBounds) {
   Histogram h(10.0, 20.0, 5);
   EXPECT_DOUBLE_EQ(h.bucket_lo(0), 10.0);

@@ -4,7 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <barrier>
 #include <cstring>
+#include <thread>
 
 #include "core/oracle.hpp"
 #include "core/query.hpp"
@@ -72,6 +75,77 @@ TEST(CasInsertStore, SecondSlotProtectedFromLaterKeys) {
   // A's copy-1 data survived B.
   const auto slot = store.read_slot(store.slot_index(sim_key(a), 1));
   EXPECT_EQ(slot.checksum, store.key_checksum(sim_key(a)));
+}
+
+// Regression for the check-then-write race: several threads race their CAS
+// for ONE empty copy-1 slot; exactly one claim may win. The original
+// implementation checked slot_empty() and then wrote, so concurrent writers
+// could all observe "empty" and all count a success. Run under TSan via the
+// tier-1 sanitizer matrix (tools/check_sanitize.sh).
+TEST(CasInsertStore, ConcurrentClaimsResolveToOneWinner) {
+  DartConfig tiny = config(/*slots=*/64);
+  constexpr std::size_t kContenders = 4;
+  constexpr int kRounds = 50;
+
+  // Contender keys: all share one copy-1 slot; every other slot index
+  // involved (each key's copy-0, across all keys) is pairwise distinct from
+  // the others and from the contended slot, so only the CAS path is ever
+  // contended (copy-0 writes stay single-writer).
+  const DartStore probe(tiny);
+  std::vector<std::uint64_t> contenders;
+  std::uint64_t target_slot = 0;
+  for (std::uint64_t anchor = 0; anchor < 512 && contenders.empty(); ++anchor) {
+    std::vector<std::uint64_t> group{anchor};
+    std::vector<std::uint64_t> used{probe.slot_index(sim_key(anchor), 0)};
+    const std::uint64_t shared = probe.slot_index(sim_key(anchor), 1);
+    if (used[0] == shared) continue;
+    for (std::uint64_t k = anchor + 1; k < 4096 && group.size() < kContenders;
+         ++k) {
+      if (probe.slot_index(sim_key(k), 1) != shared) continue;
+      const std::uint64_t copy0 = probe.slot_index(sim_key(k), 0);
+      if (copy0 == shared ||
+          std::find(used.begin(), used.end(), copy0) != used.end()) {
+        continue;
+      }
+      group.push_back(k);
+      used.push_back(copy0);
+    }
+    if (group.size() == kContenders) {
+      contenders = group;
+      target_slot = shared;
+    }
+  }
+  ASSERT_EQ(contenders.size(), kContenders);
+
+  for (int round = 0; round < kRounds; ++round) {
+    DartStore store(tiny);
+    CasInsertStore cas(store);
+    std::barrier gate(kContenders);
+    std::vector<std::thread> threads;
+    threads.reserve(kContenders);
+    for (std::size_t t = 0; t < kContenders; ++t) {
+      threads.emplace_back([&, t] {
+        gate.arrive_and_wait();  // maximize overlap at the claim
+        cas.write(sim_key(contenders[t]), value_of(0x100 + t));
+      });
+    }
+    for (auto& th : threads) th.join();
+
+    EXPECT_EQ(cas.cas_attempts(), kContenders);
+    ASSERT_EQ(cas.cas_successes(), 1u) << "round " << round;
+    // The contended slot holds the winner's full payload, untorn: its
+    // checksum identifies exactly one contender and the value is that
+    // contender's, not a mix.
+    const auto slot = store.read_slot(target_slot);
+    int matches = 0;
+    for (std::size_t t = 0; t < kContenders; ++t) {
+      if (slot.checksum != store.key_checksum(sim_key(contenders[t]))) continue;
+      ++matches;
+      const auto expect = value_of(0x100 + t);
+      EXPECT_TRUE(std::memcmp(slot.value.data(), expect.data(), 8) == 0);
+    }
+    EXPECT_EQ(matches, 1) << "round " << round;
+  }
 }
 
 TEST(CasInsertStore, SlotEmptyDetection) {

@@ -186,6 +186,58 @@ TEST(ChaosE2E, KillFailoverDegradeFailback) {
 // If every other collector is down too, there is nothing to fail over to:
 // the death is detected and logged, no takeover happens, and queries to the
 // dead range are eaten — degraded availability, never wrong answers.
+// Long-outage regression: a collector that stays dead across more epoch
+// rotations than a uint16 can count must keep reading "maximally stale" —
+// the per-takeover counter saturates at kStaleEpochsSaturated instead of
+// wrapping back toward "fresh" (a wrapped count of, say, 4465 after 70k lost
+// rotations would massively under-report data loss to the operator).
+TEST(ChaosE2E, StaleEpochsSaturateAcrossLongOutage) {
+  telemetry::WireFabric fabric(chaos_config(/*loss=*/0.0, /*seed=*/29));
+  auto& op = fabric.attach_operator();
+  auto& sim = fabric.simulator();
+
+  const RecoveryConfig cfg;
+  RecoveryManager recovery(fabric, cfg);
+  FaultInjector injector(fabric, &recovery);
+  FaultPlan plan;
+  plan.kill_collector(5 * kMs, 0);  // never revived: the outage outlives us
+  injector.arm(plan);
+  recovery.start(/*horizon_ns=*/15 * kMs);
+  fabric.run();
+
+  ASSERT_TRUE(recovery.backup_of(0).has_value());
+  const std::uint32_t backup = *recovery.backup_of(0);
+  auto* qs = fabric.query_service(backup);
+  ASSERT_NE(qs, nullptr);
+  ASSERT_EQ(qs->takeover_stale_epochs(0), cfg.takeover_stale_epochs);
+
+  // The collector misses 70'000 rotations — past uint16's 65'535.
+  for (int i = 0; i < 70'000; ++i) recovery.note_epoch_rotation();
+  EXPECT_EQ(qs->takeover_stale_epochs(0),
+            core::QueryServiceNode::kStaleEpochsSaturated);
+
+  // The operator sees the saturated count on a real answer for a dead-owned
+  // key, still flagged degraded.
+  telemetry::FlowGenerator gen(fabric.topology(), 41);
+  auto fe = gen.next_flow();
+  while (fabric.cluster().owner_of(fe.tuple.key_bytes()) != 0) {
+    fe = gen.next_flow();
+  }
+  fabric.send_flow(fe.tuple, fe.src_host, 2);
+  std::uint64_t id = 0;
+  sim.schedule(sim.now_ns() + kMs, [&] { id = op.query(fe.tuple.key_bytes()); });
+  fabric.run();
+  const auto resp = op.take_response(id);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_TRUE(resp->degraded());
+  EXPECT_EQ(resp->stale_epochs, core::QueryServiceNode::kStaleEpochsSaturated);
+
+  // Accumulation is saturating too: re-marking the same owner cannot wrap.
+  qs->begin_takeover(0, 0xFFFF);
+  EXPECT_EQ(qs->takeover_stale_epochs(0),
+            core::QueryServiceNode::kStaleEpochsSaturated);
+}
+
 TEST(ChaosE2E, NoBackupAvailableMeansNoTakeover) {
   telemetry::WireFabric fabric(chaos_config(/*loss=*/0.0, /*seed=*/23));
   auto& op = fabric.attach_operator();

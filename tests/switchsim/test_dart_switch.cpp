@@ -178,6 +178,159 @@ TEST(DartSwitch, MatchesHostSideCrafterBytes) {
   }
 }
 
+// --- DTA translator primitives ----------------------------------------------
+
+core::DtaPrimitivesConfig small_primitives() {
+  auto prim = core::default_primitives(small_config().master_seed);
+  prim.ring.n_entries = 16;
+  prim.ring.value_bytes = 8;
+  prim.postcards.n_groups = 8;
+  prim.postcards.max_hops = 4;
+  return prim;
+}
+
+DartSwitchPipeline::Config primitive_switch_config() {
+  auto sc = switch_config(core::WriteMode::kStochastic);
+  sc.primitives = small_primitives();
+  return sc;
+}
+
+// The three region rows collector `id` would publish (Collector's vaddr
+// scheme: disjoint fixed bases per region).
+struct PrimitiveRowSet {
+  core::RemoteStoreInfo ring;
+  core::RemoteStoreInfo counters;
+  core::RemoteStoreInfo postcards;
+};
+
+PrimitiveRowSet fake_primitive_rows(std::uint32_t id) {
+  const auto prim = small_primitives();
+  PrimitiveRowSet rows;
+  rows.ring = fake_collector(id);
+  rows.ring.base_vaddr = core::Collector::kRingBaseVaddr;
+  rows.ring.n_slots = prim.ring.n_entries;
+  rows.ring.slot_bytes = prim.ring.entry_bytes();
+  rows.counters = fake_collector(id);
+  rows.counters.base_vaddr = core::Collector::kCounterBaseVaddr;
+  rows.counters.n_slots = prim.counters.n_counters;
+  rows.counters.slot_bytes = 8;
+  rows.postcards = fake_collector(id);
+  rows.postcards.base_vaddr = core::Collector::kPostcardBaseVaddr;
+  rows.postcards.n_slots = prim.postcards.n_slots();
+  rows.postcards.slot_bytes = prim.postcards.slot_bytes();
+  return rows;
+}
+
+TEST(DartSwitchPrimitives, NoRowsLoadedMissesAllThreeEntryPoints) {
+  DartSwitchPipeline sw(primitive_switch_config());
+  std::vector<std::byte> value(8, std::byte{1});
+  EXPECT_TRUE(sw.on_append_event(bytes_of("k"), value).empty());
+  EXPECT_TRUE(sw.on_increment_event(bytes_of("k"), 1).empty());
+  EXPECT_TRUE(sw.on_postcard_event(bytes_of("k"), 0, value).empty());
+  EXPECT_EQ(sw.counters().table_misses, 3u);
+  EXPECT_EQ(sw.counters().reports_emitted, 0u);
+  EXPECT_EQ(sw.append_tail_of(0), 0u);  // a miss must not consume a seq
+}
+
+TEST(DartSwitchPrimitives, AppendsMatchHostCrafterAndBumpTheTail) {
+  const auto sc = primitive_switch_config();
+  DartSwitchPipeline sw(sc);
+  const auto rows = fake_primitive_rows(0);
+  sw.load_primitives(rows.ring, rows.counters, rows.postcards);
+  EXPECT_EQ(sw.primitive_collectors_loaded(), 1u);
+
+  core::ReportCrafter crafter(sc.dart);
+  core::ReporterEndpoint src;
+  src.mac = sc.mac;
+  src.ip = sc.ip;
+
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    std::vector<std::byte> value(sc.primitives.ring.value_bytes,
+                                 std::byte{static_cast<unsigned char>(i)});
+    const auto frame = sw.on_append_event(bytes_of("event"), value);
+    ASSERT_FALSE(frame.empty());
+    // The switch-maintained tail supplies seq i+1; PSNs continue the same
+    // per-collector stream the KV path uses.
+    const auto expect = crafter.craft_append(
+        rows.ring, src, sc.primitives.ring, /*seq=*/i + 1, value,
+        /*psn=*/static_cast<std::uint32_t>(i));
+    EXPECT_EQ(frame, expect) << "append " << i;
+  }
+  EXPECT_EQ(sw.append_tail_of(0), 3u);
+  EXPECT_EQ(sw.counters().appends_emitted, 3u);
+  EXPECT_EQ(sw.counters().reports_emitted, 3u);
+}
+
+TEST(DartSwitchPrimitives, IncrementAndPostcardMatchHostCrafter) {
+  const auto sc = primitive_switch_config();
+  DartSwitchPipeline sw(sc);
+  const auto rows = fake_primitive_rows(0);
+  sw.load_primitives(rows.ring, rows.counters, rows.postcards);
+
+  core::ReportCrafter crafter(sc.dart);
+  core::ReporterEndpoint src;
+  src.mac = sc.mac;
+  src.ip = sc.ip;
+
+  const auto inc_frame = sw.on_increment_event(bytes_of("flow-i"), 42);
+  ASSERT_FALSE(inc_frame.empty());
+  EXPECT_EQ(inc_frame,
+            crafter.craft_key_increment(rows.counters, src,
+                                        sc.primitives.counters,
+                                        bytes_of("flow-i"), 42, /*psn=*/0));
+
+  std::vector<std::byte> value(sc.primitives.postcards.value_bytes,
+                               std::byte{9});
+  const auto pc_frame = sw.on_postcard_event(bytes_of("flow-p"), 2, value);
+  ASSERT_FALSE(pc_frame.empty());
+  EXPECT_EQ(pc_frame,
+            crafter.craft_postcard(rows.postcards, src,
+                                   sc.primitives.postcards, bytes_of("flow-p"),
+                                   2, value, /*psn=*/1));
+  EXPECT_EQ(sw.counters().increments_emitted, 1u);
+  EXPECT_EQ(sw.counters().postcards_emitted, 1u);
+  EXPECT_EQ(sw.append_tail_of(0), 0u);  // only appends consume the tail
+}
+
+TEST(DartSwitchPrimitives, PrimitivesShareThePsnStreamWithKvReports) {
+  auto sc = primitive_switch_config();
+  DartSwitchPipeline sw(sc);
+  sw.load_collector(fake_collector(0));
+  const auto rows = fake_primitive_rows(0);
+  sw.load_primitives(rows.ring, rows.counters, rows.postcards);
+
+  std::vector<std::byte> kv_value(sc.dart.value_bytes, std::byte{1});
+  std::vector<std::byte> ring_value(sc.primitives.ring.value_bytes,
+                                    std::byte{2});
+  const auto kv = sw.on_telemetry(bytes_of("k"), kv_value);
+  ASSERT_EQ(kv.size(), 1u);
+  const auto append = sw.on_append_event(bytes_of("k"), ring_value);
+  const auto inc = sw.on_increment_event(bytes_of("k"), 5);
+
+  // One register, one stream: KV report psn 0, then append 1, increment 2.
+  std::uint32_t want_psn = 0;
+  for (const auto* frame : {&kv[0], &append, &inc}) {
+    const auto parsed = net::parse_udp_frame(*frame);
+    ASSERT_TRUE(parsed.has_value());
+    const auto req = rdma::parse_request(parsed->payload);
+    ASSERT_TRUE(req.has_value());
+    EXPECT_EQ(req->bth.psn, want_psn++);
+  }
+  EXPECT_EQ(sw.psn_of(0), 3u);
+}
+
+TEST(DartSwitchPrimitives, UnloadDropsPrimitiveRows) {
+  DartSwitchPipeline sw(primitive_switch_config());
+  const auto rows = fake_primitive_rows(0);
+  sw.load_primitives(rows.ring, rows.counters, rows.postcards);
+  EXPECT_EQ(sw.primitive_collectors_loaded(), 1u);
+  sw.unload_collector(0);
+  EXPECT_EQ(sw.primitive_collectors_loaded(), 0u);
+  std::vector<std::byte> value(8, std::byte{1});
+  EXPECT_TRUE(sw.on_append_event(bytes_of("k"), value).empty());
+  EXPECT_EQ(sw.counters().table_misses, 1u);
+}
+
 TEST(DartSwitch, SramBudgetSupportsManyCollectors) {
   // §6: "about 20 bytes of on-switch SRAM per-collector ... tens of
   // thousands of collectors". Our logical accounting must stay in that

@@ -16,7 +16,8 @@ tools/check_docs.sh
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" -j \
-  --target micro_datapath scaling_ingest_threads ablation_faults dart_metrics
+  --target micro_datapath scaling_ingest_threads ablation_faults primitives \
+  dart_metrics
 
 OUT_DIR="$(mktemp -d)"
 trap 'rm -rf "$OUT_DIR"' EXIT
@@ -28,6 +29,7 @@ trap 'rm -rf "$OUT_DIR"' EXIT
 (cd "$OUT_DIR" && "$OLDPWD/$BUILD_DIR/bench/scaling_ingest_threads" \
   --reports=40000)
 (cd "$OUT_DIR" && "$OLDPWD/$BUILD_DIR/bench/ablation_faults" --flows=15)
+(cd "$OUT_DIR" && "$OLDPWD/$BUILD_DIR/bench/primitives" --events=30000)
 
 # Metrics snapshot: conservation invariants plus the JSON exposition, and
 # the chaos run that holds those invariants under every injected fault class.
@@ -44,7 +46,7 @@ from pathlib import Path
 out_dir = Path(sys.argv[1])
 required = ["reports_per_sec", "ns_per_report"]
 failures = 0
-for name in ["micro_datapath", "scaling_ingest_threads"]:
+for name in ["micro_datapath", "scaling_ingest_threads", "primitives"]:
     path = out_dir / f"BENCH_{name}.json"
     if not path.exists():
         print(f"FAIL: {path} was not emitted")
@@ -67,6 +69,18 @@ for name in ["micro_datapath", "scaling_ingest_threads"]:
         print(f"OK: {path.name}: reports_per_sec="
               f"{results['reports_per_sec']:.0f} "
               f"ns_per_report={results['ns_per_report']:.1f}")
+
+# DTA primitives: beyond the generic rate keys, each primitive and the
+# collector-side drain must report a positive rate of its own.
+prim_path = out_dir / "BENCH_primitives.json"
+if prim_path.exists():
+    results = json.loads(prim_path.read_text()).get("results", {})
+    for key in ["append_reports_per_sec", "increment_reports_per_sec",
+                "postcard_reports_per_sec", "drain_entries_per_sec"]:
+        val = results.get(key)
+        if not (isinstance(val, (int, float)) and val > 0):
+            print(f"FAIL: {prim_path}: result '{key}' = {val!r} not > 0")
+            failures += 1
 
 # Fault ablation: same envelope; per fault class a delivery/answered/degraded
 # triple. The recovery row must answer everything (degraded, not dropped).
