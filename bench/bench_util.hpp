@@ -2,6 +2,7 @@
 // headers/footers so all figures print uniformly.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -29,6 +30,20 @@ inline std::uint64_t flag_u64(int argc, char** argv, const char* name,
   const double v = flag_double(argc, argv, name,
                                static_cast<double>(fallback));
   return static_cast<std::uint64_t>(v);
+}
+
+// Pre-materializes `n` values of gen(0..n-1) before the timed region starts.
+// Benchmarks index into the pool instead of synthesizing inputs (keys,
+// payloads) per iteration, so items_per_sec measures the stage under test
+// rather than the harness's input generation. Pools for write-path
+// benchmarks should be large enough (≥ number of store slots) that cycling
+// through them preserves the cold-slot behavior of a live feed.
+template <typename Fn>
+[[nodiscard]] auto make_pool(std::size_t n, Fn&& gen) {
+  std::vector<decltype(gen(std::size_t{0}))> pool;
+  pool.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) pool.push_back(gen(i));
+  return pool;
 }
 
 inline void banner(const char* experiment, const char* paper_claim) {

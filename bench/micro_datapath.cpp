@@ -22,6 +22,7 @@
 #include "baseline/dpdk_stack.hpp"
 #include "baseline/report_gen.hpp"
 #include "baseline/socket_stack.hpp"
+#include "common/hash.hpp"
 #include "core/collector.hpp"
 #include "core/oracle.hpp"
 #include "core/query.hpp"
@@ -50,11 +51,45 @@ CollectorEndpoint endpoint() {
   return {{2, 0, 0, 0, 0, 1}, net::Ipv4Addr::from_octets(10, 0, 100, 1)};
 }
 
+// Shared pre-materialized key pool (bench_util make_pool): big enough that
+// cycling through it still touches the store cold (the pool spans every
+// slot), while keeping sim_key synthesis out of every timed region.
+constexpr std::size_t kKeyPoolSize = 1 << 20;
+constexpr std::size_t kKeyPoolMask = kKeyPoolSize - 1;
+
+const std::vector<std::array<std::byte, 8>>& key_pool() {
+  static const auto pool = dart::bench::make_pool(
+      kKeyPoolSize, [](std::size_t i) { return sim_key(i); });
+  return pool;
+}
+
+// Raw CRC-32 kernel cost at datapath-relevant sizes: 44 B is the craft
+// path's resumed iCRC region, 88 B the fused classifier buffer, 94 B a full
+// report frame, 1500 B an MTU frame (streaming throughput).
+void BM_Crc32(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  std::vector<std::byte> buf(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    buf[i] = static_cast<std::byte>(i * 131u + 7u);
+  }
+  std::uint32_t s = 0xFFFF'FFFFu;
+  for (auto _ : state) {
+    s = detail::crc32_update_dispatch(s, buf.data(), len);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(len));
+  state.SetLabel(std::string(simd_backend_name()));
+}
+BENCHMARK(BM_Crc32)->Arg(44)->Arg(88)->Arg(94)->Arg(1500);
+
 void BM_HashAddressing(benchmark::State& state) {
   const HashFamily family(2, 0xB12C);
+  const auto& keys = key_pool();
   std::uint64_t i = 0;
   for (auto _ : state) {
-    const auto key = sim_key(i++);
+    const auto& key = keys[i++ & kKeyPoolMask];
     benchmark::DoNotOptimize(family.address_of(key, 0, 1 << 20));
     benchmark::DoNotOptimize(family.address_of(key, 1, 1 << 20));
     benchmark::DoNotOptimize(family.checksum_of(key, 32));
@@ -63,12 +98,38 @@ void BM_HashAddressing(benchmark::State& state) {
 }
 BENCHMARK(BM_HashAddressing);
 
+// Same addressing work through the batched N-way entry point: 32 keys per
+// call, slot hashes 4 lanes at a time through the AVX2 XXH64 kernel.
+void BM_HashAddressingBurst(benchmark::State& state) {
+  constexpr std::size_t kBurst = 32;
+  const HashFamily family(2, 0xB12C);
+  const auto& keys = key_pool();
+  std::vector<std::uint32_t> ns(kBurst);
+  for (std::size_t b = 0; b < kBurst; ++b) {
+    ns[b] = static_cast<std::uint32_t>(b & 1);
+  }
+  std::vector<std::uint64_t> addrs(kBurst);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const std::size_t base = i & (kKeyPoolMask & ~(kBurst - 1));
+    family.address_of_batch(keys[base].data(), /*key_len=*/8, /*stride=*/8,
+                            ns, /*n_slots=*/1 << 20, addrs.data());
+    benchmark::DoNotOptimize(addrs.data());
+    i += kBurst;
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) * kBurst);
+  state.SetLabel("burst=32");
+}
+BENCHMARK(BM_HashAddressingBurst);
+
 void BM_StoreWrite(benchmark::State& state) {
   DartStore store(config());
+  const auto& keys = key_pool();
   std::array<std::byte, 20> value{};
   std::uint64_t i = 0;
   for (auto _ : state) {
-    store.write(sim_key(i++), value);
+    store.write(keys[i++ & kKeyPoolMask], value);
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -82,11 +143,11 @@ void BM_SwitchCraftReport(benchmark::State& state) {
   switchsim::DartSwitchPipeline sw(sc);
   sw.load_collector(collector.remote_info());
 
+  const auto& keys = key_pool();
   std::array<std::byte, 20> value{};
   std::uint64_t i = 0;
   for (auto _ : state) {
-    const auto key = sim_key(i++);
-    benchmark::DoNotOptimize(sw.on_telemetry(key, value));
+    benchmark::DoNotOptimize(sw.on_telemetry(keys[i++ & kKeyPoolMask], value));
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -129,12 +190,13 @@ void BM_CraftWriteTemplate(benchmark::State& state) {
   ReporterEndpoint src;
   src.ip = net::Ipv4Addr::from_octets(10, 255, 0, 1);
   const auto tpl = crafter.make_write_template(collector.remote_info(), src);
+  const auto& keys = key_pool();
   std::array<std::byte, 20> value{};
   std::array<std::byte, 128> out{};
   std::uint64_t i = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(crafter.craft_write_into(
-        tpl, sim_key(i), value, static_cast<std::uint32_t>(i % 2),
+        tpl, keys[i & kKeyPoolMask], value, static_cast<std::uint32_t>(i % 2),
         static_cast<std::uint32_t>(i) & 0x00FF'FFFFu, out));
     ++i;
   }
@@ -142,28 +204,128 @@ void BM_CraftWriteTemplate(benchmark::State& state) {
 }
 BENCHMARK(BM_CraftWriteTemplate);
 
-// The headline number of the perf trajectory: template craft + RNIC ingest
-// (iCRC validated) per report — the full simulated switch→collector cost.
-void BM_CraftPlusIngest(benchmark::State& state) {
+// Burst crafting alone: craft_write_into_n, 32 frames per call, slot
+// addresses batch-hashed 4 lanes at a time.
+void BM_CraftWriteBurst(benchmark::State& state) {
+  constexpr std::size_t kBurst = 32;
   Collector collector(config(), 0, endpoint());
   const ReportCrafter crafter(config());
   ReporterEndpoint src;
   src.ip = net::Ipv4Addr::from_octets(10, 255, 0, 1);
   const auto tpl = crafter.make_write_template(collector.remote_info(), src);
+  const auto& keys = key_pool();
+  std::array<std::byte, 20> value{};
+  std::vector<ReportCrafter::WriteOp> ops(kBurst);
+  std::vector<std::byte> out(kBurst * tpl.frame_size());
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    for (std::size_t b = 0; b < kBurst; ++b, ++i) {
+      ops[b] = {keys[i & kKeyPoolMask], value,
+                static_cast<std::uint32_t>(i % 2),
+                static_cast<std::uint32_t>(i) & 0x00FF'FFFFu};
+    }
+    benchmark::DoNotOptimize(crafter.craft_write_into_n(tpl, ops, out));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) * kBurst);
+  state.SetLabel("burst=32");
+}
+BENCHMARK(BM_CraftWriteBurst);
+
+// Burst ingest alone: process_frames over pre-crafted frame bursts — the
+// staged validate→prefetch→apply pipeline with the MR/QP checks hoisted.
+void BM_RnicIngestBurst(benchmark::State& state) {
+  constexpr std::size_t kBurst = 32;
+  Collector collector(config(), 0, endpoint());
+  collector.rnic().set_validate_icrc(true);
+  const ReportCrafter crafter(config());
+  ReporterEndpoint src;
+  src.ip = net::Ipv4Addr::from_octets(10, 255, 0, 1);
+  std::vector<std::vector<std::byte>> frames;
+  std::array<std::byte, 20> value{};
+  for (std::uint64_t i = 0; i < 4096; ++i) {
+    frames.push_back(crafter.craft_write(collector.remote_info(), src,
+                                         sim_key(i), value,
+                                         static_cast<std::uint32_t>(i % 2),
+                                         static_cast<std::uint32_t>(i)));
+  }
+  std::vector<std::span<const std::byte>> views(kBurst);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    for (std::size_t b = 0; b < kBurst; ++b) {
+      views[b] = frames[(i + b) & 4095];
+    }
+    benchmark::DoNotOptimize(collector.rnic().process_frames(views));
+    i += kBurst;
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) * kBurst);
+  state.SetLabel("burst=32 icrc=on");
+}
+BENCHMARK(BM_RnicIngestBurst);
+
+// The headline number of the perf trajectory: the full simulated
+// switch→collector cost per report through the optimized burst datapath —
+// craft_write_into_n (batch-hashed addressing, template iCRC resume) into a
+// frame block, then process_frames (burst-validated, prefetched DMA apply),
+// 32 reports per round, iCRC validated. The per-frame variant of the same
+// path is BM_CraftPlusIngestSingle.
+void BM_CraftPlusIngest(benchmark::State& state) {
+  constexpr std::size_t kBurst = 32;
+  Collector collector(config(), 0, endpoint());
+  const ReportCrafter crafter(config());
+  ReporterEndpoint src;
+  src.ip = net::Ipv4Addr::from_octets(10, 255, 0, 1);
+  const auto tpl = crafter.make_write_template(collector.remote_info(), src);
+  const auto& keys = key_pool();
+  std::array<std::byte, 20> value{};
+  std::vector<ReportCrafter::WriteOp> ops(kBurst);
+  std::vector<std::byte> out(kBurst * tpl.frame_size());
+  std::vector<std::span<const std::byte>> views(kBurst);
+  for (std::size_t b = 0; b < kBurst; ++b) {
+    views[b] = std::span<const std::byte>(out).subspan(b * tpl.frame_size(),
+                                                       tpl.frame_size());
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    for (std::size_t b = 0; b < kBurst; ++b, ++i) {
+      ops[b] = {keys[i & kKeyPoolMask], value,
+                static_cast<std::uint32_t>(i % 2),
+                static_cast<std::uint32_t>(i) & 0x00FF'FFFFu};
+    }
+    (void)crafter.craft_write_into_n(tpl, ops, out);
+    benchmark::DoNotOptimize(collector.rnic().process_frames(views));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) * kBurst);
+  state.SetLabel("burst=32 icrc=on");
+}
+BENCHMARK(BM_CraftPlusIngest);
+
+// Per-frame variant of the headline path: craft_write_into + process_frame,
+// one report at a time (no burst amortization, no prefetch distance).
+void BM_CraftPlusIngestSingle(benchmark::State& state) {
+  Collector collector(config(), 0, endpoint());
+  const ReportCrafter crafter(config());
+  ReporterEndpoint src;
+  src.ip = net::Ipv4Addr::from_octets(10, 255, 0, 1);
+  const auto tpl = crafter.make_write_template(collector.remote_info(), src);
+  const auto& keys = key_pool();
   std::array<std::byte, 20> value{};
   std::array<std::byte, 128> out{};
   std::uint64_t i = 0;
   for (auto _ : state) {
     const std::size_t len = crafter.craft_write_into(
-        tpl, sim_key(i), value, static_cast<std::uint32_t>(i % 2),
+        tpl, keys[i & kKeyPoolMask], value, static_cast<std::uint32_t>(i % 2),
         static_cast<std::uint32_t>(i) & 0x00FF'FFFFu, out);
     benchmark::DoNotOptimize(collector.rnic().process_frame(
         std::span<const std::byte>(out.data(), len)));
     ++i;
   }
   state.SetItemsProcessed(state.iterations());
+  state.SetLabel("icrc=on");
 }
-BENCHMARK(BM_CraftPlusIngest);
+BENCHMARK(BM_CraftPlusIngestSingle);
 
 void BM_Query(benchmark::State& state) {
   const auto policy = static_cast<ReturnPolicy>(state.range(0));
@@ -172,9 +334,10 @@ void BM_Query(benchmark::State& state) {
   constexpr std::uint64_t kKeys = 1 << 18;
   for (std::uint64_t i = 0; i < kKeys; ++i) store.write(sim_key(i), value);
   const QueryEngine q(store, policy);
+  const auto& keys = key_pool();
   std::uint64_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(q.resolve(sim_key(i++ & (kKeys - 1))));
+    benchmark::DoNotOptimize(q.resolve(keys[i++ & (kKeys - 1)]));
   }
   state.SetItemsProcessed(state.iterations());
   state.SetLabel(to_string(policy));
@@ -243,9 +406,10 @@ void BM_CodedStoreQuery(benchmark::State& state) {
   std::array<std::byte, 20> value{};
   constexpr std::uint64_t kKeys = 1 << 16;
   for (std::uint64_t i = 0; i < kKeys; ++i) store.write(sim_key(i), value);
+  const auto& keys = key_pool();
   std::uint64_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(store.query(sim_key(i++ & (kKeys - 1))));
+    benchmark::DoNotOptimize(store.query(keys[i++ & (kKeys - 1)]));
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -255,9 +419,10 @@ BENCHMARK(BM_CodedStoreQuery);
 void BM_ChangeDetectorObserve(benchmark::State& state) {
   telemetry::ChangeDetector detector(
       {.table_size = 1 << 16, .threshold = 8});
+  const auto& keys = key_pool();
   std::uint64_t i = 0;
   for (auto _ : state) {
-    const auto key = sim_key(i & 0xFFF);  // 4K-flow working set
+    const auto& key = keys[i & 0xFFF];  // 4K-flow working set
     benchmark::DoNotOptimize(
         detector.observe(key, static_cast<std::uint32_t>(i >> 6), i));
     ++i;
@@ -309,6 +474,14 @@ int main(int argc, char** argv) {
   json.config("n_addresses", static_cast<double>(cfg.n_addresses));
   json.config("checksum_bits", static_cast<double>(cfg.checksum_bits));
   json.config("value_bytes", static_cast<double>(cfg.value_bytes));
+  json.config("simd_backend", std::string(dart::simd_backend_name()));
+  // Legend for numeric benchmark-name suffixes (google-benchmark encodes
+  // Arg(v) as "<name>/<v>", which becomes "<name>_<v>" in the result keys):
+  json.config("BM_RnicIngest_0", "icrc=off");
+  json.config("BM_RnicIngest_1", "icrc=on");
+  json.config("BM_Crc32_N", "buffer length in bytes");
+  json.config("BM_Query_N", "ReturnPolicy enum value");
+  json.config("BM_CraftPlusIngest", "burst=32 craft_write_into_n + process_frames, icrc=on");
 
   double headline_ips = 0.0;
   for (const auto& e : reporter.entries()) {
@@ -317,6 +490,11 @@ int main(int argc, char** argv) {
       if (c == '/' || c == ':') c = '_';
     }
     json.result(key + "_items_per_sec", e.items_per_sec);
+    // Per-stage latency alongside every throughput number, so EXPERIMENTS.md
+    // stage tables read straight out of the JSON.
+    if (e.items_per_sec > 0.0) {
+      json.result(key + "_ns_per_item", 1e9 / e.items_per_sec);
+    }
     if (e.name == "BM_CraftPlusIngest") headline_ips = e.items_per_sec;
   }
   // Headline: full craft+ingest datapath, what the ≥2× acceptance tracks.

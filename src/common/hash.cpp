@@ -1,6 +1,7 @@
 #include "common/hash.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/bytes.hpp"
@@ -148,10 +149,32 @@ constexpr auto kCrc32Tables = make_crc32_tables();
 
 }  // namespace
 
-void Crc32::update(std::span<const std::byte> data) noexcept {
-  const std::byte* p = data.data();
-  std::size_t n = data.size();
-  std::uint32_t crc = state_;
+namespace detail {
+
+std::uint32_t crc32_update_bytewise(std::uint32_t state, const std::byte* p,
+                                    std::size_t n) noexcept {
+  while (n-- > 0) {
+    state = kCrc32Tables[0][(state ^ static_cast<std::uint8_t>(*p++)) & 0xFFu] ^
+            (state >> 8);
+  }
+  return state;
+}
+
+std::uint32_t crc32_update_scalar(std::uint32_t state, const std::byte* p,
+                                  std::size_t n) noexcept {
+  std::uint32_t crc = state;
+  // Consume the unaligned head byte-wise so the slicing loop's 8-byte loads
+  // all start on an 8-byte boundary — the loads go through memcpy either
+  // way, but aligned access is what the hardware (and the UBSan-covered
+  // offset test) wants to see on every step of the hot loop. Short runs
+  // skip the fixup: they take at most two slicing steps, and aligning
+  // first could eat the whole buffer byte-wise (the PCLMUL kernel hands
+  // its 0–15-byte tails here, so this is a datapath-hot case).
+  while (n >= 16 && (reinterpret_cast<std::uintptr_t>(p) & 0x7u) != 0) {
+    crc = kCrc32Tables[0][(crc ^ static_cast<std::uint8_t>(*p++)) & 0xFFu] ^
+          (crc >> 8);
+    --n;
+  }
   while (n >= 8) {
     const std::uint32_t lo = read32le(p) ^ crc;
     const std::uint32_t hi = read32le(p + 4);
@@ -162,11 +185,36 @@ void Crc32::update(std::span<const std::byte> data) noexcept {
     p += 8;
     n -= 8;
   }
-  while (n-- > 0) {
-    crc = kCrc32Tables[0][(crc ^ static_cast<std::uint8_t>(*p++)) & 0xFFu] ^
-          (crc >> 8);
+  return crc32_update_bytewise(crc, p, n);
+}
+
+namespace {
+
+// One dispatched CRC step. With the Barrett-reduced finalization a single
+// 16-byte fold already beats the slicing tables, so the kernel takes over
+// as soon as it has one full block; below that the tables are optimal.
+constexpr std::size_t kClmulMinBytes = 16;
+
+[[nodiscard]] bool use_clmul() noexcept {
+  static const bool v =
+      active_simd_level() == SimdLevel::kSimd && crc32_clmul_usable();
+  return v;
+}
+
+}  // namespace
+
+std::uint32_t crc32_update_dispatch(std::uint32_t state, const std::byte* p,
+                                    std::size_t n) noexcept {
+  if (n >= kClmulMinBytes && use_clmul()) {
+    return crc32_update_clmul(state, p, n);
   }
-  state_ = crc;
+  return crc32_update_scalar(state, p, n);
+}
+
+}  // namespace detail
+
+void Crc32::update(std::span<const std::byte> data) noexcept {
+  state_ = detail::crc32_update_dispatch(state_, data.data(), data.size());
 }
 
 void Crc32::update_byte(std::uint8_t b) noexcept {
@@ -210,6 +258,97 @@ std::uint16_t crc16_ccitt(std::span<const std::byte> data) noexcept {
         kCrc16Table[((crc >> 8) ^ static_cast<std::uint8_t>(byte)) & 0xFFu]);
   }
   return crc;
+}
+
+// ---------------------------------------------------------------------------
+// SIMD dispatch
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct SimdDecision {
+  SimdLevel level = SimdLevel::kScalar;
+  const char* name = "scalar";
+};
+
+[[nodiscard]] bool simd_disabled_by_env() noexcept {
+  const char* v = std::getenv("DART_NO_SIMD");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+// Diffs the PCLMUL kernel against the scalar twin on deterministic vectors
+// spanning the 16-byte-fold, 64-byte-fold, and tail regimes with a non-
+// trivial running state. Any divergence (miscompiled kernel, exotic CPU)
+// demotes the whole process to scalar instead of corrupting frames.
+[[nodiscard]] bool clmul_self_check() noexcept {
+  std::array<std::byte, 257> buf;
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<std::byte>((i * 131u + 17u) & 0xFFu);
+  }
+  for (const std::size_t len : {32u, 44u, 63u, 64u, 92u, 100u, 192u, 257u}) {
+    for (const std::uint32_t state : {0xFFFF'FFFFu, 0x1234'5678u}) {
+      if (detail::crc32_update_scalar(state, buf.data(), len) !=
+          detail::crc32_update_clmul(state, buf.data(), len)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+[[nodiscard]] SimdDecision resolve_simd() noexcept {
+  if (simd_disabled_by_env()) return {SimdLevel::kScalar, "scalar (DART_NO_SIMD)"};
+  const bool clmul = detail::crc32_clmul_usable();
+  const bool avx2 = detail::xxhash64_avx2_usable();
+  if (!clmul && !avx2) return {SimdLevel::kScalar, "scalar (no CPU support)"};
+  if (clmul && !clmul_self_check()) {
+    return {SimdLevel::kScalar, "scalar (self-check failed)"};
+  }
+  if (clmul && avx2) return {SimdLevel::kSimd, "pclmul+avx2"};
+  return {SimdLevel::kSimd, clmul ? "pclmul" : "avx2"};
+}
+
+[[nodiscard]] const SimdDecision& simd_decision() noexcept {
+  static const SimdDecision d = resolve_simd();
+  return d;
+}
+
+}  // namespace
+
+SimdLevel active_simd_level() noexcept { return simd_decision().level; }
+
+std::string_view simd_backend_name() noexcept { return simd_decision().name; }
+
+// ---------------------------------------------------------------------------
+// Batch XXH64
+// ---------------------------------------------------------------------------
+
+void xxhash64_batch(const std::byte* keys, std::size_t key_len,
+                    std::size_t stride, std::size_t count,
+                    const std::uint64_t* seeds, std::uint64_t* out) noexcept {
+  if (key_len == 8 && count >= 4 && detail::xxhash64_avx2_usable() &&
+      active_simd_level() == SimdLevel::kSimd) {
+    // Gather the (possibly strided / unaligned) keys into contiguous lanes a
+    // chunk at a time, then hand full groups of 4 to the AVX2 kernel.
+    constexpr std::size_t kChunk = 64;
+    std::array<std::uint64_t, kChunk> lanes;
+    std::size_t done = 0;
+    while (count - done >= 4) {
+      const std::size_t m = std::min<std::size_t>(count - done, kChunk) & ~std::size_t{3};
+      for (std::size_t i = 0; i < m; ++i) {
+        std::memcpy(&lanes[i], keys + (done + i) * stride, 8);
+      }
+      detail::xxhash64_k8_avx2(lanes.data(), seeds + done, m, out + done);
+      done += m;
+    }
+    for (; done < count; ++done) {
+      out[done] = xxhash64({keys + done * stride, key_len}, seeds[done]);
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = xxhash64({keys + i * stride, key_len}, seeds[i]);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -263,6 +402,56 @@ std::uint64_t HashFamily::address_of(std::span<const std::byte> key,
 std::uint32_t HashFamily::checksum_of(std::span<const std::byte> key,
                                       std::uint32_t bits) const noexcept {
   return crc32(key) & checksum_mask(bits);
+}
+
+void HashFamily::addresses_of(std::span<const std::byte> key,
+                              std::uint64_t n_slots,
+                              std::span<std::uint64_t> out) const noexcept {
+  const std::size_t n = seeds_.size();
+  xxhash64_batch(key.data(), key.size(), /*stride=*/0, n, seeds_.data(),
+                 out.data());
+  for (std::size_t i = 0; i < n; ++i) out[i] %= n_slots;
+}
+
+void HashFamily::collectors_of(const std::byte* keys, std::size_t key_len,
+                               std::size_t stride, std::size_t count,
+                               std::uint32_t n_collectors,
+                               std::uint32_t* out) const noexcept {
+  if (n_collectors <= 1) {
+    for (std::size_t i = 0; i < count; ++i) out[i] = 0;
+    return;
+  }
+  constexpr std::size_t kChunk = 64;
+  std::array<std::uint64_t, kChunk> seed_lanes;
+  std::array<std::uint64_t, kChunk> hashes;
+  seed_lanes.fill(collector_seed_);
+  for (std::size_t done = 0; done < count; done += kChunk) {
+    const std::size_t m = std::min<std::size_t>(count - done, kChunk);
+    xxhash64_batch(keys + done * stride, key_len, stride, m, seed_lanes.data(),
+                   hashes.data());
+    for (std::size_t i = 0; i < m; ++i) {
+      out[done + i] = static_cast<std::uint32_t>(hashes[i] % n_collectors);
+    }
+  }
+}
+
+void HashFamily::address_of_batch(const std::byte* keys, std::size_t key_len,
+                                  std::size_t stride,
+                                  std::span<const std::uint32_t> ns,
+                                  std::uint64_t n_slots,
+                                  std::uint64_t* out) const noexcept {
+  constexpr std::size_t kChunk = 64;
+  std::array<std::uint64_t, kChunk> seed_lanes;
+  const std::size_t count = ns.size();
+  for (std::size_t done = 0; done < count; done += kChunk) {
+    const std::size_t m = std::min<std::size_t>(count - done, kChunk);
+    for (std::size_t i = 0; i < m; ++i) {
+      seed_lanes[i] = seeds_[ns[done + i] % seeds_.size()];
+    }
+    xxhash64_batch(keys + done * stride, key_len, stride, m, seed_lanes.data(),
+                   out + done);
+    for (std::size_t i = 0; i < m; ++i) out[done + i] %= n_slots;
+  }
 }
 
 }  // namespace dart

@@ -65,6 +65,74 @@ class Crc32 {
 [[nodiscard]] std::uint16_t crc16_ccitt(std::span<const std::byte> data) noexcept;
 
 // ---------------------------------------------------------------------------
+// SIMD dispatch
+// ---------------------------------------------------------------------------
+//
+// The datapath has two SIMD fast paths: PCLMUL carryless-multiply CRC-32
+// folding (iCRC validation/refinalize and the template crafters) and an
+// AVX2 4-lane XXH64 for batched N-way address hashing. Both are strictly
+// optional: every kernel has a portable scalar twin producing bit-identical
+// results, selected at runtime. Dispatch resolves once per process from
+// (a) whether the SIMD translation unit was compiled in, (b) CPUID, (c) the
+// DART_NO_SIMD environment variable (any value except "0" forces scalar),
+// and (d) a startup self-check diffing each SIMD kernel against its scalar
+// twin on known vectors — a mismatch quietly falls back to scalar rather
+// than corrupting frames.
+
+enum class SimdLevel : std::uint8_t { kScalar, kSimd };
+
+// The process-wide dispatch decision (resolved on first use).
+[[nodiscard]] SimdLevel active_simd_level() noexcept;
+
+// Human-readable backend description for bench/test banners, e.g.
+// "pclmul+avx2", "scalar (DART_NO_SIMD)", "scalar (self-check failed)".
+[[nodiscard]] std::string_view simd_backend_name() noexcept;
+
+namespace detail {
+
+// Raw CRC-32 kernels over the running (non-complemented) state. Exposed so
+// the parity suite can pin every implementation against the others no matter
+// which one dispatch would pick.
+[[nodiscard]] std::uint32_t crc32_update_scalar(std::uint32_t state,
+                                                const std::byte* p,
+                                                std::size_t n) noexcept;
+[[nodiscard]] std::uint32_t crc32_update_bytewise(std::uint32_t state,
+                                                  const std::byte* p,
+                                                  std::size_t n) noexcept;
+// PCLMUL fold-by-4 (64 bytes/step, 16-byte folds for the mid-range, scalar
+// below 32 bytes). Call only when crc32_clmul_usable().
+[[nodiscard]] std::uint32_t crc32_update_clmul(std::uint32_t state,
+                                               const std::byte* p,
+                                               std::size_t n) noexcept;
+// The dispatched step Crc32::update runs: PCLMUL above the fold threshold
+// when active, scalar otherwise. For callers holding raw state (the fused
+// RNIC iCRC path).
+[[nodiscard]] std::uint32_t crc32_update_dispatch(std::uint32_t state,
+                                                  const std::byte* p,
+                                                  std::size_t n) noexcept;
+[[nodiscard]] bool crc32_clmul_compiled() noexcept;
+// Compiled in AND the CPU advertises PCLMULQDQ+SSE4.1 (ignores DART_NO_SIMD;
+// active_simd_level() folds the env knob in).
+[[nodiscard]] bool crc32_clmul_usable() noexcept;
+
+[[nodiscard]] bool xxhash64_avx2_usable() noexcept;
+// 4-lane AVX2 XXH64 over 8-byte keys with per-lane seeds. Processes
+// count & ~3 keys; the caller hashes the tail. Call only when
+// xxhash64_avx2_usable().
+void xxhash64_k8_avx2(const std::uint64_t* keys, const std::uint64_t* seeds,
+                      std::size_t count, std::uint64_t* out) noexcept;
+
+}  // namespace detail
+
+// Batch XXH64: hashes `count` keys, each `key_len` bytes, laid out `stride`
+// bytes apart starting at `keys` (stride 0 re-hashes one key against many
+// seeds), with seeds[i] keying hash i. Results are bit-identical to calling
+// xxhash64() per key; 8-byte keys ride the AVX2 kernel when active.
+void xxhash64_batch(const std::byte* keys, std::size_t key_len,
+                    std::size_t stride, std::size_t count,
+                    const std::uint64_t* seeds, std::uint64_t* out) noexcept;
+
+// ---------------------------------------------------------------------------
 // HashFamily — the deployment-wide stateless key→address mapping (§3.1).
 // ---------------------------------------------------------------------------
 //
@@ -98,6 +166,29 @@ class HashFamily {
   // b-bit key checksum (CRC-32 masked). b in [1, 32].
   [[nodiscard]] std::uint32_t checksum_of(std::span<const std::byte> key,
                                           std::uint32_t bits) const noexcept;
+
+  // All N coded addresses of `key` in one call (out.size() >= n_addresses()):
+  // the key hashed against every seed of the family in one interleaved batch,
+  // out[n] == address_of(key, n, n_slots).
+  void addresses_of(std::span<const std::byte> key, std::uint64_t n_slots,
+                    std::span<std::uint64_t> out) const noexcept;
+
+  // Batch address_of over `count` keys (each `key_len` bytes, `stride` bytes
+  // apart) with per-key copy index ns[i]; out[i] == address_of(key_i, ns[i],
+  // n_slots). This is the burst-crafting form: one hash kernel invocation
+  // covers a whole staged batch of reports.
+  void address_of_batch(const std::byte* keys, std::size_t key_len,
+                        std::size_t stride, std::span<const std::uint32_t> ns,
+                        std::uint64_t n_slots,
+                        std::uint64_t* out) const noexcept;
+
+  // Batch collector_of over `count` keys (each `key_len` bytes, `stride`
+  // bytes apart): out[i] == collector_of(key_i, n_collectors). The switch's
+  // batched ingress resolves a whole burst of telemetry keys per kernel call.
+  void collectors_of(const std::byte* keys, std::size_t key_len,
+                     std::size_t stride, std::size_t count,
+                     std::uint32_t n_collectors,
+                     std::uint32_t* out) const noexcept;
 
   [[nodiscard]] std::uint64_t master_seed() const noexcept { return master_seed_; }
 

@@ -1,6 +1,7 @@
 #include "core/coding.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <cstring>
 
@@ -36,13 +37,29 @@ void SlotCodec::transform_value(std::span<const std::byte> key,
 
 void CodedStore::write(std::span<const std::byte> key,
                        std::span<const std::byte> value) {
-  for (std::uint32_t n = 0; n < store_.config().n_addresses; ++n) {
-    write_one(key, value, n);
+  const std::uint32_t n_addresses = store_.config().n_addresses;
+  std::array<std::uint64_t, 16> addrs;
+  if (n_addresses <= addrs.size()) {
+    // All N coded addresses in one batched hash pass.
+    store_.slot_indices(key, std::span(addrs.data(), n_addresses));
+    for (std::uint32_t n = 0; n < n_addresses; ++n) {
+      write_at(key, value, n, addrs[n]);
+    }
+  } else {
+    for (std::uint32_t n = 0; n < n_addresses; ++n) {
+      write_one(key, value, n);
+    }
   }
 }
 
 void CodedStore::write_one(std::span<const std::byte> key,
                            std::span<const std::byte> value, std::uint32_t n) {
+  write_at(key, value, n, store_.slot_index(key, n));
+}
+
+void CodedStore::write_at(std::span<const std::byte> key,
+                          std::span<const std::byte> value, std::uint32_t n,
+                          std::uint64_t idx) {
   assert(value.size() == store_.config().value_bytes);
   // Encode: mask the value, derive the per-location checksum, write raw.
   std::vector<std::byte> coded(value.begin(), value.end());
@@ -50,7 +67,6 @@ void CodedStore::write_one(std::span<const std::byte> key,
   const std::uint32_t base = store_.key_checksum(key);
   const std::uint32_t stored = codec_.stored_checksum(base, n);
 
-  const auto idx = store_.slot_index(key, n);
   std::byte* slot = store_.memory().data() + store_.slot_offset(idx);
   const auto csum_bytes = store_.config().checksum_bytes();
   for (std::uint32_t i = 0; i < csum_bytes; ++i) {
@@ -69,9 +85,17 @@ QueryResult CodedStore::query(std::span<const std::byte> key,
   };
   std::vector<Candidate> candidates;
 
+  std::array<std::uint64_t, 16> addrs;
+  const std::uint32_t n_addresses = store_.config().n_addresses;
+  const bool batched = n_addresses <= addrs.size();
+  if (batched) {
+    store_.slot_indices(key, std::span(addrs.data(), n_addresses));
+  }
+
   QueryResult result;
-  for (std::uint32_t n = 0; n < store_.config().n_addresses; ++n) {
-    const SlotView slot = store_.read_slot(store_.slot_index(key, n));
+  for (std::uint32_t n = 0; n < n_addresses; ++n) {
+    const SlotView slot = store_.read_slot(
+        batched ? addrs[n] : store_.slot_index(key, n));
     if (slot.checksum != codec_.stored_checksum(base, n)) continue;
     ++result.checksum_matches;
     std::vector<std::byte> plain(slot.value.begin(), slot.value.end());

@@ -77,6 +77,12 @@ class CodedStore {
   [[nodiscard]] const SlotCodec& codec() const noexcept { return codec_; }
 
  private:
+  // Shared encode+store step with the slot index already resolved — write()
+  // batch-hashes all N indices in one pass and feeds them through here.
+  void write_at(std::span<const std::byte> key,
+                std::span<const std::byte> value, std::uint32_t n,
+                std::uint64_t idx);
+
   DartStore store_;
   SlotCodec codec_;
 };

@@ -1,6 +1,7 @@
 #include "core/query.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
 
 namespace dart::core {
@@ -42,9 +43,19 @@ QueryResult QueryEngine::resolve(std::span<const std::byte> key,
   std::vector<Candidate> candidates;
   candidates.reserve(store_->config().n_addresses);
 
+  // All N coded addresses from one batched hash pass (the common N ≤ 16
+  // fits on the stack; larger families hash per copy below).
+  std::array<std::uint64_t, 16> addrs;
+  const std::uint32_t n_addresses = store_->config().n_addresses;
+  const bool batched = n_addresses <= addrs.size();
+  if (batched) {
+    store_->slot_indices(key, std::span(addrs.data(), n_addresses));
+  }
+
   QueryResult result;
-  for (std::uint32_t n = 0; n < store_->config().n_addresses; ++n) {
-    const SlotView slot = store_->read_slot(store_->slot_index(key, n));
+  for (std::uint32_t n = 0; n < n_addresses; ++n) {
+    const SlotView slot = store_->read_slot(
+        batched ? addrs[n] : store_->slot_index(key, n));
     if (slot.checksum != want) continue;
     ++result.checksum_matches;
     bool merged = false;

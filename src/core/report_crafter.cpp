@@ -1,5 +1,6 @@
 #include "core/report_crafter.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cassert>
 #include <cstring>
@@ -128,11 +129,10 @@ std::vector<std::byte> ReportCrafter::craft_multiwrite(
   }
   payload.insert(payload.end(), value.begin(), value.end());
 
-  std::vector<std::uint64_t> vaddrs;
-  vaddrs.reserve(config_.n_addresses);
-  for (std::uint32_t n = 0; n < config_.n_addresses; ++n) {
-    vaddrs.push_back(slot_vaddr(dst, key, n));
-  }
+  // All N coded addresses in one batched hash pass.
+  std::vector<std::uint64_t> vaddrs(config_.n_addresses);
+  hashes_.addresses_of(key, dst.n_slots, vaddrs);
+  for (auto& a : vaddrs) a = dst.slot_vaddr(a);
   const auto dta = rdma::encode_multiwrite(dst.rkey, psn, vaddrs, payload);
 
   net::UdpFrameSpec spec;
@@ -275,20 +275,17 @@ FrameTemplate ReportCrafter::make_postcard_template(
   return t;
 }
 
-std::size_t ReportCrafter::craft_write_into(const FrameTemplate& tpl,
-                                            std::span<const std::byte> key,
-                                            std::span<const std::byte> value,
-                                            std::uint32_t n, std::uint32_t psn,
-                                            std::span<std::byte> out) const {
-  if (tpl.kind_ != FrameTemplate::Kind::kWrite ||
-      out.size() < tpl.prototype_.size()) {
-    return 0;
-  }
+std::size_t ReportCrafter::patch_write_frame(const FrameTemplate& tpl,
+                                             std::span<const std::byte> key,
+                                             std::span<const std::byte> value,
+                                             std::uint64_t vaddr,
+                                             std::uint32_t psn,
+                                             std::span<std::byte> out) const {
   assert(value.size() == config_.value_bytes);
   const std::size_t len = tpl.prototype_.size();
   std::memcpy(out.data(), tpl.prototype_.data(), len);
   put_be24(out.data() + kPsnOff, psn & 0xFF'FFFFu);
-  put_be64(out.data() + kRethVaddrOff, slot_vaddr(tpl.dst_, key, n));
+  put_be64(out.data() + kRethVaddrOff, vaddr);
   std::byte* p = out.data() + kWritePayloadOff;
   const std::uint32_t csum = hashes_.checksum_of(key, config_.checksum_bits);
   for (std::uint32_t i = 0; i < config_.checksum_bytes(); ++i) {
@@ -303,6 +300,81 @@ std::size_t ReportCrafter::craft_write_into(const FrameTemplate& tpl,
   const std::uint32_t icrc = crc.value();
   std::memcpy(out.data() + icrc_off, &icrc, rdma::kIcrcLen);
   return len;
+}
+
+std::size_t ReportCrafter::craft_write_into(const FrameTemplate& tpl,
+                                            std::span<const std::byte> key,
+                                            std::span<const std::byte> value,
+                                            std::uint32_t n, std::uint32_t psn,
+                                            std::span<std::byte> out) const {
+  if (tpl.kind_ != FrameTemplate::Kind::kWrite ||
+      out.size() < tpl.prototype_.size()) {
+    return 0;
+  }
+  return patch_write_frame(tpl, key, value, slot_vaddr(tpl.dst_, key, n), psn,
+                           out);
+}
+
+std::size_t ReportCrafter::craft_write_into_at(const FrameTemplate& tpl,
+                                               std::span<const std::byte> key,
+                                               std::span<const std::byte> value,
+                                               std::uint64_t slot_addr,
+                                               std::uint32_t psn,
+                                               std::span<std::byte> out) const {
+  if (tpl.kind_ != FrameTemplate::Kind::kWrite ||
+      out.size() < tpl.prototype_.size()) {
+    return 0;
+  }
+  return patch_write_frame(tpl, key, value, tpl.dst_.slot_vaddr(slot_addr),
+                           psn, out);
+}
+
+std::size_t ReportCrafter::craft_write_into_n(const FrameTemplate& tpl,
+                                              std::span<const WriteOp> ops,
+                                              std::span<std::byte> out) const {
+  if (tpl.kind_ != FrameTemplate::Kind::kWrite) return 0;
+  const std::size_t len = tpl.prototype_.size();
+  if (out.size() < len * ops.size()) return 0;
+
+  constexpr std::size_t kLanes = 64;
+  std::array<std::uint64_t, kLanes> key_lanes;
+  std::array<std::uint32_t, kLanes> ns;
+  std::array<std::uint64_t, kLanes> addrs;
+  std::size_t done = 0;
+  while (done < ops.size()) {
+    const std::size_t m = std::min(kLanes, ops.size() - done);
+    // Batch-hash the chunk's slot addresses; 8-byte keys (the telemetry key
+    // shape) take the interleaved AVX2 kernel, anything else hashes per op.
+    bool keys8 = true;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (ops[done + i].key.size() != 8) {
+        keys8 = false;
+        break;
+      }
+    }
+    if (keys8) {
+      for (std::size_t i = 0; i < m; ++i) {
+        std::memcpy(&key_lanes[i], ops[done + i].key.data(), 8);
+        ns[i] = ops[done + i].n;
+      }
+      hashes_.address_of_batch(
+          reinterpret_cast<const std::byte*>(key_lanes.data()), 8, 8,
+          std::span<const std::uint32_t>(ns.data(), m), tpl.dst_.n_slots,
+          addrs.data());
+    } else {
+      for (std::size_t i = 0; i < m; ++i) {
+        addrs[i] = hashes_.address_of(ops[done + i].key, ops[done + i].n,
+                                      tpl.dst_.n_slots);
+      }
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      const WriteOp& op = ops[done + i];
+      patch_write_frame(tpl, op.key, op.value, tpl.dst_.slot_vaddr(addrs[i]),
+                        op.psn, out.subspan((done + i) * len, len));
+    }
+    done += m;
+  }
+  return ops.size();
 }
 
 std::size_t ReportCrafter::craft_fetch_add_into(const FrameTemplate& tpl,
@@ -371,8 +443,17 @@ std::size_t ReportCrafter::craft_multiwrite_into(
   }
   std::memcpy(p, value.data(), value.size());
   p += value.size();
-  for (std::uint32_t n = 0; n < config_.n_addresses; ++n) {
-    put_be64(p + 8 * n, slot_vaddr(tpl.dst_, key, n));
+  std::array<std::uint64_t, 16> addrs;
+  if (config_.n_addresses <= addrs.size()) {
+    hashes_.addresses_of(key, tpl.dst_.n_slots,
+                         std::span(addrs.data(), config_.n_addresses));
+    for (std::uint32_t n = 0; n < config_.n_addresses; ++n) {
+      put_be64(p + 8 * n, tpl.dst_.slot_vaddr(addrs[n]));
+    }
+  } else {
+    for (std::uint32_t n = 0; n < config_.n_addresses; ++n) {
+      put_be64(p + 8 * n, slot_vaddr(tpl.dst_, key, n));
+    }
   }
   const std::size_t crc_off = len - rdma::kDtaCrcLen;
   Crc32 crc = tpl.crc_prefix_;

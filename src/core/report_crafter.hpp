@@ -189,6 +189,35 @@ class ReportCrafter {
                                std::span<const std::byte> value,
                                std::uint32_t n, std::uint32_t psn,
                                std::span<std::byte> out) const;
+
+  // Same patching as craft_write_into with the slot address (store index,
+  // not vaddr) already computed by the caller — the ingest feeder hashes
+  // each key once for shard routing and reuses that address here instead of
+  // hashing again inside the crafter.
+  std::size_t craft_write_into_at(const FrameTemplate& tpl,
+                                  std::span<const std::byte> key,
+                                  std::span<const std::byte> value,
+                                  std::uint64_t slot_addr, std::uint32_t psn,
+                                  std::span<std::byte> out) const;
+
+  // One WRITE report of a burst (see craft_write_into_n).
+  struct WriteOp {
+    std::span<const std::byte> key;
+    std::span<const std::byte> value;
+    std::uint32_t n = 0;    // slot copy index
+    std::uint32_t psn = 0;
+  };
+
+  // Burst crafting: emits ops.size() frames back-to-back into `out`
+  // (tpl.frame_size() bytes each), batch-hashing the slot addresses of each
+  // chunk through HashFamily::address_of_batch so 8-byte keys ride the AVX2
+  // XXH64 kernel 4 lanes at a time. Every frame is byte-identical to the
+  // corresponding craft_write_into call. Returns the number of frames
+  // crafted: ops.size(), or 0 if the template kind does not match or `out`
+  // is smaller than ops.size() * tpl.frame_size().
+  std::size_t craft_write_into_n(const FrameTemplate& tpl,
+                                 std::span<const WriteOp> ops,
+                                 std::span<std::byte> out) const;
   std::size_t craft_fetch_add_into(const FrameTemplate& tpl,
                                    std::uint64_t vaddr, std::uint64_t addend,
                                    std::uint32_t psn,
@@ -227,6 +256,15 @@ class ReportCrafter {
   [[nodiscard]] std::vector<std::byte> wrap_frame(
       const RemoteStoreInfo& dst, const ReporterEndpoint& src,
       std::span<const std::byte> roce_payload) const;
+
+  // The shared patch step of the WRITE fast paths: memcpy the prototype,
+  // patch PSN / vaddr / payload, resume the cached prefix CRC. `vaddr` is
+  // the remote virtual address (already through RemoteStoreInfo::slot_vaddr).
+  std::size_t patch_write_frame(const FrameTemplate& tpl,
+                                std::span<const std::byte> key,
+                                std::span<const std::byte> value,
+                                std::uint64_t vaddr, std::uint32_t psn,
+                                std::span<std::byte> out) const;
 
   DartConfig config_;
   HashFamily hashes_;

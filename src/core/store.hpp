@@ -122,6 +122,13 @@ class DartStore {
     return hashes_.address_of(key, n, config_.n_slots);
   }
 
+  // All N slot indices of `key` in one batched hash pass:
+  // out[n] == slot_index(key, n). Requires out.size() >= n_addresses.
+  void slot_indices(std::span<const std::byte> key,
+                    std::span<std::uint64_t> out) const noexcept {
+    hashes_.addresses_of(key, config_.n_slots, out);
+  }
+
   // Byte offset of a slot within the memory block.
   [[nodiscard]] std::uint64_t slot_offset(std::uint64_t index) const noexcept {
     return index * config_.slot_bytes();

@@ -1,5 +1,6 @@
 #include "rdma/rnic.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "net/headers.hpp"
@@ -7,10 +8,7 @@
 
 namespace dart::rdma {
 
-std::optional<Completion> SimulatedRnic::process_frame(
-    std::span<const std::byte> frame) {
-  ++counters_.frames;
-
+bool SimulatedRnic::consume_stall() noexcept {
   // Injected stall: a wedged pipeline drops frames before any parsing. The
   // decrement loop (rather than fetch_sub) keeps the count exact when shard
   // workers race on the last few stalled frames.
@@ -18,11 +16,50 @@ std::optional<Completion> SimulatedRnic::process_frame(
        left > 0;) {
     if (stall_remaining_.compare_exchange_weak(left, left - 1,
                                                std::memory_order_relaxed)) {
-      ++counters_.stalled;
-      return std::nullopt;
+      return true;
     }
   }
+  return false;
+}
 
+std::optional<Completion> SimulatedRnic::process_frame(
+    std::span<const std::byte> frame) {
+  ++counters_.frames;
+  if (consume_stall()) {
+    ++counters_.stalled;
+    return std::nullopt;
+  }
+  LookupCache lc;
+  const WireClass cls = classify_wire_frame(frame, validate_icrc_);
+  return dispatch_classified(cls, frame, lc);
+}
+
+std::optional<Completion> SimulatedRnic::dispatch_classified(
+    const WireClass& cls, std::span<const std::byte> frame, LookupCache& lc) {
+  using V = WireClass::Verdict;
+  switch (cls.verdict) {
+    case V::kFallback:
+      return process_frame_slow(frame, lc);
+    case V::kOtherPort:
+      if (dta_enabled_ && cls.udp_dst_port == kDtaUdpPort) {
+        return execute_multiwrite(cls.udp_payload);
+      }
+      ++counters_.not_roce;
+      return std::nullopt;
+    case V::kBadIcrc:
+      ++counters_.bad_icrc;
+      return std::nullopt;
+    case V::kBadRequest:
+      ++counters_.bad_opcode;
+      return std::nullopt;
+    case V::kOk:
+      return admit_and_execute(cls.req, lc);
+  }
+  return std::nullopt;  // unreachable
+}
+
+std::optional<Completion> SimulatedRnic::process_frame_slow(
+    std::span<const std::byte> frame, LookupCache& lc) {
   const auto parsed = net::parse_udp_frame(frame);
   if (!parsed) {
     ++counters_.not_roce;
@@ -46,8 +83,12 @@ std::optional<Completion> SimulatedRnic::process_frame(
     ++counters_.bad_opcode;
     return std::nullopt;
   }
+  return admit_and_execute(*req, lc);
+}
 
-  QueuePair* qp = qps_.find(req->bth.dest_qp);
+std::optional<Completion> SimulatedRnic::admit_and_execute(
+    const RoceRequest& req, LookupCache& lc) {
+  QueuePair* qp = find_qp(req.bth.dest_qp, lc);
   if (qp == nullptr) {
     ++counters_.unknown_qp;
     return std::nullopt;
@@ -60,17 +101,17 @@ std::optional<Completion> SimulatedRnic::process_frame(
     return std::nullopt;
   }
   // Opcode transport class must match the QP type.
-  const bool uc_op = is_unreliable(req->bth.opcode);
+  const bool uc_op = is_unreliable(req.bth.opcode);
   if ((qp->type() == QpType::kUc) != uc_op) {
     ++counters_.bad_opcode;
     return std::nullopt;
   }
-  if (!qp->accept_psn(req->bth.psn)) {
+  if (!qp->accept_psn(req.bth.psn)) {
     ++counters_.psn_rejected;
     return std::nullopt;
   }
 
-  auto completion = execute(*req);
+  auto completion = execute(req, lc);
   if (completion) {
     completion->qpn = qp->qpn();
     // PD check happens inside execute() via the MR; verify it matched the QP.
@@ -82,26 +123,69 @@ std::optional<Completion> SimulatedRnic::process_frame(
 
 std::size_t SimulatedRnic::process_frames(
     std::span<const std::span<const std::byte>> frames) {
+  constexpr std::size_t kBurst = 32;
   std::size_t executed = 0;
-  for (const auto& frame : frames) {
-    if (process_frame(frame)) ++executed;
+  WireClass cls[kBurst];
+  bool stalled[kBurst];
+  for (std::size_t base = 0; base < frames.size(); base += kBurst) {
+    const std::size_t m = std::min(kBurst, frames.size() - base);
+    LookupCache lc;
+
+    // Stage 1: stateless classification — header walk + fused iCRC — for the
+    // whole chunk. No RNIC state is read or written here beyond counters.
+    for (std::size_t i = 0; i < m; ++i) {
+      ++counters_.frames;
+      stalled[i] = consume_stall();
+      if (stalled[i]) {
+        ++counters_.stalled;
+        continue;
+      }
+      cls[i] = classify_wire_frame(frames[base + i], validate_icrc_);
+    }
+
+    // Stage 2: resolve each admitted frame's MR once (memoized) and prefetch
+    // the DMA target line, so stage 3's stores hit warm cache. Advisory only;
+    // every access check still runs in execute().
+    for (std::size_t i = 0; i < m; ++i) {
+      if (stalled[i] || cls[i].verdict != WireClass::Verdict::kOk) continue;
+      const RoceRequest& req = cls[i].req;
+      const bool atomic = is_atomic(req.bth.opcode);
+      const std::uint64_t vaddr =
+          atomic ? req.atomic_eth->vaddr : req.reth->vaddr;
+      const std::uint32_t rkey = atomic ? req.atomic_eth->rkey : req.reth->rkey;
+      const std::uint64_t len = atomic ? 8 : req.payload.size();
+      const MemoryRegion* mr = find_mr(rkey, lc);
+      if (mr != nullptr && mr->contains(vaddr, len)) {
+#if defined(__GNUC__) || defined(__clang__)
+        __builtin_prefetch(mr->at(vaddr), 1);
+#endif
+      }
+    }
+
+    // Stage 3: in-order admission + apply (PSN windows are stateful, so the
+    // original frame order is preserved exactly).
+    for (std::size_t i = 0; i < m; ++i) {
+      if (stalled[i]) continue;
+      if (dispatch_classified(cls[i], frames[base + i], lc)) ++executed;
+    }
   }
   return executed;
 }
 
-std::optional<Completion> SimulatedRnic::execute(const RoceRequest& req) {
+std::optional<Completion> SimulatedRnic::execute(const RoceRequest& req,
+                                                 LookupCache& lc) {
   const bool atomic = is_atomic(req.bth.opcode);
   const std::uint64_t vaddr =
       atomic ? req.atomic_eth->vaddr : req.reth->vaddr;
   const std::uint32_t rkey = atomic ? req.atomic_eth->rkey : req.reth->rkey;
   const std::uint64_t len = atomic ? 8 : req.payload.size();
 
-  const MemoryRegion* mr = memory_.find_by_rkey(rkey);
+  const MemoryRegion* mr = find_mr(rkey, lc);
   if (mr == nullptr) {
     ++counters_.bad_rkey;
     return std::nullopt;
   }
-  QueuePair* qp = qps_.find(req.bth.dest_qp);
+  QueuePair* qp = find_qp(req.bth.dest_qp, lc);
   if (qp != nullptr && qp->pd() != mr->pd) {
     ++counters_.pd_mismatch;
     return std::nullopt;

@@ -102,7 +102,12 @@ class SimulatedRnic : public net::Node {
   // executed an operation (the per-frame verdicts land in counters(), same
   // as process_frame). This is how the shard workers hand over a whole ring
   // drain in one call — the batch analogue of an RNIC pulling a doorbell'd
-  // chain of receive descriptors.
+  // chain of receive descriptors. Internally the batch runs in staged chunks:
+  // stateless classification (header walk + fused iCRC) for the whole chunk,
+  // then MR resolution with software prefetch of the DMA target lines, then
+  // in-order admission and apply (PSN windows are stateful, so ordering is
+  // preserved exactly). Verdicts and counters are identical to calling
+  // process_frame per frame.
   std::size_t process_frames(std::span<const std::span<const std::byte>> frames);
 
   // net::Node — frames delivered by the fabric simulator.
@@ -146,7 +151,56 @@ class SimulatedRnic : public net::Node {
   }
 
  private:
-  std::optional<Completion> execute(const RoceRequest& req);
+  // rkey→MR / qpn→QP resolution memo for one burst. find_by_rkey is a linear
+  // registry scan and the reports in a burst overwhelmingly target one MR
+  // through one QP, so process_frames resolves each distinct key once per
+  // chunk. Single-frame calls use a fresh cache, which makes the memoized
+  // path behave identically (the control plane is quiescent during data-path
+  // calls — see the thread-safety note on process_frame).
+  struct LookupCache {
+    std::uint32_t rkey = 0;
+    const MemoryRegion* mr = nullptr;
+    bool mr_set = false;
+    std::uint32_t qpn = 0;
+    QueuePair* qp = nullptr;
+    bool qp_set = false;
+  };
+
+  [[nodiscard]] const MemoryRegion* find_mr(std::uint32_t rkey,
+                                            LookupCache& lc) {
+    if (!lc.mr_set || lc.rkey != rkey) {
+      lc.mr = memory_.find_by_rkey(rkey);
+      lc.rkey = rkey;
+      lc.mr_set = true;
+    }
+    return lc.mr;
+  }
+  [[nodiscard]] QueuePair* find_qp(std::uint32_t qpn, LookupCache& lc) {
+    if (!lc.qp_set || lc.qpn != qpn) {
+      lc.qp = qps_.find(qpn);
+      lc.qpn = qpn;
+      lc.qp_set = true;
+    }
+    return lc.qp;
+  }
+
+  // True if this frame was eaten by an injected stall (counts it too).
+  [[nodiscard]] bool consume_stall() noexcept;
+
+  // Routes a classification verdict to counters / execution; kFallback runs
+  // the layered path (process_frame_slow) on the raw frame.
+  std::optional<Completion> dispatch_classified(const WireClass& cls,
+                                                std::span<const std::byte> frame,
+                                                LookupCache& lc);
+  // The original layered receive path (parse → verify iCRC → parse request),
+  // for frames the fused classifier won't touch.
+  std::optional<Completion> process_frame_slow(std::span<const std::byte> frame,
+                                               LookupCache& lc);
+  // QP admission (state / transport class / PSN window) then execute. Shared
+  // by the fused and layered paths so verdicts cannot drift.
+  std::optional<Completion> admit_and_execute(const RoceRequest& req,
+                                              LookupCache& lc);
+  std::optional<Completion> execute(const RoceRequest& req, LookupCache& lc);
   std::optional<Completion> execute_multiwrite(
       std::span<const std::byte> udp_payload);
 

@@ -305,4 +305,159 @@ bool verify_frame_icrc(std::span<const std::byte> frame) {
   return got == expect;
 }
 
+// ---------------------------------------------------------------------------
+// Fused single-pass classification
+// ---------------------------------------------------------------------------
+
+namespace {
+
+[[nodiscard]] inline std::uint16_t load_be16(const std::byte* p) noexcept {
+  return static_cast<std::uint16_t>(
+      (std::to_integer<std::uint16_t>(p[0]) << 8) |
+      std::to_integer<std::uint16_t>(p[1]));
+}
+
+[[nodiscard]] inline std::uint32_t load_be32(const std::byte* p) noexcept {
+  return (std::to_integer<std::uint32_t>(p[0]) << 24) |
+         (std::to_integer<std::uint32_t>(p[1]) << 16) |
+         (std::to_integer<std::uint32_t>(p[2]) << 8) |
+         std::to_integer<std::uint32_t>(p[3]);
+}
+
+[[nodiscard]] inline std::uint64_t load_be64(const std::byte* p) noexcept {
+  return (static_cast<std::uint64_t>(load_be32(p)) << 32) | load_be32(p + 4);
+}
+
+}  // namespace
+
+WireClass classify_wire_frame(std::span<const std::byte> frame,
+                              bool check_icrc) noexcept {
+  using V = WireClass::Verdict;
+  constexpr std::size_t kEth = net::kEthernetHeaderLen;
+  constexpr std::size_t kRoceOff =
+      kEth + net::kIpv4HeaderLen + net::kUdpHeaderLen;
+  // Frames past standard MTU size take the layered path; the fused iCRC uses
+  // a fixed stack buffer.
+  constexpr std::size_t kMaxFused = 1536;
+
+  WireClass out;
+  if (frame.size() < kRoceOff + kBthLen + kIcrcLen || frame.size() > kMaxFused) {
+    return out;
+  }
+  const std::byte* f = frame.data();
+  if (f[12] != std::byte{0x08} || f[13] != std::byte{0x00}) return out;
+  if (f[kEth] != std::byte{0x45}) return out;  // options / not v4
+  if (f[kEth + 6] != std::byte{0} || f[kEth + 7] != std::byte{0}) {
+    return out;  // fragmented
+  }
+  if (std::to_integer<std::uint8_t>(f[kEth + 9]) != net::kIpProtoUdp) {
+    return out;  // parse_udp_frame also admits TCP; let it decide
+  }
+  if (net::internet_checksum(frame.subspan(kEth, net::kIpv4HeaderLen)) != 0) {
+    return out;
+  }
+  const std::size_t udp_len = load_be16(f + kEth + net::kIpv4HeaderLen + 4);
+  if (udp_len < net::kUdpHeaderLen + kBthLen + kIcrcLen) {
+    return out;  // runt UDP / RoCE — verdict depends on layered sub-checks
+  }
+  const std::size_t payload_len = udp_len - net::kUdpHeaderLen;
+  if (frame.size() - kRoceOff < payload_len) return out;  // truncated
+
+  out.udp_dst_port = load_be16(f + kEth + net::kIpv4HeaderLen + 2);
+  out.udp_payload = frame.subspan(kRoceOff, payload_len);
+  if (out.udp_dst_port != net::kRoceV2UdpPort) {
+    out.verdict = V::kOtherPort;
+    return out;
+  }
+
+  const std::size_t icrc_off = kRoceOff + payload_len - kIcrcLen;
+  if (check_icrc) {
+    // One contiguous masked image: 8 dummy-LRH 0xFF bytes, then the frame
+    // from the IP header to the iCRC slot with the seven masked header bytes
+    // overwritten. A single CRC stream — long enough to engage the PCLMUL
+    // folds — equal by construction to icrc_prefix_state resumed over the
+    // variant bytes (CRC streaming is associative over concatenation).
+    alignas(16) std::byte buf[8 + kMaxFused];
+    std::memset(buf, 0xFF, 8);
+    std::memcpy(buf + 8, f + kEth, icrc_off - kEth);
+    buf[8 + 1] = std::byte{0xFF};                        // IP ToS (DSCP/ECN)
+    buf[8 + 8] = std::byte{0xFF};                        // IP TTL
+    buf[8 + 10] = buf[8 + 11] = std::byte{0xFF};         // IP header checksum
+    buf[8 + net::kIpv4HeaderLen + 6] = std::byte{0xFF};  // UDP checksum
+    buf[8 + net::kIpv4HeaderLen + 7] = std::byte{0xFF};
+    buf[8 + net::kIpv4HeaderLen + net::kUdpHeaderLen + 4] =
+        std::byte{0xFF};  // BTH resv8a
+    const std::uint32_t expect = ~dart::detail::crc32_update_dispatch(
+        0xFFFF'FFFFu, buf, 8 + (icrc_off - kEth));
+    std::uint32_t got;
+    std::memcpy(&got, f + icrc_off, kIcrcLen);
+    if (got != expect) {
+      out.verdict = V::kBadIcrc;
+      return out;
+    }
+  }
+
+  // Inline request parse — verdict-identical to parse_request().
+  const std::byte* bth = f + kRoceOff;
+  const std::uint8_t op = std::to_integer<std::uint8_t>(bth[0]);
+  const std::uint8_t flags = std::to_integer<std::uint8_t>(bth[1]);
+  switch (op) {
+    case static_cast<std::uint8_t>(Opcode::kRcRdmaWriteOnly):
+    case static_cast<std::uint8_t>(Opcode::kRcCompareSwap):
+    case static_cast<std::uint8_t>(Opcode::kRcFetchAdd):
+    case static_cast<std::uint8_t>(Opcode::kUcRdmaWriteOnly):
+      break;
+    default:
+      out.verdict = V::kBadRequest;
+      return out;
+  }
+  if ((flags & 0x0F) != 0) {  // header version must be 0
+    out.verdict = V::kBadRequest;
+    return out;
+  }
+  RoceRequest& req = out.req;
+  req.bth.opcode = static_cast<Opcode>(op);
+  req.bth.solicited = (flags & 0x80) != 0;
+  req.bth.mig_req = (flags & 0x40) != 0;
+  req.bth.pad_count = (flags >> 4) & 0x3;
+  req.bth.pkey = load_be16(bth + 2);
+  req.bth.dest_qp = load_be32(bth + 4) & 0x00FF'FFFFu;
+  const std::uint32_t psn_word = load_be32(bth + 8);
+  req.bth.ack_req = (psn_word & 0x8000'0000u) != 0;
+  req.bth.psn = psn_word & 0x00FF'FFFFu;
+
+  const std::size_t roce_len = payload_len - kIcrcLen;
+  if (is_write(req.bth.opcode)) {
+    if (roce_len < kBthLen + kRethLen) {
+      out.verdict = V::kBadRequest;
+      return out;
+    }
+    Reth reth;
+    reth.vaddr = load_be64(bth + kBthLen);
+    reth.rkey = load_be32(bth + kBthLen + 8);
+    reth.dma_length = load_be32(bth + kBthLen + 12);
+    req.reth = reth;
+    req.payload = frame.subspan(kRoceOff + kBthLen + kRethLen,
+                                roce_len - kBthLen - kRethLen);
+    if (req.payload.size() != reth.dma_length) {
+      out.verdict = V::kBadRequest;
+      return out;
+    }
+  } else {  // atomic: AtomicETH then nothing else before the iCRC
+    if (roce_len != kBthLen + kAtomicEthLen) {
+      out.verdict = V::kBadRequest;
+      return out;
+    }
+    AtomicEth aeth;
+    aeth.vaddr = load_be64(bth + kBthLen);
+    aeth.rkey = load_be32(bth + kBthLen + 8);
+    aeth.swap_add = load_be64(bth + kBthLen + 12);
+    aeth.compare = load_be64(bth + kBthLen + 20);
+    req.atomic_eth = aeth;
+  }
+  std::memcpy(&req.icrc, f + icrc_off, kIcrcLen);
+  out.verdict = V::kOk;
+  return out;
+}
+
 }  // namespace dart::rdma

@@ -135,6 +135,40 @@ inline constexpr std::size_t kIcrcVariantOffset =
 // must hold at least kIcrcVariantOffset bytes of a well-formed frame.
 [[nodiscard]] Crc32 icrc_prefix_state(std::span<const std::byte> frame) noexcept;
 
+// ---------------------------------------------------------------------------
+// Fused single-pass wire classification (the RNIC ingest fast path)
+// ---------------------------------------------------------------------------
+//
+// The layered receive path walks each frame three times: parse_udp_frame
+// slices the headers, verify_frame_icrc re-reads them to rebuild the masked
+// prefix CRC, and parse_request reads the BTH/RETH a third time.
+// classify_wire_frame does all of it in one pass over the canonical frame
+// shape every report in this simulator has (options-free IPv4, not
+// fragmented, UDP): header sanity, the masked iCRC as ONE contiguous
+// PCLMUL-dispatched CRC stream, and request field extraction. Its verdicts
+// agree exactly with the layered path for every frame it classifies;
+// anything non-canonical comes back kFallback so the caller can run the
+// layered path and keep behavior (and counters) bit-identical.
+struct WireClass {
+  enum class Verdict : std::uint8_t {
+    kFallback,    // non-canonical shape — run the layered path
+    kOtherPort,   // well-formed UDP, dst port is not 4791 (see udp_dst_port)
+    kBadIcrc,     // trailing iCRC does not match the masked-frame CRC
+    kBadRequest,  // iCRC ok (or skipped) but BTH/RETH/AtomicETH malformed
+    kOk,          // `req` holds the parsed request
+  };
+
+  Verdict verdict = Verdict::kFallback;
+  std::uint16_t udp_dst_port = 0;
+  std::span<const std::byte> udp_payload;  // valid unless kFallback
+  RoceRequest req{};                       // valid when kOk
+};
+
+// `check_icrc` mirrors the RNIC's validate-iCRC knob; when false the CRC
+// pass is skipped entirely (the kBadIcrc verdict can then never occur).
+[[nodiscard]] WireClass classify_wire_frame(std::span<const std::byte> frame,
+                                            bool check_icrc) noexcept;
+
 // Patches the trailing 4 iCRC bytes of `frame` (a full Ethernet+IP+UDP frame
 // carrying a RoCEv2 payload) with the correct iCRC. Returns false if the
 // frame is malformed.

@@ -1,6 +1,9 @@
 #include "switchsim/dart_switch.hpp"
 
+#include <algorithm>
+#include <array>
 #include <cassert>
+#include <cstring>
 
 namespace dart::switchsim {
 
@@ -77,22 +80,66 @@ void DartSwitchPipeline::restore_collector(const core::RemoteStoreInfo& info) {
 
 std::vector<std::vector<std::byte>> DartSwitchPipeline::on_telemetry(
     std::span<const std::byte> key, std::span<const std::byte> value) {
-  ++counters_.telemetry_events;
   std::vector<std::vector<std::byte>> frames;
+  emit_telemetry(key, value, /*precomputed_id=*/-1, frames);
+  return frames;
+}
+
+std::vector<std::vector<std::byte>> DartSwitchPipeline::on_telemetry_batch(
+    std::span<const TelemetryEvent> events) {
+  std::vector<std::vector<std::byte>> frames;
+  const std::uint32_t n_collectors = static_cast<std::uint32_t>(table_.size());
+
+  constexpr std::size_t kLanes = 64;
+  std::array<std::uint64_t, kLanes> key_lanes;
+  std::array<std::uint32_t, kLanes> ids;
+  std::size_t done = 0;
+  while (done < events.size()) {
+    const std::size_t m = std::min(kLanes, events.size() - done);
+    // Batch-hash the chunk's collector ids when every key is the 8-byte
+    // telemetry shape; odd-sized keys fall back to per-event hashing inside
+    // emit_telemetry.
+    bool keys8 = n_collectors != 0;
+    for (std::size_t i = 0; keys8 && i < m; ++i) {
+      keys8 = events[done + i].key.size() == 8;
+    }
+    if (keys8) {
+      for (std::size_t i = 0; i < m; ++i) {
+        std::memcpy(&key_lanes[i], events[done + i].key.data(), 8);
+      }
+      hash_engine_.collector_ids(
+          reinterpret_cast<const std::byte*>(key_lanes.data()), 8, 8, m,
+          n_collectors, ids.data());
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      const TelemetryEvent& ev = events[done + i];
+      emit_telemetry(ev.key, ev.value,
+                     keys8 ? static_cast<std::int64_t>(ids[i]) : -1, frames);
+    }
+    done += m;
+  }
+  return frames;
+}
+
+void DartSwitchPipeline::emit_telemetry(
+    std::span<const std::byte> key, std::span<const std::byte> value,
+    std::int64_t precomputed_id, std::vector<std::vector<std::byte>>& frames) {
+  ++counters_.telemetry_events;
 
   // Hash the key to its owning collector (same id regardless of n — all N
   // copies of a key live on one collector, §3.1).
   const std::uint32_t n_collectors = static_cast<std::uint32_t>(table_.size());
   if (n_collectors == 0) {
     ++counters_.table_misses;
-    return frames;
+    return;
   }
   const std::uint32_t collector_id =
-      hash_engine_.collector_id(key, n_collectors);
+      precomputed_id >= 0 ? static_cast<std::uint32_t>(precomputed_id)
+                          : hash_engine_.collector_id(key, n_collectors);
   const auto entry = table_.lookup(collector_id);
   if (!entry) {
     ++counters_.table_misses;
-    return frames;
+    return;
   }
 
   // Deparser templates built by load_collector; the slow reconstruct-and-
@@ -124,7 +171,7 @@ std::vector<std::vector<std::byte>> DartSwitchPipeline::on_telemetry(
       frames.push_back(crafter_.craft_multiwrite(dst, self_, key, value, psn));
     }
     ++counters_.reports_emitted;
-    return frames;
+    return;
   }
 
   const std::uint32_t n_addr = config_.dart.n_addresses;
@@ -148,7 +195,6 @@ std::vector<std::vector<std::byte>> DartSwitchPipeline::on_telemetry(
     }
     ++counters_.reports_emitted;
   }
-  return frames;
 }
 
 const DartSwitchPipeline::PrimitiveRows* DartSwitchPipeline::primitive_rows_of(

@@ -137,6 +137,20 @@ class DartSwitchPipeline {
   [[nodiscard]] std::vector<std::vector<std::byte>> on_telemetry(
       std::span<const std::byte> key, std::span<const std::byte> value);
 
+  // One event of a batched ingress burst (see on_telemetry_batch).
+  struct TelemetryEvent {
+    std::span<const std::byte> key;
+    std::span<const std::byte> value;
+  };
+
+  // Batched data plane: processes `events` in order and returns all emitted
+  // frames. The collector-id hash for each chunk of 8-byte keys runs through
+  // the batched hash engine (4 keys per AVX2 kernel step) instead of one
+  // scalar XXH64 per event; frames, counters, and the per-collector PSN
+  // streams are identical to calling on_telemetry per event.
+  [[nodiscard]] std::vector<std::vector<std::byte>> on_telemetry_batch(
+      std::span<const TelemetryEvent> events);
+
   // --- DTA primitive data plane --------------------------------------------
   //
   // One frame per event, or empty on a primitive-table miss. The key hashes
@@ -209,6 +223,14 @@ class DartSwitchPipeline {
   // miss (counted). Shared head of the three primitive entry points.
   const PrimitiveRows* primitive_rows_of(std::span<const std::byte> key,
                                          std::uint32_t& collector_id);
+
+  // Shared body of on_telemetry / on_telemetry_batch: emits the frame(s) for
+  // one event into `frames`. `precomputed_id` < 0 means "hash the key here";
+  // the batch path passes the id it already batch-hashed.
+  void emit_telemetry(std::span<const std::byte> key,
+                      std::span<const std::byte> value,
+                      std::int64_t precomputed_id,
+                      std::vector<std::vector<std::byte>>& frames);
 
   Config config_;
   HashEngine hash_engine_;

@@ -57,6 +57,14 @@ class HashEngine {
                                            std::uint32_t n_collectors) const noexcept {
     return family_.collector_of(key, n_collectors);
   }
+  // Batched form over `count` strided keys: out[i] == collector_id(key_i).
+  // Rides the AVX2 XXH64 kernel 4 lanes per step for 8-byte keys.
+  void collector_ids(const std::byte* keys, std::size_t key_len,
+                     std::size_t stride, std::size_t count,
+                     std::uint32_t n_collectors,
+                     std::uint32_t* out) const noexcept {
+    family_.collectors_of(keys, key_len, stride, count, n_collectors, out);
+  }
   [[nodiscard]] std::uint64_t slot_index(std::span<const std::byte> key,
                                          std::uint32_t n,
                                          std::uint64_t n_slots) const noexcept {

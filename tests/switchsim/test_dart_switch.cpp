@@ -331,6 +331,52 @@ TEST(DartSwitchPrimitives, UnloadDropsPrimitiveRows) {
   EXPECT_EQ(sw.counters().table_misses, 1u);
 }
 
+TEST(DartSwitch, BatchedIngressMatchesPerEventIngress) {
+  // on_telemetry_batch precomputes collector ids with the batched XXH64
+  // kernel (8-byte keys) and falls back per event otherwise; the frame
+  // stream, PSN sequence, and counters must be identical to calling
+  // on_telemetry per event on a twin pipeline with the same RNG seed.
+  DartSwitchPipeline per_event(switch_config(core::WriteMode::kStochastic));
+  DartSwitchPipeline batched(switch_config(core::WriteMode::kStochastic));
+  for (std::uint32_t id = 0; id < 3; ++id) {
+    per_event.load_collector(fake_collector(id));
+    batched.load_collector(fake_collector(id));
+  }
+
+  constexpr std::size_t kEvents = 100;  // crosses the 64-lane chunk
+  std::vector<std::vector<std::byte>> keys(kEvents);
+  std::vector<std::vector<std::byte>> values(kEvents);
+  std::vector<DartSwitchPipeline::TelemetryEvent> events(kEvents);
+  for (std::size_t i = 0; i < kEvents; ++i) {
+    if (i % 7 == 3) {  // a few odd-width keys force the scalar fallback
+      keys[i].assign(1 + i % 5, static_cast<std::byte>(i));
+    } else {
+      keys[i].resize(8);
+      for (std::size_t b = 0; b < 8; ++b) {
+        keys[i][b] = static_cast<std::byte>(i * 31 + b);
+      }
+    }
+    values[i].assign(20, static_cast<std::byte>(i * 3));
+    events[i] = {keys[i], values[i]};
+  }
+
+  std::vector<std::vector<std::byte>> want;
+  for (std::size_t i = 0; i < kEvents; ++i) {
+    auto frames = per_event.on_telemetry(keys[i], values[i]);
+    for (auto& f : frames) want.push_back(std::move(f));
+  }
+  const auto got = batched.on_telemetry_batch(events);
+
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], want[i]) << "frame " << i;
+  }
+  EXPECT_EQ(batched.counters().telemetry_events,
+            per_event.counters().telemetry_events);
+  EXPECT_EQ(batched.counters().reports_emitted,
+            per_event.counters().reports_emitted);
+}
+
 TEST(DartSwitch, SramBudgetSupportsManyCollectors) {
   // §6: "about 20 bytes of on-switch SRAM per-collector ... tens of
   // thousands of collectors". Our logical accounting must stay in that

@@ -155,4 +155,32 @@ else:
 sys.exit(1 if failures else 0)
 EOF
 
+# Perf ratchet: the headline craft+ingest rate may not regress more than 10%
+# below the committed baseline (BENCH_micro_datapath.json at the repo root).
+# The headline benchmark is re-measured alone with a longer min_time than the
+# smoke runs above, so the gate fails on real regressions rather than
+# smoke-run noise. Raising the committed baseline re-tightens the floor.
+RATCHET_DIR="$(mktemp -d)"
+trap 'rm -rf "$OUT_DIR" "$RATCHET_DIR"' EXIT
+(cd "$RATCHET_DIR" && "$OLDPWD/$BUILD_DIR/bench/micro_datapath" \
+  --benchmark_filter='^BM_CraftPlusIngest$' --benchmark_min_time=0.4)
+python3 - "$RATCHET_DIR" <<'EOF'
+import json
+import sys
+from pathlib import Path
+
+committed = json.loads(Path("BENCH_micro_datapath.json").read_text())
+fresh = json.loads(
+    (Path(sys.argv[1]) / "BENCH_micro_datapath.json").read_text())
+base = committed["results"]["reports_per_sec"]
+now = fresh["results"]["reports_per_sec"]
+floor = 0.9 * base
+if now < floor:
+    print(f"FAIL: reports_per_sec ratchet: measured {now:,.0f} < floor "
+          f"{floor:,.0f} (committed baseline {base:,.0f} - 10%)")
+    sys.exit(1)
+print(f"OK: reports_per_sec ratchet: measured {now:,.0f} >= floor "
+      f"{floor:,.0f} (committed baseline {base:,.0f})")
+EOF
+
 echo "bench JSON: clean"
