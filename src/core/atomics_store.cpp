@@ -2,6 +2,8 @@
 
 #include <cassert>
 #include <cstring>
+#include <stdexcept>
+#include <string>
 
 #include "common/random.hpp"
 
@@ -60,15 +62,20 @@ std::uint64_t FlowCounterArray::index_of(
 
 std::uint64_t FlowCounterArray::fetch_add(std::span<const std::byte> key,
                                           std::uint64_t delta) {
-  auto& cell = cells_[index_of(key)];
-  const std::uint64_t prior = cell;
-  cell += delta;
-  return prior;
+  // One atomic RMW, like the RNIC (which serializes atomics against target
+  // memory). The previous read/add/store triple lost updates under the
+  // sharded ingest pipeline's concurrent feeders. vector<uint64_t> cells
+  // are 8-byte aligned, so atomic_ref is valid while cells() stays a plain
+  // span an MR registration can cover.
+  return std::atomic_ref<std::uint64_t>(cells_[index_of(key)])
+      .fetch_add(delta, std::memory_order_relaxed);
 }
 
 std::uint64_t FlowCounterArray::read(
     std::span<const std::byte> key) const noexcept {
-  return cells_[index_of(key)];
+  return std::atomic_ref<std::uint64_t>(
+             const_cast<std::uint64_t&>(cells_[index_of(key)]))
+      .load(std::memory_order_relaxed);
 }
 
 // ---------------------------------------------------------------------------
@@ -89,9 +96,14 @@ CountMinSketch::CountMinSketch(std::uint32_t rows, std::uint64_t cols,
 }
 
 void CountMinSketch::add(std::span<const std::byte> key, std::uint64_t delta) {
+  // FETCH_ADD semantics for real: per-cell atomic adds (see the
+  // FlowCounterArray::fetch_add note), so concurrent feeders sum instead of
+  // racing, while cells() remains an MR-registrable plain span.
   for (std::uint32_t r = 0; r < rows_; ++r) {
     const std::uint64_t col = xxhash64(key, row_seeds_[r]) % cols_;
-    cells_[static_cast<std::size_t>(r) * cols_ + col] += delta;
+    std::atomic_ref<std::uint64_t>(
+        cells_[static_cast<std::size_t>(r) * cols_ + col])
+        .fetch_add(delta, std::memory_order_relaxed);
   }
 }
 
@@ -100,7 +112,11 @@ std::uint64_t CountMinSketch::estimate(
   std::uint64_t best = UINT64_MAX;
   for (std::uint32_t r = 0; r < rows_; ++r) {
     const std::uint64_t col = xxhash64(key, row_seeds_[r]) % cols_;
-    best = std::min(best, cells_[static_cast<std::size_t>(r) * cols_ + col]);
+    best = std::min(
+        best, std::atomic_ref<std::uint64_t>(
+                  const_cast<std::uint64_t&>(
+                      cells_[static_cast<std::size_t>(r) * cols_ + col]))
+                  .load(std::memory_order_relaxed));
   }
   return best == UINT64_MAX ? 0 : best;
 }
@@ -117,8 +133,22 @@ std::vector<std::uint64_t> CountMinSketch::cell_indices(
 }
 
 void CountMinSketch::merge(const CountMinSketch& other) {
-  assert(rows_ == other.rows_ && cols_ == other.cols_);
-  for (std::size_t i = 0; i < cells_.size(); ++i) cells_[i] += other.cells_[i];
+  // Geometry must match or the cell loop reads out of bounds. An assert
+  // vanishes under NDEBUG — release builds used to walk off the end of a
+  // smaller `other` — so the check must fail loudly in every build mode.
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw std::invalid_argument(
+        "CountMinSketch::merge: geometry mismatch (" + std::to_string(rows_) +
+        "x" + std::to_string(cols_) + " vs " + std::to_string(other.rows_) +
+        "x" + std::to_string(other.cols_) + ")");
+  }
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    std::atomic_ref<std::uint64_t>(cells_[i])
+        .fetch_add(std::atomic_ref<std::uint64_t>(
+                       const_cast<std::uint64_t&>(other.cells_[i]))
+                       .load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  }
 }
 
 }  // namespace dart::core

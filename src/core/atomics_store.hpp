@@ -78,11 +78,15 @@ class FlowCounterArray {
   [[nodiscard]] std::uint64_t index_of(std::span<const std::byte> key) const noexcept;
 
   // Local FETCH_ADD; returns the value *before* the add (RDMA semantics).
+  // Atomic per cell (std::atomic_ref over the 8-byte-aligned cell array),
+  // matching the RNIC's serialization of atomics — safe to call from
+  // concurrent sharded-pipeline feeders.
   std::uint64_t fetch_add(std::span<const std::byte> key, std::uint64_t delta);
 
   [[nodiscard]] std::uint64_t read(std::span<const std::byte> key) const noexcept;
 
-  // Raw cells, e.g. for registering as an RDMA MR.
+  // Raw cells, e.g. for registering as an RDMA MR. Plain span on purpose:
+  // atomicity comes from atomic_ref at the access sites, not the type.
   [[nodiscard]] std::span<std::uint64_t> cells() noexcept { return cells_; }
   [[nodiscard]] std::uint64_t size() const noexcept { return cells_.size(); }
 
@@ -96,6 +100,7 @@ class CountMinSketch {
  public:
   CountMinSketch(std::uint32_t rows, std::uint64_t cols, std::uint64_t seed);
 
+  // Atomic per-cell adds (see FlowCounterArray::fetch_add).
   void add(std::span<const std::byte> key, std::uint64_t delta);
   [[nodiscard]] std::uint64_t estimate(std::span<const std::byte> key) const noexcept;
 
@@ -106,6 +111,8 @@ class CountMinSketch {
 
   // Merges another sketch (same geometry) — what FETCH_ADD achieves
   // implicitly when many switches write into one collector-side sketch.
+  // Throws std::invalid_argument on a geometry mismatch (loud in NDEBUG
+  // builds too; an out-of-bounds walk is never acceptable in release).
   void merge(const CountMinSketch& other);
 
   [[nodiscard]] std::uint32_t rows() const noexcept { return rows_; }

@@ -5,11 +5,14 @@
 namespace dart::core {
 
 Collector::Collector(const DartConfig& config, std::uint32_t collector_id,
-                     const CollectorEndpoint& endpoint)
-    : memory_(config.memory_bytes(), std::byte{0}),
+                     const CollectorEndpoint& endpoint,
+                     const StoreBackendConfig& backend)
+    : config_(config),
+      memory_(backend.memory_bytes(config), std::byte{0}),
       rnic_(std::make_unique<rdma::SimulatedRnic>(
           /*rkey_seed=*/0x5EED'0000ull + collector_id)) {
   assert(config.valid());
+  assert(backend.valid(config));
 
   pd_ = rnic_->alloc_pd();
   const auto pd = pd_;
@@ -30,7 +33,7 @@ Collector::Collector(const DartConfig& config, std::uint32_t collector_id,
   assert(qp_status.ok());
   (void)qp_status;
 
-  store_ = std::make_unique<DartStore>(config, std::span<std::byte>(memory_));
+  backend_ = make_backend(config, backend, std::span<std::byte>(memory_));
 
   info_.collector_id = collector_id;
   info_.mac = endpoint.mac;
@@ -38,8 +41,11 @@ Collector::Collector(const DartConfig& config, std::uint32_t collector_id,
   info_.qpn = qpn;
   info_.rkey = mr.value().rkey;
   info_.base_vaddr = kDefaultBaseVaddr;
-  info_.n_slots = config.n_slots;
-  info_.slot_bytes = config.slot_bytes();
+  // Geometry of the switch row comes from the backend: the KV array's
+  // [checksum ‖ value] slots, or the sketch's 8-byte FETCH_ADD cells.
+  info_.n_slots = backend_->n_slots();
+  info_.slot_bytes = backend_->slot_bytes();
+  info_.backend = backend_->kind();
 }
 
 Status Collector::enable_primitives(const DtaPrimitivesConfig& config) {

@@ -12,6 +12,7 @@
 // to turn a slot index into a remote address.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -21,6 +22,7 @@
 #include "core/primitives.hpp"
 #include "core/query.hpp"
 #include "core/store.hpp"
+#include "core/store_backend.hpp"
 #include "net/headers.hpp"
 #include "rdma/rnic.hpp"
 
@@ -35,6 +37,10 @@ struct RemoteStoreInfo {
   std::uint64_t base_vaddr = 0;
   std::uint64_t n_slots = 0;
   std::uint32_t slot_bytes = 0;
+  // Storage backend behind this row: tells the switch which wire op family
+  // a telemetry report becomes (kKv: slot WRITEs; kSketch: per-row
+  // FETCH_ADDs, one "slot" = one 8-byte cell).
+  StoreBackendKind backend = StoreBackendKind::kKv;
 
   [[nodiscard]] std::uint64_t slot_vaddr(std::uint64_t index) const noexcept {
     return base_vaddr + index * slot_bytes;
@@ -48,10 +54,12 @@ struct CollectorEndpoint {
 
 class Collector {
  public:
-  // Brings up the collector: allocates store memory, registers it with the
-  // RNIC (remote-write + remote-atomic), and opens the report QP.
+  // Brings up the collector: allocates store memory for the chosen backend
+  // (store_backend.hpp; default = the KV array), registers it with the RNIC
+  // (remote-write + remote-atomic), and opens the report QP.
   Collector(const DartConfig& config, std::uint32_t collector_id,
-            const CollectorEndpoint& endpoint);
+            const CollectorEndpoint& endpoint,
+            const StoreBackendConfig& backend = {});
 
   Collector(const Collector&) = delete;
   Collector& operator=(const Collector&) = delete;
@@ -66,15 +74,37 @@ class Collector {
   // --- query side (the only CPU involvement) -------------------------------
   [[nodiscard]] QueryResult query(std::span<const std::byte> key,
                                   ReturnPolicy policy = ReturnPolicy::kPlurality) const {
-    return QueryEngine(*store_).resolve(key, policy);
+    return backend_->resolve(key, policy);
   }
 
-  // --- direct store access (simulation & tests) ----------------------------
-  [[nodiscard]] DartStore& store() noexcept { return *store_; }
-  [[nodiscard]] const DartStore& store() const noexcept { return *store_; }
-  [[nodiscard]] const DartConfig& config() const noexcept {
-    return store_->config();
+  // --- storage backend (store_backend.hpp) ---------------------------------
+  [[nodiscard]] StoreBackendKind backend_kind() const noexcept {
+    return backend_->kind();
   }
+  [[nodiscard]] StoreBackend& backend() noexcept { return *backend_; }
+  [[nodiscard]] const StoreBackend& backend() const noexcept {
+    return *backend_;
+  }
+  // Sketch-backed collectors only (backend_kind() == kSketch).
+  [[nodiscard]] SketchBackend& sketch() noexcept {
+    assert(backend_->kind() == StoreBackendKind::kSketch);
+    return static_cast<SketchBackend&>(*backend_);
+  }
+  [[nodiscard]] const SketchBackend& sketch() const noexcept {
+    assert(backend_->kind() == StoreBackendKind::kSketch);
+    return static_cast<const SketchBackend&>(*backend_);
+  }
+
+  // --- direct store access (simulation & tests; KV backend only) -----------
+  [[nodiscard]] DartStore& store() noexcept {
+    assert(backend_->kind() == StoreBackendKind::kKv);
+    return static_cast<KvBackend&>(*backend_).store();
+  }
+  [[nodiscard]] const DartStore& store() const noexcept {
+    assert(backend_->kind() == StoreBackendKind::kKv);
+    return static_cast<const KvBackend&>(*backend_).store();
+  }
+  [[nodiscard]] const DartConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::uint32_t id() const noexcept { return info_.collector_id; }
 
   // --- failover / recovery (docs/FAULTS.md) --------------------------------
@@ -147,9 +177,10 @@ class Collector {
     RemoteStoreInfo postcard_info;
   };
 
+  DartConfig config_;
   std::vector<std::byte> memory_;
   std::unique_ptr<rdma::SimulatedRnic> rnic_;
-  std::unique_ptr<DartStore> store_;
+  std::unique_ptr<StoreBackend> backend_;
   RemoteStoreInfo info_;
   rdma::PdHandle pd_{};
   std::unique_ptr<PrimitiveRegions> primitives_;

@@ -11,10 +11,17 @@ constexpr std::uint16_t kMagicRequest = 0x4451;   // "DQ"
 constexpr std::uint16_t kMagicResponse = 0x4452;  // "DR"
 constexpr std::uint16_t kMagicPrimitiveRequest = 0x4470;   // "Dp"
 constexpr std::uint16_t kMagicPrimitiveResponse = 0x4472;  // "Dr"
+constexpr std::uint16_t kMagicSketchRequest = 0x4453;   // "DS"
+constexpr std::uint16_t kMagicSketchResponse = 0x4454;  // "DT"
 
 bool valid_primitive_op(std::uint8_t op) {
   return op >= static_cast<std::uint8_t>(PrimitiveOp::kDrainRing) &&
          op <= static_cast<std::uint8_t>(PrimitiveOp::kReadPostcardGroup);
+}
+
+bool valid_sketch_op(std::uint8_t op) {
+  return op == static_cast<std::uint8_t>(SketchOp::kEstimate) ||
+         op == static_cast<std::uint8_t>(SketchOp::kTopK);
 }
 
 std::uint16_t peek_magic(std::span<const std::byte> payload) {
@@ -248,6 +255,127 @@ bool is_primitive_request(std::span<const std::byte> payload) {
 
 bool is_primitive_response(std::span<const std::byte> payload) {
   return peek_magic(payload) == kMagicPrimitiveResponse;
+}
+
+std::vector<std::byte> encode_sketch_request(const SketchRequest& req) {
+  std::vector<std::byte> out;
+  out.reserve(20 + req.key.size());
+  BufWriter w(out);
+  w.be16(kMagicSketchRequest);
+  w.u8(kSketchProtocolVersion);
+  w.u8(static_cast<std::uint8_t>(req.op));
+  w.be64(req.request_id);
+  w.be32(req.epoch);
+  w.be16(req.k);
+  w.be16(static_cast<std::uint16_t>(req.key.size()));
+  w.bytes(req.key);
+  return out;
+}
+
+std::optional<SketchRequest> parse_sketch_request(
+    std::span<const std::byte> payload) {
+  BufReader r(payload);
+  if (r.be16() != kMagicSketchRequest) return std::nullopt;
+  if (r.u8() != kSketchProtocolVersion) return std::nullopt;
+  const std::uint8_t op = r.u8();
+  if (!valid_sketch_op(op)) return std::nullopt;
+  SketchRequest req;
+  req.op = static_cast<SketchOp>(op);
+  req.request_id = r.be64();
+  req.epoch = r.be32();
+  req.k = r.be16();
+  const std::uint16_t key_len = r.be16();
+  const auto key = r.view(key_len);
+  if (!r.ok() || key.size() != key_len) return std::nullopt;
+  // kEstimate addresses one key (k unused); kTopK addresses the tracker
+  // (no key) and needs a positive k.
+  if (req.op == SketchOp::kEstimate ? key_len == 0
+                                    : (key_len != 0 || req.k == 0)) {
+    return std::nullopt;
+  }
+  if (r.remaining() != 0) return std::nullopt;
+  req.key.assign(key.begin(), key.end());
+  return req;
+}
+
+std::vector<std::byte> encode_sketch_response(const SketchResponse& resp) {
+  std::vector<std::byte> out;
+  BufWriter w(out);
+  w.be16(kMagicSketchResponse);
+  w.u8(kSketchProtocolVersion);
+  w.u8(static_cast<std::uint8_t>(resp.op));
+  w.be64(resp.request_id);
+  w.be32(resp.epoch);
+  w.u8(resp.flags);
+  w.be16(resp.stale_epochs);
+  switch (resp.op) {
+    case SketchOp::kEstimate:
+      w.be64(resp.estimate);
+      break;
+    case SketchOp::kTopK: {
+      w.be16(static_cast<std::uint16_t>(
+          std::min<std::size_t>(resp.hitters.size(), 0xFFFF)));
+      std::size_t emitted = 0;
+      for (const HeavyHitterWire& hh : resp.hitters) {
+        if (emitted++ == 0xFFFF) break;
+        w.be64(hh.count);
+        w.be16(static_cast<std::uint16_t>(hh.key.size()));
+        w.bytes(hh.key);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+std::optional<SketchResponse> parse_sketch_response(
+    std::span<const std::byte> payload) {
+  BufReader r(payload);
+  if (r.be16() != kMagicSketchResponse) return std::nullopt;
+  if (r.u8() != kSketchProtocolVersion) return std::nullopt;
+  const std::uint8_t op = r.u8();
+  if (!valid_sketch_op(op)) return std::nullopt;
+  SketchResponse resp;
+  resp.op = static_cast<SketchOp>(op);
+  resp.request_id = r.be64();
+  resp.epoch = r.be32();
+  resp.flags = r.u8();
+  resp.stale_epochs = r.be16();
+  if (!r.ok()) return std::nullopt;
+  switch (resp.op) {
+    case SketchOp::kEstimate:
+      resp.estimate = r.be64();
+      if (!r.ok()) return std::nullopt;
+      break;
+    case SketchOp::kTopK: {
+      const std::uint16_t count = r.be16();
+      if (!r.ok()) return std::nullopt;
+      resp.hitters.reserve(count);
+      for (std::uint16_t i = 0; i < count; ++i) {
+        HeavyHitterWire hh;
+        hh.count = r.be64();
+        const std::uint16_t key_len = r.be16();
+        const auto key = r.view(key_len);
+        if (!r.ok() || key.size() != key_len || key_len == 0) {
+          return std::nullopt;
+        }
+        hh.key.assign(key.begin(), key.end());
+        resp.hitters.push_back(std::move(hh));
+      }
+      break;
+    }
+  }
+  // Trailing garbage after a structurally complete body is a framing error.
+  if (r.remaining() != 0) return std::nullopt;
+  return resp;
+}
+
+bool is_sketch_request(std::span<const std::byte> payload) {
+  return peek_magic(payload) == kMagicSketchRequest;
+}
+
+bool is_sketch_response(std::span<const std::byte> payload) {
+  return peek_magic(payload) == kMagicSketchResponse;
 }
 
 QueryResponse make_response(std::uint64_t request_id,

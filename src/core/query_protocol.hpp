@@ -42,6 +42,9 @@ inline constexpr std::uint8_t kResponseDegraded = 0x01;
 // The collector has no DTA primitive regions enabled — the primitive op was
 // understood but cannot be answered (body is zeroed).
 inline constexpr std::uint8_t kResponsePrimitiveUnavailable = 0x02;
+// The collector's storage backend is not a sketch — the sketch op was
+// understood but cannot be answered (body is zeroed).
+inline constexpr std::uint8_t kResponseSketchUnavailable = 0x04;
 
 struct QueryRequest {
   std::uint64_t request_id = 0;
@@ -164,5 +167,78 @@ struct PrimitiveResponse {
 // dispatch test a shared-port service uses before committing to a parser.
 [[nodiscard]] bool is_primitive_request(std::span<const std::byte> payload);
 [[nodiscard]] bool is_primitive_response(std::span<const std::byte> payload);
+
+// --- Sketch backend query ops (store_backend.hpp) ---------------------------
+//
+// Read path of sketch-backed collectors; shares UDP/4800 with the KV and
+// primitive families via its own magic pair. kEstimate returns the count-min
+// estimate for one key (and feeds the collector's heavy-hitter tracker as a
+// side effect — the tracker is maintained entirely on the query path, so
+// ingest stays zero-CPU). kTopK returns the tracker's current top-k.
+//
+// Request  — sketch protocol v1:
+//   [magic 0x4453 "DS"][ver u8][op u8][request id u64][epoch u32]
+//   [k u16][key len u16][key bytes]
+//   kEstimate requires a non-empty key and ignores k; kTopK requires k >= 1
+//   and an empty key (len 0).
+// Response — sketch protocol v1:
+//   [magic 0x4454 "DT"][ver u8][op u8][request id u64][epoch u32]
+//   [flags u8][stale epochs u16]  followed by the op body:
+//   kEstimate: [estimate u64]
+//   kTopK:     [count u16] then count × ([estimate u64][key len u16][key])
+
+inline constexpr std::uint8_t kSketchProtocolVersion = 1;
+
+enum class SketchOp : std::uint8_t {
+  kEstimate = 1,  // count-min estimate of one key
+  kTopK = 2,      // current heavy-hitter candidates, strongest first
+};
+
+struct SketchRequest {
+  SketchOp op = SketchOp::kEstimate;
+  std::uint64_t request_id = 0;
+  std::uint32_t epoch = 0;
+  std::uint16_t k = 0;            // kTopK only; >= 1
+  std::vector<std::byte> key;     // kEstimate only; non-empty
+};
+
+struct HeavyHitterWire {
+  std::uint64_t count = 0;  // count-min estimate at response time
+  std::vector<std::byte> key;
+};
+
+struct SketchResponse {
+  SketchOp op = SketchOp::kEstimate;
+  std::uint64_t request_id = 0;
+  std::uint32_t epoch = 0;  // echoed from the request
+  std::uint8_t flags = 0;   // kResponseDegraded | kResponseSketchUnavailable
+  std::uint16_t stale_epochs = 0;
+
+  // kEstimate body.
+  std::uint64_t estimate = 0;
+
+  // kTopK body: descending by count, ties broken by ascending key bytes.
+  std::vector<HeavyHitterWire> hitters;
+
+  [[nodiscard]] bool degraded() const noexcept {
+    return (flags & kResponseDegraded) != 0;
+  }
+  [[nodiscard]] bool unavailable() const noexcept {
+    return (flags & kResponseSketchUnavailable) != 0;
+  }
+};
+
+[[nodiscard]] std::vector<std::byte> encode_sketch_request(
+    const SketchRequest& req);
+[[nodiscard]] std::optional<SketchRequest> parse_sketch_request(
+    std::span<const std::byte> payload);
+
+[[nodiscard]] std::vector<std::byte> encode_sketch_response(
+    const SketchResponse& resp);
+[[nodiscard]] std::optional<SketchResponse> parse_sketch_response(
+    std::span<const std::byte> payload);
+
+[[nodiscard]] bool is_sketch_request(std::span<const std::byte> payload);
+[[nodiscard]] bool is_sketch_response(std::span<const std::byte> payload);
 
 }  // namespace dart::core

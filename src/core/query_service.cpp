@@ -52,6 +52,19 @@ void QueryServiceNode::receive(net::Packet packet, std::uint64_t /*now_ns*/) {
     sim_->send(self_, *dest, net::Packet(std::move(reply)));
     return;
   }
+  if (is_sketch_request(frame->payload)) {
+    const auto sketch = parse_sketch_request(frame->payload);
+    if (!sketch) {
+      ++malformed_;
+      return;
+    }
+    auto payload = serve_sketch(*sketch);
+    const auto dest = resolver_(frame->ip.src);
+    if (!dest) return;
+    auto reply = net::build_udp_frame(reply_spec(ip_, frame->ip.src), payload);
+    sim_->send(self_, *dest, net::Packet(std::move(reply)));
+    return;
+  }
   const auto request = parse_query_request(frame->payload);
   if (!request) {
     ++malformed_;
@@ -173,6 +186,52 @@ std::vector<std::byte> QueryServiceNode::serve_primitive(
   return encode_primitive_response(response);
 }
 
+std::vector<std::byte> QueryServiceNode::serve_sketch(
+    const SketchRequest& request) {
+  SketchResponse response;
+  response.op = request.op;
+  response.request_id = request.request_id;
+  response.epoch = request.epoch;
+
+  if (collector_->backend_kind() != StoreBackendKind::kSketch) {
+    // Same shape as the primitive-unavailable answer: the op was understood,
+    // this collector just isn't sketch-backed. Answering (rather than
+    // dropping) lets the operator tell "wrong backend" from "dead".
+    response.flags |= kResponseSketchUnavailable;
+    ++served_;
+    ++sketch_served_;
+    ++sketch_unavailable_;
+    return encode_sketch_response(response);
+  }
+
+  // Estimate is keyed (owner-takeover marking applies); top-k reads the
+  // whole tracker, so only local degradation does.
+  apply_degradation(request.key, response.flags, response.stale_epochs);
+
+  SketchBackend& sketch = collector_->sketch();
+  switch (request.op) {
+    case SketchOp::kEstimate:
+      response.estimate = sketch.estimate(request.key);
+      // Queried keys are the tracker's candidate stream: the operator's own
+      // read traffic maintains the heavy-hitter set, keeping ingest
+      // zero-CPU.
+      sketch.offer(request.key);
+      break;
+    case SketchOp::kTopK: {
+      const auto hitters = sketch.top_k(request.k);
+      response.hitters.reserve(hitters.size());
+      for (const HeavyHitter& hh : hitters) {
+        response.hitters.push_back(HeavyHitterWire{hh.count, hh.key});
+      }
+      break;
+    }
+  }
+  if (response.degraded()) ++degraded_;
+  ++served_;
+  ++sketch_served_;
+  return encode_sketch_response(response);
+}
+
 void QueryServiceNode::bind_metrics(obs::MetricRegistry& registry,
                                     const std::string& prefix) {
   registry.counter_fn(prefix + "_query_served_total",
@@ -196,6 +255,12 @@ void QueryServiceNode::bind_metrics(obs::MetricRegistry& registry,
   registry.counter_fn(prefix + "_query_primitives_unavailable_total",
                       [this] { return primitives_unavailable_; },
                       "primitive requests answered 'regions not enabled'");
+  registry.counter_fn(prefix + "_query_sketch_served_total",
+                      [this] { return sketch_served_; },
+                      "sketch requests answered");
+  registry.counter_fn(prefix + "_query_sketch_unavailable_total",
+                      [this] { return sketch_unavailable_; },
+                      "sketch requests answered 'backend not a sketch'");
   // Linear buckets 0..50us cover the N-slot read + vote for every store
   // size the tests use; outliers clamp to the top bucket.
   resolve_hist_ = &registry.histogram(
@@ -288,6 +353,35 @@ std::uint64_t OperatorClient::read_postcard_group(
   return request.request_id;
 }
 
+std::uint64_t OperatorClient::sketch_estimate(std::span<const std::byte> key) {
+  SketchRequest request;
+  request.op = SketchOp::kEstimate;
+  request.request_id = next_id_++;
+  request.epoch = epoch_;
+  request.key.assign(key.begin(), key.end());
+  if (!send_to_collector(route_of(key), encode_sketch_request(request))) {
+    return 0;
+  }
+  outstanding_.insert(request.request_id);
+  ++sent_;
+  return request.request_id;
+}
+
+std::uint64_t OperatorClient::sketch_topk(std::uint32_t collector_id,
+                                          std::uint16_t k) {
+  SketchRequest request;
+  request.op = SketchOp::kTopK;
+  request.request_id = next_id_++;
+  request.epoch = epoch_;
+  request.k = k;
+  if (!send_to_collector(collector_id, encode_sketch_request(request))) {
+    return 0;
+  }
+  outstanding_.insert(request.request_id);
+  ++sent_;
+  return request.request_id;
+}
+
 void OperatorClient::receive(net::Packet packet, std::uint64_t /*now_ns*/) {
   const auto frame = net::parse_udp_frame(packet.bytes());
   if (!frame || frame->udp.dst_port != kDartQueryUdpPort) return;
@@ -311,6 +405,20 @@ void OperatorClient::receive(net::Packet packet, std::uint64_t /*now_ns*/) {
     primitive_responses_[response->request_id] = *response;
     return;
   }
+  if (is_sketch_response(frame->payload)) {
+    const auto response = parse_sketch_response(frame->payload);
+    if (!response) return;
+    const auto it = outstanding_.find(response->request_id);
+    if (it == outstanding_.end()) {
+      ++unexpected_;
+      return;
+    }
+    outstanding_.erase(it);
+    ++received_;
+    if (response->degraded()) ++degraded_;
+    sketch_responses_[response->request_id] = *response;
+    return;
+  }
   const auto response = parse_query_response(frame->payload);
   if (!response) return;
   // First matching response retires the id; duplicates and replays (UDP can
@@ -332,6 +440,15 @@ std::optional<PrimitiveResponse> OperatorClient::take_primitive_response(
   if (it == primitive_responses_.end()) return std::nullopt;
   PrimitiveResponse resp = std::move(it->second);
   primitive_responses_.erase(it);
+  return resp;
+}
+
+std::optional<SketchResponse> OperatorClient::take_sketch_response(
+    std::uint64_t request_id) {
+  const auto it = sketch_responses_.find(request_id);
+  if (it == sketch_responses_.end()) return std::nullopt;
+  SketchResponse resp = std::move(it->second);
+  sketch_responses_.erase(it);
   return resp;
 }
 

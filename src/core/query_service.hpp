@@ -139,6 +139,15 @@ class QueryServiceNode final : public net::Node {
   [[nodiscard]] std::uint64_t primitives_unavailable() const noexcept {
     return primitives_unavailable_;
   }
+  // Sketch requests served (subset of requests_served()).
+  [[nodiscard]] std::uint64_t sketch_served() const noexcept {
+    return sketch_served_;
+  }
+  // Sketch requests answered with kResponseSketchUnavailable because the
+  // collector's storage backend is not a sketch.
+  [[nodiscard]] std::uint64_t sketch_unavailable() const noexcept {
+    return sketch_unavailable_;
+  }
 
  private:
   static constexpr std::uint16_t sat_add16(std::uint16_t a,
@@ -159,6 +168,13 @@ class QueryServiceNode final : public net::Node {
   [[nodiscard]] std::vector<std::byte> serve_primitive(
       const PrimitiveRequest& request);
 
+  // Serves one parsed sketch request; returns the encoded response. Estimate
+  // answers also feed the collector's heavy-hitter tracker — tracker
+  // maintenance lives entirely on this (query) path so ingest stays
+  // zero-CPU.
+  [[nodiscard]] std::vector<std::byte> serve_sketch(
+      const SketchRequest& request);
+
   Collector* collector_;
   net::Ipv4Addr ip_;
   IpResolver resolver_;
@@ -174,6 +190,8 @@ class QueryServiceNode final : public net::Node {
   std::uint64_t dropped_offline_ = 0;
   std::uint64_t primitives_served_ = 0;
   std::uint64_t primitives_unavailable_ = 0;
+  std::uint64_t sketch_served_ = 0;
+  std::uint64_t sketch_unavailable_ = 0;
   obs::Histogram* resolve_hist_ = nullptr;  // owned by the bound registry
   std::uint32_t resolve_sample_every_ = 8;
   std::uint64_t resolve_samples_ = 0;
@@ -217,6 +235,23 @@ class OperatorClient final : public net::Node {
   std::uint64_t read_postcard_group(std::span<const std::byte> flow_key);
 
   [[nodiscard]] std::optional<PrimitiveResponse> take_primitive_response(
+      std::uint64_t request_id);
+
+  // --- sketch backend queries (query_protocol.hpp, sketch v1) --------------
+  //
+  // Same transport and outstanding-id discipline as query(); answers arrive
+  // via take_sketch_response(). Returns 0 if the request could not be sent.
+
+  // Count-min estimate for `key` (hash-routed like query(), honoring
+  // retargets).
+  std::uint64_t sketch_estimate(std::span<const std::byte> key);
+
+  // Top-k heavy hitters tracked by collector `collector_id` (trackers are
+  // per-collector, so top-k targets an explicit collector, not a hashed
+  // key). `k` >= 1.
+  std::uint64_t sketch_topk(std::uint32_t collector_id, std::uint16_t k);
+
+  [[nodiscard]] std::optional<SketchResponse> take_sketch_response(
       std::uint64_t request_id);
 
   // Registers this client's counters under `<prefix>_operator_*`.
@@ -276,6 +311,7 @@ class OperatorClient final : public net::Node {
   IpResolver resolver_;
   std::unordered_map<std::uint64_t, QueryResponse> responses_;
   std::unordered_map<std::uint64_t, PrimitiveResponse> primitive_responses_;
+  std::unordered_map<std::uint64_t, SketchResponse> sketch_responses_;
   std::unordered_set<std::uint64_t> outstanding_;
   std::unordered_map<std::uint32_t, std::uint32_t> retargets_;
   std::uint32_t epoch_ = 0;

@@ -188,6 +188,17 @@ std::vector<std::byte> ReportCrafter::craft_key_increment(
                          delta, psn);
 }
 
+std::vector<std::byte> ReportCrafter::craft_sketch_increment(
+    const RemoteStoreInfo& dst, const ReporterEndpoint& src,
+    const SketchBackendConfig& sketch, std::span<const std::byte> key,
+    std::uint32_t row, std::uint64_t delta, std::uint32_t psn) const {
+  assert(dst.backend == StoreBackendKind::kSketch);
+  assert(dst.slot_bytes == 8);
+  assert(row < sketch.rows);
+  return craft_fetch_add(dst, src, dst.slot_vaddr(sketch.cell_of(key, row)),
+                         delta, psn);
+}
+
 std::vector<std::byte> ReportCrafter::craft_postcard(
     const RemoteStoreInfo& dst, const ReporterEndpoint& src,
     const PostcardConfig& postcards, std::span<const std::byte> flow_key,
@@ -505,6 +516,15 @@ std::size_t ReportCrafter::craft_key_increment_into(
     std::span<std::byte> out) const {
   return craft_fetch_add_into(
       tpl, tpl.dst_.slot_vaddr(counters.index_of(key)), delta, psn, out);
+}
+
+std::size_t ReportCrafter::craft_sketch_increment_into(
+    const FrameTemplate& tpl, const SketchBackendConfig& sketch,
+    std::span<const std::byte> key, std::uint32_t row, std::uint64_t delta,
+    std::uint32_t psn, std::span<std::byte> out) const {
+  assert(row < sketch.rows);
+  return craft_fetch_add_into(
+      tpl, tpl.dst_.slot_vaddr(sketch.cell_of(key, row)), delta, psn, out);
 }
 
 std::size_t ReportCrafter::craft_postcard_into(

@@ -151,6 +151,15 @@ class ReportCrafter {
       const CounterArrayConfig& counters, std::span<const std::byte> key,
       std::uint64_t delta, std::uint32_t psn) const;
 
+  // Sketch backend (store_backend.hpp): FETCH_ADD of `delta` on row `row`'s
+  // cell of `key` in a sketch-backed collector's MR. One telemetry report =
+  // one such frame per sketch row; `dst` is the sketch collector's row
+  // (slot_bytes == 8, one slot per cell).
+  [[nodiscard]] std::vector<std::byte> craft_sketch_increment(
+      const RemoteStoreInfo& dst, const ReporterEndpoint& src,
+      const SketchBackendConfig& sketch, std::span<const std::byte> key,
+      std::uint32_t row, std::uint64_t delta, std::uint32_t psn) const;
+
   // Postcarding: hop `hop` of `flow_key`'s slot group.
   [[nodiscard]] std::vector<std::byte> craft_postcard(
       const RemoteStoreInfo& dst, const ReporterEndpoint& src,
@@ -244,6 +253,14 @@ class ReportCrafter {
                                        std::span<const std::byte> key,
                                        std::uint64_t delta, std::uint32_t psn,
                                        std::span<std::byte> out) const;
+  // `tpl` must be a kFetchAdd template built for the sketch-backed row.
+  std::size_t craft_sketch_increment_into(const FrameTemplate& tpl,
+                                          const SketchBackendConfig& sketch,
+                                          std::span<const std::byte> key,
+                                          std::uint32_t row,
+                                          std::uint64_t delta,
+                                          std::uint32_t psn,
+                                          std::span<std::byte> out) const;
   std::size_t craft_postcard_into(const FrameTemplate& tpl,
                                   const PostcardConfig& postcards,
                                   std::span<const std::byte> flow_key,

@@ -62,6 +62,15 @@ shard_slot_range(std::uint32_t shard, std::uint64_t n_slots,
 }
 
 // One decoded slot.
+//
+// `value` ALIASES store memory — it is a window into the [checksum ‖ value]
+// slot bytes, not a copy. Two consequences:
+//   - a later write to the same slot (local write path or an RNIC DMA)
+//     changes the bytes the view points at;
+//   - a view captured while writers are active can expose a *torn* pair:
+//     a checksum from one report next to value bytes from another, since a
+//     slot write is not atomic with respect to readers.
+// See DartStore::read_slots for the read discipline that rules this out.
 struct SlotView {
   std::uint32_t checksum = 0;
   std::span<const std::byte> value;
@@ -166,7 +175,34 @@ class DartStore {
   // ---- read path ----------------------------------------------------------
 
   // Decodes the N candidate slots for a key, in copy order.
-  // The returned views alias store memory; they are invalidated by writes.
+  //
+  // The returned views alias store memory; they are invalidated by writes
+  // (see SlotView). Query-path read discipline — how the system guarantees
+  // no torn [checksum ‖ value] pair is ever *consumed*:
+  //
+  //   1. Quiesced region. Reads target memory no writer (RNIC or local
+  //      apply path) is mutating. This is the epoch scheme's invariant:
+  //      RotatingCollector flips switches to the standby region, waits out
+  //      a grace window sized to the maximum report time-of-flight, then
+  //      seals the old region; query_standby() and sealed-epoch reads only
+  //      ever decode quiesced bytes. Torn pairs cannot be observed at all.
+  //
+  //   2. Live reads under churn. Queries against the *active* region (the
+  //      non-rotating deployments) may race reports. A torn pair then looks
+  //      like a slot whose checksum does not match the queried key — the
+  //      same signature as a hash-colliding foreign key — and the b-bit
+  //      checksum filter of QueryEngine::resolve discards it, at the cost
+  //      of one lost vote (bounded by the redundancy N). What the filter
+  //      can NOT catch is a torn pair whose checksum half matches the
+  //      queried key but whose value half is foreign; callers who cannot
+  //      tolerate that 2^-b event must use discipline 1.
+  //
+  //   Rotation metadata itself (which region is active, epoch ids) is
+  //   published through epoch_rotation.hpp's SeqCount seqlock; readers
+  //   retry around flips instead of locking the data plane.
+  //
+  // dartcheck's prop_backend suite drives discipline 1 with a live writer
+  // thread and asserts no torn pair is ever returned.
   [[nodiscard]] std::vector<SlotView> read_slots(
       std::span<const std::byte> key) const;
 

@@ -1,0 +1,195 @@
+#include "core/store_backend.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstring>
+
+namespace dart::core {
+
+const char* to_string(StoreBackendKind kind) noexcept {
+  switch (kind) {
+    case StoreBackendKind::kKv: return "kv";
+    case StoreBackendKind::kSketch: return "sketch";
+  }
+  return "?";
+}
+
+QueryResult KvBackend::resolve(std::span<const std::byte> key,
+                               ReturnPolicy policy) const {
+  return QueryEngine(store_).resolve(key, policy);
+}
+
+// ---------------------------------------------------------------------------
+// SketchBackend
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// The cells live in raw MR bytes (the RNIC's FETCH_ADD target), host-endian
+// like rdma::SimulatedRnic's atomic execute. Cell offsets are multiples of
+// 8 within an allocation-aligned region, so atomic_ref's alignment
+// requirement holds; atomicity matters because local feeders may be sharded
+// across threads while the region stays a plain MR-registrable byte span.
+std::atomic_ref<std::uint64_t> cell_ref(std::span<std::byte> memory,
+                                        std::uint64_t index) noexcept {
+  return std::atomic_ref<std::uint64_t>(
+      *reinterpret_cast<std::uint64_t*>(memory.data() + index * 8));
+}
+
+std::uint64_t cell_load(std::span<const std::byte> memory,
+                        std::uint64_t index) noexcept {
+  return std::atomic_ref<std::uint64_t>(
+             *reinterpret_cast<std::uint64_t*>(
+                 const_cast<std::byte*>(memory.data()) + index * 8))
+      .load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+SketchBackend::SketchBackend(const SketchBackendConfig& config)
+    : config_(config), backing_(static_cast<std::size_t>(config.memory_bytes())) {
+  assert(config.valid());
+  row_seeds_.reserve(config_.rows);
+  SplitMix64 sm(config_.seed);
+  for (std::uint32_t r = 0; r < config_.rows; ++r) {
+    row_seeds_.push_back(sm.next());
+  }
+}
+
+SketchBackend::SketchBackend(const SketchBackendConfig& config,
+                             std::span<std::byte> memory)
+    : config_(config), backing_(memory) {
+  assert(config.valid());
+  assert(memory.size() == config.memory_bytes());
+  row_seeds_.reserve(config_.rows);
+  SplitMix64 sm(config_.seed);
+  for (std::uint32_t r = 0; r < config_.rows; ++r) {
+    row_seeds_.push_back(sm.next());
+  }
+}
+
+void SketchBackend::add(std::span<const std::byte> key, std::uint64_t delta) {
+  for (std::uint32_t r = 0; r < config_.rows; ++r) {
+    cell_ref(backing_.memory(), cell_of(key, r))
+        .fetch_add(delta, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t SketchBackend::estimate(
+    std::span<const std::byte> key) const noexcept {
+  std::uint64_t best = UINT64_MAX;
+  for (std::uint32_t r = 0; r < config_.rows; ++r) {
+    best = std::min(best, cell_load(backing_.memory(), cell_of(key, r)));
+  }
+  return best == UINT64_MAX ? 0 : best;
+}
+
+std::uint64_t SketchBackend::cell_value(std::uint64_t index) const noexcept {
+  return cell_load(backing_.memory(), index);
+}
+
+QueryResult SketchBackend::resolve(std::span<const std::byte> key,
+                                   ReturnPolicy /*policy*/) const {
+  // A sketch has no per-key value to vote over; the resolve contract here is
+  // the point estimate, serialized 8-byte little-endian (the sim_key width).
+  QueryResult result;
+  const std::uint64_t est = estimate(key);
+  if (est == 0) return result;  // never counted (or column still zero)
+  result.outcome = QueryOutcome::kFound;
+  result.checksum_matches = config_.rows;  // cells consulted
+  result.distinct_values = 1;
+  result.value.resize(8);
+  for (int i = 0; i < 8; ++i) {
+    result.value[static_cast<std::size_t>(i)] =
+        static_cast<std::byte>((est >> (8 * i)) & 0xFF);
+  }
+  return result;
+}
+
+void SketchBackend::clear() {
+  backing_.clear();
+  candidates_.clear();
+  offers_ = 0;
+  offers_evicted_ = 0;
+  offers_rejected_ = 0;
+}
+
+void SketchBackend::offer(std::span<const std::byte> key) {
+  ++offers_;
+  for (const auto& candidate : candidates_) {
+    if (candidate.size() == key.size() &&
+        std::memcmp(candidate.data(), key.data(), key.size()) == 0) {
+      return;  // already tracked; top_k() re-estimates from live cells
+    }
+  }
+  if (candidates_.size() < config_.topk_capacity) {
+    candidates_.emplace_back(key.begin(), key.end());
+    return;
+  }
+  // At capacity: evict the weakest candidate only for a strictly stronger
+  // newcomer, so a flood of mice cannot churn out an established elephant.
+  std::size_t weakest = 0;
+  std::uint64_t weakest_est = UINT64_MAX;
+  for (std::size_t i = 0; i < candidates_.size(); ++i) {
+    const std::uint64_t est = estimate(candidates_[i]);
+    if (est < weakest_est) {
+      weakest_est = est;
+      weakest = i;
+    }
+  }
+  if (estimate(key) > weakest_est) {
+    candidates_[weakest].assign(key.begin(), key.end());
+    ++offers_evicted_;
+  } else {
+    ++offers_rejected_;
+  }
+}
+
+std::vector<HeavyHitter> SketchBackend::top_k(std::size_t k) const {
+  std::vector<HeavyHitter> out;
+  out.reserve(candidates_.size());
+  for (const auto& candidate : candidates_) {
+    out.push_back(HeavyHitter{candidate, estimate(candidate)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const HeavyHitter& a, const HeavyHitter& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return std::lexicographical_compare(a.key.begin(), a.key.end(),
+                                                  b.key.begin(), b.key.end());
+            });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// factory
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<StoreBackend> make_backend(const DartConfig& dart,
+                                           const StoreBackendConfig& backend,
+                                           std::span<std::byte> memory) {
+  assert(backend.valid(dart));
+  assert(memory.size() == backend.memory_bytes(dart));
+  switch (backend.kind) {
+    case StoreBackendKind::kKv:
+      return std::make_unique<KvBackend>(dart, memory);
+    case StoreBackendKind::kSketch:
+      return std::make_unique<SketchBackend>(backend.sketch, memory);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<StoreBackend> make_backend(const DartConfig& dart,
+                                           const StoreBackendConfig& backend) {
+  assert(backend.valid(dart));
+  switch (backend.kind) {
+    case StoreBackendKind::kKv:
+      return std::make_unique<KvBackend>(dart);
+    case StoreBackendKind::kSketch:
+      return std::make_unique<SketchBackend>(backend.sketch);
+  }
+  return nullptr;
+}
+
+}  // namespace dart::core

@@ -40,6 +40,9 @@ inline void register_switch_counters(MetricRegistry& reg,
   reg.counter_fn(prefix + "_table_misses_total",
                  [&c] { return c.table_misses; },
                  "hashed collector id not loaded");
+  reg.counter_fn(prefix + "_sketch_increments_emitted_total",
+                 [&c] { return c.sketch_increments_emitted; },
+                 "FETCH_ADD frames fanned out to sketch-backed rows");
   reg.counter_fn(prefix + "_retargets_total", [&c] { return c.retargets; },
                  "rows re-pointed at a backup collector");
   reg.counter_fn(prefix + "_restores_total", [&c] { return c.restores; },

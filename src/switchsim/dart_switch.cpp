@@ -50,12 +50,20 @@ void DartSwitchPipeline::load_collector(const core::RemoteStoreInfo& info) {
   entry.base_vaddr = info.base_vaddr;
   entry.n_slots = info.n_slots;
   entry.slot_bytes = info.slot_bytes;
+  entry.backend = info.backend;
   table_.insert(info.collector_id, entry);
 
   EgressTemplates tpls;
-  tpls.write = crafter_.make_write_template(info, self_);
-  if (config_.use_dta_multiwrite) {
-    tpls.multiwrite = crafter_.make_multiwrite_template(info, self_);
+  if (info.backend == core::StoreBackendKind::kSketch) {
+    // Sketch rows never see slot WRITEs — every report is a FETCH_ADD fan-
+    // out over the rows' cells, so only the atomic template is built.
+    tpls.fetch_add =
+        crafter_.make_atomic_template(info, self_, rdma::Opcode::kRcFetchAdd);
+  } else {
+    tpls.write = crafter_.make_write_template(info, self_);
+    if (config_.use_dta_multiwrite) {
+      tpls.multiwrite = crafter_.make_multiwrite_template(info, self_);
+    }
   }
   egress_tpls_[info.collector_id] = std::move(tpls);
 }
@@ -156,6 +164,32 @@ void DartSwitchPipeline::emit_telemetry(
   dst.base_vaddr = entry->base_vaddr;
   dst.n_slots = entry->n_slots;
   dst.slot_bytes = entry->slot_bytes;
+  dst.backend = entry->backend;
+
+  if (entry->backend == core::StoreBackendKind::kSketch) {
+    // Sketch fan-out: one FETCH_ADD of 1 per sketch row, each consuming its
+    // own PSN — a telemetry event on a sketch-backed collector is `rows`
+    // wire ops, the aggregation itself happening in the collector's RNIC.
+    for (std::uint32_t row = 0; row < config_.sketch.rows; ++row) {
+      const std::uint32_t psn = psn_regs_.rmw(
+          collector_id,
+          [](std::uint32_t old) { return (old + 1) & 0x00FF'FFFFu; });
+      if (tpl_it != egress_tpls_.end() && tpl_it->second.fetch_add.valid()) {
+        const core::FrameTemplate& tpl = tpl_it->second.fetch_add;
+        auto& frame = frames.emplace_back(tpl.frame_size());
+        const std::size_t len = crafter_.craft_sketch_increment_into(
+            tpl, config_.sketch, key, row, /*delta=*/1, psn, frame);
+        (void)len;
+        assert(len == frame.size());
+      } else {
+        frames.push_back(crafter_.craft_sketch_increment(
+            dst, self_, config_.sketch, key, row, /*delta=*/1, psn));
+      }
+      ++counters_.reports_emitted;
+      ++counters_.sketch_increments_emitted;
+    }
+    return;
+  }
 
   if (config_.use_dta_multiwrite) {
     const std::uint32_t psn = psn_regs_.rmw(

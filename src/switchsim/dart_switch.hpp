@@ -43,6 +43,9 @@ struct CollectorEntry {
   std::uint64_t base_vaddr = 0;
   std::uint64_t n_slots = 0;
   std::uint32_t slot_bytes = 0;
+  // Which op family telemetry reports to this collector become (one extra
+  // byte of action data): KV slot WRITEs, or per-row sketch FETCH_ADDs.
+  core::StoreBackendKind backend = core::StoreBackendKind::kKv;
 };
 
 struct SwitchCounters {
@@ -55,6 +58,9 @@ struct SwitchCounters {
   std::uint64_t appends_emitted = 0;
   std::uint64_t increments_emitted = 0;
   std::uint64_t postcards_emitted = 0;
+  // Sketch-backed collectors: FETCH_ADD frames emitted (rows per telemetry
+  // event; included in reports_emitted).
+  std::uint64_t sketch_increments_emitted = 0;
 };
 
 class DartSwitchPipeline {
@@ -77,6 +83,10 @@ class DartSwitchPipeline {
     // Postcarding). Must match the collectors' enable_primitives() config;
     // used only once load_primitives() rows are installed.
     core::DtaPrimitivesConfig primitives{};
+    // Geometry/seed of sketch-backed collectors (store_backend.hpp). Must
+    // match the SketchBackendConfig those collectors were brought up with;
+    // consulted only for rows whose backend is kSketch.
+    core::SketchBackendConfig sketch{};
   };
 
   explicit DartSwitchPipeline(const Config& config);
@@ -204,6 +214,7 @@ class DartSwitchPipeline {
   struct EgressTemplates {
     core::FrameTemplate write;
     core::FrameTemplate multiwrite;  // only valid() when use_dta_multiwrite
+    core::FrameTemplate fetch_add;   // only valid() for sketch-backed rows
   };
 
   // Primitive region directory rows + their deparser templates, one set per

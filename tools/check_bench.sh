@@ -17,7 +17,7 @@ tools/check_docs.sh
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" -j \
   --target micro_datapath scaling_ingest_threads ablation_faults primitives \
-  dart_metrics
+  storage_backends dart_metrics
 
 OUT_DIR="$(mktemp -d)"
 trap 'rm -rf "$OUT_DIR"' EXIT
@@ -30,6 +30,8 @@ trap 'rm -rf "$OUT_DIR"' EXIT
   --reports=40000)
 (cd "$OUT_DIR" && "$OLDPWD/$BUILD_DIR/bench/ablation_faults" --flows=15)
 (cd "$OUT_DIR" && "$OLDPWD/$BUILD_DIR/bench/primitives" --events=30000)
+(cd "$OUT_DIR" && "$OLDPWD/$BUILD_DIR/bench/storage_backends" \
+  --flows=800 --updates=60000)
 
 # Metrics snapshot: conservation invariants plus the JSON exposition, and
 # the chaos run that holds those invariants under every injected fault class.
@@ -81,6 +83,49 @@ if prim_path.exists():
         if not (isinstance(val, (int, float)) and val > 0):
             print(f"FAIL: {prim_path}: result '{key}' = {val!r} not > 0")
             failures += 1
+
+# Storage backends: per load factor, the matched-budget accuracy envelope.
+# The sketch is count-min, so estimates can never undershoot, every
+# overestimate must sit within the classic e/cols bound's reported rate
+# bounds, and the byte budgets must actually match (sketch <= KV, same order).
+sb_path = out_dir / "BENCH_storage_backends.json"
+if not sb_path.exists():
+    print(f"FAIL: {sb_path} was not emitted")
+    failures += 1
+else:
+    results = json.loads(sb_path.read_text()).get("results", {})
+    lfs = sorted({k.split("_")[0] for k in results if k.startswith("lf")})
+    if len(lfs) < 2:
+        print(f"FAIL: {sb_path}: needs >= 2 load factors, got {lfs}")
+        failures += 1
+    for lf in lfs:
+        for key in ["kv_bytes", "sketch_bytes", "kv_exact_rate",
+                    "sketch_mean_rel_err", "sketch_p99_rel_err",
+                    "sketch_mean_overestimate", "sketch_error_bound",
+                    "sketch_within_bound_rate", "sketch_topk_recall",
+                    "kv_updates_per_sec", "sketch_updates_per_sec"]:
+            val = results.get(f"{lf}_{key}")
+            if not isinstance(val, (int, float)):
+                print(f"FAIL: {sb_path}: missing '{lf}_{key}'")
+                failures += 1
+        if failures:
+            continue
+        if results[f"{lf}_sketch_bytes"] > results[f"{lf}_kv_bytes"]:
+            print(f"FAIL: {sb_path}: {lf}: sketch over byte budget")
+            failures += 1
+        for rate in ["kv_exact_rate", "sketch_within_bound_rate",
+                     "sketch_topk_recall"]:
+            val = results[f"{lf}_{rate}"]
+            if not 0.0 <= val <= 1.0:
+                print(f"FAIL: {sb_path}: {lf}_{rate} = {val!r} not a rate")
+                failures += 1
+        if results[f"{lf}_sketch_mean_rel_err"] < 0:
+            print(f"FAIL: {sb_path}: {lf}: count-min undershot the truth")
+            failures += 1
+    if failures == 0:
+        print(f"OK: {sb_path.name}: {len(lfs)} load factors, kv_exact="
+              + "/".join(f"{results[f'{lf}_kv_exact_rate']:.0%}"
+                         for lf in lfs))
 
 # Fault ablation: same envelope; per fault class a delivery/answered/degraded
 # triple. The recovery row must answer everything (degraded, not dropped).
