@@ -13,6 +13,14 @@ constexpr std::uint16_t kMagicPrimitiveRequest = 0x4470;   // "Dp"
 constexpr std::uint16_t kMagicPrimitiveResponse = 0x4472;  // "Dr"
 constexpr std::uint16_t kMagicSketchRequest = 0x4453;   // "DS"
 constexpr std::uint16_t kMagicSketchResponse = 0x4454;  // "DT"
+constexpr std::uint16_t kMagicSubscribeRequest = 0x4455;  // "DU"
+constexpr std::uint16_t kMagicSubscribeAck = 0x4456;      // "DV"
+constexpr std::uint16_t kMagicNotification = 0x4457;      // "DW"
+
+bool valid_standing_kind(std::uint8_t kind) {
+  return kind >= static_cast<std::uint8_t>(StandingKind::kKeyChange) &&
+         kind <= static_cast<std::uint8_t>(StandingKind::kTopKDelta);
+}
 
 bool valid_primitive_op(std::uint8_t op) {
   return op >= static_cast<std::uint8_t>(PrimitiveOp::kDrainRing) &&
@@ -376,6 +384,145 @@ bool is_sketch_request(std::span<const std::byte> payload) {
 
 bool is_sketch_response(std::span<const std::byte> payload) {
   return peek_magic(payload) == kMagicSketchResponse;
+}
+
+std::vector<std::byte> encode_subscribe_request(const SubscribeRequest& req) {
+  std::vector<std::byte> out;
+  out.reserve(41 + req.key.size());
+  BufWriter w(out);
+  w.be16(kMagicSubscribeRequest);
+  w.u8(kGatewayProtocolVersion);
+  w.u8(static_cast<std::uint8_t>(req.op));
+  w.be64(req.request_id);
+  w.be32(req.epoch);
+  w.u8(static_cast<std::uint8_t>(req.kind));
+  w.be32(req.collector);
+  w.be64(req.threshold);
+  w.be16(req.k);
+  w.be64(req.subscription_id);
+  w.be16(static_cast<std::uint16_t>(req.key.size()));
+  w.bytes(req.key);
+  return out;
+}
+
+std::optional<SubscribeRequest> parse_subscribe_request(
+    std::span<const std::byte> payload) {
+  BufReader r(payload);
+  if (r.be16() != kMagicSubscribeRequest) return std::nullopt;
+  if (r.u8() != kGatewayProtocolVersion) return std::nullopt;
+  SubscribeRequest req;
+  const std::uint8_t op = r.u8();
+  if (op != static_cast<std::uint8_t>(SubscribeOp::kSubscribe) &&
+      op != static_cast<std::uint8_t>(SubscribeOp::kUnsubscribe)) {
+    return std::nullopt;
+  }
+  req.op = static_cast<SubscribeOp>(op);
+  req.request_id = r.be64();
+  req.epoch = r.be32();
+  const std::uint8_t kind = r.u8();
+  if (!valid_standing_kind(kind)) return std::nullopt;
+  req.kind = static_cast<StandingKind>(kind);
+  req.collector = r.be32();
+  req.threshold = r.be64();
+  req.k = r.be16();
+  req.subscription_id = r.be64();
+  const std::uint16_t key_len = r.be16();
+  const auto key = r.view(key_len);
+  if (!r.ok() || key.size() != key_len) return std::nullopt;
+  req.key.assign(key.begin(), key.end());
+  return req;
+}
+
+std::vector<std::byte> encode_subscribe_ack(const SubscribeAck& ack) {
+  std::vector<std::byte> out;
+  out.reserve(27);
+  BufWriter w(out);
+  w.be16(kMagicSubscribeAck);
+  w.u8(kGatewayProtocolVersion);
+  w.u8(static_cast<std::uint8_t>(ack.op));
+  w.be64(ack.request_id);
+  w.be32(ack.epoch);
+  w.u8(ack.flags);
+  w.be16(ack.stale_epochs);
+  w.be64(ack.subscription_id);
+  return out;
+}
+
+std::optional<SubscribeAck> parse_subscribe_ack(
+    std::span<const std::byte> payload) {
+  BufReader r(payload);
+  if (r.be16() != kMagicSubscribeAck) return std::nullopt;
+  if (r.u8() != kGatewayProtocolVersion) return std::nullopt;
+  SubscribeAck ack;
+  const std::uint8_t op = r.u8();
+  if (op != static_cast<std::uint8_t>(SubscribeOp::kSubscribe) &&
+      op != static_cast<std::uint8_t>(SubscribeOp::kUnsubscribe)) {
+    return std::nullopt;
+  }
+  ack.op = static_cast<SubscribeOp>(op);
+  ack.request_id = r.be64();
+  ack.epoch = r.be32();
+  ack.flags = r.u8();
+  ack.stale_epochs = r.be16();
+  ack.subscription_id = r.be64();
+  if (!r.ok()) return std::nullopt;
+  return ack;
+}
+
+std::vector<std::byte> encode_notification(const StandingNotification& note) {
+  std::vector<std::byte> out;
+  out.reserve(41 + note.key.size() + note.aux.size());
+  BufWriter w(out);
+  w.be16(kMagicNotification);
+  w.u8(kGatewayProtocolVersion);
+  w.u8(static_cast<std::uint8_t>(note.kind));
+  w.be64(note.subscription_id);
+  w.be64(note.seq);
+  w.be64(note.gateway_epoch);
+  w.u8(note.flags);
+  w.be64(note.value);
+  w.be16(static_cast<std::uint16_t>(note.key.size()));
+  w.bytes(note.key);
+  w.be16(static_cast<std::uint16_t>(note.aux.size()));
+  w.bytes(note.aux);
+  return out;
+}
+
+std::optional<StandingNotification> parse_notification(
+    std::span<const std::byte> payload) {
+  BufReader r(payload);
+  if (r.be16() != kMagicNotification) return std::nullopt;
+  if (r.u8() != kGatewayProtocolVersion) return std::nullopt;
+  StandingNotification note;
+  const std::uint8_t kind = r.u8();
+  if (!valid_standing_kind(kind)) return std::nullopt;
+  note.kind = static_cast<StandingKind>(kind);
+  note.subscription_id = r.be64();
+  note.seq = r.be64();
+  note.gateway_epoch = r.be64();
+  note.flags = r.u8();
+  note.value = r.be64();
+  const std::uint16_t key_len = r.be16();
+  const auto key = r.view(key_len);
+  if (!r.ok() || key.size() != key_len) return std::nullopt;
+  note.key.assign(key.begin(), key.end());
+  const std::uint16_t aux_len = r.be16();
+  const auto aux = r.view(aux_len);
+  if (!r.ok() || aux.size() != aux_len) return std::nullopt;
+  note.aux.assign(aux.begin(), aux.end());
+  return note;
+}
+
+bool is_subscribe_request(std::span<const std::byte> payload) {
+  return peek_magic(payload) == kMagicSubscribeRequest;
+}
+
+bool is_subscribe_ack(std::span<const std::byte> payload) {
+  return peek_magic(payload) == kMagicSubscribeAck;
+}
+
+bool is_notification(std::span<const std::byte> payload) {
+  return peek_magic(payload) == kMagicNotification;
 }
 
 QueryResponse make_response(std::uint64_t request_id,

@@ -45,6 +45,13 @@ inline constexpr std::uint8_t kResponsePrimitiveUnavailable = 0x02;
 // The collector's storage backend is not a sketch — the sketch op was
 // understood but cannot be answered (body is zeroed).
 inline constexpr std::uint8_t kResponseSketchUnavailable = 0x04;
+// The query gateway exhausted its upstream retries for this request: the
+// body is zeroed, the answer is synthesized, and kResponseDegraded rides
+// along (a timed-out answer is by definition not trustworthy).
+inline constexpr std::uint8_t kResponseGatewayTimeout = 0x08;
+// A standing-query subscribe was understood but rejected (bad predicate
+// parameters, e.g. top-k with k == 0 or a keyed kind with an empty key).
+inline constexpr std::uint8_t kResponseSubscribeRejected = 0x10;
 
 struct QueryRequest {
   std::uint64_t request_id = 0;
@@ -240,5 +247,103 @@ struct SketchResponse {
 
 [[nodiscard]] bool is_sketch_request(std::span<const std::byte> payload);
 [[nodiscard]] bool is_sketch_response(std::span<const std::byte> payload);
+
+// --- Standing-query (gateway) ops (src/query/gateway.hpp) -------------------
+//
+// Sonata-style query-driven subscriptions: instead of polling, an operator
+// registers a predicate with the query gateway once; the gateway evaluates
+// all standing predicates against the collector pool on every epoch tick and
+// PUSHES a notification frame when one fires. Three frame types share
+// UDP/4800 with the other families via their own magics:
+//
+// Subscribe request  — gateway protocol v1:
+//   [magic 0x4455 "DU"][ver u8][op u8][request id u64][epoch u32]
+//   [kind u8][collector u32][threshold u64][k u16][subscription id u64]
+//   [key len u16][key bytes]
+//   op 1 = subscribe (subscription id must be 0; kind/params describe the
+//   predicate), op 2 = unsubscribe (subscription id names the registration;
+//   kind/params are ignored). kKeyChange and kCounterThreshold require a
+//   non-empty key (the collector is re-hashed per evaluation, so failover
+//   retargets are honored); kTopKDelta requires an empty key, k >= 1, and an
+//   explicit collector id (trackers are per-collector).
+// Subscribe ack      — gateway protocol v1:
+//   [magic 0x4456 "DV"][ver u8][op u8][request id u64][epoch u32]
+//   [flags u8][stale epochs u16][subscription id u64]
+//   flags carries kResponseSubscribeRejected when the predicate was refused
+//   (subscription id is then 0).
+// Notification push  — gateway protocol v1 (unsolicited; no request id):
+//   [magic 0x4457 "DW"][ver u8][kind u8][subscription id u64][seq u64]
+//   [gateway epoch u64][flags u8][value u64][key len u16][key bytes]
+//   [aux len u16][aux bytes]
+//   seq counts notifications per subscription (gap detection under UDP
+//   loss). Per kind: kKeyChange — key = watched key, value = 1 if found
+//   else 0, aux = the key's current value bytes; kCounterThreshold — key =
+//   watched key, value = the counter reading that crossed the threshold;
+//   kTopKDelta — key = the key that entered the top-k, value = its estimate.
+
+inline constexpr std::uint8_t kGatewayProtocolVersion = 1;
+
+enum class StandingKind : std::uint8_t {
+  kKeyChange = 1,         // KV value of a key changed (incl. first sighting)
+  kCounterThreshold = 2,  // Key-Increment counter crossed a threshold upward
+  kTopKDelta = 3,         // a key entered a sketch collector's top-k set
+};
+
+enum class SubscribeOp : std::uint8_t { kSubscribe = 1, kUnsubscribe = 2 };
+
+struct SubscribeRequest {
+  SubscribeOp op = SubscribeOp::kSubscribe;
+  std::uint64_t request_id = 0;
+  std::uint32_t epoch = 0;
+  StandingKind kind = StandingKind::kKeyChange;
+  std::uint32_t collector = 0;     // kTopKDelta only
+  std::uint64_t threshold = 0;     // kCounterThreshold only
+  std::uint16_t k = 0;             // kTopKDelta only; >= 1
+  std::uint64_t subscription_id = 0;  // kUnsubscribe only
+  std::vector<std::byte> key;      // keyed kinds only
+};
+
+struct SubscribeAck {
+  SubscribeOp op = SubscribeOp::kSubscribe;
+  std::uint64_t request_id = 0;
+  std::uint32_t epoch = 0;  // echoed from the request
+  std::uint8_t flags = 0;   // kResponseSubscribeRejected on refusal
+  std::uint16_t stale_epochs = 0;
+  std::uint64_t subscription_id = 0;  // 0 iff rejected
+
+  [[nodiscard]] bool rejected() const noexcept {
+    return (flags & kResponseSubscribeRejected) != 0;
+  }
+};
+
+struct StandingNotification {
+  StandingKind kind = StandingKind::kKeyChange;
+  std::uint64_t subscription_id = 0;
+  std::uint64_t seq = 0;            // per-subscription, starts at 1
+  std::uint64_t gateway_epoch = 0;  // epoch tick that fired the predicate
+  std::uint8_t flags = 0;           // kResponseDegraded if the read was
+  std::uint64_t value = 0;
+  std::vector<std::byte> key;
+  std::vector<std::byte> aux;  // kKeyChange: the key's current value bytes
+};
+
+[[nodiscard]] std::vector<std::byte> encode_subscribe_request(
+    const SubscribeRequest& req);
+[[nodiscard]] std::optional<SubscribeRequest> parse_subscribe_request(
+    std::span<const std::byte> payload);
+
+[[nodiscard]] std::vector<std::byte> encode_subscribe_ack(
+    const SubscribeAck& ack);
+[[nodiscard]] std::optional<SubscribeAck> parse_subscribe_ack(
+    std::span<const std::byte> payload);
+
+[[nodiscard]] std::vector<std::byte> encode_notification(
+    const StandingNotification& note);
+[[nodiscard]] std::optional<StandingNotification> parse_notification(
+    std::span<const std::byte> payload);
+
+[[nodiscard]] bool is_subscribe_request(std::span<const std::byte> payload);
+[[nodiscard]] bool is_subscribe_ack(std::span<const std::byte> payload);
+[[nodiscard]] bool is_notification(std::span<const std::byte> payload);
 
 }  // namespace dart::core

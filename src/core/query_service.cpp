@@ -1,7 +1,9 @@
 #include "core/query_service.hpp"
 
 #include <algorithm>
+#include <cstring>
 
+#include "common/bytes.hpp"
 #include "common/cycles.hpp"
 
 namespace dart::core {
@@ -280,15 +282,87 @@ std::uint32_t OperatorClient::route_of(std::span<const std::byte> key) const {
   return collector;
 }
 
+bool OperatorClient::send_to_ip(net::Ipv4Addr ip,
+                                std::span<const std::byte> payload) {
+  const auto dest = resolver_(ip);
+  if (!dest) return false;
+  auto frame = net::build_udp_frame(reply_spec(ip_, ip), payload);
+  sim_->send(self_, *dest, net::Packet(std::move(frame)));
+  return true;
+}
+
 bool OperatorClient::send_to_collector(std::uint32_t collector_id,
                                        std::vector<std::byte> payload) {
   if (collector_id >= service_ips_.size()) return false;
-  const net::Ipv4Addr service_ip = service_ips_[collector_id];
-  const auto dest = resolver_(service_ip);
-  if (!dest) return false;
-  auto frame = net::build_udp_frame(reply_spec(ip_, service_ip), payload);
-  sim_->send(self_, *dest, net::Packet(std::move(frame)));
-  return true;
+  return send_to_ip(service_ips_[collector_id], payload);
+}
+
+void OperatorClient::track(std::uint64_t wire_id, net::Ipv4Addr destination,
+                           std::vector<std::byte> payload) {
+  // Outstanding only if actually sent: an unreachable service can never
+  // answer, so its id must not inflate pending().
+  PendingRequest rec;
+  rec.destination = destination;
+  rec.payload = std::move(payload);
+  rec.newest_wire_id = wire_id;
+  rec.retries_left = max_retries_;
+  rec.wire_ids.push_back(wire_id);
+  wire_to_logical_[wire_id] = wire_id;
+  pending_req_.emplace(wire_id, std::move(rec));
+  ++sent_;
+  arm_deadline(wire_id, wire_id);
+}
+
+std::optional<std::uint64_t> OperatorClient::retire(std::uint64_t wire_id) {
+  const auto alias = wire_to_logical_.find(wire_id);
+  if (alias == wire_to_logical_.end()) return std::nullopt;
+  const std::uint64_t logical = alias->second;
+  const auto it = pending_req_.find(logical);
+  // Every alias of the retired request is forgotten together, so the late
+  // twin of a retried request can only ever count as unexpected.
+  for (const auto id : it->second.wire_ids) wire_to_logical_.erase(id);
+  pending_req_.erase(it);
+  ++received_;
+  return logical;
+}
+
+void OperatorClient::arm_deadline(std::uint64_t logical_id,
+                                  std::uint64_t wire_id) {
+  if (timeout_ns_ == 0 || sim_ == nullptr) return;
+  sim_->schedule(sim_->now_ns() + timeout_ns_, [this, logical_id, wire_id] {
+    on_deadline(logical_id, wire_id);
+  });
+}
+
+void OperatorClient::on_deadline(std::uint64_t logical_id,
+                                 std::uint64_t wire_id) {
+  const auto it = pending_req_.find(logical_id);
+  // Already answered, or a newer retry owns the deadline now.
+  if (it == pending_req_.end() || it->second.newest_wire_id != wire_id) return;
+  PendingRequest& rec = it->second;
+  if (rec.retries_left == 0) {
+    // Exhausted: fail the request so a lost response cannot park its id (and
+    // pending()) forever.
+    for (const auto id : rec.wire_ids) wire_to_logical_.erase(id);
+    timed_out_ids_.insert(logical_id);
+    pending_req_.erase(it);
+    ++timeouts_;
+    return;
+  }
+  --rec.retries_left;
+  ++retries_;
+  // Resend under a FRESH wire id — a service that already served the lost
+  // original must treat the retry as a new request, and the client must not
+  // confuse the two answers. Every request family carries its id big-endian
+  // at bytes [4, 12), so the stored encoding is patched in place.
+  const std::uint64_t fresh = next_id_++;
+  const std::uint64_t be = host_to_net64(fresh);
+  std::memcpy(rec.payload.data() + 4, &be, sizeof(be));
+  rec.newest_wire_id = fresh;
+  rec.wire_ids.push_back(fresh);
+  wire_to_logical_[fresh] = logical_id;
+  (void)send_to_ip(rec.destination, rec.payload);  // best effort; re-armed
+  arm_deadline(logical_id, fresh);
 }
 
 std::uint64_t OperatorClient::query(std::span<const std::byte> key,
@@ -299,11 +373,12 @@ std::uint64_t OperatorClient::query(std::span<const std::byte> key,
   request.policy = policy;
   request.key.assign(key.begin(), key.end());
 
-  if (send_to_collector(route_of(key), encode_query_request(request))) {
-    // Outstanding only if actually sent: an unreachable service can never
-    // answer, so its id must not inflate pending().
-    outstanding_.insert(request.request_id);
-    ++sent_;
+  const std::uint32_t collector = route_of(key);
+  if (collector < service_ips_.size()) {
+    auto payload = encode_query_request(request);
+    if (send_to_ip(service_ips_[collector], payload)) {
+      track(request.request_id, service_ips_[collector], std::move(payload));
+    }
   }
   return request.request_id;
 }
@@ -315,11 +390,10 @@ std::uint64_t OperatorClient::drain_ring(std::uint32_t collector_id,
   request.request_id = next_id_++;
   request.epoch = epoch_;
   request.max_entries = max_entries;
-  if (!send_to_collector(collector_id, encode_primitive_request(request))) {
-    return 0;
-  }
-  outstanding_.insert(request.request_id);
-  ++sent_;
+  if (collector_id >= service_ips_.size()) return 0;
+  auto payload = encode_primitive_request(request);
+  if (!send_to_ip(service_ips_[collector_id], payload)) return 0;
+  track(request.request_id, service_ips_[collector_id], std::move(payload));
   return request.request_id;
 }
 
@@ -329,11 +403,11 @@ std::uint64_t OperatorClient::read_counter(std::span<const std::byte> key) {
   request.request_id = next_id_++;
   request.epoch = epoch_;
   request.key.assign(key.begin(), key.end());
-  if (!send_to_collector(route_of(key), encode_primitive_request(request))) {
-    return 0;
-  }
-  outstanding_.insert(request.request_id);
-  ++sent_;
+  const std::uint32_t collector = route_of(key);
+  if (collector >= service_ips_.size()) return 0;
+  auto payload = encode_primitive_request(request);
+  if (!send_to_ip(service_ips_[collector], payload)) return 0;
+  track(request.request_id, service_ips_[collector], std::move(payload));
   return request.request_id;
 }
 
@@ -344,12 +418,11 @@ std::uint64_t OperatorClient::read_postcard_group(
   request.request_id = next_id_++;
   request.epoch = epoch_;
   request.key.assign(flow_key.begin(), flow_key.end());
-  if (!send_to_collector(route_of(flow_key),
-                         encode_primitive_request(request))) {
-    return 0;
-  }
-  outstanding_.insert(request.request_id);
-  ++sent_;
+  const std::uint32_t collector = route_of(flow_key);
+  if (collector >= service_ips_.size()) return 0;
+  auto payload = encode_primitive_request(request);
+  if (!send_to_ip(service_ips_[collector], payload)) return 0;
+  track(request.request_id, service_ips_[collector], std::move(payload));
   return request.request_id;
 }
 
@@ -359,11 +432,11 @@ std::uint64_t OperatorClient::sketch_estimate(std::span<const std::byte> key) {
   request.request_id = next_id_++;
   request.epoch = epoch_;
   request.key.assign(key.begin(), key.end());
-  if (!send_to_collector(route_of(key), encode_sketch_request(request))) {
-    return 0;
-  }
-  outstanding_.insert(request.request_id);
-  ++sent_;
+  const std::uint32_t collector = route_of(key);
+  if (collector >= service_ips_.size()) return 0;
+  auto payload = encode_sketch_request(request);
+  if (!send_to_ip(service_ips_[collector], payload)) return 0;
+  track(request.request_id, service_ips_[collector], std::move(payload));
   return request.request_id;
 }
 
@@ -374,11 +447,69 @@ std::uint64_t OperatorClient::sketch_topk(std::uint32_t collector_id,
   request.request_id = next_id_++;
   request.epoch = epoch_;
   request.k = k;
-  if (!send_to_collector(collector_id, encode_sketch_request(request))) {
-    return 0;
-  }
-  outstanding_.insert(request.request_id);
-  ++sent_;
+  if (collector_id >= service_ips_.size()) return 0;
+  auto payload = encode_sketch_request(request);
+  if (!send_to_ip(service_ips_[collector_id], payload)) return 0;
+  track(request.request_id, service_ips_[collector_id], std::move(payload));
+  return request.request_id;
+}
+
+std::uint64_t OperatorClient::subscribe_key_change(
+    net::Ipv4Addr gateway_ip, std::span<const std::byte> key) {
+  SubscribeRequest request;
+  request.op = SubscribeOp::kSubscribe;
+  request.kind = StandingKind::kKeyChange;
+  request.request_id = next_id_++;
+  request.epoch = epoch_;
+  request.key.assign(key.begin(), key.end());
+  auto payload = encode_subscribe_request(request);
+  if (!send_to_ip(gateway_ip, payload)) return 0;
+  track(request.request_id, gateway_ip, std::move(payload));
+  return request.request_id;
+}
+
+std::uint64_t OperatorClient::subscribe_counter_threshold(
+    net::Ipv4Addr gateway_ip, std::span<const std::byte> key,
+    std::uint64_t threshold) {
+  SubscribeRequest request;
+  request.op = SubscribeOp::kSubscribe;
+  request.kind = StandingKind::kCounterThreshold;
+  request.request_id = next_id_++;
+  request.epoch = epoch_;
+  request.threshold = threshold;
+  request.key.assign(key.begin(), key.end());
+  auto payload = encode_subscribe_request(request);
+  if (!send_to_ip(gateway_ip, payload)) return 0;
+  track(request.request_id, gateway_ip, std::move(payload));
+  return request.request_id;
+}
+
+std::uint64_t OperatorClient::subscribe_topk_delta(net::Ipv4Addr gateway_ip,
+                                                   std::uint32_t collector_id,
+                                                   std::uint16_t k) {
+  SubscribeRequest request;
+  request.op = SubscribeOp::kSubscribe;
+  request.kind = StandingKind::kTopKDelta;
+  request.request_id = next_id_++;
+  request.epoch = epoch_;
+  request.collector = collector_id;
+  request.k = k;
+  auto payload = encode_subscribe_request(request);
+  if (!send_to_ip(gateway_ip, payload)) return 0;
+  track(request.request_id, gateway_ip, std::move(payload));
+  return request.request_id;
+}
+
+std::uint64_t OperatorClient::unsubscribe(net::Ipv4Addr gateway_ip,
+                                          std::uint64_t subscription_id) {
+  SubscribeRequest request;
+  request.op = SubscribeOp::kUnsubscribe;
+  request.request_id = next_id_++;
+  request.epoch = epoch_;
+  request.subscription_id = subscription_id;
+  auto payload = encode_subscribe_request(request);
+  if (!send_to_ip(gateway_ip, payload)) return 0;
+  track(request.request_id, gateway_ip, std::move(payload));
   return request.request_id;
 }
 
@@ -392,46 +523,67 @@ void OperatorClient::receive(net::Packet packet, std::uint64_t /*now_ns*/) {
     return;
   }
   if (is_primitive_response(frame->payload)) {
-    const auto response = parse_primitive_response(frame->payload);
+    auto response = parse_primitive_response(frame->payload);
     if (!response) return;
-    const auto it = outstanding_.find(response->request_id);
-    if (it == outstanding_.end()) {
+    const auto logical = retire(response->request_id);
+    if (!logical) {
       ++unexpected_;
       return;
     }
-    outstanding_.erase(it);
-    ++received_;
     if (response->degraded()) ++degraded_;
-    primitive_responses_[response->request_id] = *response;
+    // Answers are filed under the LOGICAL id — the one the caller holds —
+    // even when a retry's fresh wire id carried them home.
+    response->request_id = *logical;
+    primitive_responses_[*logical] = *std::move(response);
     return;
   }
   if (is_sketch_response(frame->payload)) {
-    const auto response = parse_sketch_response(frame->payload);
+    auto response = parse_sketch_response(frame->payload);
     if (!response) return;
-    const auto it = outstanding_.find(response->request_id);
-    if (it == outstanding_.end()) {
+    const auto logical = retire(response->request_id);
+    if (!logical) {
       ++unexpected_;
       return;
     }
-    outstanding_.erase(it);
-    ++received_;
     if (response->degraded()) ++degraded_;
-    sketch_responses_[response->request_id] = *response;
+    response->request_id = *logical;
+    sketch_responses_[*logical] = *std::move(response);
     return;
   }
-  const auto response = parse_query_response(frame->payload);
+  if (is_subscribe_ack(frame->payload)) {
+    auto ack = parse_subscribe_ack(frame->payload);
+    if (!ack) return;
+    const auto logical = retire(ack->request_id);
+    if (!logical) {
+      ++unexpected_;
+      return;
+    }
+    ack->request_id = *logical;
+    subscribe_acks_[*logical] = *std::move(ack);
+    return;
+  }
+  if (is_notification(frame->payload)) {
+    // Unsolicited by design — this is the push half of a standing query, so
+    // there is no outstanding id to match. Address checks above still apply.
+    auto note = parse_notification(frame->payload);
+    if (!note) return;
+    ++notifications_received_;
+    notifications_.push_back(*std::move(note));
+    return;
+  }
+  auto response = parse_query_response(frame->payload);
   if (!response) return;
-  // First matching response retires the id; duplicates and replays (UDP can
-  // deliver both) are counted but change neither pending() nor responses_.
-  const auto it = outstanding_.find(response->request_id);
-  if (it == outstanding_.end()) {
+  // First matching response retires the request; duplicates and replays (UDP
+  // can deliver both) are counted but change neither pending() nor
+  // responses_.
+  const auto logical = retire(response->request_id);
+  if (!logical) {
     ++unexpected_;
     return;
   }
-  outstanding_.erase(it);
-  ++received_;
   if (response->degraded()) ++degraded_;
-  responses_[response->request_id] = *response;
+  response->request_id = *logical;
+  responses_[*logical] = *std::move(response);
 }
 
 std::optional<PrimitiveResponse> OperatorClient::take_primitive_response(
@@ -450,6 +602,21 @@ std::optional<SketchResponse> OperatorClient::take_sketch_response(
   SketchResponse resp = std::move(it->second);
   sketch_responses_.erase(it);
   return resp;
+}
+
+std::optional<SubscribeAck> OperatorClient::take_subscribe_ack(
+    std::uint64_t request_id) {
+  const auto it = subscribe_acks_.find(request_id);
+  if (it == subscribe_acks_.end()) return std::nullopt;
+  SubscribeAck ack = std::move(it->second);
+  subscribe_acks_.erase(it);
+  return ack;
+}
+
+std::vector<StandingNotification> OperatorClient::take_notifications() {
+  std::vector<StandingNotification> drained;
+  drained.swap(notifications_);
+  return drained;
 }
 
 std::optional<QueryResponse> OperatorClient::take_response(
@@ -477,6 +644,15 @@ void OperatorClient::bind_metrics(obs::MetricRegistry& registry,
   registry.counter_fn(prefix + "_operator_responses_degraded_total",
                       [this] { return degraded_; },
                       "accepted responses flagged degraded");
+  registry.counter_fn(prefix + "_operator_timeouts_total",
+                      [this] { return timeouts_; },
+                      "requests failed after exhausting retries");
+  registry.counter_fn(prefix + "_operator_retries_total",
+                      [this] { return retries_; },
+                      "deadline-driven resends under fresh wire ids");
+  registry.counter_fn(prefix + "_operator_notifications_total",
+                      [this] { return notifications_received_; },
+                      "standing-query notifications pushed to this client");
   registry.gauge_fn(prefix + "_operator_pending",
                     [this] { return static_cast<double>(pending()); },
                     "requests in flight");

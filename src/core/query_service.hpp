@@ -15,7 +15,12 @@
 // to this client AND matches an in-flight id, so duplicated or replayed
 // responses (UDP can deliver both) neither corrupt `pending()` nor
 // overwrite an already-recorded answer. Queries to distinct collectors can
-// be in flight simultaneously.
+// be in flight simultaneously, and with enable_timeouts() armed a lost
+// response no longer parks its id forever: the deadline fires, the request
+// is resent under a FRESH wire id (the stale id stays acceptable — whichever
+// copy answers first retires the request exactly once), and after
+// `max_retries` resends the request is failed with a timeout mark instead of
+// leaking into pending().
 //
 // Both nodes export their counters through obs::MetricRegistry via
 // bind_metrics(); the service additionally records a sampled query-resolve
@@ -254,6 +259,52 @@ class OperatorClient final : public net::Node {
   [[nodiscard]] std::optional<SketchResponse> take_sketch_response(
       std::uint64_t request_id);
 
+  // --- standing queries (query_protocol.hpp, gateway v1) --------------------
+  //
+  // Registration rides the same outstanding-id discipline (the ack retires
+  // the request); notifications are unsolicited pushes, recorded as they
+  // arrive and drained with take_notifications(). `gateway_ip` addresses the
+  // QueryGateway (src/query/gateway.hpp) — plain services ignore these
+  // frames. Returns 0 if the request could not be sent.
+
+  std::uint64_t subscribe_key_change(net::Ipv4Addr gateway_ip,
+                                     std::span<const std::byte> key);
+  std::uint64_t subscribe_counter_threshold(net::Ipv4Addr gateway_ip,
+                                            std::span<const std::byte> key,
+                                            std::uint64_t threshold);
+  std::uint64_t subscribe_topk_delta(net::Ipv4Addr gateway_ip,
+                                     std::uint32_t collector_id,
+                                     std::uint16_t k);
+  std::uint64_t unsubscribe(net::Ipv4Addr gateway_ip,
+                            std::uint64_t subscription_id);
+
+  [[nodiscard]] std::optional<SubscribeAck> take_subscribe_ack(
+      std::uint64_t request_id);
+  // Drains every notification received so far (arrival order).
+  [[nodiscard]] std::vector<StandingNotification> take_notifications();
+  [[nodiscard]] std::uint64_t notifications_received() const noexcept {
+    return notifications_received_;
+  }
+
+  // --- request deadlines (off by default) -----------------------------------
+  //
+  // Arms a per-request deadline: if no response arrived within `timeout_ns`
+  // of the send, the request is re-sent under a fresh wire id (up to
+  // `max_retries` times), then failed. A failed request leaves pending(),
+  // counts in timeouts(), and answers timed_out(id) == true; a duplicated
+  // late response — for the original id or any retry — retires the request
+  // at most once, with extras counted unexpected. Requires the client to be
+  // attached to a simulator (deadlines are sim-scheduled events).
+  void enable_timeouts(std::uint64_t timeout_ns, std::uint32_t max_retries) {
+    timeout_ns_ = timeout_ns;
+    max_retries_ = max_retries;
+  }
+  [[nodiscard]] std::uint64_t timeouts() const noexcept { return timeouts_; }
+  [[nodiscard]] std::uint64_t retries() const noexcept { return retries_; }
+  [[nodiscard]] bool timed_out(std::uint64_t request_id) const {
+    return timed_out_ids_.contains(request_id);
+  }
+
   // Registers this client's counters under `<prefix>_operator_*`.
   void bind_metrics(obs::MetricRegistry& registry, const std::string& prefix);
 
@@ -275,7 +326,7 @@ class OperatorClient final : public net::Node {
   [[nodiscard]] net::Ipv4Addr ip() const noexcept { return ip_; }
   // Requests sent and not yet answered (first matching response retires one).
   [[nodiscard]] std::size_t pending() const noexcept {
-    return outstanding_.size();
+    return pending_req_.size();
   }
   [[nodiscard]] std::uint64_t queries_sent() const noexcept { return sent_; }
   [[nodiscard]] std::uint64_t responses_received() const noexcept {
@@ -298,12 +349,33 @@ class OperatorClient final : public net::Node {
   }
 
  private:
+  // One logical request in flight. The caller holds the ORIGINAL wire id
+  // (what query() returned); retries alias additional wire ids onto the same
+  // record so any copy's response can retire it — exactly once.
+  struct PendingRequest {
+    net::Ipv4Addr destination{};       // service (or gateway) address
+    std::vector<std::byte> payload;    // latest encoding; wire id at [4, 12)
+    std::uint64_t newest_wire_id = 0;  // only the newest send may retry
+    std::uint32_t retries_left = 0;
+    std::vector<std::uint64_t> wire_ids;  // original + every retry
+  };
+
   // Sends an encoded request to collector `collector_id`'s service; returns
   // false if the id is unknown or its service IP does not resolve.
   bool send_to_collector(std::uint32_t collector_id,
                          std::vector<std::byte> payload);
+  [[nodiscard]] bool send_to_ip(net::Ipv4Addr ip,
+                                std::span<const std::byte> payload);
   // Retarget-aware service selection for a hashed key.
   [[nodiscard]] std::uint32_t route_of(std::span<const std::byte> key) const;
+  // Books a freshly-sent request as outstanding and arms its deadline.
+  void track(std::uint64_t wire_id, net::Ipv4Addr destination,
+             std::vector<std::byte> payload);
+  // First response for any wire id of a logical request retires it; returns
+  // the logical id, or nullopt for duplicates/replays/unknown ids.
+  [[nodiscard]] std::optional<std::uint64_t> retire(std::uint64_t wire_id);
+  void arm_deadline(std::uint64_t logical_id, std::uint64_t wire_id);
+  void on_deadline(std::uint64_t logical_id, std::uint64_t wire_id);
 
   const ReportCrafter* crafter_;
   net::Ipv4Addr ip_;
@@ -312,7 +384,13 @@ class OperatorClient final : public net::Node {
   std::unordered_map<std::uint64_t, QueryResponse> responses_;
   std::unordered_map<std::uint64_t, PrimitiveResponse> primitive_responses_;
   std::unordered_map<std::uint64_t, SketchResponse> sketch_responses_;
-  std::unordered_set<std::uint64_t> outstanding_;
+  std::unordered_map<std::uint64_t, SubscribeAck> subscribe_acks_;
+  std::vector<StandingNotification> notifications_;
+  // Logical id (the original wire id) → in-flight record, plus the alias map
+  // every arriving response resolves through.
+  std::unordered_map<std::uint64_t, PendingRequest> pending_req_;
+  std::unordered_map<std::uint64_t, std::uint64_t> wire_to_logical_;
+  std::unordered_set<std::uint64_t> timed_out_ids_;
   std::unordered_map<std::uint32_t, std::uint32_t> retargets_;
   std::uint32_t epoch_ = 0;
   std::uint64_t next_id_ = 1;
@@ -321,6 +399,11 @@ class OperatorClient final : public net::Node {
   std::uint64_t stray_ = 0;
   std::uint64_t unexpected_ = 0;
   std::uint64_t degraded_ = 0;
+  std::uint64_t notifications_received_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t timeout_ns_ = 0;  // 0 = deadlines disarmed
+  std::uint32_t max_retries_ = 0;
 };
 
 }  // namespace dart::core

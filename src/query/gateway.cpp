@@ -1,0 +1,994 @@
+#include "query/gateway.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "common/bytes.hpp"
+
+namespace dart::query {
+
+namespace {
+
+// Shared header layout of every request AND response family on UDP/4800
+// (query_protocol.hpp): the request id sits big-endian at [4, 12) and the
+// epoch at [12, 16); responses add flags at [16] and stale_epochs at
+// [17, 19). This is what lets the gateway re-stamp ids and staleness on raw
+// payload bytes without re-encoding.
+constexpr std::size_t kIdOffset = 4;
+constexpr std::size_t kEpochOffset = 12;
+constexpr std::size_t kFlagsOffset = 16;
+constexpr std::size_t kStaleOffset = 17;
+constexpr std::size_t kResponseHeaderBytes = 19;
+
+// Wire magics (documented in query_protocol.hpp; the parse/is_* helpers own
+// the authoritative values — these only route dispatch before parsing).
+constexpr std::uint16_t kMagicQueryRequest = 0x4451;
+constexpr std::uint16_t kMagicQueryResponse = 0x4452;
+constexpr std::uint16_t kMagicSketchRequest = 0x4453;
+constexpr std::uint16_t kMagicSketchResponse = 0x4454;
+constexpr std::uint16_t kMagicSubscribeRequest = 0x4455;
+constexpr std::uint16_t kMagicPrimitiveRequest = 0x4470;
+constexpr std::uint16_t kMagicPrimitiveResponse = 0x4472;
+
+[[nodiscard]] std::uint16_t read_magic(std::span<const std::byte> payload) {
+  if (payload.size() < 2) return 0;
+  return static_cast<std::uint16_t>(
+      (std::to_integer<std::uint16_t>(payload[0]) << 8) |
+      std::to_integer<std::uint16_t>(payload[1]));
+}
+
+[[nodiscard]] std::uint64_t read_request_id(std::span<const std::byte> payload) {
+  if (payload.size() < kIdOffset + 8) return 0;
+  std::uint64_t be = 0;
+  std::memcpy(&be, payload.data() + kIdOffset, sizeof(be));
+  return net_to_host64(be);
+}
+
+void patch_id_epoch(std::vector<std::byte>& payload, std::uint64_t id,
+                    std::uint32_t epoch) {
+  if (payload.size() < kEpochOffset + 4) return;
+  const std::uint64_t id_be = host_to_net64(id);
+  std::memcpy(payload.data() + kIdOffset, &id_be, sizeof(id_be));
+  const std::uint32_t epoch_be = host_to_net32(epoch);
+  std::memcpy(payload.data() + kEpochOffset, &epoch_be, sizeof(epoch_be));
+}
+
+// A cache hit `age` epochs old is exactly `age` epochs staler than the
+// upstream answer claimed; the degraded flag rides along so the operator's
+// existing staleness handling sees it.
+void add_staleness(std::vector<std::byte>& payload, std::uint64_t age) {
+  if (age == 0 || payload.size() < kResponseHeaderBytes) return;
+  payload[kFlagsOffset] |= std::byte{core::kResponseDegraded};
+  std::uint16_t be = 0;
+  std::memcpy(&be, payload.data() + kStaleOffset, sizeof(be));
+  const std::uint32_t sum = net_to_host16(be) + std::min<std::uint64_t>(age, 0xFFFF);
+  const std::uint16_t stale =
+      sum > 0xFFFF ? 0xFFFF : static_cast<std::uint16_t>(sum);
+  be = host_to_net16(stale);
+  std::memcpy(payload.data() + kStaleOffset, &be, sizeof(be));
+}
+
+net::UdpFrameSpec udp_spec(net::Ipv4Addr from, net::Ipv4Addr to) {
+  net::UdpFrameSpec spec;
+  spec.src_ip = from;
+  spec.dst_ip = to;
+  spec.src_port = core::kDartQueryUdpPort;
+  spec.dst_port = core::kDartQueryUdpPort;
+  return spec;
+}
+
+}  // namespace
+
+// --- GatewaySession ---------------------------------------------------------
+
+std::uint64_t GatewaySession::query(std::span<const std::byte> key,
+                                    core::ReturnPolicy policy) {
+  core::QueryRequest request;
+  request.request_id = next_id_++;
+  request.epoch = static_cast<std::uint32_t>(gateway_->gateway_epoch());
+  request.policy = policy;
+  request.key.assign(key.begin(), key.end());
+  return gateway_->session_submit(
+      *this, QueryGateway::Family::kKv, gateway_->route_key(key),
+      static_cast<std::uint8_t>(policy), 0, key,
+      core::encode_query_request(request), request.request_id,
+      /*cacheable=*/true);
+}
+
+std::uint64_t GatewaySession::drain_ring(std::uint32_t collector_id,
+                                         std::uint64_t max_entries) {
+  core::PrimitiveRequest request;
+  request.op = core::PrimitiveOp::kDrainRing;
+  request.request_id = next_id_++;
+  request.epoch = static_cast<std::uint32_t>(gateway_->gateway_epoch());
+  request.max_entries = max_entries;
+  // A drain is a consuming read: never cached, never coalesced — two
+  // operators draining the same ring must each get their own entries.
+  return gateway_->session_submit(
+      *this, QueryGateway::Family::kPrimitive,
+      gateway_->apply_retarget(collector_id),
+      static_cast<std::uint8_t>(request.op), 0, {},
+      core::encode_primitive_request(request), request.request_id,
+      /*cacheable=*/false);
+}
+
+std::uint64_t GatewaySession::read_counter(std::span<const std::byte> key) {
+  core::PrimitiveRequest request;
+  request.op = core::PrimitiveOp::kReadCounter;
+  request.request_id = next_id_++;
+  request.epoch = static_cast<std::uint32_t>(gateway_->gateway_epoch());
+  request.key.assign(key.begin(), key.end());
+  return gateway_->session_submit(
+      *this, QueryGateway::Family::kPrimitive, gateway_->route_key(key),
+      static_cast<std::uint8_t>(request.op), 0, key,
+      core::encode_primitive_request(request), request.request_id,
+      /*cacheable=*/true);
+}
+
+std::uint64_t GatewaySession::read_postcard_group(
+    std::span<const std::byte> flow_key) {
+  core::PrimitiveRequest request;
+  request.op = core::PrimitiveOp::kReadPostcardGroup;
+  request.request_id = next_id_++;
+  request.epoch = static_cast<std::uint32_t>(gateway_->gateway_epoch());
+  request.key.assign(flow_key.begin(), flow_key.end());
+  return gateway_->session_submit(
+      *this, QueryGateway::Family::kPrimitive, gateway_->route_key(flow_key),
+      static_cast<std::uint8_t>(request.op), 0, flow_key,
+      core::encode_primitive_request(request), request.request_id,
+      /*cacheable=*/true);
+}
+
+std::uint64_t GatewaySession::sketch_estimate(std::span<const std::byte> key) {
+  core::SketchRequest request;
+  request.op = core::SketchOp::kEstimate;
+  request.request_id = next_id_++;
+  request.epoch = static_cast<std::uint32_t>(gateway_->gateway_epoch());
+  request.key.assign(key.begin(), key.end());
+  return gateway_->session_submit(
+      *this, QueryGateway::Family::kSketch, gateway_->route_key(key),
+      static_cast<std::uint8_t>(request.op), 0, key,
+      core::encode_sketch_request(request), request.request_id,
+      /*cacheable=*/true);
+}
+
+std::uint64_t GatewaySession::sketch_topk(std::uint32_t collector_id,
+                                          std::uint16_t k) {
+  core::SketchRequest request;
+  request.op = core::SketchOp::kTopK;
+  request.request_id = next_id_++;
+  request.epoch = static_cast<std::uint32_t>(gateway_->gateway_epoch());
+  request.k = k;
+  return gateway_->session_submit(
+      *this, QueryGateway::Family::kSketch,
+      gateway_->apply_retarget(collector_id),
+      static_cast<std::uint8_t>(request.op), k, {},
+      core::encode_sketch_request(request), request.request_id,
+      /*cacheable=*/true);
+}
+
+std::uint64_t GatewaySession::subscribe_key_change(
+    std::span<const std::byte> key) {
+  core::SubscribeRequest request;
+  request.op = core::SubscribeOp::kSubscribe;
+  request.kind = core::StandingKind::kKeyChange;
+  request.request_id = next_id_++;
+  request.key.assign(key.begin(), key.end());
+  return gateway_->session_subscribe(*this, request);
+}
+
+std::uint64_t GatewaySession::subscribe_counter_threshold(
+    std::span<const std::byte> key, std::uint64_t threshold) {
+  core::SubscribeRequest request;
+  request.op = core::SubscribeOp::kSubscribe;
+  request.kind = core::StandingKind::kCounterThreshold;
+  request.request_id = next_id_++;
+  request.threshold = threshold;
+  request.key.assign(key.begin(), key.end());
+  return gateway_->session_subscribe(*this, request);
+}
+
+std::uint64_t GatewaySession::subscribe_topk_delta(std::uint32_t collector_id,
+                                                   std::uint16_t k) {
+  core::SubscribeRequest request;
+  request.op = core::SubscribeOp::kSubscribe;
+  request.kind = core::StandingKind::kTopKDelta;
+  request.request_id = next_id_++;
+  request.collector = collector_id;
+  request.k = k;
+  return gateway_->session_subscribe(*this, request);
+}
+
+std::uint64_t GatewaySession::unsubscribe(std::uint64_t subscription_id) {
+  core::SubscribeRequest request;
+  request.op = core::SubscribeOp::kUnsubscribe;
+  request.request_id = next_id_++;
+  request.subscription_id = subscription_id;
+  return gateway_->session_subscribe(*this, request);
+}
+
+void GatewaySession::deliver(std::uint8_t family,
+                             std::span<const std::byte> payload) {
+  switch (static_cast<QueryGateway::Family>(family)) {
+    case QueryGateway::Family::kKv: {
+      auto response = core::parse_query_response(payload);
+      if (!response) return;
+      if (response->degraded()) ++degraded_;
+      const std::uint64_t id = response->request_id;
+      responses_[id] = *std::move(response);
+      break;
+    }
+    case QueryGateway::Family::kPrimitive: {
+      auto response = core::parse_primitive_response(payload);
+      if (!response) return;
+      if (response->degraded()) ++degraded_;
+      const std::uint64_t id = response->request_id;
+      primitive_responses_[id] = *std::move(response);
+      break;
+    }
+    case QueryGateway::Family::kSketch: {
+      auto response = core::parse_sketch_response(payload);
+      if (!response) return;
+      if (response->degraded()) ++degraded_;
+      const std::uint64_t id = response->request_id;
+      sketch_responses_[id] = *std::move(response);
+      break;
+    }
+  }
+  if (pending_ > 0) --pending_;
+  ++answered_;
+}
+
+void GatewaySession::deliver_ack(const core::SubscribeAck& ack) {
+  subscribe_acks_[ack.request_id] = ack;
+}
+
+void GatewaySession::deliver_notification(core::StandingNotification note) {
+  ++notifications_received_;
+  notifications_.push_back(std::move(note));
+}
+
+std::optional<core::QueryResponse> GatewaySession::take_response(
+    std::uint64_t request_id) {
+  const auto it = responses_.find(request_id);
+  if (it == responses_.end()) return std::nullopt;
+  core::QueryResponse resp = std::move(it->second);
+  responses_.erase(it);
+  return resp;
+}
+
+std::optional<core::PrimitiveResponse> GatewaySession::take_primitive_response(
+    std::uint64_t request_id) {
+  const auto it = primitive_responses_.find(request_id);
+  if (it == primitive_responses_.end()) return std::nullopt;
+  core::PrimitiveResponse resp = std::move(it->second);
+  primitive_responses_.erase(it);
+  return resp;
+}
+
+std::optional<core::SketchResponse> GatewaySession::take_sketch_response(
+    std::uint64_t request_id) {
+  const auto it = sketch_responses_.find(request_id);
+  if (it == sketch_responses_.end()) return std::nullopt;
+  core::SketchResponse resp = std::move(it->second);
+  sketch_responses_.erase(it);
+  return resp;
+}
+
+std::optional<core::SubscribeAck> GatewaySession::take_subscribe_ack(
+    std::uint64_t request_id) {
+  const auto it = subscribe_acks_.find(request_id);
+  if (it == subscribe_acks_.end()) return std::nullopt;
+  core::SubscribeAck ack = it->second;
+  subscribe_acks_.erase(it);
+  return ack;
+}
+
+std::vector<core::StandingNotification> GatewaySession::take_notifications() {
+  std::vector<core::StandingNotification> drained;
+  drained.swap(notifications_);
+  return drained;
+}
+
+// --- QueryGateway -----------------------------------------------------------
+
+QueryGateway::QueryGateway(QueryGatewayConfig config,
+                           const core::ReportCrafter& crafter,
+                           core::IpResolver resolver)
+    : config_(std::move(config)),
+      crafter_(&crafter),
+      resolver_(std::move(resolver)),
+      cache_(config_.cache_capacity),
+      hist_kv_(0.0, config_.latency_hist_max_ns, config_.latency_hist_buckets),
+      hist_primitive_(0.0, config_.latency_hist_max_ns,
+                      config_.latency_hist_buckets),
+      hist_sketch_(0.0, config_.latency_hist_max_ns,
+                   config_.latency_hist_buckets) {
+  for (std::uint32_t c = 0; c < config_.virtual_ips.size(); ++c) {
+    vip_index_.emplace(config_.virtual_ips[c].value, c);
+  }
+}
+
+GatewaySession& QueryGateway::open_session() {
+  sessions_.push_back(
+      std::unique_ptr<GatewaySession>(new GatewaySession(this, sessions_.size())));
+  return *sessions_.back();
+}
+
+std::uint32_t QueryGateway::apply_retarget(std::uint32_t collector) const {
+  if (const auto it = retargets_.find(collector); it != retargets_.end()) {
+    return it->second;
+  }
+  return collector;
+}
+
+std::uint32_t QueryGateway::route_key(std::span<const std::byte> key) const {
+  return apply_retarget(crafter_->collector_of(
+      key, static_cast<std::uint32_t>(config_.service_ips.size())));
+}
+
+obs::Histogram& QueryGateway::hist_of(Family family) {
+  switch (family) {
+    case Family::kPrimitive: return hist_primitive_;
+    case Family::kSketch: return hist_sketch_;
+    case Family::kKv: break;
+  }
+  return hist_kv_;
+}
+
+void QueryGateway::record_latency(Family family, double ns) {
+  hist_of(family).record(ns);
+  obs::Histogram* mirror = family == Family::kKv          ? reg_hist_kv_
+                           : family == Family::kPrimitive ? reg_hist_primitive_
+                                                          : reg_hist_sketch_;
+  if (mirror != nullptr) mirror->record(ns);
+}
+
+std::uint64_t QueryGateway::session_submit(GatewaySession& session,
+                                           Family family,
+                                           std::uint32_t collector,
+                                           std::uint8_t op, std::uint16_t k,
+                                           std::span<const std::byte> key,
+                                           std::vector<std::byte> payload,
+                                           std::uint64_t downstream_id,
+                                           bool cacheable) {
+  Origin origin;
+  origin.kind = Origin::Kind::kSession;
+  origin.session = session.index();
+  origin.downstream_id = downstream_id;
+  origin.epoch = static_cast<std::uint32_t>(epoch_);
+  ++session.issued_;
+  ++session.pending_;
+  if (submit(family, collector, op, k, key, std::move(payload), origin,
+             cacheable) == 0) {
+    --session.issued_;
+    --session.pending_;
+    return 0;
+  }
+  return downstream_id;
+}
+
+std::uint64_t QueryGateway::session_subscribe(
+    GatewaySession& session, const core::SubscribeRequest& request) {
+  Origin subscriber;
+  subscriber.kind = Origin::Kind::kSession;
+  subscriber.session = session.index();
+  core::SubscribeAck ack = do_subscribe(request, subscriber);
+  session.deliver_ack(ack);
+  return request.request_id;
+}
+
+core::SubscribeAck QueryGateway::do_subscribe(
+    const core::SubscribeRequest& request, Origin subscriber) {
+  core::SubscribeAck ack;
+  ack.op = request.op;
+  ack.request_id = request.request_id;
+  ack.epoch = request.epoch;
+  if (request.op == core::SubscribeOp::kUnsubscribe) {
+    if (standing_.erase(request.subscription_id) > 0) {
+      ack.subscription_id = request.subscription_id;
+    } else {
+      ack.flags |= core::kResponseSubscribeRejected;
+      ++subscribes_rejected_;
+    }
+    return ack;
+  }
+  const auto sub_id = register_standing(request, subscriber);
+  if (sub_id) {
+    ack.subscription_id = *sub_id;
+    ++subscribes_accepted_;
+  } else {
+    ack.flags |= core::kResponseSubscribeRejected;
+    ++subscribes_rejected_;
+  }
+  return ack;
+}
+
+std::optional<std::uint64_t> QueryGateway::register_standing(
+    const core::SubscribeRequest& request, Origin subscriber) {
+  Standing st;
+  st.kind = request.kind;
+  st.subscriber = subscriber;
+  st.key = request.key;
+  st.threshold = request.threshold;
+  st.k = request.k;
+  st.collector = request.collector;
+  switch (request.kind) {
+    case core::StandingKind::kKeyChange:
+    case core::StandingKind::kCounterThreshold:
+      if (request.key.empty()) return std::nullopt;
+      break;
+    case core::StandingKind::kTopKDelta:
+      if (!request.key.empty() || request.k == 0 ||
+          request.collector >= config_.service_ips.size()) {
+        return std::nullopt;
+      }
+      break;
+    default:
+      return std::nullopt;
+  }
+  const std::uint64_t sub_id = next_sub_id_++;
+  standing_.emplace(sub_id, std::move(st));
+  return sub_id;
+}
+
+std::uint64_t QueryGateway::submit(Family family, std::uint32_t collector,
+                                   std::uint8_t op, std::uint16_t k,
+                                   std::span<const std::byte> key,
+                                   std::vector<std::byte> payload,
+                                   Origin origin, bool cacheable) {
+  ++requests_;
+  if (collector >= config_.service_ips.size()) {
+    ++unroutable_;
+    return 0;
+  }
+  CacheKey ck;
+  ck.collector = collector;
+  ck.family = static_cast<std::uint8_t>(family);
+  ck.op = op;
+  ck.k = k;
+  ck.key.assign(key.begin(), key.end());
+
+  if (cacheable) {
+    if (auto hit = cache_.get(ck, epoch_, config_.cache_max_age_epochs)) {
+      // Served locally: zero collector CPU, ~zero latency. Recording the hit
+      // as 0 ns keeps the SLO histograms honest about what operators see.
+      record_latency(family, 0.0);
+      deliver(origin, family, hit->payload, hit->age_epochs);
+      return origin.downstream_id != 0 ? origin.downstream_id : 1;
+    }
+    if (const auto it = coalesce_.find(ck); it != coalesce_.end()) {
+      upstream_[it->second].waiters.push_back(origin);
+      ++coalesced_;
+      return origin.downstream_id != 0 ? origin.downstream_id : 1;
+    }
+  }
+
+  PendingUpstream rec;
+  rec.collector = collector;
+  rec.family = family;
+  rec.op = op;
+  rec.payload = std::move(payload);
+  rec.retries_left = config_.max_retries;
+  rec.waiters.push_back(origin);
+  rec.first_enqueued_ns = sim_ != nullptr ? sim_->now_ns() : 0;
+  rec.cacheable = cacheable;
+  rec.cache_key = ck;
+
+  const std::uint64_t logical = next_upstream_id_++;
+  rec.newest_wire_id = logical;
+  rec.wire_ids.push_back(logical);
+  patch_id_epoch(rec.payload, logical, static_cast<std::uint32_t>(epoch_));
+  upstream_alias_[logical] = logical;
+  const auto [it, inserted] = upstream_.emplace(logical, std::move(rec));
+  if (cacheable) coalesce_.emplace(std::move(ck), logical);
+  inflight_highwater_ = std::max(inflight_highwater_, upstream_.size());
+  send_upstream(it->second);
+  arm_deadline(logical, logical);
+  return origin.downstream_id != 0 ? origin.downstream_id : 1;
+}
+
+void QueryGateway::send_upstream(PendingUpstream& rec) {
+  // Counts every upstream frame, retries included — the saturation signal
+  // operators alert on (upstream_sent - upstream_retries = logical reads).
+  ++upstream_sent_;
+  if (sim_ == nullptr) return;
+  const net::Ipv4Addr service = config_.service_ips[rec.collector];
+  const auto dest = resolver_(service);
+  if (!dest) return;  // dead service: the deadline machinery takes over
+  auto frame =
+      net::build_udp_frame(udp_spec(config_.gateway_ip, service), rec.payload);
+  sim_->send(self_, *dest, net::Packet(std::move(frame)));
+}
+
+void QueryGateway::arm_deadline(std::uint64_t logical_id,
+                                std::uint64_t wire_id) {
+  if (config_.request_timeout_ns == 0 || sim_ == nullptr) return;
+  sim_->schedule(sim_->now_ns() + config_.request_timeout_ns,
+                 [this, logical_id, wire_id] { on_deadline(logical_id, wire_id); });
+}
+
+void QueryGateway::on_deadline(std::uint64_t logical_id,
+                               std::uint64_t wire_id) {
+  const auto it = upstream_.find(logical_id);
+  if (it == upstream_.end() || it->second.newest_wire_id != wire_id) return;
+  PendingUpstream& rec = it->second;
+  if (rec.retries_left > 0) {
+    --rec.retries_left;
+    ++upstream_retries_;
+    const std::uint64_t fresh = next_upstream_id_++;
+    const std::uint64_t be = host_to_net64(fresh);
+    std::memcpy(rec.payload.data() + kIdOffset, &be, sizeof(be));
+    rec.newest_wire_id = fresh;
+    rec.wire_ids.push_back(fresh);
+    upstream_alias_[fresh] = logical_id;
+    send_upstream(rec);
+    arm_deadline(logical_id, fresh);
+    return;
+  }
+  // Retries exhausted: every waiter gets a synthesized answer flagged
+  // degraded + gateway-timeout, so downstream requests never park forever.
+  // Standing reads are simply skipped — the predicate re-evaluates next tick.
+  PendingUpstream dead = std::move(rec);
+  for (const auto id : dead.wire_ids) upstream_alias_.erase(id);
+  if (dead.cacheable) coalesce_.erase(dead.cache_key);
+  upstream_.erase(it);
+  ++upstream_timeouts_;
+  const double waited_ns =
+      sim_ != nullptr
+          ? static_cast<double>(sim_->now_ns() - dead.first_enqueued_ns)
+          : 0.0;
+  record_latency(dead.family, waited_ns);
+  const auto payload = synthesize_timeout(dead);
+  for (const Origin& origin : dead.waiters) {
+    if (origin.kind == Origin::Kind::kStanding) continue;
+    deliver(origin, dead.family, payload, 0);
+  }
+}
+
+std::vector<std::byte> QueryGateway::synthesize_timeout(
+    const PendingUpstream& rec) const {
+  const std::uint8_t flags =
+      core::kResponseDegraded | core::kResponseGatewayTimeout;
+  switch (rec.family) {
+    case Family::kPrimitive: {
+      core::PrimitiveResponse resp;
+      resp.op = static_cast<core::PrimitiveOp>(rec.op);
+      resp.flags = flags;
+      return core::encode_primitive_response(resp);
+    }
+    case Family::kSketch: {
+      core::SketchResponse resp;
+      resp.op = static_cast<core::SketchOp>(rec.op);
+      resp.flags = flags;
+      return core::encode_sketch_response(resp);
+    }
+    case Family::kKv: break;
+  }
+  core::QueryResponse resp;
+  resp.flags = flags;
+  return core::encode_query_response(resp);
+}
+
+void QueryGateway::receive(net::Packet packet, std::uint64_t now_ns) {
+  const auto frame = net::parse_udp_frame(packet.bytes());
+  if (!frame) {
+    ++malformed_;
+    return;
+  }
+  if (frame->udp.dst_port != core::kDartQueryUdpPort) {
+    ++not_for_me_;
+    return;
+  }
+  const bool to_gateway = frame->ip.dst == config_.gateway_ip;
+  const auto vip = vip_index_.find(frame->ip.dst.value);
+  if (!to_gateway && vip == vip_index_.end()) {
+    ++not_for_me_;
+    return;
+  }
+  switch (read_magic(frame->payload)) {
+    case kMagicQueryRequest:
+    case kMagicPrimitiveRequest:
+    case kMagicSketchRequest:
+      handle_wire_request(*frame, to_gateway ? 0 : vip->second, !to_gateway);
+      return;
+    case kMagicSubscribeRequest:
+      handle_subscribe(*frame);
+      return;
+    case kMagicQueryResponse:
+      handle_upstream_response(Family::kKv, frame->payload, now_ns);
+      return;
+    case kMagicPrimitiveResponse:
+      handle_upstream_response(Family::kPrimitive, frame->payload, now_ns);
+      return;
+    case kMagicSketchResponse:
+      handle_upstream_response(Family::kSketch, frame->payload, now_ns);
+      return;
+    default:
+      ++malformed_;
+      return;
+  }
+}
+
+void QueryGateway::handle_wire_request(const net::ParsedUdpFrame& frame,
+                                       std::uint32_t collector_hint,
+                                       bool hinted) {
+  Origin origin;
+  origin.kind = Origin::Kind::kWire;
+  origin.client_ip = frame.ip.src;
+  origin.reply_from = frame.ip.dst;
+
+  Family family;
+  std::uint32_t collector = 0;
+  std::uint8_t op = 0;
+  std::uint16_t k = 0;
+  std::span<const std::byte> key;
+  // The parsed request is only needed for routing + cache identity; the
+  // FORWARDED payload is the client's own bytes with the id re-stamped.
+  core::QueryRequest kv;
+  core::PrimitiveRequest prim;
+  core::SketchRequest sk;
+
+  switch (read_magic(frame.payload)) {
+    case kMagicQueryRequest: {
+      auto parsed = core::parse_query_request(frame.payload);
+      if (!parsed) {
+        ++malformed_;
+        return;
+      }
+      kv = *std::move(parsed);
+      family = Family::kKv;
+      op = static_cast<std::uint8_t>(kv.policy);
+      key = kv.key;
+      origin.downstream_id = kv.request_id;
+      origin.epoch = kv.epoch;
+      collector = hinted ? apply_retarget(collector_hint) : route_key(kv.key);
+      break;
+    }
+    case kMagicPrimitiveRequest: {
+      auto parsed = core::parse_primitive_request(frame.payload);
+      if (!parsed) {
+        ++malformed_;
+        return;
+      }
+      prim = *std::move(parsed);
+      family = Family::kPrimitive;
+      op = static_cast<std::uint8_t>(prim.op);
+      key = prim.key;
+      origin.downstream_id = prim.request_id;
+      origin.epoch = prim.epoch;
+      if (hinted) {
+        collector = apply_retarget(collector_hint);
+      } else if (prim.op != core::PrimitiveOp::kDrainRing) {
+        collector = route_key(prim.key);
+      } else {
+        // A drain names its collector by ADDRESS (the virtual IP); at the
+        // gateway's own IP there is nothing to route it by.
+        ++unroutable_;
+        return;
+      }
+      break;
+    }
+    default: {  // kMagicSketchRequest — receive() only routes these three
+      auto parsed = core::parse_sketch_request(frame.payload);
+      if (!parsed) {
+        ++malformed_;
+        return;
+      }
+      sk = *std::move(parsed);
+      family = Family::kSketch;
+      op = static_cast<std::uint8_t>(sk.op);
+      k = sk.k;
+      key = sk.key;
+      origin.downstream_id = sk.request_id;
+      origin.epoch = sk.epoch;
+      if (hinted) {
+        collector = apply_retarget(collector_hint);
+      } else if (sk.op == core::SketchOp::kEstimate) {
+        collector = route_key(sk.key);
+      } else {
+        ++unroutable_;
+        return;
+      }
+      break;
+    }
+  }
+
+  const bool cacheable =
+      !(family == Family::kPrimitive &&
+        op == static_cast<std::uint8_t>(core::PrimitiveOp::kDrainRing));
+  std::vector<std::byte> payload(frame.payload.begin(), frame.payload.end());
+  (void)submit(family, collector, op, k, key, std::move(payload), origin,
+               cacheable);
+}
+
+void QueryGateway::handle_subscribe(const net::ParsedUdpFrame& frame) {
+  auto request = core::parse_subscribe_request(frame.payload);
+  if (!request) {
+    ++malformed_;
+    return;
+  }
+  Origin subscriber;
+  subscriber.kind = Origin::Kind::kWire;
+  subscriber.client_ip = frame.ip.src;
+  subscriber.reply_from = frame.ip.dst;
+  const core::SubscribeAck ack = do_subscribe(*request, subscriber);
+  if (sim_ == nullptr) return;
+  const auto dest = resolver_(frame.ip.src);
+  if (!dest) return;
+  auto reply = net::build_udp_frame(udp_spec(frame.ip.dst, frame.ip.src),
+                                    core::encode_subscribe_ack(ack));
+  sim_->send(self_, *dest, net::Packet(std::move(reply)));
+}
+
+void QueryGateway::handle_upstream_response(Family family,
+                                            std::span<const std::byte> payload,
+                                            std::uint64_t now_ns) {
+  const std::uint64_t wire_id = read_request_id(payload);
+  const auto alias = upstream_alias_.find(wire_id);
+  if (alias == upstream_alias_.end()) {
+    // Duplicate, replay, or an answer that outlived its timeout synthesis.
+    ++upstream_unexpected_;
+    return;
+  }
+  const std::uint64_t logical = alias->second;
+  const auto it = upstream_.find(logical);
+  if (it == upstream_.end() || it->second.family != family) {
+    ++upstream_unexpected_;
+    return;
+  }
+  PendingUpstream rec = std::move(it->second);
+  for (const auto id : rec.wire_ids) upstream_alias_.erase(id);
+  if (rec.cacheable) coalesce_.erase(rec.cache_key);
+  upstream_.erase(it);
+
+  record_latency(family,
+                 static_cast<double>(now_ns - rec.first_enqueued_ns));
+  // Only clean answers are worth replaying: degraded / unavailable /
+  // timed-out responses must be re-asked, not amplified by the cache.
+  if (rec.cacheable && payload.size() >= kResponseHeaderBytes &&
+      payload[kFlagsOffset] == std::byte{0}) {
+    cache_.put(rec.cache_key,
+               std::vector<std::byte>(payload.begin(), payload.end()), epoch_);
+  }
+  for (const Origin& origin : rec.waiters) {
+    deliver(origin, family, payload, 0);
+  }
+}
+
+void QueryGateway::deliver(const Origin& origin, Family family,
+                           std::span<const std::byte> payload,
+                           std::uint64_t age_epochs) {
+  if (origin.kind == Origin::Kind::kStanding) {
+    evaluate_standing(origin.sub_id, family, payload);
+    return;
+  }
+  std::vector<std::byte> copy(payload.begin(), payload.end());
+  patch_id_epoch(copy, origin.downstream_id, origin.epoch);
+  add_staleness(copy, age_epochs);
+  if (origin.kind == Origin::Kind::kSession) {
+    if (origin.session < sessions_.size()) {
+      sessions_[origin.session]->deliver(static_cast<std::uint8_t>(family),
+                                         copy);
+    }
+    return;
+  }
+  if (sim_ == nullptr) return;
+  const auto dest = resolver_(origin.client_ip);
+  if (!dest) return;  // requester unreachable — drop, like real UDP
+  auto reply =
+      net::build_udp_frame(udp_spec(origin.reply_from, origin.client_ip), copy);
+  sim_->send(self_, *dest, net::Packet(std::move(reply)));
+}
+
+void QueryGateway::on_epoch(std::uint64_t epoch) {
+  epoch_ = epoch;
+  // Evaluate every standing predicate through the SAME submit pipeline
+  // operators use: standing reads coalesce with operator reads and with each
+  // other, so a thousand subscriptions on one hot key cost one upstream read.
+  for (auto& [sub_id, st] : standing_) {
+    Origin origin;
+    origin.kind = Origin::Kind::kStanding;
+    origin.sub_id = sub_id;
+    switch (st.kind) {
+      case core::StandingKind::kKeyChange: {
+        core::QueryRequest req;
+        req.epoch = static_cast<std::uint32_t>(epoch_);
+        req.key = st.key;
+        (void)submit(Family::kKv, route_key(st.key),
+                     static_cast<std::uint8_t>(req.policy), 0, st.key,
+                     core::encode_query_request(req), origin,
+                     /*cacheable=*/true);
+        break;
+      }
+      case core::StandingKind::kCounterThreshold: {
+        core::PrimitiveRequest req;
+        req.op = core::PrimitiveOp::kReadCounter;
+        req.epoch = static_cast<std::uint32_t>(epoch_);
+        req.key = st.key;
+        (void)submit(Family::kPrimitive, route_key(st.key),
+                     static_cast<std::uint8_t>(req.op), 0, st.key,
+                     core::encode_primitive_request(req), origin,
+                     /*cacheable=*/true);
+        break;
+      }
+      case core::StandingKind::kTopKDelta: {
+        core::SketchRequest req;
+        req.op = core::SketchOp::kTopK;
+        req.epoch = static_cast<std::uint32_t>(epoch_);
+        req.k = st.k;
+        (void)submit(Family::kSketch, apply_retarget(st.collector),
+                     static_cast<std::uint8_t>(req.op), st.k, {},
+                     core::encode_sketch_request(req), origin,
+                     /*cacheable=*/true);
+        break;
+      }
+    }
+  }
+}
+
+void QueryGateway::evaluate_standing(std::uint64_t sub_id, Family family,
+                                     std::span<const std::byte> payload) {
+  const auto it = standing_.find(sub_id);
+  if (it == standing_.end()) return;  // unsubscribed while the read flew
+  Standing& st = it->second;
+  switch (st.kind) {
+    case core::StandingKind::kKeyChange: {
+      if (family != Family::kKv) return;
+      const auto resp = core::parse_query_response(payload);
+      if (!resp) return;
+      const bool changed = !st.has_last || resp->outcome != st.last_outcome ||
+                           resp->value != st.last_value;
+      if (changed) {
+        core::StandingNotification note;
+        note.kind = st.kind;
+        note.value = resp->outcome == core::QueryOutcome::kFound ? 1 : 0;
+        note.key = st.key;
+        note.aux = resp->value;
+        note.flags = resp->flags & core::kResponseDegraded;
+        push_notification(sub_id, st, std::move(note));
+      }
+      st.has_last = true;
+      st.last_outcome = resp->outcome;
+      st.last_value = resp->value;
+      return;
+    }
+    case core::StandingKind::kCounterThreshold: {
+      if (family != Family::kPrimitive) return;
+      const auto resp = core::parse_primitive_response(payload);
+      if (!resp || resp->op != core::PrimitiveOp::kReadCounter) return;
+      if (resp->counter_value >= st.threshold) {
+        if (st.armed) {
+          st.armed = false;
+          core::StandingNotification note;
+          note.kind = st.kind;
+          note.value = resp->counter_value;
+          note.key = st.key;
+          note.flags = resp->flags & core::kResponseDegraded;
+          push_notification(sub_id, st, std::move(note));
+        }
+      } else {
+        st.armed = true;  // dropped below: re-arm for the next crossing
+      }
+      return;
+    }
+    case core::StandingKind::kTopKDelta: {
+      if (family != Family::kSketch) return;
+      const auto resp = core::parse_sketch_response(payload);
+      if (!resp || resp->op != core::SketchOp::kTopK) return;
+      std::set<std::vector<std::byte>> members;
+      for (const core::HeavyHitterWire& hh : resp->hitters) {
+        members.insert(hh.key);
+        if (!st.members.contains(hh.key)) {
+          core::StandingNotification note;
+          note.kind = st.kind;
+          note.value = hh.count;
+          note.key = hh.key;
+          note.flags = resp->flags & core::kResponseDegraded;
+          push_notification(sub_id, st, std::move(note));
+        }
+      }
+      st.members = std::move(members);
+      return;
+    }
+  }
+}
+
+void QueryGateway::push_notification(std::uint64_t sub_id, Standing& st,
+                                     core::StandingNotification note) {
+  note.subscription_id = sub_id;
+  note.seq = ++st.seq;
+  note.gateway_epoch = epoch_;
+  ++notifications_sent_;
+  const Origin& to = st.subscriber;
+  if (to.kind == Origin::Kind::kSession) {
+    if (to.session < sessions_.size()) {
+      sessions_[to.session]->deliver_notification(std::move(note));
+    }
+    return;
+  }
+  if (sim_ == nullptr) return;
+  const auto dest = resolver_(to.client_ip);
+  if (!dest) return;
+  auto frame = net::build_udp_frame(udp_spec(to.reply_from, to.client_ip),
+                                    core::encode_notification(note));
+  sim_->send(self_, *dest, net::Packet(std::move(frame)));
+}
+
+void QueryGateway::bind_metrics(obs::MetricRegistry& registry,
+                                const std::string& prefix) {
+  registry.counter_fn(prefix + "_gateway_requests_total",
+                      [this] { return requests_; },
+                      "downstream requests accepted (wire + session)");
+  registry.counter_fn(prefix + "_gateway_cache_hits_total",
+                      [this] { return cache_.hits(); },
+                      "reads served from the result cache");
+  registry.counter_fn(prefix + "_gateway_cache_misses_total",
+                      [this] { return cache_.misses(); },
+                      "cacheable reads that went upstream");
+  registry.counter_fn(prefix + "_gateway_cache_inserts_total",
+                      [this] { return cache_.inserts(); },
+                      "clean upstream answers cached");
+  registry.counter_fn(prefix + "_gateway_cache_evictions_total",
+                      [this] { return cache_.evictions(); },
+                      "entries dropped by LRU capacity or epoch expiry");
+  registry.counter_fn(prefix + "_gateway_coalesced_total",
+                      [this] { return coalesced_; },
+                      "requests coalesced onto an in-flight upstream read");
+  registry.counter_fn(prefix + "_gateway_upstream_sent_total",
+                      [this] { return upstream_sent_; },
+                      "upstream reads issued to collector services");
+  registry.counter_fn(prefix + "_gateway_upstream_retries_total",
+                      [this] { return upstream_retries_; },
+                      "upstream resends under fresh wire ids");
+  registry.counter_fn(prefix + "_gateway_upstream_timeouts_total",
+                      [this] { return upstream_timeouts_; },
+                      "upstream reads failed after exhausting retries");
+  registry.counter_fn(prefix + "_gateway_upstream_unexpected_total",
+                      [this] { return upstream_unexpected_; },
+                      "duplicate/replayed/unknown upstream responses");
+  registry.counter_fn(prefix + "_gateway_notifications_total",
+                      [this] { return notifications_sent_; },
+                      "standing-query notifications pushed");
+  registry.counter_fn(prefix + "_gateway_subscribes_total",
+                      [this] { return subscribes_accepted_; },
+                      "standing-query registrations accepted");
+  registry.counter_fn(prefix + "_gateway_subscribes_rejected_total",
+                      [this] { return subscribes_rejected_; },
+                      "subscribe requests refused (bad predicate)");
+  registry.counter_fn(prefix + "_gateway_malformed_total",
+                      [this] { return malformed_; },
+                      "unparsable frames or unknown magics");
+  registry.counter_fn(prefix + "_gateway_not_for_me_total",
+                      [this] { return not_for_me_; },
+                      "well-formed frames addressed to another node");
+  registry.counter_fn(prefix + "_gateway_unroutable_total",
+                      [this] { return unroutable_; },
+                      "requests with no routable collector");
+  registry.gauge_fn(prefix + "_gateway_sessions",
+                    [this] { return static_cast<double>(sessions_.size()); },
+                    "open in-process operator sessions");
+  registry.gauge_fn(prefix + "_gateway_inflight",
+                    [this] { return static_cast<double>(upstream_.size()); },
+                    "upstream reads currently in flight");
+  registry.gauge_fn(prefix + "_gateway_inflight_highwater",
+                    [this] { return static_cast<double>(inflight_highwater_); },
+                    "high-water mark of in-flight upstream reads");
+  registry.gauge_fn(prefix + "_gateway_standing",
+                    [this] { return static_cast<double>(standing_.size()); },
+                    "registered standing queries");
+  reg_hist_kv_ = &registry.histogram(
+      prefix + "_gateway_latency_kv_ns", 0.0, config_.latency_hist_max_ns,
+      config_.latency_hist_buckets, "KV query latency through the gateway (ns)");
+  reg_hist_primitive_ = &registry.histogram(
+      prefix + "_gateway_latency_primitive_ns", 0.0,
+      config_.latency_hist_max_ns, config_.latency_hist_buckets,
+      "primitive query latency through the gateway (ns)");
+  reg_hist_sketch_ = &registry.histogram(
+      prefix + "_gateway_latency_sketch_ns", 0.0, config_.latency_hist_max_ns,
+      config_.latency_hist_buckets,
+      "sketch query latency through the gateway (ns)");
+}
+
+}  // namespace dart::query

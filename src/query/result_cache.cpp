@@ -1,0 +1,88 @@
+#include "query/result_cache.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/hash.hpp"
+
+namespace dart::query {
+
+std::size_t CacheKeyHash::operator()(const CacheKey& k) const noexcept {
+  // Seed the byte hash with the fixed-width identity fields so two ops over
+  // the same key bytes never collide by construction.
+  const std::uint64_t seed = (std::uint64_t{k.collector} << 32) |
+                             (std::uint64_t{k.family} << 24) |
+                             (std::uint64_t{k.op} << 16) | k.k;
+  return static_cast<std::size_t>(xxhash64(k.key, seed));
+}
+
+ResultCache::ResultCache(std::size_t capacity)
+    : per_shard_capacity_(std::max<std::size_t>(1, capacity / kShards)) {}
+
+ResultCache::Shard& ResultCache::shard_of(const CacheKey& key) noexcept {
+  return shards_[CacheKeyHash{}(key) % kShards];
+}
+
+std::optional<CacheHit> ResultCache::get(const CacheKey& key,
+                                         std::uint64_t now_epoch,
+                                         std::uint64_t max_age_epochs) {
+  Shard& shard = shard_of(key);
+  std::lock_guard lock(shard.mu);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  // A rotation can regress now_epoch only in broken harnesses; clamp rather
+  // than underflow into "maximally fresh".
+  const std::uint64_t age =
+      now_epoch >= it->second.fill_epoch ? now_epoch - it->second.fill_epoch : 0;
+  if (age > max_age_epochs) {
+    // Expired — evict now so dead entries don't crowd the LRU.
+    shard.lru.erase(it->second.lru_pos);
+    shard.map.erase(it);
+    ++evictions_;
+    ++misses_;
+    return std::nullopt;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+  ++hits_;
+  return CacheHit{it->second.payload, age};
+}
+
+void ResultCache::put(const CacheKey& key, std::vector<std::byte> payload,
+                      std::uint64_t epoch) {
+  Shard& shard = shard_of(key);
+  std::lock_guard lock(shard.mu);
+  if (const auto it = shard.map.find(key); it != shard.map.end()) {
+    it->second.payload = std::move(payload);
+    it->second.fill_epoch = epoch;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+    ++inserts_;
+    return;
+  }
+  if (shard.map.size() >= per_shard_capacity_) {
+    const CacheKey& victim = shard.lru.back();
+    shard.map.erase(victim);
+    shard.lru.pop_back();
+    ++evictions_;
+  }
+  shard.lru.push_front(key);
+  Entry entry;
+  entry.payload = std::move(payload);
+  entry.fill_epoch = epoch;
+  entry.lru_pos = shard.lru.begin();
+  shard.map.emplace(key, std::move(entry));
+  ++inserts_;
+}
+
+std::size_t ResultCache::size() const {
+  std::size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    n += shard.map.size();
+  }
+  return n;
+}
+
+}  // namespace dart::query

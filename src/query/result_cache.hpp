@@ -1,0 +1,108 @@
+// Read-side result cache for the query gateway (docs/QUERY_PLANE.md).
+//
+// The collector pool's whole CPU budget is the query plane (§3.2), so the
+// gateway avoids spending it twice on the same answer: responses to
+// idempotent reads are cached under (collector, family, op, policy/k, key)
+// and served locally while they are still fresh. Freshness is defined by the
+// SAME epoch machinery that bounds staleness everywhere else in the system:
+// every entry remembers the gateway epoch it was filled in, a hit older than
+// `max_age_epochs` is a miss, and the age of a served hit is added to the
+// response's `stale_epochs` so the operator sees exactly how old the answer
+// is. With the default max age of 0, a rotation invalidates the entire cache
+// at once — no TTL guessing.
+//
+// Entries hold the ENCODED upstream response payload. All three response
+// families share the header prefix (id at [4,12), epoch at [12,16), flags at
+// [16], stale_epochs at [17,19)), so the gateway re-stamps a cached copy for
+// each downstream waiter without re-parsing it.
+//
+// The map is sharded 16 ways with per-shard mutexes and LRU order; the
+// gateway itself is single-threaded (a simulator node), but the cache is
+// shared state the sanitizer matrix hammers from many threads, and striping
+// keeps that honest.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/atomic_counter.hpp"
+
+namespace dart::query {
+
+// Identity of one cacheable read. `family` discriminates the protocol
+// (1 = KV query-v2, 2 = primitive v1, 3 = sketch v1); `op` is the policy
+// byte for KV and the op byte otherwise; `k` matters only for sketch top-k.
+struct CacheKey {
+  std::uint32_t collector = 0;
+  std::uint8_t family = 0;
+  std::uint8_t op = 0;
+  std::uint16_t k = 0;
+  std::vector<std::byte> key;
+
+  friend bool operator==(const CacheKey&, const CacheKey&) = default;
+};
+
+struct CacheKeyHash {
+  [[nodiscard]] std::size_t operator()(const CacheKey& k) const noexcept;
+};
+
+// A served hit: the cached payload plus how many epochs old it is.
+struct CacheHit {
+  std::vector<std::byte> payload;
+  std::uint64_t age_epochs = 0;
+};
+
+class ResultCache {
+ public:
+  // `capacity` is the total entry budget across all shards (LRU per shard).
+  explicit ResultCache(std::size_t capacity);
+
+  // Fresh copy of the entry, if present and at most `max_age_epochs` old at
+  // `now_epoch`. Expired entries are evicted on the spot.
+  [[nodiscard]] std::optional<CacheHit> get(const CacheKey& key,
+                                            std::uint64_t now_epoch,
+                                            std::uint64_t max_age_epochs);
+
+  // Inserts/overwrites the entry, stamped with the filling epoch.
+  void put(const CacheKey& key, std::vector<std::byte> payload,
+           std::uint64_t epoch);
+
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_.load(); }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_.load(); }
+  [[nodiscard]] std::uint64_t inserts() const noexcept { return inserts_.load(); }
+  [[nodiscard]] std::uint64_t evictions() const noexcept {
+    return evictions_.load();
+  }
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  static constexpr std::size_t kShards = 16;
+
+  struct Entry {
+    std::vector<std::byte> payload;
+    std::uint64_t fill_epoch = 0;
+    std::list<CacheKey>::iterator lru_pos;  // into the shard's LRU list
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<CacheKey, Entry, CacheKeyHash> map;
+    std::list<CacheKey> lru;  // front = most recent
+  };
+
+  [[nodiscard]] Shard& shard_of(const CacheKey& key) noexcept;
+
+  std::size_t per_shard_capacity_;
+  Shard shards_[kShards];
+  RelaxedCounter hits_;
+  RelaxedCounter misses_;
+  RelaxedCounter inserts_;
+  RelaxedCounter evictions_;
+};
+
+}  // namespace dart::query

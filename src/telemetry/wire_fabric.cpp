@@ -519,6 +519,10 @@ void WireFabric::register_metrics(obs::MetricRegistry& registry,
                                      prefix + "_collector" + std::to_string(c));
   }
   if (operator_) operator_->bind_metrics(registry, prefix);
+  if (gateway_) gateway_->bind_metrics(registry, prefix);
+  // The gateway-fronted operator gets its own namespace so its counters
+  // never collide with the plain operator's.
+  if (gateway_operator_) gateway_operator_->bind_metrics(registry, prefix + "_gw");
 }
 
 WireFabric::~WireFabric() = default;
@@ -605,6 +609,62 @@ core::OperatorClient& WireFabric::attach_operator(std::uint64_t mgmt_latency_ns)
     sim_.connect(op_node, node, mgmt_latency_ns);
   }
   return *operator_;
+}
+
+query::QueryGateway& WireFabric::attach_gateway(std::uint64_t mgmt_latency_ns) {
+  if (gateway_) return *gateway_;
+  (void)attach_operator(mgmt_latency_ns);  // services + ARP + crafter
+
+  auto arp = mgmt_arp_;
+  auto resolver = [arp](net::Ipv4Addr ip) -> std::optional<net::NodeId> {
+    for (const auto& [addr, node] : *arp) {
+      if (addr == ip) return node;
+    }
+    return std::nullopt;
+  };
+
+  query::QueryGatewayConfig gw_config;
+  gw_config.gateway_ip = net::Ipv4Addr::from_octets(10, 9, 2, 254);
+  for (std::uint32_t c = 0; c < cluster_->size(); ++c) {
+    gw_config.virtual_ips.push_back(
+        net::Ipv4Addr::from_octets(10, 9, 2, static_cast<std::uint8_t>(c)));
+    gw_config.service_ips.push_back(query_services_[c]->ip());
+  }
+  // Per-try upstream deadline: comfortably above one management RTT so a
+  // healthy service never races its own retry, small enough that a dead one
+  // fails fast.
+  gw_config.request_timeout_ns = 8 * mgmt_latency_ns + 1'000'000;
+  gateway_ = std::make_unique<query::QueryGateway>(
+      gw_config, *operator_crafter_, resolver);
+
+  const auto gw_node = sim_.add_node(*gateway_);
+  arp->emplace_back(gw_config.gateway_ip, gw_node);
+  for (std::uint32_t c = 0; c < cluster_->size(); ++c) {
+    arp->emplace_back(gw_config.virtual_ips[c], gw_node);
+  }
+  // Gateway ↔ every service, and gateway ↔ the plain operator (so the
+  // existing operator can subscribe to standing queries directly).
+  for (std::uint32_t c = 0; c < query_services_.size(); ++c) {
+    sim_.connect(gw_node, sim_node_of(query_services_[c]->ip()), mgmt_latency_ns);
+  }
+  sim_.connect(gw_node, sim_node_of(operator_->ip()), mgmt_latency_ns);
+
+  // Gateway-fronted operator: same client code, but its "services" are the
+  // gateway's virtual IPs — all traffic rides the gateway transparently.
+  const auto gw_operator_ip = net::Ipv4Addr::from_octets(10, 9, 9, 10);
+  gateway_operator_ = std::make_unique<core::OperatorClient>(
+      *operator_crafter_, gw_operator_ip, gw_config.virtual_ips, resolver);
+  const auto gw_op_node = sim_.add_node(*gateway_operator_);
+  arp->emplace_back(gw_operator_ip, gw_op_node);
+  sim_.connect(gw_op_node, gw_node, mgmt_latency_ns);
+  return *gateway_;
+}
+
+net::NodeId WireFabric::sim_node_of(net::Ipv4Addr ip) const {
+  for (const auto& [addr, node] : *mgmt_arp_) {
+    if (addr == ip) return node;
+  }
+  return net::kInvalidNode;
 }
 
 void WireFabric::send_flow(const FiveTuple& flow, std::uint32_t src_host,

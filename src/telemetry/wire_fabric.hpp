@@ -28,6 +28,7 @@
 #include "core/query_service.hpp"
 #include "net/netsim.hpp"
 #include "obs/metric.hpp"
+#include "query/gateway.hpp"
 #include "switchsim/dart_switch.hpp"
 #include "switchsim/topology.hpp"
 #include "telemetry/event_detect.hpp"
@@ -125,6 +126,24 @@ class WireFabric {
   [[nodiscard]] core::OperatorClient& attach_operator(
       std::uint64_t mgmt_latency_ns = 50'000);
 
+  // Fronts the query plane with a QueryGateway (docs/QUERY_PLANE.md): the
+  // gateway joins the management network holding one virtual IP per
+  // collector (10.9.2.c) plus its own front door (10.9.2.254), and a second,
+  // gateway-fronted OperatorClient is created whose "service" addresses are
+  // those virtual IPs — every one of its queries transparently rides the
+  // gateway's pipeline/cache/coalescing. Calls attach_operator() first if
+  // needed (the gateway needs the services up). Idempotent.
+  [[nodiscard]] query::QueryGateway& attach_gateway(
+      std::uint64_t mgmt_latency_ns = 50'000);
+
+  // Query gateway plane, nullptr before attach_gateway().
+  [[nodiscard]] query::QueryGateway* gateway() noexcept {
+    return gateway_.get();
+  }
+  [[nodiscard]] core::OperatorClient* gateway_operator_client() noexcept {
+    return gateway_operator_.get();
+  }
+
   // --- fault & recovery hooks (src/fault, docs/FAULTS.md) ------------------
 
   [[nodiscard]] std::uint32_t n_collectors() const noexcept;
@@ -167,6 +186,8 @@ class WireFabric {
                         const std::string& prefix = "dart");
 
  private:
+  [[nodiscard]] net::NodeId sim_node_of(net::Ipv4Addr ip) const;
+
   WireFabricConfig config_;
   switchsim::FatTree topo_;
   net::Simulator sim_;
@@ -181,6 +202,10 @@ class WireFabric {
   std::vector<std::unique_ptr<core::QueryServiceNode>> query_services_;
   std::unique_ptr<core::OperatorClient> operator_;
   std::shared_ptr<std::vector<std::pair<net::Ipv4Addr, net::NodeId>>> mgmt_arp_;
+
+  // Gateway plane (created by attach_gateway).
+  std::unique_ptr<query::QueryGateway> gateway_;
+  std::unique_ptr<core::OperatorClient> gateway_operator_;
 };
 
 }  // namespace dart::telemetry

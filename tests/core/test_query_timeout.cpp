@@ -1,0 +1,230 @@
+// OperatorClient request-deadline tests (query_service.hpp): a lost
+// response no longer parks its id forever — the deadline fires, the request
+// is re-sent under a FRESH wire id, and exhausted retries fail the request
+// with a timeout mark. The regression this file pins: when the "lost"
+// original answer was merely LATE, both it and the retry's answer arrive,
+// and the pair must retire the logical request exactly once.
+#include "core/query_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "net/headers.hpp"
+#include "net/netsim.hpp"
+
+namespace dart::core {
+namespace {
+
+std::vector<std::byte> key_of(std::uint64_t k) {
+  std::vector<std::byte> out(8);
+  std::memcpy(out.data(), &k, 8);
+  return out;
+}
+
+// Eats the first `n` packets, then forwards faithfully.
+class DropFirstRelay final : public net::Node {
+ public:
+  DropFirstRelay(net::NodeId target, std::uint32_t n)
+      : target_(target), to_drop_(n) {}
+  void receive(net::Packet packet, std::uint64_t) override {
+    if (to_drop_ > 0) {
+      --to_drop_;
+      return;
+    }
+    sim_->send(self_, target_, std::move(packet));
+  }
+
+ private:
+  net::NodeId target_;
+  std::uint32_t to_drop_;
+};
+
+// Holds the first `n` packets for `delay_ns`, then forwards; later packets
+// pass straight through. Models a stalled queue, not a loss: the "lost"
+// packet eventually arrives.
+class DelayFirstRelay final : public net::Node {
+ public:
+  DelayFirstRelay(net::NodeId target, std::uint32_t n, std::uint64_t delay_ns)
+      : target_(target), to_delay_(n), delay_ns_(delay_ns) {}
+  void receive(net::Packet packet, std::uint64_t now_ns) override {
+    if (to_delay_ > 0) {
+      --to_delay_;
+      auto held = std::make_shared<net::Packet>(std::move(packet));
+      sim_->schedule(now_ns + delay_ns_, [this, held] {
+        sim_->send(self_, target_, std::move(*held));
+      });
+      return;
+    }
+    sim_->send(self_, target_, std::move(packet));
+  }
+
+ private:
+  net::NodeId target_;
+  std::uint32_t to_delay_;
+  std::uint64_t delay_ns_;
+};
+
+// One collector, one service, one client; the request path runs through a
+// test-owned relay so loss and delay are injectable per packet.
+class TimeoutHarness {
+ public:
+  explicit TimeoutHarness(std::uint64_t seed = 0x71AE) {
+    cfg_.n_slots = 1 << 8;
+    cfg_.n_addresses = 2;
+    cfg_.value_bytes = 8;
+    cfg_.master_seed = seed;
+    cluster_ = std::make_unique<CollectorCluster>(cfg_, 1);
+    auto resolver = [this](net::Ipv4Addr ip) -> std::optional<net::NodeId> {
+      for (const auto& [addr, node] : arp_) {
+        if (addr == ip) return node;
+      }
+      return std::nullopt;
+    };
+    service_ip_ = net::Ipv4Addr::from_octets(10, 0, 50, 0);
+    operator_ip_ = net::Ipv4Addr::from_octets(10, 9, 0, 1);
+    service_ = std::make_unique<QueryServiceNode>(cluster_->collector(0),
+                                                  service_ip_, resolver);
+    operator_ = std::make_unique<OperatorClient>(
+        cluster_->crafter(), operator_ip_,
+        std::vector<net::Ipv4Addr>{service_ip_}, resolver);
+    svc_node_ = sim_.add_node(*service_);
+    op_node_ = sim_.add_node(*operator_);
+    arp_.emplace_back(service_ip_, svc_node_);
+    arp_.emplace_back(operator_ip_, op_node_);
+    sim_.connect(op_node_, svc_node_, /*latency_ns=*/1000);
+  }
+
+  // Splices `relay` into the request path (everything resolving the service
+  // IP now lands on the relay, which forwards to the real service).
+  void splice_request_path(std::unique_ptr<net::Node> relay) {
+    relay_ = std::move(relay);
+    const auto relay_node = sim_.add_node(*relay_);
+    sim_.connect(relay_node, op_node_, 500);
+    sim_.connect(relay_node, svc_node_, 500);
+    for (auto& [addr, node] : arp_) {
+      if (addr == service_ip_) node = relay_node;
+    }
+  }
+
+  core::DartConfig cfg_;
+  std::unique_ptr<CollectorCluster> cluster_;
+  net::Simulator sim_{1};
+  std::vector<std::pair<net::Ipv4Addr, net::NodeId>> arp_;
+  net::Ipv4Addr service_ip_{};
+  net::Ipv4Addr operator_ip_{};
+  std::unique_ptr<QueryServiceNode> service_;
+  std::unique_ptr<OperatorClient> operator_;
+  std::unique_ptr<net::Node> relay_;
+  net::NodeId svc_node_{};
+  net::NodeId op_node_{};
+};
+
+TEST(OperatorTimeout, ExhaustedRetriesFailTheRequest) {
+  TimeoutHarness h;
+  h.service_->set_online(false);  // every request is eaten
+  h.operator_->enable_timeouts(/*timeout_ns=*/100'000, /*max_retries=*/2);
+
+  const auto key = key_of(1);
+  h.cluster_->write(key, key_of(11));
+  const auto id = h.operator_->query(key);
+  ASSERT_NE(id, 0u);
+  EXPECT_EQ(h.operator_->pending(), 1u);
+  h.sim_.run();
+
+  EXPECT_EQ(h.operator_->pending(), 0u);
+  EXPECT_EQ(h.operator_->retries(), 2u);
+  EXPECT_EQ(h.operator_->timeouts(), 1u);
+  EXPECT_TRUE(h.operator_->timed_out(id));
+  EXPECT_FALSE(h.operator_->take_response(id).has_value());
+  EXPECT_EQ(h.operator_->responses_received(), 0u);
+}
+
+TEST(OperatorTimeout, RetryUnderFreshIdSucceedsAfterLoss) {
+  TimeoutHarness h;
+  h.operator_->enable_timeouts(/*timeout_ns=*/100'000, /*max_retries=*/2);
+  h.splice_request_path(
+      std::make_unique<DropFirstRelay>(h.svc_node_, /*n=*/1));
+
+  const auto key = key_of(2);
+  h.cluster_->write(key, key_of(22));
+  const auto id = h.operator_->query(key);
+  h.sim_.run();
+
+  EXPECT_EQ(h.operator_->pending(), 0u);
+  EXPECT_EQ(h.operator_->retries(), 1u);
+  EXPECT_EQ(h.operator_->timeouts(), 0u);
+  EXPECT_FALSE(h.operator_->timed_out(id));
+  // The caller's handle is the ORIGINAL id even though the wire id changed.
+  const auto resp = h.operator_->take_response(id);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->outcome, QueryOutcome::kFound);
+  EXPECT_EQ(resp->value, key_of(22));
+  EXPECT_EQ(h.operator_->unexpected_responses(), 0u);
+}
+
+TEST(OperatorTimeout, LateOriginalPlusRetryAnswerRetireExactlyOnce) {
+  // The regression: the original request is DELAYED past the deadline, not
+  // lost. The service answers both the late original and the retry; the
+  // first answer retires the logical request, the second must count as
+  // unexpected — never as a second completion, never corrupting pending().
+  TimeoutHarness h;
+  h.operator_->enable_timeouts(/*timeout_ns=*/100'000, /*max_retries=*/2);
+  h.splice_request_path(std::make_unique<DelayFirstRelay>(
+      h.svc_node_, /*n=*/1, /*delay_ns=*/300'000));
+
+  const auto key = key_of(3);
+  h.cluster_->write(key, key_of(33));
+  const auto id = h.operator_->query(key);
+  h.sim_.run();
+
+  EXPECT_EQ(h.service_->requests_served(), 2u);  // late original + retry
+  EXPECT_EQ(h.operator_->responses_received(), 1u);
+  EXPECT_EQ(h.operator_->unexpected_responses(), 1u);
+  EXPECT_EQ(h.operator_->pending(), 0u);
+  EXPECT_EQ(h.operator_->retries(), 1u);
+  EXPECT_EQ(h.operator_->timeouts(), 0u);
+  const auto resp = h.operator_->take_response(id);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->value, key_of(33));
+  // Taking it twice must not resurrect it.
+  EXPECT_FALSE(h.operator_->take_response(id).has_value());
+}
+
+TEST(OperatorTimeout, DeadlinesDisarmedByDefaultKeepLegacyBehavior) {
+  // Without enable_timeouts a lost response parks the id in pending() —
+  // the documented legacy contract (conservation: sent == received +
+  // pending) that tools/dart_metrics.cpp checks.
+  TimeoutHarness h;
+  h.service_->set_online(false);
+  const auto id = h.operator_->query(key_of(4));
+  ASSERT_NE(id, 0u);
+  h.sim_.run();
+  EXPECT_EQ(h.operator_->pending(), 1u);
+  EXPECT_EQ(h.operator_->timeouts(), 0u);
+  EXPECT_EQ(h.operator_->retries(), 0u);
+}
+
+TEST(OperatorTimeout, PrimitiveAndSketchRequestsShareTheDeadlinePath) {
+  TimeoutHarness h;
+  h.service_->set_online(false);
+  h.operator_->enable_timeouts(/*timeout_ns=*/100'000, /*max_retries=*/1);
+
+  const auto drain_id = h.operator_->drain_ring(0);
+  const auto sketch_id = h.operator_->sketch_estimate(key_of(5));
+  ASSERT_NE(drain_id, 0u);
+  ASSERT_NE(sketch_id, 0u);
+  h.sim_.run();
+
+  EXPECT_EQ(h.operator_->pending(), 0u);
+  EXPECT_EQ(h.operator_->timeouts(), 2u);
+  EXPECT_TRUE(h.operator_->timed_out(drain_id));
+  EXPECT_TRUE(h.operator_->timed_out(sketch_id));
+}
+
+}  // namespace
+}  // namespace dart::core

@@ -17,7 +17,7 @@ tools/check_docs.sh
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" -j \
   --target micro_datapath scaling_ingest_threads ablation_faults primitives \
-  storage_backends dart_metrics
+  storage_backends scaling_query_clients dart_metrics
 
 OUT_DIR="$(mktemp -d)"
 trap 'rm -rf "$OUT_DIR"' EXIT
@@ -32,6 +32,8 @@ trap 'rm -rf "$OUT_DIR"' EXIT
 (cd "$OUT_DIR" && "$OLDPWD/$BUILD_DIR/bench/primitives" --events=30000)
 (cd "$OUT_DIR" && "$OLDPWD/$BUILD_DIR/bench/storage_backends" \
   --flows=800 --updates=60000)
+(cd "$OUT_DIR" && "$OLDPWD/$BUILD_DIR/bench/scaling_query_clients" \
+  --max-clients=64 --rounds=4)
 
 # Metrics snapshot: conservation invariants plus the JSON exposition, and
 # the chaos run that holds those invariants under every injected fault class.
@@ -161,6 +163,56 @@ else:
               f"{results['kill_no_recovery_answered']:.1%} -> "
               f"{results['kill_recovery_answered']:.1%} with recovery "
               f"({results['kill_recovery_degraded']:.1%} degraded)")
+
+# Query-plane scaling: per client count, the gateway's served-latency SLO
+# quantiles plus the coalesce/cache ledger. Quantiles must be positive for
+# every swept row (cache hits record 0 ns, so only an all-hit sweep could
+# zero p99 — the epoch tick in the bench guarantees upstream traffic), and
+# rates must be rates. The largest swept row must be reported explicitly.
+sq_path = out_dir / "BENCH_scaling_query_clients.json"
+if not sq_path.exists():
+    print(f"FAIL: {sq_path} was not emitted")
+    failures += 1
+else:
+    doc = json.loads(sq_path.read_text())
+    results = doc.get("results", {})
+    counts = sorted({int(k[1:].split("_")[0]) for k in results
+                     if k.startswith("c") and k[1].isdigit()})
+    if len(counts) < 2:
+        print(f"FAIL: {sq_path}: needs >= 2 client counts, got {counts}")
+        failures += 1
+    for c in counts:
+        for key in ["ops_per_sec", "p50_ns", "p99_ns", "cache_hit_rate",
+                    "coalesce_rate", "inflight_highwater"]:
+            val = results.get(f"c{c}_{key}")
+            if not isinstance(val, (int, float)):
+                print(f"FAIL: {sq_path}: missing 'c{c}_{key}'")
+                failures += 1
+        if failures:
+            continue
+        for key in ["ops_per_sec", "p99_ns"]:
+            if not results[f"c{c}_{key}"] > 0:
+                print(f"FAIL: {sq_path}: c{c}_{key} = "
+                      f"{results[f'c{c}_{key}']!r} not > 0")
+                failures += 1
+        if results[f"c{c}_p50_ns"] > results[f"c{c}_p99_ns"]:
+            print(f"FAIL: {sq_path}: c{c}: p50 > p99")
+            failures += 1
+        for rate in ["cache_hit_rate", "coalesce_rate"]:
+            val = results[f"c{c}_{rate}"]
+            if not 0.0 <= val <= 1.0:
+                print(f"FAIL: {sq_path}: c{c}_{rate} = {val!r} not a rate")
+                failures += 1
+    sustained = results.get("max_clients_sustained")
+    if counts and sustained != counts[-1]:
+        print(f"FAIL: {sq_path}: max_clients_sustained = {sustained!r} but "
+              f"largest swept row is {counts[-1]}")
+        failures += 1
+    if failures == 0:
+        top = counts[-1]
+        print(f"OK: {sq_path.name}: sustained {top} clients, "
+              f"p99={results[f'c{top}_p99_ns']:.0f}ns, "
+              f"cache_hit={results[f'c{top}_cache_hit_rate']:.0%}")
 
 # Metrics snapshot: same BenchJson envelope, one flat key per metric (plus
 # _count/_sum/_p50/_p90/_p99 expansions for histograms).

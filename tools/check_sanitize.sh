@@ -7,8 +7,10 @@
 #          property suites hammer.
 #   tsan   ThreadSanitizer over the concurrency-sensitive suites, including
 #          the concurrent-pipeline differential property (PropPipeline),
-#          which drives real feeder/shard threads every case. Superset of
-#          tools/check_tsan.sh's target list.
+#          which drives real feeder/shard threads every case, and the query
+#          gateway's session/cache paths (the ResultCache hammer drives the
+#          sharded LRU from 8 threads). Superset of tools/check_tsan.sh's
+#          target list.
 #   all    both, in that order.
 #
 # Usage: tools/check_sanitize.sh [asan|tsan|all] [build-dir-suffix]
@@ -47,10 +49,10 @@ run_tsan() {
   cmake --build "$dir" -j \
     --target test_ingest_pipeline test_spsc_ring test_epoch_rotation \
              test_qp test_prop_pipeline test_atomics_store \
-             test_prop_backend >/dev/null
+             test_prop_backend test_result_cache test_gateway >/dev/null
   TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
     ctest --test-dir "$dir" --output-on-failure \
-      -R 'IngestPipeline|RotatingCollector|ShardRouting|SpscRing|SeqCount|RelaxedCounter|QueuePair|PropPipeline|CasInsertStore|FlowCounterArrayHammer|CountMinSketchHammer|DisciplinedReadsNeverTorn'
+      -R 'IngestPipeline|RotatingCollector|ShardRouting|SpscRing|SeqCount|RelaxedCounter|QueuePair|PropPipeline|CasInsertStore|FlowCounterArrayHammer|CountMinSketchHammer|DisciplinedReadsNeverTorn|ResultCache|GatewayFixture'
   echo "tsan: clean"
 }
 
