@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "core/collector.hpp"
+#include "core/collector_ring.hpp"
 #include "core/config.hpp"
 #include "core/oracle.hpp"
 #include "core/primitives.hpp"
@@ -364,6 +365,40 @@ std::vector<Trace> canonical_golden_traces() {
     unavailable.epoch = 0xE1004;
     unavailable.flags = core::kResponsePrimitiveUnavailable;
     t.artifacts.push_back(core::encode_primitive_response(unavailable));
+    traces.push_back(std::move(t));
+  }
+
+  {
+    Trace t;
+    t.name = "cht_ring16";
+    t.notes = {"consistent-hash collector ring, capacity 16, 64 buckets per",
+               "member, seed = the golden master seed. Artifact 0: the full-",
+               "membership owner table (one little-endian u32 per bucket);",
+               "artifact 1: the table after remove_member(5) — minimal",
+               "movement pins that ONLY buckets owned by 5 changed; artifact",
+               "2: the table after re-admitting 5, byte-identical to",
+               "artifact 0 (the failback-restores-exactly contract)."};
+    core::CollectorRingConfig rc;
+    rc.capacity = 16;
+    rc.height_per_member = 64;
+    rc.seed = cfg.master_seed;
+    core::CollectorRing ring(rc);
+    const auto table_bytes = [](const core::CollectorRing& r) {
+      const auto table = r.owner_table();
+      std::vector<std::byte> out(table.size() * 4);
+      for (std::size_t b = 0; b < table.size(); ++b) {
+        out[b * 4 + 0] = static_cast<std::byte>(table[b] & 0xFF);
+        out[b * 4 + 1] = static_cast<std::byte>((table[b] >> 8) & 0xFF);
+        out[b * 4 + 2] = static_cast<std::byte>((table[b] >> 16) & 0xFF);
+        out[b * 4 + 3] = static_cast<std::byte>((table[b] >> 24) & 0xFF);
+      }
+      return out;
+    };
+    t.artifacts.push_back(table_bytes(ring));
+    ring.remove_member(5);
+    t.artifacts.push_back(table_bytes(ring));
+    ring.add_member(5);
+    t.artifacts.push_back(table_bytes(ring));
     traces.push_back(std::move(t));
   }
 

@@ -392,6 +392,24 @@ std::uint32_t HashFamily::collector_of(std::span<const std::byte> key,
                                     n_collectors);
 }
 
+std::uint64_t HashFamily::collector_hash(
+    std::span<const std::byte> key) const noexcept {
+  return xxhash64(key, collector_seed_);
+}
+
+void HashFamily::collector_hashes(const std::byte* keys, std::size_t key_len,
+                                  std::size_t stride, std::size_t count,
+                                  std::uint64_t* out) const noexcept {
+  constexpr std::size_t kChunk = 64;
+  std::array<std::uint64_t, kChunk> seed_lanes;
+  seed_lanes.fill(collector_seed_);
+  for (std::size_t done = 0; done < count; done += kChunk) {
+    const std::size_t m = std::min<std::size_t>(count - done, kChunk);
+    xxhash64_batch(keys + done * stride, key_len, stride, m, seed_lanes.data(),
+                   out + done);
+  }
+}
+
 std::uint64_t HashFamily::address_of(std::span<const std::byte> key,
                                      std::uint32_t n,
                                      std::uint64_t n_slots) const noexcept {

@@ -155,8 +155,24 @@ class HashFamily {
   }
 
   // Index of the collector (0..n_collectors-1) that owns this key.
+  // NOTE: this is the modulo policy — it assumes a CONTIGUOUS [0,
+  // n_collectors) id space. Deployments with a dynamic membership set route
+  // through core::CollectorSelector, which composes collector_hash() with a
+  // consistent-hash ring and never returns an absent member.
   [[nodiscard]] std::uint32_t collector_of(std::span<const std::byte> key,
                                            std::uint32_t n_collectors) const noexcept;
+
+  // Raw 64-bit collector-selection hash — the pre-reduction input shared by
+  // every selection policy: collector_of(key, n) == collector_hash(key) % n,
+  // and the consistent-hash ring buckets the same value by its table height.
+  [[nodiscard]] std::uint64_t collector_hash(
+      std::span<const std::byte> key) const noexcept;
+
+  // Batch collector_hash over `count` strided keys (8-byte keys ride the
+  // AVX2 XXH64 kernel, like collectors_of).
+  void collector_hashes(const std::byte* keys, std::size_t key_len,
+                        std::size_t stride, std::size_t count,
+                        std::uint64_t* out) const noexcept;
 
   // Slot address for copy `n` (0..N-1) of this key in a store of `n_slots`.
   [[nodiscard]] std::uint64_t address_of(std::span<const std::byte> key,

@@ -1,0 +1,303 @@
+#include "core/collector_ring.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dart::core {
+
+namespace {
+
+[[nodiscard]] constexpr bool is_prime(std::uint64_t n) noexcept {
+  if (n < 2) return false;
+  for (std::uint64_t d = 2; d * d <= n; ++d) {
+    if (n % d == 0) return false;
+  }
+  return true;
+}
+
+[[nodiscard]] constexpr std::uint64_t next_prime(std::uint64_t n) noexcept {
+  while (!is_prime(n)) ++n;
+  return n;
+}
+
+// (a * b) % m for a, b < m < 2^32 — the product fits in 64 bits.
+[[nodiscard]] constexpr std::uint64_t mul_mod(std::uint64_t a, std::uint64_t b,
+                                              std::uint64_t m) noexcept {
+  return (a * b) % m;
+}
+
+// a^e mod m (m prime, < 2^32). Used for the modular inverse a^(m-2).
+[[nodiscard]] constexpr std::uint64_t pow_mod(std::uint64_t a, std::uint64_t e,
+                                              std::uint64_t m) noexcept {
+  std::uint64_t result = 1 % m;
+  a %= m;
+  while (e > 0) {
+    if (e & 1) result = mul_mod(result, a, m);
+    a = mul_mod(a, a, m);
+    e >>= 1;
+  }
+  return result;
+}
+
+// Domain-separated derivation of the per-member permutation parameters.
+struct MemberSalt {
+  std::uint32_t member;
+  std::uint32_t which;  // 0 = offset, 1 = skip
+  std::uint64_t tag = 0xC4A7'21D6'0FF5'E711ull;
+};
+
+}  // namespace
+
+CollectorRing::CollectorRing(const CollectorRingConfig& config)
+    : config_(config) {
+  if (config_.capacity == 0) config_.capacity = 1;
+  if (config_.height_per_member == 0) config_.height_per_member = 1;
+  height_ = static_cast<std::uint32_t>(next_prime(
+      static_cast<std::uint64_t>(config_.capacity) * config_.height_per_member));
+
+  const std::uint32_t n = config_.capacity;
+  offset_.resize(n);
+  skip_.resize(n);
+  inv_skip_.resize(n);
+  for (std::uint32_t m = 0; m < n; ++m) {
+    offset_[m] = static_cast<std::uint32_t>(
+        xxhash64_of(MemberSalt{m, 0}, config_.seed) % height_);
+    skip_[m] = static_cast<std::uint32_t>(
+        xxhash64_of(MemberSalt{m, 1}, config_.seed) % (height_ - 1) + 1);
+    inv_skip_[m] = static_cast<std::uint32_t>(
+        pow_mod(skip_[m], static_cast<std::uint64_t>(height_) - 2, height_));
+  }
+
+  // Maglev turn-taking fill over the FULL capacity universe: members claim
+  // buckets round-robin along their permutations, so every member ends up
+  // with floor(H/n) or ceil(H/n) rank-0 buckets — exact ±1 balance.
+  rank0_.assign(height_, kNoOwner);
+  std::vector<std::uint32_t> next(n, 0);
+  std::uint32_t filled = 0;
+  while (filled < height_) {
+    for (std::uint32_t m = 0; m < n && filled < height_; ++m) {
+      std::uint64_t c = (offset_[m] +
+                         static_cast<std::uint64_t>(next[m]) * skip_[m]) %
+                        height_;
+      while (rank0_[c] != kNoOwner) {
+        ++next[m];
+        c = (c + skip_[m]) % height_;
+      }
+      rank0_[c] = m;
+      ++next[m];
+      ++filled;
+    }
+  }
+
+  std::vector<std::uint8_t> live(n, 1);
+  rebuild_from_live(std::move(live));
+}
+
+std::uint32_t CollectorRing::position_of(std::uint32_t m,
+                                         std::uint32_t b) const noexcept {
+  // Invert perm_m(i) = (offset + i * skip) mod H:
+  //   i = (b - offset) * skip^-1 mod H.
+  const std::uint64_t delta =
+      (static_cast<std::uint64_t>(b) + height_ - offset_[m]) % height_;
+  return static_cast<std::uint32_t>(mul_mod(delta, inv_skip_[m], height_));
+}
+
+void CollectorRing::publish(std::unique_ptr<const Table> table) {
+  const Table* raw = table.get();
+  {
+    const std::lock_guard<std::mutex> lock(history_mutex_);
+    history_.push_back(std::move(table));
+  }
+  table_.store(raw, std::memory_order_release);
+  rebuilds_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void CollectorRing::rebuild_from_live(std::vector<std::uint8_t> live) {
+  auto table = std::make_unique<Table>();
+  table->owner.assign(height_, kNoOwner);
+
+  std::vector<std::uint32_t> members;
+  for (std::uint32_t m = 0; m < config_.capacity; ++m) {
+    if (live[m]) members.push_back(m);
+  }
+  table->member_count = members.size();
+
+  if (!members.empty()) {
+    for (std::uint32_t b = 0; b < height_; ++b) {
+      const std::uint32_t r0 = rank0_[b];
+      if (live[r0]) {
+        table->owner[b] = r0;
+        continue;
+      }
+      // Fall through to the live member whose permutation reaches this
+      // bucket earliest. The priority order (rank-0 first, then position,
+      // then member id) is a fixed function of (seed, capacity, bucket), so
+      // the owner changes only when a higher-priority member's liveness
+      // flips — which is exactly the minimal-movement property.
+      std::uint32_t best = kNoOwner;
+      std::uint32_t best_pos = 0;
+      for (const std::uint32_t m : members) {
+        const std::uint32_t pos = position_of(m, b);
+        if (best == kNoOwner || pos < best_pos ||
+            (pos == best_pos && m < best)) {
+          best = m;
+          best_pos = pos;
+        }
+      }
+      table->owner[b] = best;
+    }
+  }
+
+  table->live = std::move(live);
+  publish(std::move(table));
+}
+
+void CollectorRing::rebuild(std::span<const std::uint32_t> members) {
+  std::vector<std::uint8_t> live(config_.capacity, 0);
+  for (const std::uint32_t m : members) {
+    if (m < config_.capacity) live[m] = 1;
+  }
+  rebuild_from_live(std::move(live));
+}
+
+void CollectorRing::remove_member(std::uint32_t m) {
+  if (m >= config_.capacity) return;
+  std::vector<std::uint8_t> live = snapshot()->live;
+  if (!live[m]) return;
+  live[m] = 0;
+  rebuild_from_live(std::move(live));
+}
+
+void CollectorRing::add_member(std::uint32_t m) {
+  if (m >= config_.capacity) return;
+  std::vector<std::uint8_t> live = snapshot()->live;
+  if (live[m]) return;
+  live[m] = 1;
+  rebuild_from_live(std::move(live));
+}
+
+void CollectorRing::lookup_batch(const std::uint64_t* hashes,
+                                 std::size_t count,
+                                 std::uint32_t* out) const noexcept {
+  const auto table = snapshot();
+  const std::size_t h = table->owner.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = table->owner[hashes[i] % h];
+  }
+}
+
+std::vector<std::uint32_t> CollectorRing::members() const {
+  const auto table = snapshot();
+  std::vector<std::uint32_t> out;
+  out.reserve(table->member_count);
+  for (std::uint32_t m = 0; m < config_.capacity; ++m) {
+    if (table->live[m]) out.push_back(m);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> CollectorRing::bucket_counts() const {
+  const auto table = snapshot();
+  std::vector<std::uint32_t> counts(config_.capacity, 0);
+  for (const std::uint32_t m : table->owner) {
+    if (m != kNoOwner) ++counts[m];
+  }
+  return counts;
+}
+
+// ---------------------------------------------------------------------------
+// CollectorSelector
+// ---------------------------------------------------------------------------
+
+CollectorSelector::CollectorSelector(const DartConfig& config,
+                                     std::uint32_t n_collectors)
+    : policy_(config.selection),
+      hashes_(config.n_addresses, config.master_seed),
+      ring_(CollectorRingConfig{.capacity = std::max<std::uint32_t>(1, n_collectors),
+                                .height_per_member = config.ring_height_per_member,
+                                .seed = config.master_seed}) {
+  std::vector<std::uint32_t> full(ring_.capacity());
+  for (std::uint32_t m = 0; m < ring_.capacity(); ++m) full[m] = m;
+  publish_mod_members(std::move(full));
+}
+
+void CollectorSelector::publish_mod_members(
+    std::vector<std::uint32_t> members) {
+  auto snapshot = std::make_unique<const std::vector<std::uint32_t>>(
+      std::move(members));
+  const std::vector<std::uint32_t>* raw = snapshot.get();
+  {
+    const std::lock_guard<std::mutex> lock(mod_history_mutex_);
+    mod_history_.push_back(std::move(snapshot));
+  }
+  mod_members_.store(raw, std::memory_order_release);
+}
+
+void CollectorSelector::set_members(std::span<const std::uint32_t> members) {
+  ring_.rebuild(members);
+  publish_mod_members(ring_.members());
+}
+
+void CollectorSelector::remove_member(std::uint32_t m) {
+  ring_.remove_member(m);
+  publish_mod_members(ring_.members());
+}
+
+void CollectorSelector::add_member(std::uint32_t m) {
+  ring_.add_member(m);
+  publish_mod_members(ring_.members());
+}
+
+bool CollectorSelector::is_member(std::uint32_t m) const {
+  return ring_.is_member(m);
+}
+
+std::size_t CollectorSelector::member_count() const {
+  return ring_.member_count();
+}
+
+std::vector<std::uint32_t> CollectorSelector::members() const {
+  return ring_.members();
+}
+
+std::uint32_t CollectorSelector::modulo_owner(std::uint64_t hash) const {
+  const auto members = mod_members_.load(std::memory_order_acquire);
+  if (members->empty()) return CollectorRing::kNoOwner;
+  return (*members)[hash % members->size()];
+}
+
+std::uint32_t CollectorSelector::owner_of_hash(
+    std::uint64_t collector_hash) const {
+  if (policy_ == CollectorSelection::kRing) return ring_.lookup(collector_hash);
+  return modulo_owner(collector_hash);
+}
+
+std::uint32_t CollectorSelector::owner_of(
+    std::span<const std::byte> key) const {
+  return owner_of_hash(hashes_.collector_hash(key));
+}
+
+void CollectorSelector::owners_of(const std::byte* keys, std::size_t key_len,
+                                  std::size_t stride, std::size_t count,
+                                  std::uint32_t* out) const {
+  constexpr std::size_t kChunk = 256;
+  std::uint64_t hashes[kChunk];
+  for (std::size_t done = 0; done < count; done += kChunk) {
+    const std::size_t m = std::min<std::size_t>(count - done, kChunk);
+    hashes_.collector_hashes(keys + done * stride, key_len, stride, m, hashes);
+    if (policy_ == CollectorSelection::kRing) {
+      ring_.lookup_batch(hashes, m, out + done);
+    } else {
+      for (std::size_t i = 0; i < m; ++i) out[done + i] = modulo_owner(hashes[i]);
+    }
+  }
+}
+
+std::uint32_t CollectorSelector::home_owner_of(
+    std::span<const std::byte> key) const {
+  const std::uint64_t hash = hashes_.collector_hash(key);
+  if (policy_ == CollectorSelection::kRing) return ring_.home_lookup(hash);
+  return static_cast<std::uint32_t>(hash % ring_.capacity());
+}
+
+}  // namespace dart::core

@@ -1,0 +1,247 @@
+// CollectorRing — consistent-hash collector selection for the switch hot
+// path (cf. the `cht_height` consistent-hash table of the vigor load
+// balancer and Maglev's permutation fill).
+//
+// The ring maps a key's 64-bit collector hash to one member of a dynamic
+// membership set drawn from a fixed capacity universe [0, capacity). Its
+// contract, which the dartcheck suite pins property-by-property:
+//
+//   determinism      the mapping is a pure function of (seed, capacity,
+//                    height_per_member, membership) — two switch replicas
+//                    built from the same deployment config agree on every
+//                    key without talking to each other.
+//   minimal movement rebuild(members \ {x}) changes owners ONLY for buckets
+//                    x owned, and re-adding x restores the exact prior
+//                    table. This holds for arbitrary join/leave sequences,
+//                    because each bucket has a fixed, membership-independent
+//                    priority order over the capacity universe and the owner
+//                    is simply the highest-priority live member.
+//   balance          at full membership the table is filled Maglev-style
+//                    (turn-taking over per-member permutations), so bucket
+//                    counts differ by at most one: max/min <= (h+1)/h with
+//                    h = floor(H / capacity) >= height_per_member.
+//   O(1) lookup      lookup is one modulo + one table load from a flat
+//                    owner array; a batch form composes with the AVX2
+//                    HashFamily::collector_hashes entry point.
+//
+// Construction: H is the smallest prime >= capacity * height_per_member, so
+// each member's (offset, skip) stride walk is a full permutation of the
+// bucket space. Rank 0 of every bucket's priority list comes from the
+// balanced turn-taking fill; when a bucket's rank-0 member is absent, the
+// owner falls back to the live member whose permutation reaches that bucket
+// earliest (position computed in O(1) via the modular inverse of the skip).
+//
+// Thread safety: lookups are wait-free against a concurrent rebuild — the
+// owner table is an immutable snapshot behind a plain atomic pointer,
+// swapped wholesale. Retired snapshots are kept alive until the ring is
+// destroyed instead of reference-counting the read path: rebuilds are rare
+// control-plane events (join/leave/failover), each table is O(height)
+// small, and libstdc++'s atomic<shared_ptr> unlocks its reader-side spin
+// bit with a relaxed RMW, which leaves no happens-before edge to the next
+// writer (a formal data race TSan rightly flags). The TSan matrix hammers
+// exactly this swap (CollectorRingHammer).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "core/config.hpp"
+
+namespace dart::core {
+
+struct CollectorRingConfig {
+  // Member-id universe: valid members are [0, capacity). Fixed for the
+  // ring's lifetime — growing a fleet past capacity is a (rare) config
+  // change, not a membership change.
+  std::uint32_t capacity = 16;
+  // Table height per capacity slot; the prime table height H is the
+  // smallest prime >= capacity * height_per_member.
+  std::uint32_t height_per_member = 64;
+  // Deployment seed (DartConfig::master_seed); both replicas of a switch
+  // must use the same value.
+  std::uint64_t seed = 0xDA27'0000'0001ull;
+};
+
+class CollectorRing {
+ public:
+  // lookup() result when the membership is empty.
+  static constexpr std::uint32_t kNoOwner = 0xFFFF'FFFFu;
+
+  // Starts at FULL membership ([0, capacity)).
+  explicit CollectorRing(const CollectorRingConfig& config);
+
+  // Recomputes the owner table for `members` (subset of [0, capacity);
+  // order and duplicates are ignored). Out-of-range ids are dropped.
+  // Concurrent lookups keep reading the previous snapshot until the swap.
+  void rebuild(std::span<const std::uint32_t> members);
+
+  // Single-member convenience forms (rebuild with the membership +/- m).
+  void remove_member(std::uint32_t m);
+  void add_member(std::uint32_t m);
+
+  // Owner of a key given its collector hash (HashFamily::collector_hash),
+  // or kNoOwner when the membership is empty. Wait-free.
+  [[nodiscard]] std::uint32_t lookup(std::uint64_t collector_hash) const noexcept {
+    const auto table = snapshot();
+    return table->owner[collector_hash % table->owner.size()];
+  }
+
+  // Batch lookup over raw hashes: out[i] = lookup(hashes[i]), one snapshot
+  // load for the whole batch.
+  void lookup_batch(const std::uint64_t* hashes, std::size_t count,
+                    std::uint32_t* out) const noexcept;
+
+  // Owner under FULL membership, regardless of the live set: the bucket's
+  // rank-0 member (at full membership owner == rank-0 by construction). The
+  // fault plane uses this bring-up mapping to key degradation state.
+  [[nodiscard]] std::uint32_t home_lookup(
+      std::uint64_t collector_hash) const noexcept {
+    return rank0_[collector_hash % rank0_.size()];
+  }
+
+  [[nodiscard]] std::uint32_t height() const noexcept { return height_; }
+  [[nodiscard]] std::uint32_t capacity() const noexcept {
+    return config_.capacity;
+  }
+  [[nodiscard]] const CollectorRingConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] std::size_t member_count() const {
+    return snapshot()->member_count;
+  }
+  [[nodiscard]] bool is_member(std::uint32_t m) const {
+    const auto table = snapshot();
+    return m < config_.capacity && table->live[m] != 0;
+  }
+  [[nodiscard]] std::vector<std::uint32_t> members() const;  // sorted
+
+  // The current owner table, bucket by bucket (kNoOwner entries only when
+  // the membership is empty) — what the golden trace pins and the movement
+  // properties diff.
+  [[nodiscard]] std::vector<std::uint32_t> owner_table() const {
+    return snapshot()->owner;
+  }
+
+  // Buckets owned per member id (size = capacity) — the balance observable.
+  [[nodiscard]] std::vector<std::uint32_t> bucket_counts() const;
+
+  [[nodiscard]] std::uint64_t rebuilds() const noexcept {
+    return rebuilds_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Table {
+    std::vector<std::uint32_t> owner;  // height entries
+    std::vector<std::uint8_t> live;    // capacity entries (membership set)
+    std::size_t member_count = 0;
+  };
+
+  [[nodiscard]] const Table* snapshot() const noexcept {
+    return table_.load(std::memory_order_acquire);
+  }
+
+  // Retains `table` in history_ (snapshots stay valid for the ring's
+  // lifetime) and publishes it to readers.
+  void publish(std::unique_ptr<const Table> table);
+
+  // Position of bucket `b` in member `m`'s permutation, in O(1).
+  [[nodiscard]] std::uint32_t position_of(std::uint32_t m,
+                                          std::uint32_t b) const noexcept;
+
+  void rebuild_from_live(std::vector<std::uint8_t> live);
+
+  CollectorRingConfig config_;
+  std::uint32_t height_ = 0;
+  // Per-member permutation parameters: perm_m(i) = (offset + i * skip) % H,
+  // H prime so any skip in [1, H) is a full cycle. `inv_skip` is skip's
+  // modular inverse, used to invert the walk (bucket -> position).
+  std::vector<std::uint32_t> offset_;
+  std::vector<std::uint32_t> skip_;
+  std::vector<std::uint32_t> inv_skip_;
+  // Rank-0 owner per bucket from the balanced Maglev-style turn-taking fill
+  // over the FULL capacity universe. Membership-independent; computed once.
+  std::vector<std::uint32_t> rank0_;
+  std::atomic<const Table*> table_{nullptr};
+  // Every snapshot ever published, newest last; guards concurrent
+  // control-plane writers and keeps retired tables alive for readers.
+  std::mutex history_mutex_;
+  std::vector<std::unique_ptr<const Table>> history_;
+  std::atomic<std::uint64_t> rebuilds_{0};
+};
+
+// CollectorSelector — the selection-policy seam. One object per party that
+// routes keys to collectors (each switch pipeline, the operator client, the
+// query gateway); every instance built from the same DartConfig and
+// membership produces the same mapping, keeping selection stateless across
+// the deployment (§3.1).
+//
+//   kModulo  collector_hash(key) % |members| indexed into the sorted member
+//            list. With the contiguous full membership this is bit-identical
+//            to the legacy HashFamily::collector_of, and with a sparse set
+//            it degrades gracefully (never routes to an absent id) — but a
+//            membership change remaps ~every key.
+//   kRing    CollectorRing lookup: a membership change moves only the
+//            affected ~K/N keys.
+//
+// home_owner_of() answers against the FULL capacity membership no matter
+// what the live membership is — the fault plane uses it to decide whether a
+// key's data was originally owned by a now-dead collector (degraded-flag
+// marking), which needs the bring-up mapping, not the failover one.
+class CollectorSelector {
+ public:
+  CollectorSelector(const DartConfig& config, std::uint32_t n_collectors);
+
+  [[nodiscard]] CollectorSelection policy() const noexcept {
+    return policy_;
+  }
+  [[nodiscard]] std::uint32_t capacity() const noexcept {
+    return ring_.capacity();
+  }
+
+  // Membership control (same snapshot semantics as CollectorRing).
+  void set_members(std::span<const std::uint32_t> members);
+  void remove_member(std::uint32_t m);
+  void add_member(std::uint32_t m);
+  [[nodiscard]] bool is_member(std::uint32_t m) const;
+  [[nodiscard]] std::size_t member_count() const;
+  [[nodiscard]] std::vector<std::uint32_t> members() const;
+
+  // Owner of `key` under the LIVE membership; CollectorRing::kNoOwner when
+  // the membership is empty.
+  [[nodiscard]] std::uint32_t owner_of(std::span<const std::byte> key) const;
+  [[nodiscard]] std::uint32_t owner_of_hash(std::uint64_t collector_hash) const;
+
+  // Batch owner_of over strided keys (composes with the AVX2 batch hash).
+  void owners_of(const std::byte* keys, std::size_t key_len,
+                 std::size_t stride, std::size_t count,
+                 std::uint32_t* out) const;
+
+  // Owner under the FULL [0, capacity) membership (the bring-up mapping).
+  [[nodiscard]] std::uint32_t home_owner_of(
+      std::span<const std::byte> key) const;
+
+  [[nodiscard]] const CollectorRing& ring() const noexcept { return ring_; }
+  [[nodiscard]] const HashFamily& hashes() const noexcept { return hashes_; }
+
+ private:
+  [[nodiscard]] std::uint32_t modulo_owner(std::uint64_t hash) const;
+
+  void publish_mod_members(std::vector<std::uint32_t> members);
+
+  CollectorSelection policy_;
+  HashFamily hashes_;
+  CollectorRing ring_;
+  // kModulo membership (sorted); the ring keeps its own. Same snapshot
+  // scheme as the ring's owner table: a plain atomic pointer into a
+  // kept-until-destruction history (see the thread-safety note above).
+  std::atomic<const std::vector<std::uint32_t>*> mod_members_{nullptr};
+  std::mutex mod_history_mutex_;
+  std::vector<std::unique_ptr<const std::vector<std::uint32_t>>> mod_history_;
+};
+
+}  // namespace dart::core

@@ -21,6 +21,18 @@ enum class WriteMode : std::uint8_t {
   kStochastic,
 };
 
+// How a writer (switch) and a querier pick the collector that owns a key.
+// Part of the deployment config for the same reason the hash seeds are:
+// every party must select identically or the stateless mapping breaks.
+enum class CollectorSelection : std::uint8_t {
+  // hash % n over a contiguous [0, n) id space — the original prototype
+  // behaviour. A join/leave remaps ~every key (kept for A/B comparison).
+  kModulo,
+  // Consistent-hash ring (core/collector_ring.hpp): membership changes move
+  // only ~K/N keys, and a removed member's keys come back on re-add.
+  kRing,
+};
+
 struct DartConfig {
   // M — number of slots in the collector's slot array.
   std::uint64_t n_slots = 1 << 20;
@@ -33,6 +45,13 @@ struct DartConfig {
   // Deployment-wide hash seed, distributed with the config.
   std::uint64_t master_seed = 0xDA27'0000'0001ull;
   WriteMode write_mode = WriteMode::kAllSlots;
+  // Collector selection policy. kModulo preserves the historical mapping
+  // byte-for-byte; kRing enables minimal-movement membership changes.
+  CollectorSelection selection = CollectorSelection::kModulo;
+  // Ring geometry (kRing only): permutation-table height per capacity slot.
+  // Balance tightens as this grows; >= 64 keeps max/min below 65/64 at full
+  // membership (see CollectorRing).
+  std::uint32_t ring_height_per_member = 64;
 
   // Bytes per slot: b-bit checksum stored in ceil(b/8) bytes + value.
   [[nodiscard]] constexpr std::uint32_t checksum_bytes() const noexcept {

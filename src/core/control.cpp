@@ -17,9 +17,16 @@ std::uint64_t config_fingerprint(const DartConfig& config) noexcept {
     std::uint32_t value_bytes;
     std::uint32_t write_mode;
     std::uint64_t master_seed;
-  } c{config.n_slots,       config.n_addresses, config.checksum_bits,
-      config.value_bytes,   static_cast<std::uint32_t>(config.write_mode),
-      config.master_seed};
+    std::uint32_t selection;
+    std::uint32_t ring_height_per_member;
+  } c{config.n_slots,
+      config.n_addresses,
+      config.checksum_bits,
+      config.value_bytes,
+      static_cast<std::uint32_t>(config.write_mode),
+      config.master_seed,
+      static_cast<std::uint32_t>(config.selection),
+      config.ring_height_per_member};
   return xxhash64_of(c, 0xF1D6E2);
 }
 

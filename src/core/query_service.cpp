@@ -109,9 +109,17 @@ void QueryServiceNode::apply_degradation(std::span<const std::byte> key,
                                          std::uint16_t& stale) const {
   std::uint16_t worst = self_stale_epochs_;
   bool degraded = self_stale_epochs_ > 0;
-  if (!key.empty() && crafter_for_owner_ != nullptr && n_collectors_ > 0) {
+  const bool can_hash_owner =
+      selector_ != nullptr ||
+      (crafter_for_owner_ != nullptr && n_collectors_ > 0);
+  if (!key.empty() && can_hash_owner) {
+    // The data lost with a death belongs to the key's HOME owner — under a
+    // ring the live owner of a moved key is a healthy survivor, so marking
+    // must use the bring-up mapping, not the post-rebuild one.
     const std::uint32_t owner =
-        crafter_for_owner_->collector_of(key, n_collectors_);
+        selector_ != nullptr
+            ? selector_->home_owner_of(key)
+            : crafter_for_owner_->collector_of(key, n_collectors_);
     if (const auto it = takeovers_.find(owner); it != takeovers_.end()) {
       degraded = true;
       worst = std::max(worst, it->second);
@@ -272,8 +280,14 @@ void QueryServiceNode::bind_metrics(obs::MetricRegistry& registry,
 
 std::uint32_t OperatorClient::route_of(std::span<const std::byte> key) const {
   // Fig. 2, steps 1-2: hash the key to its collector, look up the address.
-  std::uint32_t collector = crafter_->collector_of(
-      key, static_cast<std::uint32_t>(service_ips_.size()));
+  // Ring deployments consult the live consistent-hash membership, which
+  // already excludes dead members; modulo deployments reduce over the full
+  // service list and patch deaths with the retarget map below.
+  std::uint32_t collector =
+      selector_ != nullptr
+          ? selector_->owner_of(key)
+          : crafter_->collector_of(
+                key, static_cast<std::uint32_t>(service_ips_.size()));
   // Failover redirect: keys owned by a dead collector resolve to its backup
   // (the directory row liveness re-pointed; see docs/FAULTS.md).
   if (const auto it = retargets_.find(collector); it != retargets_.end()) {

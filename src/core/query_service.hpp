@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "core/collector.hpp"
+#include "core/collector_ring.hpp"
 #include "core/query_protocol.hpp"
 #include "core/report_crafter.hpp"
 #include "net/netsim.hpp"
@@ -68,6 +69,15 @@ class QueryServiceNode final : public net::Node {
                       std::uint32_t n_collectors) noexcept {
     crafter_for_owner_ = crafter;
     n_collectors_ = n_collectors;
+  }
+
+  // Ring deployments: degradation is keyed by a key's HOME owner (the
+  // full-membership mapping) — after a failover rebuild the live owner of a
+  // moved key is a survivor, but the data lost with the death belongs to
+  // whatever the bring-up ring assigned. Takes precedence over
+  // set_deployment's modulo mapping when set; not owned.
+  void set_selector(const CollectorSelector* selector) noexcept {
+    selector_ = selector;
   }
 
   // A dead collector's service answers nothing (count: dropped_offline).
@@ -185,6 +195,7 @@ class QueryServiceNode final : public net::Node {
   IpResolver resolver_;
   const ReportCrafter* crafter_for_owner_ = nullptr;
   std::uint32_t n_collectors_ = 0;
+  const CollectorSelector* selector_ = nullptr;
   std::unordered_map<std::uint32_t, std::uint16_t> takeovers_;
   std::uint16_t self_stale_epochs_ = 0;
   bool online_ = true;
@@ -323,6 +334,14 @@ class OperatorClient final : public net::Node {
   }
   void clear_retarget(std::uint32_t owner_id) { retargets_.erase(owner_id); }
 
+  // Ring deployments: route keys through the live consistent-hash selector
+  // instead of crafter->collector_of (queries then follow the reports to the
+  // survivors the ring picked — no retarget map needed). Not owned; must
+  // outlive this client.
+  void set_selector(const CollectorSelector* selector) noexcept {
+    selector_ = selector;
+  }
+
   [[nodiscard]] net::Ipv4Addr ip() const noexcept { return ip_; }
   // Requests sent and not yet answered (first matching response retires one).
   [[nodiscard]] std::size_t pending() const noexcept {
@@ -378,6 +397,7 @@ class OperatorClient final : public net::Node {
   void on_deadline(std::uint64_t logical_id, std::uint64_t wire_id);
 
   const ReportCrafter* crafter_;
+  const CollectorSelector* selector_ = nullptr;
   net::Ipv4Addr ip_;
   std::vector<net::Ipv4Addr> service_ips_;
   IpResolver resolver_;

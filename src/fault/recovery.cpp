@@ -70,24 +70,57 @@ void RecoveryManager::on_death(std::uint32_t c, std::uint64_t now_ns) {
   const auto backup = liveness_.next_alive(c);
   if (!backup) return;  // every other collector is down: nothing to fail to
   backups_[c] = *backup;
-  fabric_->retarget_collector(c, *backup);
-  if (auto* qs = fabric_->query_service(*backup)) {
-    qs->begin_takeover(c, config_.takeover_stale_epochs);
+
+  if (fabric_->selection() == core::CollectorSelection::kRing) {
+    // Ring failover: drop the member from every selection plane. The ring
+    // spreads the dead key range across ALL survivors (each takes ~K/N·1/(n-1)
+    // of it), so every survivor — not one designated backup — marks answers
+    // for the dead member's home keys as degraded. `backup` stays recorded as
+    // the recovery representative (it keys the failback trigger and the log).
+    fabric_->ring_remove_member(c);
+    for (std::uint32_t s = 0; s < fabric_->n_collectors(); ++s) {
+      if (s == c) continue;
+      if (auto* qs = fabric_->query_service(s)) {
+        qs->begin_takeover(c, config_.takeover_stale_epochs);
+      }
+    }
+    // No operator retarget: clients route through the shared live selector,
+    // which already excludes the dead member.
+  } else {
+    fabric_->retarget_collector(c, *backup);
+    if (auto* qs = fabric_->query_service(*backup)) {
+      qs->begin_takeover(c, config_.takeover_stale_epochs);
+    }
+    if (auto* op = fabric_->operator_client()) op->retarget(c, *backup);
   }
-  if (auto* op = fabric_->operator_client()) op->retarget(c, *backup);
   ++stats_.takeovers;
   log_.push_back({now_ns, EventRecord::What::kTakeover, c, *backup});
 }
 
 void RecoveryManager::on_recovery(std::uint32_t c, std::uint64_t now_ns) {
-  fabric_->restore_collector(c);
   const auto it = backups_.find(c);
   const std::uint32_t backup = it != backups_.end() ? it->second : c;
-  if (it != backups_.end()) {
-    if (auto* qs = fabric_->query_service(it->second)) qs->end_takeover(c);
-    backups_.erase(it);
+
+  if (fabric_->selection() == core::CollectorSelection::kRing) {
+    // Ring failback: reconnect the recovered report QP (fresh PSN window on
+    // every switch — no rows were retargeted, so there is nothing to
+    // restore), re-admit the member (minimal movement returns exactly its
+    // pre-death key range), and end the takeover on every survivor.
+    fabric_->reconnect_collector_qp(c);
+    fabric_->ring_add_member(c);
+    for (std::uint32_t s = 0; s < fabric_->n_collectors(); ++s) {
+      if (s == c) continue;
+      if (auto* qs = fabric_->query_service(s)) qs->end_takeover(c);
+    }
+    backups_.erase(c);
+  } else {
+    fabric_->restore_collector(c);
+    if (it != backups_.end()) {
+      if (auto* qs = fabric_->query_service(it->second)) qs->end_takeover(c);
+      backups_.erase(it);
+    }
+    if (auto* op = fabric_->operator_client()) op->clear_retarget(c);
   }
-  if (auto* op = fabric_->operator_client()) op->clear_retarget(c);
   if (auto* qs = fabric_->query_service(c)) {
     qs->set_online(true);
     // The store is cold for everything that happened while dead; answers

@@ -20,6 +20,15 @@
 //             repopulated (acknowledge_repopulated, typically after the next
 //             epoch rotation).
 //
+// Under CollectorSelection::kRing the failover/failback actions change
+// shape: instead of aliasing the dead row at one backup, the manager drops
+// the member from the consistent-hash ring (WireFabric::ring_remove_member),
+// which re-routes only the dead member's ~K/N keys — across ALL report kinds
+// (KV writes, sketch fan-out, DTA primitives) — to the survivors the ring
+// picks; every survivor marks the dead member's home keys degraded. Failback
+// re-admits the member (ring_add_member), restoring the exact pre-death
+// mapping. Detection, probing, and the log/stats contract are identical.
+//
 // Everything runs as simulator events, so detection latency, backoff
 // growth, and failover timing are all deterministic and assertable.
 #pragma once

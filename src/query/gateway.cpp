@@ -324,8 +324,14 @@ std::uint32_t QueryGateway::apply_retarget(std::uint32_t collector) const {
 }
 
 std::uint32_t QueryGateway::route_key(std::span<const std::byte> key) const {
-  return apply_retarget(crafter_->collector_of(
-      key, static_cast<std::uint32_t>(config_.service_ips.size())));
+  // Ring deployments route by live consistent-hash membership (dead members
+  // already excluded); modulo deployments patch deaths via the retarget map.
+  const std::uint32_t collector =
+      selector_ != nullptr
+          ? selector_->owner_of(key)
+          : crafter_->collector_of(
+                key, static_cast<std::uint32_t>(config_.service_ips.size()));
+  return apply_retarget(collector);
 }
 
 obs::Histogram& QueryGateway::hist_of(Family family) {

@@ -173,6 +173,16 @@ class QueryGateway final : public net::Node {
   }
   void clear_retarget(std::uint32_t owner_id) { retargets_.erase(owner_id); }
 
+  // Ring deployments: key-hashed routing consults the live consistent-hash
+  // selector instead of crafter->collector_of, so a membership change
+  // re-routes exactly the moved keys — standing queries included, since
+  // every epoch's predicate evaluation re-resolves through route_key. The
+  // caller keeps ownership and must invalidate_collector() on the cache when
+  // it changes the membership (the fault plane does; see RecoveryManager).
+  void set_selector(const core::CollectorSelector* selector) noexcept {
+    selector_ = selector;
+  }
+
   // Registers `<prefix>_gateway_*` counters/gauges and the per-family
   // latency histograms `<prefix>_gateway_latency_{kv,primitive,sketch}_ns`.
   void bind_metrics(obs::MetricRegistry& registry, const std::string& prefix);
@@ -331,6 +341,7 @@ class QueryGateway final : public net::Node {
 
   QueryGatewayConfig config_;
   const core::ReportCrafter* crafter_;
+  const core::CollectorSelector* selector_ = nullptr;
   core::IpResolver resolver_;
   // dst-IP → collector index (virtual IPs); the gateway IP maps to "hash it".
   std::unordered_map<std::uint32_t, std::uint32_t> vip_index_;

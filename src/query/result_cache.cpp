@@ -76,6 +76,24 @@ void ResultCache::put(const CacheKey& key, std::vector<std::byte> payload,
   ++inserts_;
 }
 
+std::size_t ResultCache::invalidate_collector(std::uint32_t collector) {
+  std::size_t dropped = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    for (auto it = shard.map.begin(); it != shard.map.end();) {
+      if (it->first.collector == collector) {
+        shard.lru.erase(it->second.lru_pos);
+        it = shard.map.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+  }
+  evictions_ += dropped;
+  return dropped;
+}
+
 std::size_t ResultCache::size() const {
   std::size_t n = 0;
   for (const Shard& shard : shards_) {

@@ -72,6 +72,12 @@ class ResultCache {
   void put(const CacheKey& key, std::vector<std::byte> payload,
            std::uint64_t epoch);
 
+  // Drops every entry cached under `collector`, returning how many were
+  // evicted. The fault plane calls this when a membership change retargets
+  // keys away from (failover) or back to (failback) a collector — cached
+  // answers under the old route must not outlive the route.
+  std::size_t invalidate_collector(std::uint32_t collector);
+
   [[nodiscard]] std::uint64_t hits() const noexcept { return hits_.load(); }
   [[nodiscard]] std::uint64_t misses() const noexcept { return misses_.load(); }
   [[nodiscard]] std::uint64_t inserts() const noexcept { return inserts_.load(); }

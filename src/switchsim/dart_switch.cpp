@@ -16,6 +16,18 @@ DartSwitchPipeline::DartSwitchPipeline(const Config& config)
       crafter_(config.dart) {
   self_.mac = config.mac;
   self_.ip = config.ip;
+  if (config_.dart.selection == core::CollectorSelection::kRing) {
+    // Ring capacity = max_collectors: every replica of this deployment must
+    // use the same value or their rings disagree (it feeds the permutation
+    // table height). Both selectors start empty; load_collector /
+    // load_primitives admit members as their rows install.
+    kv_selector_ = std::make_unique<core::CollectorSelector>(
+        config_.dart, config_.max_collectors);
+    kv_selector_->set_members({});
+    prim_selector_ = std::make_unique<core::CollectorSelector>(
+        config_.dart, config_.max_collectors);
+    prim_selector_->set_members({});
+  }
 }
 
 void DartSwitchPipeline::load_primitives(
@@ -39,6 +51,7 @@ void DartSwitchPipeline::load_primitives(
   tpls.postcard = crafter_.make_postcard_template(postcard_row, self_,
                                                   config_.primitives.postcards);
   primitive_tpls_[id] = std::move(tpls);
+  if (prim_selector_) prim_selector_->add_member(id);
 }
 
 void DartSwitchPipeline::load_collector(const core::RemoteStoreInfo& info) {
@@ -66,6 +79,7 @@ void DartSwitchPipeline::load_collector(const core::RemoteStoreInfo& info) {
     }
   }
   egress_tpls_[info.collector_id] = std::move(tpls);
+  if (kv_selector_) kv_selector_->add_member(info.collector_id);
 }
 
 void DartSwitchPipeline::retarget_collector(std::uint32_t dead_id,
@@ -115,9 +129,16 @@ std::vector<std::vector<std::byte>> DartSwitchPipeline::on_telemetry_batch(
       for (std::size_t i = 0; i < m; ++i) {
         std::memcpy(&key_lanes[i], events[done + i].key.data(), 8);
       }
-      hash_engine_.collector_ids(
-          reinterpret_cast<const std::byte*>(key_lanes.data()), 8, 8, m,
-          n_collectors, ids.data());
+      if (ring_mode()) {
+        // Batched AVX2 hash + one ring-table snapshot for the whole chunk.
+        kv_selector_->owners_of(
+            reinterpret_cast<const std::byte*>(key_lanes.data()), 8, 8, m,
+            ids.data());
+      } else {
+        hash_engine_.collector_ids(
+            reinterpret_cast<const std::byte*>(key_lanes.data()), 8, 8, m,
+            n_collectors, ids.data());
+      }
     }
     for (std::size_t i = 0; i < m; ++i) {
       const TelemetryEvent& ev = events[done + i];
@@ -135,7 +156,9 @@ void DartSwitchPipeline::emit_telemetry(
   ++counters_.telemetry_events;
 
   // Hash the key to its owning collector (same id regardless of n — all N
-  // copies of a key live on one collector, §3.1).
+  // copies of a key live on one collector, §3.1). kModulo reduces over the
+  // contiguous loaded-row count; kRing asks the consistent-hash selector,
+  // which never picks a removed member.
   const std::uint32_t n_collectors = static_cast<std::uint32_t>(table_.size());
   if (n_collectors == 0) {
     ++counters_.table_misses;
@@ -143,6 +166,7 @@ void DartSwitchPipeline::emit_telemetry(
   }
   const std::uint32_t collector_id =
       precomputed_id >= 0 ? static_cast<std::uint32_t>(precomputed_id)
+      : ring_mode()       ? kv_selector_->owner_of(key)
                           : hash_engine_.collector_id(key, n_collectors);
   const auto entry = table_.lookup(collector_id);
   if (!entry) {
@@ -239,7 +263,8 @@ const DartSwitchPipeline::PrimitiveRows* DartSwitchPipeline::primitive_rows_of(
     ++counters_.table_misses;
     return nullptr;
   }
-  collector_id = hash_engine_.collector_id(key, n);
+  collector_id = ring_mode() ? prim_selector_->owner_of(key)
+                             : hash_engine_.collector_id(key, n);
   const auto it = primitive_rows_.find(collector_id);
   if (it == primitive_rows_.end()) {
     ++counters_.table_misses;

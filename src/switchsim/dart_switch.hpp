@@ -20,10 +20,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "core/collector_ring.hpp"
 #include "core/config.hpp"
 #include "core/report_crafter.hpp"
 #include "net/headers.hpp"
@@ -98,12 +100,16 @@ class DartSwitchPipeline {
     egress_tpls_.erase(collector_id);
     primitive_rows_.erase(collector_id);
     primitive_tpls_.erase(collector_id);
+    if (kv_selector_) kv_selector_->remove_member(collector_id);
+    if (prim_selector_) prim_selector_->remove_member(collector_id);
   }
   void clear_collectors() {
     table_ = {};
     egress_tpls_.clear();
     primitive_rows_.clear();
     primitive_tpls_.clear();
+    if (kv_selector_) kv_selector_->set_members({});
+    if (prim_selector_) prim_selector_->set_members({});
   }
   [[nodiscard]] std::size_t collectors_loaded() const noexcept {
     return table_.size();
@@ -112,9 +118,11 @@ class DartSwitchPipeline {
   // Installs a collector's DTA primitive region rows (the Append ring,
   // counter-cell array, and postcard group directory) plus their deparser
   // templates. All three rows must share one collector id. Independent of
-  // load_collector: a deployment can run primitives-only. NOTE: the fault
-  // plane's retarget_collector covers only the KV table; primitive rows keep
-  // pointing at the original owner.
+  // load_collector: a deployment can run primitives-only. Fault coverage:
+  // under kModulo the fault plane's retarget_collector covers only the KV
+  // table (primitive rows keep pointing at the original owner); under kRing,
+  // remove_member() retargets every plane — KV writes, sketch fan-out, and
+  // the primitive rows — because selection itself excludes the dead member.
   void load_primitives(const core::RemoteStoreInfo& ring_row,
                        const core::RemoteStoreInfo& counter_row,
                        const core::RemoteStoreInfo& postcard_row);
@@ -139,6 +147,42 @@ class DartSwitchPipeline {
   // the next report starts the fresh PSN stream the reconnected QP expects
   // (rdma::QueuePair::reconnect). Row and templates are untouched.
   void reset_psn(std::uint32_t collector_id) { psn_regs_.write(collector_id, 0); }
+
+  // --- ring-mode failover (CollectorSelection::kRing only) ------------------
+  //
+  // Drops/restores a member on BOTH selection planes (KV + primitives)
+  // without touching the loaded row, so reports re-route to the survivors
+  // the consistent-hash ring picks — minimal movement, all report kinds.
+  // The row and templates stay loaded for the eventual failback. No-op
+  // under kModulo (that policy fails over by aliasing the dead row via
+  // retarget_collector instead).
+  void remove_member(std::uint32_t collector_id) {
+    if (kv_selector_ && kv_selector_->is_member(collector_id)) {
+      kv_selector_->remove_member(collector_id);
+    }
+    if (prim_selector_ && prim_selector_->is_member(collector_id)) {
+      prim_selector_->remove_member(collector_id);
+    }
+  }
+  void add_member(std::uint32_t collector_id) {
+    // Re-admit only planes where the row is actually loaded (membership
+    // always stays a subset of the loaded rows).
+    if (kv_selector_ && table_.lookup(collector_id)) {
+      kv_selector_->add_member(collector_id);
+    }
+    if (prim_selector_ && primitive_rows_.contains(collector_id)) {
+      prim_selector_->add_member(collector_id);
+    }
+  }
+
+  // The KV-plane selector (null unless the deployment runs kRing).
+  [[nodiscard]] const core::CollectorSelector* kv_selector() const noexcept {
+    return kv_selector_.get();
+  }
+  [[nodiscard]] const core::CollectorSelector* primitive_selector()
+      const noexcept {
+    return prim_selector_.get();
+  }
 
   // --- data plane ----------------------------------------------------------
 
@@ -243,8 +287,19 @@ class DartSwitchPipeline {
                       std::int64_t precomputed_id,
                       std::vector<std::vector<std::byte>>& frames);
 
+  [[nodiscard]] bool ring_mode() const noexcept {
+    return kv_selector_ != nullptr;
+  }
+
   Config config_;
   HashEngine hash_engine_;
+  // Selection-policy seam: allocated only under CollectorSelection::kRing
+  // (kModulo keeps the legacy hash % table_.size() datapath byte-for-byte).
+  // Membership mirrors the loaded rows of each plane — the KV/sketch lookup
+  // table and the primitive region directory respectively — minus any member
+  // dropped by the ring-mode fault plane (remove_member).
+  std::unique_ptr<core::CollectorSelector> kv_selector_;
+  std::unique_ptr<core::CollectorSelector> prim_selector_;
   RngExtern rng_;
   CrcExtern crc_;
   ExactTable<std::uint32_t, CollectorEntry> table_;

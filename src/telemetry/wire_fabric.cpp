@@ -387,6 +387,14 @@ WireFabric::WireFabric(const WireFabricConfig& config)
   cluster_ = std::make_unique<core::CollectorCluster>(
       config.dart, config.n_collectors);
   directory_ = std::make_shared<FabricDirectory>();
+  if (config.dart.selection == core::CollectorSelection::kRing) {
+    // Fabric-wide live selector for the query plane, capacity = fleet size —
+    // the SAME capacity every switch pipeline uses (max_collectors below),
+    // which is what makes their independent ring replicas agree. Starts at
+    // full membership: bring-up loads every collector.
+    selector_ = std::make_unique<core::CollectorSelector>(
+        config.dart, std::max<std::uint32_t>(config.n_collectors, 1));
+  }
 
   // Collector RNICs join the simulator directly.
   for (std::uint32_t c = 0; c < cluster_->size(); ++c) {
@@ -571,6 +579,28 @@ void WireFabric::reconnect_collector_qp(std::uint32_t c) {
   for (auto& sw : switches_) sw->pipeline().reset_psn(c);
 }
 
+switchsim::DartSwitchPipeline& WireFabric::switch_pipeline(std::uint32_t s) {
+  return switches_[s]->pipeline();
+}
+
+void WireFabric::ring_remove_member(std::uint32_t c) {
+  if (!selector_) return;
+  selector_->remove_member(c);
+  for (auto& sw : switches_) sw->pipeline().remove_member(c);
+  // Cached answers for keys routed at `c` are now answered by survivors;
+  // the stale copies must not be served under the new route.
+  if (gateway_) (void)gateway_->cache().invalidate_collector(c);
+}
+
+void WireFabric::ring_add_member(std::uint32_t c) {
+  if (!selector_) return;
+  selector_->add_member(c);
+  for (auto& sw : switches_) sw->pipeline().add_member(c);
+  // Entries cached under `c` predate its death — drop them rather than let
+  // the failback serve pre-death data as fresh.
+  if (gateway_) (void)gateway_->cache().invalidate_collector(c);
+}
+
 core::OperatorClient& WireFabric::attach_operator(std::uint64_t mgmt_latency_ns) {
   if (operator_) return *operator_;
 
@@ -596,10 +626,13 @@ core::OperatorClient& WireFabric::attach_operator(std::uint64_t mgmt_latency_ns)
     // is under takeover gets the degraded flag (docs/FAULTS.md).
     query_services_.back()->set_deployment(&cluster_->crafter(),
                                            cluster_->size());
+    // Ring deployments key takeover marking by the ring's home mapping.
+    if (selector_) query_services_.back()->set_selector(selector_.get());
   }
   const auto operator_ip = net::Ipv4Addr::from_octets(10, 9, 9, 9);
   operator_ = std::make_unique<core::OperatorClient>(
       *operator_crafter_, operator_ip, service_ips, resolver);
+  if (selector_) operator_->set_selector(selector_.get());
 
   const auto op_node = sim_.add_node(*operator_);
   arp->emplace_back(operator_ip, op_node);
@@ -636,6 +669,7 @@ query::QueryGateway& WireFabric::attach_gateway(std::uint64_t mgmt_latency_ns) {
   gw_config.request_timeout_ns = 8 * mgmt_latency_ns + 1'000'000;
   gateway_ = std::make_unique<query::QueryGateway>(
       gw_config, *operator_crafter_, resolver);
+  if (selector_) gateway_->set_selector(selector_.get());
 
   const auto gw_node = sim_.add_node(*gateway_);
   arp->emplace_back(gw_config.gateway_ip, gw_node);
@@ -654,6 +688,7 @@ query::QueryGateway& WireFabric::attach_gateway(std::uint64_t mgmt_latency_ns) {
   const auto gw_operator_ip = net::Ipv4Addr::from_octets(10, 9, 9, 10);
   gateway_operator_ = std::make_unique<core::OperatorClient>(
       *operator_crafter_, gw_operator_ip, gw_config.virtual_ips, resolver);
+  if (selector_) gateway_operator_->set_selector(selector_.get());
   const auto gw_op_node = sim_.add_node(*gateway_operator_);
   arp->emplace_back(gw_operator_ip, gw_op_node);
   sim_.connect(gw_op_node, gw_node, mgmt_latency_ns);

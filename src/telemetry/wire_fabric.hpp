@@ -149,6 +149,34 @@ class WireFabric {
   [[nodiscard]] std::uint32_t n_collectors() const noexcept;
   [[nodiscard]] std::uint32_t n_switches() const noexcept;
 
+  // Switch `s`'s egress pipeline (tests: assert the per-switch selection
+  // replicas agree with the fabric-wide selector after membership churn).
+  [[nodiscard]] switchsim::DartSwitchPipeline& switch_pipeline(std::uint32_t s);
+
+  // The deployment's collector-selection policy (config.dart.selection).
+  [[nodiscard]] core::CollectorSelection selection() const noexcept {
+    return config_.dart.selection;
+  }
+  // The fabric-wide live selector (key→collector for the query plane), or
+  // nullptr under kModulo. Switch pipelines hold their own replicas built
+  // from the same config — determinism makes them agree.
+  [[nodiscard]] core::CollectorSelector* selector() noexcept {
+    return selector_.get();
+  }
+
+  // Ring-mode failover: drops collector `c` from the fabric selector and
+  // from every switch pipeline's selection planes (KV + primitives), so
+  // reports AND queries for its ~K/N key range re-route to the survivors
+  // the ring picks. Any gateway cache entries under `c` are invalidated —
+  // answers cached under the old route must not outlive it. No switch row
+  // is touched (the ring never selects the dead member). kModulo: no-op.
+  void ring_remove_member(std::uint32_t c);
+
+  // Failback undo: re-admits `c` everywhere, restoring the exact pre-death
+  // mapping (ring minimal-movement contract), and invalidates cached
+  // entries under `c` again — they predate the death.
+  void ring_add_member(std::uint32_t c);
+
   // The monitoring-underlay link switch `s` → collector `c` (the partition /
   // corruption target for report-path faults).
   [[nodiscard]] net::LinkId monitoring_link(std::uint32_t s,
@@ -192,6 +220,8 @@ class WireFabric {
   switchsim::FatTree topo_;
   net::Simulator sim_;
   std::unique_ptr<core::CollectorCluster> cluster_;
+  // Live selection state for the query plane (kRing only; see selector()).
+  std::unique_ptr<core::CollectorSelector> selector_;
   std::shared_ptr<FabricDirectory> directory_;
   std::vector<std::unique_ptr<HostNode>> hosts_;
   std::vector<std::unique_ptr<ForwardingSwitch>> switches_;

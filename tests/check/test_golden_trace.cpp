@@ -7,6 +7,7 @@
 #include <map>
 
 #include "check/golden.hpp"
+#include "core/collector_ring.hpp"
 #include "core/oracle.hpp"
 #include "core/query_protocol.hpp"
 
@@ -314,6 +315,66 @@ TEST(GoldenTrace, PrimitiveQueryWirePayloadsParseBack) {
   EXPECT_TRUE(unavailable->unavailable());
   EXPECT_EQ(unavailable->request_id, 4u);
   EXPECT_EQ(unavailable->epoch, 0xE1004u);
+}
+
+// --- consistent-hash ring fixture --------------------------------------------
+
+// The cht_ring16 fixture pins the 16-collector consistent-hash mapping: a
+// freshly constructed ring must reproduce the committed owner table byte
+// for byte (any drift silently re-shards a deployed fleet), the committed
+// single-leave table must differ ONLY on the removed member's buckets, and
+// the committed re-admit table must equal the full-membership one exactly.
+TEST(GoldenTrace, ChtRing16ReplayPinsMappingAndMinimalMovement) {
+  const auto committed = committed_traces();
+  const auto it = committed.find("cht_ring16");
+  ASSERT_NE(it, committed.end())
+      << "missing fixture tests/golden/cht_ring16.hex — regenerate: "
+         "build/tools/dart_trace golden --out=tests/golden";
+  ASSERT_EQ(it->second.artifacts.size(), 3u);
+
+  const auto dep = golden_deployment();
+  core::CollectorRingConfig rc;
+  rc.capacity = 16;
+  rc.height_per_member = 64;
+  rc.seed = dep.config.master_seed;
+  const core::CollectorRing ring(rc);
+
+  const auto decode = [](const std::vector<std::byte>& bytes) {
+    std::vector<std::uint32_t> table(bytes.size() / 4);
+    for (std::size_t b = 0; b < table.size(); ++b) {
+      table[b] = static_cast<std::uint32_t>(bytes[b * 4 + 0]) |
+                 (static_cast<std::uint32_t>(bytes[b * 4 + 1]) << 8) |
+                 (static_cast<std::uint32_t>(bytes[b * 4 + 2]) << 16) |
+                 (static_cast<std::uint32_t>(bytes[b * 4 + 3]) << 24);
+    }
+    return table;
+  };
+  const auto full = decode(it->second.artifacts[0]);
+  const auto without5 = decode(it->second.artifacts[1]);
+  const auto restored = decode(it->second.artifacts[2]);
+
+  // Today's construction reproduces the committed full-membership mapping.
+  ASSERT_EQ(full.size(), ring.height());
+  EXPECT_EQ(full, ring.owner_table());
+
+  // Minimal movement, as committed: only member 5's buckets moved, each to
+  // a live survivor, and the movement is bounded by 2·K/N.
+  ASSERT_EQ(without5.size(), full.size());
+  std::size_t moved = 0;
+  for (std::size_t b = 0; b < full.size(); ++b) {
+    if (full[b] == 5u) {
+      EXPECT_NE(without5[b], 5u) << b;
+      EXPECT_LT(without5[b], 16u) << b;
+      ++moved;
+    } else {
+      EXPECT_EQ(without5[b], full[b]) << "bucket " << b << " moved needlessly";
+    }
+  }
+  EXPECT_GT(moved, 0u);
+  EXPECT_LE(moved, 2 * full.size() / 16);
+
+  // Re-admit restores the full-membership table bit-for-bit.
+  EXPECT_EQ(restored, full);
 }
 
 }  // namespace

@@ -1,0 +1,444 @@
+// Consistent-hash collector-ring properties (core/collector_ring.hpp).
+//
+// 1. cht_lookup_determinism — two independently constructed rings with the
+//    same (seed, capacity, height) agree on every bucket and every sampled
+//    key, even when one reaches the membership by wholesale rebuild() and
+//    the other by a shuffled sequence of remove_member() calls. This is the
+//    replica contract: switch pipelines never talk to each other, so the
+//    mapping must be a pure function of the deployment config + membership.
+//
+// 2. cht_minimal_movement — removing one of N members remaps ONLY the
+//    buckets that member owned (each to a surviving member), and re-adding
+//    it restores the exact prior owner table. The measured movement equals
+//    the removed member's bucket count — nothing else moves.
+//
+// 3. cht_balance — at full membership the Maglev-style turn-taking fill
+//    keeps the max/min buckets-per-member ratio < 1.25 for any height
+//    >= 64 per member (construction actually guarantees <= (h+1)/h).
+//
+// 4. cht_wire_churn_diff — random op streams (KV writes, Append,
+//    Key-Increment, Postcarding, with per-frame loss) through the REAL
+//    kRing switch pipeline → RNIC → DMA path over a pool of collectors,
+//    with members killed and revived MID-STREAM; every region of every
+//    collector must stay byte-identical to per-collector ReferenceFabrics
+//    routed by an independently constructed CollectorSelector mirroring the
+//    same churn.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/gen.hpp"
+#include "check/property.hpp"
+#include "check/reference.hpp"
+#include "check/rng.hpp"
+#include "core/collector.hpp"
+#include "core/collector_ring.hpp"
+#include "core/oracle.hpp"
+#include "net/headers.hpp"
+#include "switchsim/dart_switch.hpp"
+
+namespace dart::check {
+namespace {
+
+using core::CollectorRing;
+using core::CollectorRingConfig;
+
+// Random membership subset of [0, capacity); may be empty.
+std::vector<std::uint32_t> gen_membership(Rng& rng, std::uint32_t capacity) {
+  std::vector<std::uint32_t> members;
+  for (std::uint32_t m = 0; m < capacity; ++m) {
+    if (!rng.chance(0.35)) members.push_back(m);  // zero draw → live
+  }
+  return members;
+}
+
+std::optional<Failure> determinism_property(Rng& rng) {
+  CollectorRingConfig cfg;
+  cfg.capacity = 2 + static_cast<std::uint32_t>(rng.below(99));  // [2, 100]
+  cfg.height_per_member = 4 + static_cast<std::uint32_t>(rng.below(61));
+  cfg.seed = rng.u64();
+
+  CollectorRing a(cfg);
+  CollectorRing b(cfg);
+  const auto members = gen_membership(rng, cfg.capacity);
+
+  // Ring a: one wholesale rebuild. Ring b: the same membership reached by
+  // removing the dead members one at a time, in a random order.
+  a.rebuild(members);
+  std::vector<std::uint32_t> dead;
+  {
+    std::vector<bool> live(cfg.capacity, false);
+    for (const auto m : members) live[m] = true;
+    for (std::uint32_t m = 0; m < cfg.capacity; ++m) {
+      if (!live[m]) dead.push_back(m);
+    }
+  }
+  while (!dead.empty()) {
+    const auto i = rng.below(dead.size());
+    b.remove_member(dead[i]);
+    dead.erase(dead.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+
+  if (a.owner_table() != b.owner_table()) {
+    return Failure{"rebuild() and incremental removal disagree on the owner "
+                   "table (capacity " +
+                       std::to_string(cfg.capacity) + ")",
+                   {}};
+  }
+
+  // Sampled keys: scalar lookup, batch lookup, and membership validity.
+  std::vector<bool> live(cfg.capacity, false);
+  for (const auto m : members) live[m] = true;
+  constexpr std::size_t kSamples = 64;
+  std::uint64_t hashes[kSamples];
+  std::uint32_t batch[kSamples];
+  for (std::size_t i = 0; i < kSamples; ++i) hashes[i] = rng.u64();
+  a.lookup_batch(hashes, kSamples, batch);
+  for (std::size_t i = 0; i < kSamples; ++i) {
+    const auto owner = a.lookup(hashes[i]);
+    if (owner != b.lookup(hashes[i])) {
+      return Failure{"replica rings disagree on a key", {}};
+    }
+    if (owner != batch[i]) {
+      return Failure{"lookup_batch diverged from scalar lookup", {}};
+    }
+    if (members.empty()) {
+      if (owner != CollectorRing::kNoOwner) {
+        return Failure{"empty membership produced an owner", {}};
+      }
+    } else if (owner >= cfg.capacity || !live[owner]) {
+      return Failure{"lookup routed to a non-member id " +
+                         std::to_string(owner),
+                     {}};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Failure> minimal_movement_property(Rng& rng) {
+  CollectorRingConfig cfg;
+  cfg.capacity = 2 + static_cast<std::uint32_t>(rng.below(63));  // [2, 64]
+  cfg.height_per_member = 4 + static_cast<std::uint32_t>(rng.below(61));
+  cfg.seed = rng.u64();
+  CollectorRing ring(cfg);
+
+  auto members = gen_membership(rng, cfg.capacity);
+  while (members.size() < 2) {  // need a victim AND a survivor
+    const auto m = static_cast<std::uint32_t>(rng.below(cfg.capacity));
+    if (std::ranges::find(members, m) == members.end()) members.push_back(m);
+  }
+  ring.rebuild(members);
+
+  const auto before = ring.owner_table();
+  const auto victim = members[rng.below(members.size())];
+  std::vector<bool> live(cfg.capacity, false);
+  for (const auto m : members) live[m] = true;
+  live[victim] = false;
+
+  ring.remove_member(victim);
+  const auto after = ring.owner_table();
+  if (after.size() != before.size()) {
+    return Failure{"owner table height changed across remove_member", {}};
+  }
+
+  std::size_t moved = 0;
+  std::size_t owned = 0;
+  for (std::size_t b = 0; b < before.size(); ++b) {
+    if (before[b] == victim) ++owned;
+    if (after[b] != before[b]) {
+      ++moved;
+      if (before[b] != victim) {
+        return Failure{"bucket " + std::to_string(b) +
+                           " moved but was not owned by the removed member",
+                       {}};
+      }
+    }
+    if (after[b] == victim) {
+      return Failure{"bucket still owned by the removed member", {}};
+    }
+    if (after[b] >= cfg.capacity || !live[after[b]]) {
+      return Failure{"bucket reassigned to a non-member", {}};
+    }
+  }
+  if (moved != owned) {
+    return Failure{"moved " + std::to_string(moved) + " buckets, expected " +
+                       std::to_string(owned) +
+                       " (every victim bucket must retarget exactly once)",
+                   {}};
+  }
+
+  ring.add_member(victim);
+  if (ring.owner_table() != before) {
+    return Failure{"re-adding the member did not restore the prior table", {}};
+  }
+  return std::nullopt;
+}
+
+std::optional<Failure> balance_property(Rng& rng) {
+  CollectorRingConfig cfg;
+  cfg.capacity = 2 + static_cast<std::uint32_t>(rng.below(99));  // [2, 100]
+  cfg.height_per_member = 64 + static_cast<std::uint32_t>(rng.below(33));
+  cfg.seed = rng.u64();
+  CollectorRing ring(cfg);  // full membership
+
+  const auto counts = ring.bucket_counts();
+  std::uint32_t lo = UINT32_MAX;
+  std::uint32_t hi = 0;
+  for (const auto c : counts) {
+    lo = std::min(lo, c);
+    hi = std::max(hi, c);
+  }
+  if (lo == 0) {
+    return Failure{"a full-membership member owns zero buckets", {}};
+  }
+  const double ratio = static_cast<double>(hi) / static_cast<double>(lo);
+  if (ratio >= 1.25) {
+    return Failure{"balance ratio " + std::to_string(ratio) +
+                       " >= 1.25 at height_per_member " +
+                       std::to_string(cfg.height_per_member),
+                   {}};
+  }
+  return std::nullopt;
+}
+
+// --- 4. end-to-end wire differential with mid-stream churn ------------------
+
+core::ReporterEndpoint switch_endpoint() {
+  core::ReporterEndpoint src;
+  src.mac = {0x02, 0, 0, 0, 0, 1};
+  src.ip = net::Ipv4Addr::from_octets(10, 255, 0, 1);
+  return src;
+}
+
+core::CollectorEndpoint collector_endpoint(std::uint32_t c) {
+  core::CollectorEndpoint ep;
+  ep.mac = {0x02, 0xC0, 0, 0, 0, static_cast<std::uint8_t>(c + 1)};
+  ep.ip = net::Ipv4Addr::from_octets(10, 0, 100, static_cast<std::uint8_t>(c));
+  return ep;
+}
+
+std::optional<Failure> wire_churn_property(Rng& rng) {
+  const auto n = 3 + static_cast<std::uint32_t>(rng.below(6));  // [3, 8]
+
+  core::DartConfig dart;
+  dart.n_slots = 64;
+  dart.n_addresses = 2;
+  dart.checksum_bits = 32;
+  dart.value_bytes = 8;
+  dart.master_seed = 0xDA27'C470ull + rng.below(64);
+  dart.selection = core::CollectorSelection::kRing;
+  dart.ring_height_per_member = 8 + static_cast<std::uint32_t>(rng.below(9));
+  const auto prim = gen_small_primitives(rng);
+
+  // The real pool: n collectors, each with its KV store and the three
+  // primitive regions brought up.
+  std::vector<std::unique_ptr<core::Collector>> pool;
+  for (std::uint32_t c = 0; c < n; ++c) {
+    pool.push_back(
+        std::make_unique<core::Collector>(dart, c, collector_endpoint(c)));
+    if (!pool.back()->enable_primitives(prim).ok()) {
+      return Failure{"enable_primitives failed", {}};
+    }
+  }
+
+  switchsim::DartSwitchPipeline::Config sc;
+  sc.dart = dart;
+  sc.mac = switch_endpoint().mac;
+  sc.ip = switch_endpoint().ip;
+  sc.max_collectors = n;  // ring capacity: must match the reference selector
+  sc.write_mode = core::WriteMode::kAllSlots;
+  sc.primitives = prim;
+  switchsim::DartSwitchPipeline sw(sc);
+  for (auto& c : pool) {
+    sw.load_collector(c->remote_info());
+    sw.load_primitives(c->remote_ring_info(), c->remote_counter_info(),
+                       c->remote_postcard_info());
+  }
+
+  // The reference: one ReferenceFabric per collector, routed by an
+  // INDEPENDENTLY constructed selector built from the same deployment
+  // config — the same way a second switch replica would route.
+  std::vector<std::unique_ptr<ReferenceFabric>> refs;
+  for (std::uint32_t c = 0; c < n; ++c) {
+    refs.push_back(std::make_unique<ReferenceFabric>(dart));
+    refs.back()->enable_primitives(prim);
+  }
+  core::CollectorSelector selector(dart, n);  // full membership
+
+  std::vector<std::uint32_t> live;
+  std::vector<std::uint32_t> removed;
+  for (std::uint32_t c = 0; c < n; ++c) live.push_back(c);
+
+  // Delivers `frame` to the collector the reference selector owns the key
+  // to, after checking the switch routed it to the SAME collector.
+  const auto deliver = [&](const std::vector<std::byte>& frame,
+                           std::uint32_t expected,
+                           const char* what) -> std::optional<Failure> {
+    if (frame.empty()) {
+      return Failure{std::string(what) + ": switch emitted no frame", {}};
+    }
+    const auto parsed = net::parse_udp_frame(frame);
+    if (!parsed) return Failure{std::string(what) + ": frame unparsable", frame};
+    if (parsed->ip.dst != collector_endpoint(expected).ip) {
+      return Failure{std::string(what) +
+                         ": switch routed to a different collector than the "
+                         "reference ring (expected " +
+                         std::to_string(expected) + ")",
+                     frame};
+    }
+    if (!pool[expected]->rnic().process_frame(frame).has_value()) {
+      return Failure{std::string(what) + ": RNIC rejected the frame", frame};
+    }
+    return std::nullopt;
+  };
+
+  const auto n_steps = 8 + rng.below(40);
+  for (std::uint64_t i = 0; i < n_steps; ++i) {
+    // Mid-stream churn: kill a live member (keeping >= 1) or revive one.
+    if (rng.chance(0.15)) {
+      if (!removed.empty() && rng.chance(0.5)) {
+        const auto j = rng.below(removed.size());
+        const auto c = removed[j];
+        removed.erase(removed.begin() + static_cast<std::ptrdiff_t>(j));
+        live.push_back(c);
+        sw.add_member(c);
+        selector.add_member(c);
+      } else if (live.size() > 1) {
+        const auto j = rng.below(live.size());
+        const auto c = live[j];
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(j));
+        removed.push_back(c);
+        sw.remove_member(c);
+        selector.remove_member(c);
+      }
+      continue;
+    }
+
+    const auto kind = rng.below(4);
+    if (kind == 0) {
+      // KV telemetry: kAllSlots emits one WRITE per copy, all to one owner.
+      const std::uint64_t id = rng.below(24);
+      const auto key = core::sim_key(id);
+      const auto value = gen_value(rng, dart.value_bytes);
+      const auto owner = selector.owner_of(key);
+      const auto frames = sw.on_telemetry(key, value);
+      if (frames.size() != dart.n_addresses) {
+        return Failure{"kAllSlots emitted " + std::to_string(frames.size()) +
+                           " frames, expected " +
+                           std::to_string(dart.n_addresses),
+                       {}};
+      }
+      for (std::uint32_t copy = 0; copy < dart.n_addresses; ++copy) {
+        const bool dropped = rng.chance(0.1);
+        if (!dropped) {
+          if (auto f = deliver(frames[copy], owner, "kv write")) return f;
+        }
+        ReportOp op;
+        op.kind = ReportOp::Kind::kWrite;
+        op.key = id;
+        op.value = value;
+        op.copy = copy;
+        op.dropped = dropped;
+        refs[owner]->apply(op);
+      }
+    } else {
+      auto op = gen_primitive_op(rng, prim);
+      const auto key = core::sim_key(op.key);
+      const auto owner = selector.owner_of(key);
+      std::vector<std::byte> frame;
+      const char* what = "";
+      switch (op.kind) {
+        case ReportOp::Kind::kAppend:
+          frame = sw.on_append_event(key, op.value);
+          what = "append";
+          break;
+        case ReportOp::Kind::kKeyIncrement:
+          frame = sw.on_increment_event(key, op.operand);
+          what = "key-increment";
+          break;
+        default:
+          frame = sw.on_postcard_event(key, op.hop, op.value);
+          what = "postcard";
+          break;
+      }
+      if (!op.dropped) {
+        if (auto f = deliver(frame, owner, what)) return f;
+      }
+      refs[owner]->apply(op);
+    }
+  }
+
+  // Byte-for-byte: every region of every collector vs its reference twin.
+  for (std::uint32_t c = 0; c < n; ++c) {
+    const auto diff = [&](const char* region, std::span<const std::byte> real,
+                          std::span<const std::byte> ref)
+        -> std::optional<Failure> {
+      if (real.size() == ref.size() && std::ranges::equal(real, ref)) {
+        return std::nullopt;
+      }
+      return Failure{"collector " + std::to_string(c) + " " + region +
+                         " diverged from its reference after churn",
+                     {}};
+    };
+    if (auto f = diff("kv store", pool[c]->store().memory(),
+                      refs[c]->memory())) {
+      return f;
+    }
+    if (auto f = diff("append ring", pool[c]->ring().memory(),
+                      refs[c]->ring().memory())) {
+      return f;
+    }
+    if (auto f = diff("counters", pool[c]->counters().memory(),
+                      refs[c]->counters().memory())) {
+      return f;
+    }
+    if (auto f = diff("postcards", pool[c]->postcards().memory(),
+                      refs[c]->postcards().memory())) {
+      return f;
+    }
+  }
+
+  // The pipeline's own selectors must agree with the reference replica
+  // bucket-for-bucket after all the churn.
+  if (sw.kv_selector() == nullptr ||
+      sw.kv_selector()->ring().owner_table() !=
+          selector.ring().owner_table() ||
+      sw.primitive_selector()->ring().owner_table() !=
+          selector.ring().owner_table()) {
+    return Failure{"switch selector tables diverged from the reference "
+                   "replica after churn",
+                   {}};
+  }
+  return std::nullopt;
+}
+
+TEST(PropCht, LookupDeterminismAcrossReplicas) {
+  const auto report = check("cht_lookup_determinism", determinism_property, {});
+  EXPECT_TRUE(report.passed) << report.message << "\nrepro: " << report.repro;
+  EXPECT_GE(report.cases_run, 1000u);
+}
+
+TEST(PropCht, SingleLeaveMovesOnlyTheRemovedMembersKeys) {
+  const auto report = check("cht_minimal_movement", minimal_movement_property, {});
+  EXPECT_TRUE(report.passed) << report.message << "\nrepro: " << report.repro;
+  EXPECT_GE(report.cases_run, 1000u);
+}
+
+TEST(PropCht, FullMembershipBalanceBounded) {
+  const auto report = check("cht_balance", balance_property, {});
+  EXPECT_TRUE(report.passed) << report.message << "\nrepro: " << report.repro;
+  EXPECT_GE(report.cases_run, 1000u);
+}
+
+TEST(PropCht, WirePathWithChurnMatchesReference) {
+  const auto report = check("cht_wire_churn_diff", wire_churn_property, {});
+  EXPECT_TRUE(report.passed) << report.message << "\nrepro: " << report.repro;
+  EXPECT_GE(report.cases_run, 1000u);
+}
+
+}  // namespace
+}  // namespace dart::check

@@ -1,0 +1,253 @@
+// CollectorRing / CollectorSelector unit coverage: construction geometry,
+// membership bookkeeping, the legacy-parity contract of kModulo, the
+// sparse-membership regression (no selection policy may ever route to an
+// absent collector id), and the concurrent lookup-during-rebuild hammer the
+// TSan matrix runs (suite name CollectorRingHammer — check_sanitize.sh
+// greps for it).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "core/collector_ring.hpp"
+#include "core/config.hpp"
+#include "core/oracle.hpp"
+
+namespace dart::core {
+namespace {
+
+CollectorRingConfig ring16() {
+  CollectorRingConfig cfg;
+  cfg.capacity = 16;
+  cfg.height_per_member = 64;
+  cfg.seed = 0xDA27'0000'0001ull;
+  return cfg;
+}
+
+TEST(CollectorRing, ConstructionGeometry) {
+  const CollectorRing ring(ring16());
+  EXPECT_EQ(ring.capacity(), 16u);
+  EXPECT_GE(ring.height(), 16u * 64u);
+  // H is prime: no divisor in [2, sqrt(H)].
+  const std::uint32_t h = ring.height();
+  for (std::uint32_t d = 2; d * d <= h; ++d) {
+    EXPECT_NE(h % d, 0u) << "height " << h << " divisible by " << d;
+  }
+  EXPECT_EQ(ring.member_count(), 16u);  // starts at full membership
+  EXPECT_EQ(ring.owner_table().size(), ring.height());
+}
+
+TEST(CollectorRing, DegenerateConfigsClamp) {
+  CollectorRingConfig cfg;
+  cfg.capacity = 0;
+  cfg.height_per_member = 0;
+  const CollectorRing ring(cfg);
+  EXPECT_EQ(ring.capacity(), 1u);
+  EXPECT_GE(ring.height(), 1u);
+  EXPECT_EQ(ring.lookup(0xDEAD'BEEFull), 0u);  // the only member owns all
+}
+
+TEST(CollectorRing, EmptyMembershipYieldsNoOwner) {
+  CollectorRing ring(ring16());
+  ring.rebuild({});
+  EXPECT_EQ(ring.member_count(), 0u);
+  EXPECT_EQ(ring.lookup(12345), CollectorRing::kNoOwner);
+  for (const auto owner : ring.owner_table()) {
+    EXPECT_EQ(owner, CollectorRing::kNoOwner);
+  }
+  // home_lookup still answers with the bring-up (full membership) owner.
+  EXPECT_LT(ring.home_lookup(12345), 16u);
+}
+
+TEST(CollectorRing, MembershipBookkeeping) {
+  CollectorRing ring(ring16());
+  const std::uint32_t members[] = {3, 7, 11};
+  ring.rebuild(members);
+  EXPECT_EQ(ring.member_count(), 3u);
+  EXPECT_TRUE(ring.is_member(3));
+  EXPECT_FALSE(ring.is_member(4));
+  EXPECT_FALSE(ring.is_member(99));  // out of range, not just dead
+  EXPECT_EQ(ring.members(), (std::vector<std::uint32_t>{3, 7, 11}));
+
+  const auto before = ring.rebuilds();
+  ring.remove_member(4);   // not a member: no-op
+  ring.add_member(7);      // already a member: no-op
+  ring.remove_member(99);  // out of range: no-op
+  ring.add_member(99);     // out of range: no-op
+  EXPECT_EQ(ring.rebuilds(), before);
+  ring.remove_member(7);
+  EXPECT_EQ(ring.rebuilds(), before + 1);
+  EXPECT_EQ(ring.members(), (std::vector<std::uint32_t>{3, 11}));
+}
+
+TEST(CollectorRing, DuplicateAndOutOfRangeMembersIgnoredByRebuild) {
+  CollectorRing ring(ring16());
+  const std::uint32_t members[] = {5, 5, 2, 42, 2};
+  ring.rebuild(members);
+  EXPECT_EQ(ring.members(), (std::vector<std::uint32_t>{2, 5}));
+  for (const auto owner : ring.owner_table()) {
+    EXPECT_TRUE(owner == 2 || owner == 5) << owner;
+  }
+}
+
+TEST(CollectorRing, BucketCountsSumToHeight) {
+  CollectorRing ring(ring16());
+  const auto counts = ring.bucket_counts();
+  ASSERT_EQ(counts.size(), 16u);
+  std::uint64_t total = 0;
+  for (const auto c : counts) {
+    EXPECT_GT(c, 0u);
+    total += c;
+  }
+  EXPECT_EQ(total, ring.height());
+}
+
+// --- CollectorSelector -------------------------------------------------------
+
+DartConfig ring_config(CollectorSelection policy) {
+  DartConfig cfg;
+  cfg.n_addresses = 2;
+  cfg.master_seed = 0xDA27'5EEDull;
+  cfg.selection = policy;
+  cfg.ring_height_per_member = 64;
+  return cfg;
+}
+
+// kModulo at full contiguous membership is bit-identical to the legacy
+// HashFamily::collector_of reduction — the A/B seam guarantee.
+TEST(CollectorSelector, ModuloMatchesLegacyCollectorOf) {
+  const auto cfg = ring_config(CollectorSelection::kModulo);
+  const CollectorSelector sel(cfg, 10);
+  const HashFamily legacy(cfg.n_addresses, cfg.master_seed);
+  for (std::uint64_t id = 0; id < 512; ++id) {
+    const auto key = sim_key(id);
+    EXPECT_EQ(sel.owner_of(key), legacy.collector_of(key, 10)) << id;
+  }
+}
+
+// Satellite regression: a sparse membership set (dead indices in the middle
+// of the id space) must never be routed to — under EITHER policy, scalar or
+// batch. The legacy HashFamily::collector_of assumes contiguous [0, n) and
+// cannot express this; CollectorSelector is the seam that makes sparse
+// membership safe.
+TEST(CollectorSelector, SparseMembershipNeverRoutesToDeadIndex) {
+  const std::set<std::uint32_t> alive = {0, 2, 5, 9};
+  const std::vector<std::uint32_t> members(alive.begin(), alive.end());
+  for (const auto policy :
+       {CollectorSelection::kModulo, CollectorSelection::kRing}) {
+    const auto cfg = ring_config(policy);
+    CollectorSelector sel(cfg, 10);
+    sel.set_members(members);
+    EXPECT_EQ(sel.member_count(), 4u);
+
+    // Scalar.
+    for (std::uint64_t id = 0; id < 2048; ++id) {
+      const auto owner = sel.owner_of(sim_key(id));
+      ASSERT_TRUE(alive.contains(owner))
+          << "policy " << static_cast<int>(policy) << " routed key " << id
+          << " to dead index " << owner;
+    }
+
+    // Batch, 8-byte keys (the AVX2 path) — must agree with scalar.
+    constexpr std::size_t kBatch = 300;
+    std::vector<std::byte> keys(kBatch * 8);
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      const auto key = sim_key(i * 31 + 7);
+      std::memcpy(keys.data() + i * 8, key.data(), 8);
+    }
+    std::uint32_t owners[kBatch];
+    sel.owners_of(keys.data(), 8, 8, kBatch, owners);
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      ASSERT_TRUE(alive.contains(owners[i])) << i;
+      EXPECT_EQ(owners[i],
+                sel.owner_of({keys.data() + i * 8, 8}))
+          << i;
+    }
+  }
+}
+
+TEST(CollectorSelector, HomeOwnerAnswersAgainstFullMembership) {
+  for (const auto policy :
+       {CollectorSelection::kModulo, CollectorSelection::kRing}) {
+    const auto cfg = ring_config(policy);
+    CollectorSelector sel(cfg, 8);
+    // Record the bring-up mapping, then gut the membership: home_owner_of
+    // must not move.
+    std::vector<std::uint32_t> home;
+    for (std::uint64_t id = 0; id < 64; ++id) {
+      home.push_back(sel.home_owner_of(sim_key(id)));
+    }
+    sel.set_members(std::vector<std::uint32_t>{1, 6});
+    for (std::uint64_t id = 0; id < 64; ++id) {
+      EXPECT_EQ(sel.home_owner_of(sim_key(id)), home[id]) << id;
+    }
+  }
+}
+
+// --- concurrent hammer (TSan matrix) ----------------------------------------
+
+// Readers spin lookup()/lookup_batch() while a writer thread churns the
+// membership with rebuilds. Wait-free snapshot lookups must never observe a
+// torn table: every owner returned is a member of SOME membership set the
+// writer installed (here: always a subset of [0, capacity)), never kNoOwner
+// (the writer keeps >= 1 member), and never out of range.
+TEST(CollectorRingHammer, LookupsDuringRebuildAreWaitFreeAndValid) {
+  CollectorRingConfig cfg;
+  cfg.capacity = 12;
+  cfg.height_per_member = 16;
+  cfg.seed = 0xDA27'4A44ull;
+  CollectorRing ring(cfg);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> bad{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      std::uint64_t h = 0x9E37'79B9'7F4A'7C15ull * (t + 1);
+      std::uint64_t hashes[16];
+      std::uint32_t owners[16];
+      while (!stop.load(std::memory_order_acquire)) {
+        for (auto& x : hashes) {
+          h ^= h << 13;
+          h ^= h >> 7;
+          h ^= h << 17;
+          x = h;
+        }
+        ring.lookup_batch(hashes, 16, owners);
+        for (std::size_t i = 0; i < 16; ++i) {
+          if (owners[i] >= cfg.capacity) {
+            bad.fetch_add(1, std::memory_order_relaxed);
+          }
+          const auto scalar = ring.lookup(hashes[i]);
+          if (scalar >= cfg.capacity) {
+            bad.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+
+  // Writer: churn through memberships that always keep member 0 alive.
+  for (int round = 0; round < 400; ++round) {
+    std::vector<std::uint32_t> members{0};
+    for (std::uint32_t m = 1; m < cfg.capacity; ++m) {
+      if ((round >> (m % 5)) & 1) members.push_back(m);
+    }
+    ring.rebuild(members);
+    ring.remove_member(static_cast<std::uint32_t>(1 + (round % 11)));
+    ring.add_member(static_cast<std::uint32_t>(1 + ((round * 7) % 11)));
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& r : readers) r.join();
+
+  EXPECT_EQ(bad.load(), 0u);
+  EXPECT_GE(ring.rebuilds(), 400u);
+}
+
+}  // namespace
+}  // namespace dart::core

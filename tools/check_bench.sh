@@ -17,7 +17,7 @@ tools/check_docs.sh
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" -j \
   --target micro_datapath scaling_ingest_threads ablation_faults primitives \
-  storage_backends scaling_query_clients dart_metrics
+  storage_backends scaling_query_clients scaling_collectors dart_metrics
 
 OUT_DIR="$(mktemp -d)"
 trap 'rm -rf "$OUT_DIR"' EXIT
@@ -34,6 +34,8 @@ trap 'rm -rf "$OUT_DIR"' EXIT
   --flows=800 --updates=60000)
 (cd "$OUT_DIR" && "$OLDPWD/$BUILD_DIR/bench/scaling_query_clients" \
   --max-clients=64 --rounds=4)
+(cd "$OUT_DIR" && "$OLDPWD/$BUILD_DIR/bench/scaling_collectors" \
+  --flows=400000 --frames=4000)
 
 # Metrics snapshot: conservation invariants plus the JSON exposition, and
 # the chaos run that holds those invariants under every injected fault class.
@@ -213,6 +215,67 @@ else:
         print(f"OK: {sq_path.name}: sustained {top} clients, "
               f"p99={results[f'c{top}_p99_ns']:.0f}ns, "
               f"cache_hit={results[f'c{top}_cache_hit_rate']:.0%}")
+
+# Collector scale-out: per pool size, aggregate ingest rate plus the
+# consistent-hash movement envelope — a single leave may move at most
+# 2·K/C keys (the ring's minimal-movement bound; modulo would move ~K),
+# re-admission must restore the exact table (restore_mismatch == 0), and
+# no bucket the victim didn't own may change owner.
+sc_path = out_dir / "BENCH_scaling_collectors.json"
+if not sc_path.exists():
+    print(f"FAIL: {sc_path} was not emitted")
+    failures += 1
+else:
+    doc = json.loads(sc_path.read_text())
+    results = doc.get("results", {})
+    counts = sorted({int(k[1:].split("_")[0]) for k in results
+                     if k.startswith("c") and k[1].isdigit()})
+    if len(counts) < 2:
+        print(f"FAIL: {sc_path}: needs >= 2 pool sizes, got {counts}")
+        failures += 1
+    for c in counts:
+        for key in ["aggregate_reports_per_sec", "expected_share",
+                    "keys_moved_single_leave", "keys_moved_modulo",
+                    "balance_ratio", "restore_mismatch",
+                    "movement_violations"]:
+            val = results.get(f"c{c}_{key}")
+            if not isinstance(val, (int, float)):
+                print(f"FAIL: {sc_path}: missing 'c{c}_{key}'")
+                failures += 1
+        if failures:
+            continue
+        if not results[f"c{c}_aggregate_reports_per_sec"] > 0:
+            print(f"FAIL: {sc_path}: c{c}: ingest rate not > 0")
+            failures += 1
+        bound = 2.0 * results[f"c{c}_expected_share"]
+        moved = results[f"c{c}_keys_moved_single_leave"]
+        if moved > bound:
+            print(f"FAIL: {sc_path}: c{c}: single leave moved {moved:.0f} "
+                  f"keys > minimal-movement bound 2K/C = {bound:.0f}")
+            failures += 1
+        if moved > results[f"c{c}_keys_moved_modulo"]:
+            print(f"FAIL: {sc_path}: c{c}: ring moved more keys than modulo")
+            failures += 1
+        if results[f"c{c}_balance_ratio"] > 1.25:
+            print(f"FAIL: {sc_path}: c{c}: balance ratio "
+                  f"{results[f'c{c}_balance_ratio']:.3f} > 1.25")
+            failures += 1
+        for key in ["restore_mismatch", "movement_violations"]:
+            if results[f"c{c}_{key}"] != 0:
+                print(f"FAIL: {sc_path}: c{c}_{key} = "
+                      f"{results[f'c{c}_{key}']!r} != 0")
+                failures += 1
+    if results.get("restore_mismatch") != 0:
+        print(f"FAIL: {sc_path}: restore_mismatch = "
+              f"{results.get('restore_mismatch')!r} != 0")
+        failures += 1
+    if failures == 0:
+        top = counts[-1]
+        print(f"OK: {sc_path.name}: {len(counts)} pool sizes up to {top}, "
+              f"single leave at {top} moved "
+              f"{results[f'c{top}_keys_moved_single_leave']:.0f} keys "
+              f"(bound {2 * results[f'c{top}_expected_share']:.0f}), "
+              f"restore exact")
 
 # Metrics snapshot: same BenchJson envelope, one flat key per metric (plus
 # _count/_sum/_p50/_p90/_p99 expansions for histograms).

@@ -9,7 +9,9 @@
 #          the concurrent-pipeline differential property (PropPipeline),
 #          which drives real feeder/shard threads every case, and the query
 #          gateway's session/cache paths (the ResultCache hammer drives the
-#          sharded LRU from 8 threads). Superset of tools/check_tsan.sh's
+#          sharded LRU from 8 threads) and the consistent-hash collector
+#          ring's wait-free lookup-vs-rebuild snapshot swap
+#          (CollectorRingHammer). Superset of tools/check_tsan.sh's
 #          target list.
 #   all    both, in that order.
 #
@@ -49,10 +51,11 @@ run_tsan() {
   cmake --build "$dir" -j \
     --target test_ingest_pipeline test_spsc_ring test_epoch_rotation \
              test_qp test_prop_pipeline test_atomics_store \
-             test_prop_backend test_result_cache test_gateway >/dev/null
+             test_prop_backend test_result_cache test_gateway \
+             test_collector_ring >/dev/null
   TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
     ctest --test-dir "$dir" --output-on-failure \
-      -R 'IngestPipeline|RotatingCollector|ShardRouting|SpscRing|SeqCount|RelaxedCounter|QueuePair|PropPipeline|CasInsertStore|FlowCounterArrayHammer|CountMinSketchHammer|DisciplinedReadsNeverTorn|ResultCache|GatewayFixture'
+      -R 'IngestPipeline|RotatingCollector|ShardRouting|SpscRing|SeqCount|RelaxedCounter|QueuePair|PropPipeline|CasInsertStore|FlowCounterArrayHammer|CountMinSketchHammer|DisciplinedReadsNeverTorn|ResultCache|GatewayFixture|CollectorRingHammer'
   echo "tsan: clean"
 }
 
